@@ -1,0 +1,33 @@
+//! Ablation bench: TLB-flush batching — per-page flushes vs batched
+//! multi-page pager interrupts.
+
+use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    for (label, batch) in [("batch1", 1usize), ("batch4", 4), ("batch16", 16)] {
+        group.bench_function(label, |b| {
+            let mut page = 0u64;
+            let mut pager = Pager::new(PagerConfig::for_machine(MachineConfig::cc_numa()));
+            b.iter(|| {
+                // 16 migrations total, issued in batches of `batch`.
+                let pages: Vec<VirtPage> = (0..16).map(|i| VirtPage(page + i)).collect();
+                page += 16;
+                for p in &pages {
+                    pager.first_touch(Pid(1), *p, NodeId(0));
+                }
+                for chunk in pages.chunks(batch) {
+                    let ops: Vec<PageOp> =
+                        chunk.iter().map(|p| PageOp::migrate(*p, NodeId(2))).collect();
+                    black_box(pager.service_batch(Ns(page * 100), &ops));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation bench: coarse (memlock) vs fine (page-level) locking for
+//! replica-chain manipulation.
+
+use ccnuma_kernel::{LockGranularity, PageOp, Pager, PagerConfig};
+use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_locking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking");
+    for (label, granularity) in [
+        ("coarse_memlock", LockGranularity::Coarse),
+        ("fine_page_locks", LockGranularity::Fine),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg =
+                PagerConfig::for_machine(MachineConfig::cc_numa()).with_granularity(granularity);
+            let mut pager = Pager::new(cfg);
+            let mut page = 0u64;
+            b.iter(|| {
+                let ops: Vec<PageOp> = (0..8)
+                    .map(|i| {
+                        let p = VirtPage(page + i);
+                        pager.first_touch(Pid(1), p, NodeId(0));
+                        pager.first_touch(Pid(2), p, NodeId(4));
+                        PageOp::replicate(p, NodeId(4))
+                    })
+                    .collect();
+                page += 8;
+                black_box(pager.service_batch(Ns(page * 100), &ops))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark: pager operations (migrate/replicate/collapse).
+
+use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pager");
+    group.bench_function("migrate_batch4", |b| {
+        let mut page = 0u64;
+        let mut pager = Pager::new(PagerConfig::for_machine(MachineConfig::cc_numa()));
+        b.iter(|| {
+            let ops: Vec<PageOp> = (0..4)
+                .map(|i| {
+                    let p = VirtPage(page + i);
+                    pager.first_touch(Pid(1), p, NodeId(0));
+                    PageOp::migrate(p, NodeId(3))
+                })
+                .collect();
+            page += 4;
+            black_box(pager.service_batch(Ns(page * 1000), &ops))
+        });
+    });
+    group.bench_function("replicate_then_collapse", |b| {
+        let mut page = 0u64;
+        let mut pager = Pager::new(PagerConfig::for_machine(MachineConfig::cc_numa()));
+        pager.set_pid_node(Pid(2), NodeId(5));
+        b.iter(|| {
+            let p = VirtPage(page);
+            page += 1;
+            pager.first_touch(Pid(1), p, NodeId(0));
+            pager.first_touch(Pid(2), p, NodeId(5));
+            pager.service_batch(Ns(page * 1000), &[PageOp::replicate(p, NodeId(5))]);
+            black_box(pager.service_batch(Ns(page * 1000 + 500), &[PageOp::collapse(p)]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pager);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmark: the policy engine's per-miss decision cost.
+
+use ccnuma_core::{DynamicPolicyKind, ObservedMiss, PageLocation, PolicyEngine, PolicyParams};
+use ccnuma_types::{NodeId, Ns, ProcId, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine");
+    for (label, kind) in [
+        ("mig_rep", DynamicPolicyKind::MigRep),
+        ("migration_only", DynamicPolicyKind::MigrationOnly),
+        ("replication_only", DynamicPolicyKind::ReplicationOnly),
+    ] {
+        group.bench_function(label, |b| {
+            let mut engine = PolicyEngine::new(PolicyParams::base(), kind);
+            let loc = PageLocation::master_only(NodeId(0), NodeId(1));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 100;
+                let miss = ObservedMiss::read(
+                    Ns(t),
+                    ProcId((t % 8) as u16),
+                    NodeId((t % 8) as u16),
+                    VirtPage(t % 4096),
+                );
+                black_box(engine.observe(miss, &loc, false))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark: the Figure 4 read-chain analysis.
+
+use ccnuma_trace::{read_chains, MissRecord, Trace};
+use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn trace_with_writes(n: u64, write_every: u64) -> Trace {
+    (0..n)
+        .map(|i| {
+            let proc = ProcId((i % 8) as u16);
+            let page = VirtPage(i % 256);
+            if i % write_every == 0 {
+                MissRecord::user_data_write(Ns(i * 100), proc, Pid(0), page)
+            } else {
+                MissRecord::user_data_read(Ns(i * 100), proc, Pid(0), page)
+            }
+        })
+        .collect()
+}
+
+fn bench_readchain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readchain");
+    let read_heavy = trace_with_writes(100_000, 10_000);
+    let write_heavy = trace_with_writes(100_000, 10);
+    group.bench_function("read_heavy_100k", |b| {
+        b.iter(|| black_box(read_chains(&read_heavy)))
+    });
+    group.bench_function("write_heavy_100k", |b| {
+        b.iter(|| black_box(read_chains(&write_heavy)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_readchain);
+criterion_main!(benches);

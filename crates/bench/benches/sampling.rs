@@ -1,0 +1,47 @@
+//! Ablation bench: cost of driving the policy at different sampling rates
+//! (full cache-miss information vs 1:10 vs 1:100).
+
+use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
+use ccnuma_polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+use ccnuma_trace::{MissRecord, Trace};
+use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn synthetic_trace(n: u64) -> Trace {
+    (0..n)
+        .map(|i| {
+            MissRecord::user_data_read(
+                Ns(i * 500),
+                ProcId((i % 8) as u16),
+                Pid((i % 8) as u32),
+                VirtPage(i % 512),
+            )
+        })
+        .collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let trace = synthetic_trace(50_000);
+    let cfg = PolsimConfig::section8(8);
+    let mut group = c.benchmark_group("sampling");
+    for (label, rate) in [("full", 1u32), ("one_in_10", 10), ("one_in_100", 100)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let policy = SimPolicy::Dynamic {
+                    params: PolicyParams::base(),
+                    kind: DynamicPolicyKind::MigRep,
+                    metric: if rate == 1 {
+                        MissMetric::full_cache()
+                    } else {
+                        MissMetric::sampled_cache(rate)
+                    },
+                };
+                black_box(simulate(&trace, &cfg, policy, TraceFilter::All))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

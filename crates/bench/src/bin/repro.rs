@@ -1,0 +1,94 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment>... [--scale quick|standard|full]
+//! repro all [--scale ...]
+//! repro --list
+//! ```
+
+use ccnuma_bench::experiments as exp;
+use ccnuma_workloads::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "contention", "space", "repspace", "sharing", "shootdown", "hotspot",
+    "adaptive", "copyengine", "counters", "scaling", "freeze", "characterize",
+];
+
+fn run_one(name: &str, scale: Scale) -> Result<String, String> {
+    Ok(match name {
+        "table1" | "params" => exp::table1(),
+        "table2" | "workloads" => exp::table2(),
+        "table3" => exp::table3(scale),
+        "table4" => exp::table4(scale),
+        "table5" => exp::table5(scale),
+        "table6" => exp::table6(scale),
+        "fig3" | "figure3" => exp::figure3(scale),
+        "fig4" | "figure4" => exp::figure4(scale),
+        "fig5" | "figure5" => exp::figure5(scale),
+        "fig6" | "figure6" => exp::figure6(scale),
+        "fig7" | "figure7" => exp::figure7(scale),
+        "fig8" | "figure8" => exp::figure8(scale),
+        "fig9" | "figure9" => exp::figure9(scale),
+        "contention" => exp::contention(scale),
+        "space" => exp::space(),
+        "repspace" => exp::repspace(scale),
+        "sharing" => exp::sharing(scale),
+        "shootdown" => exp::shootdown(scale),
+        "hotspot" => exp::hotspot(scale),
+        "adaptive" => exp::adaptive(scale),
+        "copyengine" => exp::copyengine(scale),
+        "counters" => exp::counters(scale),
+        "scaling" => exp::scaling(scale),
+        "freeze" => exp::freeze(scale),
+        "characterize" => exp::characterize(scale),
+        other => return Err(format!("unknown experiment '{other}'")),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::standard();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "--scale" => {
+                let v = it.next().map(String::as_str);
+                scale = match v {
+                    Some("quick") => Scale::quick(),
+                    Some("standard") => Scale::standard(),
+                    Some("full") => Scale::full(),
+                    other => {
+                        eprintln!("--scale expects quick|standard|full, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: repro <experiment>... [--scale quick|standard|full]");
+        eprintln!("       repro all | repro --list");
+        std::process::exit(2);
+    }
+    for name in names {
+        match run_one(&name, scale) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

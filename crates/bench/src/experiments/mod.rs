@@ -1,0 +1,14 @@
+//! One function per paper artifact.
+//!
+//! Naming follows the paper: `tableN` and `figureN` regenerate Table N /
+//! Figure N; the remaining functions cover section-level results. All of
+//! them return the rendered report as a `String`.
+
+mod extras;
+mod figures;
+mod tables;
+
+pub use extras::{adaptive, characterize, contention, copyengine, counters, freeze, hotspot,
+                 repspace, scaling, sharing, shootdown, space};
+pub use figures::{figure3, figure4, figure5, figure6, figure7, figure8, figure9};
+pub use tables::{table1, table2, table3, table4, table5, table6};

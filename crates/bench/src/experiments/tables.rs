@@ -1,0 +1,193 @@
+//! Tables 1–6.
+
+use crate::helpers::{base_params, dynamic_options, ft_options, run, trigger_for};
+use ccnuma_kernel::{OpClass, PagerStep};
+use ccnuma_stats::{f1, Table};
+use ccnuma_types::{Mode, RefClass};
+use ccnuma_workloads::{Scale, WorkloadKind};
+use std::fmt::Write as _;
+
+/// Table 1: the key policy parameters and their base values.
+pub fn table1() -> String {
+    let mut t = Table::new(vec!["Parameter", "Semantics", "Base value"]);
+    let base = base_params(WorkloadKind::Raytrace);
+    t.row(vec![
+        "Reset Interval".into(),
+        "time after which all counters are reset".into(),
+        format!("{}", base.reset_interval),
+    ]);
+    t.row(vec![
+        "Trigger Threshold".into(),
+        "misses after which a page is hot".into(),
+        format!("{} (96 for engineering)", base.trigger_threshold),
+    ]);
+    t.row(vec![
+        "Sharing Threshold".into(),
+        "misses from another processor => replication candidate".into(),
+        format!("{} (trigger/4)", base.sharing_threshold),
+    ]);
+    t.row(vec![
+        "Write Threshold".into(),
+        "writes after which a page is not replicated".into(),
+        base.write_threshold.to_string(),
+    ]);
+    t.row(vec![
+        "Migrate Threshold".into(),
+        "migrates after which a page is not migrated".into(),
+        base.migrate_threshold.to_string(),
+    ]);
+    format!("== Table 1: key policy parameters ==\n{t}")
+}
+
+/// Table 2: the workloads.
+pub fn table2() -> String {
+    let mut t = Table::new(vec!["Name", "Procs", "CPUs", "Footprint MB", "Description"]);
+    for kind in WorkloadKind::ALL {
+        let spec = kind.build(Scale::quick());
+        t.row(vec![
+            kind.to_string(),
+            spec.streams.len().to_string(),
+            spec.config.procs().to_string(),
+            f1(spec.footprint_mb()),
+            kind.description().into(),
+        ]);
+    }
+    format!("== Table 2: workload descriptions ==\n{t}")
+}
+
+/// Table 3: execution time and memory usage under first touch.
+pub fn table3(scale: Scale) -> String {
+    let mut t = Table::new(vec![
+        "Workload", "CPU(ms)", "Mem(MB)", "%User", "%Kern", "%Idle", "KInstr", "KData", "UInstr",
+        "UData",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let spec = kind.build(scale);
+        let mb = spec.footprint_mb();
+        let r = ccnuma_machine::Machine::new(spec, ft_options()).run();
+        let b = &r.breakdown;
+        t.row(vec![
+            kind.to_string(),
+            f1(b.total().as_ms()),
+            f1(mb),
+            f1(b.mode_pct_of_total(Mode::User)),
+            f1(b.mode_pct_of_total(Mode::Kernel)),
+            f1(b.idle_pct_of_total()),
+            f1(b.stall_pct_of_nonidle(Mode::Kernel, RefClass::Instr)),
+            f1(b.stall_pct_of_nonidle(Mode::Kernel, RefClass::Data)),
+            f1(b.stall_pct_of_nonidle(Mode::User, RefClass::Instr)),
+            f1(b.stall_pct_of_nonidle(Mode::User, RefClass::Data)),
+        ]);
+    }
+    format!(
+        "== Table 3: execution time and memory usage (FT) ==\n\
+         (CPU time is aggregate across CPUs; stall columns are % of non-idle time)\n{t}"
+    )
+}
+
+/// Table 4: breakdown of actions taken on hot pages under the base policy.
+pub fn table4(scale: Scale) -> String {
+    let mut t = Table::new(vec![
+        "Workload", "Hot Pages", "%Migrate", "%Replicate", "%Remap", "%No Action", "%No Page",
+    ]);
+    for kind in WorkloadKind::USER_SET {
+        let r = run(kind, scale, dynamic_options(kind));
+        let s = r.policy_stats.expect("dynamic run");
+        t.row(vec![
+            kind.to_string(),
+            s.hot_pages().to_string(),
+            f1(s.pct_of_hot(s.migrations)),
+            f1(s.pct_of_hot(s.replications)),
+            f1(s.pct_of_hot(s.remaps)),
+            f1(s.pct_of_hot(s.no_action - s.no_action_pressure)),
+            f1(s.pct_of_hot(s.no_page + s.no_action_pressure)),
+        ]);
+    }
+    format!(
+        "== Table 4: actions taken on hot pages (base policy) ==\n\
+         (Remap — repointing a stale mapping at an existing local copy — is\n\
+         broken out separately. %No Page counts allocation failures plus\n\
+         memory-pressure rejections, as the paper's kernel does.)\n{t}"
+    )
+}
+
+const TABLE5_STEPS: [PagerStep; 7] = [
+    PagerStep::IntrProc,
+    PagerStep::PolicyDecision,
+    PagerStep::PageAlloc,
+    PagerStep::LinksMapping,
+    PagerStep::TlbFlush,
+    PagerStep::PageCopy,
+    PagerStep::PolicyEnd,
+];
+
+/// Table 5: latency of the pager's steps per operation, in µs.
+pub fn table5(scale: Scale) -> String {
+    let mut t = Table::new(vec![
+        "Workload", "Op", "Intr", "Decis", "Alloc", "Links", "TLB", "Copy", "End", "Total",
+    ]);
+    for kind in [
+        WorkloadKind::Engineering,
+        WorkloadKind::Raytrace,
+        WorkloadKind::Splash,
+    ] {
+        let r = run(kind, scale, dynamic_options(kind));
+        for op in [OpClass::Replicate, OpClass::Migrate] {
+            if r.cost_book.ops(op) == 0 {
+                continue;
+            }
+            let mut row = vec![kind.to_string(), op.to_string()];
+            for step in TABLE5_STEPS {
+                row.push(f1(r.cost_book.avg_step(op, step).as_us()));
+            }
+            // Table 5's total excludes the PageFault category (Table 6 only).
+            let total: f64 = TABLE5_STEPS
+                .iter()
+                .map(|s| r.cost_book.avg_step(op, *s).as_us())
+                .sum();
+            row.push(f1(total));
+            t.row(row);
+        }
+    }
+    format!(
+        "== Table 5: per-operation latency by pager step (µs, averaged) ==\n{t}"
+    )
+}
+
+/// Table 6: breakdown of total kernel overhead by function.
+pub fn table6(scale: Scale) -> String {
+    let mut t = Table::new(vec![
+        "Workload", "Ovhd(ms)", "TLB%", "Alloc%", "Copy%", "Fault%", "Links%", "End%", "Decis%",
+        "Intr%",
+    ]);
+    for kind in [
+        WorkloadKind::Engineering,
+        WorkloadKind::Raytrace,
+        WorkloadKind::Splash,
+    ] {
+        let r = run(kind, scale, dynamic_options(kind));
+        let b = &r.cost_book;
+        t.row(vec![
+            kind.to_string(),
+            f1(b.total().as_ms()),
+            f1(b.pct_by_step(PagerStep::TlbFlush)),
+            f1(b.pct_by_step(PagerStep::PageAlloc)),
+            f1(b.pct_by_step(PagerStep::PageCopy)),
+            f1(b.pct_by_step(PagerStep::PageFault)),
+            f1(b.pct_by_step(PagerStep::LinksMapping)),
+            f1(b.pct_by_step(PagerStep::PolicyEnd)),
+            f1(b.pct_by_step(PagerStep::PolicyDecision)),
+            f1(b.pct_by_step(PagerStep::IntrProc)),
+        ]);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 6: kernel overhead by function ==");
+    let _ = writeln!(
+        out,
+        "(trigger {} engineering / {} others; percentages of total pager overhead)",
+        trigger_for(WorkloadKind::Engineering),
+        trigger_for(WorkloadKind::Raytrace)
+    );
+    let _ = write!(out, "{t}");
+    out
+}

@@ -1,0 +1,95 @@
+//! Shared experiment plumbing.
+
+use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
+use ccnuma_machine::{Machine, PolicyChoice, RunOptions, RunReport};
+use ccnuma_types::Ns;
+use ccnuma_workloads::{Scale, WorkloadKind};
+
+/// The paper's per-workload trigger threshold: 96 for engineering, 128
+/// for everything else (Section 7).
+pub fn trigger_for(kind: WorkloadKind) -> u32 {
+    match kind {
+        WorkloadKind::Engineering => 96,
+        _ => 128,
+    }
+}
+
+/// The base-policy parameters for a workload (trigger per
+/// [`trigger_for`], sharing = trigger/4, write/migrate thresholds 1,
+/// 100 ms reset interval).
+pub fn base_params(kind: WorkloadKind) -> PolicyParams {
+    PolicyParams::base().with_trigger(trigger_for(kind))
+}
+
+/// Options for a first-touch baseline run.
+pub fn ft_options() -> RunOptions {
+    RunOptions::new(PolicyChoice::first_touch())
+}
+
+/// Options for a base-policy (Mig/Rep, full cache misses) run.
+pub fn dynamic_options(kind: WorkloadKind) -> RunOptions {
+    RunOptions::new(PolicyChoice::Dynamic {
+        params: base_params(kind),
+        kind: DynamicPolicyKind::MigRep,
+        metric: MissMetric::full_cache(),
+    })
+}
+
+/// Runs one workload under the given options.
+pub fn run(kind: WorkloadKind, scale: Scale, opts: RunOptions) -> RunReport {
+    Machine::new(kind.build(scale), opts).run()
+}
+
+/// Runs one workload under first touch with trace capture (the input to
+/// the Section 8 policy simulator).
+pub fn run_traced_ft(kind: WorkloadKind, scale: Scale) -> RunReport {
+    Machine::new(kind.build(scale), ft_options().with_trace()).run()
+}
+
+/// The constant "all other time" a policy-simulator bar carries over
+/// from the machine run that produced its trace.
+pub fn other_time_of(report: &RunReport) -> Ns {
+    report.breakdown.other_incl_hits() + report.breakdown.idle()
+}
+
+/// A first-touch baseline and a base-policy run of the same workload.
+#[derive(Debug)]
+pub struct RunPair {
+    /// The first-touch baseline.
+    pub ft: RunReport,
+    /// The Mig/Rep run.
+    pub mig_rep: RunReport,
+}
+
+impl RunPair {
+    /// Runs both policies on `kind` at `scale`.
+    pub fn of(kind: WorkloadKind, scale: Scale) -> RunPair {
+        RunPair {
+            ft: run(kind, scale, ft_options()),
+            mig_rep: run(kind, scale, dynamic_options(kind)),
+        }
+    }
+
+    /// Percentage improvement of Mig/Rep over FT in total time.
+    pub fn improvement(&self) -> f64 {
+        self.mig_rep.improvement_over(&self.ft)
+    }
+
+    /// Percentage reduction in memory-stall time.
+    pub fn stall_reduction(&self) -> f64 {
+        self.mig_rep.stall_reduction_over(&self.ft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_match_section7() {
+        assert_eq!(trigger_for(WorkloadKind::Engineering), 96);
+        assert_eq!(trigger_for(WorkloadKind::Raytrace), 128);
+        assert_eq!(base_params(WorkloadKind::Engineering).sharing_threshold, 24);
+        assert_eq!(base_params(WorkloadKind::Database).sharing_threshold, 32);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each function in [`experiments`] reproduces one artifact — Tables 1–6,
+//! Figures 3–9, and the section-level results (§7.1.2 contention, §7.2.1
+//! information-gathering space overhead, §7.2.3 replication space
+//! overhead, §8.4 sharing-threshold sensitivity) — and returns the
+//! rendered report as a `String`. The `repro` binary prints them; the
+//! integration tests assert on their shape.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ccnuma_bench::experiments;
+//! use ccnuma_workloads::Scale;
+//!
+//! println!("{}", experiments::table1());
+//! println!("{}", experiments::figure3(Scale::quick()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod helpers;
+
+pub use helpers::{dynamic_options, ft_options, trigger_for, RunPair};

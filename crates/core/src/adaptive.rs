@@ -1,0 +1,194 @@
+//! Adaptive trigger-threshold control (§8.4 future work).
+//!
+//! "The trigger threshold is a critical parameter and selecting the
+//! correct trigger value, statically or adaptively, is a topic for
+//! further study." This module implements the obvious adaptive
+//! controller: once per reset interval it compares the kernel time spent
+//! moving pages against the stall time the moves can plausibly save, and
+//! doubles the trigger when overhead dominates or halves it when there
+//! is unexploited remote traffic.
+
+use crate::PolicyParams;
+use ccnuma_types::Ns;
+
+/// Feedback for one reset interval, supplied by the caller (the machine
+/// runner accumulates these between interval boundaries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalFeedback {
+    /// Kernel time spent migrating/replicating during the interval.
+    pub move_overhead: Ns,
+    /// Stall time spent on remote misses during the interval.
+    pub remote_stall: Ns,
+    /// Stall time spent on local misses during the interval.
+    pub local_stall: Ns,
+}
+
+/// The adaptive trigger controller.
+///
+/// Policy: if the interval's page-move overhead exceeds
+/// [`overhead_budget`](AdaptiveTrigger::with_overhead_budget) (a fraction
+/// of the interval's total memory time), the policy is too aggressive —
+/// double the trigger. If overhead is under half the budget *and* remote
+/// stall still dominates local stall, there is unexploited locality —
+/// halve the trigger. The trigger is clamped to a configurable range and
+/// the sharing threshold follows at trigger/4, as in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::{AdaptiveTrigger, IntervalFeedback, PolicyParams};
+/// use ccnuma_types::Ns;
+///
+/// let mut a = AdaptiveTrigger::new(PolicyParams::base());
+/// // An interval where moves cost more than the budget: back off.
+/// let fb = IntervalFeedback {
+///     move_overhead: Ns::from_ms(30),
+///     remote_stall: Ns::from_ms(50),
+///     local_stall: Ns::from_ms(20),
+/// };
+/// let p = a.end_interval(fb);
+/// assert_eq!(p.trigger_threshold, 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveTrigger {
+    params: PolicyParams,
+    min_trigger: u32,
+    max_trigger: u32,
+    /// Move overhead allowed, as a fraction of interval memory time.
+    overhead_budget: f64,
+}
+
+impl AdaptiveTrigger {
+    /// A controller starting from `params`, with triggers clamped to
+    /// [32, 1024] and a 10 % overhead budget.
+    pub fn new(params: PolicyParams) -> AdaptiveTrigger {
+        AdaptiveTrigger {
+            params,
+            min_trigger: 32,
+            max_trigger: 1024,
+            overhead_budget: 0.10,
+        }
+    }
+
+    /// Sets the trigger clamp range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= max`.
+    #[must_use]
+    pub fn with_range(mut self, min: u32, max: u32) -> AdaptiveTrigger {
+        assert!(min > 0 && min <= max, "need 0 < min <= max");
+        self.min_trigger = min;
+        self.max_trigger = max;
+        self.params = self
+            .params
+            .with_trigger(self.params.trigger_threshold.clamp(min, max));
+        self
+    }
+
+    /// Sets the overhead budget (fraction of memory time allowed to go
+    /// to page moves before the controller backs off).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is in `(0, 1)`.
+    #[must_use]
+    pub fn with_overhead_budget(mut self, budget: f64) -> AdaptiveTrigger {
+        assert!(budget > 0.0 && budget < 1.0, "budget must be in (0,1)");
+        self.overhead_budget = budget;
+        self
+    }
+
+    /// The current parameters.
+    pub fn params(&self) -> PolicyParams {
+        self.params
+    }
+
+    /// Consumes one interval's feedback and returns the parameters to use
+    /// for the next interval.
+    pub fn end_interval(&mut self, fb: IntervalFeedback) -> PolicyParams {
+        let memory_time = (fb.move_overhead + fb.remote_stall + fb.local_stall).0 as f64;
+        if memory_time == 0.0 {
+            return self.params;
+        }
+        let overhead_frac = fb.move_overhead.0 as f64 / memory_time;
+        let trigger = self.params.trigger_threshold;
+        let new_trigger = if overhead_frac > self.overhead_budget {
+            (trigger * 2).min(self.max_trigger)
+        } else if overhead_frac < self.overhead_budget / 2.0 && fb.remote_stall > fb.local_stall {
+            (trigger / 2).max(self.min_trigger)
+        } else {
+            trigger
+        };
+        if new_trigger != trigger {
+            self.params = self.params.with_trigger(new_trigger);
+        }
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(overhead_ms: u64, remote_ms: u64, local_ms: u64) -> IntervalFeedback {
+        IntervalFeedback {
+            move_overhead: Ns::from_ms(overhead_ms),
+            remote_stall: Ns::from_ms(remote_ms),
+            local_stall: Ns::from_ms(local_ms),
+        }
+    }
+
+    #[test]
+    fn backs_off_when_overhead_dominates() {
+        let mut a = AdaptiveTrigger::new(PolicyParams::base());
+        let p = a.end_interval(fb(30, 50, 20)); // 30% overhead
+        assert_eq!(p.trigger_threshold, 256);
+        assert_eq!(p.sharing_threshold, 64, "sharing follows trigger/4");
+        let p = a.end_interval(fb(30, 50, 20));
+        assert_eq!(p.trigger_threshold, 512);
+    }
+
+    #[test]
+    fn leans_in_when_remote_stall_unexploited() {
+        let mut a = AdaptiveTrigger::new(PolicyParams::base());
+        let p = a.end_interval(fb(1, 80, 19)); // 1% overhead, remote-heavy
+        assert_eq!(p.trigger_threshold, 64);
+        let p = a.end_interval(fb(1, 80, 19));
+        assert_eq!(p.trigger_threshold, 32, "clamped at the minimum");
+        let p = a.end_interval(fb(1, 80, 19));
+        assert_eq!(p.trigger_threshold, 32);
+    }
+
+    #[test]
+    fn holds_steady_in_the_band() {
+        let mut a = AdaptiveTrigger::new(PolicyParams::base());
+        // 7% overhead: above budget/2, below budget — no change.
+        let p = a.end_interval(fb(7, 60, 33));
+        assert_eq!(p.trigger_threshold, 128);
+        // Low overhead but locality already good (local > remote).
+        let p = a.end_interval(fb(1, 20, 79));
+        assert_eq!(p.trigger_threshold, 128);
+    }
+
+    #[test]
+    fn empty_interval_is_a_noop() {
+        let mut a = AdaptiveTrigger::new(PolicyParams::base());
+        let p = a.end_interval(IntervalFeedback::default());
+        assert_eq!(p.trigger_threshold, 128);
+    }
+
+    #[test]
+    fn clamps_at_max() {
+        let mut a = AdaptiveTrigger::new(PolicyParams::base()).with_range(32, 256);
+        a.end_interval(fb(30, 50, 20));
+        let p = a.end_interval(fb(30, 50, 20));
+        assert_eq!(p.trigger_threshold, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn rejects_bad_budget() {
+        let _ = AdaptiveTrigger::new(PolicyParams::base()).with_overhead_budget(1.5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-page counter state.
+//!
+//! The kernel implementation keeps, for each page, "a miss counter per
+//! processor, a migrate counter, and a write counter" (Section 4),
+//! periodically reset. We reset lazily: each page remembers the epoch of
+//! its last update and clears itself when the global epoch has advanced,
+//! which is observationally identical to a synchronous reset because a
+//! counter is only consulted on the increment path.
+
+use ccnuma_types::ProcId;
+
+/// Counters for one page within the current reset interval.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::PageCounters;
+/// use ccnuma_types::ProcId;
+///
+/// let mut c = PageCounters::new(8);
+/// c.roll_epoch(0);
+/// assert_eq!(c.record_miss(ProcId(3), false), 1);
+/// assert_eq!(c.record_miss(ProcId(3), true), 2);
+/// assert_eq!(c.writes(), 1);
+/// c.roll_epoch(1); // reset interval elapsed
+/// assert_eq!(c.miss_count(ProcId(3)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageCounters {
+    /// Per-processor miss counters (saturating at `cap`).
+    misses: Vec<u32>,
+    writes: u32,
+    migrates: u32,
+    epoch: u64,
+    cap: u32,
+    /// Page is frozen (not replicable) until this epoch (freeze/defrost).
+    frozen_until: u64,
+}
+
+impl PageCounters {
+    /// Creates zeroed counters for a machine with `procs` processors,
+    /// saturating at `u32::MAX` (use [`with_cap`](PageCounters::with_cap)
+    /// to model narrow hardware counters).
+    pub fn new(procs: usize) -> PageCounters {
+        PageCounters {
+            misses: vec![0; procs],
+            writes: 0,
+            migrates: 0,
+            epoch: 0,
+            cap: u32::MAX,
+            frozen_until: 0,
+        }
+    }
+
+    /// Sets the saturation value (the paper's hardware uses 1-byte
+    /// counters, cap 255).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_cap(mut self, cap: u32) -> PageCounters {
+        assert!(cap > 0, "counter cap must be non-zero");
+        self.cap = cap;
+        self
+    }
+
+    /// Clears all counters if `epoch` has advanced past the stored one.
+    /// Returns `true` when a reset happened.
+    pub fn roll_epoch(&mut self, epoch: u64) -> bool {
+        if epoch != self.epoch {
+            self.misses.iter_mut().for_each(|m| *m = 0);
+            self.writes = 0;
+            self.migrates = 0;
+            self.epoch = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a miss from `proc`, bumping the write counter when
+    /// `is_write`. Returns the processor's new miss count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range for the processor count given at
+    /// construction.
+    pub fn record_miss(&mut self, proc: ProcId, is_write: bool) -> u32 {
+        let m = &mut self.misses[proc.index()];
+        *m = m.saturating_add(1).min(self.cap);
+        if is_write {
+            self.writes = self.writes.saturating_add(1);
+        }
+        *m
+    }
+
+    /// Miss count for one processor in the current interval.
+    pub fn miss_count(&self, proc: ProcId) -> u32 {
+        self.misses[proc.index()]
+    }
+
+    /// Write count in the current interval.
+    pub fn writes(&self) -> u32 {
+        self.writes
+    }
+
+    /// Migration count in the current interval.
+    pub fn migrates(&self) -> u32 {
+        self.migrates
+    }
+
+    /// Records a migration of this page (the migrate-threshold input).
+    pub fn record_migrate(&mut self) {
+        self.migrates = self.migrates.saturating_add(1);
+    }
+
+    /// True when any processor other than `hot` has at least `sharing`
+    /// misses — the node-2 sharing test of the decision tree.
+    pub fn shared_beyond(&self, hot: ProcId, sharing: u32) -> bool {
+        self.misses
+            .iter()
+            .enumerate()
+            .any(|(i, &m)| i != hot.index() && m >= sharing)
+    }
+
+    /// The processor with the most misses this interval (ties broken by
+    /// lowest processor number); used by the hotspot-migration extension.
+    pub fn hottest_proc(&self) -> ProcId {
+        let (idx, _) = self
+            .misses
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .expect("PageCounters always has at least one processor");
+        ProcId(idx as u16)
+    }
+
+    /// Zeroes the per-processor miss counters (done after a migration so
+    /// the page must re-heat before the next move), while keeping write
+    /// and migrate counters for the rest of the interval.
+    pub fn clear_misses(&mut self) {
+        self.misses.iter_mut().for_each(|m| *m = 0);
+    }
+
+    /// Zeroes one processor's miss counter (done after a replication or
+    /// remap: the *other* sharers keep their accumulated counts so each
+    /// can earn its own local copy within the same interval).
+    pub fn clear_proc(&mut self, proc: ProcId) {
+        self.misses[proc.index()] = 0;
+    }
+
+    /// Freezes the page (no replication) until `epoch`. Survives epoch
+    /// rolls — that is the point of freezing.
+    pub fn freeze_until(&mut self, epoch: u64) {
+        self.frozen_until = self.frozen_until.max(epoch);
+    }
+
+    /// True while the page is frozen at `epoch`.
+    pub fn is_frozen(&self, epoch: u64) -> bool {
+        epoch < self.frozen_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut c = PageCounters::new(4);
+        assert_eq!(c.record_miss(ProcId(0), false), 1);
+        assert_eq!(c.record_miss(ProcId(0), false), 2);
+        assert_eq!(c.record_miss(ProcId(2), true), 1);
+        assert_eq!(c.miss_count(ProcId(0)), 2);
+        assert_eq!(c.miss_count(ProcId(1)), 0);
+        assert_eq!(c.writes(), 1);
+    }
+
+    #[test]
+    fn epoch_roll_clears_everything() {
+        let mut c = PageCounters::new(2);
+        c.record_miss(ProcId(0), true);
+        c.record_migrate();
+        assert!(c.roll_epoch(5));
+        assert_eq!(c.miss_count(ProcId(0)), 0);
+        assert_eq!(c.writes(), 0);
+        assert_eq!(c.migrates(), 0);
+        // same epoch: no reset
+        c.record_miss(ProcId(1), false);
+        assert!(!c.roll_epoch(5));
+        assert_eq!(c.miss_count(ProcId(1)), 1);
+    }
+
+    #[test]
+    fn sharing_test_excludes_hot_processor() {
+        let mut c = PageCounters::new(3);
+        for _ in 0..10 {
+            c.record_miss(ProcId(0), false);
+        }
+        for _ in 0..3 {
+            c.record_miss(ProcId(1), false);
+        }
+        assert!(c.shared_beyond(ProcId(0), 3));
+        assert!(!c.shared_beyond(ProcId(0), 4));
+        // From p1's view, p0's 10 misses make it shared even at high thresholds.
+        assert!(c.shared_beyond(ProcId(1), 10));
+        // A processor alone on the page is never "shared".
+        let mut solo = PageCounters::new(3);
+        solo.record_miss(ProcId(2), false);
+        assert!(!solo.shared_beyond(ProcId(2), 1));
+    }
+
+    #[test]
+    fn hottest_proc_breaks_ties_low() {
+        let mut c = PageCounters::new(4);
+        c.record_miss(ProcId(1), false);
+        c.record_miss(ProcId(3), false);
+        assert_eq!(c.hottest_proc(), ProcId(1));
+        c.record_miss(ProcId(3), false);
+        assert_eq!(c.hottest_proc(), ProcId(3));
+    }
+
+    #[test]
+    fn clear_misses_keeps_write_and_migrate() {
+        let mut c = PageCounters::new(2);
+        c.record_miss(ProcId(0), true);
+        c.record_migrate();
+        c.clear_misses();
+        assert_eq!(c.miss_count(ProcId(0)), 0);
+        assert_eq!(c.writes(), 1);
+        assert_eq!(c.migrates(), 1);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut c = PageCounters::new(1);
+        for _ in 0..10 {
+            c.record_miss(ProcId(0), true);
+        }
+        // force saturation path without 4 billion iterations: clone state
+        let mut big = c.clone();
+        for _ in 0..20 {
+            big.record_miss(ProcId(0), true);
+        }
+        assert!(big.miss_count(ProcId(0)) >= c.miss_count(ProcId(0)));
+    }
+
+    #[test]
+    fn freeze_survives_epoch_roll() {
+        let mut c = PageCounters::new(2);
+        c.freeze_until(5);
+        assert!(c.is_frozen(4));
+        c.roll_epoch(3);
+        assert!(c.is_frozen(4), "rolling the counters must not defrost");
+        assert!(!c.is_frozen(5));
+        // freezing never shortens an existing freeze
+        c.freeze_until(2);
+        assert!(c.is_frozen(4));
+    }
+
+    #[test]
+    fn cap_saturates_misses() {
+        let mut c = PageCounters::new(1).with_cap(3);
+        for _ in 0..10 {
+            c.record_miss(ProcId(0), false);
+        }
+        assert_eq!(c.miss_count(ProcId(0)), 3);
+        // epoch roll resets below the cap again
+        c.roll_epoch(1);
+        assert_eq!(c.record_miss(ProcId(0), false), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_proc_panics() {
+        let mut c = PageCounters::new(2);
+        c.record_miss(ProcId(2), false);
+    }
+}

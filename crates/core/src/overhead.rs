@@ -1,0 +1,103 @@
+//! Information-gathering space-overhead analytics (Section 7.2.1).
+//!
+//! The policy needs one miss counter per processor per page. The paper
+//! works the overhead out for 8 and 128 node machines with 1-byte
+//! counters and 4 KB pages (0.2 % and 3.1 %), shows halving the counter
+//! width under sampling brings 128 nodes to 1.6 %, and notes grouping
+//! processors shrinks it further. These functions reproduce that math so
+//! the `repro space` experiment can print the same numbers.
+
+/// Fraction of memory consumed by per-page per-processor miss counters.
+///
+/// `nodes` processors (one per node on FLASH), `counter_bytes` per
+/// counter, 4 KB-class `page_size`, and `group` processors sharing one
+/// counter (1 = no grouping).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::overhead::counter_space_fraction;
+///
+/// // The paper's numbers: 0.2% at 8 nodes, 3.1% at 128 nodes (1-byte
+/// // counters), 1.6% at 128 nodes with half-size counters.
+/// let f8 = counter_space_fraction(8, 1.0, 4096, 1);
+/// assert!((f8 * 100.0 - 0.2).abs() < 0.05);
+/// let f128 = counter_space_fraction(128, 1.0, 4096, 1);
+/// assert!((f128 * 100.0 - 3.1).abs() < 0.05);
+/// let f128h = counter_space_fraction(128, 0.5, 4096, 1);
+/// assert!((f128h * 100.0 - 1.6).abs() < 0.05);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is zero/non-positive.
+pub fn counter_space_fraction(nodes: u32, counter_bytes: f64, page_size: u32, group: u32) -> f64 {
+    assert!(nodes > 0, "nodes must be non-zero");
+    assert!(counter_bytes > 0.0, "counter_bytes must be positive");
+    assert!(page_size > 0, "page_size must be non-zero");
+    assert!(group > 0, "group must be non-zero");
+    let groups = (nodes as f64 / group as f64).ceil();
+    groups * counter_bytes / page_size as f64
+}
+
+/// The per-cache-line directory overhead FLASH already pays to keep the
+/// caches coherent, quoted as ~7 % in the paper; used as the comparison
+/// point for the counter overhead.
+///
+/// `dir_bytes` of directory state per `line_size` bytes of memory.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::overhead::directory_space_fraction;
+/// // 8 bytes of directory state per 128-byte line ≈ 6.3%; the paper says 7%.
+/// let f = directory_space_fraction(8.0, 128);
+/// assert!(f > 0.06 && f < 0.07);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `line_size` is zero or `dir_bytes` non-positive.
+pub fn directory_space_fraction(dir_bytes: f64, line_size: u32) -> f64 {
+    assert!(dir_bytes > 0.0, "dir_bytes must be positive");
+    assert!(line_size > 0, "line_size must be non-zero");
+    dir_bytes / line_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        assert!((counter_space_fraction(8, 1.0, 4096, 1) - 8.0 / 4096.0).abs() < 1e-12);
+        assert!((counter_space_fraction(128, 1.0, 4096, 1) - 128.0 / 4096.0).abs() < 1e-12);
+        // 128/4096 = 3.125%, paper rounds to 3.1.
+        assert!((counter_space_fraction(128, 1.0, 4096, 1) * 100.0 - 3.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouping_divides_overhead() {
+        let ungrouped = counter_space_fraction(128, 1.0, 4096, 1);
+        let grouped = counter_space_fraction(128, 1.0, 4096, 4);
+        assert!((ungrouped / grouped - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouping_rounds_up() {
+        // 10 nodes in groups of 4 -> 3 counters.
+        let f = counter_space_fraction(10, 1.0, 4096, 4);
+        assert!((f - 3.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn zero_nodes_rejected() {
+        let _ = counter_space_fraction(0, 1.0, 4096, 1);
+    }
+
+    #[test]
+    fn directory_fraction() {
+        assert!((directory_space_fraction(8.0, 128) - 0.0625).abs() < 1e-12);
+    }
+}

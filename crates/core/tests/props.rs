@@ -1,0 +1,180 @@
+//! Property-based tests for the policy engine's invariants.
+
+use ccnuma_core::{
+    DynamicPolicyKind, NoActionReason, ObservedMiss, PageLocation, Placer, PolicyAction,
+    PolicyEngine, PolicyParams, RoundRobin,
+};
+use ccnuma_types::{NodeId, Ns, ProcId, VirtPage};
+use proptest::prelude::*;
+
+fn arb_miss() -> impl Strategy<Value = (u64, u16, u64, bool)> {
+    (0u64..500_000_000, 0u16..8, 0u64..32, proptest::bool::ANY)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The trigger fires at most once per (page, processor) per reset
+    /// interval: within one interval, a remote page generates at most one
+    /// hot event per processor no matter how many misses arrive.
+    #[test]
+    fn at_most_one_hot_event_per_proc_per_interval(
+        trigger in 2u32..64,
+        misses in 1u64..400,
+    ) {
+        let params = PolicyParams::base().with_trigger(trigger);
+        // Replication-only so no action clears the counters.
+        let mut e = PolicyEngine::new(params, DynamicPolicyKind::ReplicationOnly);
+        let loc = PageLocation::master_only(NodeId(0), NodeId(1));
+        for i in 0..misses {
+            // All within one 100ms interval.
+            let now = Ns(i * 1000);
+            let _ = e.observe(
+                ObservedMiss::read(now, ProcId(1), NodeId(1), VirtPage(7)),
+                &loc,
+                false,
+            );
+        }
+        let expected = u64::from(misses >= trigger as u64);
+        prop_assert_eq!(e.stats().hot_events, expected);
+    }
+
+    /// Local pages never produce hot events or actions.
+    #[test]
+    fn local_pages_never_acted_on(events in proptest::collection::vec(arb_miss(), 1..300)) {
+        let mut e = PolicyEngine::new(
+            PolicyParams::base().with_trigger(2),
+            DynamicPolicyKind::MigRep,
+        );
+        for (t, proc, page, write) in events {
+            let node = NodeId(proc % 8);
+            let loc = PageLocation::master_only(node, node);
+            let miss = ObservedMiss {
+                now: Ns(t),
+                proc: ProcId(proc),
+                node,
+                page: VirtPage(page),
+                is_write: write,
+            };
+            let action = e.observe(miss, &loc, false);
+            prop_assert!(
+                matches!(
+                    action,
+                    PolicyAction::Nothing(NoActionReason::NotHot)
+                        | PolicyAction::Nothing(NoActionReason::AlreadyLocal)
+                ),
+                "acted on a local page: {action:?}"
+            );
+        }
+        prop_assert_eq!(e.stats().hot_events, 0);
+        prop_assert_eq!(e.stats().migrations + e.stats().replications, 0);
+    }
+
+    /// The observation count in stats always equals the misses fed in.
+    #[test]
+    fn misses_observed_counts_every_observation(
+        events in proptest::collection::vec(arb_miss(), 0..300),
+    ) {
+        let mut e = PolicyEngine::new(PolicyParams::base(), DynamicPolicyKind::MigRep);
+        let n = events.len() as u64;
+        for (t, proc, page, write) in events {
+            let loc = PageLocation::master_only(NodeId(0), NodeId(proc % 8));
+            let miss = ObservedMiss {
+                now: Ns(t),
+                proc: ProcId(proc),
+                node: NodeId(proc % 8),
+                page: VirtPage(page),
+                is_write: write,
+            };
+            let _ = e.observe(miss, &loc, false);
+        }
+        prop_assert_eq!(e.stats().misses_observed, n);
+    }
+
+    /// A write to a replicated page always collapses, regardless of heat,
+    /// thresholds or policy kind (the pfault path is unconditional).
+    #[test]
+    fn write_to_replicated_always_collapses(
+        t in 0u64..1_000_000,
+        proc in 0u16..8,
+        kind_sel in 0u8..3,
+    ) {
+        let kind = match kind_sel {
+            0 => DynamicPolicyKind::MigrationOnly,
+            1 => DynamicPolicyKind::ReplicationOnly,
+            _ => DynamicPolicyKind::MigRep,
+        };
+        let mut e = PolicyEngine::new(PolicyParams::base(), kind);
+        let node = NodeId(proc % 8);
+        let loc = PageLocation::new(NodeId(0), node, &[NodeId(0), NodeId(3)]);
+        let action = e.observe(
+            ObservedMiss::write(Ns(t), ProcId(proc), node, VirtPage(1)),
+            &loc,
+            false,
+        );
+        prop_assert_eq!(action, PolicyAction::Collapse);
+    }
+
+    /// Round-robin placement is a permutation-stable function: each page
+    /// gets exactly one home, and homes cycle through all nodes.
+    #[test]
+    fn round_robin_placement_is_stable_and_covering(
+        pages in proptest::collection::vec(0u64..64, 1..200),
+        nodes in 1u16..16,
+    ) {
+        let mut rr = RoundRobin::new(nodes);
+        let mut first: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+        for &p in &pages {
+            let home = rr.place(VirtPage(p), NodeId(0));
+            prop_assert!(home.0 < nodes);
+            let prev = first.entry(p).or_insert(home);
+            prop_assert_eq!(*prev, home, "placement changed for page {}", p);
+        }
+        // Distinct pages in first-touch order get consecutive nodes.
+        let mut seen = std::collections::HashSet::new();
+        let mut order = Vec::new();
+        for &p in &pages {
+            if seen.insert(p) {
+                order.push(first[&p]);
+            }
+        }
+        for (i, home) in order.iter().enumerate() {
+            prop_assert_eq!(home.0, (i as u16) % nodes);
+        }
+    }
+
+    /// Actions are consistent with the location: Migrate/Replicate target
+    /// the accessor's node, Remap only fires when a local copy exists.
+    #[test]
+    fn actions_target_the_accessor(events in proptest::collection::vec(arb_miss(), 1..400)) {
+        let mut e = PolicyEngine::new(
+            PolicyParams::base().with_trigger(3),
+            DynamicPolicyKind::MigRep,
+        );
+        for (t, proc, page, write) in events {
+            let node = NodeId(proc % 8);
+            let master = NodeId((page % 8) as u16);
+            // Sometimes a replica exists on the accessor's node.
+            let copies = if page % 3 == 0 && master != node {
+                vec![master, node]
+            } else {
+                vec![master]
+            };
+            let loc = PageLocation::new(master, node, &copies);
+            let miss = ObservedMiss {
+                now: Ns(t),
+                proc: ProcId(proc),
+                node,
+                page: VirtPage(page),
+                is_write: write,
+            };
+            match e.observe(miss, &loc, false) {
+                PolicyAction::Migrate { to } | PolicyAction::Remap { to } => {
+                    prop_assert_eq!(to, node)
+                }
+                PolicyAction::Replicate { at } => prop_assert_eq!(at, node),
+                PolicyAction::Collapse | PolicyAction::Nothing(_) => {}
+            }
+        }
+    }
+}

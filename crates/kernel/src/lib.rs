@@ -1,0 +1,55 @@
+//! IRIX-like virtual-memory substrate for page migration and replication.
+//!
+//! Section 4 of the paper describes the kernel mechanisms added to IRIX 5.2
+//! to support the policy: replica chains hanging off the physical-page
+//! hash table, page-level locks to relieve the global `memlock`, page-table
+//! back-mappings from frames to the PTEs that reference them, batched TLB
+//! shootdowns, and the pager interrupt handler of Figure 2 whose per-step
+//! costs produce Tables 5 and 6. This crate reproduces each mechanism:
+//!
+//! * [`FrameAllocator`] — per-node free lists with a memory-pressure
+//!   threshold (the "% No Page" failures of Table 4);
+//! * [`PageHash`] — logical-page → master frame plus replica chains;
+//! * [`PageTables`] — per-process mappings with frame→PTE back-maps;
+//! * [`LockModel`] — a deterministic contention model for `memlock` and
+//!   the added page-level locks;
+//! * [`CostParams`]/[`CostBook`] — the per-step latency model behind
+//!   Tables 5 and 6;
+//! * [`Pager`] — the Figure 2 handler: migrate, replicate, collapse and
+//!   remap, with batched TLB flushes and broadcast or targeted shootdown.
+//!
+//! # Examples
+//!
+//! Migrate a page and watch the mapping and cost book update:
+//!
+//! ```
+//! use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+//! use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, VirtPage};
+//!
+//! let mut pager = Pager::new(PagerConfig::for_machine(MachineConfig::cc_numa()));
+//! let pid = Pid(1);
+//! let page = VirtPage(0x44);
+//! pager.first_touch(pid, page, NodeId(0));
+//! assert_eq!(pager.mapping_node(pid, page), Some(NodeId(0)));
+//!
+//! let outcomes = pager.service_batch(Ns::from_ms(1), &[PageOp::migrate(page, NodeId(3))]);
+//! assert!(outcomes[0].succeeded());
+//! assert_eq!(pager.mapping_node(pid, page), Some(NodeId(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod costs;
+mod frames;
+mod hash;
+mod locks;
+mod pager;
+mod tables;
+
+pub use costs::{CostBook, CostParams, OpClass, PagerStep};
+pub use frames::FrameAllocator;
+pub use hash::{PageEntry, PageHash};
+pub use locks::{LockGranularity, LockId, LockModel};
+pub use pager::{BatchStats, OpOutcome, PageOp, Pager, PagerConfig, ShootdownMode};
+pub use tables::PageTables;

@@ -1,0 +1,220 @@
+//! Page tables with back-mappings.
+//!
+//! IRIX PTEs point at page frame descriptors with no reverse link; the
+//! paper adds "links ... to the pfd pointing back to all the ptes mapping
+//! this page, similar to an inverted page table" so a migration can find
+//! and update every mapping cheaply. [`PageTables`] keeps both directions.
+
+use ccnuma_types::{Frame, Pid, VirtPage};
+use std::collections::HashMap;
+
+/// Per-process virtual→physical mappings plus the frame→PTE back-map.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_kernel::PageTables;
+/// use ccnuma_types::{Frame, Pid, VirtPage};
+///
+/// let mut pt = PageTables::new();
+/// pt.map(Pid(1), VirtPage(7), Frame(40));
+/// pt.map(Pid(2), VirtPage(7), Frame(40));
+/// assert_eq!(pt.mappers_of(Frame(40)).len(), 2);
+/// let changed = pt.repoint(VirtPage(7), Frame(40), Frame(99));
+/// assert_eq!(changed, 2);
+/// assert_eq!(pt.lookup(Pid(1), VirtPage(7)), Some(Frame(99)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTables {
+    /// (pid, page) → frame.
+    ptes: HashMap<(Pid, VirtPage), Frame>,
+    /// frame → pids whose PTE points at it (the added back-map).
+    back: HashMap<Frame, Vec<Pid>>,
+}
+
+impl PageTables {
+    /// Empty tables.
+    pub fn new() -> PageTables {
+        PageTables::default()
+    }
+
+    /// Installs or replaces the mapping for (`pid`, `page`).
+    pub fn map(&mut self, pid: Pid, page: VirtPage, frame: Frame) {
+        if let Some(old) = self.ptes.insert((pid, page), frame) {
+            self.unlink(old, pid);
+        }
+        self.back.entry(frame).or_default().push(pid);
+    }
+
+    /// Removes the mapping for (`pid`, `page`), returning the frame it
+    /// pointed at.
+    pub fn unmap(&mut self, pid: Pid, page: VirtPage) -> Option<Frame> {
+        let frame = self.ptes.remove(&(pid, page))?;
+        self.unlink(frame, pid);
+        Some(frame)
+    }
+
+    fn unlink(&mut self, frame: Frame, pid: Pid) {
+        if let Some(pids) = self.back.get_mut(&frame) {
+            if let Some(pos) = pids.iter().position(|p| *p == pid) {
+                pids.swap_remove(pos);
+            }
+            if pids.is_empty() {
+                self.back.remove(&frame);
+            }
+        }
+    }
+
+    /// The frame (`pid`, `page`) maps to, if mapped.
+    pub fn lookup(&self, pid: Pid, page: VirtPage) -> Option<Frame> {
+        self.ptes.get(&(pid, page)).copied()
+    }
+
+    /// Processes whose PTE points at `frame` (via the back-map). The
+    /// returned list may repeat a pid if it maps the frame at several
+    /// virtual pages, which does not occur in this simulator.
+    pub fn mappers_of(&self, frame: Frame) -> &[Pid] {
+        self.back.get(&frame).map_or(&[], Vec::as_slice)
+    }
+
+    /// Repoints every PTE of `page` that references `old` to `new`,
+    /// returning how many PTEs changed (a migration's "Links & Mapping"
+    /// step walks exactly these back-links).
+    pub fn repoint(&mut self, page: VirtPage, old: Frame, new: Frame) -> usize {
+        let pids: Vec<Pid> = self.mappers_of(old).to_vec();
+        let mut changed = 0;
+        for pid in pids {
+            if self.ptes.get(&(pid, page)) == Some(&old) {
+                self.map(pid, page, new);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Repoints every PTE of `page` according to `choose`, which picks the
+    /// target frame for each pid (used after replication to point each
+    /// process at its nearest copy — step 8 of Figure 2). Returns the
+    /// number of PTEs changed.
+    pub fn repoint_each(
+        &mut self,
+        page: VirtPage,
+        pids: &[Pid],
+        mut choose: impl FnMut(Pid) -> Frame,
+    ) -> usize {
+        let mut changed = 0;
+        for &pid in pids {
+            if let Some(&cur) = self.ptes.get(&(pid, page)) {
+                let target = choose(pid);
+                if cur != target {
+                    self.map(pid, page, target);
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// All pids currently mapping `page`, in unspecified order.
+    pub fn mappers_of_page(&self, page: VirtPage) -> Vec<Pid> {
+        self.ptes
+            .keys()
+            .filter(|(_, p)| *p == page)
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Number of live PTEs.
+    pub fn len(&self) -> usize {
+        self.ptes.len()
+    }
+
+    /// True when no PTEs exist.
+    pub fn is_empty(&self) -> bool {
+        self.ptes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTables::new();
+        pt.map(Pid(1), VirtPage(1), Frame(10));
+        assert_eq!(pt.lookup(Pid(1), VirtPage(1)), Some(Frame(10)));
+        assert_eq!(pt.lookup(Pid(2), VirtPage(1)), None);
+        assert_eq!(pt.unmap(Pid(1), VirtPage(1)), Some(Frame(10)));
+        assert_eq!(pt.unmap(Pid(1), VirtPage(1)), None);
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn back_map_tracks_mappers() {
+        let mut pt = PageTables::new();
+        pt.map(Pid(1), VirtPage(1), Frame(10));
+        pt.map(Pid(2), VirtPage(1), Frame(10));
+        pt.map(Pid(3), VirtPage(1), Frame(11));
+        let mut mappers = pt.mappers_of(Frame(10)).to_vec();
+        mappers.sort();
+        assert_eq!(mappers, vec![Pid(1), Pid(2)]);
+        pt.unmap(Pid(1), VirtPage(1));
+        assert_eq!(pt.mappers_of(Frame(10)), &[Pid(2)]);
+    }
+
+    #[test]
+    fn remap_replaces_back_link() {
+        let mut pt = PageTables::new();
+        pt.map(Pid(1), VirtPage(1), Frame(10));
+        pt.map(Pid(1), VirtPage(1), Frame(20)); // re-map same pte
+        assert!(pt.mappers_of(Frame(10)).is_empty());
+        assert_eq!(pt.mappers_of(Frame(20)), &[Pid(1)]);
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn repoint_moves_all_ptes() {
+        let mut pt = PageTables::new();
+        for pid in 1..=3 {
+            pt.map(Pid(pid), VirtPage(5), Frame(50));
+        }
+        pt.map(Pid(9), VirtPage(6), Frame(50)); // different page, same frame
+        let changed = pt.repoint(VirtPage(5), Frame(50), Frame(60));
+        assert_eq!(changed, 3);
+        for pid in 1..=3 {
+            assert_eq!(pt.lookup(Pid(pid), VirtPage(5)), Some(Frame(60)));
+        }
+        // the other page's mapping is untouched
+        assert_eq!(pt.lookup(Pid(9), VirtPage(6)), Some(Frame(50)));
+    }
+
+    #[test]
+    fn repoint_each_uses_chooser() {
+        let mut pt = PageTables::new();
+        pt.map(Pid(1), VirtPage(5), Frame(50));
+        pt.map(Pid(2), VirtPage(5), Frame(50));
+        let changed = pt.repoint_each(VirtPage(5), &[Pid(1), Pid(2), Pid(3)], |pid| {
+            if pid == Pid(1) {
+                Frame(51)
+            } else {
+                Frame(50)
+            }
+        });
+        assert_eq!(changed, 1);
+        assert_eq!(pt.lookup(Pid(1), VirtPage(5)), Some(Frame(51)));
+        assert_eq!(pt.lookup(Pid(2), VirtPage(5)), Some(Frame(50)));
+        assert_eq!(pt.lookup(Pid(3), VirtPage(5)), None, "unmapped pid untouched");
+    }
+
+    #[test]
+    fn mappers_of_page() {
+        let mut pt = PageTables::new();
+        pt.map(Pid(1), VirtPage(5), Frame(50));
+        pt.map(Pid(2), VirtPage(5), Frame(51));
+        pt.map(Pid(3), VirtPage(6), Frame(52));
+        let mut pids = pt.mappers_of_page(VirtPage(5));
+        pids.sort();
+        assert_eq!(pids, vec![Pid(1), Pid(2)]);
+    }
+}

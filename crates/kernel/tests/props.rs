@@ -1,0 +1,164 @@
+//! Property-based tests for the kernel substrate.
+
+use ccnuma_kernel::{
+    FrameAllocator, LockGranularity, LockId, LockModel, PageOp, Pager, PagerConfig, ShootdownMode,
+};
+use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, VirtPage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Frame allocation never exceeds capacity, frees restore it, and a
+    /// node's frames always map back to that node.
+    #[test]
+    fn allocator_conserves_capacity(
+        ops in proptest::collection::vec((0u16..4, proptest::bool::ANY), 1..300),
+    ) {
+        let cfg = MachineConfig::cc_numa().with_nodes(4).with_frames_per_node(16);
+        let mut a = FrameAllocator::new(&cfg);
+        let mut live: Vec<ccnuma_types::Frame> = Vec::new();
+        for (node, is_alloc) in ops {
+            let node = NodeId(node);
+            if is_alloc {
+                if let Some(f) = a.alloc(node) {
+                    prop_assert_eq!(cfg.node_of_frame(f), node);
+                    prop_assert!(!live.contains(&f), "frame handed out twice");
+                    live.push(f);
+                }
+            } else if let Some(f) = live.pop() {
+                a.free(f);
+            }
+            for n in 0..4u16 {
+                prop_assert!(a.used_on(NodeId(n)) <= 16);
+                prop_assert_eq!(a.free_on(NodeId(n)), 16 - a.used_on(NodeId(n)));
+            }
+        }
+        prop_assert_eq!(a.used_total(), live.len() as u64);
+    }
+
+    /// The lock model's waits are bounded by the backlog cap and its
+    /// statistics are internally consistent.
+    #[test]
+    fn lock_waits_bounded(
+        acquires in proptest::collection::vec((0u64..1_000_000, 1u64..1000), 1..200),
+        backlog in 1u64..10,
+    ) {
+        let mut m = LockModel::new().with_max_backlog(backlog);
+        let mut total = Ns::ZERO;
+        let mut contended = 0;
+        for (now, hold) in &acquires {
+            let w = m.acquire(LockId::Memlock, Ns(*now), Ns(*hold));
+            prop_assert!(w <= Ns(*hold) * backlog, "wait {w} above cap");
+            total += w;
+            if w > Ns::ZERO {
+                contended += 1;
+            }
+        }
+        prop_assert_eq!(m.total_wait(), total);
+        prop_assert_eq!(m.acquisitions(), acquires.len() as u64);
+        prop_assert_eq!(m.contended(), contended);
+    }
+
+    /// After any mix of pager operations the hash, tables and allocator
+    /// agree, under both shootdown modes and lock granularities.
+    #[test]
+    fn pager_state_is_consistent(
+        ops in proptest::collection::vec((0u64..24, 0u16..8, 0u8..5), 1..150),
+        targeted in proptest::bool::ANY,
+        coarse in proptest::bool::ANY,
+    ) {
+        let machine = MachineConfig::cc_numa().with_frames_per_node(32);
+        let cfg = PagerConfig::for_machine(machine)
+            .with_shootdown(if targeted { ShootdownMode::Targeted } else { ShootdownMode::Broadcast })
+            .with_granularity(if coarse { LockGranularity::Coarse } else { LockGranularity::Fine });
+        let mut pager = Pager::new(cfg);
+        for i in 0..8u32 {
+            pager.set_pid_node(Pid(i), NodeId(i as u16));
+        }
+        let mut t = 0u64;
+        for (page, node, op) in ops {
+            t += 500;
+            let page = VirtPage(page);
+            let node = NodeId(node);
+            let pid = Pid(node.0 as u32);
+            match op {
+                0 | 1 => {
+                    pager.first_touch(pid, page, node);
+                }
+                2 => {
+                    pager.service_batch(Ns(t), &[PageOp::migrate(page, node)]);
+                }
+                3 => {
+                    pager.service_batch(Ns(t), &[PageOp::replicate(page, node)]);
+                }
+                _ => {
+                    pager.service_batch(Ns(t), &[PageOp::collapse(page)]);
+                }
+            }
+        }
+        // Invariants: frames used == masters + replicas; copies on
+        // distinct nodes; mappings point into the copy set; peak >= live.
+        let masters = pager.hash().len() as u64;
+        prop_assert_eq!(
+            pager.frames().used_total(),
+            masters + pager.hash().replica_frames()
+        );
+        prop_assert!(pager.hash().replica_frames_peak() >= pager.hash().replica_frames());
+        for page in (0..24).map(VirtPage) {
+            let copies = pager.copies(page);
+            let mut nodes = copies.clone();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), copies.len());
+            for pid in (0..8).map(Pid) {
+                if let Some(n) = pager.mapping_node(pid, page) {
+                    prop_assert!(copies.contains(&n));
+                }
+            }
+        }
+    }
+
+    /// Targeted shootdown never flushes more TLBs than broadcast.
+    #[test]
+    fn targeted_flushes_at_most_broadcast(mappers in 1u16..8) {
+        let machine = MachineConfig::cc_numa();
+        let run = |mode| {
+            let mut pager = Pager::new(PagerConfig::for_machine(machine.clone()).with_shootdown(mode));
+            for i in 0..mappers {
+                pager.set_pid_node(Pid(i as u32), NodeId(i));
+                pager.first_touch(Pid(i as u32), VirtPage(1), NodeId(i));
+            }
+            // Migrate somewhere with no copy yet.
+            pager.service_batch(Ns(1000), &[PageOp::migrate(VirtPage(1), NodeId(7))]);
+            pager.last_batch().tlbs_flushed
+        };
+        let broadcast = run(ShootdownMode::Broadcast);
+        let targeted = run(ShootdownMode::Targeted);
+        prop_assert_eq!(broadcast, 8);
+        prop_assert!(targeted <= broadcast);
+        prop_assert!(targeted >= 1);
+    }
+
+    /// Batch latency equals the sum of the per-op latencies.
+    #[test]
+    fn batch_latency_is_sum_of_ops(n_ops in 1usize..8) {
+        let machine = MachineConfig::cc_numa();
+        let mut pager = Pager::new(PagerConfig::for_machine(machine));
+        let ops: Vec<PageOp> = (0..n_ops as u64)
+            .map(|i| {
+                pager.first_touch(Pid(1), VirtPage(i), NodeId(0));
+                PageOp::migrate(VirtPage(i), NodeId(3))
+            })
+            .collect();
+        let outcomes = pager.service_batch(Ns(10_000), &ops);
+        let sum: Ns = outcomes
+            .iter()
+            .map(|o| match o {
+                ccnuma_kernel::OpOutcome::Done { latency } => *latency,
+                _ => Ns::ZERO,
+            })
+            .sum();
+        prop_assert_eq!(pager.last_batch().total_latency, sum);
+    }
+}

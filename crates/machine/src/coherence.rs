@@ -1,0 +1,125 @@
+//! Write-invalidate coherence bookkeeping.
+
+use ccnuma_types::{ProcId, VirtPage};
+use std::collections::HashMap;
+
+/// Tracks which processors cache each line, so a write can invalidate
+/// the other holders — the directory's sharing vector, reduced to what
+/// the simulator needs. Supports up to 64 processors.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_machine::CoherenceDir;
+/// use ccnuma_types::{ProcId, VirtPage};
+///
+/// let mut dir = CoherenceDir::new();
+/// dir.record_fill(ProcId(0), VirtPage(1), 4);
+/// dir.record_fill(ProcId(2), VirtPage(1), 4);
+/// let victims = dir.write(ProcId(0), VirtPage(1), 4);
+/// assert_eq!(victims, vec![ProcId(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceDir {
+    holders: HashMap<(VirtPage, u16), u64>,
+}
+
+impl CoherenceDir {
+    /// An empty directory.
+    pub fn new() -> CoherenceDir {
+        CoherenceDir::default()
+    }
+
+    /// Records that `proc` now caches (`page`, `line`).
+    pub fn record_fill(&mut self, proc: ProcId, page: VirtPage, line: u16) {
+        assert!(proc.0 < 64, "coherence dir supports up to 64 processors");
+        *self.holders.entry((page, line)).or_insert(0) |= 1 << proc.0;
+    }
+
+    /// Records that `proc` lost (`page`, `line`) to eviction.
+    pub fn record_evict(&mut self, proc: ProcId, page: VirtPage, line: u16) {
+        if let Some(mask) = self.holders.get_mut(&(page, line)) {
+            *mask &= !(1 << proc.0);
+            if *mask == 0 {
+                self.holders.remove(&(page, line));
+            }
+        }
+    }
+
+    /// A write by `proc`: every *other* holder must invalidate. Returns
+    /// the victims and leaves `proc` as the sole holder.
+    pub fn write(&mut self, proc: ProcId, page: VirtPage, line: u16) -> Vec<ProcId> {
+        let entry = self.holders.entry((page, line)).or_insert(0);
+        let others = *entry & !(1 << proc.0);
+        *entry = 1 << proc.0;
+        (0..64)
+            .filter(|i| others & (1 << i) != 0)
+            .map(|i| ProcId(i as u16))
+            .collect()
+    }
+
+    /// Holders of (`page`, `line`).
+    pub fn holders_of(&self, page: VirtPage, line: u16) -> Vec<ProcId> {
+        let mask = self.holders.get(&(page, line)).copied().unwrap_or(0);
+        (0..64)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ProcId(i as u16))
+            .collect()
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_write_invalidate() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(0), VirtPage(1), 0);
+        d.record_fill(ProcId(1), VirtPage(1), 0);
+        d.record_fill(ProcId(5), VirtPage(1), 0);
+        let mut v = d.write(ProcId(1), VirtPage(1), 0);
+        v.sort();
+        assert_eq!(v, vec![ProcId(0), ProcId(5)]);
+        assert_eq!(d.holders_of(VirtPage(1), 0), vec![ProcId(1)]);
+    }
+
+    #[test]
+    fn write_by_sole_holder_invalidates_nobody() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(3), VirtPage(2), 7);
+        assert!(d.write(ProcId(3), VirtPage(2), 7).is_empty());
+    }
+
+    #[test]
+    fn evict_clears_holder() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(0), VirtPage(1), 0);
+        d.record_evict(ProcId(0), VirtPage(1), 0);
+        assert!(d.is_empty());
+        // evicting a non-holder is a no-op
+        d.record_evict(ProcId(1), VirtPage(1), 0);
+        assert!(d.holders_of(VirtPage(1), 0).is_empty());
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(0), VirtPage(1), 0);
+        d.record_fill(ProcId(0), VirtPage(1), 1);
+        let victims = d.write(ProcId(2), VirtPage(1), 0);
+        assert_eq!(victims, vec![ProcId(0)]);
+        assert_eq!(d.holders_of(VirtPage(1), 1), vec![ProcId(0)]);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Directory-controller occupancy and queueing (§7.1.2).
+//!
+//! A remote miss consumes the directory controller at the page's home
+//! node; excess remote misses raise controller occupancy and queueing
+//! delay for everyone, including local misses. The model gives each node
+//! a busy-until horizon: a request arriving at `t` waits
+//! `max(0, busy_until - t)`, then occupies the controller for its service
+//! time. The statistics the paper quotes — remote handler invocations,
+//! average queue length, maximum controller occupancy — fall out.
+
+use ccnuma_types::{MachineConfig, NodeId, Ns};
+
+/// Aggregate contention statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContentionStats {
+    /// Remote-request handler invocations (remote misses serviced).
+    pub remote_requests: u64,
+    /// Local-request handler invocations.
+    pub local_requests: u64,
+    /// Total queueing delay suffered by all requests.
+    pub total_wait: Ns,
+    /// Total queueing delay suffered by remote requests.
+    pub remote_wait: Ns,
+    /// Total queueing delay suffered by local requests.
+    pub local_wait: Ns,
+    /// Sum of instantaneous queue lengths seen by remote requests.
+    pub remote_queue_sum: f64,
+}
+
+impl ContentionStats {
+    /// Average queue length observed by remote requests.
+    pub fn avg_remote_queue(&self) -> f64 {
+        if self.remote_requests == 0 {
+            0.0
+        } else {
+            self.remote_queue_sum / self.remote_requests as f64
+        }
+    }
+
+    /// Average queueing delay added to a local request.
+    pub fn avg_local_wait(&self) -> Ns {
+        if self.local_requests == 0 {
+            Ns::ZERO
+        } else {
+            self.local_wait / self.local_requests
+        }
+    }
+}
+
+/// Per-node directory controller occupancy model.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_machine::DirectoryModel;
+/// use ccnuma_types::{MachineConfig, NodeId, Ns};
+///
+/// let mut dir = DirectoryModel::new(&MachineConfig::cc_numa());
+/// let w1 = dir.request(Ns(0), NodeId(0), true);
+/// let w2 = dir.request(Ns(10), NodeId(0), true); // queues behind w1
+/// assert_eq!(w1, Ns(0));
+/// assert!(w2 > Ns::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectoryModel {
+    busy_until: Vec<Ns>,
+    busy_total: Vec<Ns>,
+    local_service: Ns,
+    remote_service: Ns,
+    stats: ContentionStats,
+}
+
+impl DirectoryModel {
+    /// A model for the machine's nodes. Service times follow FLASH's
+    /// MAGIC: a remote request occupies the controller longer than a
+    /// local one (protocol processing plus network interface work).
+    pub fn new(cfg: &MachineConfig) -> DirectoryModel {
+        DirectoryModel {
+            busy_until: vec![Ns::ZERO; cfg.nodes as usize],
+            busy_total: vec![Ns::ZERO; cfg.nodes as usize],
+            local_service: Ns(150),
+            remote_service: Ns(500),
+            stats: ContentionStats::default(),
+        }
+    }
+
+    /// Services a request at `home` arriving at `now`; `remote` marks a
+    /// request from another node. Returns the queueing delay.
+    pub fn request(&mut self, now: Ns, home: NodeId, remote: bool) -> Ns {
+        let service = if remote {
+            self.remote_service
+        } else {
+            self.local_service
+        };
+        let busy = &mut self.busy_until[home.index()];
+        let wait = busy.saturating_sub(now);
+        *busy = now.max(*busy) + service;
+        self.busy_total[home.index()] += service;
+
+        self.stats.total_wait += wait;
+        if remote {
+            self.stats.remote_requests += 1;
+            self.stats.remote_wait += wait;
+            self.stats.remote_queue_sum += wait.0 as f64 / self.remote_service.0 as f64;
+        } else {
+            self.stats.local_requests += 1;
+            self.stats.local_wait += wait;
+        }
+        wait
+    }
+
+    /// The statistics so far.
+    pub fn stats(&self) -> &ContentionStats {
+        &self.stats
+    }
+
+    /// Maximum per-node controller occupancy over the run: the busiest
+    /// node's busy time divided by `elapsed`.
+    pub fn max_occupancy(&self, elapsed: Ns) -> f64 {
+        if elapsed == Ns::ZERO {
+            return 0.0;
+        }
+        self.busy_total
+            .iter()
+            .map(|b| b.0 as f64 / elapsed.0 as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DirectoryModel {
+        DirectoryModel::new(&MachineConfig::cc_numa())
+    }
+
+    #[test]
+    fn idle_controller_no_wait() {
+        let mut d = model();
+        assert_eq!(d.request(Ns(0), NodeId(3), false), Ns(0));
+        assert_eq!(d.request(Ns(10_000), NodeId(3), true), Ns(0));
+        assert_eq!(d.stats().total_wait, Ns::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut d = model();
+        d.request(Ns(0), NodeId(0), true); // busy until 500
+        let w = d.request(Ns(100), NodeId(0), true); // waits 400
+        assert_eq!(w, Ns(400));
+        assert_eq!(d.stats().remote_requests, 2);
+        assert!(d.stats().avg_remote_queue() > 0.0);
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut d = model();
+        d.request(Ns(0), NodeId(0), true);
+        assert_eq!(d.request(Ns(10), NodeId(1), true), Ns(0));
+    }
+
+    #[test]
+    fn local_requests_cheaper_than_remote() {
+        let mut d = model();
+        d.request(Ns(0), NodeId(0), false); // busy until 150
+        let w = d.request(Ns(0), NodeId(0), false);
+        assert_eq!(w, Ns(150));
+        assert_eq!(d.stats().local_requests, 2);
+        assert_eq!(d.stats().avg_local_wait(), Ns(75));
+    }
+
+    #[test]
+    fn occupancy_tracks_busiest_node() {
+        let mut d = model();
+        for i in 0..10u64 {
+            d.request(Ns(i * 500), NodeId(0), true);
+        }
+        d.request(Ns(0), NodeId(1), false);
+        let occ = d.max_occupancy(Ns(5000));
+        assert!((occ - 1.0).abs() < 1e-9, "node 0 saturated: {occ}");
+        assert_eq!(d.max_occupancy(Ns::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! A discrete-event CC-NUMA machine simulator (the SimOS substitute).
+//!
+//! The paper's experimental platform is SimOS: a complete simulator of
+//! the FLASH machine booting IRIX. This crate provides the reproduction's
+//! equivalent at the memory-reference level: per-CPU virtual clocks,
+//! two-way set-associative L2 caches with invalidation-based coherence,
+//! 64-entry TLBs, a directory-occupancy contention model, and a runner
+//! that ties the synthetic workloads, the kernel pager and the policy
+//! engine together and produces the execution-time breakdowns behind
+//! Tables 3–6 and Figures 3–5.
+//!
+//! * [`L2Cache`] — the 512 KB 2-way unified secondary cache;
+//! * [`Tlb`] — the 64-entry TLB with shootdown;
+//! * [`CoherenceDir`] — which CPUs cache each line (write-invalidate);
+//! * [`DirectoryModel`] — per-node controller occupancy and queueing
+//!   (the §7.1.2 contention statistics);
+//! * [`Machine`] + [`RunOptions`] — the full-system runner;
+//! * [`RunReport`] — everything a table or figure needs from one run.
+//!
+//! # Examples
+//!
+//! Run a small first-touch experiment end to end:
+//!
+//! ```
+//! use ccnuma_machine::{Machine, PolicyChoice, RunOptions};
+//! use ccnuma_workloads::{Scale, WorkloadKind};
+//!
+//! let spec = WorkloadKind::Raytrace.build(Scale::quick());
+//! let report = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch())).run();
+//! assert!(report.breakdown.total() > ccnuma_types::Ns::ZERO);
+//! assert!(report.breakdown.remote_misses() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod coherence;
+mod contention;
+mod report;
+mod runner;
+mod tlb;
+
+pub use cache::L2Cache;
+pub use coherence::CoherenceDir;
+pub use contention::{ContentionStats, DirectoryModel};
+pub use report::RunReport;
+pub use runner::{Machine, PolicyChoice, RunOptions};
+pub use tlb::Tlb;

@@ -1,0 +1,116 @@
+//! The result of one full-system run.
+
+use crate::ContentionStats;
+use ccnuma_core::PolicyStats;
+use ccnuma_kernel::CostBook;
+use ccnuma_stats::RunBreakdown;
+use ccnuma_trace::Trace;
+use ccnuma_types::Ns;
+
+/// Everything the tables and figures need from one machine run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Workload name ("Engineering", ...).
+    pub workload: String,
+    /// Policy label ("FT", "Mig/Rep", ...).
+    pub policy_label: String,
+    /// The execution-time breakdown (Table 3, Figures 3/5).
+    pub breakdown: RunBreakdown,
+    /// Policy action statistics (Table 4); `None` for static runs.
+    pub policy_stats: Option<PolicyStats>,
+    /// Pager per-step costs (Tables 5 and 6).
+    pub cost_book: CostBook,
+    /// Directory contention statistics (§7.1.2).
+    pub contention: ContentionStats,
+    /// Busiest directory controller's occupancy over the run.
+    pub max_occupancy: f64,
+    /// Final simulated time (max CPU clock).
+    pub sim_time: Ns,
+    /// Sum of all CPU clocks — by construction this equals
+    /// [`RunBreakdown::total`], since every clock advance carries a
+    /// matching breakdown charge (the accounting invariant the
+    /// integration tests check).
+    pub cpu_time: Ns,
+    /// The captured miss trace, when requested.
+    pub trace: Option<Trace>,
+    /// Distinct pages touched.
+    pub distinct_pages: u64,
+    /// Peak live replica frames (§7.2.3 numerator).
+    pub replica_frames_peak: u64,
+    /// §7.2.3: peak replicas as % of distinct pages.
+    pub replication_space_overhead_pct: f64,
+    /// Physical frames in use at end of run.
+    pub frames_used: u64,
+    /// Total kernel lock waiting (memlock + page locks).
+    pub lock_wait: Ns,
+    /// Fraction of lock acquisitions that waited.
+    pub lock_contention_rate: f64,
+    /// Average latency of a local miss including queueing (the §7.1.2
+    /// "average latency of a local read miss").
+    pub avg_local_miss_latency: Ns,
+    /// Average TLBs flushed per pager batch (8 under broadcast; ~2 under
+    /// targeted shootdown, §7.2.2).
+    pub avg_tlbs_flushed: f64,
+}
+
+impl RunReport {
+    /// Percentage improvement of this run's total time over `baseline`
+    /// (positive = faster).
+    pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.breakdown.total().0 as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        100.0 * (base - self.breakdown.total().0 as f64) / base
+    }
+
+    /// Percentage reduction in total memory-stall time vs `baseline`.
+    pub fn stall_reduction_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.breakdown.total_stall().0 as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        100.0 * (base - self.breakdown.total_stall().0 as f64) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_types::{Mode, RefClass};
+
+    fn report_with(total_busy: u64, remote_stall: u64) -> RunReport {
+        let mut b = RunBreakdown::new();
+        b.add_busy(Mode::User, Ns(total_busy));
+        b.add_stall(Mode::User, RefClass::Data, true, Ns(remote_stall));
+        RunReport {
+            workload: "t".into(),
+            policy_label: "FT".into(),
+            breakdown: b,
+            policy_stats: None,
+            cost_book: CostBook::new(),
+            contention: ContentionStats::default(),
+            max_occupancy: 0.0,
+            sim_time: Ns(1),
+            cpu_time: Ns(1),
+            trace: None,
+            distinct_pages: 0,
+            replica_frames_peak: 0,
+            replication_space_overhead_pct: 0.0,
+            frames_used: 0,
+            lock_wait: Ns::ZERO,
+            lock_contention_rate: 0.0,
+            avg_local_miss_latency: Ns::ZERO,
+            avg_tlbs_flushed: 0.0,
+        }
+    }
+
+    #[test]
+    fn improvement_math() {
+        let base = report_with(500, 500);
+        let better = report_with(500, 200);
+        assert!((better.improvement_over(&base) - 30.0).abs() < 1e-9);
+        assert!((better.stall_reduction_over(&base) - 60.0).abs() < 1e-9);
+        assert_eq!(base.improvement_over(&base), 0.0);
+    }
+}

@@ -1,0 +1,640 @@
+//! The full-system runner: workload × kernel × policy → [`RunReport`].
+
+use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
+use ccnuma_core::{
+    AdaptiveTrigger, DynamicPolicyKind, IntervalFeedback, MissMetric, ObservedMiss, Placer,
+    PolicyAction, PolicyEngine, PolicyParams, RoundRobin,
+};
+use ccnuma_kernel::{LockGranularity, OpOutcome, PageOp, Pager, PagerConfig, ShootdownMode};
+use ccnuma_stats::RunBreakdown;
+use ccnuma_trace::{MissRecord, MissSource, TraceBuilder};
+use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId, VirtPage};
+use ccnuma_workloads::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The page-placement policy for a run.
+#[derive(Debug, Clone)]
+pub enum PolicyChoice {
+    /// First-touch static placement — the CC-NUMA default (the paper's
+    /// baseline for Section 7).
+    FirstTouch,
+    /// Round-robin static placement.
+    RoundRobin,
+    /// The dynamic migration/replication policy.
+    Dynamic {
+        /// Table 1 parameters.
+        params: PolicyParams,
+        /// Mig-only, Repl-only, or the combined policy.
+        kind: DynamicPolicyKind,
+        /// Which miss events drive the policy.
+        metric: MissMetric,
+    },
+}
+
+impl PolicyChoice {
+    /// First-touch baseline.
+    pub fn first_touch() -> PolicyChoice {
+        PolicyChoice::FirstTouch
+    }
+
+    /// Round-robin baseline.
+    pub fn round_robin() -> PolicyChoice {
+        PolicyChoice::RoundRobin
+    }
+
+    /// The paper's base policy driven by full cache-miss information.
+    pub fn base_mig_rep(params: PolicyParams) -> PolicyChoice {
+        PolicyChoice::Dynamic {
+            params,
+            kind: DynamicPolicyKind::MigRep,
+            metric: MissMetric::full_cache(),
+        }
+    }
+
+    /// Short label for tables and figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::FirstTouch => "FT".into(),
+            PolicyChoice::RoundRobin => "RR".into(),
+            PolicyChoice::Dynamic { kind, metric, .. } => {
+                if metric.rate() == 1 && metric.source() == MissSource::Cache {
+                    kind.to_string()
+                } else {
+                    format!("{kind} [{metric}]")
+                }
+            }
+        }
+    }
+}
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The placement policy.
+    pub policy: PolicyChoice,
+    /// Capture a full miss trace (needed to feed the policy simulator).
+    pub capture_trace: bool,
+    /// TLB shootdown strategy (§7.2.2 ablation).
+    pub shootdown: ShootdownMode,
+    /// Kernel lock granularity (locking ablation).
+    pub granularity: LockGranularity,
+    /// Hot pages collected per pager interrupt (batching ablation).
+    pub batch_pages: usize,
+    /// §7.2.2: use the directory controller's pipelined page copy.
+    pub pipelined_copy: bool,
+    /// §8.4: adapt the trigger threshold at reset-interval boundaries.
+    pub adaptive: Option<AdaptiveTrigger>,
+}
+
+impl RunOptions {
+    /// Defaults: broadcast shootdown, fine locks, 4-page batches, no
+    /// trace capture.
+    pub fn new(policy: PolicyChoice) -> RunOptions {
+        RunOptions {
+            policy,
+            capture_trace: false,
+            shootdown: ShootdownMode::Broadcast,
+            granularity: LockGranularity::Fine,
+            batch_pages: 4,
+            pipelined_copy: false,
+            adaptive: None,
+        }
+    }
+
+    /// Enables trace capture.
+    #[must_use]
+    pub fn with_trace(mut self) -> RunOptions {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Sets the shootdown mode.
+    #[must_use]
+    pub fn with_shootdown(mut self, mode: ShootdownMode) -> RunOptions {
+        self.shootdown = mode;
+        self
+    }
+
+    /// Sets the lock granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: LockGranularity) -> RunOptions {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the pager batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn with_batch_pages(mut self, batch: usize) -> RunOptions {
+        assert!(batch > 0, "batch size must be non-zero");
+        self.batch_pages = batch;
+        self
+    }
+
+    /// Enables the directory controller's pipelined page copy (§7.2.2).
+    #[must_use]
+    pub fn with_pipelined_copy(mut self) -> RunOptions {
+        self.pipelined_copy = true;
+        self
+    }
+
+    /// Enables adaptive trigger control (§8.4 future work). The
+    /// controller starts from the dynamic policy's parameters and adjusts
+    /// the trigger at every counter reset interval.
+    #[must_use]
+    pub fn with_adaptive(mut self, controller: AdaptiveTrigger) -> RunOptions {
+        self.adaptive = Some(controller);
+        self
+    }
+}
+
+/// TLB refill cost (software-reloaded TLB handler, kernel time).
+const TLB_REFILL: Ns = Ns(250);
+
+/// The assembled machine, ready to run one workload under one policy.
+pub struct Machine {
+    spec: WorkloadSpec,
+    opts: RunOptions,
+}
+
+impl Machine {
+    /// Builds a machine for `spec` with `opts`.
+    pub fn new(spec: WorkloadSpec, opts: RunOptions) -> Machine {
+        Machine { spec, opts }
+    }
+
+    /// Runs the workload to completion and reports.
+    pub fn run(self) -> RunReport {
+        Sim::new(self.spec, self.opts).run()
+    }
+}
+
+/// Internal simulation state.
+struct Sim {
+    spec: WorkloadSpec,
+    opts: RunOptions,
+    rng: SmallRng,
+    clocks: Vec<Ns>,
+    cur_pid: Vec<Option<Pid>>,
+    cur_quantum: Vec<u64>,
+    l2: Vec<L2Cache>,
+    tlb: Vec<Tlb>,
+    coherence: CoherenceDir,
+    directory: DirectoryModel,
+    pager: Pager,
+    engine: Option<PolicyEngine>,
+    metric: Option<MissMetric>,
+    rr: Option<RoundRobin>,
+    breakdown: RunBreakdown,
+    trace: Option<TraceBuilder>,
+    pending: Vec<(PageOp, PolicyAction)>,
+    local_lat_sum: Ns,
+    local_lat_n: u64,
+    tlbs_flushed_sum: u64,
+    flush_batches: u64,
+    adaptive: Option<AdaptiveTrigger>,
+    adaptive_epoch: u64,
+    adaptive_snap: (Ns, Ns, Ns),
+}
+
+impl Sim {
+    fn new(spec: WorkloadSpec, opts: RunOptions) -> Sim {
+        let cfg = spec.config.clone();
+        let procs = cfg.procs() as usize;
+        let pager_cfg = PagerConfig::for_machine(cfg.clone())
+            .with_shootdown(opts.shootdown)
+            .with_granularity(opts.granularity)
+            .with_pipelined_copy(opts.pipelined_copy);
+        let (engine, metric, rr) = match &opts.policy {
+            PolicyChoice::FirstTouch => (None, None, None),
+            PolicyChoice::RoundRobin => (None, None, Some(RoundRobin::new(cfg.nodes))),
+            PolicyChoice::Dynamic {
+                params,
+                kind,
+                metric,
+            } => (
+                Some(PolicyEngine::with_procs(*params, *kind, procs)),
+                Some(metric.clone()),
+                None,
+            ),
+        };
+        Sim {
+            rng: SmallRng::seed_from_u64(spec.seed),
+            clocks: vec![Ns::ZERO; procs],
+            cur_pid: vec![None; procs],
+            cur_quantum: vec![u64::MAX; procs],
+            l2: (0..procs).map(|_| L2Cache::new(&cfg)).collect(),
+            tlb: (0..procs).map(|_| Tlb::new(&cfg)).collect(),
+            coherence: CoherenceDir::new(),
+            directory: DirectoryModel::new(&cfg),
+            pager: Pager::new(pager_cfg),
+            engine,
+            metric,
+            rr,
+            breakdown: RunBreakdown::new(),
+            trace: if opts.capture_trace {
+                Some(TraceBuilder::new())
+            } else {
+                None
+            },
+            pending: Vec::new(),
+            local_lat_sum: Ns::ZERO,
+            local_lat_n: 0,
+            tlbs_flushed_sum: 0,
+            flush_batches: 0,
+            adaptive: opts.adaptive.clone(),
+            adaptive_epoch: 0,
+            adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
+            spec,
+            opts,
+        }
+    }
+
+    fn node_of(&self, cpu: usize) -> NodeId {
+        self.spec.config.node_of_proc(ProcId(cpu as u16))
+    }
+
+    /// At reset-interval boundaries, feed the adaptive controller the
+    /// interval's overhead/stall deltas and install its new parameters.
+    fn adaptive_tick(&mut self, now: Ns) {
+        let (Some(controller), Some(engine)) = (&mut self.adaptive, &mut self.engine) else {
+            return;
+        };
+        let epoch = engine.params().epoch_of(now);
+        if epoch <= self.adaptive_epoch {
+            return;
+        }
+        self.adaptive_epoch = epoch;
+        let cur = (
+            self.breakdown.policy_overhead(),
+            self.breakdown.remote_stall(),
+            self.breakdown.local_stall(),
+        );
+        let fb = IntervalFeedback {
+            move_overhead: cur.0 - self.adaptive_snap.0,
+            remote_stall: cur.1 - self.adaptive_snap.1,
+            local_stall: cur.2 - self.adaptive_snap.2,
+        };
+        self.adaptive_snap = cur;
+        engine.set_params(controller.end_interval(fb));
+    }
+
+    fn run(mut self) -> RunReport {
+        let mut refs_left = self.spec.total_refs;
+        let quantum = self.spec.scheduler.quantum();
+        while refs_left > 0 {
+            // The CPU with the smallest clock steps next (deterministic
+            // tie-break by index).
+            let cpu = (0..self.clocks.len())
+                .min_by_key(|&i| (self.clocks[i], i))
+                .expect("at least one cpu");
+            let now = self.clocks[cpu];
+
+            // Re-query the scheduler on quantum boundaries.
+            let q = now.0 / quantum.0;
+            if q != self.cur_quantum[cpu] {
+                self.cur_quantum[cpu] = q;
+                self.adaptive_tick(now);
+                let map = self.spec.scheduler.assignment(now);
+                let pid = map.get(cpu).copied().flatten();
+                if pid != self.cur_pid[cpu] {
+                    // Context switch: no ASIDs, flush the TLB.
+                    self.tlb[cpu].flush();
+                    self.cur_pid[cpu] = pid;
+                    if let Some(p) = pid {
+                        self.pager.set_pid_node(p, self.node_of(cpu));
+                    }
+                }
+            }
+            let Some(pid) = self.cur_pid[cpu] else {
+                // Idle until the next quantum boundary.
+                let next = Ns((q + 1) * quantum.0);
+                self.breakdown.add_idle(next - now);
+                self.clocks[cpu] = next;
+                continue;
+            };
+
+            let access = self.spec.streams[pid.index()].next_ref(&mut self.rng);
+            refs_left -= 1;
+            self.step(cpu, pid, access);
+        }
+        self.finish()
+    }
+
+    /// Simulates one memory reference on `cpu`.
+    fn step(&mut self, cpu: usize, pid: Pid, access: MemAccess) {
+        let compute = self.spec.config.compute_ns_per_ref;
+        let l2_hit = self.spec.config.l2_hit;
+        let local_latency = self.spec.config.local_latency;
+        let remote_latency = self.spec.config.remote_latency;
+        let my_node = self.node_of(cpu);
+        let proc = ProcId(cpu as u16);
+
+        // Compute time between references.
+        self.breakdown.add_busy(access.mode, compute);
+        self.clocks[cpu] += compute;
+
+        // First touch: allocate/map the page. If the whole machine is
+        // out of frames, reclaim replicated pages (the §7.2.3 pressure
+        // response) before giving up.
+        if self.pager.mapping_node(pid, access.page).is_none() {
+            let home = match &mut self.rr {
+                Some(rr) => rr.place(access.page, my_node),
+                None => my_node,
+            };
+            if self.pager.first_touch(pid, access.page, home).is_none() {
+                for n in 0..self.spec.config.nodes {
+                    self.pager.reclaim_replicas_on(NodeId(n), 8);
+                }
+                self.pager
+                    .first_touch(pid, access.page, home)
+                    .expect("machine out of memory even after replica reclaim");
+            }
+        }
+
+        // TLB.
+        if !self.tlb[cpu].access(access.page) {
+            self.breakdown.add_busy(ccnuma_types::Mode::Kernel, TLB_REFILL);
+            self.clocks[cpu] += TLB_REFILL;
+            let rec = self.record_of(cpu, pid, &access, MissSource::Tlb);
+            if let Some(t) = &mut self.trace {
+                t.push(rec);
+            }
+            self.drive_policy(cpu, pid, my_node, proc, &rec);
+        }
+
+        // L2 + coherence.
+        let hit = self.l2[cpu].access(access.page, access.line);
+        if access.kind == AccessKind::Write {
+            for victim in self.coherence.write(proc, access.page, access.line) {
+                self.l2[victim.index()].invalidate(access.page, access.line);
+            }
+        } else if !hit {
+            self.coherence.record_fill(proc, access.page, access.line);
+        }
+
+        if hit {
+            self.breakdown
+                .add_hit_stall(access.mode, access.class, l2_hit);
+            self.clocks[cpu] += l2_hit;
+            return;
+        }
+
+        // Secondary-cache miss: go to memory.
+        let mapped = self
+            .pager
+            .mapping_node(pid, access.page)
+            .expect("mapped above");
+        let remote = mapped != my_node;
+        let base = if remote { remote_latency } else { local_latency };
+        let wait = self.directory.request(self.clocks[cpu], mapped, remote);
+        let latency = base + wait;
+        self.breakdown
+            .add_stall(access.mode, access.class, remote, latency);
+        self.clocks[cpu] += latency;
+        if !remote {
+            self.local_lat_sum += latency;
+            self.local_lat_n += 1;
+        }
+
+        let rec = self.record_of(cpu, pid, &access, MissSource::Cache);
+        if let Some(t) = &mut self.trace {
+            t.push(rec);
+        }
+        self.drive_policy(cpu, pid, my_node, proc, &rec);
+    }
+
+    fn record_of(&self, cpu: usize, pid: Pid, access: &MemAccess, source: MissSource) -> MissRecord {
+        MissRecord {
+            time: self.clocks[cpu],
+            proc: ProcId(cpu as u16),
+            pid,
+            page: access.page,
+            kind: access.kind,
+            mode: access.mode,
+            class: access.class,
+            source,
+        }
+    }
+
+    /// Feeds one miss event to the policy engine and acts on the decision.
+    fn drive_policy(&mut self, cpu: usize, pid: Pid, my_node: NodeId, proc: ProcId, rec: &MissRecord) {
+        let Some(metric) = &mut self.metric else {
+            return;
+        };
+        if !metric.admits(rec) {
+            return;
+        }
+        let engine = self.engine.as_mut().expect("metric implies engine");
+        let loc = self.pager.location_for(pid, rec.page, my_node);
+        let pressure = self.pager.pressure(my_node);
+        let miss = ObservedMiss {
+            now: self.clocks[cpu],
+            proc,
+            node: my_node,
+            page: rec.page,
+            is_write: rec.kind.is_write(),
+        };
+        let action = engine.observe(miss, &loc, pressure);
+        match action {
+            PolicyAction::Nothing(_) => {}
+            PolicyAction::Collapse => {
+                // The pfault path runs immediately, not batched.
+                self.service_now(cpu, &[(PageOp::collapse(rec.page), action)]);
+            }
+            PolicyAction::Remap { to } => {
+                self.service_now(cpu, &[(PageOp::remap(rec.page, pid, to), action)]);
+            }
+            PolicyAction::Migrate { to } => {
+                self.pending.push((PageOp::migrate(rec.page, to), action));
+                if self.pending.len() >= self.opts.batch_pages {
+                    self.flush_pending(cpu);
+                }
+            }
+            PolicyAction::Replicate { at } => {
+                self.pending.push((PageOp::replicate(rec.page, at), action));
+                if self.pending.len() >= self.opts.batch_pages {
+                    self.flush_pending(cpu);
+                }
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, cpu: usize) {
+        let batch = std::mem::take(&mut self.pending);
+        self.service_now(cpu, &batch);
+    }
+
+    /// Runs a pager batch on `cpu`, charging its kernel overhead there.
+    fn service_now(&mut self, cpu: usize, batch: &[(PageOp, PolicyAction)]) {
+        let ops: Vec<PageOp> = batch.iter().map(|(op, _)| *op).collect();
+        let outcomes = self.pager.service_batch(self.clocks[cpu], &ops);
+        let stats = self.pager.last_batch();
+        if stats.flush_ops > 0 {
+            self.tlbs_flushed_sum += stats.tlbs_flushed as u64;
+            self.flush_batches += 1;
+        }
+        for ((op, action), outcome) in batch.iter().zip(outcomes) {
+            match outcome {
+                OpOutcome::Done { latency } => {
+                    self.charge_overhead(cpu, op, latency);
+                    self.shootdown_all(op.page());
+                }
+                OpOutcome::NoPage => {
+                    // Memory-pressure response: reclaim replicas on the
+                    // target node, then retry once.
+                    let target = match *op {
+                        PageOp::Migrate { to, .. } => to,
+                        PageOp::Replicate { at, .. } => at,
+                        _ => unreachable!("only page moves can fail allocation"),
+                    };
+                    let freed = self.pager.reclaim_replicas_on(target, 2);
+                    let retried = if freed > 0 {
+                        self.pager.service_batch(self.clocks[cpu], &[*op])[0]
+                    } else {
+                        OpOutcome::NoPage
+                    };
+                    if let OpOutcome::Done { latency } = retried {
+                        self.charge_overhead(cpu, op, latency);
+                        self.shootdown_all(op.page());
+                    } else if let Some(e) = &mut self.engine {
+                        e.note_no_page(action);
+                    }
+                }
+                OpOutcome::Skipped => {}
+            }
+        }
+    }
+
+    fn charge_overhead(&mut self, cpu: usize, op: &PageOp, latency: Ns) {
+        match op {
+            PageOp::Migrate { .. } => self.breakdown.add_mig_overhead(latency),
+            _ => self.breakdown.add_rep_overhead(latency),
+        }
+        self.clocks[cpu] += latency;
+    }
+
+    /// Removes `page` from every TLB (the mappings changed).
+    fn shootdown_all(&mut self, page: VirtPage) {
+        for tlb in &mut self.tlb {
+            tlb.shootdown(page);
+        }
+    }
+
+    fn finish(mut self) -> RunReport {
+        let sim_time = self.clocks.iter().copied().fold(Ns::ZERO, Ns::max);
+        let cpu_time = self.clocks.iter().copied().sum::<Ns>();
+        let avg_local = if self.local_lat_n == 0 {
+            Ns::ZERO
+        } else {
+            self.local_lat_sum / self.local_lat_n
+        };
+        let avg_tlbs = if self.flush_batches == 0 {
+            0.0
+        } else {
+            self.tlbs_flushed_sum as f64 / self.flush_batches as f64
+        };
+        RunReport {
+            workload: self.spec.name.clone(),
+            policy_label: self.opts.policy.label(),
+            breakdown: self.breakdown,
+            policy_stats: self.engine.as_ref().map(|e| *e.stats()),
+            cost_book: self.pager.book().clone(),
+            contention: *self.directory.stats(),
+            max_occupancy: self.directory.max_occupancy(sim_time),
+            sim_time,
+            cpu_time,
+            trace: self.trace.take().map(TraceBuilder::finish),
+            distinct_pages: self.pager.hash().len() as u64,
+            replica_frames_peak: self.pager.hash().replica_frames_peak(),
+            replication_space_overhead_pct: self.pager.replication_space_overhead_pct(),
+            frames_used: self.pager.frames().used_total(),
+            lock_wait: self.pager.locks().total_wait(),
+            lock_contention_rate: self.pager.locks().contention_rate(),
+            avg_local_miss_latency: avg_local,
+            avg_tlbs_flushed: avg_tlbs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_workloads::{Scale, WorkloadKind};
+
+    fn quick(kind: WorkloadKind, policy: PolicyChoice) -> RunReport {
+        Machine::new(kind.build(Scale::quick()), RunOptions::new(policy)).run()
+    }
+
+    #[test]
+    fn first_touch_run_produces_sane_breakdown() {
+        let r = quick(WorkloadKind::Raytrace, PolicyChoice::first_touch());
+        assert_eq!(r.policy_label, "FT");
+        assert!(r.breakdown.total() > Ns::ZERO);
+        assert!(r.breakdown.remote_misses() > 0, "8 nodes: most misses remote");
+        assert!(r.breakdown.local_misses() > 0);
+        assert!(r.policy_stats.is_none());
+        assert!(r.distinct_pages > 500);
+        assert!(r.sim_time > Ns::ZERO);
+    }
+
+    #[test]
+    fn round_robin_spreads_pages() {
+        let r = quick(WorkloadKind::Raytrace, PolicyChoice::round_robin());
+        // Under RR on 8 nodes roughly 1/8 of misses are local.
+        let pct = r.breakdown.pct_local_misses();
+        assert!((5.0..25.0).contains(&pct), "RR local% = {pct}");
+    }
+
+    #[test]
+    fn dynamic_policy_moves_pages_and_improves_locality() {
+        let ft = quick(WorkloadKind::Raytrace, PolicyChoice::first_touch());
+        // Quick runs are short; lower the trigger so pages heat up.
+        let params = PolicyParams::base().with_trigger(16);
+        let mr = quick(WorkloadKind::Raytrace, PolicyChoice::base_mig_rep(params));
+        let stats = mr.policy_stats.expect("dynamic run has stats");
+        assert!(stats.hot_events > 0, "pages must heat up");
+        assert!(
+            stats.replications > 0,
+            "raytrace's read-shared scene must replicate: {stats:?}"
+        );
+        assert!(
+            mr.breakdown.pct_local_misses() > ft.breakdown.pct_local_misses(),
+            "Mig/Rep locality {} <= FT {}",
+            mr.breakdown.pct_local_misses(),
+            ft.breakdown.pct_local_misses()
+        );
+        assert!(mr.cost_book.total() > Ns::ZERO);
+        assert!(mr.replica_frames_peak > 0);
+    }
+
+    #[test]
+    fn trace_capture_contains_both_sources() {
+        let spec = WorkloadKind::Database.build(Scale::quick());
+        let r = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch()).with_trace()).run();
+        let t = r.trace.expect("trace requested");
+        assert!(t.cache_misses().count() > 0);
+        assert!(t.tlb_misses().count() > 0);
+        // Timestamps are sorted.
+        assert!(t.as_slice().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn database_idles() {
+        let r = quick(WorkloadKind::Database, PolicyChoice::first_touch());
+        let idle_pct = r.breakdown.idle_pct_of_total();
+        assert!((20.0..55.0).contains(&idle_pct), "idle {idle_pct}%");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
+        let b = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-processor TLB model.
+
+use ccnuma_types::{MachineConfig, VirtPage};
+use std::collections::HashMap;
+
+/// A 64-entry (configurable) TLB with FIFO replacement.
+///
+/// Misses are what a software-reloaded-TLB OS can observe (the FT/ST
+/// metrics of §8.3); shootdowns remove a single page's entry; context
+/// switches flush everything (no ASIDs, like the paper's IRIX).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_machine::Tlb;
+/// use ccnuma_types::{MachineConfig, VirtPage};
+///
+/// let mut tlb = Tlb::new(&MachineConfig::cc_numa());
+/// assert!(!tlb.access(VirtPage(1)));
+/// assert!(tlb.access(VirtPage(1)));
+/// tlb.shootdown(VirtPage(1));
+/// assert!(!tlb.access(VirtPage(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    /// page -> slot index.
+    map: HashMap<VirtPage, usize>,
+    /// FIFO ring of resident pages.
+    ring: Vec<Option<VirtPage>>,
+    head: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// A TLB with the machine's entry count.
+    pub fn new(cfg: &MachineConfig) -> Tlb {
+        let capacity = cfg.tlb_entries as usize;
+        Tlb {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            ring: vec![None; capacity],
+            head: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `page`; returns `true` on hit. On a miss the page is
+    /// loaded, evicting the oldest entry.
+    pub fn access(&mut self, page: VirtPage) -> bool {
+        if self.map.contains_key(&page) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if let Some(old) = self.ring[self.head].replace(page) {
+            self.map.remove(&old);
+        }
+        self.map.insert(page, self.head);
+        self.head = (self.head + 1) % self.capacity;
+        false
+    }
+
+    /// Removes `page`'s entry if resident (TLB shootdown for one page).
+    pub fn shootdown(&mut self, page: VirtPage) {
+        if let Some(slot) = self.map.remove(&page) {
+            self.ring[slot] = None;
+        }
+    }
+
+    /// Flushes the whole TLB (context switch).
+    pub fn flush(&mut self) {
+        self.map.clear();
+        self.ring.iter_mut().for_each(|s| *s = None);
+        self.head = 0;
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb() -> Tlb {
+        Tlb::new(&MachineConfig::cc_numa())
+    }
+
+    #[test]
+    fn fits_64_pages() {
+        let mut t = tlb();
+        for p in 0..64u64 {
+            assert!(!t.access(VirtPage(p)));
+        }
+        for p in 0..64u64 {
+            assert!(t.access(VirtPage(p)));
+        }
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut t = tlb();
+        for p in 0..65u64 {
+            t.access(VirtPage(p));
+        }
+        assert!(!t.access(VirtPage(0)), "oldest entry evicted");
+        // The refill of page 0 itself evicted page 1 (next FIFO slot);
+        // page 2 is still resident.
+        assert!(t.access(VirtPage(2)), "third entry still resident");
+        assert!(!t.access(VirtPage(1)), "page 1 evicted by the refill");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tlb();
+        for p in 0..10u64 {
+            t.access(VirtPage(p));
+        }
+        t.flush();
+        assert!(t.is_empty());
+        assert!(!t.access(VirtPage(3)));
+    }
+
+    #[test]
+    fn shootdown_is_precise() {
+        let mut t = tlb();
+        t.access(VirtPage(1));
+        t.access(VirtPage(2));
+        t.shootdown(VirtPage(1));
+        assert!(!t.access(VirtPage(1)));
+        assert!(t.access(VirtPage(2)));
+        // shootdown of a non-resident page is a no-op
+        t.shootdown(VirtPage(99));
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut t = tlb();
+        t.access(VirtPage(1));
+        t.access(VirtPage(1));
+        t.access(VirtPage(2));
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.hits(), 1);
+    }
+}

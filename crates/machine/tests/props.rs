@@ -1,0 +1,116 @@
+//! Property-based tests for the machine simulator's components.
+
+use ccnuma_machine::{CoherenceDir, DirectoryModel, L2Cache, Tlb};
+use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, VirtPage};
+use proptest::prelude::*;
+
+proptest! {
+    /// The L2 obeys inclusion of recency: an access immediately followed
+    /// by the same access always hits, and hit+miss counts equal accesses.
+    #[test]
+    fn l2_rehit_and_counts(accesses in proptest::collection::vec((0u64..5000, 0u16..32), 1..500)) {
+        let cfg = MachineConfig::cc_numa();
+        let mut l2 = L2Cache::new(&cfg);
+        let mut n = 0u64;
+        for (page, line) in accesses {
+            l2.access(VirtPage(page), line);
+            prop_assert!(l2.access(VirtPage(page), line), "immediate re-access must hit");
+            n += 2;
+        }
+        prop_assert_eq!(l2.hits() + l2.misses(), n);
+        prop_assert!(l2.miss_ratio() <= 0.5);
+    }
+
+    /// The TLB never holds more than its capacity and its counters add up.
+    #[test]
+    fn tlb_capacity_respected(pages in proptest::collection::vec(0u64..500, 1..400)) {
+        let cfg = MachineConfig::cc_numa();
+        let mut tlb = Tlb::new(&cfg);
+        for p in &pages {
+            tlb.access(VirtPage(*p));
+            prop_assert!(tlb.len() <= 64);
+        }
+        prop_assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
+    }
+
+    /// Coherence: after any sequence of fills and writes, a line has at
+    /// most one holder immediately after a write, and holder sets only
+    /// contain processors that actually filled or wrote.
+    #[test]
+    fn coherence_write_leaves_single_holder(
+        events in proptest::collection::vec((0u16..8, 0u64..16, 0u16..4, proptest::bool::ANY), 1..300),
+    ) {
+        let mut dir = CoherenceDir::new();
+        for (proc, page, line, is_write) in events {
+            let proc = ProcId(proc);
+            if is_write {
+                let victims = dir.write(proc, VirtPage(page), line);
+                prop_assert!(!victims.contains(&proc), "writer invalidated itself");
+                prop_assert_eq!(dir.holders_of(VirtPage(page), line), vec![proc]);
+            } else {
+                dir.record_fill(proc, VirtPage(page), line);
+                prop_assert!(dir.holders_of(VirtPage(page), line).contains(&proc));
+            }
+        }
+    }
+
+    /// Directory waits are FIFO-consistent: total wait equals the sum of
+    /// the returned waits, and requests to distinct nodes never interfere.
+    #[test]
+    fn directory_nodes_independent(
+        reqs in proptest::collection::vec((0u64..1_000_000, 0u16..8, proptest::bool::ANY), 1..300),
+    ) {
+        let cfg = MachineConfig::cc_numa();
+        let mut one = DirectoryModel::new(&cfg);
+        let mut total = Ns::ZERO;
+        for (t, node, remote) in &reqs {
+            total += one.request(Ns(*t), NodeId(*node), *remote);
+        }
+        prop_assert_eq!(one.stats().total_wait, total);
+        prop_assert_eq!(
+            one.stats().remote_requests + one.stats().local_requests,
+            reqs.len() as u64
+        );
+        // Re-running each node's sub-stream alone gives the same waits.
+        for n in 0..8u16 {
+            let mut solo = DirectoryModel::new(&cfg);
+            let mut solo_total = Ns::ZERO;
+            for (t, node, remote) in &reqs {
+                if *node == n {
+                    solo_total += solo.request(Ns(*t), NodeId(n), *remote);
+                }
+            }
+            let mut joint = DirectoryModel::new(&cfg);
+            let mut joint_node_total = Ns::ZERO;
+            for (t, node, remote) in &reqs {
+                let w = joint.request(Ns(*t), NodeId(*node), *remote);
+                if *node == n {
+                    joint_node_total += w;
+                }
+            }
+            prop_assert_eq!(solo_total, joint_node_total, "node {} interfered", n);
+        }
+    }
+
+    /// Shootdown of arbitrary subsets leaves exactly the untouched pages
+    /// resident.
+    #[test]
+    fn tlb_shootdown_is_exact(resident in proptest::collection::vec(0u64..64, 1..40), kill in proptest::collection::vec(0u64..64, 0..40)) {
+        let cfg = MachineConfig::cc_numa();
+        let mut tlb = Tlb::new(&cfg);
+        // Insert up to 40 distinct pages (within capacity 64: no eviction).
+        let mut resident_set: Vec<u64> = resident.clone();
+        resident_set.sort();
+        resident_set.dedup();
+        for p in &resident_set {
+            tlb.access(VirtPage(*p));
+        }
+        for p in &kill {
+            tlb.shootdown(VirtPage(*p));
+        }
+        for p in &resident_set {
+            let hit = tlb.access(VirtPage(*p));
+            prop_assert_eq!(hit, !kill.contains(p), "page {} residency wrong", p);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Scenario tests for the policy simulator: constructed traces with
+//! known-optimal behaviour.
+
+use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
+use ccnuma_polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+use ccnuma_trace::{MissRecord, Trace, TraceBuilder};
+use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+
+fn cfg() -> PolsimConfig {
+    PolsimConfig::section8(8)
+}
+
+/// A page read by all eight processors in a pseudo-random order (a
+/// strictly periodic order would alias with the deterministic 1-in-N
+/// sampler: with round-robin procs and rate 10, gcd(10, 8) = 2 means the
+/// odd processors are never sampled — a real artifact worth avoiding in
+/// a correctness test).
+fn all_shared_read_trace(per_proc: u64) -> Trace {
+    let mut b = TraceBuilder::new();
+    let mut t = 0;
+    let mut lcg: u64 = 12345;
+    for _ in 0..per_proc * 8 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let proc = ProcId((lcg >> 33) as u16 % 8);
+        b.push(MissRecord::user_data_read(Ns(t), proc, Pid(proc.0 as u32), VirtPage(1)));
+        t += 500;
+    }
+    b.finish()
+}
+
+#[test]
+fn fully_shared_page_ends_replicated_everywhere() {
+    let trace = all_shared_read_trace(600);
+    let r = simulate(&trace, &cfg(), SimPolicy::base_dynamic(), TraceFilter::All);
+    // One replica per non-home node, exactly.
+    assert_eq!(r.replications, 7, "replications {}", r.replications);
+    assert_eq!(r.migrations, 0);
+    // Once fully replicated, everything is local.
+    assert!(r.pct_local_misses() > 60.0, "{}", r.pct_local_misses());
+}
+
+#[test]
+fn post_facto_is_optimal_for_single_home_traces() {
+    // Every miss from proc 6: PF must achieve 100% locality, and no
+    // policy can beat it.
+    let trace: Trace = (0..1000u64)
+        .map(|i| MissRecord::user_data_read(Ns(i * 500), ProcId(6), Pid(6), VirtPage(i % 20)))
+        .collect();
+    let pf = simulate(&trace, &cfg(), SimPolicy::post_facto(), TraceFilter::All);
+    assert_eq!(pf.remote_misses, 0);
+    for policy in SimPolicy::figure6_set() {
+        let r = simulate(&trace, &cfg(), policy, TraceFilter::All);
+        assert!(r.total() >= pf.total(), "{} beat PF", r.label);
+    }
+}
+
+#[test]
+fn migration_follows_a_moving_process() {
+    // A process (pid 1) reads its page heavily from proc 2, then "moves"
+    // to proc 5 and keeps reading. The page should migrate twice at most
+    // (once per reset interval) and end up local.
+    let mut b = TraceBuilder::new();
+    let mut t = 0u64;
+    for _ in 0..300 {
+        b.push(MissRecord::user_data_read(Ns(t), ProcId(2), Pid(1), VirtPage(9)));
+        t += 300_000; // spread across intervals
+    }
+    for _ in 0..300 {
+        b.push(MissRecord::user_data_read(Ns(t), ProcId(5), Pid(1), VirtPage(9)));
+        t += 300_000;
+    }
+    let r = simulate(&b.finish(), &cfg(), SimPolicy::base_dynamic(), TraceFilter::All);
+    assert!(r.migrations >= 1, "page never followed the process");
+    assert!(
+        r.pct_local_misses() > 55.0,
+        "locality {} too low",
+        r.pct_local_misses()
+    );
+}
+
+#[test]
+fn sampled_metric_sees_proportionally_fewer_events() {
+    let trace = all_shared_read_trace(600);
+    let full = SimPolicy::Dynamic {
+        params: PolicyParams::base(),
+        kind: DynamicPolicyKind::MigRep,
+        metric: MissMetric::full_cache(),
+    };
+    let sampled = SimPolicy::Dynamic {
+        params: PolicyParams::base().with_trigger(13), // 128/10 rounded up
+        kind: DynamicPolicyKind::MigRep,
+        metric: MissMetric::sampled_cache(10),
+    };
+    let rf = simulate(&trace, &cfg(), full, TraceFilter::All);
+    let rs = simulate(&trace, &cfg(), sampled, TraceFilter::All);
+    let sf = rf.policy_stats.expect("dynamic");
+    let ss = rs.policy_stats.expect("dynamic");
+    // The sampled engine observed ~1/10 the misses.
+    assert!(ss.misses_observed * 8 < sf.misses_observed);
+    // Yet achieves comparable locality (§8.3's claim).
+    assert!((rf.pct_local_misses() - rs.pct_local_misses()).abs() < 15.0);
+}
+
+#[test]
+fn other_time_flows_through_unchanged() {
+    let trace = all_shared_read_trace(10);
+    let c = cfg().with_other_time(Ns::from_ms(42));
+    for policy in SimPolicy::figure6_set() {
+        let r = simulate(&trace, &c, policy, TraceFilter::All);
+        assert_eq!(r.other_time, Ns::from_ms(42), "{}", r.label);
+    }
+}
+
+#[test]
+fn kernel_only_filter_sees_no_user_pages() {
+    let mut b = TraceBuilder::new();
+    for i in 0..100u64 {
+        b.push(MissRecord::user_data_read(Ns(i * 100), ProcId(0), Pid(0), VirtPage(i % 4)));
+    }
+    let r = simulate(&b.finish(), &cfg(), SimPolicy::first_touch(), TraceFilter::KernelOnly);
+    assert_eq!(r.local_misses + r.remote_misses, 0);
+    assert_eq!(r.stall(), Ns::ZERO);
+}
+
+#[test]
+fn figure6_policy_ordering_on_mixed_trace() {
+    // A mixed trace: a shared read-only region plus per-proc private
+    // pages first-touched by the wrong processor.
+    let mut b = TraceBuilder::new();
+    let mut t = 0u64;
+    // Shared region: pages 0..8 read by everyone (processor cycles fast,
+    // page cycles slowly, so every processor touches every page often
+    // enough to cross the trigger).
+    for i in 0..40_000u64 {
+        let proc = ProcId((i % 8) as u16);
+        let page = VirtPage((i / 8) % 8);
+        b.push(MissRecord::user_data_read(Ns(t), proc, Pid(proc.0 as u32), page));
+        t += 400;
+    }
+    // Private pages 100..108: page 100+p used by proc p but first touched
+    // by proc 0. Enough post-migration misses remain for the 350µs move
+    // to amortize.
+    for p in 0..8u16 {
+        b.push(MissRecord::user_data_read(Ns(t), ProcId(0), Pid(0), VirtPage(100 + p as u64)));
+        t += 400;
+    }
+    for i in 0..16_000u64 {
+        let p = (i % 8) as u16;
+        b.push(MissRecord::user_data_read(Ns(t), ProcId(p), Pid(p as u32), VirtPage(100 + p as u64)));
+        t += 400;
+    }
+    let trace = b.finish();
+    let get = |p: SimPolicy| simulate(&trace, &cfg(), p, TraceFilter::All).total();
+    // Note: round-robin is *accidentally optimal* on this constructed
+    // trace (pages are first-touched in an order that aligns the RR
+    // cursor with each page's eventual user), so first-touch — which is
+    // genuinely wrong here by construction — is the baseline.
+    let ft = get(SimPolicy::first_touch());
+    let migr = get(SimPolicy::migration_only());
+    let repl = get(SimPolicy::replication_only());
+    let migrep = get(SimPolicy::base_dynamic());
+    // The combined policy dominates both restricted policies, which in
+    // turn beat first touch (the Figure 6 story).
+    assert!(migrep <= migr, "Mig/Rep {migrep} > Migr {migr}");
+    assert!(migrep <= repl, "Mig/Rep {migrep} > Repl {repl}");
+    assert!(migr < ft, "Migr {migr} >= FT {ft}");
+    assert!(repl < ft, "Repl {repl} >= FT {ft}");
+}

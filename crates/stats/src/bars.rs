@@ -1,0 +1,188 @@
+//! Stacked horizontal bar rendering for the figure reproductions.
+
+use core::fmt;
+
+/// A stacked horizontal bar chart rendered in ASCII, used by the `repro`
+/// harness to echo the paper's normalized execution-time figures
+/// (Figures 3, 5, 6, 7, 8, 9).
+///
+/// Each bar is a labelled stack of named segments; bars are scaled so the
+/// largest total fills [`width`](BarChart::with_width) characters. An
+/// optional annotation (the paper prints "% misses local") is appended
+/// after each bar.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_stats::BarChart;
+///
+/// let mut c = BarChart::new(vec!["stall", "other"]);
+/// c.bar("FT", vec![60.0, 40.0], Some("36".into()));
+/// c.bar("Mig/Rep", vec![20.0, 40.0], Some("87".into()));
+/// let s = c.to_string();
+/// assert!(s.contains("FT"));
+/// assert!(s.contains("Mig/Rep"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    segment_names: Vec<String>,
+    bars: Vec<(String, Vec<f64>, Option<String>)>,
+    width: usize,
+}
+
+/// Glyphs used to draw segments, cycled in order.
+const GLYPHS: [char; 6] = ['#', '=', ':', '.', '%', '~'];
+
+impl BarChart {
+    /// Creates a chart whose bars stack the given segments in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_names` is empty.
+    pub fn new<S: Into<String>>(segment_names: Vec<S>) -> BarChart {
+        let segment_names: Vec<String> = segment_names.into_iter().map(Into::into).collect();
+        assert!(!segment_names.is_empty(), "need at least one segment");
+        BarChart {
+            segment_names,
+            bars: Vec::new(),
+            width: 60,
+        }
+    }
+
+    /// Sets the character width of the longest bar (default 60).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> BarChart {
+        assert!(width > 0, "width must be non-zero");
+        self.width = width;
+        self
+    }
+
+    /// Appends a bar with one value per segment and an optional
+    /// annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the segment count or contains a
+    /// negative or non-finite value.
+    pub fn bar<S: Into<String>>(
+        &mut self,
+        label: S,
+        values: Vec<f64>,
+        annotation: Option<String>,
+    ) -> &mut BarChart {
+        assert_eq!(
+            values.len(),
+            self.segment_names.len(),
+            "bar has {} values for {} segments",
+            values.len(),
+            self.segment_names.len()
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "bar values must be finite and non-negative"
+        );
+        self.bars.push((label.into(), values, annotation));
+        self
+    }
+
+    /// Number of bars so far.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True when the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // legend
+        write!(f, "legend:")?;
+        for (i, name) in self.segment_names.iter().enumerate() {
+            write!(f, " {}={}", GLYPHS[i % GLYPHS.len()], name)?;
+        }
+        writeln!(f)?;
+        let max_total = self
+            .bars
+            .iter()
+            .map(|(_, v, _)| v.iter().sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+        for (label, values, annotation) in &self.bars {
+            write!(f, "{label:<label_w$} |")?;
+            let total: f64 = values.iter().sum();
+            if max_total > 0.0 {
+                for (i, v) in values.iter().enumerate() {
+                    let chars = (v / max_total * self.width as f64).round() as usize;
+                    let g = GLYPHS[i % GLYPHS.len()];
+                    for _ in 0..chars {
+                        write!(f, "{g}")?;
+                    }
+                }
+            }
+            write!(f, " {total:.1}")?;
+            if let Some(a) = annotation {
+                write!(f, "  [{a}]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new(vec!["a", "b"]).with_width(10);
+        c.bar("x", vec![5.0, 5.0], None);
+        c.bar("y", vec![2.5, 2.5], Some("note".into()));
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("legend:"));
+        // x is the longest bar: 5 '#' + 5 '='
+        assert!(lines[1].contains("#####====="), "{s}");
+        // y is half: 2-3 of each glyph
+        assert!(lines[2].contains("[note]"));
+        assert!(lines[2].contains("5.0"));
+    }
+
+    #[test]
+    fn empty_chart_renders_legend_only() {
+        let c = BarChart::new(vec!["only"]);
+        assert!(c.is_empty());
+        let s = c.to_string();
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn zero_bars_are_fine() {
+        let mut c = BarChart::new(vec!["a"]);
+        c.bar("z", vec![0.0], None);
+        let s = c.to_string();
+        assert!(s.contains("z |"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments")]
+    fn wrong_arity_panics() {
+        let mut c = BarChart::new(vec!["a", "b"]);
+        c.bar("x", vec![1.0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_values_panic() {
+        let mut c = BarChart::new(vec!["a"]);
+        c.bar("x", vec![f64::NAN], None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Execution-time accounting and report rendering.
+//!
+//! The paper's tables and figures all slice simulated execution time the
+//! same way: busy time vs. memory stall, user vs. kernel, instruction vs.
+//! data, local vs. remote, plus the kernel overhead spent migrating and
+//! replicating pages. [`RunBreakdown`] accumulates those slices;
+//! [`Table`] and [`BarChart`] render them as aligned ASCII for the
+//! `repro` harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccnuma_stats::RunBreakdown;
+//! use ccnuma_types::{Mode, Ns, RefClass};
+//!
+//! let mut b = RunBreakdown::new();
+//! b.add_busy(Mode::User, Ns(700));
+//! b.add_stall(Mode::User, RefClass::Data, true, Ns(300));
+//! assert_eq!(b.total(), Ns(1000));
+//! assert_eq!(b.remote_stall(), Ns(300));
+//! assert_eq!(b.stall_pct_of_nonidle(Mode::User, RefClass::Data), 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bars;
+mod breakdown;
+mod table;
+
+pub use bars::BarChart;
+pub use breakdown::RunBreakdown;
+pub use table::{f1, Table};

@@ -1,0 +1,179 @@
+//! Aligned ASCII table rendering for the `repro` harness.
+
+use core::fmt;
+
+/// A simple right-aligned ASCII table.
+///
+/// The first column (row label) is left-aligned, all others right-aligned,
+/// matching the look of the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_stats::Table;
+///
+/// let mut t = Table::new(vec!["Workload", "Hot", "%Migr"]);
+/// t.row(vec!["Engr.".into(), "7728".into(), "55".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Workload"));
+/// assert!(s.contains("7728"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for (i, width) in w.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("-+-")?;
+                }
+                write!(f, "{:-<width$}", "", width = width)?;
+            }
+            writeln!(f)
+        };
+        // header
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            if i == 0 {
+                write!(f, "{:<width$}", h, width = w[i])?;
+            } else {
+                write!(f, "{:>width$}", h, width = w[i])?;
+            }
+        }
+        writeln!(f)?;
+        line(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" | ")?;
+                }
+                if i == 0 {
+                    write!(f, "{:<width$}", cell, width = w[i])?;
+                } else {
+                    write!(f, "{:>width$}", cell, width = w[i])?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with one decimal place — the paper's usual precision.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ccnuma_stats::f1(3.14), "3.1");
+/// ```
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "x"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(lines[1].contains('+'));
+        assert!(lines[3].starts_with("longer"));
+        assert!(lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn f1_rounds() {
+        assert_eq!(f1(3.04159), "3.0");
+        assert_eq!(f1(29.96), "30.0");
+    }
+}

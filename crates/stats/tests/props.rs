@@ -1,0 +1,111 @@
+//! Property-based tests for breakdowns and renderers.
+
+use ccnuma_stats::{BarChart, RunBreakdown, Table};
+use ccnuma_types::{Mode, Ns, RefClass};
+use proptest::prelude::*;
+
+fn arb_breakdown() -> impl Strategy<Value = RunBreakdown> {
+    (
+        proptest::collection::vec((0u8..2, 0u8..2, proptest::bool::ANY, 1u64..10_000), 0..50),
+        0u64..10_000,
+        0u64..10_000,
+        0u64..10_000,
+        0u64..10_000,
+    )
+        .prop_map(|(stalls, busy_u, busy_k, idle, hits)| {
+            let mut b = RunBreakdown::new();
+            b.add_busy(Mode::User, Ns(busy_u));
+            b.add_busy(Mode::Kernel, Ns(busy_k));
+            b.add_idle(Ns(idle));
+            b.add_hit_stall(Mode::User, RefClass::Data, Ns(hits));
+            for (m, c, remote, t) in stalls {
+                let mode = if m == 0 { Mode::User } else { Mode::Kernel };
+                let class = if c == 0 { RefClass::Instr } else { RefClass::Data };
+                b.add_stall(mode, class, remote, Ns(t));
+            }
+            b
+        })
+}
+
+proptest! {
+    /// Total always decomposes exactly into its published parts.
+    #[test]
+    fn total_decomposes(b in arb_breakdown()) {
+        prop_assert_eq!(
+            b.total(),
+            b.other_incl_hits() + b.local_stall() + b.remote_stall()
+                + b.policy_overhead() + b.idle()
+        );
+        prop_assert_eq!(b.non_idle() + b.idle(), b.total());
+        prop_assert_eq!(b.total_stall(), b.local_stall() + b.remote_stall());
+    }
+
+    /// Mode percentages plus idle always sum to 100 (when total > 0).
+    #[test]
+    fn mode_percentages_sum_to_100(b in arb_breakdown()) {
+        if b.total() > Ns::ZERO {
+            let sum = b.mode_pct_of_total(Mode::User)
+                + b.mode_pct_of_total(Mode::Kernel)
+                + b.idle_pct_of_total();
+            prop_assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+        }
+    }
+
+    /// Merging is associative with respect to totals: merge(a, b) has the
+    /// sum of the parts.
+    #[test]
+    fn merge_adds_totals(a in arb_breakdown(), b in arb_breakdown()) {
+        let mut m = a;
+        m.merge(&b);
+        prop_assert_eq!(m.total(), a.total() + b.total());
+        prop_assert_eq!(m.local_misses(), a.local_misses() + b.local_misses());
+        prop_assert_eq!(m.remote_misses(), a.remote_misses() + b.remote_misses());
+        prop_assert_eq!(m.hit_stall_total(), a.hit_stall_total() + b.hit_stall_total());
+        // Merging an empty breakdown is the identity.
+        let mut id = a;
+        id.merge(&RunBreakdown::new());
+        prop_assert_eq!(id, a);
+    }
+
+    /// Tables render a rectangle: every line has the same width, and the
+    /// line count is rows + 2.
+    #[test]
+    fn table_renders_rectangular(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9]{0,12}", 3..=3), 0..20),
+    ) {
+        let mut t = Table::new(vec!["one", "two", "three"]);
+        for r in &rows {
+            t.row(r.clone());
+        }
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 2);
+        let w = lines[0].len();
+        prop_assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    /// Bar charts scale to the configured width: no rendered bar exceeds
+    /// width + rounding slack.
+    #[test]
+    fn bars_respect_width(values in proptest::collection::vec((0.0f64..1e6, 0.0f64..1e6), 1..12), width in 5usize..80) {
+        let mut c = BarChart::new(vec!["a", "b"]).with_width(width);
+        for (i, (x, y)) in values.iter().enumerate() {
+            c.bar(format!("bar{i}"), vec![*x, *y], None);
+        }
+        let text = c.to_string();
+        for line in text.lines().skip(1) {
+            let bar_part: String = line
+                .chars()
+                .skip_while(|ch| *ch != '|')
+                .skip(1)
+                .take_while(|ch| *ch == '#' || *ch == '=')
+                .collect();
+            prop_assert!(
+                bar_part.len() <= width + 2,
+                "bar too long: {} > {width}",
+                bar_part.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Plot-friendly CSV export.
+//!
+//! The `repro` harness prints ASCII; for regenerating the paper's figures
+//! with an external plotting tool, traces and read-chain series can be
+//! written as CSV.
+
+use crate::{ChainSummary, Trace};
+use std::io::{self, Write};
+
+/// Writes a trace as CSV with a header row:
+/// `time_ns,proc,pid,page,kind,mode,class,source`.
+///
+/// The writer can be passed by `&mut` reference thanks to the blanket
+/// `Write` impl.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{export::write_csv, MissRecord, Trace};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace: Trace = [MissRecord::user_data_read(Ns(5), ProcId(1), Pid(2), VirtPage(3))]
+///     .into_iter()
+///     .collect();
+/// let mut buf = Vec::new();
+/// write_csv(&mut buf, &trace)?;
+/// let text = String::from_utf8(buf)?;
+/// assert!(text.starts_with("time_ns,proc,pid,page,kind,mode,class,source\n"));
+/// assert!(text.contains("5,1,2,3,read,user,data,cache"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    writeln!(w, "time_ns,proc,pid,page,kind,mode,class,source")?;
+    for r in trace.iter() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            r.time.0, r.proc.0, r.pid.0, r.page.0, r.kind, r.mode, r.class, r.source
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a Figure 4 read-chain series as CSV:
+/// `chain_length_at_least,fraction`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{export::write_chain_csv, read_chains, MissRecord, Trace};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace: Trace = (0..8)
+///     .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(1)))
+///     .collect();
+/// let summary = read_chains(&trace).summary();
+/// let mut buf = Vec::new();
+/// write_chain_csv(&mut buf, &summary)?;
+/// assert!(String::from_utf8(buf)?.lines().count() == 12); // header + 11 points
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_chain_csv<W: Write>(mut w: W, summary: &ChainSummary) -> io::Result<()> {
+    writeln!(w, "chain_length_at_least,fraction")?;
+    for (threshold, fraction) in summary.points() {
+        writeln!(w, "{threshold},{fraction}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_chains, MissRecord};
+    use ccnuma_types::{Mode, Ns, Pid, ProcId, VirtPage};
+
+    #[test]
+    fn csv_has_one_line_per_record_plus_header() {
+        let trace: Trace = (0..5)
+            .map(|i| MissRecord::user_data_write(Ns(i), ProcId(2), Pid(7), VirtPage(i * 3)))
+            .collect();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("0,2,7,0,write,user,data,cache"));
+    }
+
+    #[test]
+    fn csv_encodes_all_flag_combinations() {
+        let mut k = MissRecord::user_instr(Ns(1), ProcId(0), Pid(0), VirtPage(9));
+        k.mode = Mode::Kernel;
+        let trace: Trace = [k.as_tlb()].into_iter().collect();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trace).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1,0,0,9,read,kernel,instr,tlb"));
+    }
+
+    #[test]
+    fn chain_csv_matches_summary() {
+        let trace: Trace = (0..100)
+            .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(1)))
+            .collect();
+        let summary = read_chains(&trace).summary();
+        let mut buf = Vec::new();
+        write_chain_csv(&mut buf, &summary).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // chains of >= 64 hold all 100 misses -> fraction 1
+        assert!(text.contains("64,1"));
+        // >= 128 holds none
+        assert!(text.contains("128,0"));
+    }
+
+    #[test]
+    fn empty_trace_yields_header_only() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &Trace::new()).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+}

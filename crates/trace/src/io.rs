@@ -1,0 +1,258 @@
+//! Compact binary persistence for traces.
+//!
+//! Each record is 24 bytes: time (u64 LE), page (u64 LE), pid (u32 LE),
+//! proc (u16 LE), flags (u8), pad (u8). The stream is prefixed with a magic
+//! string, a format version, and a record count so truncation is detected.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccnuma_trace::{io::{read_trace, write_trace}, MissRecord, Trace};
+//! use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace: Trace = (0..4)
+//!     .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(i)))
+//!     .collect();
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, &trace)?;
+//! let back = read_trace(&mut buf.as_slice())?;
+//! assert_eq!(back, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{MissRecord, MissSource, Trace, TraceBuilder};
+use ccnuma_types::{AccessKind, Mode, Ns, Pid, ProcId, RefClass, VirtPage};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CCNT";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a trace stream.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// The stream has an unsupported format version.
+    BadVersion(u32),
+    /// A record's flag byte contains bits outside the defined set.
+    BadFlags(u8),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => f.write_str("not a trace stream (bad magic)"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::BadFlags(b) => write!(f, "invalid record flags {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn flags_of(r: &MissRecord) -> u8 {
+    let mut f = 0u8;
+    if r.kind.is_write() {
+        f |= 1;
+    }
+    if r.mode.is_kernel() {
+        f |= 2;
+    }
+    if r.class.is_instr() {
+        f |= 4;
+    }
+    if r.source == MissSource::Tlb {
+        f |= 8;
+    }
+    f
+}
+
+fn record_of(time: u64, page: u64, pid: u32, proc: u16, flags: u8) -> Result<MissRecord, ReadTraceError> {
+    if flags & !0x0f != 0 {
+        return Err(ReadTraceError::BadFlags(flags));
+    }
+    Ok(MissRecord {
+        time: Ns(time),
+        page: VirtPage(page),
+        pid: Pid(pid),
+        proc: ProcId(proc),
+        kind: if flags & 1 != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        mode: if flags & 2 != 0 { Mode::Kernel } else { Mode::User },
+        class: if flags & 4 != 0 {
+            RefClass::Instr
+        } else {
+            RefClass::Data
+        },
+        source: if flags & 8 != 0 {
+            MissSource::Tlb
+        } else {
+            MissSource::Cache
+        },
+    })
+}
+
+/// Writes `trace` to `w` in the binary format. The writer can be passed by
+/// `&mut` reference thanks to the blanket `Write` impl.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for r in trace.iter() {
+        w.write_all(&r.time.0.to_le_bytes())?;
+        w.write_all(&r.page.0.to_le_bytes())?;
+        w.write_all(&r.pid.0.to_le_bytes())?;
+        w.write_all(&r.proc.0.to_le_bytes())?;
+        w.write_all(&[flags_of(r), 0])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`]. The reader can be
+/// passed by `&mut` reference thanks to the blanket `Read` impl.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
+/// version, or corrupt record flags.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let mut four = [0u8; 4];
+    r.read_exact(&mut four)?;
+    let version = u32::from_le_bytes(four);
+    if version != VERSION {
+        return Err(ReadTraceError::BadVersion(version));
+    }
+    let mut eight = [0u8; 8];
+    r.read_exact(&mut eight)?;
+    let count = u64::from_le_bytes(eight);
+    let mut b = TraceBuilder::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let mut buf = [0u8; 24];
+        r.read_exact(&mut buf)?;
+        let time = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
+        let page = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
+        let pid = u32::from_le_bytes(buf[16..20].try_into().expect("slice len"));
+        let proc = u16::from_le_bytes(buf[20..22].try_into().expect("slice len"));
+        b.push(record_of(time, page, pid, proc, buf[22])?);
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.push(MissRecord::user_data_read(
+            Ns(1),
+            ProcId(3),
+            Pid(9),
+            VirtPage(0xdead),
+        ));
+        b.push(MissRecord::user_data_write(
+            Ns(2),
+            ProcId(4),
+            Pid(10),
+            VirtPage(0xbeef),
+        ));
+        let mut k = MissRecord::user_instr(Ns(3), ProcId(5), Pid(11), VirtPage(0xf00d));
+        k.mode = Mode::Kernel;
+        b.push(k);
+        b.push(
+            MissRecord::user_data_read(Ns(4), ProcId(6), Pid(12), VirtPage(0xcafe)).as_tlb(),
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"XXXX\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_flags_are_rejected() {
+        let t: Trace = [MissRecord::user_data_read(
+            Ns(1),
+            ProcId(0),
+            Pid(0),
+            VirtPage(0),
+        )]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let flags_at = buf.len() - 2;
+        buf[flags_at] = 0xff;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadFlags(0xff)));
+    }
+}

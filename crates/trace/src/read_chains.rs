@@ -1,0 +1,252 @@
+//! Read-chain analysis (Figure 4).
+//!
+//! "A read chain represents a string of reads to a page from a processor,
+//! which is terminated by a write from any processor to that page. A long
+//! read chain indicates a page that could benefit from replication."
+
+use crate::Trace;
+use std::collections::BTreeMap;
+
+/// Histogram of read-chain lengths over the user data cache misses of a
+/// trace, weighted so the Figure 4 question — *what percentage of the total
+/// data misses are in read chains of length ≥ L* — can be answered.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{read_chains, MissRecord, Trace};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// // 8 reads from p0 to a page, then a write terminates the chain.
+/// let mut recs: Vec<MissRecord> = (0..8)
+///     .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(1)))
+///     .collect();
+/// recs.push(MissRecord::user_data_write(Ns(9), ProcId(1), Pid(1), VirtPage(1)));
+/// let hist = read_chains(&recs.into_iter().collect::<Trace>());
+/// assert_eq!(hist.total_misses(), 9);
+/// // 8 of 9 data misses sit in a chain of length >= 8.
+/// assert!((hist.fraction_at_least(8) - 8.0 / 9.0).abs() < 1e-12);
+/// assert_eq!(hist.fraction_at_least(9), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadChainHistogram {
+    /// chain length -> number of chains of exactly that length.
+    chains: BTreeMap<u64, u64>,
+    /// Total user data cache misses (reads in chains + writes).
+    total: u64,
+}
+
+impl ReadChainHistogram {
+    /// Total user data cache misses analysed (chain reads plus writes).
+    pub fn total_misses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of chains recorded.
+    pub fn chain_count(&self) -> u64 {
+        self.chains.values().sum()
+    }
+
+    /// Number of misses that are part of some read chain of length ≥ `len`.
+    pub fn misses_at_least(&self, len: u64) -> u64 {
+        self.chains
+            .range(len..)
+            .map(|(&length, &count)| length * count)
+            .sum()
+    }
+
+    /// Fraction (0..=1) of total data misses in read chains of length ≥
+    /// `len` — the Y axis of Figure 4.
+    pub fn fraction_at_least(&self, len: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.misses_at_least(len) as f64 / self.total as f64
+    }
+
+    /// The Figure 4 series at the paper's power-of-two thresholds.
+    pub fn summary(&self) -> ChainSummary {
+        let thresholds = ChainSummary::THRESHOLDS;
+        let fractions = thresholds.map(|t| self.fraction_at_least(t));
+        ChainSummary {
+            thresholds,
+            fractions,
+        }
+    }
+}
+
+/// The Figure 4 series: percentage of data misses in chains of length ≥ L
+/// for L in 1, 2, 4, ..., 1024.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSummary {
+    thresholds: [u64; 11],
+    fractions: [f64; 11],
+}
+
+impl ChainSummary {
+    /// The X-axis thresholds used by Figure 4.
+    pub const THRESHOLDS: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+    /// (threshold, fraction) pairs in increasing threshold order.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.thresholds
+            .iter()
+            .copied()
+            .zip(self.fractions.iter().copied())
+    }
+
+    /// Fraction for a specific threshold, if it is one of the series points.
+    pub fn fraction_at(&self, threshold: u64) -> Option<f64> {
+        self.thresholds
+            .iter()
+            .position(|&t| t == threshold)
+            .map(|i| self.fractions[i])
+    }
+}
+
+/// Runs the Figure 4 read-chain analysis over the user data cache misses of
+/// `trace`.
+///
+/// Chains are tracked per (page, processor); a write from *any* processor
+/// to a page terminates every open chain on that page. Chains still open at
+/// the end of the trace are counted at their final length.
+pub fn read_chains(trace: &Trace) -> ReadChainHistogram {
+    use std::collections::HashMap;
+
+    // page -> per-processor open chain lengths
+    let mut open: HashMap<ccnuma_types::VirtPage, HashMap<ccnuma_types::ProcId, u64>> =
+        HashMap::new();
+    let mut hist = ReadChainHistogram::default();
+
+    for r in trace.user_data_cache_misses() {
+        hist.total += 1;
+        if r.kind.is_write() {
+            // Terminate every open chain on this page.
+            if let Some(chains) = open.remove(&r.page) {
+                for (_, len) in chains {
+                    *hist.chains.entry(len).or_insert(0) += 1;
+                }
+            }
+        } else {
+            *open.entry(r.page).or_default().entry(r.proc).or_insert(0) += 1;
+        }
+    }
+
+    // Flush chains still open at end of trace.
+    for (_, chains) in open {
+        for (_, len) in chains {
+            *hist.chains.entry(len).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MissRecord;
+    use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+
+    fn read(t: u64, proc: u16, page: u64) -> MissRecord {
+        MissRecord::user_data_read(Ns(t), ProcId(proc), Pid(proc as u32), VirtPage(page))
+    }
+    fn write(t: u64, proc: u16, page: u64) -> MissRecord {
+        MissRecord::user_data_write(Ns(t), ProcId(proc), Pid(proc as u32), VirtPage(page))
+    }
+
+    #[test]
+    fn empty_trace() {
+        let h = read_chains(&Trace::new());
+        assert_eq!(h.total_misses(), 0);
+        assert_eq!(h.chain_count(), 0);
+        assert_eq!(h.fraction_at_least(1), 0.0);
+    }
+
+    #[test]
+    fn all_reads_one_open_chain() {
+        let t: Trace = (0..100).map(|i| read(i, 0, 7)).collect();
+        let h = read_chains(&t);
+        assert_eq!(h.total_misses(), 100);
+        assert_eq!(h.chain_count(), 1);
+        assert_eq!(h.fraction_at_least(100), 1.0);
+        assert_eq!(h.fraction_at_least(101), 0.0);
+    }
+
+    #[test]
+    fn write_terminates_chains_on_its_page_only() {
+        let mut recs = vec![read(0, 0, 1), read(1, 0, 1), read(2, 1, 2)];
+        recs.push(write(3, 2, 1)); // kills page-1 chains, not page-2
+        recs.push(read(4, 0, 1)); // new chain begins
+        let h = read_chains(&recs.into_iter().collect::<Trace>());
+        // chains: page1/p0 len2 (closed), page2/p1 len1 (open), page1/p0 len1 (open)
+        assert_eq!(h.chain_count(), 3);
+        assert_eq!(h.total_misses(), 5);
+        assert_eq!(h.misses_at_least(2), 2);
+        assert_eq!(h.misses_at_least(1), 4); // the write itself is in no chain
+    }
+
+    #[test]
+    fn per_processor_chains_are_separate() {
+        // p0 and p1 interleave reads to the same page: two chains of 3 each.
+        let recs: Vec<MissRecord> = (0..6).map(|i| read(i, (i % 2) as u16, 9)).collect();
+        let h = read_chains(&recs.into_iter().collect::<Trace>());
+        assert_eq!(h.chain_count(), 2);
+        assert_eq!(h.misses_at_least(3), 6);
+        assert_eq!(h.misses_at_least(4), 0);
+    }
+
+    #[test]
+    fn write_heavy_page_yields_short_chains() {
+        // read, write, read, write...: every chain has length 1.
+        let mut recs = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                recs.push(read(i, 0, 5));
+            } else {
+                recs.push(write(i, 1, 5));
+            }
+        }
+        let h = read_chains(&recs.into_iter().collect::<Trace>());
+        assert_eq!(h.total_misses(), 20);
+        assert_eq!(h.fraction_at_least(2), 0.0);
+        assert!((h.fraction_at_least(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_and_instr_misses_ignored() {
+        let mut b = crate::TraceBuilder::new();
+        b.push(read(0, 0, 1));
+        b.push(MissRecord::user_instr(Ns(1), ProcId(0), Pid(0), VirtPage(2)));
+        let mut k = read(2, 0, 3);
+        k.mode = ccnuma_types::Mode::Kernel;
+        b.push(k);
+        b.push(read(3, 0, 9).as_tlb());
+        let h = read_chains(&b.finish());
+        assert_eq!(h.total_misses(), 1);
+    }
+
+    #[test]
+    fn summary_series_is_monotone_nonincreasing() {
+        let mut recs = Vec::new();
+        let mut t = 0;
+        // a mix of chain lengths
+        for (page, len) in [(1u64, 600u64), (2, 40), (3, 3), (4, 1)] {
+            for _ in 0..len {
+                recs.push(read(t, 0, page));
+                t += 1;
+            }
+            recs.push(write(t, 1, page));
+            t += 1;
+        }
+        let h = read_chains(&recs.into_iter().collect::<Trace>());
+        let s = h.summary();
+        let fr: Vec<f64> = s.points().map(|(_, f)| f).collect();
+        for w in fr.windows(2) {
+            assert!(w[0] >= w[1], "series must be non-increasing: {fr:?}");
+        }
+        assert_eq!(s.fraction_at(512), Some(h.fraction_at_least(512)));
+        assert_eq!(s.fraction_at(3), None);
+        // The 600-read chain dominates: >512 fraction is 600/648.
+        assert!((h.fraction_at_least(512) - 600.0 / 648.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Descriptive statistics over a trace.
+//!
+//! The workload-characterisation work of Section 6 (and the database
+//! analysis of §7.1.1 — "classifying the pages based on the type of
+//! access reveals that ... 90% of the misses are concentrated in about
+//! 5% of the pages") needs per-trace summaries: miss composition by
+//! mode/class/source, write fractions, and page-concentration curves.
+
+use crate::{MissSource, Trace};
+use ccnuma_types::{Mode, RefClass, VirtPage};
+use std::collections::HashMap;
+
+/// Summary statistics for one trace.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{MissRecord, Trace, TraceStats};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// let trace: Trace = (0..100)
+///     .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(i % 5)))
+///     .collect();
+/// let stats = TraceStats::of(&trace);
+/// assert_eq!(stats.cache_misses, 100);
+/// assert_eq!(stats.distinct_pages, 5);
+/// // 5 equally hot pages: 40% of pages hold 40% of misses.
+/// assert!((stats.miss_share_of_hottest(0.4) - 0.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Secondary-cache misses in the trace.
+    pub cache_misses: u64,
+    /// TLB misses in the trace.
+    pub tlb_misses: u64,
+    /// Kernel-mode records.
+    pub kernel_records: u64,
+    /// Instruction-fetch cache misses.
+    pub instr_cache_misses: u64,
+    /// Write cache misses.
+    pub write_cache_misses: u64,
+    /// Distinct pages referenced.
+    pub distinct_pages: u64,
+    /// Cache-miss counts per page, sorted descending (the concentration
+    /// curve's raw material).
+    misses_per_page_desc: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes the statistics for `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut per_page: HashMap<VirtPage, u64> = HashMap::new();
+        let mut s = TraceStats {
+            cache_misses: 0,
+            tlb_misses: 0,
+            kernel_records: 0,
+            instr_cache_misses: 0,
+            write_cache_misses: 0,
+            distinct_pages: 0,
+            misses_per_page_desc: Vec::new(),
+        };
+        let mut pages = std::collections::HashSet::new();
+        for r in trace.iter() {
+            pages.insert(r.page);
+            if r.mode == Mode::Kernel {
+                s.kernel_records += 1;
+            }
+            match r.source {
+                MissSource::Tlb => s.tlb_misses += 1,
+                MissSource::Cache => {
+                    s.cache_misses += 1;
+                    if r.class == RefClass::Instr {
+                        s.instr_cache_misses += 1;
+                    }
+                    if r.kind.is_write() {
+                        s.write_cache_misses += 1;
+                    }
+                    *per_page.entry(r.page).or_insert(0) += 1;
+                }
+            }
+        }
+        s.distinct_pages = pages.len() as u64;
+        s.misses_per_page_desc = per_page.into_values().collect();
+        s.misses_per_page_desc.sort_unstable_by(|a, b| b.cmp(a));
+        s
+    }
+
+    /// Fraction of cache misses that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.write_cache_misses as f64 / self.cache_misses as f64
+        }
+    }
+
+    /// Fraction of cache misses that are instruction fetches.
+    pub fn instr_fraction(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.instr_cache_misses as f64 / self.cache_misses as f64
+        }
+    }
+
+    /// The share of cache misses taken by the hottest `page_fraction`
+    /// (0..=1) of missed-on pages — the §7.1.1 concentration question
+    /// ("90% of the misses are concentrated in about 5% of the pages").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_fraction` is in `[0, 1]`.
+    pub fn miss_share_of_hottest(&self, page_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&page_fraction),
+            "page_fraction must be in [0, 1]"
+        );
+        if self.cache_misses == 0 || self.misses_per_page_desc.is_empty() {
+            return 0.0;
+        }
+        let k = ((self.misses_per_page_desc.len() as f64 * page_fraction).ceil() as usize)
+            .min(self.misses_per_page_desc.len());
+        let hot: u64 = self.misses_per_page_desc[..k].iter().sum();
+        hot as f64 / self.cache_misses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MissRecord;
+    use ccnuma_types::{Ns, Pid, ProcId};
+
+    fn rec(t: u64, page: u64) -> MissRecord {
+        MissRecord::user_data_read(Ns(t), ProcId(0), Pid(0), VirtPage(page))
+    }
+
+    #[test]
+    fn composition_counts() {
+        let mut b = crate::TraceBuilder::new();
+        b.push(rec(0, 1));
+        b.push(MissRecord::user_data_write(Ns(1), ProcId(0), Pid(0), VirtPage(1)));
+        b.push(MissRecord::user_instr(Ns(2), ProcId(0), Pid(0), VirtPage(2)));
+        let mut k = rec(3, 3);
+        k.mode = Mode::Kernel;
+        b.push(k);
+        b.push(rec(4, 4).as_tlb());
+        let s = TraceStats::of(&b.finish());
+        assert_eq!(s.cache_misses, 4);
+        assert_eq!(s.tlb_misses, 1);
+        assert_eq!(s.kernel_records, 1);
+        assert_eq!(s.instr_cache_misses, 1);
+        assert_eq!(s.write_cache_misses, 1);
+        assert_eq!(s.distinct_pages, 4);
+        assert_eq!(s.write_fraction(), 0.25);
+        assert_eq!(s.instr_fraction(), 0.25);
+    }
+
+    #[test]
+    fn concentration_detects_hot_pages() {
+        // Page 0 gets 90 misses, pages 1..=9 one each: the hottest 10%
+        // of pages (1 page of 10) holds ~91% of misses.
+        let mut b = crate::TraceBuilder::new();
+        let mut t = 0;
+        for _ in 0..90 {
+            b.push(rec(t, 0));
+            t += 1;
+        }
+        for p in 1..10u64 {
+            b.push(rec(t, p));
+            t += 1;
+        }
+        let s = TraceStats::of(&b.finish());
+        let share = s.miss_share_of_hottest(0.10);
+        assert!((share - 90.0 / 99.0).abs() < 1e-9, "{share}");
+        assert_eq!(s.miss_share_of_hottest(1.0), 1.0);
+        assert_eq!(s.miss_share_of_hottest(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::of(&Trace::new());
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.miss_share_of_hottest(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page_fraction")]
+    fn bad_fraction_panics() {
+        let s = TraceStats::of(&Trace::new());
+        let _ = s.miss_share_of_hottest(1.5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Memory-access descriptors.
+
+use crate::{Pid, VirtPage};
+use core::fmt;
+
+/// Whether an access reads or writes memory.
+///
+/// The policy's *write threshold* (Table 1) consumes this: writes to a page
+/// disqualify it from replication, and a write to an already-replicated
+/// page forces a collapse.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::AccessKind;
+/// assert!(AccessKind::Write.is_write());
+/// assert!(!AccessKind::Read.is_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (or instruction fetch).
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// Whether an access executes in user or kernel mode.
+///
+/// Section 8.2 of the paper studies kernel references separately (the pmake
+/// workload); the trace records carry this distinction so the policy
+/// simulator can filter on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// User-mode reference.
+    User,
+    /// Kernel-mode reference.
+    Kernel,
+}
+
+impl Mode {
+    /// Returns `true` for [`Mode::Kernel`].
+    #[inline]
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Mode::Kernel)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::User => "user",
+            Mode::Kernel => "kernel",
+        })
+    }
+}
+
+/// Whether a reference is an instruction fetch or a data access.
+///
+/// The execution-time breakdowns of Table 3 separate instruction stall from
+/// data stall; replication of code pages is what removes instruction stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefClass {
+    /// Instruction fetch (code page).
+    Instr,
+    /// Data load or store.
+    Data,
+}
+
+impl RefClass {
+    /// Returns `true` for [`RefClass::Instr`].
+    #[inline]
+    pub fn is_instr(self) -> bool {
+        matches!(self, RefClass::Instr)
+    }
+}
+
+impl fmt::Display for RefClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RefClass::Instr => "instr",
+            RefClass::Data => "data",
+        })
+    }
+}
+
+/// One memory reference as emitted by a workload generator.
+///
+/// This is the unit of work fed to the machine simulator: the referencing
+/// processor is decided by the scheduler, so the access itself carries only
+/// the process, page, cache-line-within-page, and classification.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::{AccessKind, MemAccess, Mode, Pid, RefClass, VirtPage};
+///
+/// let a = MemAccess {
+///     pid: Pid(1),
+///     page: VirtPage(0x40),
+///     line: 3,
+///     kind: AccessKind::Read,
+///     mode: Mode::User,
+///     class: RefClass::Data,
+/// };
+/// assert!(!a.kind.is_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// The process issuing the reference.
+    pub pid: Pid,
+    /// The virtual page referenced.
+    pub page: VirtPage,
+    /// Cache-line index within the page (for the cache model's set index).
+    pub line: u16,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// User or kernel mode.
+    pub mode: Mode,
+    /// Instruction fetch or data access.
+    pub class: RefClass,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a user-mode data read, the most common
+    /// reference in tests.
+    pub fn user_read(pid: Pid, page: VirtPage, line: u16) -> MemAccess {
+        MemAccess {
+            pid,
+            page,
+            line,
+            kind: AccessKind::Read,
+            mode: Mode::User,
+            class: RefClass::Data,
+        }
+    }
+
+    /// Convenience constructor for a user-mode data write.
+    pub fn user_write(pid: Pid, page: VirtPage, line: u16) -> MemAccess {
+        MemAccess {
+            kind: AccessKind::Write,
+            ..MemAccess::user_read(pid, page, line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(Mode::Kernel.is_kernel());
+        assert!(!Mode::User.is_kernel());
+        assert!(RefClass::Instr.is_instr());
+        assert!(!RefClass::Data.is_instr());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+        assert_eq!(Mode::User.to_string(), "user");
+        assert_eq!(Mode::Kernel.to_string(), "kernel");
+        assert_eq!(RefClass::Instr.to_string(), "instr");
+        assert_eq!(RefClass::Data.to_string(), "data");
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let r = MemAccess::user_read(Pid(9), VirtPage(1), 2);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.mode, Mode::User);
+        assert_eq!(r.class, RefClass::Data);
+        let w = MemAccess::user_write(Pid(9), VirtPage(1), 2);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.page, VirtPage(1));
+        assert_eq!(w.line, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared error types.
+
+use core::fmt;
+
+/// An invalid machine configuration.
+///
+/// Returned by [`crate::MachineConfig::validate`]; the message names the
+/// offending field.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::MachineConfig;
+/// let mut cfg = MachineConfig::cc_numa();
+/// cfg.page_size = 1000; // not a power of two
+/// let err = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("page_size"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: &'static str) -> ConfigError {
+        ConfigError { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("nodes must be non-zero");
+        assert_eq!(
+            e.to_string(),
+            "invalid machine configuration: nodes must be non-zero"
+        );
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

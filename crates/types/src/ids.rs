@@ -1,0 +1,242 @@
+//! Strongly typed identifiers.
+//!
+//! Every entity in the simulated machine gets its own newtype so that a
+//! processor number can never be confused with a node number or a page
+//! number (C-NEWTYPE). All ids are cheap `Copy` integers.
+
+use core::fmt;
+
+/// Identifier of a NUMA node (a processor + memory pair on FLASH).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::NodeId;
+/// let home = NodeId(3);
+/// assert_eq!(home.index(), 3);
+/// assert_eq!(home.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the node number as a `usize`, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a processor.
+///
+/// The paper's FLASH configuration has one processor per node, but the
+/// simulator supports several processors per node; [`crate::MachineConfig`]
+/// maps processors to nodes.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::ProcId;
+/// assert_eq!(ProcId(5).to_string(), "p5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Returns the processor number as a `usize`, for indexing per-CPU tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcId {
+    fn from(v: u16) -> Self {
+        ProcId(v)
+    }
+}
+
+/// Identifier of a simulated process (UNIX pid analogue).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::Pid;
+/// assert_eq!(Pid(42).to_string(), "pid42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// Returns the pid as a `usize`, for indexing per-process tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A virtual page number in the single simulated global address space.
+///
+/// The workload generators hand out disjoint ranges of virtual pages per
+/// process segment, so a `VirtPage` is unique machine-wide; there is no
+/// need to carry an address-space id alongside it. This mirrors the way
+/// the paper's policy operates on logical pages (`vnode`, `offset`).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::VirtPage;
+/// let p = VirtPage(0x1000);
+/// assert_eq!(p.index(), 0x1000);
+/// assert_eq!(p.to_string(), "v0x1000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtPage(pub u64);
+
+impl VirtPage {
+    /// Returns the page number as a `usize`, for indexing page tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The page numerically after this one (next page of the segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the page number overflows `u64`.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> VirtPage {
+        VirtPage(self.0 + 1)
+    }
+
+    /// Offset this page by `n` pages.
+    #[inline]
+    #[must_use]
+    pub fn offset(self, n: u64) -> VirtPage {
+        VirtPage(self.0 + n)
+    }
+}
+
+impl fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtPage {
+    fn from(v: u64) -> Self {
+        VirtPage(v)
+    }
+}
+
+/// A physical page frame number.
+///
+/// Frames are allocated from per-node free lists by the kernel substrate;
+/// [`crate::MachineConfig::node_of_frame`] recovers a frame's home node.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::Frame;
+/// assert_eq!(Frame(7).to_string(), "f7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Frame(pub u64);
+
+impl Frame {
+    /// Returns the frame number as a `usize`, for indexing frame tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u64> for Frame {
+    fn from(v: u64) -> Self {
+        Frame(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ProcId(0) < ProcId(7));
+        assert!(VirtPage(9) < VirtPage(10));
+    }
+
+    #[test]
+    fn display_forms_are_distinct() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(Frame(3).to_string(), "f3");
+        assert_eq!(VirtPage(3).to_string(), "v0x3");
+    }
+
+    #[test]
+    fn virt_page_arithmetic() {
+        let p = VirtPage(10);
+        assert_eq!(p.next(), VirtPage(11));
+        assert_eq!(p.offset(5), VirtPage(15));
+        assert_eq!(p.index(), 10);
+    }
+
+    #[test]
+    fn conversions_from_primitive() {
+        assert_eq!(NodeId::from(4u16), NodeId(4));
+        assert_eq!(ProcId::from(4u16), ProcId(4));
+        assert_eq!(VirtPage::from(4u64), VirtPage(4));
+        assert_eq!(Frame::from(4u64), Frame(4));
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(NodeId::default(), NodeId(0));
+        assert_eq!(ProcId::default(), ProcId(0));
+        assert_eq!(Pid::default(), Pid(0));
+        assert_eq!(VirtPage::default(), VirtPage(0));
+        assert_eq!(Frame::default(), Frame(0));
+    }
+}

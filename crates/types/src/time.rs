@@ -1,0 +1,239 @@
+//! Simulated time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant in simulated nanoseconds.
+///
+/// The whole simulator uses nanoseconds as its base unit: the paper's
+/// machine parameters are specified in nanoseconds (300 ns local miss,
+/// 1200 ns remote miss) and its kernel costs in microseconds, which fit
+/// comfortably in a `u64` (584 years of simulated time).
+///
+/// `Ns` is used both for instants (time since boot) and durations; the
+/// arithmetic provided is saturating-free and panics on overflow in debug
+/// builds like ordinary integer arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::Ns;
+///
+/// let local = Ns(300);
+/// let remote = Ns(1200);
+/// assert_eq!(remote - local, Ns(900));
+/// assert_eq!(local * 4, remote);
+/// assert_eq!(Ns::from_us(350), Ns(350_000));
+/// assert_eq!(Ns::from_ms(100).as_us(), 100_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero time.
+    pub const ZERO: Ns = Ns(0);
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Builds a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// This duration expressed in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration expressed in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Ns) -> Ns {
+        Ns(self.0.max(other.0))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Ns) -> Ns {
+        Ns(self.0.min(other.0))
+    }
+
+    /// Scales this duration by a floating-point factor, rounding to the
+    /// nearest nanosecond. Useful for contention multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Ns {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        Ns((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Ns {
+    fn from(v: u64) -> Self {
+        Ns(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Ns::from_us(1), Ns(1_000));
+        assert_eq!(Ns::from_ms(1), Ns(1_000_000));
+        assert_eq!(Ns::from_secs(1), Ns(1_000_000_000));
+        assert_eq!(Ns(2_500).as_us(), 2.5);
+        assert_eq!(Ns::from_ms(3).as_secs(), 0.003);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Ns(100);
+        t += Ns(50);
+        assert_eq!(t, Ns(150));
+        t -= Ns(150);
+        assert_eq!(t, Ns::ZERO);
+        assert_eq!(Ns(10) * 3, Ns(30));
+        assert_eq!(Ns(30) / 3, Ns(10));
+        assert_eq!(vec![Ns(1), Ns(2), Ns(3)].into_iter().sum::<Ns>(), Ns(6));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Ns(5).saturating_sub(Ns(10)), Ns::ZERO);
+        assert_eq!(Ns(10).saturating_sub(Ns(5)), Ns(5));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Ns(3).max(Ns(7)), Ns(7));
+        assert_eq!(Ns(3).min(Ns(7)), Ns(3));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Ns(100).scale(1.5), Ns(150));
+        assert_eq!(Ns(3).scale(0.5), Ns(2)); // 1.5 rounds to 2
+        assert_eq!(Ns(1000).scale(0.0), Ns::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scale_rejects_negative() {
+        let _ = Ns(1).scale(-1.0);
+    }
+
+    #[test]
+    fn display_picks_a_readable_unit() {
+        assert_eq!(Ns(42).to_string(), "42ns");
+        assert_eq!(Ns(1_500).to_string(), "1.500us");
+        assert_eq!(Ns(2_000_000).to_string(), "2.000ms");
+        assert_eq!(Ns(3_000_000_000).to_string(), "3.000s");
+    }
+}

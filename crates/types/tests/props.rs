@@ -1,0 +1,73 @@
+//! Property-based tests for the shared types.
+
+use ccnuma_types::{Frame, MachineConfig, NodeId, Ns, ProcId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ns arithmetic agrees with the underlying u64 arithmetic.
+    #[test]
+    fn ns_add_sub_roundtrip(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let (x, y) = (Ns(a), Ns(b));
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!((x + y).saturating_sub(y), x);
+        prop_assert_eq!(x.saturating_sub(x + y + Ns(1)), Ns::ZERO);
+    }
+
+    /// Unit conversions are consistent: from_us/from_ms/from_secs nest.
+    #[test]
+    fn ns_units_nest(v in 0u64..1_000_000u64) {
+        prop_assert_eq!(Ns::from_us(v * 1_000), Ns::from_ms(v));
+        prop_assert_eq!(Ns::from_ms(v * 1_000), Ns::from_secs(v));
+    }
+
+    /// scale(1.0) is the identity and scale is monotone in the factor.
+    #[test]
+    fn ns_scale_identity_monotone(v in 0u64..1u64<<32, f in 0.0f64..8.0) {
+        prop_assert_eq!(Ns(v).scale(1.0), Ns(v));
+        let lo = Ns(v).scale(f);
+        let hi = Ns(v).scale(f + 1.0);
+        prop_assert!(lo <= hi);
+    }
+
+    /// Every processor maps to a node inside the machine, and processors on
+    /// the same node are contiguous.
+    #[test]
+    fn proc_to_node_in_range(nodes in 1u16..64, ppn in 1u16..4) {
+        let cfg = MachineConfig::cc_numa().with_nodes(nodes);
+        let cfg = MachineConfig { procs_per_node: ppn, ..cfg };
+        for p in 0..cfg.procs() {
+            let n = cfg.node_of_proc(ProcId(p));
+            prop_assert!(n.0 < nodes);
+            prop_assert_eq!(n, NodeId(p / ppn));
+        }
+    }
+
+    /// Frame<->node mapping: node_of_frame inverts first_frame_of, and every
+    /// frame in a node's block maps back to that node.
+    #[test]
+    fn frame_to_node_roundtrip(nodes in 1u16..32, fpn in 1u32..10_000) {
+        let cfg = MachineConfig::cc_numa().with_nodes(nodes).with_frames_per_node(fpn);
+        for n in 0..nodes {
+            let node = NodeId(n);
+            let first = cfg.first_frame_of(node);
+            prop_assert_eq!(cfg.node_of_frame(first), node);
+            let last = Frame(first.0 + fpn as u64 - 1);
+            prop_assert_eq!(cfg.node_of_frame(last), node);
+        }
+        prop_assert_eq!(cfg.total_frames(), nodes as u64 * fpn as u64);
+    }
+
+    /// All power-of-two cache geometries validate and have non-zero sets.
+    #[test]
+    fn cache_geometry_validates(l2_pow in 14u32..24, ways_pow in 0u32..3, line_pow in 5u32..9) {
+        let mut cfg = MachineConfig::cc_numa();
+        cfg.l2_bytes = 1 << l2_pow;
+        cfg.l2_ways = 1 << ways_pow;
+        cfg.line_size = 1 << line_pow;
+        if cfg.line_size * cfg.l2_ways <= cfg.l2_bytes {
+            prop_assert!(cfg.validate().is_ok());
+            prop_assert!(cfg.l2_sets() > 0);
+            prop_assert_eq!(cfg.l2_sets() * cfg.line_size * cfg.l2_ways, cfg.l2_bytes);
+        }
+    }
+}

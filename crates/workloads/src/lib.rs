@@ -1,0 +1,49 @@
+//! Synthetic versions of the paper's five compute-server workloads.
+//!
+//! The policy only ever sees page-granularity miss streams, so each
+//! workload is reproduced as a set of stochastic per-process reference
+//! generators ([`ProcessStream`]) over typed memory segments
+//! ([`Segment`]: code, private data, read-mostly shared, write-shared)
+//! plus a scheduler model ([`Scheduler`]) — priority-with-affinity,
+//! pinned, or space-partitioned phases — tuned to the characterisation in
+//! Tables 2 and 3 and the read-chain profile of Figure 4:
+//!
+//! * [`WorkloadKind::Engineering`] — 6 Flashlite + 6 VCS sequential jobs,
+//!   big private data and big shared code, processes rebalanced across
+//!   CPUs (migration *and* replication win);
+//! * [`WorkloadKind::Raytrace`] — one parallel job, pinned, with a large
+//!   read-only scene (replication wins; 60 % of data misses in ≥512 read
+//!   chains);
+//! * [`WorkloadKind::Splash`] — Raytrace + Volrend + Ocean entering and
+//!   leaving under space partitioning, with deliberate per-node memory
+//!   pressure;
+//! * [`WorkloadKind::Database`] — a 4-CPU decision-support engine whose
+//!   misses concentrate in a few write-hot synchronisation pages
+//!   (robustness: the policy must do *nothing*);
+//! * [`WorkloadKind::Pmake`] — kernel-dominated parallel make with
+//!   short-lived processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccnuma_workloads::{Scale, WorkloadKind};
+//!
+//! let spec = WorkloadKind::Raytrace.build(Scale::quick());
+//! assert_eq!(spec.config.nodes, 8);
+//! assert!(spec.streams.len() >= 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod catalog;
+mod sched;
+mod segment;
+mod spec;
+
+pub use builder::WorkloadBuilder;
+pub use catalog::{Scale, WorkloadKind};
+pub use sched::{PhaseSchedule, Pinned, RotatingAffinity, Scheduler, WithIdle};
+pub use segment::{PageSpace, ProcessStream, Segment};
+pub use spec::WorkloadSpec;

@@ -1,0 +1,312 @@
+//! Scheduler models.
+//!
+//! The paper's workloads use three scheduling styles: UNIX priority
+//! scheduling with cache affinity (engineering, pmake), hard pinning
+//! (raytrace, database), and space partitioning with jobs entering and
+//! leaving (splash). Each is modelled as a deterministic function from
+//! time to a per-CPU assignment of processes.
+
+use ccnuma_types::{Ns, Pid};
+
+/// A scheduler: who runs where during the quantum containing `now`.
+pub trait Scheduler {
+    /// Per-CPU assignment for the quantum containing `now` (`None` = the
+    /// CPU idles this quantum).
+    fn assignment(&mut self, now: Ns) -> Vec<Option<Pid>>;
+
+    /// The scheduling quantum; the machine re-queries on its boundaries.
+    fn quantum(&self) -> Ns;
+}
+
+/// Hard pinning: the assignment never changes (raytrace, database).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_workloads::{Pinned, Scheduler};
+/// use ccnuma_types::{Ns, Pid};
+///
+/// let mut s = Pinned::one_per_cpu(4);
+/// assert_eq!(s.assignment(Ns(0)), vec![Some(Pid(0)), Some(Pid(1)), Some(Pid(2)), Some(Pid(3))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pinned {
+    map: Vec<Option<Pid>>,
+}
+
+impl Pinned {
+    /// Pins an arbitrary map.
+    pub fn new(map: Vec<Option<Pid>>) -> Pinned {
+        Pinned { map }
+    }
+
+    /// Pins pid *i* to CPU *i* for `cpus` CPUs.
+    pub fn one_per_cpu(cpus: u16) -> Pinned {
+        Pinned {
+            map: (0..cpus).map(|i| Some(Pid(i as u32))).collect(),
+        }
+    }
+}
+
+impl Scheduler for Pinned {
+    fn assignment(&mut self, _now: Ns) -> Vec<Option<Pid>> {
+        self.map.clone()
+    }
+
+    fn quantum(&self) -> Ns {
+        Ns::from_ms(2)
+    }
+}
+
+/// UNIX priority scheduling with cache affinity: more processes than
+/// CPUs; each CPU round-robins through its local queue (affinity keeps a
+/// process on its CPU between quanta), and a periodic load-balance
+/// rotates whole queues across CPUs — which is what forces page
+/// migration to matter for the engineering workload.
+#[derive(Debug, Clone)]
+pub struct RotatingAffinity {
+    cpus: u16,
+    pids: Vec<Pid>,
+    quantum: Ns,
+    rebalance_every: u32,
+    max_shifts: u32,
+}
+
+impl RotatingAffinity {
+    /// `n_pids` processes over `cpus` CPUs with a 2 ms quantum, queues
+    /// rotated one CPU over every `rebalance_every` quanta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` or `n_pids` is zero, or `rebalance_every` is zero.
+    pub fn new(cpus: u16, n_pids: u32, rebalance_every: u32) -> RotatingAffinity {
+        assert!(cpus > 0 && n_pids > 0, "need CPUs and processes");
+        assert!(rebalance_every > 0, "rebalance period must be non-zero");
+        RotatingAffinity {
+            cpus,
+            pids: (0..n_pids).map(Pid).collect(),
+            quantum: Ns::from_ms(2),
+            rebalance_every,
+            max_shifts: u32::MAX,
+        }
+    }
+
+    /// Caps the number of queue rotations. With `max_shifts = 1` the
+    /// scheduler performs a single early load-balance and then leaves
+    /// processes on their CPUs — the paper's priority-with-affinity
+    /// behaviour, where migration's one-time cost keeps paying off.
+    #[must_use]
+    pub fn with_max_shifts(mut self, max_shifts: u32) -> RotatingAffinity {
+        self.max_shifts = max_shifts;
+        self
+    }
+}
+
+impl Scheduler for RotatingAffinity {
+    fn assignment(&mut self, now: Ns) -> Vec<Option<Pid>> {
+        let q = (now.0 / self.quantum.0) as u32;
+        let shift = (q / self.rebalance_every).min(self.max_shifts) as usize; // queue rotation
+        let n = self.pids.len();
+        let cpus = self.cpus as usize;
+        (0..cpus)
+            .map(|cpu| {
+                // Queue for this CPU after rotation: pids whose index ≡ (cpu - shift) mod cpus.
+                let home = (cpu + cpus - (shift % cpus)) % cpus;
+                let queue: Vec<Pid> = (0..n)
+                    .filter(|i| i % cpus == home)
+                    .map(|i| self.pids[i])
+                    .collect();
+                if queue.is_empty() {
+                    None
+                } else {
+                    // Round-robin within the queue each quantum.
+                    Some(queue[q as usize % queue.len()])
+                }
+            })
+            .collect()
+    }
+
+    fn quantum(&self) -> Ns {
+        self.quantum
+    }
+}
+
+/// Space partitioning with arrivals and departures: a fixed sequence of
+/// (start time, assignment) phases (the splash workload).
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    phases: Vec<(Ns, Vec<Option<Pid>>)>,
+    quantum: Ns,
+}
+
+impl PhaseSchedule {
+    /// Builds a phase schedule. Phases must start at strictly increasing
+    /// times and the first must start at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, unsorted, or does not start at 0.
+    pub fn new(phases: Vec<(Ns, Vec<Option<Pid>>)>) -> PhaseSchedule {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert_eq!(phases[0].0, Ns::ZERO, "first phase must start at 0");
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "phases must start at strictly increasing times"
+        );
+        PhaseSchedule {
+            phases,
+            quantum: Ns::from_ms(2),
+        }
+    }
+}
+
+impl Scheduler for PhaseSchedule {
+    fn assignment(&mut self, now: Ns) -> Vec<Option<Pid>> {
+        let idx = self
+            .phases
+            .iter()
+            .rposition(|(start, _)| *start <= now)
+            .expect("first phase starts at 0");
+        self.phases[idx].1.clone()
+    }
+
+    fn quantum(&self) -> Ns {
+        self.quantum
+    }
+}
+
+/// Wraps a scheduler so each CPU idles a deterministic fraction of quanta
+/// (the database workload is 38 % idle; pmake 22 %).
+#[derive(Debug)]
+pub struct WithIdle<S> {
+    inner: S,
+    /// Runs `run_of` quanta out of every `out_of`.
+    run_of: u32,
+    out_of: u32,
+}
+
+impl<S: Scheduler> WithIdle<S> {
+    /// Runs `run_of` out of every `out_of` quanta; the rest idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < run_of <= out_of`.
+    pub fn new(inner: S, run_of: u32, out_of: u32) -> WithIdle<S> {
+        assert!(run_of > 0 && run_of <= out_of, "need 0 < run_of <= out_of");
+        WithIdle {
+            inner,
+            run_of,
+            out_of,
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for WithIdle<S> {
+    fn assignment(&mut self, now: Ns) -> Vec<Option<Pid>> {
+        let q = (now.0 / self.quantum().0) as u32;
+        let mut map = self.inner.assignment(now);
+        for (cpu, slot) in map.iter_mut().enumerate() {
+            // Stagger idle quanta across CPUs for determinism without lockstep.
+            if (q + cpu as u32) % self.out_of >= self.run_of {
+                *slot = None;
+            }
+        }
+        map
+    }
+
+    fn quantum(&self) -> Ns {
+        self.inner.quantum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_is_constant() {
+        let mut s = Pinned::one_per_cpu(8);
+        let a = s.assignment(Ns(0));
+        let b = s.assignment(Ns::from_secs(10));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[7], Some(Pid(7)));
+    }
+
+    #[test]
+    fn rotating_affinity_covers_all_pids_over_time() {
+        let mut s = RotatingAffinity::new(4, 6, 5);
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..40u64 {
+            for slot in s.assignment(Ns(q * s.quantum().0)).into_iter().flatten() {
+                seen.insert(slot);
+            }
+        }
+        assert_eq!(seen.len(), 6, "every pid runs eventually");
+    }
+
+    #[test]
+    fn rotating_affinity_no_pid_on_two_cpus() {
+        let mut s = RotatingAffinity::new(8, 12, 5);
+        for q in 0..100u64 {
+            let a = s.assignment(Ns(q * s.quantum().0));
+            let running: Vec<Pid> = a.into_iter().flatten().collect();
+            let mut dedup = running.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), running.len(), "duplicate pid at quantum {q}");
+        }
+    }
+
+    #[test]
+    fn rotating_affinity_is_sticky_within_rebalance_period() {
+        let mut s = RotatingAffinity::new(8, 8, 5);
+        // With one pid per queue, the pid stays put until the queues rotate.
+        let a0 = s.assignment(Ns(0));
+        let a1 = s.assignment(s.quantum());
+        assert_eq!(a0, a1);
+        let rotated = s.assignment(Ns(s.quantum().0 * 5));
+        assert_ne!(a0, rotated, "rebalance moves queues");
+        // The rotation is a shift: pid 0 moved from cpu 0 to cpu 1.
+        assert_eq!(rotated[1], a0[0]);
+    }
+
+    #[test]
+    fn phase_schedule_switches_at_boundaries() {
+        let p1 = vec![Some(Pid(0)), None];
+        let p2 = vec![Some(Pid(1)), Some(Pid(2))];
+        let mut s = PhaseSchedule::new(vec![(Ns::ZERO, p1.clone()), (Ns::from_ms(100), p2.clone())]);
+        assert_eq!(s.assignment(Ns(0)), p1);
+        assert_eq!(s.assignment(Ns::from_ms(99)), p1);
+        assert_eq!(s.assignment(Ns::from_ms(100)), p2);
+        assert_eq!(s.assignment(Ns::from_secs(5)), p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase")]
+    fn phase_schedule_must_start_at_zero() {
+        let _ = PhaseSchedule::new(vec![(Ns(5), vec![None])]);
+    }
+
+    #[test]
+    fn with_idle_idles_roughly_the_right_fraction() {
+        let mut s = WithIdle::new(Pinned::one_per_cpu(4), 3, 5); // 40% idle
+        let mut idle = 0;
+        let mut total = 0;
+        for q in 0..100u64 {
+            for slot in s.assignment(Ns(q * s.quantum().0)) {
+                total += 1;
+                if slot.is_none() {
+                    idle += 1;
+                }
+            }
+        }
+        assert_eq!(idle * 5, total * 2, "exactly 2 of 5 quanta idle");
+    }
+
+    #[test]
+    fn quantum_is_passed_through() {
+        let s = WithIdle::new(Pinned::one_per_cpu(1), 1, 2);
+        assert_eq!(s.quantum(), Ns::from_ms(2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for workload generators and schedulers.
+
+use ccnuma_types::{Ns, Pid, VirtPage};
+use ccnuma_workloads::{
+    PageSpace, PhaseSchedule, Pinned, ProcessStream, RotatingAffinity, Scale, Scheduler, Segment,
+    WithIdle, WorkloadKind,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// PageSpace never hands out overlapping ranges.
+    #[test]
+    fn page_space_ranges_disjoint(sizes in proptest::collection::vec(1u64..500, 1..40)) {
+        let mut space = PageSpace::new();
+        let mut prev_end = 0u64;
+        for size in sizes {
+            let base = space.reserve(size);
+            prop_assert_eq!(base.0, prev_end);
+            prev_end = base.0 + size;
+        }
+        prop_assert_eq!(space.allocated(), prev_end);
+    }
+
+    /// Every generated reference stays within one of its process's
+    /// segment pools and within the 32 lines of a page.
+    #[test]
+    fn references_stay_in_bounds(seed in 0u64..1000, pool_a in 1u64..100, pool_b in 1u64..100) {
+        let mut space = PageSpace::new();
+        let a = Segment::data("a", space.reserve(pool_a), pool_a, 0.7, 0.4);
+        let b = Segment::code("b", space.reserve(pool_b), pool_b, 0.3);
+        let mut p = ProcessStream::new(Pid(1), vec![a, b]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let end = pool_a + pool_b;
+        for _ in 0..500 {
+            let r = p.next_ref(&mut rng);
+            prop_assert!(r.page < VirtPage(end), "page {} outside pools", r.page);
+            prop_assert!(r.line < 32);
+            prop_assert_eq!(r.pid, Pid(1));
+        }
+    }
+
+    /// Schedulers never assign a pid to two CPUs in the same quantum, at
+    /// any time, for any configuration.
+    #[test]
+    fn no_pid_runs_twice(cpus in 1u16..16, pids in 1u32..32, rebalance in 1u32..20, q in 0u64..500) {
+        let mut s = RotatingAffinity::new(cpus, pids, rebalance);
+        let now = Ns(q * s.quantum().0);
+        let map = s.assignment(now);
+        prop_assert_eq!(map.len(), cpus as usize);
+        let mut running: Vec<Pid> = map.into_iter().flatten().collect();
+        let before = running.len();
+        running.sort();
+        running.dedup();
+        prop_assert_eq!(running.len(), before);
+        for pid in running {
+            prop_assert!(pid.0 < pids);
+        }
+    }
+
+    /// WithIdle idles exactly (out_of - run_of) / out_of of each CPU's
+    /// quanta over a full period.
+    #[test]
+    fn with_idle_fraction_exact(run_of in 1u32..8, extra in 0u32..8, cpus in 1u16..8) {
+        let out_of = run_of + extra;
+        let mut s = WithIdle::new(Pinned::one_per_cpu(cpus), run_of, out_of);
+        let quantum = s.quantum();
+        let mut idle = 0u32;
+        for q in 0..out_of as u64 {
+            for slot in s.assignment(Ns(q * quantum.0)) {
+                if slot.is_none() {
+                    idle += 1;
+                }
+            }
+        }
+        prop_assert_eq!(idle, (out_of - run_of) * cpus as u32);
+    }
+
+    /// Phase schedules are piecewise constant and respect boundaries.
+    #[test]
+    fn phase_schedule_piecewise_constant(cut_ms in 1u64..500, probe in 0u64..1000) {
+        let p1 = vec![Some(Pid(0))];
+        let p2 = vec![Some(Pid(1))];
+        let mut s = PhaseSchedule::new(vec![
+            (Ns::ZERO, p1.clone()),
+            (Ns::from_ms(cut_ms), p2.clone()),
+        ]);
+        let at = Ns::from_ms(probe);
+        let expected = if probe < cut_ms { &p1 } else { &p2 };
+        prop_assert_eq!(&s.assignment(at), expected);
+    }
+}
+
+/// Workload builders are deterministic: two builds of the same kind
+/// produce identical reference streams.
+#[test]
+fn builders_are_deterministic() {
+    for kind in WorkloadKind::ALL {
+        let mut a = kind.build(Scale::quick());
+        let mut b = kind.build(Scale::quick());
+        let mut rng_a = SmallRng::seed_from_u64(a.seed);
+        let mut rng_b = SmallRng::seed_from_u64(b.seed);
+        for _ in 0..200 {
+            for (sa, sb) in a.streams.iter_mut().zip(b.streams.iter_mut()) {
+                assert_eq!(sa.next_ref(&mut rng_a), sb.next_ref(&mut rng_b), "{kind}");
+            }
+        }
+    }
+}
+
+/// All five workloads generate only pages inside their declared footprint.
+#[test]
+fn references_within_footprint() {
+    for kind in WorkloadKind::ALL {
+        let mut spec = kind.build(Scale::quick());
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let footprint = spec.footprint_pages;
+        for _ in 0..500 {
+            for s in spec.streams.iter_mut() {
+                let r = s.next_ref(&mut rng);
+                assert!(
+                    r.page.0 < footprint,
+                    "{kind}: page {} outside footprint {footprint}",
+                    r.page
+                );
+            }
+        }
+    }
+}

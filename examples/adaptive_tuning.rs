@@ -1,0 +1,75 @@
+//! Adaptive trigger tuning (§8.4 future work): "selecting the correct
+//! trigger value, statically or adaptively, is a topic for further
+//! study." This example runs a workload under several fixed triggers and
+//! under the adaptive controller, which re-tunes the trigger at every
+//! counter reset interval from the observed overhead/stall balance.
+//!
+//! ```text
+//! cargo run --release --example adaptive_tuning [workload]
+//! ```
+
+use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions};
+use ccnuma_locality::policy::AdaptiveTrigger;
+use ccnuma_locality::prelude::*;
+use ccnuma_locality::stats::Table;
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "engineering".into());
+    let kind = match arg.to_ascii_lowercase().as_str() {
+        "engineering" => WorkloadKind::Engineering,
+        "raytrace" => WorkloadKind::Raytrace,
+        "splash" => WorkloadKind::Splash,
+        "database" => WorkloadKind::Database,
+        "pmake" => WorkloadKind::Pmake,
+        other => {
+            eprintln!("unknown workload '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let scale = Scale::standard();
+    println!("workload: {kind}\n");
+
+    let mut table = Table::new(vec!["Trigger", "Total(ms)", "Local%", "Pager(ms)", "Moves"]);
+    let mut best_fixed = f64::INFINITY;
+    for trigger in [32u32, 64, 128, 256, 512] {
+        let r = Machine::new(
+            kind.build(scale),
+            RunOptions::new(PolicyChoice::base_mig_rep(
+                PolicyParams::base().with_trigger(trigger),
+            )),
+        )
+        .run();
+        best_fixed = best_fixed.min(r.breakdown.total().as_ms());
+        let s = r.policy_stats.expect("dynamic run");
+        table.row(vec![
+            format!("fixed {trigger}"),
+            format!("{:.1}", r.breakdown.total().as_ms()),
+            format!("{:.1}", r.breakdown.pct_local_misses()),
+            format!("{:.1}", r.breakdown.policy_overhead().as_ms()),
+            (s.migrations + s.replications).to_string(),
+        ]);
+    }
+
+    let params = PolicyParams::base();
+    let adaptive = Machine::new(
+        kind.build(scale),
+        RunOptions::new(PolicyChoice::base_mig_rep(params))
+            .with_adaptive(AdaptiveTrigger::new(params)),
+    )
+    .run();
+    let s = adaptive.policy_stats.expect("dynamic run");
+    table.row(vec![
+        "adaptive".into(),
+        format!("{:.1}", adaptive.breakdown.total().as_ms()),
+        format!("{:.1}", adaptive.breakdown.pct_local_misses()),
+        format!("{:.1}", adaptive.breakdown.policy_overhead().as_ms()),
+        (s.migrations + s.replications).to_string(),
+    ]);
+    println!("{table}");
+    println!(
+        "adaptive vs best fixed trigger: {:+.1}% (negative = adaptive faster)",
+        100.0 * (adaptive.breakdown.total().as_ms() - best_fixed) / best_fixed
+    );
+}

@@ -1,0 +1,74 @@
+//! The compute-server scenario from the paper's introduction: a
+//! multiprogrammed engineering workload (6 Flashlite + 6 VCS simulators)
+//! on an 8-node CC-NUMA machine, where the scheduler's load balancing
+//! strands each job's data on its old node.
+//!
+//! The example runs all six Figure 6 policies *in the machine simulator
+//! and in the trace-driven policy simulator*, showing how OS-level page
+//! movement recovers the locality the scheduler destroyed, and prints
+//! the Table 4-style action breakdown.
+//!
+//! ```text
+//! cargo run --release --example engineering_server
+//! ```
+
+use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions};
+use ccnuma_locality::polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+use ccnuma_locality::prelude::*;
+use ccnuma_locality::stats::Table;
+
+fn main() {
+    let scale = Scale::standard();
+    let kind = WorkloadKind::Engineering;
+    println!("workload: {kind} — {}\n", kind.description());
+
+    // 1. Machine runs: FT baseline (traced) and the base policy with the
+    //    paper's engineering trigger of 96.
+    let ft = Machine::new(
+        kind.build(scale),
+        RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+    )
+    .run();
+    let params = PolicyParams::base().with_trigger(96);
+    let mr = Machine::new(
+        kind.build(scale),
+        RunOptions::new(PolicyChoice::base_mig_rep(params)),
+    )
+    .run();
+
+    println!(
+        "machine simulator: FT {:.1} ms ({:.1}% local) -> Mig/Rep {:.1} ms ({:.1}% local), \
+         improvement {:.1}%",
+        ft.breakdown.total().as_ms(),
+        ft.breakdown.pct_local_misses(),
+        mr.breakdown.total().as_ms(),
+        mr.breakdown.pct_local_misses(),
+        mr.improvement_over(&ft),
+    );
+    if let Some(s) = mr.policy_stats {
+        println!(
+            "actions on {} hot pages: {:.0}% migrate / {:.0}% replicate / {:.0}% remap\n",
+            s.hot_pages(),
+            s.pct_of_hot(s.migrations),
+            s.pct_of_hot(s.replications),
+            s.pct_of_hot(s.remaps),
+        );
+    }
+
+    // 2. Replay the FT trace through the Section 8 policy simulator under
+    //    all six policies.
+    let trace = ft.trace.as_ref().expect("traced run");
+    let other = ft.breakdown.other_incl_hits() + ft.breakdown.idle();
+    let cfg = PolsimConfig::section8(8).with_other_time(other);
+    let mut table = Table::new(vec!["Policy", "Normalized to RR", "Local%"]);
+    let base = simulate(trace, &cfg, SimPolicy::round_robin(), TraceFilter::UserOnly);
+    for policy in SimPolicy::figure6_set() {
+        let r = simulate(trace, &cfg, policy, TraceFilter::UserOnly);
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.3}", r.normalized_to(&base)),
+            format!("{:.1}", r.pct_local_misses()),
+        ]);
+    }
+    println!("trace-driven policy simulator (user misses):\n{table}");
+}

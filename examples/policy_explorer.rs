@@ -1,0 +1,112 @@
+//! Policy explorer: sweep the trigger threshold, the sharing threshold
+//! and the information metric over one workload's trace, reproducing the
+//! parameter-space exploration of Sections 8.3 and 8.4 interactively.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [workload]
+//! ```
+//!
+//! where `workload` is one of `engineering`, `raytrace`, `splash`,
+//! `database`, `pmake` (default `raytrace`).
+
+use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions};
+use ccnuma_locality::policy::{DynamicPolicyKind, MissMetric};
+use ccnuma_locality::polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+use ccnuma_locality::prelude::*;
+use ccnuma_locality::stats::Table;
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "engineering" => WorkloadKind::Engineering,
+        "raytrace" => WorkloadKind::Raytrace,
+        "splash" => WorkloadKind::Splash,
+        "database" => WorkloadKind::Database,
+        "pmake" => WorkloadKind::Pmake,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "raytrace".into());
+    let Some(kind) = parse_workload(&arg) else {
+        eprintln!("unknown workload '{arg}' (try engineering|raytrace|splash|database|pmake)");
+        std::process::exit(2);
+    };
+    println!("capturing a first-touch trace of {kind}...");
+    let spec = kind.build(Scale::standard());
+    let nodes = spec.config.nodes;
+    let run = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch()).with_trace()).run();
+    let trace = run.trace.as_ref().expect("traced run");
+    let other = run.breakdown.other_incl_hits() + run.breakdown.idle();
+    let cfg = PolsimConfig::section8(nodes).with_other_time(other);
+    let rr = simulate(trace, &cfg, SimPolicy::round_robin(), TraceFilter::UserOnly);
+
+    let sweep = |label: &str, policies: Vec<(String, SimPolicy)>| {
+        let mut t = Table::new(vec![label, "Normalized", "Local%", "Moves"]);
+        for (name, p) in policies {
+            let r = simulate(trace, &cfg, p, TraceFilter::UserOnly);
+            t.row(vec![
+                name,
+                format!("{:.3}", r.normalized_to(&rr)),
+                format!("{:.1}", r.pct_local_misses()),
+                (r.migrations + r.replications).to_string(),
+            ]);
+        }
+        println!("{t}");
+    };
+
+    println!("\n-- trigger threshold sweep (sharing = trigger/4) --");
+    sweep(
+        "Trigger",
+        [32u32, 64, 96, 128, 192, 256]
+            .into_iter()
+            .map(|t| {
+                (
+                    t.to_string(),
+                    SimPolicy::Dynamic {
+                        params: PolicyParams::base().with_trigger(t),
+                        kind: DynamicPolicyKind::MigRep,
+                        metric: MissMetric::full_cache(),
+                    },
+                )
+            })
+            .collect(),
+    );
+
+    println!("-- sharing threshold sweep (trigger 128) --");
+    sweep(
+        "Sharing",
+        [4u32, 8, 16, 32, 64, 96]
+            .into_iter()
+            .map(|sh| {
+                (
+                    sh.to_string(),
+                    SimPolicy::Dynamic {
+                        params: PolicyParams::base().with_sharing(sh),
+                        kind: DynamicPolicyKind::MigRep,
+                        metric: MissMetric::full_cache(),
+                    },
+                )
+            })
+            .collect(),
+    );
+
+    println!("-- information metric sweep (thresholds scaled by sampling rate) --");
+    sweep(
+        "Metric",
+        MissMetric::figure8_set()
+            .into_iter()
+            .map(|m| {
+                let trigger = (128 / m.rate()).max(1);
+                (
+                    m.to_string(),
+                    SimPolicy::Dynamic {
+                        params: PolicyParams::base().with_trigger(trigger),
+                        kind: DynamicPolicyKind::MigRep,
+                        metric: m,
+                    },
+                )
+            })
+            .collect(),
+    );
+}

@@ -1,0 +1,64 @@
+//! Reproduction of *Operating System Support for Improving Data Locality
+//! on CC-NUMA Compute Servers* (Verghese, Devine, Gupta & Rosenblum,
+//! ASPLOS 1996).
+//!
+//! This facade crate re-exports the whole workspace behind one
+//! dependency. The pieces:
+//!
+//! * [`policy`] — the paper's contribution: the migration/replication
+//!   decision tree, per-page counters, thresholds (Table 1), static
+//!   baselines and information metrics;
+//! * [`kernel`] — the IRIX-like VM substrate: frames, replica chains,
+//!   page tables with back-maps, lock contention, TLB shootdown and the
+//!   Figure 2 pager with per-step cost accounting;
+//! * [`machine`] — the CC-NUMA machine simulator (the SimOS substitute):
+//!   L2 caches, TLBs, coherence, directory contention, full-system runs;
+//! * [`workloads`] — synthetic versions of the five Table 2 workloads;
+//! * [`polsim`] — the Section 8 trace-driven policy simulator;
+//! * [`trace`] — miss traces, sampling and read-chain analysis;
+//! * [`stats`] — execution-time breakdowns and report rendering;
+//! * [`types`] — shared ids, time and machine configuration.
+//!
+//! # Quickstart
+//!
+//! Run the raytrace workload under first touch and under the paper's
+//! base policy, and compare:
+//!
+//! ```
+//! use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions};
+//! use ccnuma_locality::policy::PolicyParams;
+//! use ccnuma_locality::workloads::{Scale, WorkloadKind};
+//!
+//! let spec = WorkloadKind::Raytrace.build(Scale::quick());
+//! let ft = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch())).run();
+//!
+//! let spec = WorkloadKind::Raytrace.build(Scale::quick());
+//! let params = PolicyParams::base().with_trigger(16); // quick runs are short
+//! let mr = Machine::new(spec, RunOptions::new(PolicyChoice::base_mig_rep(params))).run();
+//!
+//! assert!(mr.breakdown.pct_local_misses() > ft.breakdown.pct_local_misses());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ccnuma_core as policy;
+pub use ccnuma_kernel as kernel;
+pub use ccnuma_machine as machine;
+pub use ccnuma_polsim as polsim;
+pub use ccnuma_stats as stats;
+pub use ccnuma_trace as trace;
+pub use ccnuma_types as types;
+pub use ccnuma_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use ccnuma_core::{
+        DynamicPolicyKind, MissMetric, PolicyAction, PolicyEngine, PolicyParams,
+    };
+    pub use ccnuma_machine::{Machine, PolicyChoice, RunOptions, RunReport};
+    pub use ccnuma_polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+    pub use ccnuma_trace::{read_chains, MissRecord, Trace};
+    pub use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, ProcId, VirtPage};
+    pub use ccnuma_workloads::{Scale, WorkloadKind};
+}

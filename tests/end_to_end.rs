@@ -1,0 +1,267 @@
+//! End-to-end integration: workload → machine simulator → trace →
+//! policy simulator, asserting the qualitative results the paper reports.
+//!
+//! Runs use `Scale::quick` with proportionally lowered triggers so the
+//! suite stays fast in debug builds; the full-scale shapes are exercised
+//! by the `repro` harness.
+
+use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions};
+use ccnuma_locality::policy::{DynamicPolicyKind, MissMetric};
+use ccnuma_locality::polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+use ccnuma_locality::prelude::*;
+use ccnuma_locality::trace::read_chains;
+
+fn quick_params() -> PolicyParams {
+    PolicyParams::base().with_trigger(16)
+}
+
+fn ft_run(kind: WorkloadKind) -> ccnuma_locality::machine::RunReport {
+    Machine::new(
+        kind.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::first_touch()),
+    )
+    .run()
+}
+
+fn mr_run(kind: WorkloadKind) -> ccnuma_locality::machine::RunReport {
+    Machine::new(
+        kind.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::base_mig_rep(quick_params())),
+    )
+    .run()
+}
+
+#[test]
+fn mig_rep_improves_locality_on_every_user_workload() {
+    for kind in WorkloadKind::USER_SET {
+        let ft = ft_run(kind);
+        let mr = mr_run(kind);
+        assert!(
+            mr.breakdown.pct_local_misses() >= ft.breakdown.pct_local_misses(),
+            "{kind}: Mig/Rep locality {} < FT {}",
+            mr.breakdown.pct_local_misses(),
+            ft.breakdown.pct_local_misses()
+        );
+    }
+}
+
+#[test]
+fn raytrace_benefit_comes_from_replication() {
+    let mr = mr_run(WorkloadKind::Raytrace);
+    let s = mr.policy_stats.expect("dynamic run");
+    assert!(s.replications > 0, "{s:?}");
+    assert!(
+        s.replications > s.migrations * 3,
+        "raytrace is replication-dominated: {s:?}"
+    );
+}
+
+#[test]
+fn database_policy_is_robust_mostly_no_action() {
+    // With the paper's thresholds the hot pages are almost entirely the
+    // write-shared sync pages, and the policy correctly refuses them.
+    let mr = Machine::new(
+        WorkloadKind::Database.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::base_mig_rep(PolicyParams::base())),
+    )
+    .run();
+    let s = mr.policy_stats.expect("dynamic run");
+    assert!(s.hot_pages() > 0, "sync pages must heat up");
+    assert!(
+        s.pct_of_hot(s.no_action) > 50.0,
+        "write-shared sync pages must be left alone: {s:?}"
+    );
+    assert_eq!(s.migrations, 0, "pinned engines, nothing to migrate: {s:?}");
+}
+
+#[test]
+fn write_shared_pages_do_not_thrash() {
+    // Robustness (§7.1.1): with the *paper's* thresholds the policy must
+    // not degrade the write-shared database workload. (An artificially
+    // aggressive trigger would replicate-and-collapse; the write
+    // threshold exists precisely to prevent that at the base settings.)
+    let ft = ft_run(WorkloadKind::Database);
+    let mr = Machine::new(
+        WorkloadKind::Database.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::base_mig_rep(PolicyParams::base())),
+    )
+    .run();
+    let slowdown = -mr.improvement_over(&ft);
+    assert!(
+        slowdown < 3.0,
+        "policy degraded database by {slowdown:.1}% (> 3%)"
+    );
+}
+
+#[test]
+fn trace_feeds_polsim_consistently() {
+    let run = Machine::new(
+        WorkloadKind::Raytrace.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+    )
+    .run();
+    let trace = run.trace.as_ref().expect("traced");
+    let cfg = PolsimConfig::section8(8);
+
+    // Replaying the FT machine run's trace under FT in polsim must agree
+    // on the total user cache-miss count.
+    let ft = simulate(trace, &cfg, SimPolicy::first_touch(), TraceFilter::All);
+    let machine_misses = run.breakdown.local_misses() + run.breakdown.remote_misses();
+    assert_eq!(ft.local_misses + ft.remote_misses, machine_misses);
+
+    // All six Figure 6 policies must account for every miss.
+    for policy in SimPolicy::figure6_set() {
+        let r = simulate(trace, &cfg, policy, TraceFilter::All);
+        assert_eq!(
+            r.local_misses + r.remote_misses,
+            machine_misses,
+            "{} lost misses",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn dynamic_policy_beats_static_on_read_shared_trace() {
+    let run = Machine::new(
+        WorkloadKind::Raytrace.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+    )
+    .run();
+    let trace = run.trace.as_ref().expect("traced");
+    let cfg = PolsimConfig::section8(8);
+    let ft = simulate(trace, &cfg, SimPolicy::first_touch(), TraceFilter::UserOnly);
+    let dynamic = SimPolicy::Dynamic {
+        params: quick_params(),
+        kind: DynamicPolicyKind::MigRep,
+        metric: MissMetric::full_cache(),
+    };
+    let mr = simulate(trace, &cfg, dynamic, TraceFilter::UserOnly);
+    assert!(
+        mr.pct_local_misses() > ft.pct_local_misses(),
+        "Mig/Rep {}% <= FT {}%",
+        mr.pct_local_misses(),
+        ft.pct_local_misses()
+    );
+    // Replication happens on the shared scene even in a short trace.
+    assert!(mr.replications > 0);
+}
+
+#[test]
+fn read_chains_shape_matches_workload_structure() {
+    let traced = |kind: WorkloadKind| {
+        let run = Machine::new(
+            kind.build(Scale::quick()),
+            RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+        )
+        .run();
+        read_chains(run.trace.as_ref().expect("traced"))
+    };
+    let ray = traced(WorkloadKind::Raytrace);
+    let engr = traced(WorkloadKind::Engineering);
+    // Raytrace's read-only scene yields far more misses in long read
+    // chains than engineering's write-heavy private data (Figure 4).
+    assert!(
+        ray.fraction_at_least(64) > engr.fraction_at_least(64),
+        "raytrace {} <= engineering {}",
+        ray.fraction_at_least(64),
+        engr.fraction_at_least(64)
+    );
+    assert!(ray.fraction_at_least(64) > 0.3);
+    assert!(engr.fraction_at_least(256) < 0.05);
+}
+
+#[test]
+fn sampled_cache_matches_full_cache_with_scaled_trigger() {
+    let run = Machine::new(
+        WorkloadKind::Raytrace.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+    )
+    .run();
+    let trace = run.trace.as_ref().expect("traced");
+    let cfg = PolsimConfig::section8(8);
+    let fc = simulate(
+        trace,
+        &cfg,
+        SimPolicy::Dynamic {
+            params: PolicyParams::base().with_trigger(20),
+            kind: DynamicPolicyKind::MigRep,
+            metric: MissMetric::full_cache(),
+        },
+        TraceFilter::UserOnly,
+    );
+    let sc = simulate(
+        trace,
+        &cfg,
+        SimPolicy::Dynamic {
+            params: PolicyParams::base().with_trigger(2),
+            kind: DynamicPolicyKind::MigRep,
+            metric: MissMetric::sampled_cache(10),
+        },
+        TraceFilter::UserOnly,
+    );
+    // Section 8.3: sampled cache information performs like full
+    // information. Locality achieved should be within a few points.
+    let diff = (fc.pct_local_misses() - sc.pct_local_misses()).abs();
+    assert!(
+        diff < 12.0,
+        "SC {}% vs FC {}% differ by {diff}",
+        sc.pct_local_misses(),
+        fc.pct_local_misses()
+    );
+}
+
+#[test]
+fn cc_now_run_stalls_longer_than_cc_numa() {
+    let mut spec = WorkloadKind::Raytrace.build(Scale::quick());
+    spec.config = spec.config.clone().with_remote_latency(Ns(3000));
+    let now = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch())).run();
+    let numa = ft_run(WorkloadKind::Raytrace);
+    assert!(now.breakdown.remote_stall() > numa.breakdown.remote_stall());
+    assert!(now.breakdown.total() > numa.breakdown.total());
+}
+
+#[test]
+fn splash_exhibits_memory_pressure() {
+    let mr = mr_run(WorkloadKind::Splash);
+    let s = mr.policy_stats.expect("dynamic run");
+    assert!(
+        s.no_page + s.no_action_pressure > 0,
+        "splash must hit memory pressure: {s:?}"
+    );
+}
+
+#[test]
+fn time_accounting_is_exact() {
+    // Every nanosecond a CPU clock advances must be charged to exactly
+    // one breakdown slice: busy, hit stall, miss stall, pager overhead,
+    // or idle. (Idle time is charged up to the quantum boundary each CPU
+    // reached, so compare against the sum of final clocks rounded to the
+    // quantum each idle CPU skipped to — the runner keeps them equal.)
+    for kind in [WorkloadKind::Raytrace, WorkloadKind::Engineering] {
+        for policy in [
+            PolicyChoice::first_touch(),
+            PolicyChoice::round_robin(),
+            PolicyChoice::base_mig_rep(quick_params()),
+        ] {
+            let r = Machine::new(kind.build(Scale::quick()), RunOptions::new(policy)).run();
+            assert_eq!(
+                r.breakdown.total(),
+                r.cpu_time,
+                "{kind} {}: breakdown total != sum of CPU clocks",
+                r.policy_label
+            );
+        }
+    }
+}
+
+#[test]
+fn round_robin_locality_is_about_one_in_nodes() {
+    let r = Machine::new(
+        WorkloadKind::Raytrace.build(Scale::quick()),
+        RunOptions::new(PolicyChoice::round_robin()),
+    )
+    .run();
+    let pct = r.breakdown.pct_local_misses();
+    assert!((5.0..25.0).contains(&pct), "RR local {pct}%");
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the machine's run options: batching, shootdown
+//! mode, pipelined copy, lock granularity and adaptive control.
+
+use ccnuma_locality::kernel::{LockGranularity, ShootdownMode};
+use ccnuma_locality::machine::{Machine, PolicyChoice, RunOptions, RunReport};
+use ccnuma_locality::policy::AdaptiveTrigger;
+use ccnuma_locality::prelude::*;
+
+fn params() -> PolicyParams {
+    PolicyParams::base().with_trigger(16)
+}
+
+fn run_with(opts: RunOptions) -> RunReport {
+    Machine::new(WorkloadKind::Raytrace.build(Scale::quick()), opts).run()
+}
+
+fn dynamic_opts() -> RunOptions {
+    RunOptions::new(PolicyChoice::base_mig_rep(params()))
+}
+
+#[test]
+fn pipelined_copy_reduces_kernel_overhead() {
+    let bcopy = run_with(dynamic_opts());
+    let piped = run_with(dynamic_opts().with_pipelined_copy());
+    assert!(
+        piped.cost_book.total() < bcopy.cost_book.total(),
+        "pipelined {} >= bcopy {}",
+        piped.cost_book.total(),
+        bcopy.cost_book.total()
+    );
+    // The copy engine only changes costs, so decision volume is close
+    // (not identical: cheaper ops shift the clocks, which re-phases the
+    // counter reset intervals slightly — the simulator is closed-loop).
+    let b = bcopy.policy_stats.expect("dynamic").hot_events as f64;
+    let p = piped.policy_stats.expect("dynamic").hot_events as f64;
+    assert!((p - b).abs() / b < 0.15, "hot events diverged: {p} vs {b}");
+}
+
+#[test]
+fn targeted_shootdown_flushes_fewer_tlbs_and_costs_less() {
+    let broadcast = run_with(dynamic_opts());
+    let targeted = run_with(dynamic_opts().with_shootdown(ShootdownMode::Targeted));
+    assert!(targeted.avg_tlbs_flushed <= broadcast.avg_tlbs_flushed);
+    assert!(broadcast.avg_tlbs_flushed > 7.9, "broadcast hits all 8");
+    assert!(targeted.cost_book.total() <= broadcast.cost_book.total());
+}
+
+#[test]
+fn coarse_locking_costs_at_least_as_much_as_fine() {
+    let fine = run_with(dynamic_opts());
+    let coarse = run_with(dynamic_opts().with_granularity(LockGranularity::Coarse));
+    // Replica-chain work through the global memlock can only add waits.
+    assert!(coarse.lock_wait >= fine.lock_wait);
+}
+
+#[test]
+fn batch_size_one_still_completes_all_actions() {
+    let batched = run_with(dynamic_opts());
+    let unbatched = run_with(dynamic_opts().with_batch_pages(1));
+    let (b, u) = (
+        batched.policy_stats.expect("dynamic"),
+        unbatched.policy_stats.expect("dynamic"),
+    );
+    // Same decisions are made (batching only affects when the pager runs
+    // and how interrupt/flush costs amortize)...
+    assert!(u.migrations + u.replications > 0);
+    // ...but per-op interrupt and flush costs no longer amortize, so the
+    // unbatched run pays at least as much kernel overhead per action.
+    let per_op_b = batched.cost_book.total().0 as f64 / (b.migrations + b.replications).max(1) as f64;
+    let per_op_u =
+        unbatched.cost_book.total().0 as f64 / (u.migrations + u.replications).max(1) as f64;
+    assert!(
+        per_op_u >= per_op_b * 0.95,
+        "unbatched per-op {per_op_u} unexpectedly below batched {per_op_b}"
+    );
+}
+
+#[test]
+fn adaptive_controller_changes_parameters_and_completes() {
+    let fixed = run_with(dynamic_opts());
+    let adaptive = run_with(dynamic_opts().with_adaptive(
+        AdaptiveTrigger::new(params()).with_range(8, 1024),
+    ));
+    // Both produce sane reports; the adaptive one must have acted on the
+    // engine (same workload, different action counts is the usual sign,
+    // but at minimum it must have preserved the accounting invariant).
+    assert_eq!(adaptive.breakdown.total(), adaptive.cpu_time);
+    assert_eq!(fixed.breakdown.total(), fixed.cpu_time);
+    assert!(adaptive.policy_stats.expect("dynamic").hot_events > 0);
+}
+
+#[test]
+fn trace_capture_does_not_perturb_the_run() {
+    let plain = run_with(dynamic_opts());
+    let traced = run_with(dynamic_opts().with_trace());
+    assert_eq!(plain.breakdown, traced.breakdown, "tracing must be free");
+    assert_eq!(plain.policy_stats, traced.policy_stats);
+    assert!(traced.trace.is_some());
+    assert!(plain.trace.is_none());
+}
