@@ -19,8 +19,10 @@ fn bench_batching(c: &mut Criterion) {
                     pager.first_touch(Pid(1), *p, NodeId(0));
                 }
                 for chunk in pages.chunks(batch) {
-                    let ops: Vec<PageOp> =
-                        chunk.iter().map(|p| PageOp::migrate(*p, NodeId(2))).collect();
+                    let ops: Vec<PageOp> = chunk
+                        .iter()
+                        .map(|p| PageOp::migrate(*p, NodeId(2)))
+                        .collect();
                     black_box(pager.service_batch(Ns(page * 100), &ops));
                 }
             });

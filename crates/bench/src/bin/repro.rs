@@ -3,62 +3,45 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... [--scale quick|standard|full]
-//! repro all [--scale ...]
+//! repro <experiment>... [--scale quick|standard|full] [--jobs N]
+//! repro all [--scale ...] [--jobs N]
 //! repro --list
 //! ```
+//!
+//! The requested experiments' run plans are merged, deduplicated, and
+//! executed on `--jobs` worker threads (default: available parallelism)
+//! before anything is rendered. Reports print to stdout in the order the
+//! experiments were requested — byte-identical for any `--jobs` value —
+//! and a run/cache/timing summary goes to stderr.
 
-use ccnuma_bench::experiments as exp;
+use ccnuma_bench::{experiments, Executor, RunPlan};
 use ccnuma_workloads::Scale;
+use std::time::Instant;
 
-const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "fig8", "fig9", "contention", "space", "repspace", "sharing", "shootdown", "hotspot",
-    "adaptive", "copyengine", "counters", "scaling", "freeze", "characterize",
-];
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
-fn run_one(name: &str, scale: Scale) -> Result<String, String> {
-    Ok(match name {
-        "table1" | "params" => exp::table1(),
-        "table2" | "workloads" => exp::table2(),
-        "table3" => exp::table3(scale),
-        "table4" => exp::table4(scale),
-        "table5" => exp::table5(scale),
-        "table6" => exp::table6(scale),
-        "fig3" | "figure3" => exp::figure3(scale),
-        "fig4" | "figure4" => exp::figure4(scale),
-        "fig5" | "figure5" => exp::figure5(scale),
-        "fig6" | "figure6" => exp::figure6(scale),
-        "fig7" | "figure7" => exp::figure7(scale),
-        "fig8" | "figure8" => exp::figure8(scale),
-        "fig9" | "figure9" => exp::figure9(scale),
-        "contention" => exp::contention(scale),
-        "space" => exp::space(),
-        "repspace" => exp::repspace(scale),
-        "sharing" => exp::sharing(scale),
-        "shootdown" => exp::shootdown(scale),
-        "hotspot" => exp::hotspot(scale),
-        "adaptive" => exp::adaptive(scale),
-        "copyengine" => exp::copyengine(scale),
-        "counters" => exp::counters(scale),
-        "scaling" => exp::scaling(scale),
-        "freeze" => exp::freeze(scale),
-        "characterize" => exp::characterize(scale),
-        other => return Err(format!("unknown experiment '{other}'")),
-    })
+fn print_list() {
+    for e in experiments::ALL {
+        if e.aliases.is_empty() {
+            println!("{}", e.name);
+        } else {
+            println!("{} (aliases: {})", e.name, e.aliases.join(", "));
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::standard();
+    let mut jobs = default_jobs();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => {
-                for e in EXPERIMENTS {
-                    println!("{e}");
-                }
+                print_list();
                 return;
             }
             "--scale" => {
@@ -73,22 +56,74 @@ fn main() {
                     }
                 };
             }
-            "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--jobs" => {
+                jobs = match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "all" => names.extend(experiments::ALL.iter().map(|e| e.name.to_string())),
             name => names.push(name.to_string()),
         }
     }
     if names.is_empty() {
-        eprintln!("usage: repro <experiment>... [--scale quick|standard|full]");
+        eprintln!("usage: repro <experiment>... [--scale quick|standard|full] [--jobs N]");
         eprintln!("       repro all | repro --list");
         std::process::exit(2);
     }
-    for name in names {
-        match run_one(&name, scale) {
-            Ok(text) => println!("{text}"),
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(2);
+
+    // Resolve names to experiments, deduplicating (aliases and repeats
+    // collapse onto the canonical entry, keeping first-request order) and
+    // collecting unknown names instead of aborting on the first one.
+    let mut selected: Vec<&experiments::Experiment> = Vec::new();
+    let mut unknown: Vec<String> = Vec::new();
+    for name in &names {
+        match experiments::find(name) {
+            Some(exp) => {
+                if !selected.iter().any(|e| e.name == exp.name) {
+                    selected.push(exp);
+                }
+            }
+            None => {
+                if !unknown.contains(name) {
+                    unknown.push(name.clone());
+                }
             }
         }
+    }
+    for name in &unknown {
+        eprintln!("unknown experiment '{name}' (see repro --list); skipping");
+    }
+
+    let start = Instant::now();
+    let mut plan = RunPlan::new();
+    for exp in &selected {
+        plan.extend((exp.plan)(scale));
+    }
+    let exec = Executor::new(jobs);
+    exec.execute(&plan);
+    for exp in &selected {
+        println!("{}", (exp.render)(scale, &exec));
+    }
+
+    let stats = exec.stats();
+    let wall = start.elapsed();
+    eprintln!("-- repro summary --");
+    for t in exec.timings() {
+        eprintln!("  {:>8.2}s  {}", t.wall.as_secs_f64(), t.label);
+    }
+    eprintln!(
+        "{} experiment(s), {} distinct run(s) computed, {} cache hit(s), jobs={}, wall {:.2}s",
+        selected.len(),
+        stats.computed,
+        stats.hits,
+        stats.jobs,
+        wall.as_secs_f64()
+    );
+    if !unknown.is_empty() {
+        std::process::exit(2);
     }
 }

@@ -1,17 +1,23 @@
 //! Section-level results: §7.1.2 contention, §7.2.1 space overhead,
 //! §7.2.3 replication space, §8.4 sharing sensitivity, and the two
 //! kernel ablations (targeted shootdown, hotspot migration).
+//!
+//! As in the figures module, each experiment that runs the machine has a
+//! `*_plan` function naming its runs and a render function fetching them
+//! through the [`Executor`].
 
-use crate::helpers::{base_params, dynamic_options, ft_options, other_time_of, run,
-                     run_traced_ft, RunPair};
+use crate::helpers::{
+    base_params, dynamic_options, dynamic_spec, ft_spec, other_time_of, run, run_traced_ft,
+    traced_ft_spec, RunPair,
+};
+use crate::plan::Executor;
 use ccnuma_core::{overhead, AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
 use ccnuma_kernel::ShootdownMode;
-use ccnuma_machine::{Machine, PolicyChoice, RunOptions};
+use ccnuma_machine::{PolicyChoice, RunOptions, RunSpec};
 use ccnuma_polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
 use ccnuma_stats::{f1, Table};
 use ccnuma_types::{MachineConfig, Pid};
-use ccnuma_workloads::{PageSpace, Pinned, ProcessStream, Scale, Segment, WorkloadKind,
-                       WorkloadSpec};
+use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fmt::Write as _;
 
 fn pct_drop(before: f64, after: f64) -> f64 {
@@ -22,13 +28,30 @@ fn pct_drop(before: f64, after: f64) -> f64 {
     }
 }
 
+/// The zero-interconnect-delay variants of the engineering pair.
+fn contention_zero_specs(scale: Scale) -> [RunSpec; 2] {
+    let kind = WorkloadKind::Engineering;
+    let zero = MachineConfig::zero_delay().remote_latency;
+    [
+        ft_spec(kind, scale).with_remote_latency(zero),
+        dynamic_spec(kind, scale).with_remote_latency(zero),
+    ]
+}
+
+/// Runs needed by [`contention`].
+pub fn contention_plan(scale: Scale) -> Vec<RunSpec> {
+    let mut specs: Vec<RunSpec> = RunPair::specs(WorkloadKind::Engineering, scale).into();
+    specs.extend(contention_zero_specs(scale));
+    specs
+}
+
 /// §7.1.2: system-wide contention reduction from improved locality, plus
 /// the zero-interconnect-delay experiment.
-pub fn contention(scale: Scale) -> String {
+pub fn contention(scale: Scale, exec: &Executor) -> String {
     let kind = WorkloadKind::Engineering;
     let mut out = String::new();
     let _ = writeln!(out, "== §7.1.2: system-wide contention (engineering) ==");
-    let pair = RunPair::of(kind, scale);
+    let pair = RunPair::of(exec, kind, scale);
     let (ft, mr) = (&pair.ft, &pair.mig_rep);
     let mut t = Table::new(vec!["Metric", "FT", "Mig/Rep", "Reduction%"]);
     t.row(vec![
@@ -67,17 +90,9 @@ pub fn contention(scale: Scale) -> String {
     let _ = writeln!(out, "{t}");
 
     // Zero interconnect delay: locality still matters.
-    let zero = MachineConfig::zero_delay();
-    let make = |opts: RunOptions| {
-        let mut spec = kind.build(scale);
-        spec.config = spec
-            .config
-            .clone()
-            .with_remote_latency(zero.remote_latency);
-        Machine::new(spec, opts).run()
-    };
-    let zft = make(ft_options());
-    let zmr = make(dynamic_options(kind));
+    let [zft_spec, zmr_spec] = contention_zero_specs(scale);
+    let zft = exec.run(&zft_spec);
+    let zmr = exec.run(&zmr_spec);
     let _ = writeln!(
         out,
         "zero-delay network: stall reduction {}%, overall improvement {}%",
@@ -88,7 +103,7 @@ pub fn contention(scale: Scale) -> String {
 }
 
 /// §7.2.1: information-gathering space overhead.
-pub fn space() -> String {
+pub fn space(_scale: Scale, _exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.1: miss-counter space overhead ==");
     let mut t = Table::new(vec!["Configuration", "Overhead %"]);
@@ -116,16 +131,28 @@ pub fn space() -> String {
     out
 }
 
+/// Runs needed by [`repspace`].
+pub fn repspace_plan(scale: Scale) -> Vec<RunSpec> {
+    [WorkloadKind::Engineering, WorkloadKind::Raytrace]
+        .into_iter()
+        .map(|kind| dynamic_spec(kind, scale))
+        .collect()
+}
+
 /// §7.2.3: replication memory overhead — hot-page replication vs
 /// replicate-code-on-first-touch.
-pub fn repspace(scale: Scale) -> String {
+pub fn repspace(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.3: replication space overhead ==");
     let mut t = Table::new(vec![
-        "Workload", "Pages", "Peak replicas", "Overhead %", "FT-replicate-code %",
+        "Workload",
+        "Pages",
+        "Peak replicas",
+        "Overhead %",
+        "FT-replicate-code %",
     ]);
     for kind in [WorkloadKind::Engineering, WorkloadKind::Raytrace] {
-        let r = run(kind, scale, dynamic_options(kind));
+        let r = run(exec, kind, scale, dynamic_options(kind));
         // Replicating code at first touch puts a copy of every shared code
         // page on every node that runs an instance: the engineering
         // workload has 6 instances of each binary, so code pages would be
@@ -146,13 +173,23 @@ pub fn repspace(scale: Scale) -> String {
     out
 }
 
+/// Runs needed by [`sharing`].
+pub fn sharing_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::USER_SET
+        .into_iter()
+        .map(|kind| traced_ft_spec(kind, scale))
+        .collect()
+}
+
 /// §8.4: sharing-threshold sensitivity (performance should be flat).
-pub fn sharing(scale: Scale) -> String {
+pub fn sharing(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §8.4: sharing threshold sensitivity ==");
-    let mut t = Table::new(vec!["Workload", "share=8", "share=16", "share=32", "share=64"]);
+    let mut t = Table::new(vec![
+        "Workload", "share=8", "share=16", "share=32", "share=64",
+    ]);
     for kind in WorkloadKind::USER_SET {
-        let machine_run = run_traced_ft(kind, scale);
+        let machine_run = run_traced_ft(exec, kind, scale);
         let trace = machine_run.trace.as_ref().expect("traced");
         let nodes = kind.build(Scale::quick()).config.nodes;
         let cfg = PolsimConfig::section8(nodes).with_other_time(other_time_of(&machine_run));
@@ -174,17 +211,31 @@ pub fn sharing(scale: Scale) -> String {
     out
 }
 
-/// §7.2.2 ablation: broadcast vs targeted TLB shootdown.
-pub fn shootdown(scale: Scale) -> String {
+/// The broadcast- and targeted-shootdown runs of [`shootdown`].
+fn shootdown_specs(scale: Scale) -> [RunSpec; 2] {
     let kind = WorkloadKind::Engineering;
+    [
+        dynamic_spec(kind, scale),
+        RunSpec::catalog(
+            kind,
+            scale,
+            dynamic_options(kind).with_shootdown(ShootdownMode::Targeted),
+        ),
+    ]
+}
+
+/// Runs needed by [`shootdown`].
+pub fn shootdown_plan(scale: Scale) -> Vec<RunSpec> {
+    shootdown_specs(scale).into()
+}
+
+/// §7.2.2 ablation: broadcast vs targeted TLB shootdown.
+pub fn shootdown(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.2: targeted TLB shootdown ablation ==");
-    let broadcast = run(kind, scale, dynamic_options(kind));
-    let targeted = run(
-        kind,
-        scale,
-        dynamic_options(kind).with_shootdown(ShootdownMode::Targeted),
-    );
+    let [broadcast_spec, targeted_spec] = shootdown_specs(scale);
+    let broadcast = exec.run(&broadcast_spec);
+    let targeted = exec.run(&targeted_spec);
     let mut t = Table::new(vec!["Mode", "Kernel ovhd (ms)", "Avg TLBs flushed"]);
     for (label, r) in [("broadcast", &broadcast), ("targeted", &targeted)] {
         t.row(vec![
@@ -206,21 +257,45 @@ pub fn shootdown(scale: Scale) -> String {
     out
 }
 
+/// The base and hotspot-migration runs of [`hotspot`].
+fn hotspot_specs(scale: Scale) -> [RunSpec; 2] {
+    let kind = WorkloadKind::Database;
+    [
+        dynamic_spec(kind, scale),
+        RunSpec::catalog(
+            kind,
+            scale,
+            RunOptions::new(PolicyChoice::Dynamic {
+                params: base_params(kind).with_hotspot_migrate(true),
+                kind: DynamicPolicyKind::MigRep,
+                metric: MissMetric::full_cache(),
+            }),
+        ),
+    ]
+}
+
+/// Runs needed by [`hotspot`].
+pub fn hotspot_plan(scale: Scale) -> Vec<RunSpec> {
+    hotspot_specs(scale).into()
+}
+
 /// §7.1.2 extension ablation: migrating write-shared pages to spread
 /// memory-system load (the database workload's hot sync pages).
-pub fn hotspot(scale: Scale) -> String {
-    let kind = WorkloadKind::Database;
+pub fn hotspot(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== §7.1.2 extension: hotspot migration of write-shared pages ==");
-    let plain = run(kind, scale, dynamic_options(kind));
-    let hotspot_opts = RunOptions::new(PolicyChoice::Dynamic {
-        params: base_params(kind).with_hotspot_migrate(true),
-        kind: DynamicPolicyKind::MigRep,
-        metric: MissMetric::full_cache(),
-    });
-    let hot = run(kind, scale, hotspot_opts);
+    let _ = writeln!(
+        out,
+        "== §7.1.2 extension: hotspot migration of write-shared pages =="
+    );
+    let [plain_spec, hot_spec] = hotspot_specs(scale);
+    let plain = exec.run(&plain_spec);
+    let hot = exec.run(&hot_spec);
     let mut t = Table::new(vec![
-        "Policy", "Total(ms)", "Max occupancy", "Avg remote queue", "Migrations",
+        "Policy",
+        "Total(ms)",
+        "Max occupancy",
+        "Avg remote queue",
+        "Migrations",
     ]);
     for (label, r) in [("base", &plain), ("hotspot-migrate", &hot)] {
         t.row(vec![
@@ -235,25 +310,49 @@ pub fn hotspot(scale: Scale) -> String {
     out
 }
 
+/// The four trigger configurations [`adaptive`] compares on one workload.
+fn adaptive_variants(kind: WorkloadKind, scale: Scale) -> [(&'static str, RunSpec); 4] {
+    let make = |opts: RunOptions| RunSpec::catalog(kind, scale, opts);
+    [
+        (
+            "fixed 32",
+            make(RunOptions::new(PolicyChoice::base_mig_rep(
+                PolicyParams::base().with_trigger(32),
+            ))),
+        ),
+        ("fixed 128", dynamic_spec(kind, scale)),
+        (
+            "fixed 512",
+            make(RunOptions::new(PolicyChoice::base_mig_rep(
+                PolicyParams::base().with_trigger(512),
+            ))),
+        ),
+        ("adaptive", {
+            let params = base_params(kind);
+            make(
+                RunOptions::new(PolicyChoice::base_mig_rep(params))
+                    .with_adaptive(AdaptiveTrigger::new(params)),
+            )
+        }),
+    ]
+}
+
+/// Runs needed by [`adaptive`].
+pub fn adaptive_plan(scale: Scale) -> Vec<RunSpec> {
+    [WorkloadKind::Engineering, WorkloadKind::Raytrace]
+        .into_iter()
+        .flat_map(|kind| adaptive_variants(kind, scale).map(|(_, spec)| spec))
+        .collect()
+}
+
 /// §8.4 future work: adaptive trigger control vs fixed triggers.
-pub fn adaptive(scale: Scale) -> String {
+pub fn adaptive(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §8.4 extension: adaptive trigger threshold ==");
     let mut t = Table::new(vec!["Workload", "Policy", "Total(ms)", "Local%", "Moves"]);
     for kind in [WorkloadKind::Engineering, WorkloadKind::Raytrace] {
-        for (label, opts) in [
-            ("fixed 32", RunOptions::new(PolicyChoice::base_mig_rep(
-                PolicyParams::base().with_trigger(32)))),
-            ("fixed 128", dynamic_options(kind)),
-            ("fixed 512", RunOptions::new(PolicyChoice::base_mig_rep(
-                PolicyParams::base().with_trigger(512)))),
-            ("adaptive", {
-                let params = base_params(kind);
-                RunOptions::new(PolicyChoice::base_mig_rep(params))
-                    .with_adaptive(AdaptiveTrigger::new(params))
-            }),
-        ] {
-            let r = run(kind, scale, opts);
+        for (label, spec) in adaptive_variants(kind, scale) {
+            let r = exec.run(&spec);
             let s = r.policy_stats.expect("dynamic run");
             t.row(vec![
                 kind.to_string(),
@@ -272,15 +371,34 @@ pub fn adaptive(scale: Scale) -> String {
     out
 }
 
+/// The bcopy and pipelined-copy runs of [`copyengine`].
+fn copyengine_specs(scale: Scale) -> [RunSpec; 2] {
+    let kind = WorkloadKind::Engineering;
+    [
+        dynamic_spec(kind, scale),
+        RunSpec::catalog(kind, scale, dynamic_options(kind).with_pipelined_copy()),
+    ]
+}
+
+/// Runs needed by [`copyengine`].
+pub fn copyengine_plan(scale: Scale) -> Vec<RunSpec> {
+    copyengine_specs(scale).into()
+}
+
 /// §7.2.2: the directory controller's pipelined page copy (35 µs vs the
 /// processor's ~100 µs bcopy).
-pub fn copyengine(scale: Scale) -> String {
-    let kind = WorkloadKind::Engineering;
+pub fn copyengine(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.2: pipelined page copy ablation ==");
-    let bcopy = run(kind, scale, dynamic_options(kind));
-    let piped = run(kind, scale, dynamic_options(kind).with_pipelined_copy());
-    let mut t = Table::new(vec!["Copy engine", "Kernel ovhd (ms)", "Copy step %", "Total(ms)"]);
+    let [bcopy_spec, piped_spec] = copyengine_specs(scale);
+    let bcopy = exec.run(&bcopy_spec);
+    let piped = exec.run(&piped_spec);
+    let mut t = Table::new(vec![
+        "Copy engine",
+        "Kernel ovhd (ms)",
+        "Copy step %",
+        "Total(ms)",
+    ]);
     for (label, r) in [("processor bcopy", &bcopy), ("MAGIC pipelined", &piped)] {
         t.row(vec![
             label.into(),
@@ -301,12 +419,17 @@ pub fn copyengine(scale: Scale) -> String {
     out
 }
 
+/// Runs needed by [`counters`].
+pub fn counters_plan(scale: Scale) -> Vec<RunSpec> {
+    vec![traced_ft_spec(WorkloadKind::Raytrace, scale)]
+}
+
 /// §7.2.1: accuracy of narrow (half-size) miss counters under sampling.
-pub fn counters(scale: Scale) -> String {
+pub fn counters(scale: Scale, exec: &Executor) -> String {
     let kind = WorkloadKind::Raytrace;
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.1: counter-width accuracy ==");
-    let machine_run = run_traced_ft(kind, scale);
+    let machine_run = run_traced_ft(exec, kind, scale);
     let trace = machine_run.trace.as_ref().expect("traced");
     let cfg = PolsimConfig::section8(8).with_other_time(other_time_of(&machine_run));
     let mut t = Table::new(vec!["Counters", "Normalized", "Local%", "Moves"]);
@@ -364,22 +487,38 @@ pub fn counters(scale: Scale) -> String {
     out
 }
 
+const SCALING_NODES: [u16; 3] = [4, 8, 16];
+
+/// The FT and Mig/Rep shared-reader runs at one node count.
+fn scaling_specs(nodes: u16, scale: Scale) -> [RunSpec; 2] {
+    [
+        RunSpec::shared_reader(nodes, scale, RunOptions::new(PolicyChoice::first_touch())),
+        RunSpec::shared_reader(
+            nodes,
+            scale,
+            RunOptions::new(PolicyChoice::base_mig_rep(PolicyParams::base())),
+        ),
+    ]
+}
+
+/// Runs needed by [`scaling`].
+pub fn scaling_plan(scale: Scale) -> Vec<RunSpec> {
+    SCALING_NODES
+        .into_iter()
+        .flat_map(|nodes| scaling_specs(nodes, scale))
+        .collect()
+}
+
 /// Node-count scaling: the benefit of dynamic placement as the machine
 /// grows (random placement finds a page locally with probability 1/N).
-pub fn scaling(scale: Scale) -> String {
+pub fn scaling(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== scaling: nodes vs locality benefit ==");
-    let mut t = Table::new(vec![
-        "Nodes", "FT local%", "MigRep local%", "Improve%",
-    ]);
-    for nodes in [4u16, 8, 16] {
-        let build = || synthetic_shared_reader(nodes, scale);
-        let ft = Machine::new(build(), RunOptions::new(PolicyChoice::first_touch())).run();
-        let mr = Machine::new(
-            build(),
-            RunOptions::new(PolicyChoice::base_mig_rep(PolicyParams::base())),
-        )
-        .run();
+    let mut t = Table::new(vec!["Nodes", "FT local%", "MigRep local%", "Improve%"]);
+    for nodes in SCALING_NODES {
+        let [ft_run, mr_run] = scaling_specs(nodes, scale);
+        let ft = exec.run(&ft_run);
+        let mr = exec.run(&mr_run);
         t.row(vec![
             nodes.to_string(),
             f1(ft.breakdown.pct_local_misses()),
@@ -396,42 +535,11 @@ pub fn scaling(scale: Scale) -> String {
     out
 }
 
-/// A raytrace-like workload parameterised by node count, built from the
-/// workload-construction primitives (one pinned reader per node sharing
-/// one scene).
-fn synthetic_shared_reader(nodes: u16, scale: Scale) -> WorkloadSpec {
-    let config = MachineConfig::cc_numa().with_nodes(nodes);
-    let mut space = PageSpace::new();
-    let scene = space.reserve(1200);
-    let code = space.reserve(90);
-    let mut streams = Vec::new();
-    for i in 0..nodes as u32 {
-        let private = space.reserve(120);
-        streams.push(ProcessStream::new(
-            Pid(i),
-            vec![
-                Segment::data("scene", scene, 1200, 0.6, 0.0).with_locality(0.10, 0.85),
-                Segment::data("private", private, 120, 0.3, 0.3),
-                Segment::code("text", code, 90, 0.1),
-            ],
-        ));
-    }
-    WorkloadSpec {
-        name: format!("shared-reader-{nodes}"),
-        streams,
-        scheduler: Box::new(Pinned::one_per_cpu(nodes)),
-        total_refs: scale.refs_per_cpu * nodes as u64,
-        seed: 0x5CA1E,
-        footprint_pages: space.allocated(),
-        config,
-    }
-}
-
 /// Freeze/defrost damping (related work \\[CoF89\\], \\[LEK91\\]): an adversarial
 /// page that is read-shared for most of each interval and then written
 /// makes the base policy replicate-and-collapse every interval; freezing
 /// the page after a collapse stops the ping-pong.
-pub fn freeze(_scale: Scale) -> String {
+pub fn freeze(_scale: Scale, _exec: &Executor) -> String {
     use ccnuma_trace::{MissRecord, Trace};
     use ccnuma_types::{Ns, ProcId, VirtPage};
 
@@ -466,8 +574,17 @@ pub fn freeze(_scale: Scale) -> String {
     }
     let trace: Trace = recs.into_iter().collect();
     let cfg = PolsimConfig::section8(8);
-    let mut table = Table::new(vec!["Policy", "Repl", "Collapses", "Move ovhd(ms)", "Total(ms)"]);
-    for (label, freeze) in [("base (write threshold only)", 0u32), ("freeze 3 intervals", 3)] {
+    let mut table = Table::new(vec![
+        "Policy",
+        "Repl",
+        "Collapses",
+        "Move ovhd(ms)",
+        "Total(ms)",
+    ]);
+    for (label, freeze) in [
+        ("base (write threshold only)", 0u32),
+        ("freeze 3 intervals", 3),
+    ] {
         let p = SimPolicy::Dynamic {
             params: PolicyParams::base().with_freeze_intervals(freeze),
             kind: DynamicPolicyKind::MigRep,
@@ -486,19 +603,32 @@ pub fn freeze(_scale: Scale) -> String {
     out
 }
 
+/// Runs needed by [`characterize`].
+pub fn characterize_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::ALL
+        .into_iter()
+        .map(|kind| traced_ft_spec(kind, scale))
+        .collect()
+}
+
 /// Miss-composition and page-concentration summary per workload — the
 /// §7.1.1 analysis behind the database result ("90% of the misses are
 /// concentrated in about 5% of the pages").
-pub fn characterize(scale: Scale) -> String {
+pub fn characterize(scale: Scale, exec: &Executor) -> String {
     use ccnuma_trace::TraceStats;
     let mut out = String::new();
     let _ = writeln!(out, "== workload miss composition (FT traces) ==");
     let mut t = Table::new(vec![
-        "Workload", "Cache misses", "TLB misses", "Write%", "Instr%", "Pages",
+        "Workload",
+        "Cache misses",
+        "TLB misses",
+        "Write%",
+        "Instr%",
+        "Pages",
         "Top5% pages hold",
     ]);
     for kind in WorkloadKind::ALL {
-        let r = run_traced_ft(kind, scale);
+        let r = run_traced_ft(exec, kind, scale);
         let s = TraceStats::of(r.trace.as_ref().expect("traced"));
         t.row(vec![
             kind.to_string(),

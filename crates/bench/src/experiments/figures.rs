@@ -1,9 +1,15 @@
 //! Figures 3–9.
+//!
+//! Each figure has a `*_plan` function naming the machine runs it needs
+//! (for the executor to batch and parallelize) and a render function
+//! that fetches those runs through the [`Executor`] handle.
 
-use crate::helpers::{base_params, dynamic_options, ft_options, other_time_of, run_traced_ft,
-                     RunPair};
+use crate::helpers::{
+    base_params, dynamic_spec, ft_spec, other_time_of, run_traced_ft, traced_ft_spec, RunPair,
+};
+use crate::plan::Executor;
 use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
-use ccnuma_machine::{Machine, RunOptions, RunReport};
+use ccnuma_machine::{RunReport, RunSpec};
 use ccnuma_polsim::{simulate, PolsimConfig, PolsimReport, SimPolicy, TraceFilter};
 use ccnuma_stats::{f1, BarChart, Table};
 use ccnuma_trace::read_chains;
@@ -25,19 +31,38 @@ fn report_bar(chart: &mut BarChart, r: &RunReport) {
     );
 }
 
+/// Runs needed by [`figure3`].
+pub fn figure3_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::USER_SET
+        .into_iter()
+        .flat_map(|kind| RunPair::specs(kind, scale))
+        .collect()
+}
+
 /// Figure 3: performance improvement of the base policy over first touch.
-pub fn figure3(scale: Scale) -> String {
+pub fn figure3(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "== Figure 3: base policy (Mig/Rep) vs first touch (FT) =="
     );
-    let mut chart = BarChart::new(vec!["mig/rep overhead", "remote stall", "local stall", "other"]);
+    let mut chart = BarChart::new(vec![
+        "mig/rep overhead",
+        "remote stall",
+        "local stall",
+        "other",
+    ]);
     let mut summary = Table::new(vec![
-        "Workload", "FT(ms)", "MigRep(ms)", "Improve%", "StallRed%", "FT local%", "MR local%",
+        "Workload",
+        "FT(ms)",
+        "MigRep(ms)",
+        "Improve%",
+        "StallRed%",
+        "FT local%",
+        "MR local%",
     ]);
     for kind in WorkloadKind::USER_SET {
-        let pair = RunPair::of(kind, scale);
+        let pair = RunPair::of(exec, kind, scale);
         report_bar(&mut chart, &pair.ft);
         report_bar(&mut chart, &pair.mig_rep);
         summary.row(vec![
@@ -55,8 +80,16 @@ pub fn figure3(scale: Scale) -> String {
     out
 }
 
+/// Runs needed by [`figure4`].
+pub fn figure4_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::USER_SET
+        .into_iter()
+        .map(|kind| traced_ft_spec(kind, scale))
+        .collect()
+}
+
 /// Figure 4: percentage of data cache misses in read chains of length ≥ L.
-pub fn figure4(scale: Scale) -> String {
+pub fn figure4(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 4: data cache misses in read chains ==");
     let _ = writeln!(
@@ -67,7 +100,7 @@ pub fn figure4(scale: Scale) -> String {
     let summaries: Vec<_> = WorkloadKind::USER_SET
         .iter()
         .map(|kind| {
-            let r = run_traced_ft(*kind, scale);
+            let r = run_traced_ft(exec, *kind, scale);
             read_chains(r.trace.as_ref().expect("traced run")).summary()
         })
         .collect();
@@ -83,22 +116,49 @@ pub fn figure4(scale: Scale) -> String {
     out
 }
 
-/// Figure 5: CC-NUMA vs CC-NOW for the engineering workload.
-pub fn figure5(scale: Scale) -> String {
+/// Figure 5's two machine configurations: CC-NUMA (the workload's native
+/// latency — plain specs, shared with Figure 3) and CC-NOW.
+fn figure5_configs(scale: Scale) -> [(&'static str, RunSpec, RunSpec); 2] {
     let kind = WorkloadKind::Engineering;
+    let now = MachineConfig::cc_now().remote_latency;
+    [
+        ("CC-NUMA", ft_spec(kind, scale), dynamic_spec(kind, scale)),
+        (
+            "CC-NOW",
+            ft_spec(kind, scale).with_remote_latency(now),
+            dynamic_spec(kind, scale).with_remote_latency(now),
+        ),
+    ]
+}
+
+/// Runs needed by [`figure5`].
+pub fn figure5_plan(scale: Scale) -> Vec<RunSpec> {
+    figure5_configs(scale)
+        .into_iter()
+        .flat_map(|(_, ft, mr)| [ft, mr])
+        .collect()
+}
+
+/// Figure 5: CC-NUMA vs CC-NOW for the engineering workload.
+pub fn figure5(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 5: CC-NUMA vs CC-NOW (engineering) ==");
-    let mut chart = BarChart::new(vec!["mig/rep overhead", "remote stall", "local stall", "other"]);
-    let mut rows = Table::new(vec!["Config", "Policy", "NonIdle(ms)", "UserStallRed%", "Improve%"]);
-    for (label, remote) in [("CC-NUMA", MachineConfig::cc_numa().remote_latency),
-                            ("CC-NOW", MachineConfig::cc_now().remote_latency)] {
-        let make = |opts: RunOptions| {
-            let mut spec = kind.build(scale);
-            spec.config = spec.config.clone().with_remote_latency(remote);
-            Machine::new(spec, opts).run()
-        };
-        let ft = make(ft_options());
-        let mr = make(dynamic_options(kind));
+    let mut chart = BarChart::new(vec![
+        "mig/rep overhead",
+        "remote stall",
+        "local stall",
+        "other",
+    ]);
+    let mut rows = Table::new(vec![
+        "Config",
+        "Policy",
+        "NonIdle(ms)",
+        "UserStallRed%",
+        "Improve%",
+    ]);
+    for (label, ft_run, mr_run) in figure5_configs(scale) {
+        let ft = exec.run(&ft_run);
+        let mr = exec.run(&mr_run);
         for r in [&ft, &mr] {
             let b = &r.breakdown;
             chart.bar(
@@ -138,13 +198,14 @@ pub fn figure5(scale: Scale) -> String {
 
 fn polsim_figure(
     out: &mut String,
+    exec: &Executor,
     workloads: &[WorkloadKind],
     scale: Scale,
     filter: TraceFilter,
     policies: impl Fn(WorkloadKind) -> Vec<SimPolicy>,
 ) {
     for kind in workloads {
-        let machine_run = run_traced_ft(*kind, scale);
+        let machine_run = run_traced_ft(exec, *kind, scale);
         let trace = machine_run.trace.as_ref().expect("traced run");
         let nodes = kind.build(Scale::quick()).config.nodes;
         let cfg = PolsimConfig::section8(nodes).with_other_time(other_time_of(&machine_run));
@@ -153,9 +214,21 @@ fn polsim_figure(
             .map(|p| simulate(trace, &cfg, p, filter))
             .collect();
         let base_total = reports[0].total();
-        let mut chart =
-            BarChart::new(vec!["mig overhead", "rep overhead", "remote stall", "local stall", "other"]);
-        let mut t = Table::new(vec!["Policy", "Normalized", "Local%", "Migr", "Repl", "Coll"]);
+        let mut chart = BarChart::new(vec![
+            "mig overhead",
+            "rep overhead",
+            "remote stall",
+            "local stall",
+            "other",
+        ]);
+        let mut t = Table::new(vec![
+            "Policy",
+            "Normalized",
+            "Local%",
+            "Migr",
+            "Repl",
+            "Coll",
+        ]);
         for r in &reports {
             let norm = if base_total == Ns::ZERO {
                 0.0
@@ -187,20 +260,32 @@ fn polsim_figure(
     }
 }
 
+/// Runs needed by [`figure6`] (shared with Figures 4, 8 and 9).
+pub fn figure6_plan(scale: Scale) -> Vec<RunSpec> {
+    figure4_plan(scale)
+}
+
 /// Figure 6: the six policies (RR, FT, PF, Migr, Repl, Mig/Rep) replayed
 /// through the trace-driven policy simulator.
-pub fn figure6(scale: Scale) -> String {
+pub fn figure6(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "== Figure 6: policy comparison on traces (normalized to RR) =="
     );
-    polsim_figure(&mut out, &WorkloadKind::USER_SET, scale, TraceFilter::UserOnly, |kind| {
-        SimPolicy::figure6_set()
-            .into_iter()
-            .map(|p| with_workload_trigger(p, kind))
-            .collect()
-    });
+    polsim_figure(
+        &mut out,
+        exec,
+        &WorkloadKind::USER_SET,
+        scale,
+        TraceFilter::UserOnly,
+        |kind| {
+            SimPolicy::figure6_set()
+                .into_iter()
+                .map(|p| with_workload_trigger(p, kind))
+                .collect()
+        },
+    );
     out
 }
 
@@ -220,15 +305,18 @@ fn with_workload_trigger(policy: SimPolicy, kind: WorkloadKind) -> SimPolicy {
     }
 }
 
+/// Runs needed by [`figure7`].
+pub fn figure7_plan(scale: Scale) -> Vec<RunSpec> {
+    vec![traced_ft_spec(WorkloadKind::Pmake, scale)]
+}
+
 /// Figure 7: the same policies on the pmake workload's *kernel* misses.
-pub fn figure7(scale: Scale) -> String {
+pub fn figure7(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== Figure 7: kernel-only policy comparison (pmake) =="
-    );
+    let _ = writeln!(out, "== Figure 7: kernel-only policy comparison (pmake) ==");
     polsim_figure(
         &mut out,
+        exec,
         &[WorkloadKind::Pmake],
         scale,
         TraceFilter::KernelOnly,
@@ -237,48 +325,71 @@ pub fn figure7(scale: Scale) -> String {
     out
 }
 
+/// Runs needed by [`figure8`].
+pub fn figure8_plan(scale: Scale) -> Vec<RunSpec> {
+    figure4_plan(scale)
+}
+
 /// Figure 8: approximate information — full/sampled cache, full/sampled
 /// TLB (1:10 sampling), Mig/Rep policy.
-pub fn figure8(scale: Scale) -> String {
+pub fn figure8(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "== Figure 8: impact of approximate information (FC/SC/FT/ST) =="
     );
-    polsim_figure(&mut out, &WorkloadKind::USER_SET, scale, TraceFilter::UserOnly, |kind| {
-        MissMetric::figure8_set()
-            .into_iter()
-            .map(|metric| {
-                // Sampled metrics see 1/rate of the events, so the
-                // thresholds scale down with the rate to keep the same
-                // effective miss-rate trigger.
-                let trigger =
-                    (crate::helpers::trigger_for(kind) / metric.rate()).max(1);
-                SimPolicy::Dynamic {
-                    params: base_params(kind).with_trigger(trigger),
-                    kind: DynamicPolicyKind::MigRep,
-                    metric,
-                }
-            })
-            .collect()
-    });
+    polsim_figure(
+        &mut out,
+        exec,
+        &WorkloadKind::USER_SET,
+        scale,
+        TraceFilter::UserOnly,
+        |kind| {
+            MissMetric::figure8_set()
+                .into_iter()
+                .map(|metric| {
+                    // Sampled metrics see 1/rate of the events, so the
+                    // thresholds scale down with the rate to keep the same
+                    // effective miss-rate trigger.
+                    let trigger = (crate::helpers::trigger_for(kind) / metric.rate()).max(1);
+                    SimPolicy::Dynamic {
+                        params: base_params(kind).with_trigger(trigger),
+                        kind: DynamicPolicyKind::MigRep,
+                        metric,
+                    }
+                })
+                .collect()
+        },
+    );
     out
+}
+
+/// Runs needed by [`figure9`].
+pub fn figure9_plan(scale: Scale) -> Vec<RunSpec> {
+    figure4_plan(scale)
 }
 
 /// Figure 9: trigger-threshold sweep (32, 64, 128, 256; sharing =
 /// trigger/4).
-pub fn figure9(scale: Scale) -> String {
+pub fn figure9(scale: Scale, exec: &Executor) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 9: trigger threshold sweep ==");
-    polsim_figure(&mut out, &WorkloadKind::USER_SET, scale, TraceFilter::UserOnly, |_| {
-        [32u32, 64, 128, 256]
-            .into_iter()
-            .map(|t| SimPolicy::Dynamic {
-                params: PolicyParams::base().with_trigger(t),
-                kind: DynamicPolicyKind::MigRep,
-                metric: MissMetric::full_cache(),
-            })
-            .collect()
-    });
+    polsim_figure(
+        &mut out,
+        exec,
+        &WorkloadKind::USER_SET,
+        scale,
+        TraceFilter::UserOnly,
+        |_| {
+            [32u32, 64, 128, 256]
+                .into_iter()
+                .map(|t| SimPolicy::Dynamic {
+                    params: PolicyParams::base().with_trigger(t),
+                    kind: DynamicPolicyKind::MigRep,
+                    metric: MissMetric::full_cache(),
+                })
+                .collect()
+        },
+    );
     out
 }

@@ -1,14 +1,248 @@
-//! One function per paper artifact.
+//! One function per paper artifact, plus the experiment registry.
 //!
 //! Naming follows the paper: `tableN` and `figureN` regenerate Table N /
 //! Figure N; the remaining functions cover section-level results. All of
-//! them return the rendered report as a `String`.
+//! them take a [`Scale`] and an [`Executor`] handle and return the
+//! rendered report as a `String`. The [`ALL`] registry binds each
+//! experiment's name (and aliases) to its run plan and its renderer, so
+//! the `repro` binary can execute the union of the requested plans in
+//! parallel before rendering anything.
 
 mod extras;
 mod figures;
 mod tables;
 
-pub use extras::{adaptive, characterize, contention, copyengine, counters, freeze, hotspot,
-                 repspace, scaling, sharing, shootdown, space};
+pub use extras::{
+    adaptive, characterize, contention, copyengine, counters, freeze, hotspot, repspace, scaling,
+    sharing, shootdown, space,
+};
 pub use figures::{figure3, figure4, figure5, figure6, figure7, figure8, figure9};
 pub use tables::{table1, table2, table3, table4, table5, table6};
+
+use crate::plan::Executor;
+use ccnuma_machine::RunSpec;
+use ccnuma_workloads::Scale;
+
+/// One registered experiment: its canonical name, accepted aliases, the
+/// machine runs it needs, and its renderer.
+pub struct Experiment {
+    /// Canonical name (what `repro --list` prints first).
+    pub name: &'static str,
+    /// Alternate names accepted on the command line.
+    pub aliases: &'static [&'static str],
+    /// The machine runs the renderer will request.
+    pub plan: fn(Scale) -> Vec<RunSpec>,
+    /// Renders the experiment, fetching runs through the executor.
+    pub render: fn(Scale, &Executor) -> String,
+}
+
+fn no_runs(_scale: Scale) -> Vec<RunSpec> {
+    Vec::new()
+}
+
+/// Every experiment, in the order `repro all` prints them.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        aliases: &["params"],
+        plan: no_runs,
+        render: table1,
+    },
+    Experiment {
+        name: "table2",
+        aliases: &["workloads"],
+        plan: no_runs,
+        render: table2,
+    },
+    Experiment {
+        name: "table3",
+        aliases: &[],
+        plan: tables::table3_plan,
+        render: table3,
+    },
+    Experiment {
+        name: "table4",
+        aliases: &[],
+        plan: tables::table4_plan,
+        render: table4,
+    },
+    Experiment {
+        name: "table5",
+        aliases: &[],
+        plan: tables::table5_plan,
+        render: table5,
+    },
+    Experiment {
+        name: "table6",
+        aliases: &[],
+        plan: tables::table6_plan,
+        render: table6,
+    },
+    Experiment {
+        name: "fig3",
+        aliases: &["figure3"],
+        plan: figures::figure3_plan,
+        render: figure3,
+    },
+    Experiment {
+        name: "fig4",
+        aliases: &["figure4"],
+        plan: figures::figure4_plan,
+        render: figure4,
+    },
+    Experiment {
+        name: "fig5",
+        aliases: &["figure5"],
+        plan: figures::figure5_plan,
+        render: figure5,
+    },
+    Experiment {
+        name: "fig6",
+        aliases: &["figure6"],
+        plan: figures::figure6_plan,
+        render: figure6,
+    },
+    Experiment {
+        name: "fig7",
+        aliases: &["figure7"],
+        plan: figures::figure7_plan,
+        render: figure7,
+    },
+    Experiment {
+        name: "fig8",
+        aliases: &["figure8"],
+        plan: figures::figure8_plan,
+        render: figure8,
+    },
+    Experiment {
+        name: "fig9",
+        aliases: &["figure9"],
+        plan: figures::figure9_plan,
+        render: figure9,
+    },
+    Experiment {
+        name: "contention",
+        aliases: &[],
+        plan: extras::contention_plan,
+        render: contention,
+    },
+    Experiment {
+        name: "space",
+        aliases: &[],
+        plan: no_runs,
+        render: space,
+    },
+    Experiment {
+        name: "repspace",
+        aliases: &[],
+        plan: extras::repspace_plan,
+        render: repspace,
+    },
+    Experiment {
+        name: "sharing",
+        aliases: &[],
+        plan: extras::sharing_plan,
+        render: sharing,
+    },
+    Experiment {
+        name: "shootdown",
+        aliases: &[],
+        plan: extras::shootdown_plan,
+        render: shootdown,
+    },
+    Experiment {
+        name: "hotspot",
+        aliases: &[],
+        plan: extras::hotspot_plan,
+        render: hotspot,
+    },
+    Experiment {
+        name: "adaptive",
+        aliases: &[],
+        plan: extras::adaptive_plan,
+        render: adaptive,
+    },
+    Experiment {
+        name: "copyengine",
+        aliases: &[],
+        plan: extras::copyengine_plan,
+        render: copyengine,
+    },
+    Experiment {
+        name: "counters",
+        aliases: &[],
+        plan: extras::counters_plan,
+        render: counters,
+    },
+    Experiment {
+        name: "scaling",
+        aliases: &[],
+        plan: extras::scaling_plan,
+        render: scaling,
+    },
+    Experiment {
+        name: "freeze",
+        aliases: &[],
+        plan: no_runs,
+        render: freeze,
+    },
+    Experiment {
+        name: "characterize",
+        aliases: &[],
+        plan: extras::characterize_plan,
+        render: characterize,
+    },
+];
+
+/// Looks an experiment up by canonical name or alias.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    ALL.iter()
+        .find(|e| e.name == name || e.aliases.contains(&name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RunPlan;
+
+    #[test]
+    fn aliases_resolve_to_their_experiment() {
+        assert_eq!(find("table1").unwrap().name, "table1");
+        assert_eq!(find("params").unwrap().name, "table1");
+        assert_eq!(find("workloads").unwrap().name, "table2");
+        assert_eq!(find("figure3").unwrap().name, "fig3");
+        assert_eq!(find("figure9").unwrap().name, "fig9");
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn names_and_aliases_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for e in ALL {
+            assert!(seen.insert(e.name), "duplicate name {}", e.name);
+            for a in e.aliases {
+                assert!(seen.insert(a), "duplicate alias {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_plan_deduplicates_across_experiments() {
+        let scale = Scale::quick();
+        let mut union = RunPlan::new();
+        let mut requested = 0;
+        for e in ALL {
+            let specs = (e.plan)(scale);
+            requested += specs.len();
+            union.extend(specs);
+        }
+        // Shared baselines (one FT run per workload, one traced FT run per
+        // workload, shared Mig/Rep runs) must collapse in the union.
+        assert!(
+            union.len() < requested,
+            "expected dedup: {} distinct of {requested} requested",
+            union.len()
+        );
+        assert!(requested - union.len() >= 10, "at least ten shared runs");
+    }
+}

@@ -1,14 +1,24 @@
 //! Tables 1–6.
 
-use crate::helpers::{base_params, dynamic_options, ft_options, run, trigger_for};
+use crate::helpers::{
+    base_params, dynamic_options, dynamic_spec, ft_options, ft_spec, run, trigger_for,
+};
+use crate::plan::Executor;
 use ccnuma_kernel::{OpClass, PagerStep};
+use ccnuma_machine::RunSpec;
 use ccnuma_stats::{f1, Table};
 use ccnuma_types::{Mode, RefClass};
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fmt::Write as _;
 
+const TABLE5_KINDS: [WorkloadKind; 3] = [
+    WorkloadKind::Engineering,
+    WorkloadKind::Raytrace,
+    WorkloadKind::Splash,
+];
+
 /// Table 1: the key policy parameters and their base values.
-pub fn table1() -> String {
+pub fn table1(_scale: Scale, _exec: &Executor) -> String {
     let mut t = Table::new(vec!["Parameter", "Semantics", "Base value"]);
     let base = base_params(WorkloadKind::Raytrace);
     t.row(vec![
@@ -40,7 +50,7 @@ pub fn table1() -> String {
 }
 
 /// Table 2: the workloads.
-pub fn table2() -> String {
+pub fn table2(_scale: Scale, _exec: &Executor) -> String {
     let mut t = Table::new(vec!["Name", "Procs", "CPUs", "Footprint MB", "Description"]);
     for kind in WorkloadKind::ALL {
         let spec = kind.build(Scale::quick());
@@ -55,16 +65,23 @@ pub fn table2() -> String {
     format!("== Table 2: workload descriptions ==\n{t}")
 }
 
+/// Runs needed by [`table3`].
+pub fn table3_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::ALL
+        .into_iter()
+        .map(|kind| ft_spec(kind, scale))
+        .collect()
+}
+
 /// Table 3: execution time and memory usage under first touch.
-pub fn table3(scale: Scale) -> String {
+pub fn table3(scale: Scale, exec: &Executor) -> String {
     let mut t = Table::new(vec![
         "Workload", "CPU(ms)", "Mem(MB)", "%User", "%Kern", "%Idle", "KInstr", "KData", "UInstr",
         "UData",
     ]);
     for kind in WorkloadKind::ALL {
-        let spec = kind.build(scale);
-        let mb = spec.footprint_mb();
-        let r = ccnuma_machine::Machine::new(spec, ft_options()).run();
+        let mb = kind.build(scale).footprint_mb();
+        let r = run(exec, kind, scale, ft_options());
         let b = &r.breakdown;
         t.row(vec![
             kind.to_string(),
@@ -85,13 +102,27 @@ pub fn table3(scale: Scale) -> String {
     )
 }
 
+/// Runs needed by [`table4`].
+pub fn table4_plan(scale: Scale) -> Vec<RunSpec> {
+    WorkloadKind::USER_SET
+        .into_iter()
+        .map(|kind| dynamic_spec(kind, scale))
+        .collect()
+}
+
 /// Table 4: breakdown of actions taken on hot pages under the base policy.
-pub fn table4(scale: Scale) -> String {
+pub fn table4(scale: Scale, exec: &Executor) -> String {
     let mut t = Table::new(vec![
-        "Workload", "Hot Pages", "%Migrate", "%Replicate", "%Remap", "%No Action", "%No Page",
+        "Workload",
+        "Hot Pages",
+        "%Migrate",
+        "%Replicate",
+        "%Remap",
+        "%No Action",
+        "%No Page",
     ]);
     for kind in WorkloadKind::USER_SET {
-        let r = run(kind, scale, dynamic_options(kind));
+        let r = run(exec, kind, scale, dynamic_options(kind));
         let s = r.policy_stats.expect("dynamic run");
         t.row(vec![
             kind.to_string(),
@@ -121,17 +152,21 @@ const TABLE5_STEPS: [PagerStep; 7] = [
     PagerStep::PolicyEnd,
 ];
 
+/// Runs needed by [`table5`] (shared with Table 6).
+pub fn table5_plan(scale: Scale) -> Vec<RunSpec> {
+    TABLE5_KINDS
+        .into_iter()
+        .map(|kind| dynamic_spec(kind, scale))
+        .collect()
+}
+
 /// Table 5: latency of the pager's steps per operation, in µs.
-pub fn table5(scale: Scale) -> String {
+pub fn table5(scale: Scale, exec: &Executor) -> String {
     let mut t = Table::new(vec![
         "Workload", "Op", "Intr", "Decis", "Alloc", "Links", "TLB", "Copy", "End", "Total",
     ]);
-    for kind in [
-        WorkloadKind::Engineering,
-        WorkloadKind::Raytrace,
-        WorkloadKind::Splash,
-    ] {
-        let r = run(kind, scale, dynamic_options(kind));
+    for kind in TABLE5_KINDS {
+        let r = run(exec, kind, scale, dynamic_options(kind));
         for op in [OpClass::Replicate, OpClass::Migrate] {
             if r.cost_book.ops(op) == 0 {
                 continue;
@@ -149,23 +184,22 @@ pub fn table5(scale: Scale) -> String {
             t.row(row);
         }
     }
-    format!(
-        "== Table 5: per-operation latency by pager step (µs, averaged) ==\n{t}"
-    )
+    format!("== Table 5: per-operation latency by pager step (µs, averaged) ==\n{t}")
+}
+
+/// Runs needed by [`table6`] (shared with Table 5).
+pub fn table6_plan(scale: Scale) -> Vec<RunSpec> {
+    table5_plan(scale)
 }
 
 /// Table 6: breakdown of total kernel overhead by function.
-pub fn table6(scale: Scale) -> String {
+pub fn table6(scale: Scale, exec: &Executor) -> String {
     let mut t = Table::new(vec![
         "Workload", "Ovhd(ms)", "TLB%", "Alloc%", "Copy%", "Fault%", "Links%", "End%", "Decis%",
         "Intr%",
     ]);
-    for kind in [
-        WorkloadKind::Engineering,
-        WorkloadKind::Raytrace,
-        WorkloadKind::Splash,
-    ] {
-        let r = run(kind, scale, dynamic_options(kind));
+    for kind in TABLE5_KINDS {
+        let r = run(exec, kind, scale, dynamic_options(kind));
         let b = &r.cost_book;
         t.row(vec![
             kind.to_string(),

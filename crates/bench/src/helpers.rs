@@ -1,9 +1,16 @@
 //! Shared experiment plumbing.
+//!
+//! Experiments never call the machine directly: they describe runs as
+//! [`RunSpec`]s (built by the `*_spec` helpers here) and fetch reports
+//! through an [`Executor`] handle, so identical runs requested by
+//! different tables and figures share one memoized report.
 
+use crate::plan::Executor;
 use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
-use ccnuma_machine::{Machine, PolicyChoice, RunOptions, RunReport};
+use ccnuma_machine::{PolicyChoice, RunOptions, RunReport, RunSpec};
 use ccnuma_types::Ns;
 use ccnuma_workloads::{Scale, WorkloadKind};
+use std::sync::Arc;
 
 /// The paper's per-workload trigger threshold: 96 for engineering, 128
 /// for everything else (Section 7).
@@ -35,15 +42,30 @@ pub fn dynamic_options(kind: WorkloadKind) -> RunOptions {
     })
 }
 
-/// Runs one workload under the given options.
-pub fn run(kind: WorkloadKind, scale: Scale, opts: RunOptions) -> RunReport {
-    Machine::new(kind.build(scale), opts).run()
+/// The first-touch baseline run of a workload.
+pub fn ft_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
+    RunSpec::catalog(kind, scale, ft_options())
 }
 
-/// Runs one workload under first touch with trace capture (the input to
-/// the Section 8 policy simulator).
-pub fn run_traced_ft(kind: WorkloadKind, scale: Scale) -> RunReport {
-    Machine::new(kind.build(scale), ft_options().with_trace()).run()
+/// The base-policy run of a workload.
+pub fn dynamic_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
+    RunSpec::catalog(kind, scale, dynamic_options(kind))
+}
+
+/// The traced first-touch run of a workload (the input to the Section 8
+/// policy simulator).
+pub fn traced_ft_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
+    RunSpec::catalog(kind, scale, ft_options().with_trace())
+}
+
+/// Fetches one workload run under the given options through `exec`.
+pub fn run(exec: &Executor, kind: WorkloadKind, scale: Scale, opts: RunOptions) -> Arc<RunReport> {
+    exec.run(&RunSpec::catalog(kind, scale, opts))
+}
+
+/// Fetches the traced first-touch run of a workload through `exec`.
+pub fn run_traced_ft(exec: &Executor, kind: WorkloadKind, scale: Scale) -> Arc<RunReport> {
+    exec.run(&traced_ft_spec(kind, scale))
 }
 
 /// The constant "all other time" a policy-simulator bar carries over
@@ -56,18 +78,23 @@ pub fn other_time_of(report: &RunReport) -> Ns {
 #[derive(Debug)]
 pub struct RunPair {
     /// The first-touch baseline.
-    pub ft: RunReport,
+    pub ft: Arc<RunReport>,
     /// The Mig/Rep run.
-    pub mig_rep: RunReport,
+    pub mig_rep: Arc<RunReport>,
 }
 
 impl RunPair {
-    /// Runs both policies on `kind` at `scale`.
-    pub fn of(kind: WorkloadKind, scale: Scale) -> RunPair {
+    /// Fetches both policies on `kind` at `scale` through `exec`.
+    pub fn of(exec: &Executor, kind: WorkloadKind, scale: Scale) -> RunPair {
         RunPair {
-            ft: run(kind, scale, ft_options()),
-            mig_rep: run(kind, scale, dynamic_options(kind)),
+            ft: exec.run(&ft_spec(kind, scale)),
+            mig_rep: exec.run(&dynamic_spec(kind, scale)),
         }
+    }
+
+    /// The two specs a pair needs, for planning.
+    pub fn specs(kind: WorkloadKind, scale: Scale) -> [RunSpec; 2] {
+        [ft_spec(kind, scale), dynamic_spec(kind, scale)]
     }
 
     /// Percentage improvement of Mig/Rep over FT in total time.
@@ -91,5 +118,17 @@ mod tests {
         assert_eq!(trigger_for(WorkloadKind::Raytrace), 128);
         assert_eq!(base_params(WorkloadKind::Engineering).sharing_threshold, 24);
         assert_eq!(base_params(WorkloadKind::Database).sharing_threshold, 32);
+    }
+
+    #[test]
+    fn pair_specs_match_what_of_fetches() {
+        let exec = Executor::serial();
+        let _ = RunPair::of(&exec, WorkloadKind::Database, Scale::quick());
+        assert_eq!(exec.stats().computed, 2);
+        // Planning the pair's specs first makes `of` pure cache hits.
+        for spec in RunPair::specs(WorkloadKind::Database, Scale::quick()) {
+            exec.run(&spec);
+        }
+        assert_eq!(exec.stats().computed, 2);
     }
 }

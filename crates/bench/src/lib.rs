@@ -4,17 +4,27 @@
 //! Figures 3–9, and the section-level results (§7.1.2 contention, §7.2.1
 //! information-gathering space overhead, §7.2.3 replication space
 //! overhead, §8.4 sharing-threshold sensitivity) — and returns the
-//! rendered report as a `String`. The `repro` binary prints them; the
-//! integration tests assert on their shape.
+//! rendered report as a `String`.
+//!
+//! Experiments do not run the machine directly: they describe runs as
+//! `RunSpec`s and fetch reports through an [`Executor`] handle. The
+//! executor memoizes reports by spec, so experiments that need the same
+//! baseline — one first-touch run per workload and scale, however many
+//! tables read it — share a single simulation, and [`Executor::execute`]
+//! computes the distinct runs of a whole [`RunPlan`] on parallel worker
+//! threads. The `repro` binary builds the union plan of the requested
+//! experiments, executes it, and renders in deterministic order; its
+//! stdout is byte-identical whatever the thread count.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use ccnuma_bench::experiments;
+//! use ccnuma_bench::{experiments, Executor};
 //! use ccnuma_workloads::Scale;
 //!
-//! println!("{}", experiments::table1());
-//! println!("{}", experiments::figure3(Scale::quick()));
+//! let exec = Executor::serial();
+//! println!("{}", experiments::table1(Scale::quick(), &exec));
+//! println!("{}", experiments::figure3(Scale::quick(), &exec));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,5 +32,9 @@
 
 pub mod experiments;
 mod helpers;
+pub mod plan;
 
-pub use helpers::{dynamic_options, ft_options, trigger_for, RunPair};
+pub use helpers::{
+    dynamic_options, dynamic_spec, ft_options, ft_spec, traced_ft_spec, trigger_for, RunPair,
+};
+pub use plan::{Executor, ExecutorStats, RunPlan, RunTiming};

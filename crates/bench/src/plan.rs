@@ -1,0 +1,260 @@
+//! Run plans and the deduplicating, parallel executor.
+//!
+//! Experiments describe the simulator runs they need as [`RunSpec`]s.
+//! A [`RunPlan`] collects specs in deterministic order, dropping
+//! duplicates; an [`Executor`] memoizes reports keyed by
+//! [`RunSpec::cache_key`] and computes the distinct specs of a plan on a
+//! pool of scoped worker threads. Because a run is a pure function of its
+//! spec, sharing one memoized report between experiments — one
+//! first-touch baseline per workload and scale, however many tables and
+//! figures read it — cannot change any output, and neither can the order
+//! in which worker threads finish: renderers pull finished reports out of
+//! the cache in plan order.
+
+use ccnuma_machine::{RunReport, RunSpec};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// An ordered, duplicate-free collection of runs to execute.
+#[derive(Default)]
+pub struct RunPlan {
+    specs: Vec<RunSpec>,
+    seen: HashSet<String>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> RunPlan {
+        RunPlan::default()
+    }
+
+    /// Adds `spec` unless an identical spec is already planned.
+    pub fn add(&mut self, spec: RunSpec) {
+        if self.seen.insert(spec.cache_key()) {
+            self.specs.push(spec);
+        }
+    }
+
+    /// Adds every spec in `specs` (deduplicating).
+    pub fn extend(&mut self, specs: impl IntoIterator<Item = RunSpec>) {
+        for spec in specs {
+            self.add(spec);
+        }
+    }
+
+    /// The distinct specs, in insertion order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Number of distinct runs planned.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if nothing is planned.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Wall-clock timing of one computed run.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Human-readable description of the run.
+    pub label: String,
+    /// Time spent simulating it.
+    pub wall: Duration,
+}
+
+/// Counters describing what an executor did.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorStats {
+    /// Worker threads used for plan execution.
+    pub jobs: usize,
+    /// Reports served from the memo cache.
+    pub hits: u64,
+    /// Reports actually computed.
+    pub computed: u64,
+}
+
+/// A memoizing run executor.
+///
+/// [`Executor::run`] returns the report for a spec, computing it on the
+/// calling thread on a cache miss. [`Executor::execute`] computes every
+/// not-yet-cached spec of a plan on up to `jobs` scoped threads, so later
+/// `run` calls are cache hits. Equal specs always share one report.
+pub struct Executor {
+    jobs: usize,
+    cache: Mutex<HashMap<String, Arc<RunReport>>>,
+    hits: AtomicU64,
+    computed: AtomicU64,
+    timings: Mutex<Vec<RunTiming>>,
+}
+
+impl Executor {
+    /// An executor that runs plans on up to `jobs` threads (minimum 1).
+    pub fn new(jobs: usize) -> Executor {
+        Executor {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A single-threaded executor (still memoizing).
+    pub fn serial() -> Executor {
+        Executor::new(1)
+    }
+
+    /// Returns the report for `spec`, computing it here if not cached.
+    pub fn run(&self, spec: &RunSpec) -> Arc<RunReport> {
+        let key = spec.cache_key();
+        if let Some(report) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(report);
+        }
+        let start = Instant::now();
+        let report = Arc::new(spec.run());
+        let wall = start.elapsed();
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.timings.lock().unwrap().push(RunTiming {
+            label: spec.describe(),
+            wall,
+        });
+        // Keep the first report if another thread raced us here; both are
+        // equal by determinism, but callers must agree on one Arc.
+        Arc::clone(self.cache.lock().unwrap().entry(key).or_insert(report))
+    }
+
+    /// Computes every spec of `plan` that is not yet cached, using up to
+    /// `jobs` worker threads. Idempotent; call before rendering so the
+    /// renderers' `run` calls all hit the cache.
+    pub fn execute(&self, plan: &RunPlan) {
+        let todo: Vec<&RunSpec> = {
+            let cache = self.cache.lock().unwrap();
+            plan.specs()
+                .iter()
+                .filter(|s| !cache.contains_key(&s.cache_key()))
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let workers = self.jobs.min(todo.len());
+        if workers <= 1 {
+            for spec in todo {
+                self.run(spec);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = todo.get(i) else {
+                        break;
+                    };
+                    self.run(spec);
+                });
+            }
+        });
+    }
+
+    /// Hit/compute counters so far.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            jobs: self.jobs,
+            hits: self.hits.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-run wall times of every computed run, in completion order.
+    pub fn timings(&self) -> Vec<RunTiming> {
+        self.timings.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_machine::{PolicyChoice, RunOptions};
+    use ccnuma_workloads::{Scale, WorkloadKind};
+
+    fn ft(kind: WorkloadKind) -> RunSpec {
+        RunSpec::catalog(
+            kind,
+            Scale::quick(),
+            RunOptions::new(PolicyChoice::first_touch()),
+        )
+    }
+
+    #[test]
+    fn plan_deduplicates_preserving_order() {
+        let mut plan = RunPlan::new();
+        plan.add(ft(WorkloadKind::Raytrace));
+        plan.add(ft(WorkloadKind::Database));
+        plan.add(ft(WorkloadKind::Raytrace));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.specs()[0].cache_key(),
+            ft(WorkloadKind::Raytrace).cache_key()
+        );
+        assert_eq!(
+            plan.specs()[1].cache_key(),
+            ft(WorkloadKind::Database).cache_key()
+        );
+    }
+
+    #[test]
+    fn run_memoizes() {
+        let exec = Executor::serial();
+        let a = exec.run(&ft(WorkloadKind::Raytrace));
+        let b = exec.run(&ft(WorkloadKind::Raytrace));
+        assert!(Arc::ptr_eq(&a, &b), "second run must be the cached report");
+        let stats = exec.stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(exec.timings().len(), 1);
+    }
+
+    #[test]
+    fn execute_then_run_hits_for_every_planned_spec() {
+        let mut plan = RunPlan::new();
+        for kind in [WorkloadKind::Raytrace, WorkloadKind::Database] {
+            plan.add(ft(kind));
+        }
+        let exec = Executor::new(2);
+        exec.execute(&plan);
+        assert_eq!(exec.stats().computed, 2);
+        for spec in plan.specs() {
+            exec.run(spec);
+        }
+        assert_eq!(exec.stats().computed, 2, "no recomputation after execute");
+        assert_eq!(exec.stats().hits, 2);
+        // Executing the same plan again is a no-op.
+        exec.execute(&plan);
+        assert_eq!(exec.stats().computed, 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_executors_agree() {
+        let spec = ft(WorkloadKind::Database);
+        let mut plan = RunPlan::new();
+        plan.add(spec.clone());
+        let serial = Executor::serial();
+        serial.execute(&plan);
+        let parallel = Executor::new(4);
+        parallel.execute(&plan);
+        let a = serial.run(&spec);
+        let b = parallel.run(&spec);
+        assert_eq!(format!("{:?}", a.breakdown), format!("{:?}", b.breakdown));
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+}

@@ -1,0 +1,73 @@
+//! Determinism guarantees the run-plan executor depends on: a run is a
+//! pure function of its spec, and rendered experiment output does not
+//! depend on the executor's thread count.
+
+use ccnuma_bench::{experiments, Executor, RunPlan};
+use ccnuma_machine::{PolicyChoice, RunOptions, RunSpec};
+use ccnuma_workloads::{Scale, WorkloadKind};
+
+#[test]
+fn same_spec_twice_produces_identical_reports() {
+    let spec = RunSpec::catalog(
+        WorkloadKind::Raytrace,
+        Scale::quick(),
+        RunOptions::new(PolicyChoice::base_mig_rep(
+            ccnuma_core::PolicyParams::base().with_trigger(16),
+        )),
+    );
+    let a = spec.run();
+    let b = spec.run();
+    // RunReport carries no Eq impl (floats, trace payloads); the Debug
+    // rendering covers every field.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn fig3_quick_output_is_byte_identical_across_job_counts() {
+    let scale = Scale::quick();
+    let exp = experiments::find("fig3").expect("fig3 registered");
+
+    let render_with_jobs = |jobs: usize| {
+        let mut plan = RunPlan::new();
+        plan.extend((exp.plan)(scale));
+        let exec = Executor::new(jobs);
+        exec.execute(&plan);
+        (exp.render)(scale, &exec)
+    };
+
+    let serial = render_with_jobs(1);
+    let parallel = render_with_jobs(8);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "fig3 output must not depend on --jobs");
+}
+
+#[test]
+fn executor_memoizes_across_experiments() {
+    // fig3 and table3 both need the engineering FT baseline; the second
+    // renderer must reuse the first's run rather than recompute.
+    let scale = Scale::quick();
+    let mut plan = RunPlan::new();
+    for name in ["fig3", "table3"] {
+        plan.extend((experiments::find(name).unwrap().plan)(scale));
+    }
+    // 8 runs for fig3 (4 workloads x FT/MigRep) + 5 FT runs for table3,
+    // of which 4 FT runs are shared.
+    assert_eq!(
+        plan.len(),
+        9,
+        "union plan must deduplicate shared baselines"
+    );
+
+    let exec = Executor::new(4);
+    exec.execute(&plan);
+    let computed_after_plan = exec.stats().computed;
+    let fig3 = (experiments::find("fig3").unwrap().render)(scale, &exec);
+    let table3 = (experiments::find("table3").unwrap().render)(scale, &exec);
+    assert!(!fig3.is_empty() && !table3.is_empty());
+    let stats = exec.stats();
+    assert_eq!(
+        stats.computed, computed_after_plan,
+        "rendering must be pure cache hits after execute()"
+    );
+    assert!(stats.hits >= 13, "every render fetch is a hit: {stats:?}");
+}

@@ -313,7 +313,14 @@ impl PolicyEngine {
             if counters.is_frozen(self.params.epoch_of(miss.now)) {
                 return Self::no_action(&mut self.stats, NoActionReason::Frozen);
             }
-            Self::decide_shared(&self.params, self.kind, &mut self.stats, miss, counters, mem_pressure)
+            Self::decide_shared(
+                &self.params,
+                self.kind,
+                &mut self.stats,
+                miss,
+                counters,
+                mem_pressure,
+            )
         } else {
             Self::decide_unshared(&self.params, self.kind, &mut self.stats, miss, counters)
         }
@@ -433,7 +440,13 @@ mod tests {
         PolicyEngine::new(PolicyParams::base().with_trigger(TRIG), kind)
     }
 
-    fn heat(engine: &mut PolicyEngine, proc: u16, node: u16, page: u64, loc: &PageLocation) -> PolicyAction {
+    fn heat(
+        engine: &mut PolicyEngine,
+        proc: u16,
+        node: u16,
+        page: u64,
+        loc: &PageLocation,
+    ) -> PolicyAction {
         let mut last = PolicyAction::nothing_not_hot();
         for t in 0..TRIG as u64 {
             last = engine.observe(
@@ -519,7 +532,9 @@ mod tests {
 
     #[test]
     fn hotspot_extension_migrates_write_shared() {
-        let params = PolicyParams::base().with_trigger(TRIG).with_hotspot_migrate(true);
+        let params = PolicyParams::base()
+            .with_trigger(TRIG)
+            .with_hotspot_migrate(true);
         let mut e = PolicyEngine::new(params, DynamicPolicyKind::MigRep);
         let loc0 = PageLocation::master_only(NodeId(0), NodeId(0));
         for t in 0..4u64 {
@@ -729,24 +744,38 @@ mod tests {
 
     #[test]
     fn freeze_blocks_rereplication_until_defrost() {
-        let params = PolicyParams::base().with_trigger(TRIG).with_freeze_intervals(2);
+        let params = PolicyParams::base()
+            .with_trigger(TRIG)
+            .with_freeze_intervals(2);
         let mut e = PolicyEngine::new(params, DynamicPolicyKind::MigRep);
         let page = VirtPage(1);
         // Heat the page from two procs so it is a replication candidate.
         let loc0 = PageLocation::master_only(NodeId(0), NodeId(0));
         for t in 0..4u64 {
-            e.observe(ObservedMiss::read(Ns(t), ProcId(0), NodeId(0), page), &loc0, false);
+            e.observe(
+                ObservedMiss::read(Ns(t), ProcId(0), NodeId(0), page),
+                &loc0,
+                false,
+            );
         }
         // A write to the (now notionally replicated) page collapses and
         // freezes it for 2 further intervals.
         let loc_repl = PageLocation::new(NodeId(0), NodeId(1), &[NodeId(0), NodeId(1)]);
-        let a = e.observe(ObservedMiss::write(Ns(10), ProcId(1), NodeId(1), page), &loc_repl, false);
+        let a = e.observe(
+            ObservedMiss::write(Ns(10), ProcId(1), NodeId(1), page),
+            &loc_repl,
+            false,
+        );
         assert_eq!(a, PolicyAction::Collapse);
         // Reheating in the next interval is refused with Frozen.
         let next = Ns::from_ms(150).0;
         let loc1 = PageLocation::master_only(NodeId(0), NodeId(1));
         for t in 0..4u64 {
-            e.observe(ObservedMiss::read(Ns(next + t), ProcId(0), NodeId(0), page), &loc0, false);
+            e.observe(
+                ObservedMiss::read(Ns(next + t), ProcId(0), NodeId(0), page),
+                &loc0,
+                false,
+            );
         }
         let mut last = PolicyAction::nothing_not_hot();
         for t in 0..TRIG as u64 {
@@ -761,7 +790,11 @@ mod tests {
         // Four intervals later the page has defrosted and replicates again.
         let later = Ns::from_ms(450).0;
         for t in 0..4u64 {
-            e.observe(ObservedMiss::read(Ns(later + t), ProcId(0), NodeId(0), page), &loc0, false);
+            e.observe(
+                ObservedMiss::read(Ns(later + t), ProcId(0), NodeId(0), page),
+                &loc0,
+                false,
+            );
         }
         let mut last = PolicyAction::nothing_not_hot();
         for t in 0..TRIG as u64 {

@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn sampled_tlb_counts_one_in_n() {
         let mut m = MissMetric::sampled_tlb(5);
-        let admitted = (0..25).filter(|&t| m.admits(&cache_rec(t).as_tlb())).count();
+        let admitted = (0..25)
+            .filter(|&t| m.admits(&cache_rec(t).as_tlb()))
+            .count();
         assert_eq!(admitted, 5);
     }
 }

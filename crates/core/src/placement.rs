@@ -202,12 +202,17 @@ mod tests {
     #[test]
     fn round_robin_cycles_and_is_stable() {
         let mut rr = RoundRobin::new(3);
-        let homes: Vec<NodeId> = (0..6)
-            .map(|i| rr.place(VirtPage(i), NodeId(0)))
-            .collect();
+        let homes: Vec<NodeId> = (0..6).map(|i| rr.place(VirtPage(i), NodeId(0))).collect();
         assert_eq!(
             homes,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(0),
+                NodeId(1),
+                NodeId(2)
+            ]
         );
         assert_eq!(rr.place(VirtPage(2), NodeId(2)), NodeId(2));
         assert_eq!(rr.kind(), StaticPolicyKind::RoundRobin);
@@ -232,10 +237,20 @@ mod tests {
         let cfg = MachineConfig::cc_numa();
         let mut recs = Vec::new();
         for t in 0..10u64 {
-            recs.push(MissRecord::user_data_read(Ns(t), ProcId(3), Pid(0), VirtPage(1)));
+            recs.push(MissRecord::user_data_read(
+                Ns(t),
+                ProcId(3),
+                Pid(0),
+                VirtPage(1),
+            ));
         }
         for t in 10..13u64 {
-            recs.push(MissRecord::user_data_read(Ns(t), ProcId(0), Pid(1), VirtPage(1)));
+            recs.push(MissRecord::user_data_read(
+                Ns(t),
+                ProcId(0),
+                Pid(1),
+                VirtPage(1),
+            ));
         }
         // TLB misses must not influence PF placement.
         for t in 13..40u64 {
@@ -258,8 +273,16 @@ mod tests {
         .into_iter()
         .collect();
         let mut pf = PostFacto::from_trace(&trace, &cfg);
-        assert_eq!(pf.place(VirtPage(2), NodeId(7)), NodeId(1), "tie -> low node");
-        assert_eq!(pf.place(VirtPage(99), NodeId(6)), NodeId(6), "unseen -> first touch");
+        assert_eq!(
+            pf.place(VirtPage(2), NodeId(7)),
+            NodeId(1),
+            "tie -> low node"
+        );
+        assert_eq!(
+            pf.place(VirtPage(99), NodeId(6)),
+            NodeId(6),
+            "unseen -> first touch"
+        );
     }
 
     #[test]

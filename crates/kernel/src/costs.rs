@@ -354,7 +354,10 @@ mod tests {
         b.count_op(OpClass::Migrate);
         b.count_op(OpClass::Migrate);
         assert_eq!(b.ops(OpClass::Migrate), 2);
-        assert_eq!(b.avg_step(OpClass::Migrate, PagerStep::PageCopy), Ns::from_us(75));
+        assert_eq!(
+            b.avg_step(OpClass::Migrate, PagerStep::PageCopy),
+            Ns::from_us(75)
+        );
         assert_eq!(b.avg_total(OpClass::Migrate), Ns::from_us(75));
         assert_eq!(b.avg_total(OpClass::Replicate), Ns::ZERO);
     }
@@ -377,7 +380,10 @@ mod tests {
         b.add(OpClass::Migrate, PagerStep::TlbFlush, Ns::from_us(30));
         b.count_op(OpClass::Migrate);
         b.add_system(PagerStep::TlbFlush, Ns::from_us(300));
-        assert_eq!(b.avg_step(OpClass::Migrate, PagerStep::TlbFlush), Ns::from_us(30));
+        assert_eq!(
+            b.avg_step(OpClass::Migrate, PagerStep::TlbFlush),
+            Ns::from_us(30)
+        );
         assert_eq!(b.total_by_step(PagerStep::TlbFlush), Ns::from_us(330));
         assert_eq!(b.system_total(PagerStep::TlbFlush), Ns::from_us(300));
         assert_eq!(b.total(), Ns::from_us(330));

@@ -150,7 +150,9 @@ mod tests {
     use super::*;
 
     fn small() -> MachineConfig {
-        MachineConfig::cc_numa().with_nodes(2).with_frames_per_node(4)
+        MachineConfig::cc_numa()
+            .with_nodes(2)
+            .with_frames_per_node(4)
     }
 
     #[test]
@@ -211,7 +213,9 @@ mod tests {
 
     #[test]
     fn pressure_trips_below_threshold() {
-        let cfg = MachineConfig::cc_numa().with_nodes(1).with_frames_per_node(100);
+        let cfg = MachineConfig::cc_numa()
+            .with_nodes(1)
+            .with_frames_per_node(100);
         let mut a = FrameAllocator::new(&cfg).with_pressure_threshold(0.10);
         for _ in 0..90 {
             a.alloc(NodeId(0)).unwrap();

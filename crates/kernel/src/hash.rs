@@ -172,10 +172,7 @@ impl PageHash {
     pub fn copy_nodes(&self, page: VirtPage) -> Vec<NodeId> {
         match self.entries.get(&page) {
             None => Vec::new(),
-            Some(e) => e
-                .all_frames()
-                .map(|f| self.cfg.node_of_frame(f))
-                .collect(),
+            Some(e) => e.all_frames().map(|f| self.cfg.node_of_frame(f)).collect(),
         }
     }
 

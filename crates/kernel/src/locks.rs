@@ -167,7 +167,10 @@ mod tests {
         // A different page's lock does not contend.
         assert_eq!(m.acquire(LockId::Page(VirtPage(2)), Ns(10), Ns(100)), Ns(0));
         // The same page's lock does.
-        assert_eq!(m.acquire(LockId::Page(VirtPage(1)), Ns(10), Ns(100)), Ns(90));
+        assert_eq!(
+            m.acquire(LockId::Page(VirtPage(1)), Ns(10), Ns(100)),
+            Ns(90)
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! out of a run.
 
 use crate::costs::OpClass;
-use crate::{CostBook, CostParams, FrameAllocator, LockGranularity, LockId, LockModel, PageHash,
-            PageTables, PagerStep};
+use crate::{
+    CostBook, CostParams, FrameAllocator, LockGranularity, LockId, LockModel, PageHash, PageTables,
+    PagerStep,
+};
 use ccnuma_core::PageLocation;
 use ccnuma_types::{Frame, MachineConfig, NodeId, Ns, Pid, VirtPage};
 use std::collections::{HashMap, HashSet};
@@ -442,11 +444,15 @@ impl Pager {
         costs: &CostParams,
     ) -> OpOutcome {
         match *op {
-            PageOp::Migrate { page, to } => self.do_migrate(now, page, to, intr_share, flush_share, costs),
+            PageOp::Migrate { page, to } => {
+                self.do_migrate(now, page, to, intr_share, flush_share, costs)
+            }
             PageOp::Replicate { page, at } => {
                 self.do_replicate(now, page, at, intr_share, flush_share, costs)
             }
-            PageOp::Collapse { page } => self.do_collapse(now, page, intr_share, flush_share, costs),
+            PageOp::Collapse { page } => {
+                self.do_collapse(now, page, intr_share, flush_share, costs)
+            }
             PageOp::Remap { page, pid, to } => self.do_remap(page, pid, to, intr_share, costs),
         }
     }
@@ -470,7 +476,8 @@ impl Pager {
         }
         let class = OpClass::Migrate;
         let mut latency = intr_share + costs.decision;
-        self.book.add(class, PagerStep::PolicyDecision, costs.decision);
+        self.book
+            .add(class, PagerStep::PolicyDecision, costs.decision);
 
         // Step 4: allocate, contending on memlock.
         let wait = self
@@ -532,7 +539,8 @@ impl Pager {
         }
         let class = OpClass::Replicate;
         let mut latency = intr_share + costs.decision;
-        self.book.add(class, PagerStep::PolicyDecision, costs.decision);
+        self.book
+            .add(class, PagerStep::PolicyDecision, costs.decision);
 
         let wait = self
             .locks
@@ -576,9 +584,7 @@ impl Pager {
         for (pid, f) in &nearest {
             lookup.insert(*pid, *f);
         }
-        let moved = self
-            .tables
-            .repoint_each(page, &pids, |pid| lookup[&pid]);
+        let moved = self.tables.repoint_each(page, &pids, |pid| lookup[&pid]);
         let end = costs.end_repl_base + costs.per_pte * moved as u64;
         self.book.add(class, PagerStep::PolicyEnd, end);
         latency += end;
@@ -605,7 +611,8 @@ impl Pager {
         }
         let class = OpClass::Collapse;
         let mut latency = intr_share + costs.decision;
-        self.book.add(class, PagerStep::PolicyDecision, costs.decision);
+        self.book
+            .add(class, PagerStep::PolicyDecision, costs.decision);
 
         let master = entry.master();
         let wait = self
@@ -665,25 +672,36 @@ mod tests {
     }
 
     fn tiny_pager() -> Pager {
-        let m = MachineConfig::cc_numa().with_nodes(2).with_frames_per_node(2);
+        let m = MachineConfig::cc_numa()
+            .with_nodes(2)
+            .with_frames_per_node(2);
         Pager::new(PagerConfig::for_machine(m))
     }
 
     #[test]
     fn first_touch_allocates_on_node() {
         let mut p = pager();
-        assert_eq!(p.first_touch(Pid(1), VirtPage(1), NodeId(3)), Some(NodeId(3)));
+        assert_eq!(
+            p.first_touch(Pid(1), VirtPage(1), NodeId(3)),
+            Some(NodeId(3))
+        );
         assert_eq!(p.mapping_node(Pid(1), VirtPage(1)), Some(NodeId(3)));
         assert_eq!(p.copies(VirtPage(1)), vec![NodeId(3)]);
         // idempotent
-        assert_eq!(p.first_touch(Pid(1), VirtPage(1), NodeId(5)), Some(NodeId(3)));
+        assert_eq!(
+            p.first_touch(Pid(1), VirtPage(1), NodeId(5)),
+            Some(NodeId(3))
+        );
     }
 
     #[test]
     fn second_process_maps_existing_master() {
         let mut p = pager();
         p.first_touch(Pid(1), VirtPage(1), NodeId(0));
-        assert_eq!(p.first_touch(Pid(2), VirtPage(1), NodeId(4)), Some(NodeId(0)));
+        assert_eq!(
+            p.first_touch(Pid(2), VirtPage(1), NodeId(4)),
+            Some(NodeId(0))
+        );
         assert_eq!(p.mapping_node(Pid(2), VirtPage(1)), Some(NodeId(0)));
     }
 

@@ -204,7 +204,11 @@ mod tests {
         assert_eq!(changed, 1);
         assert_eq!(pt.lookup(Pid(1), VirtPage(5)), Some(Frame(51)));
         assert_eq!(pt.lookup(Pid(2), VirtPage(5)), Some(Frame(50)));
-        assert_eq!(pt.lookup(Pid(3), VirtPage(5)), None, "unmapped pid untouched");
+        assert_eq!(
+            pt.lookup(Pid(3), VirtPage(5)),
+            None,
+            "unmapped pid untouched"
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`DirectoryModel`] — per-node controller occupancy and queueing
 //!   (the §7.1.2 contention statistics);
 //! * [`Machine`] + [`RunOptions`] — the full-system runner;
+//! * [`RunSpec`] — a serializable-by-value run description; a run is a
+//!   pure function of its spec, which the bench executor exploits to
+//!   memoize and parallelize;
 //! * [`RunReport`] — everything a table or figure needs from one run.
 //!
 //! # Examples
@@ -39,6 +42,7 @@ mod coherence;
 mod contention;
 mod report;
 mod runner;
+mod spec;
 mod tlb;
 
 pub use cache::L2Cache;
@@ -46,4 +50,5 @@ pub use coherence::CoherenceDir;
 pub use contention::{ContentionStats, DirectoryModel};
 pub use report::RunReport;
 pub use runner::{Machine, PolicyChoice, RunOptions};
+pub use spec::{RunKind, RunSpec};
 pub use tlb::Tlb;

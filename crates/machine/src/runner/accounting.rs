@@ -1,0 +1,63 @@
+//! Run accounting: building miss records and assembling the final
+//! [`RunReport`] from the simulation state.
+
+use super::Sim;
+use crate::RunReport;
+use ccnuma_trace::{MissRecord, MissSource, TraceBuilder};
+use ccnuma_types::{MemAccess, Ns, Pid, ProcId};
+
+impl Sim {
+    pub(super) fn record_of(
+        &self,
+        cpu: usize,
+        pid: Pid,
+        access: &MemAccess,
+        source: MissSource,
+    ) -> MissRecord {
+        MissRecord {
+            time: self.clocks[cpu],
+            proc: ProcId(cpu as u16),
+            pid,
+            page: access.page,
+            kind: access.kind,
+            mode: access.mode,
+            class: access.class,
+            source,
+        }
+    }
+
+    pub(super) fn finish(mut self) -> RunReport {
+        let sim_time = self.clocks.iter().copied().fold(Ns::ZERO, Ns::max);
+        let cpu_time = self.clocks.iter().copied().sum::<Ns>();
+        let avg_local = if self.local_lat_n == 0 {
+            Ns::ZERO
+        } else {
+            self.local_lat_sum / self.local_lat_n
+        };
+        let avg_tlbs = if self.flush_batches == 0 {
+            0.0
+        } else {
+            self.tlbs_flushed_sum as f64 / self.flush_batches as f64
+        };
+        RunReport {
+            workload: self.spec.name.clone(),
+            policy_label: self.opts.policy.label(),
+            breakdown: self.breakdown,
+            policy_stats: self.engine.as_ref().map(|e| *e.stats()),
+            cost_book: self.pager.book().clone(),
+            contention: *self.directory.stats(),
+            max_occupancy: self.directory.max_occupancy(sim_time),
+            sim_time,
+            cpu_time,
+            trace: self.trace.take().map(TraceBuilder::finish),
+            distinct_pages: self.pager.hash().len() as u64,
+            replica_frames_peak: self.pager.hash().replica_frames_peak(),
+            replication_space_overhead_pct: self.pager.replication_space_overhead_pct(),
+            frames_used: self.pager.frames().used_total(),
+            lock_wait: self.pager.locks().total_wait(),
+            lock_contention_rate: self.pager.locks().contention_rate(),
+            avg_local_miss_latency: avg_local,
+            avg_tlbs_flushed: avg_tlbs,
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The memory-access path: one reference through TLB, L2, coherence and
+//! the NUMA memory system, charging every nanosecond to the breakdown.
+
+use super::Sim;
+use ccnuma_core::Placer;
+use ccnuma_trace::MissSource;
+use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId};
+
+/// TLB refill cost (software-reloaded TLB handler, kernel time).
+const TLB_REFILL: Ns = Ns(250);
+
+impl Sim {
+    pub(super) fn node_of(&self, cpu: usize) -> NodeId {
+        self.spec.config.node_of_proc(ProcId(cpu as u16))
+    }
+
+    /// Simulates one memory reference on `cpu`.
+    pub(super) fn step(&mut self, cpu: usize, pid: Pid, access: MemAccess) {
+        let compute = self.spec.config.compute_ns_per_ref;
+        let l2_hit = self.spec.config.l2_hit;
+        let local_latency = self.spec.config.local_latency;
+        let remote_latency = self.spec.config.remote_latency;
+        let my_node = self.node_of(cpu);
+        let proc = ProcId(cpu as u16);
+
+        // Compute time between references.
+        self.breakdown.add_busy(access.mode, compute);
+        self.clocks[cpu] += compute;
+
+        // First touch: allocate/map the page. If the whole machine is
+        // out of frames, reclaim replicated pages (the §7.2.3 pressure
+        // response) before giving up.
+        if self.pager.mapping_node(pid, access.page).is_none() {
+            let home = match &mut self.rr {
+                Some(rr) => rr.place(access.page, my_node),
+                None => my_node,
+            };
+            if self.pager.first_touch(pid, access.page, home).is_none() {
+                for n in 0..self.spec.config.nodes {
+                    self.pager.reclaim_replicas_on(NodeId(n), 8);
+                }
+                self.pager
+                    .first_touch(pid, access.page, home)
+                    .expect("machine out of memory even after replica reclaim");
+            }
+        }
+
+        // TLB.
+        if !self.tlb[cpu].access(access.page) {
+            self.breakdown
+                .add_busy(ccnuma_types::Mode::Kernel, TLB_REFILL);
+            self.clocks[cpu] += TLB_REFILL;
+            let rec = self.record_of(cpu, pid, &access, MissSource::Tlb);
+            if let Some(t) = &mut self.trace {
+                t.push(rec);
+            }
+            self.drive_policy(cpu, pid, my_node, proc, &rec);
+        }
+
+        // L2 + coherence.
+        let hit = self.l2[cpu].access(access.page, access.line);
+        if access.kind == AccessKind::Write {
+            for victim in self.coherence.write(proc, access.page, access.line) {
+                self.l2[victim.index()].invalidate(access.page, access.line);
+            }
+        } else if !hit {
+            self.coherence.record_fill(proc, access.page, access.line);
+        }
+
+        if hit {
+            self.breakdown
+                .add_hit_stall(access.mode, access.class, l2_hit);
+            self.clocks[cpu] += l2_hit;
+            return;
+        }
+
+        // Secondary-cache miss: go to memory.
+        let mapped = self
+            .pager
+            .mapping_node(pid, access.page)
+            .expect("mapped above");
+        let remote = mapped != my_node;
+        let base = if remote {
+            remote_latency
+        } else {
+            local_latency
+        };
+        let wait = self.directory.request(self.clocks[cpu], mapped, remote);
+        let latency = base + wait;
+        self.breakdown
+            .add_stall(access.mode, access.class, remote, latency);
+        self.clocks[cpu] += latency;
+        if !remote {
+            self.local_lat_sum += latency;
+            self.local_lat_n += 1;
+        }
+
+        let rec = self.record_of(cpu, pid, &access, MissSource::Cache);
+        if let Some(t) = &mut self.trace {
+            t.push(rec);
+        }
+        self.drive_policy(cpu, pid, my_node, proc, &rec);
+    }
+}

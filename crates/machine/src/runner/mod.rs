@@ -1,0 +1,230 @@
+//! The full-system runner: workload × kernel × policy → [`RunReport`].
+//!
+//! The simulation state lives in one [`Sim`] struct, but its behaviour is
+//! split across focused submodules behind the [`Machine`] facade:
+//!
+//! * [`options`] — [`PolicyChoice`] and [`RunOptions`];
+//! * `sched` — the main loop: clock ordering, quantum boundaries, context
+//!   switches, idle accounting, adaptive-interval ticks;
+//! * `memory` — the per-reference access path (TLB, L2, coherence, NUMA
+//!   memory) and its breakdown charges;
+//! * `policy` — miss events into the policy engine, page-op batching, the
+//!   pager and TLB shootdown;
+//! * `accounting` — miss records and final report assembly.
+//!
+//! A run is a pure function of its inputs: `Sim` owns all state
+//! (including its RNG, seeded from the workload spec), is `Send`, and
+//! touches nothing global — which is what lets the bench executor run
+//! distinct specs on worker threads and memoize reports by spec.
+
+mod accounting;
+mod memory;
+mod options;
+mod policy;
+mod sched;
+
+pub use options::{PolicyChoice, RunOptions};
+
+use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
+use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
+use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+use ccnuma_stats::RunBreakdown;
+use ccnuma_trace::TraceBuilder;
+use ccnuma_types::{Ns, Pid};
+use ccnuma_workloads::WorkloadSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The assembled machine, ready to run one workload under one policy.
+pub struct Machine {
+    spec: WorkloadSpec,
+    opts: RunOptions,
+}
+
+impl Machine {
+    /// Builds a machine for `spec` with `opts`.
+    pub fn new(spec: WorkloadSpec, opts: RunOptions) -> Machine {
+        Machine { spec, opts }
+    }
+
+    /// Runs the workload to completion and reports.
+    pub fn run(self) -> RunReport {
+        Sim::new(self.spec, self.opts).run()
+    }
+}
+
+/// Internal simulation state. Assembly lives here; behaviour lives in the
+/// sibling submodules.
+struct Sim {
+    spec: WorkloadSpec,
+    opts: RunOptions,
+    rng: SmallRng,
+    clocks: Vec<Ns>,
+    cur_pid: Vec<Option<Pid>>,
+    cur_quantum: Vec<u64>,
+    l2: Vec<L2Cache>,
+    tlb: Vec<Tlb>,
+    coherence: CoherenceDir,
+    directory: DirectoryModel,
+    pager: Pager,
+    engine: Option<PolicyEngine>,
+    metric: Option<MissMetric>,
+    rr: Option<RoundRobin>,
+    breakdown: RunBreakdown,
+    trace: Option<TraceBuilder>,
+    pending: Vec<(PageOp, PolicyAction)>,
+    local_lat_sum: Ns,
+    local_lat_n: u64,
+    tlbs_flushed_sum: u64,
+    flush_batches: u64,
+    adaptive: Option<AdaptiveTrigger>,
+    adaptive_epoch: u64,
+    adaptive_snap: (Ns, Ns, Ns),
+}
+
+impl Sim {
+    fn new(spec: WorkloadSpec, opts: RunOptions) -> Sim {
+        let cfg = spec.config.clone();
+        let procs = cfg.procs() as usize;
+        let pager_cfg = PagerConfig::for_machine(cfg.clone())
+            .with_shootdown(opts.shootdown)
+            .with_granularity(opts.granularity)
+            .with_pipelined_copy(opts.pipelined_copy);
+        let (engine, metric, rr) = match &opts.policy {
+            PolicyChoice::FirstTouch => (None, None, None),
+            PolicyChoice::RoundRobin => (None, None, Some(RoundRobin::new(cfg.nodes))),
+            PolicyChoice::Dynamic {
+                params,
+                kind,
+                metric,
+            } => (
+                Some(PolicyEngine::with_procs(*params, *kind, procs)),
+                Some(metric.clone()),
+                None,
+            ),
+        };
+        Sim {
+            rng: SmallRng::seed_from_u64(spec.seed),
+            clocks: vec![Ns::ZERO; procs],
+            cur_pid: vec![None; procs],
+            cur_quantum: vec![u64::MAX; procs],
+            l2: (0..procs).map(|_| L2Cache::new(&cfg)).collect(),
+            tlb: (0..procs).map(|_| Tlb::new(&cfg)).collect(),
+            coherence: CoherenceDir::new(),
+            directory: DirectoryModel::new(&cfg),
+            pager: Pager::new(pager_cfg),
+            engine,
+            metric,
+            rr,
+            breakdown: RunBreakdown::new(),
+            trace: if opts.capture_trace {
+                Some(TraceBuilder::new())
+            } else {
+                None
+            },
+            pending: Vec::new(),
+            local_lat_sum: Ns::ZERO,
+            local_lat_n: 0,
+            tlbs_flushed_sum: 0,
+            flush_batches: 0,
+            adaptive: opts.adaptive.clone(),
+            adaptive_epoch: 0,
+            adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
+            spec,
+            opts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_core::PolicyParams;
+    use ccnuma_workloads::{Scale, WorkloadKind};
+
+    fn quick(kind: WorkloadKind, policy: PolicyChoice) -> RunReport {
+        Machine::new(kind.build(Scale::quick()), RunOptions::new(policy)).run()
+    }
+
+    #[test]
+    fn machine_and_sim_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<Sim>();
+    }
+
+    #[test]
+    fn first_touch_run_produces_sane_breakdown() {
+        let r = quick(WorkloadKind::Raytrace, PolicyChoice::first_touch());
+        assert_eq!(r.policy_label, "FT");
+        assert!(r.breakdown.total() > Ns::ZERO);
+        assert!(
+            r.breakdown.remote_misses() > 0,
+            "8 nodes: most misses remote"
+        );
+        assert!(r.breakdown.local_misses() > 0);
+        assert!(r.policy_stats.is_none());
+        assert!(r.distinct_pages > 500);
+        assert!(r.sim_time > Ns::ZERO);
+    }
+
+    #[test]
+    fn round_robin_spreads_pages() {
+        let r = quick(WorkloadKind::Raytrace, PolicyChoice::round_robin());
+        // Under RR on 8 nodes roughly 1/8 of misses are local.
+        let pct = r.breakdown.pct_local_misses();
+        assert!((5.0..25.0).contains(&pct), "RR local% = {pct}");
+    }
+
+    #[test]
+    fn dynamic_policy_moves_pages_and_improves_locality() {
+        let ft = quick(WorkloadKind::Raytrace, PolicyChoice::first_touch());
+        // Quick runs are short; lower the trigger so pages heat up.
+        let params = PolicyParams::base().with_trigger(16);
+        let mr = quick(WorkloadKind::Raytrace, PolicyChoice::base_mig_rep(params));
+        let stats = mr.policy_stats.expect("dynamic run has stats");
+        assert!(stats.hot_events > 0, "pages must heat up");
+        assert!(
+            stats.replications > 0,
+            "raytrace's read-shared scene must replicate: {stats:?}"
+        );
+        assert!(
+            mr.breakdown.pct_local_misses() > ft.breakdown.pct_local_misses(),
+            "Mig/Rep locality {} <= FT {}",
+            mr.breakdown.pct_local_misses(),
+            ft.breakdown.pct_local_misses()
+        );
+        assert!(mr.cost_book.total() > Ns::ZERO);
+        assert!(mr.replica_frames_peak > 0);
+    }
+
+    #[test]
+    fn trace_capture_contains_both_sources() {
+        let spec = WorkloadKind::Database.build(Scale::quick());
+        let r = Machine::new(
+            spec,
+            RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+        )
+        .run();
+        let t = r.trace.expect("trace requested");
+        assert!(t.cache_misses().count() > 0);
+        assert!(t.tlb_misses().count() > 0);
+        // Timestamps are sorted.
+        assert!(t.as_slice().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn database_idles() {
+        let r = quick(WorkloadKind::Database, PolicyChoice::first_touch());
+        let idle_pct = r.breakdown.idle_pct_of_total();
+        assert!((20.0..55.0).contains(&idle_pct), "idle {idle_pct}%");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
+        let b = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-run configuration: the placement policy and the kernel knobs.
+
+use ccnuma_core::{AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
+use ccnuma_kernel::{LockGranularity, ShootdownMode};
+use ccnuma_trace::MissSource;
+
+/// The page-placement policy for a run.
+#[derive(Debug, Clone)]
+pub enum PolicyChoice {
+    /// First-touch static placement — the CC-NUMA default (the paper's
+    /// baseline for Section 7).
+    FirstTouch,
+    /// Round-robin static placement.
+    RoundRobin,
+    /// The dynamic migration/replication policy.
+    Dynamic {
+        /// Table 1 parameters.
+        params: PolicyParams,
+        /// Mig-only, Repl-only, or the combined policy.
+        kind: DynamicPolicyKind,
+        /// Which miss events drive the policy.
+        metric: MissMetric,
+    },
+}
+
+impl PolicyChoice {
+    /// First-touch baseline.
+    pub fn first_touch() -> PolicyChoice {
+        PolicyChoice::FirstTouch
+    }
+
+    /// Round-robin baseline.
+    pub fn round_robin() -> PolicyChoice {
+        PolicyChoice::RoundRobin
+    }
+
+    /// The paper's base policy driven by full cache-miss information.
+    pub fn base_mig_rep(params: PolicyParams) -> PolicyChoice {
+        PolicyChoice::Dynamic {
+            params,
+            kind: DynamicPolicyKind::MigRep,
+            metric: MissMetric::full_cache(),
+        }
+    }
+
+    /// Short label for tables and figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::FirstTouch => "FT".into(),
+            PolicyChoice::RoundRobin => "RR".into(),
+            PolicyChoice::Dynamic { kind, metric, .. } => {
+                if metric.rate() == 1 && metric.source() == MissSource::Cache {
+                    kind.to_string()
+                } else {
+                    format!("{kind} [{metric}]")
+                }
+            }
+        }
+    }
+}
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The placement policy.
+    pub policy: PolicyChoice,
+    /// Capture a full miss trace (needed to feed the policy simulator).
+    pub capture_trace: bool,
+    /// TLB shootdown strategy (§7.2.2 ablation).
+    pub shootdown: ShootdownMode,
+    /// Kernel lock granularity (locking ablation).
+    pub granularity: LockGranularity,
+    /// Hot pages collected per pager interrupt (batching ablation).
+    pub batch_pages: usize,
+    /// §7.2.2: use the directory controller's pipelined page copy.
+    pub pipelined_copy: bool,
+    /// §8.4: adapt the trigger threshold at reset-interval boundaries.
+    pub adaptive: Option<AdaptiveTrigger>,
+}
+
+impl RunOptions {
+    /// Defaults: broadcast shootdown, fine locks, 4-page batches, no
+    /// trace capture.
+    pub fn new(policy: PolicyChoice) -> RunOptions {
+        RunOptions {
+            policy,
+            capture_trace: false,
+            shootdown: ShootdownMode::Broadcast,
+            granularity: LockGranularity::Fine,
+            batch_pages: 4,
+            pipelined_copy: false,
+            adaptive: None,
+        }
+    }
+
+    /// Enables trace capture.
+    #[must_use]
+    pub fn with_trace(mut self) -> RunOptions {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Sets the shootdown mode.
+    #[must_use]
+    pub fn with_shootdown(mut self, mode: ShootdownMode) -> RunOptions {
+        self.shootdown = mode;
+        self
+    }
+
+    /// Sets the lock granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: LockGranularity) -> RunOptions {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the pager batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn with_batch_pages(mut self, batch: usize) -> RunOptions {
+        assert!(batch > 0, "batch size must be non-zero");
+        self.batch_pages = batch;
+        self
+    }
+
+    /// Enables the directory controller's pipelined page copy (§7.2.2).
+    #[must_use]
+    pub fn with_pipelined_copy(mut self) -> RunOptions {
+        self.pipelined_copy = true;
+        self
+    }
+
+    /// Enables adaptive trigger control (§8.4 future work). The
+    /// controller starts from the dynamic policy's parameters and adjusts
+    /// the trigger at every counter reset interval.
+    #[must_use]
+    pub fn with_adaptive(mut self, controller: AdaptiveTrigger) -> RunOptions {
+        self.adaptive = Some(controller);
+        self
+    }
+}

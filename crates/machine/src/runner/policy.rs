@@ -1,0 +1,121 @@
+//! Policy-interrupt handling: feeding miss events to the engine, batching
+//! page operations, running the pager, and TLB shootdown.
+
+use super::Sim;
+use ccnuma_core::{ObservedMiss, PolicyAction};
+use ccnuma_kernel::{OpOutcome, PageOp};
+use ccnuma_trace::MissRecord;
+use ccnuma_types::{NodeId, Ns, Pid, ProcId, VirtPage};
+
+impl Sim {
+    /// Feeds one miss event to the policy engine and acts on the decision.
+    pub(super) fn drive_policy(
+        &mut self,
+        cpu: usize,
+        pid: Pid,
+        my_node: NodeId,
+        proc: ProcId,
+        rec: &MissRecord,
+    ) {
+        let Some(metric) = &mut self.metric else {
+            return;
+        };
+        if !metric.admits(rec) {
+            return;
+        }
+        let engine = self.engine.as_mut().expect("metric implies engine");
+        let loc = self.pager.location_for(pid, rec.page, my_node);
+        let pressure = self.pager.pressure(my_node);
+        let miss = ObservedMiss {
+            now: self.clocks[cpu],
+            proc,
+            node: my_node,
+            page: rec.page,
+            is_write: rec.kind.is_write(),
+        };
+        let action = engine.observe(miss, &loc, pressure);
+        match action {
+            PolicyAction::Nothing(_) => {}
+            PolicyAction::Collapse => {
+                // The pfault path runs immediately, not batched.
+                self.service_now(cpu, &[(PageOp::collapse(rec.page), action)]);
+            }
+            PolicyAction::Remap { to } => {
+                self.service_now(cpu, &[(PageOp::remap(rec.page, pid, to), action)]);
+            }
+            PolicyAction::Migrate { to } => {
+                self.pending.push((PageOp::migrate(rec.page, to), action));
+                if self.pending.len() >= self.opts.batch_pages {
+                    self.flush_pending(cpu);
+                }
+            }
+            PolicyAction::Replicate { at } => {
+                self.pending.push((PageOp::replicate(rec.page, at), action));
+                if self.pending.len() >= self.opts.batch_pages {
+                    self.flush_pending(cpu);
+                }
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, cpu: usize) {
+        let batch = std::mem::take(&mut self.pending);
+        self.service_now(cpu, &batch);
+    }
+
+    /// Runs a pager batch on `cpu`, charging its kernel overhead there.
+    fn service_now(&mut self, cpu: usize, batch: &[(PageOp, PolicyAction)]) {
+        let ops: Vec<PageOp> = batch.iter().map(|(op, _)| *op).collect();
+        let outcomes = self.pager.service_batch(self.clocks[cpu], &ops);
+        let stats = self.pager.last_batch();
+        if stats.flush_ops > 0 {
+            self.tlbs_flushed_sum += stats.tlbs_flushed as u64;
+            self.flush_batches += 1;
+        }
+        for ((op, action), outcome) in batch.iter().zip(outcomes) {
+            match outcome {
+                OpOutcome::Done { latency } => {
+                    self.charge_overhead(cpu, op, latency);
+                    self.shootdown_all(op.page());
+                }
+                OpOutcome::NoPage => {
+                    // Memory-pressure response: reclaim replicas on the
+                    // target node, then retry once.
+                    let target = match *op {
+                        PageOp::Migrate { to, .. } => to,
+                        PageOp::Replicate { at, .. } => at,
+                        _ => unreachable!("only page moves can fail allocation"),
+                    };
+                    let freed = self.pager.reclaim_replicas_on(target, 2);
+                    let retried = if freed > 0 {
+                        self.pager.service_batch(self.clocks[cpu], &[*op])[0]
+                    } else {
+                        OpOutcome::NoPage
+                    };
+                    if let OpOutcome::Done { latency } = retried {
+                        self.charge_overhead(cpu, op, latency);
+                        self.shootdown_all(op.page());
+                    } else if let Some(e) = &mut self.engine {
+                        e.note_no_page(action);
+                    }
+                }
+                OpOutcome::Skipped => {}
+            }
+        }
+    }
+
+    fn charge_overhead(&mut self, cpu: usize, op: &PageOp, latency: Ns) {
+        match op {
+            PageOp::Migrate { .. } => self.breakdown.add_mig_overhead(latency),
+            _ => self.breakdown.add_rep_overhead(latency),
+        }
+        self.clocks[cpu] += latency;
+    }
+
+    /// Removes `page` from every TLB (the mappings changed).
+    fn shootdown_all(&mut self, page: VirtPage) {
+        for tlb in &mut self.tlb {
+            tlb.shootdown(page);
+        }
+    }
+}

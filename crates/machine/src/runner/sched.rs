@@ -1,0 +1,78 @@
+//! The main simulation loop: CPU clock ordering, quantum boundaries,
+//! context switches, idle accounting, and the adaptive-trigger interval
+//! hook.
+
+use super::Sim;
+use crate::RunReport;
+use ccnuma_core::IntervalFeedback;
+use ccnuma_types::Ns;
+
+impl Sim {
+    /// Runs the workload to completion and reports.
+    pub(super) fn run(mut self) -> RunReport {
+        let mut refs_left = self.spec.total_refs;
+        let quantum = self.spec.scheduler.quantum();
+        while refs_left > 0 {
+            // The CPU with the smallest clock steps next (deterministic
+            // tie-break by index).
+            let cpu = (0..self.clocks.len())
+                .min_by_key(|&i| (self.clocks[i], i))
+                .expect("at least one cpu");
+            let now = self.clocks[cpu];
+
+            // Re-query the scheduler on quantum boundaries.
+            let q = now.0 / quantum.0;
+            if q != self.cur_quantum[cpu] {
+                self.cur_quantum[cpu] = q;
+                self.adaptive_tick(now);
+                let map = self.spec.scheduler.assignment(now);
+                let pid = map.get(cpu).copied().flatten();
+                if pid != self.cur_pid[cpu] {
+                    // Context switch: no ASIDs, flush the TLB.
+                    self.tlb[cpu].flush();
+                    self.cur_pid[cpu] = pid;
+                    if let Some(p) = pid {
+                        self.pager.set_pid_node(p, self.node_of(cpu));
+                    }
+                }
+            }
+            let Some(pid) = self.cur_pid[cpu] else {
+                // Idle until the next quantum boundary.
+                let next = Ns((q + 1) * quantum.0);
+                self.breakdown.add_idle(next - now);
+                self.clocks[cpu] = next;
+                continue;
+            };
+
+            let access = self.spec.streams[pid.index()].next_ref(&mut self.rng);
+            refs_left -= 1;
+            self.step(cpu, pid, access);
+        }
+        self.finish()
+    }
+
+    /// At reset-interval boundaries, feed the adaptive controller the
+    /// interval's overhead/stall deltas and install its new parameters.
+    fn adaptive_tick(&mut self, now: Ns) {
+        let (Some(controller), Some(engine)) = (&mut self.adaptive, &mut self.engine) else {
+            return;
+        };
+        let epoch = engine.params().epoch_of(now);
+        if epoch <= self.adaptive_epoch {
+            return;
+        }
+        self.adaptive_epoch = epoch;
+        let cur = (
+            self.breakdown.policy_overhead(),
+            self.breakdown.remote_stall(),
+            self.breakdown.local_stall(),
+        );
+        let fb = IntervalFeedback {
+            move_overhead: cur.0 - self.adaptive_snap.0,
+            remote_stall: cur.1 - self.adaptive_snap.1,
+            local_stall: cur.2 - self.adaptive_snap.2,
+        };
+        self.adaptive_snap = cur;
+        engine.set_params(controller.end_interval(fb));
+    }
+}

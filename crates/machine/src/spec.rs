@@ -1,0 +1,209 @@
+//! Serializable-by-value run descriptions.
+//!
+//! A [`RunSpec`] names everything that determines a run's result: which
+//! workload to build ([`RunKind`]), at what [`Scale`], under which
+//! [`RunOptions`], plus optional seed and remote-latency overrides. The
+//! simulator is deterministic, so a run is a pure function of its spec —
+//! [`RunSpec::run`] always returns the same [`RunReport`] for the same
+//! spec. That property is what the bench executor's memoization and
+//! parallelism rest on: specs with equal [`RunSpec::cache_key`]s share
+//! one report, and distinct specs can run on different threads.
+
+use crate::{Machine, RunOptions, RunReport};
+use ccnuma_types::Ns;
+use ccnuma_workloads::{shared_reader, Scale, WorkloadKind, WorkloadSpec};
+
+/// Which workload a run builds.
+#[derive(Debug, Clone, Copy)]
+pub enum RunKind {
+    /// One of the paper's five Table 2 workloads.
+    Catalog(WorkloadKind),
+    /// The synthetic shared-reader workload parameterised by node count
+    /// (the scaling experiment).
+    SharedReader {
+        /// Number of nodes (one pinned reader per node).
+        nodes: u16,
+    },
+}
+
+/// A complete, by-value description of one simulator run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload to build.
+    pub kind: RunKind,
+    /// Run length.
+    pub scale: Scale,
+    /// Policy and kernel knobs.
+    pub opts: RunOptions,
+    /// Overrides the workload's built-in RNG seed.
+    pub seed: Option<u64>,
+    /// Overrides the machine's remote-miss latency (the zero-delay
+    /// interconnect experiment).
+    pub remote_latency: Option<Ns>,
+}
+
+impl RunSpec {
+    /// A run of catalog workload `kind`.
+    pub fn catalog(kind: WorkloadKind, scale: Scale, opts: RunOptions) -> RunSpec {
+        RunSpec {
+            kind: RunKind::Catalog(kind),
+            scale,
+            opts,
+            seed: None,
+            remote_latency: None,
+        }
+    }
+
+    /// A run of the shared-reader workload on `nodes` nodes.
+    pub fn shared_reader(nodes: u16, scale: Scale, opts: RunOptions) -> RunSpec {
+        RunSpec {
+            kind: RunKind::SharedReader { nodes },
+            scale,
+            opts,
+            seed: None,
+            remote_latency: None,
+        }
+    }
+
+    /// Overrides the workload's RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> RunSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the machine's remote-miss latency.
+    #[must_use]
+    pub fn with_remote_latency(mut self, latency: Ns) -> RunSpec {
+        self.remote_latency = Some(latency);
+        self
+    }
+
+    /// Builds the workload this spec describes, with overrides applied.
+    pub fn build_workload(&self) -> WorkloadSpec {
+        let mut spec = match self.kind {
+            RunKind::Catalog(kind) => kind.build(self.scale),
+            RunKind::SharedReader { nodes } => shared_reader(nodes, self.scale),
+        };
+        if let Some(seed) = self.seed {
+            spec.seed = seed;
+        }
+        if let Some(latency) = self.remote_latency {
+            spec.config = spec.config.clone().with_remote_latency(latency);
+        }
+        spec
+    }
+
+    /// Runs the spec to completion. A pure function: equal specs produce
+    /// equal reports.
+    pub fn run(&self) -> RunReport {
+        Machine::new(self.build_workload(), self.opts.clone()).run()
+    }
+
+    /// A short human-readable description for logs and timing summaries
+    /// (not an identity — use [`RunSpec::cache_key`] for that).
+    pub fn describe(&self) -> String {
+        let name = match self.kind {
+            RunKind::Catalog(kind) => kind.to_string(),
+            RunKind::SharedReader { nodes } => format!("shared-reader-{nodes}"),
+        };
+        let mut s = format!("{name} [{}]", self.opts.policy.label());
+        if self.opts.capture_trace {
+            s.push_str(" +trace");
+        }
+        if let Some(latency) = self.remote_latency {
+            s.push_str(&format!(" +remote={}ns", latency.0));
+        }
+        if let Some(seed) = self.seed {
+            s.push_str(&format!(" +seed={seed:#x}"));
+        }
+        s
+    }
+
+    /// A stable identity string: two specs with equal keys describe the
+    /// same run and may share one memoized report.
+    ///
+    /// The key is the `Debug` rendering of the spec. That sidesteps
+    /// deriving `Eq`/`Hash` across the policy parameters' floating-point
+    /// fields while still distinguishing every field that affects the
+    /// result.
+    pub fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyChoice;
+
+    fn ft(kind: WorkloadKind) -> RunSpec {
+        RunSpec::catalog(
+            kind,
+            Scale::quick(),
+            RunOptions::new(PolicyChoice::first_touch()),
+        )
+    }
+
+    #[test]
+    fn spec_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RunSpec>();
+    }
+
+    #[test]
+    fn equal_specs_have_equal_keys_distinct_specs_distinct() {
+        assert_eq!(
+            ft(WorkloadKind::Raytrace).cache_key(),
+            ft(WorkloadKind::Raytrace).cache_key()
+        );
+        assert_ne!(
+            ft(WorkloadKind::Raytrace).cache_key(),
+            ft(WorkloadKind::Database).cache_key()
+        );
+        assert_ne!(
+            ft(WorkloadKind::Raytrace).cache_key(),
+            ft(WorkloadKind::Raytrace).with_seed(7).cache_key()
+        );
+        assert_ne!(
+            ft(WorkloadKind::Raytrace).cache_key(),
+            ft(WorkloadKind::Raytrace)
+                .with_remote_latency(Ns(100))
+                .cache_key()
+        );
+        let traced = RunSpec::catalog(
+            WorkloadKind::Raytrace,
+            Scale::quick(),
+            RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+        );
+        assert_ne!(ft(WorkloadKind::Raytrace).cache_key(), traced.cache_key());
+    }
+
+    #[test]
+    fn run_is_a_pure_function_of_the_spec() {
+        let spec = ft(WorkloadKind::Engineering);
+        let a = spec.run();
+        let b = spec.clone().run();
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.cpu_time, b.cpu_time);
+    }
+
+    #[test]
+    fn overrides_apply_to_the_built_workload() {
+        let w = ft(WorkloadKind::Raytrace)
+            .with_seed(42)
+            .with_remote_latency(Ns(123))
+            .build_workload();
+        assert_eq!(w.seed, 42);
+        assert_eq!(w.config.remote_latency, Ns(123));
+        let sr = RunSpec::shared_reader(
+            4,
+            Scale::quick(),
+            RunOptions::new(PolicyChoice::first_touch()),
+        )
+        .build_workload();
+        assert_eq!(sr.config.nodes, 4);
+        assert_eq!(sr.name, "shared-reader-4");
+    }
+}

@@ -35,7 +35,10 @@ pub struct PolsimReport {
 impl PolsimReport {
     /// Total modelled execution time.
     pub fn total(&self) -> Ns {
-        self.other_time + self.local_stall + self.remote_stall + self.mig_overhead
+        self.other_time
+            + self.local_stall
+            + self.remote_stall
+            + self.mig_overhead
             + self.rep_overhead
     }
 

@@ -199,11 +199,16 @@ pub fn simulate(
         SimPolicy::Static(StaticPolicyKind::RoundRobin) => {
             (Some(Box::new(RoundRobin::new(cfg.nodes))), None)
         }
-        SimPolicy::Static(StaticPolicyKind::FirstTouch) => (Some(Box::new(FirstTouch::new())), None),
+        SimPolicy::Static(StaticPolicyKind::FirstTouch) => {
+            (Some(Box::new(FirstTouch::new())), None)
+        }
         SimPolicy::Static(StaticPolicyKind::PostFacto) => {
             // Perfect future knowledge of the filtered miss population.
             let filtered = trace.filtered(|r| filter.admits(r.mode));
-            (Some(Box::new(PostFacto::from_trace(&filtered, &machine))), None)
+            (
+                Some(Box::new(PostFacto::from_trace(&filtered, &machine))),
+                None,
+            )
         }
         SimPolicy::Dynamic {
             params,
@@ -310,7 +315,12 @@ mod tests {
     /// `n` remote read misses from proc 5 to a page first touched by proc 0.
     fn remote_read_trace(n: u64) -> Trace {
         let mut b = TraceBuilder::new();
-        b.push(MissRecord::user_data_read(Ns(0), ProcId(0), Pid(0), VirtPage(1)));
+        b.push(MissRecord::user_data_read(
+            Ns(0),
+            ProcId(0),
+            Pid(0),
+            VirtPage(1),
+        ));
         for i in 0..n {
             b.push(MissRecord::user_data_read(
                 Ns(1000 + i * 500),
@@ -325,7 +335,12 @@ mod tests {
     #[test]
     fn first_touch_places_at_first_toucher() {
         let t = remote_read_trace(10);
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::first_touch(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::first_touch(),
+            TraceFilter::All,
+        );
         assert_eq!(r.local_misses, 1);
         assert_eq!(r.remote_misses, 10);
         assert_eq!(r.stall(), Ns(300 + 12_000));
@@ -334,7 +349,12 @@ mod tests {
     #[test]
     fn post_facto_places_at_majority() {
         let t = remote_read_trace(10);
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::post_facto(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::post_facto(),
+            TraceFilter::All,
+        );
         // Node 5 took 10 of 11 misses, so PF homes the page there.
         assert_eq!(r.remote_misses, 1);
         assert_eq!(r.local_misses, 10);
@@ -344,7 +364,12 @@ mod tests {
     fn dynamic_migrates_hot_remote_page() {
         // Enough misses to cross the base trigger of 128.
         let t = remote_read_trace(300);
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::base_dynamic(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::base_dynamic(),
+            TraceFilter::All,
+        );
         assert_eq!(r.migrations, 1, "{:?}", r.policy_stats);
         assert_eq!(r.replications, 0, "single sharer: migrate, not replicate");
         assert_eq!(r.mig_overhead, Ns::from_us(350));
@@ -362,10 +387,20 @@ mod tests {
         // Two processors interleave reads: both cross sharing threshold.
         for i in 0..400u64 {
             let proc = if i % 2 == 0 { ProcId(0) } else { ProcId(5) };
-            b.push(MissRecord::user_data_read(Ns(i * 500), proc, Pid(0), VirtPage(1)));
+            b.push(MissRecord::user_data_read(
+                Ns(i * 500),
+                proc,
+                Pid(0),
+                VirtPage(1),
+            ));
         }
         let t = b.finish();
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::base_dynamic(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::base_dynamic(),
+            TraceFilter::All,
+        );
         assert!(r.replications >= 1, "{:?}", r.policy_stats);
         assert_eq!(r.migrations, 0, "shared page must not migrate");
         // Once replicated, both sides hit locally.
@@ -378,12 +413,27 @@ mod tests {
         let mut t_ns = 0u64;
         for i in 0..400u64 {
             let proc = if i % 2 == 0 { ProcId(0) } else { ProcId(5) };
-            b.push(MissRecord::user_data_read(Ns(t_ns), proc, Pid(0), VirtPage(1)));
+            b.push(MissRecord::user_data_read(
+                Ns(t_ns),
+                proc,
+                Pid(0),
+                VirtPage(1),
+            ));
             t_ns += 500;
         }
-        b.push(MissRecord::user_data_write(Ns(t_ns), ProcId(3), Pid(0), VirtPage(1)));
+        b.push(MissRecord::user_data_write(
+            Ns(t_ns),
+            ProcId(3),
+            Pid(0),
+            VirtPage(1),
+        ));
         let t = b.finish();
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::base_dynamic(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::base_dynamic(),
+            TraceFilter::All,
+        );
         assert!(r.replications >= 1);
         assert_eq!(r.collapses, 1);
     }
@@ -391,7 +441,12 @@ mod tests {
     #[test]
     fn replication_only_never_migrates() {
         let t = remote_read_trace(300);
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::replication_only(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::replication_only(),
+            TraceFilter::All,
+        );
         assert_eq!(r.migrations, 0);
         assert_eq!(r.replications, 0, "unshared page: repl branch disabled");
         assert_eq!(r.remote_misses, 300);
@@ -402,10 +457,20 @@ mod tests {
         let mut b = TraceBuilder::new();
         for i in 0..400u64 {
             let proc = if i % 2 == 0 { ProcId(0) } else { ProcId(5) };
-            b.push(MissRecord::user_data_read(Ns(i * 500), proc, Pid(0), VirtPage(1)));
+            b.push(MissRecord::user_data_read(
+                Ns(i * 500),
+                proc,
+                Pid(0),
+                VirtPage(1),
+            ));
         }
         let t = b.finish();
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::migration_only(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::migration_only(),
+            TraceFilter::All,
+        );
         assert_eq!(r.replications, 0);
         assert_eq!(r.migrations, 0, "shared page: migr branch refuses");
     }
@@ -413,7 +478,12 @@ mod tests {
     #[test]
     fn kernel_filter_excludes_user_misses() {
         let mut b = TraceBuilder::new();
-        b.push(MissRecord::user_data_read(Ns(0), ProcId(1), Pid(0), VirtPage(1)));
+        b.push(MissRecord::user_data_read(
+            Ns(0),
+            ProcId(1),
+            Pid(0),
+            VirtPage(1),
+        ));
         let mut k = MissRecord::user_data_read(Ns(1), ProcId(1), Pid(0), VirtPage(2));
         k.mode = Mode::Kernel;
         b.push(k);
@@ -432,7 +502,12 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.push(MissRecord::user_data_read(Ns(0), ProcId(1), Pid(0), VirtPage(1)).as_tlb());
         let t = b.finish();
-        let r = simulate(&t, &PolsimConfig::section8(8), SimPolicy::first_touch(), TraceFilter::All);
+        let r = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::first_touch(),
+            TraceFilter::All,
+        );
         assert_eq!(r.local_misses + r.remote_misses, 0);
     }
 
@@ -443,7 +518,12 @@ mod tests {
         // one with the same trigger also would. Use a TLB-only stream to
         // check the metric wiring.
         let mut b = TraceBuilder::new();
-        b.push(MissRecord::user_data_read(Ns(0), ProcId(0), Pid(0), VirtPage(1)));
+        b.push(MissRecord::user_data_read(
+            Ns(0),
+            ProcId(0),
+            Pid(0),
+            VirtPage(1),
+        ));
         for i in 0..200u64 {
             b.push(
                 MissRecord::user_data_read(Ns(1000 + i * 500), ProcId(5), Pid(1), VirtPage(1))
@@ -482,7 +562,10 @@ mod tests {
 
     #[test]
     fn figure6_set_order() {
-        let labels: Vec<String> = SimPolicy::figure6_set().iter().map(SimPolicy::label).collect();
+        let labels: Vec<String> = SimPolicy::figure6_set()
+            .iter()
+            .map(SimPolicy::label)
+            .collect();
         assert_eq!(labels, vec!["RR", "FT", "PF", "Migr", "Repl", "Mig/Rep"]);
     }
 }

@@ -20,9 +20,16 @@ fn all_shared_read_trace(per_proc: u64) -> Trace {
     let mut t = 0;
     let mut lcg: u64 = 12345;
     for _ in 0..per_proc * 8 {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let proc = ProcId((lcg >> 33) as u16 % 8);
-        b.push(MissRecord::user_data_read(Ns(t), proc, Pid(proc.0 as u32), VirtPage(1)));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            proc,
+            Pid(proc.0 as u32),
+            VirtPage(1),
+        ));
         t += 500;
     }
     b.finish()
@@ -62,14 +69,29 @@ fn migration_follows_a_moving_process() {
     let mut b = TraceBuilder::new();
     let mut t = 0u64;
     for _ in 0..300 {
-        b.push(MissRecord::user_data_read(Ns(t), ProcId(2), Pid(1), VirtPage(9)));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            ProcId(2),
+            Pid(1),
+            VirtPage(9),
+        ));
         t += 300_000; // spread across intervals
     }
     for _ in 0..300 {
-        b.push(MissRecord::user_data_read(Ns(t), ProcId(5), Pid(1), VirtPage(9)));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            ProcId(5),
+            Pid(1),
+            VirtPage(9),
+        ));
         t += 300_000;
     }
-    let r = simulate(&b.finish(), &cfg(), SimPolicy::base_dynamic(), TraceFilter::All);
+    let r = simulate(
+        &b.finish(),
+        &cfg(),
+        SimPolicy::base_dynamic(),
+        TraceFilter::All,
+    );
     assert!(r.migrations >= 1, "page never followed the process");
     assert!(
         r.pct_local_misses() > 55.0,
@@ -115,9 +137,19 @@ fn other_time_flows_through_unchanged() {
 fn kernel_only_filter_sees_no_user_pages() {
     let mut b = TraceBuilder::new();
     for i in 0..100u64 {
-        b.push(MissRecord::user_data_read(Ns(i * 100), ProcId(0), Pid(0), VirtPage(i % 4)));
+        b.push(MissRecord::user_data_read(
+            Ns(i * 100),
+            ProcId(0),
+            Pid(0),
+            VirtPage(i % 4),
+        ));
     }
-    let r = simulate(&b.finish(), &cfg(), SimPolicy::first_touch(), TraceFilter::KernelOnly);
+    let r = simulate(
+        &b.finish(),
+        &cfg(),
+        SimPolicy::first_touch(),
+        TraceFilter::KernelOnly,
+    );
     assert_eq!(r.local_misses + r.remote_misses, 0);
     assert_eq!(r.stall(), Ns::ZERO);
 }
@@ -134,19 +166,34 @@ fn figure6_policy_ordering_on_mixed_trace() {
     for i in 0..40_000u64 {
         let proc = ProcId((i % 8) as u16);
         let page = VirtPage((i / 8) % 8);
-        b.push(MissRecord::user_data_read(Ns(t), proc, Pid(proc.0 as u32), page));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            proc,
+            Pid(proc.0 as u32),
+            page,
+        ));
         t += 400;
     }
     // Private pages 100..108: page 100+p used by proc p but first touched
     // by proc 0. Enough post-migration misses remain for the 350µs move
     // to amortize.
     for p in 0..8u16 {
-        b.push(MissRecord::user_data_read(Ns(t), ProcId(0), Pid(0), VirtPage(100 + p as u64)));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            ProcId(0),
+            Pid(0),
+            VirtPage(100 + p as u64),
+        ));
         t += 400;
     }
     for i in 0..16_000u64 {
         let p = (i % 8) as u16;
-        b.push(MissRecord::user_data_read(Ns(t), ProcId(p), Pid(p as u32), VirtPage(100 + p as u64)));
+        b.push(MissRecord::user_data_read(
+            Ns(t),
+            ProcId(p),
+            Pid(p as u32),
+            VirtPage(100 + p as u64),
+        ));
         t += 400;
     }
     let trace = b.finish();

@@ -297,7 +297,8 @@ mod tests {
         assert!((b.mode_pct_of_total(Mode::Kernel) - 24000.0 / 1100.0).abs() < 1e-9);
         assert!((b.idle_pct_of_total() - 10.0).abs() < 1e-9);
         // user % + kernel % + idle % = 100
-        let sum = b.mode_pct_of_total(Mode::User) + b.mode_pct_of_total(Mode::Kernel)
+        let sum = b.mode_pct_of_total(Mode::User)
+            + b.mode_pct_of_total(Mode::Kernel)
             + b.idle_pct_of_total();
         assert!((sum - 100.0).abs() < 1e-9);
     }

@@ -20,7 +20,11 @@ fn arb_breakdown() -> impl Strategy<Value = RunBreakdown> {
             b.add_hit_stall(Mode::User, RefClass::Data, Ns(hits));
             for (m, c, remote, t) in stalls {
                 let mode = if m == 0 { Mode::User } else { Mode::Kernel };
-                let class = if c == 0 { RefClass::Instr } else { RefClass::Data };
+                let class = if c == 0 {
+                    RefClass::Instr
+                } else {
+                    RefClass::Data
+                };
                 b.add_stall(mode, class, remote, Ns(t));
             }
             b

@@ -85,7 +85,13 @@ fn flags_of(r: &MissRecord) -> u8 {
     f
 }
 
-fn record_of(time: u64, page: u64, pid: u32, proc: u16, flags: u8) -> Result<MissRecord, ReadTraceError> {
+fn record_of(
+    time: u64,
+    page: u64,
+    pid: u32,
+    proc: u16,
+    flags: u8,
+) -> Result<MissRecord, ReadTraceError> {
     if flags & !0x0f != 0 {
         return Err(ReadTraceError::BadFlags(flags));
     }
@@ -99,7 +105,11 @@ fn record_of(time: u64, page: u64, pid: u32, proc: u16, flags: u8) -> Result<Mis
         } else {
             AccessKind::Read
         },
-        mode: if flags & 2 != 0 { Mode::Kernel } else { Mode::User },
+        mode: if flags & 2 != 0 {
+            Mode::Kernel
+        } else {
+            Mode::User
+        },
         class: if flags & 4 != 0 {
             RefClass::Instr
         } else {
@@ -189,9 +199,7 @@ mod tests {
         let mut k = MissRecord::user_instr(Ns(3), ProcId(5), Pid(11), VirtPage(0xf00d));
         k.mode = Mode::Kernel;
         b.push(k);
-        b.push(
-            MissRecord::user_data_read(Ns(4), ProcId(6), Pid(12), VirtPage(0xcafe)).as_tlb(),
-        );
+        b.push(MissRecord::user_data_read(Ns(4), ProcId(6), Pid(12), VirtPage(0xcafe)).as_tlb());
         b.finish()
     }
 

@@ -216,7 +216,12 @@ mod tests {
     fn kernel_and_instr_misses_ignored() {
         let mut b = crate::TraceBuilder::new();
         b.push(read(0, 0, 1));
-        b.push(MissRecord::user_instr(Ns(1), ProcId(0), Pid(0), VirtPage(2)));
+        b.push(MissRecord::user_instr(
+            Ns(1),
+            ProcId(0),
+            Pid(0),
+            VirtPage(2),
+        ));
         let mut k = read(2, 0, 3);
         k.mode = ccnuma_types::Mode::Kernel;
         b.push(k);

@@ -139,8 +139,18 @@ mod tests {
     fn composition_counts() {
         let mut b = crate::TraceBuilder::new();
         b.push(rec(0, 1));
-        b.push(MissRecord::user_data_write(Ns(1), ProcId(0), Pid(0), VirtPage(1)));
-        b.push(MissRecord::user_instr(Ns(2), ProcId(0), Pid(0), VirtPage(2)));
+        b.push(MissRecord::user_data_write(
+            Ns(1),
+            ProcId(0),
+            Pid(0),
+            VirtPage(1),
+        ));
+        b.push(MissRecord::user_instr(
+            Ns(2),
+            ProcId(0),
+            Pid(0),
+            VirtPage(2),
+        ));
         let mut k = rec(3, 3);
         k.mode = Mode::Kernel;
         b.push(k);

@@ -331,8 +331,18 @@ mod tests {
     fn class_fraction() {
         let mut b = TraceBuilder::new();
         b.push(rec(1, 1));
-        b.push(MissRecord::user_instr(Ns(2), ProcId(0), Pid(0), VirtPage(2)));
-        b.push(MissRecord::user_instr(Ns(3), ProcId(0), Pid(0), VirtPage(2)));
+        b.push(MissRecord::user_instr(
+            Ns(2),
+            ProcId(0),
+            Pid(0),
+            VirtPage(2),
+        ));
+        b.push(MissRecord::user_instr(
+            Ns(3),
+            ProcId(0),
+            Pid(0),
+            VirtPage(2),
+        ));
         b.push(rec(4, 9).as_tlb()); // excluded: not a cache miss
         let t = b.finish();
         assert!((t.cache_class_fraction(RefClass::Instr) - 2.0 / 3.0).abs() < 1e-12);

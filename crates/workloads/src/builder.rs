@@ -120,7 +120,10 @@ impl WorkloadBuilder {
     /// Panics if `processes` or `rebalance` is zero.
     #[must_use]
     pub fn affinity(mut self, processes: u32, rebalance: u32) -> WorkloadBuilder {
-        assert!(processes > 0 && rebalance > 0, "need processes and a period");
+        assert!(
+            processes > 0 && rebalance > 0,
+            "need processes and a period"
+        );
         self.sched = SchedChoice::Affinity {
             processes,
             rebalance,
@@ -152,9 +155,9 @@ impl WorkloadBuilder {
         for pool in &self.pools {
             private_bases.push(match pool {
                 Pool::Shared(_) => Vec::new(),
-                Pool::Private { pages, .. } => (0..processes)
-                    .map(|_| self.space.reserve(*pages))
-                    .collect(),
+                Pool::Private { pages, .. } => {
+                    (0..processes).map(|_| self.space.reserve(*pages)).collect()
+                }
             });
         }
         let streams = (0..processes)
@@ -170,7 +173,9 @@ impl WorkloadBuilder {
                             pages,
                             weight,
                             write_frac,
-                        } => Segment::data(name, bases[pidn as usize], *pages, *weight, *write_frac),
+                        } => {
+                            Segment::data(name, bases[pidn as usize], *pages, *weight, *write_frac)
+                        }
                     })
                     .collect();
                 ProcessStream::new(Pid(pidn), segments)

@@ -6,8 +6,10 @@
 //! machine simulator, the workloads land near the characterisation of
 //! Table 3 (mode split, stall split) and Figure 4 (read-chain profile).
 
-use crate::{PageSpace, PhaseSchedule, Pinned, ProcessStream, RotatingAffinity, Segment, WithIdle,
-            WorkloadSpec};
+use crate::{
+    PageSpace, PhaseSchedule, Pinned, ProcessStream, RotatingAffinity, Segment, WithIdle,
+    WorkloadSpec,
+};
 use ccnuma_types::{MachineConfig, Ns, Pid};
 use core::fmt;
 
@@ -146,8 +148,8 @@ fn engineering(scale: Scale) -> WorkloadSpec {
             Segment::code("fl-text", fl_code, 250, 0.45).with_locality(0.25, 0.88)
         };
         let data_weight = if is_vcs { 0.45 } else { 0.55 };
-        let data = Segment::data("private", private, 450, data_weight, 0.25)
-            .with_locality(0.12, 0.88);
+        let data =
+            Segment::data("private", private, 450, data_weight, 0.25).with_locality(0.12, 0.88);
         let ktext = Segment::code("kcode", kcode, 60, 0.02).kernel();
         streams.push(ProcessStream::new(Pid(i), vec![code, data, ktext]));
     }
@@ -235,7 +237,9 @@ fn splash(scale: Scale) -> WorkloadSpec {
                 Segment::data("grid", grid, 600, 0.70, 0.35).with_locality(0.12, 0.85),
                 Segment::data("boundary", ocean_boundary, 40, 0.05, 0.50).with_locality(0.5, 0.5),
                 Segment::code("ocean-text", ocean_code, 40, 0.10),
-                Segment::data("kshared", kshared, 100, 0.05, 0.40).with_locality(0.7, 0.5).kernel(),
+                Segment::data("kshared", kshared, 100, 0.05, 0.40)
+                    .with_locality(0.7, 0.5)
+                    .kernel(),
                 Segment::code("kcode", kcode, 60, 0.03).kernel(),
             ],
         ));
@@ -249,7 +253,9 @@ fn splash(scale: Scale) -> WorkloadSpec {
                 Segment::data("scene", ray_scene, 900, 0.50, 0.0).with_locality(0.10, 0.85),
                 Segment::data("private", private, 100, 0.22, 0.30),
                 Segment::code("ray-text", ray_code, 80, 0.16),
-                Segment::data("kshared", kshared, 100, 0.05, 0.40).with_locality(0.7, 0.5).kernel(),
+                Segment::data("kshared", kshared, 100, 0.05, 0.40)
+                    .with_locality(0.7, 0.5)
+                    .kernel(),
                 Segment::code("kcode", kcode, 60, 0.03).kernel(),
             ],
         ));
@@ -263,7 +269,9 @@ fn splash(scale: Scale) -> WorkloadSpec {
                 Segment::data("volume", vol_data, 800, 0.46, 0.0).with_locality(0.10, 0.85),
                 Segment::data("private", private, 80, 0.22, 0.30),
                 Segment::code("vol-text", vol_code, 60, 0.20),
-                Segment::data("kshared", kshared, 100, 0.05, 0.40).with_locality(0.7, 0.5).kernel(),
+                Segment::data("kshared", kshared, 100, 0.05, 0.40)
+                    .with_locality(0.7, 0.5)
+                    .kernel(),
                 Segment::code("kcode", kcode, 60, 0.03).kernel(),
             ],
         ));
@@ -342,7 +350,9 @@ fn pmake(scale: Scale) -> WorkloadSpec {
             Pid(i),
             vec![
                 Segment::code("kcode", kcode, 160, 0.12).kernel(),
-                Segment::data("kshared", kshared, 200, 0.30, 0.35).with_locality(0.3, 0.8).kernel(),
+                Segment::data("kshared", kshared, 200, 0.30, 0.35)
+                    .with_locality(0.3, 0.8)
+                    .kernel(),
                 Segment::data("kpriv", kpriv, 30, 0.14, 0.40).kernel(),
                 Segment::code("ucode", ucode, 120, 0.12),
                 Segment::data("upriv", upriv, 150, 0.32, 0.30),
@@ -355,6 +365,38 @@ fn pmake(scale: Scale) -> WorkloadSpec {
         scheduler: Box::new(WithIdle::new(RotatingAffinity::new(8, 16, 3), 7, 9)),
         total_refs: scale.refs_per_cpu * 8,
         seed: 0x94AC,
+        footprint_pages: space.allocated(),
+        config,
+    }
+}
+
+/// A raytrace-like workload parameterised by node count, built from the
+/// workload-construction primitives: one pinned reader per node sharing
+/// one read-mostly scene. Used by the scaling experiment, where random
+/// placement finds a page locally with probability 1/N.
+pub fn shared_reader(nodes: u16, scale: Scale) -> WorkloadSpec {
+    let config = MachineConfig::cc_numa().with_nodes(nodes);
+    let mut space = PageSpace::new();
+    let scene = space.reserve(1200);
+    let code = space.reserve(90);
+    let mut streams = Vec::new();
+    for i in 0..nodes as u32 {
+        let private = space.reserve(120);
+        streams.push(ProcessStream::new(
+            Pid(i),
+            vec![
+                Segment::data("scene", scene, 1200, 0.6, 0.0).with_locality(0.10, 0.85),
+                Segment::data("private", private, 120, 0.3, 0.3),
+                Segment::code("text", code, 90, 0.1),
+            ],
+        ));
+    }
+    WorkloadSpec {
+        name: format!("shared-reader-{nodes}"),
+        streams,
+        scheduler: Box::new(Pinned::one_per_cpu(nodes)),
+        total_refs: scale.refs_per_cpu * nodes as u64,
+        seed: 0x5CA1E,
         footprint_pages: space.allocated(),
         config,
     }

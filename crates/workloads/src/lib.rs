@@ -43,7 +43,7 @@ mod segment;
 mod spec;
 
 pub use builder::WorkloadBuilder;
-pub use catalog::{Scale, WorkloadKind};
+pub use catalog::{shared_reader, Scale, WorkloadKind};
 pub use sched::{PhaseSchedule, Pinned, RotatingAffinity, Scheduler, WithIdle};
 pub use segment::{PageSpace, ProcessStream, Segment};
 pub use spec::WorkloadSpec;

@@ -9,7 +9,10 @@
 use ccnuma_types::{Ns, Pid};
 
 /// A scheduler: who runs where during the quantum containing `now`.
-pub trait Scheduler {
+///
+/// Schedulers are plain data (`Send`) so a whole run — workload spec
+/// included — can be shipped to an executor worker thread.
+pub trait Scheduler: Send {
     /// Per-CPU assignment for the quantum containing `now` (`None` = the
     /// CPU idles this quantum).
     fn assignment(&mut self, now: Ns) -> Vec<Option<Pid>>;
@@ -275,7 +278,8 @@ mod tests {
     fn phase_schedule_switches_at_boundaries() {
         let p1 = vec![Some(Pid(0)), None];
         let p2 = vec![Some(Pid(1)), Some(Pid(2))];
-        let mut s = PhaseSchedule::new(vec![(Ns::ZERO, p1.clone()), (Ns::from_ms(100), p2.clone())]);
+        let mut s =
+            PhaseSchedule::new(vec![(Ns::ZERO, p1.clone()), (Ns::from_ms(100), p2.clone())]);
         assert_eq!(s.assignment(Ns(0)), p1);
         assert_eq!(s.assignment(Ns::from_ms(99)), p1);
         assert_eq!(s.assignment(Ns::from_ms(100)), p2);

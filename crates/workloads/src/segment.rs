@@ -79,7 +79,13 @@ pub struct Segment {
 impl Segment {
     /// A user data segment with moderate locality (80 % of accesses to the
     /// hottest 20 % of pages).
-    pub fn data(name: &'static str, base: VirtPage, pages: u64, weight: f64, write_frac: f64) -> Segment {
+    pub fn data(
+        name: &'static str,
+        base: VirtPage,
+        pages: u64,
+        weight: f64,
+        write_frac: f64,
+    ) -> Segment {
         Segment {
             name,
             base,
@@ -117,7 +123,10 @@ impl Segment {
     #[must_use]
     pub fn with_locality(mut self, hot_frac: f64, hot_weight: f64) -> Segment {
         assert!(hot_frac > 0.0 && hot_frac <= 1.0, "hot_frac out of range");
-        assert!(hot_weight > 0.0 && hot_weight <= 1.0, "hot_weight out of range");
+        assert!(
+            hot_weight > 0.0 && hot_weight <= 1.0,
+            "hot_weight out of range"
+        );
         self.hot_frac = hot_frac;
         self.hot_weight = hot_weight;
         self
@@ -276,9 +285,7 @@ mod tests {
         let seg = Segment::data("d", VirtPage(0), 100, 1.0, 0.0).with_locality(0.1, 0.9);
         let mut p = ProcessStream::new(Pid(1), vec![seg]);
         let mut r = rng();
-        let hot = (0..5000)
-            .filter(|_| p.next_ref(&mut r).page.0 < 10)
-            .count();
+        let hot = (0..5000).filter(|_| p.next_ref(&mut r).page.0 < 10).count();
         assert!(hot > 4000, "hot accesses {hot} not ~90%+");
     }
 
@@ -289,9 +296,7 @@ mod tests {
         let light = Segment::code("light", space.reserve(10), 10, 0.1);
         let mut p = ProcessStream::new(Pid(1), vec![heavy, light]);
         let mut r = rng();
-        let heavy_hits = (0..2000)
-            .filter(|_| p.next_ref(&mut r).page.0 < 10)
-            .count();
+        let heavy_hits = (0..2000).filter(|_| p.next_ref(&mut r).page.0 < 10).count();
         assert!((1600..2000).contains(&heavy_hits), "{heavy_hits}");
     }
 

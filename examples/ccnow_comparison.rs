@@ -16,7 +16,12 @@ fn main() {
     let kind = WorkloadKind::Engineering;
     let scale = Scale::standard();
     let mut table = Table::new(vec![
-        "Config", "Policy", "Total(ms)", "Remote stall(ms)", "Pager(ms)", "Local%",
+        "Config",
+        "Policy",
+        "Total(ms)",
+        "Remote stall(ms)",
+        "Pager(ms)",
+        "Local%",
     ]);
     let mut improvements = Vec::new();
 

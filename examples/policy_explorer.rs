@@ -35,7 +35,11 @@ fn main() {
     println!("capturing a first-touch trace of {kind}...");
     let spec = kind.build(Scale::standard());
     let nodes = spec.config.nodes;
-    let run = Machine::new(spec, RunOptions::new(PolicyChoice::first_touch()).with_trace()).run();
+    let run = Machine::new(
+        spec,
+        RunOptions::new(PolicyChoice::first_touch()).with_trace(),
+    )
+    .run();
     let trace = run.trace.as_ref().expect("traced run");
     let other = run.breakdown.other_incl_hits() + run.breakdown.idle();
     let cfg = PolsimConfig::section8(nodes).with_other_time(other);

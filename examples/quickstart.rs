@@ -14,7 +14,11 @@ fn main() {
     println!("workload: {kind} — {}", kind.description());
 
     // Baseline: first-touch placement, the CC-NUMA default.
-    let ft = Machine::new(kind.build(scale), RunOptions::new(PolicyChoice::first_touch())).run();
+    let ft = Machine::new(
+        kind.build(scale),
+        RunOptions::new(PolicyChoice::first_touch()),
+    )
+    .run();
 
     // The paper's base policy: trigger 128, sharing 32, write/migrate
     // thresholds 1, counters reset every 100 ms, driven by full

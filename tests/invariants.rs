@@ -2,8 +2,7 @@
 
 use ccnuma_locality::kernel::{PageOp, Pager, PagerConfig};
 use ccnuma_locality::policy::{
-    DynamicPolicyKind, MissMetric, ObservedMiss, PageLocation, PolicyEngine,
-    PolicyParams,
+    DynamicPolicyKind, MissMetric, ObservedMiss, PageLocation, PolicyEngine, PolicyParams,
 };
 use ccnuma_locality::polsim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
 use ccnuma_locality::prelude::*;

@@ -66,7 +66,8 @@ fn batch_size_one_still_completes_all_actions() {
     assert!(u.migrations + u.replications > 0);
     // ...but per-op interrupt and flush costs no longer amortize, so the
     // unbatched run pays at least as much kernel overhead per action.
-    let per_op_b = batched.cost_book.total().0 as f64 / (b.migrations + b.replications).max(1) as f64;
+    let per_op_b =
+        batched.cost_book.total().0 as f64 / (b.migrations + b.replications).max(1) as f64;
     let per_op_u =
         unbatched.cost_book.total().0 as f64 / (u.migrations + u.replications).max(1) as f64;
     assert!(
@@ -78,9 +79,8 @@ fn batch_size_one_still_completes_all_actions() {
 #[test]
 fn adaptive_controller_changes_parameters_and_completes() {
     let fixed = run_with(dynamic_opts());
-    let adaptive = run_with(dynamic_opts().with_adaptive(
-        AdaptiveTrigger::new(params()).with_range(8, 1024),
-    ));
+    let adaptive =
+        run_with(dynamic_opts().with_adaptive(AdaptiveTrigger::new(params()).with_range(8, 1024)));
     // Both produce sane reports; the adaptive one must have acted on the
     // engine (same workload, different action counts is the usual sign,
     // but at minimum it must have preserved the accounting invariant).

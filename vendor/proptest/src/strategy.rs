@@ -1,0 +1,262 @@
+//! The [`Strategy`] trait and the built-in strategies: integer and float
+//! ranges, tuples, `Just`, and a literal/char-class string strategy.
+
+use crate::test_runner::TestRunner;
+use core::ops::{Range, RangeInclusive};
+use rand::Rng as _;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// One element of a parsed string pattern: a set of candidate chars and
+/// a repetition count range.
+#[derive(Debug)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` is a string *pattern* strategy, as in proptest. Supported
+/// syntax: literal characters and `[a-z0-9]` char classes, each
+/// optionally followed by `{n}` or `{m,n}`. Anything unparsable is
+/// treated as a literal.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, runner: &mut TestRunner) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.max > atom.min {
+                atom.min + (runner.next_u64() % (atom.max - atom.min + 1) as u64) as usize
+            } else {
+                atom.min
+            };
+            for _ in 0..n {
+                let i = (runner.next_u64() % atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = if chars[i] == '[' {
+            let close = match chars[i + 1..].iter().position(|&c| c == ']') {
+                Some(off) => i + 1 + off,
+                None => {
+                    // Unbalanced: treat '[' as a literal.
+                    atoms.push(Atom {
+                        chars: vec!['['],
+                        min: 1,
+                        max: 1,
+                    });
+                    i += 1;
+                    continue;
+                }
+            };
+            let set = parse_class(&chars[i + 1..close]);
+            i = close + 1;
+            set
+        } else {
+            let set = vec![chars[i]];
+            i += 1;
+            set
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            match chars[i..].iter().position(|&c| c == '}') {
+                Some(off) => {
+                    let body: String = chars[i + 1..i + off].iter().collect();
+                    i += off + 1;
+                    parse_reps(&body)
+                }
+                None => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    if set.is_empty() {
+        set.push('?');
+    }
+    set
+}
+
+fn parse_reps(body: &str) -> (usize, usize) {
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(1);
+            let hi = hi.trim().parse().unwrap_or(lo);
+            (lo, hi.max(lo))
+        }
+        None => {
+            let n = body.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_class_and_reps() {
+        let mut runner = TestRunner::for_test("string_pattern");
+        for _ in 0..200 {
+            let s = "[a-z0-9]{0,12}".sample(&mut runner);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literal_pattern_passes_through() {
+        let mut runner = TestRunner::for_test("literal");
+        assert_eq!("abc".sample(&mut runner), "abc");
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut runner = TestRunner::for_test("ranges");
+        for _ in 0..500 {
+            let (a, b, c) = (1u64..5, 0u16..3, 0.0f64..2.0).sample(&mut runner);
+            assert!((1..5).contains(&a));
+            assert!(b < 3);
+            assert!((0.0..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut runner = TestRunner::for_test("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..10, 3..=3).sample(&mut runner);
+            assert_eq!(v.len(), 3);
+        }
+    }
+}
