@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
+//!                       [--obs-dir DIR] [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N]
 //! repro --list
 //! ```
@@ -11,11 +12,23 @@
 //! The requested experiments' run plans are merged, deduplicated, and
 //! executed on `--jobs` worker threads (default: available parallelism)
 //! before anything is rendered. Reports print to stdout in the order the
-//! experiments were requested — byte-identical for any `--jobs` value —
-//! and a run/cache/timing summary goes to stderr.
+//! experiments were requested — byte-identical for any `--jobs` value.
+//!
+//! With `--obs-dir DIR`, every computed run additionally writes its
+//! observability artifacts (`events.jsonl`, `timeseries.csv`,
+//! `trace.json`, `metrics.json`) under `DIR/runs/<slug>/`, and the
+//! invocation writes `DIR/run-metadata.json` (jobs, cache hits, per-run
+//! wall times). See EXPERIMENTS.md for the artifact schemas.
+//!
+//! Stderr chatter is gated by one verbosity knob: `-v`/`--verbose` and
+//! `-q`/`--quiet` flags first, then the `CCNUMA_LOG` environment
+//! variable (`quiet|info|debug`), then the default (a one-line
+//! summary). Experiment output on stdout is never gated.
 
 use ccnuma_bench::{experiments, Executor, RunPlan};
+use ccnuma_obs::Verbosity;
 use ccnuma_workloads::Scale;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn default_jobs() -> usize {
@@ -36,6 +49,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::standard();
     let mut jobs = default_jobs();
+    let mut obs_dir: Option<PathBuf> = None;
+    let mut verbosity_flag: Option<Verbosity> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,12 +80,27 @@ fn main() {
                     }
                 };
             }
+            "--obs-dir" => {
+                obs_dir = match it.next() {
+                    Some(dir) => Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--obs-dir expects a directory path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "-v" | "--verbose" => verbosity_flag = Some(Verbosity::Verbose),
+            "-q" | "--quiet" => verbosity_flag = Some(Verbosity::Quiet),
             "all" => names.extend(experiments::ALL.iter().map(|e| e.name.to_string())),
             name => names.push(name.to_string()),
         }
     }
+    let verbosity = Verbosity::resolve(verbosity_flag, std::env::var("CCNUMA_LOG").ok().as_deref());
     if names.is_empty() {
-        eprintln!("usage: repro <experiment>... [--scale quick|standard|full] [--jobs N]");
+        eprintln!(
+            "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
+             [--obs-dir DIR] [-v|-q]"
+        );
         eprintln!("       repro all | repro --list");
         std::process::exit(2);
     }
@@ -103,7 +133,10 @@ fn main() {
     for exp in &selected {
         plan.extend((exp.plan)(scale));
     }
-    let exec = Executor::new(jobs);
+    let mut exec = Executor::new(jobs).with_verbosity(verbosity);
+    if let Some(dir) = &obs_dir {
+        exec = exec.with_obs_dir(dir.clone());
+    }
     exec.execute(&plan);
     for exp in &selected {
         println!("{}", (exp.render)(scale, &exec));
@@ -111,18 +144,35 @@ fn main() {
 
     let stats = exec.stats();
     let wall = start.elapsed();
-    eprintln!("-- repro summary --");
-    for t in exec.timings() {
-        eprintln!("  {:>8.2}s  {}", t.wall.as_secs_f64(), t.label);
+    if let Some(dir) = &obs_dir {
+        match exec.write_run_metadata(dir, wall) {
+            Ok(path) => {
+                if verbosity.normal() {
+                    eprintln!("obs artifacts in {}", path.parent().unwrap().display());
+                }
+            }
+            Err(e) => {
+                eprintln!("writing {}/run-metadata.json: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
     }
-    eprintln!(
-        "{} experiment(s), {} distinct run(s) computed, {} cache hit(s), jobs={}, wall {:.2}s",
-        selected.len(),
-        stats.computed,
-        stats.hits,
-        stats.jobs,
-        wall.as_secs_f64()
-    );
+    if verbosity.verbose() {
+        eprintln!("-- repro summary --");
+        for t in exec.timings() {
+            eprintln!("  {:>8.2}s  {}", t.wall.as_secs_f64(), t.label);
+        }
+    }
+    if verbosity.normal() {
+        eprintln!(
+            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s), jobs={}, wall {:.2}s",
+            selected.len(),
+            stats.computed,
+            stats.hits,
+            stats.jobs,
+            wall.as_secs_f64()
+        );
+    }
     if !unknown.is_empty() {
         std::process::exit(2);
     }

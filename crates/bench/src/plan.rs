@@ -12,7 +12,10 @@
 //! the cache in plan order.
 
 use ccnuma_machine::{RunReport, RunSpec};
+use ccnuma_obs::{artifact_slug, json::JsonWriter, RunRecorder, Verbosity};
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -65,6 +68,10 @@ impl RunPlan {
 pub struct RunTiming {
     /// Human-readable description of the run.
     pub label: String,
+    /// The run's stable artifact slug (see
+    /// [`ccnuma_obs::artifact_slug`]) — names its directory under an
+    /// `--obs-dir` and keys it in `run-metadata.json`.
+    pub slug: String,
     /// Time spent simulating it.
     pub wall: Duration,
 }
@@ -88,6 +95,8 @@ pub struct ExecutorStats {
 /// `run` calls are cache hits. Equal specs always share one report.
 pub struct Executor {
     jobs: usize,
+    obs_dir: Option<PathBuf>,
+    verbosity: Verbosity,
     cache: Mutex<HashMap<String, Arc<RunReport>>>,
     hits: AtomicU64,
     computed: AtomicU64,
@@ -99,6 +108,8 @@ impl Executor {
     pub fn new(jobs: usize) -> Executor {
         Executor {
             jobs: jobs.max(1),
+            obs_dir: None,
+            verbosity: Verbosity::default(),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
@@ -111,21 +122,67 @@ impl Executor {
         Executor::new(1)
     }
 
+    /// Records observability artifacts for every computed run under
+    /// `dir/runs/<slug>/` (see [`ccnuma_obs::write_run_artifacts`]).
+    /// Artifacts derive purely from sim-time data, so they are
+    /// byte-identical for any job count.
+    #[must_use]
+    pub fn with_obs_dir(mut self, dir: impl Into<PathBuf>) -> Executor {
+        self.obs_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the stderr verbosity (Verbose adds per-run start/done lines).
+    #[must_use]
+    pub fn with_verbosity(mut self, v: Verbosity) -> Executor {
+        self.verbosity = v;
+        self
+    }
+
+    /// The configured observability directory, if any.
+    pub fn obs_dir(&self) -> Option<&Path> {
+        self.obs_dir.as_deref()
+    }
+
     /// Returns the report for `spec`, computing it here if not cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `--obs-dir` is configured and writing the run's
+    /// artifacts fails.
     pub fn run(&self, spec: &RunSpec) -> Arc<RunReport> {
         let key = spec.cache_key();
         if let Some(report) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(report);
         }
+        let label = spec.describe();
+        let slug = artifact_slug(&label, &key);
+        if self.verbosity.verbose() {
+            eprintln!("run   {label}");
+        }
         let start = Instant::now();
-        let report = Arc::new(spec.run());
+        let report = if let Some(dir) = &self.obs_dir {
+            // Instrumented run: same report (the recorder is a pure
+            // side-channel), plus the artifact set on disk.
+            let cpus = spec.build_workload().config.procs() as usize;
+            let mut rec = RunRecorder::default();
+            let report = spec.run_with(&mut rec);
+            ccnuma_obs::write_run_artifacts(dir, &slug, &rec, cpus)
+                .unwrap_or_else(|e| panic!("writing obs artifacts for {label}: {e}"));
+            Arc::new(report)
+        } else {
+            Arc::new(spec.run())
+        };
         let wall = start.elapsed();
+        if self.verbosity.verbose() {
+            eprintln!("done  {label} ({:.2}s)", wall.as_secs_f64());
+        }
         self.computed.fetch_add(1, Ordering::Relaxed);
-        self.timings.lock().unwrap().push(RunTiming {
-            label: spec.describe(),
-            wall,
-        });
+        self.timings
+            .lock()
+            .unwrap()
+            .push(RunTiming { label, slug, wall });
         // Keep the first report if another thread raced us here; both are
         // equal by determinism, but callers must agree on one Arc.
         Arc::clone(self.cache.lock().unwrap().entry(key).or_insert(report))
@@ -178,6 +235,63 @@ impl Executor {
     /// Per-run wall times of every computed run, in completion order.
     pub fn timings(&self) -> Vec<RunTiming> {
         self.timings.lock().unwrap().clone()
+    }
+
+    /// The `run-metadata.json` document for everything executed so far:
+    /// job count, distinct runs computed, cache hits, total wall time,
+    /// and a per-run list of `{label, slug, wall_seconds}`.
+    ///
+    /// Runs are sorted by slug so the *structure* is deterministic; the
+    /// wall-clock fields are measurements and naturally vary between
+    /// invocations (which is why this file lives next to, not inside,
+    /// the per-run artifact directories the byte-identity guarantee
+    /// covers).
+    pub fn metadata_json(&self, wall_total: Duration) -> String {
+        let stats = self.stats();
+        let mut timings = self.timings();
+        timings.sort_by(|a, b| a.slug.cmp(&b.slug));
+        let mut j = JsonWriter::new();
+        j.begin_obj();
+        j.key("schema");
+        j.str("ccnuma-run-metadata/1");
+        j.key("jobs");
+        j.raw(&stats.jobs.to_string());
+        j.key("distinct_runs");
+        j.raw(&stats.computed.to_string());
+        j.key("cache_hits");
+        j.raw(&stats.hits.to_string());
+        j.key("wall_seconds_total");
+        j.raw(&format!("{:.6}", wall_total.as_secs_f64()));
+        j.key("runs");
+        j.begin_arr();
+        for t in &timings {
+            j.begin_obj();
+            j.key("label");
+            j.str(&t.label);
+            j.key("slug");
+            j.str(&t.slug);
+            j.key("wall_seconds");
+            j.raw(&format!("{:.6}", t.wall.as_secs_f64()));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        let mut s = j.finish();
+        s.push('\n');
+        s
+    }
+
+    /// Writes [`Executor::metadata_json`] to `<dir>/run-metadata.json`,
+    /// creating `dir` if needed. Returns the file's path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write errors.
+    pub fn write_run_metadata(&self, dir: &Path, wall_total: Duration) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("run-metadata.json");
+        std::fs::write(&path, self.metadata_json(wall_total))?;
+        Ok(path)
     }
 }
 

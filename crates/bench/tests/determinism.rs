@@ -23,6 +23,29 @@ fn same_spec_twice_produces_identical_reports() {
 }
 
 #[test]
+fn recorders_never_perturb_the_report() {
+    // The simulator is generic over its recorder; with the NullRecorder
+    // (what `run()` uses) the hooks compile away, and even a full
+    // RunRecorder is a pure side-channel. All three paths must agree to
+    // the byte.
+    let spec = RunSpec::catalog(
+        WorkloadKind::Raytrace,
+        Scale::quick(),
+        RunOptions::new(PolicyChoice::base_mig_rep(
+            ccnuma_core::PolicyParams::base().with_trigger(16),
+        )),
+    );
+    let plain = spec.run();
+    let mut null = ccnuma_obs::NullRecorder;
+    let with_null = spec.run_with(&mut null);
+    let mut rec = ccnuma_obs::RunRecorder::default();
+    let with_obs = spec.run_with(&mut rec);
+    assert_eq!(format!("{plain:?}"), format!("{with_null:?}"));
+    assert_eq!(format!("{plain:?}"), format!("{with_obs:?}"));
+    assert!(!rec.series.is_empty(), "instrumented run recorded data");
+}
+
+#[test]
 fn fig3_quick_output_is_byte_identical_across_job_counts() {
     let scale = Scale::quick();
     let exp = experiments::find("fig3").expect("fig3 registered");

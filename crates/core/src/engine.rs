@@ -251,6 +251,13 @@ impl PolicyEngine {
         self.pages.len()
     }
 
+    /// The live counter state for `page`, if any miss has been counted
+    /// against it. Read-only: instrumentation uses this to snapshot the
+    /// counters behind a decision.
+    pub fn counters(&self, page: VirtPage) -> Option<&PageCounters> {
+        self.pages.get(&page)
+    }
+
     /// Feeds one counted miss through the decision tree (Figure 1).
     ///
     /// `loc` describes the faulting page's placement from the accessor's

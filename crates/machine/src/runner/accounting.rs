@@ -3,10 +3,28 @@
 
 use super::Sim;
 use crate::RunReport;
+use ccnuma_obs::{Recorder, SampleView};
 use ccnuma_trace::{MissRecord, MissSource, TraceBuilder};
 use ccnuma_types::{MemAccess, Ns, Pid, ProcId};
 
-impl Sim {
+impl<R: Recorder> Sim<'_, R> {
+    /// Snapshots the cumulative simulator state at sim time `now` for the
+    /// epoch sampler. Only called on instrumented runs (`R::ENABLED`).
+    pub(super) fn sample_view(&self, now: Ns) -> SampleView {
+        let stats = self.engine.as_ref().map(|e| *e.stats()).unwrap_or_default();
+        SampleView {
+            local_misses: self.breakdown.local_misses(),
+            remote_misses: self.breakdown.remote_misses(),
+            migrations: stats.migrations,
+            replications: stats.replications,
+            collapses: stats.collapses,
+            remaps: stats.remaps,
+            replica_frames: self.pager.hash().replica_frames(),
+            frames_used: self.pager.frames().used_total(),
+            dir_occupancy_pct: self.directory.max_occupancy(now),
+            policy_overhead: self.breakdown.policy_overhead(),
+        }
+    }
     pub(super) fn record_of(
         &self,
         cpu: usize,
@@ -29,6 +47,10 @@ impl Sim {
     pub(super) fn finish(mut self) -> RunReport {
         let sim_time = self.clocks.iter().copied().fold(Ns::ZERO, Ns::max);
         let cpu_time = self.clocks.iter().copied().sum::<Ns>();
+        if R::ENABLED {
+            let view = self.sample_view(sim_time);
+            self.obs.on_run_end(sim_time, &view);
+        }
         let avg_local = if self.local_lat_n == 0 {
             Ns::ZERO
         } else {

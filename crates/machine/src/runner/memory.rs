@@ -3,13 +3,14 @@
 
 use super::Sim;
 use ccnuma_core::Placer;
+use ccnuma_obs::Recorder;
 use ccnuma_trace::MissSource;
 use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId};
 
 /// TLB refill cost (software-reloaded TLB handler, kernel time).
 const TLB_REFILL: Ns = Ns(250);
 
-impl Sim {
+impl<R: Recorder> Sim<'_, R> {
     pub(super) fn node_of(&self, cpu: usize) -> NodeId {
         self.spec.config.node_of_proc(ProcId(cpu as u16))
     }
@@ -51,6 +52,7 @@ impl Sim {
                 .add_busy(ccnuma_types::Mode::Kernel, TLB_REFILL);
             self.clocks[cpu] += TLB_REFILL;
             let rec = self.record_of(cpu, pid, &access, MissSource::Tlb);
+            self.obs.on_tlb_fill(&rec, TLB_REFILL);
             if let Some(t) = &mut self.trace {
                 t.push(rec);
             }
@@ -96,6 +98,7 @@ impl Sim {
         }
 
         let rec = self.record_of(cpu, pid, &access, MissSource::Cache);
+        self.obs.on_miss(&rec, latency, remote);
         if let Some(t) = &mut self.trace {
             t.push(rec);
         }

@@ -28,6 +28,7 @@ pub use options::{PolicyChoice, RunOptions};
 use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
 use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
 use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+use ccnuma_obs::{NullRecorder, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
 use ccnuma_types::{Ns, Pid};
@@ -49,13 +50,24 @@ impl Machine {
 
     /// Runs the workload to completion and reports.
     pub fn run(self) -> RunReport {
-        Sim::new(self.spec, self.opts).run()
+        self.run_with(&mut NullRecorder)
+    }
+
+    /// Runs the workload with an observability [`Recorder`] attached.
+    ///
+    /// The simulator is monomorphized over the recorder type, so
+    /// `run_with(&mut NullRecorder)` compiles to exactly the
+    /// uninstrumented run path and [`Machine::run`]'s results are
+    /// byte-identical to a build without observability.
+    pub fn run_with<R: Recorder>(self, obs: &mut R) -> RunReport {
+        Sim::new(self.spec, self.opts, obs).run()
     }
 }
 
 /// Internal simulation state. Assembly lives here; behaviour lives in the
 /// sibling submodules.
-struct Sim {
+struct Sim<'a, R: Recorder> {
+    obs: &'a mut R,
     spec: WorkloadSpec,
     opts: RunOptions,
     rng: SmallRng,
@@ -80,10 +92,11 @@ struct Sim {
     adaptive: Option<AdaptiveTrigger>,
     adaptive_epoch: u64,
     adaptive_snap: (Ns, Ns, Ns),
+    obs_epoch: u64,
 }
 
-impl Sim {
-    fn new(spec: WorkloadSpec, opts: RunOptions) -> Sim {
+impl<'a, R: Recorder> Sim<'a, R> {
+    fn new(spec: WorkloadSpec, opts: RunOptions, obs: &'a mut R) -> Sim<'a, R> {
         let cfg = spec.config.clone();
         let procs = cfg.procs() as usize;
         let pager_cfg = PagerConfig::for_machine(cfg.clone())
@@ -130,6 +143,8 @@ impl Sim {
             adaptive: opts.adaptive.clone(),
             adaptive_epoch: 0,
             adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
+            obs_epoch: 0,
+            obs,
             spec,
             opts,
         }
@@ -150,7 +165,8 @@ mod tests {
     fn machine_and_sim_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Machine>();
-        assert_send::<Sim>();
+        assert_send::<Sim<'static, NullRecorder>>();
+        assert_send::<Sim<'static, ccnuma_obs::RunRecorder>>();
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use super::Sim;
 use ccnuma_core::{ObservedMiss, PolicyAction};
 use ccnuma_kernel::{OpOutcome, PageOp};
+use ccnuma_obs::{AuditAction, Decision, Recorder};
 use ccnuma_trace::MissRecord;
 use ccnuma_types::{NodeId, Ns, Pid, ProcId, VirtPage};
 
-impl Sim {
+impl<R: Recorder> Sim<'_, R> {
     /// Feeds one miss event to the policy engine and acts on the decision.
     pub(super) fn drive_policy(
         &mut self,
@@ -26,14 +27,43 @@ impl Sim {
         let engine = self.engine.as_mut().expect("metric implies engine");
         let loc = self.pager.location_for(pid, rec.page, my_node);
         let pressure = self.pager.pressure(my_node);
+        let now = self.clocks[cpu];
         let miss = ObservedMiss {
-            now: self.clocks[cpu],
+            now,
             proc,
             node: my_node,
             page: rec.page,
             is_write: rec.kind.is_write(),
         };
+        if R::ENABLED {
+            // Counter reset-interval boundary, observed at the first
+            // counted miss of the new interval (matching when the engine
+            // itself rolls the page's epoch).
+            let epoch = engine.params().epoch_of(now);
+            if epoch > self.obs_epoch {
+                self.obs_epoch = epoch;
+                self.obs.on_interval_reset(now, epoch);
+            }
+        }
         let action = engine.observe(miss, &loc, pressure);
+        if R::ENABLED {
+            if let Some(audit) = AuditAction::of(&action) {
+                let counters = engine.counters(rec.page);
+                self.obs.on_decision(&Decision {
+                    now,
+                    page: rec.page,
+                    proc,
+                    node: my_node,
+                    is_write: rec.kind.is_write(),
+                    mapped_node: loc.mapped_node(),
+                    pressure,
+                    action: audit,
+                    counter: counters.map_or(0, |c| c.miss_count(proc)),
+                    writes: counters.map_or(0, |c| c.writes()),
+                    migrates: counters.map_or(0, |c| c.migrates()),
+                });
+            }
+        }
         match action {
             PolicyAction::Nothing(_) => {}
             PolicyAction::Collapse => {
@@ -71,12 +101,15 @@ impl Sim {
         if stats.flush_ops > 0 {
             self.tlbs_flushed_sum += stats.tlbs_flushed as u64;
             self.flush_batches += 1;
+            self.obs.on_shootdown(self.clocks[cpu], &stats);
         }
         for ((op, action), outcome) in batch.iter().zip(outcomes) {
+            let start = self.clocks[cpu];
             match outcome {
                 OpOutcome::Done { latency } => {
                     self.charge_overhead(cpu, op, latency);
                     self.shootdown_all(op.page());
+                    self.obs.on_page_op(cpu, start, op, &outcome);
                 }
                 OpOutcome::NoPage => {
                     // Memory-pressure response: reclaim replicas on the
@@ -97,9 +130,13 @@ impl Sim {
                         self.shootdown_all(op.page());
                     } else if let Some(e) = &mut self.engine {
                         e.note_no_page(action);
+                        self.obs.on_no_page(start, op.page(), action);
                     }
+                    self.obs.on_page_op(cpu, start, op, &retried);
                 }
-                OpOutcome::Skipped => {}
+                OpOutcome::Skipped => {
+                    self.obs.on_page_op(cpu, start, op, &outcome);
+                }
             }
         }
     }

@@ -5,9 +5,10 @@
 use super::Sim;
 use crate::RunReport;
 use ccnuma_core::IntervalFeedback;
+use ccnuma_obs::Recorder;
 use ccnuma_types::Ns;
 
-impl Sim {
+impl<R: Recorder> Sim<'_, R> {
     /// Runs the workload to completion and reports.
     pub(super) fn run(mut self) -> RunReport {
         let mut refs_left = self.spec.total_refs;
@@ -19,6 +20,15 @@ impl Sim {
                 .min_by_key(|&i| (self.clocks[i], i))
                 .expect("at least one cpu");
             let now = self.clocks[cpu];
+
+            // Epoch sampling rides the main loop: when the minimum clock
+            // crosses a boundary, every CPU has reached it. The
+            // `R::ENABLED` guard keeps the (non-free) sample view off
+            // the uninstrumented path entirely.
+            if R::ENABLED && self.obs.epoch_due(now) {
+                let view = self.sample_view(now);
+                self.obs.on_epoch(now, &view);
+            }
 
             // Re-query the scheduler on quantum boundaries.
             let q = now.0 / quantum.0;
@@ -34,6 +44,8 @@ impl Sim {
                     if let Some(p) = pid {
                         self.pager.set_pid_node(p, self.node_of(cpu));
                     }
+                    self.obs
+                        .on_context_switch(cpu, now, pid.map(|p| p.0 as u64));
                 }
             }
             let Some(pid) = self.cur_pid[cpu] else {

@@ -100,6 +100,13 @@ impl RunSpec {
         Machine::new(self.build_workload(), self.opts.clone()).run()
     }
 
+    /// Runs the spec with an observability recorder attached. The report
+    /// is identical to [`RunSpec::run`]'s; the recorder fills with the
+    /// run's timelines, metrics and audit log as a side effect.
+    pub fn run_with<R: ccnuma_obs::Recorder>(&self, obs: &mut R) -> RunReport {
+        Machine::new(self.build_workload(), self.opts.clone()).run_with(obs)
+    }
+
     /// A short human-readable description for logs and timing summaries
     /// (not an identity — use [`RunSpec::cache_key`] for that).
     pub fn describe(&self) -> String {

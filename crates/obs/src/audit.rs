@@ -1,0 +1,272 @@
+//! The pager decision audit log.
+//!
+//! Every migrate / replicate / collapse / remap the policy engine decides
+//! is recorded with the miss that triggered it and the page's counter
+//! state at decision time, so policy behaviour is explainable
+//! reference-by-reference. "No page" reclassifications (the kernel found
+//! no free frame, Table 4) and counter reset-interval boundaries are
+//! logged too, which is what lets [`AuditLog::totals`] reproduce the
+//! run's `PolicyStats` action counts exactly.
+
+use ccnuma_core::PolicyAction;
+use ccnuma_types::{NodeId, Ns, ProcId, VirtPage};
+
+/// The action half of a decision entry: the non-trivial
+/// [`PolicyAction`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditAction {
+    /// Move the master to `to`.
+    Migrate {
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Create a replica at `at`.
+    Replicate {
+        /// Node receiving the replica.
+        at: NodeId,
+    },
+    /// Repoint a stale mapping at the copy on `to`.
+    Remap {
+        /// Node holding the copy.
+        to: NodeId,
+    },
+    /// Collapse all replicas to the master.
+    Collapse,
+}
+
+impl AuditAction {
+    /// Maps a [`PolicyAction`] to its audit form; `None` for
+    /// `PolicyAction::Nothing`.
+    pub fn of(action: &PolicyAction) -> Option<AuditAction> {
+        match *action {
+            PolicyAction::Migrate { to } => Some(AuditAction::Migrate { to }),
+            PolicyAction::Replicate { at } => Some(AuditAction::Replicate { at }),
+            PolicyAction::Remap { to } => Some(AuditAction::Remap { to }),
+            PolicyAction::Collapse => Some(AuditAction::Collapse),
+            PolicyAction::Nothing(_) => None,
+        }
+    }
+
+    /// Short lowercase name for exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditAction::Migrate { .. } => "migrate",
+            AuditAction::Replicate { .. } => "replicate",
+            AuditAction::Remap { .. } => "remap",
+            AuditAction::Collapse => "collapse",
+        }
+    }
+
+    /// The target node, if the action has one.
+    pub fn target(&self) -> Option<NodeId> {
+        match *self {
+            AuditAction::Migrate { to } | AuditAction::Remap { to } => Some(to),
+            AuditAction::Replicate { at } => Some(at),
+            AuditAction::Collapse => None,
+        }
+    }
+}
+
+/// One policy decision with its triggering context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Sim time of the counted miss.
+    pub now: Ns,
+    /// The page decided on.
+    pub page: VirtPage,
+    /// The processor whose miss triggered the decision.
+    pub proc: ProcId,
+    /// That processor's node.
+    pub node: NodeId,
+    /// Whether the triggering miss was a store.
+    pub is_write: bool,
+    /// Node the accessor's mapping pointed at.
+    pub mapped_node: NodeId,
+    /// Memory pressure on the accessor's node at decision time.
+    pub pressure: bool,
+    /// The chosen action.
+    pub action: AuditAction,
+    /// The triggering processor's per-page miss counter at decision time
+    /// (post-decision: cleared counters read 0).
+    pub counter: u32,
+    /// The page's write counter at decision time.
+    pub writes: u32,
+    /// Migrations charged against the page this interval.
+    pub migrates: u32,
+}
+
+/// One audit event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AuditEvent {
+    /// The engine chose an action.
+    Decision(Decision),
+    /// A previously decided page move found no free frame and was
+    /// reclassified (Table 4 "No Page").
+    NoPage {
+        /// Sim time of the failed kernel operation.
+        now: Ns,
+        /// The page whose move failed.
+        page: VirtPage,
+        /// The move that failed (`Migrate` or `Replicate`).
+        action: AuditAction,
+    },
+    /// A counter reset-interval boundary passed.
+    Reset {
+        /// Sim time of the first counted miss in the new interval.
+        now: Ns,
+        /// The new interval's index.
+        epoch: u64,
+    },
+}
+
+impl AuditEvent {
+    /// Sim time of the event.
+    pub fn time(&self) -> Ns {
+        match *self {
+            AuditEvent::Decision(d) => d.now,
+            AuditEvent::NoPage { now, .. } | AuditEvent::Reset { now, .. } => now,
+        }
+    }
+}
+
+/// Net action counts derived from an audit log: decisions minus their
+/// "no page" reclassifications — the same arithmetic `PolicyStats` does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditTotals {
+    /// Net migrations (decided minus no-page).
+    pub migrations: u64,
+    /// Net replications (decided minus no-page).
+    pub replications: u64,
+    /// Collapses decided.
+    pub collapses: u64,
+    /// Remaps decided.
+    pub remaps: u64,
+    /// Page moves reclassified as "no page".
+    pub no_page: u64,
+    /// Reset-interval boundaries observed.
+    pub resets: u64,
+}
+
+/// An append-only, time-ordered audit log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: AuditEvent) {
+        self.events.push(event);
+    }
+
+    /// The events, in the order they were recorded.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Net totals over the whole log. For a full-system run these equal
+    /// the run's `PolicyStats` action counts exactly.
+    pub fn totals(&self) -> AuditTotals {
+        let mut t = AuditTotals::default();
+        for e in &self.events {
+            match e {
+                AuditEvent::Decision(d) => match d.action {
+                    AuditAction::Migrate { .. } => t.migrations += 1,
+                    AuditAction::Replicate { .. } => t.replications += 1,
+                    AuditAction::Collapse => t.collapses += 1,
+                    AuditAction::Remap { .. } => t.remaps += 1,
+                },
+                AuditEvent::NoPage { action, .. } => {
+                    match action {
+                        AuditAction::Migrate { .. } => t.migrations -= 1,
+                        AuditAction::Replicate { .. } => t.replications -= 1,
+                        _ => {}
+                    }
+                    t.no_page += 1;
+                }
+                AuditEvent::Reset { .. } => t.resets += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(action: AuditAction) -> AuditEvent {
+        AuditEvent::Decision(Decision {
+            now: Ns(1),
+            page: VirtPage(7),
+            proc: ProcId(0),
+            node: NodeId(0),
+            is_write: false,
+            mapped_node: NodeId(1),
+            pressure: false,
+            action,
+            counter: 32,
+            writes: 0,
+            migrates: 0,
+        })
+    }
+
+    #[test]
+    fn totals_net_out_no_page() {
+        let mut log = AuditLog::new();
+        log.push(decision(AuditAction::Migrate { to: NodeId(2) }));
+        log.push(decision(AuditAction::Migrate { to: NodeId(3) }));
+        log.push(decision(AuditAction::Replicate { at: NodeId(1) }));
+        log.push(AuditEvent::NoPage {
+            now: Ns(2),
+            page: VirtPage(7),
+            action: AuditAction::Migrate { to: NodeId(3) },
+        });
+        log.push(decision(AuditAction::Collapse));
+        log.push(AuditEvent::Reset {
+            now: Ns(3),
+            epoch: 1,
+        });
+        let t = log.totals();
+        assert_eq!(t.migrations, 1);
+        assert_eq!(t.replications, 1);
+        assert_eq!(t.collapses, 1);
+        assert_eq!(t.remaps, 0);
+        assert_eq!(t.no_page, 1);
+        assert_eq!(t.resets, 1);
+    }
+
+    #[test]
+    fn audit_action_of_policy_action() {
+        use ccnuma_core::NoActionReason;
+        assert_eq!(
+            AuditAction::of(&PolicyAction::Migrate { to: NodeId(1) }),
+            Some(AuditAction::Migrate { to: NodeId(1) })
+        );
+        assert_eq!(
+            AuditAction::of(&PolicyAction::Nothing(NoActionReason::NotHot)),
+            None
+        );
+        assert_eq!(AuditAction::Collapse.name(), "collapse");
+        assert_eq!(AuditAction::Collapse.target(), None);
+        assert_eq!(
+            AuditAction::Replicate { at: NodeId(4) }.target(),
+            Some(NodeId(4))
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal deterministic JSON emission.
+//!
+//! The build environment is fully offline, so there is no serde; all
+//! observability artifacts are rendered through this small writer
+//! instead. Output is deterministic by construction: callers control key
+//! order, integers render via `u64`/`i64` formatting, and floats via
+//! Rust's shortest-roundtrip formatting.
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A `String`-backed JSON writer that tracks comma placement.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_obs::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_obj();
+/// w.key("name");
+/// w.str("raytrace");
+/// w.key("runs");
+/// w.begin_arr();
+/// w.raw("1");
+/// w.raw("2");
+/// w.end_arr();
+/// w.end_obj();
+/// assert_eq!(w.finish(), r#"{"name":"raytrace","runs":[1,2]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key (escaped) and its `:`.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        push_json_str(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not emit its own comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Writes a pre-escaped key (already quoted) and its `:`.
+    pub fn raw_key(&mut self, quoted: &str) {
+        self.pre_value();
+        self.out.push_str(quoted);
+        self.out.push(':');
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Writes a string value (escaped).
+    pub fn str(&mut self, s: &str) {
+        self.pre_value();
+        push_json_str(&mut self.out, s);
+    }
+
+    /// Writes a raw token — a number, `true`, `null`, or pre-rendered
+    /// JSON.
+    pub fn raw(&mut self, token: &str) {
+        self.pre_value();
+        self.out.push_str(token);
+    }
+
+    /// Finishes and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\x01");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_place_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a");
+        w.begin_arr();
+        w.begin_obj();
+        w.key("x");
+        w.raw("1");
+        w.end_obj();
+        w.raw("2");
+        w.end_arr();
+        w.key("b");
+        w.raw("true");
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":[{"x":1},2],"b":true}"#);
+    }
+}

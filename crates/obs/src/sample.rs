@@ -1,0 +1,157 @@
+//! The epoch sampler: a time series of simulator state snapshots.
+//!
+//! The paper's analysis is time-resolved — pages heat up, the pager
+//! migrates and replicates, replicas accumulate and collapse — but a
+//! [`RunReport`](https://docs.rs) only carries end-of-run aggregates. The
+//! sampler closes that gap: the simulator calls
+//! [`EpochSeries::push`] whenever sim time crosses an epoch boundary,
+//! capturing a [`SampleView`] of the cumulative state; the CSV exporter
+//! then derives per-epoch deltas so each row describes what happened
+//! *during* that epoch.
+//!
+//! Everything is keyed by sim time, never wall-clock, so the series for a
+//! given run spec is byte-identical however the run was scheduled.
+
+use ccnuma_types::Ns;
+
+/// A cumulative snapshot of the simulator state at one instant.
+///
+/// All counters are running totals since the start of the run; the
+/// footprint and occupancy fields are instantaneous.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleView {
+    /// L2 misses served from local memory so far.
+    pub local_misses: u64,
+    /// L2 misses served from remote memory so far.
+    pub remote_misses: u64,
+    /// Pages migrated so far (0 under static policies).
+    pub migrations: u64,
+    /// Pages replicated so far.
+    pub replications: u64,
+    /// Replica collapses so far.
+    pub collapses: u64,
+    /// Stale-mapping remaps so far.
+    pub remaps: u64,
+    /// Replica frames currently live (the §7.2.3 footprint).
+    pub replica_frames: u64,
+    /// Physical frames currently in use, machine-wide.
+    pub frames_used: u64,
+    /// Busiest directory controller's occupancy so far, in percent.
+    pub dir_occupancy_pct: f64,
+    /// Kernel time spent on page moves so far.
+    pub policy_overhead: Ns,
+}
+
+impl SampleView {
+    /// Local misses as a percentage of all misses in this snapshot
+    /// (0.0 when no misses yet).
+    pub fn local_miss_pct(&self) -> f64 {
+        let total = self.local_misses + self.remote_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.local_misses as f64 / total as f64
+        }
+    }
+}
+
+/// One sampled epoch: the boundary time and the cumulative view there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Sim time of the snapshot.
+    pub t: Ns,
+    /// Cumulative state at `t`.
+    pub view: SampleView,
+}
+
+/// A fixed-epoch time series of [`Snapshot`]s.
+#[derive(Debug, Clone)]
+pub struct EpochSeries {
+    epoch: Ns,
+    snaps: Vec<Snapshot>,
+}
+
+impl EpochSeries {
+    /// An empty series sampling every `epoch` of sim time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    pub fn new(epoch: Ns) -> EpochSeries {
+        assert!(epoch > Ns::ZERO, "epoch length must be non-zero");
+        EpochSeries {
+            epoch,
+            snaps: Vec::new(),
+        }
+    }
+
+    /// The configured epoch length.
+    pub fn epoch(&self) -> Ns {
+        self.epoch
+    }
+
+    /// True once sim time `now` has crossed the next unsampled epoch
+    /// boundary.
+    #[inline]
+    pub fn due(&self, now: Ns) -> bool {
+        now.0 >= self.next_boundary()
+    }
+
+    fn next_boundary(&self) -> u64 {
+        match self.snaps.last() {
+            None => self.epoch.0,
+            Some(s) => (s.t.0 / self.epoch.0 + 1) * self.epoch.0,
+        }
+    }
+
+    /// Appends a snapshot taken at `now`.
+    pub fn push(&mut self, now: Ns, view: SampleView) {
+        self.snaps.push(Snapshot { t: now, view });
+    }
+
+    /// The snapshots, in time order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snaps
+    }
+
+    /// Number of epochs sampled.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True if nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_tracks_epoch_boundaries() {
+        let mut s = EpochSeries::new(Ns(100));
+        assert!(!s.due(Ns(99)));
+        assert!(s.due(Ns(100)));
+        s.push(Ns(105), SampleView::default());
+        // Sampled inside epoch 1; next boundary is 200.
+        assert!(!s.due(Ns(150)));
+        assert!(s.due(Ns(200)));
+        // A long stall skips boundaries: one catch-up sample, then the
+        // next boundary advances past the sampled time.
+        s.push(Ns(730), SampleView::default());
+        assert!(!s.due(Ns(799)));
+        assert!(s.due(Ns(800)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn local_miss_pct_handles_zero() {
+        let mut v = SampleView::default();
+        assert_eq!(v.local_miss_pct(), 0.0);
+        v.local_misses = 3;
+        v.remote_misses = 1;
+        assert_eq!(v.local_miss_pct(), 75.0);
+    }
+}

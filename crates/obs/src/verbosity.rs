@@ -1,0 +1,80 @@
+//! Stderr verbosity levels shared by the harness binaries.
+//!
+//! One knob gates all human-facing chatter consistently: the `repro`
+//! flags `-v`/`--verbose` and `-q`/`--quiet` take precedence, then the
+//! `CCNUMA_LOG` environment variable, then [`Verbosity::Normal`].
+
+/// How much stderr chatter to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Nothing but hard errors.
+    Quiet,
+    /// One-line summaries.
+    #[default]
+    Normal,
+    /// Per-event progress lines (run start/finish, per-run timings).
+    Verbose,
+}
+
+impl Verbosity {
+    /// Parses a `CCNUMA_LOG` value. Accepted (case-insensitive):
+    /// `quiet|off|error|0`, `info|normal|1`, `debug|verbose|trace|2`.
+    /// Unknown values fall back to `Normal`.
+    pub fn parse(s: &str) -> Verbosity {
+        match s.to_ascii_lowercase().as_str() {
+            "quiet" | "off" | "error" | "0" => Verbosity::Quiet,
+            "debug" | "verbose" | "trace" | "2" => Verbosity::Verbose,
+            _ => Verbosity::Normal,
+        }
+    }
+
+    /// Resolves the effective verbosity: explicit flags beat the
+    /// `CCNUMA_LOG` environment variable, which beats the default.
+    pub fn resolve(flag: Option<Verbosity>, env: Option<&str>) -> Verbosity {
+        flag.or_else(|| env.map(Verbosity::parse))
+            .unwrap_or_default()
+    }
+
+    /// True when one-line summaries should print.
+    pub fn normal(self) -> bool {
+        self >= Verbosity::Normal
+    }
+
+    /// True when per-event progress lines should print.
+    pub fn verbose(self) -> bool {
+        self >= Verbosity::Verbose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_spellings() {
+        assert_eq!(Verbosity::parse("QUIET"), Verbosity::Quiet);
+        assert_eq!(Verbosity::parse("0"), Verbosity::Quiet);
+        assert_eq!(Verbosity::parse("info"), Verbosity::Normal);
+        assert_eq!(Verbosity::parse("debug"), Verbosity::Verbose);
+        assert_eq!(Verbosity::parse("2"), Verbosity::Verbose);
+        assert_eq!(Verbosity::parse("nonsense"), Verbosity::Normal);
+    }
+
+    #[test]
+    fn flags_beat_env_beats_default() {
+        assert_eq!(
+            Verbosity::resolve(Some(Verbosity::Quiet), Some("debug")),
+            Verbosity::Quiet
+        );
+        assert_eq!(Verbosity::resolve(None, Some("debug")), Verbosity::Verbose);
+        assert_eq!(Verbosity::resolve(None, None), Verbosity::Normal);
+    }
+
+    #[test]
+    fn level_predicates() {
+        assert!(!Verbosity::Quiet.normal());
+        assert!(Verbosity::Normal.normal());
+        assert!(!Verbosity::Normal.verbose());
+        assert!(Verbosity::Verbose.verbose());
+    }
+}

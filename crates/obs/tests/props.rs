@@ -1,0 +1,100 @@
+//! Property-based tests for the log2 histograms (the style mirrors
+//! `crates/stats/tests/props.rs`).
+
+use ccnuma_obs::{bucket_bounds, bucket_of, Histogram};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Every value falls inside the bounds of the bucket it is assigned
+    /// to, and buckets tile the u64 range without overlap.
+    #[test]
+    fn value_falls_in_its_reported_bucket(v in 0u64..=u64::MAX) {
+        let i = bucket_of(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+        if i > 0 {
+            let (_, prev_hi) = bucket_bounds(i - 1);
+            prop_assert_eq!(lo, prev_hi + 1, "buckets must tile contiguously");
+        }
+    }
+
+    /// Percentiles are monotone in p, bounded by min/max, and never
+    /// under-report the true percentile's bucket.
+    #[test]
+    fn percentile_monotonicity(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = hist_of(&values);
+        let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+        let mut last = 0;
+        for (k, &p) in ps.iter().enumerate() {
+            let q = h.percentile(p);
+            if k > 0 {
+                prop_assert!(q >= last, "p{p} = {q} < previous {last}");
+            }
+            last = q;
+        }
+        // p100 is exactly the max; every percentile stays within range.
+        prop_assert_eq!(h.percentile(100.0), h.max());
+        prop_assert!(h.percentile(0.0) <= h.max());
+        // The reported quantile never undercuts the exact one: at least
+        // ceil(p/100*n) samples are <= percentile(p).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &p in &ps {
+            let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert!(
+                h.percentile(p) >= exact,
+                "p{p}: reported {} < exact {exact}", h.percentile(p)
+            );
+        }
+    }
+
+    /// Merging equals recording the concatenated stream, and is
+    /// associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_associativity(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+        c in proptest::collection::vec(0u64..=u64::MAX, 0..50),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // Combined stream.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let combined = hist_of(&all);
+
+        // Left fold.
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // Right fold.
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &combined);
+    }
+
+    /// Count, sum, min and max are exact regardless of bucketing.
+    #[test]
+    fn exact_summary_stats(values in proptest::collection::vec(0u64..=u64::MAX, 1..100)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+}
