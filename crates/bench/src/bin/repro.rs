@@ -4,15 +4,26 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
-//!                       [--obs-dir DIR] [-v|--verbose] [-q|--quiet]
+//!                       [--obs-dir DIR] [--faults SCENARIO]
+//!                       [--chaos-seed N] [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N]
-//! repro --list
+//! repro --list | repro --list-faults
 //! ```
 //!
 //! The requested experiments' run plans are merged, deduplicated, and
 //! executed on `--jobs` worker threads (default: available parallelism)
 //! before anything is rendered. Reports print to stdout in the order the
 //! experiments were requested — byte-identical for any `--jobs` value.
+//!
+//! `--faults SCENARIO` stresses every run with a named deterministic
+//! fault scenario (see `--list-faults`); `--chaos-seed N` varies the
+//! fault stream without changing the workload. A stressed invocation
+//! appends a chaos summary (faults injected, degradation responses) to
+//! stdout. Runs that fail outright — a typed simulator error or a panic
+//! — do not abort the invocation: the remaining runs complete, the
+//! experiments depending on a failed run are skipped with a notice, the
+//! failures are listed in a summary (and in `run-metadata.json` under an
+//! `--obs-dir`), and the exit status is 1.
 //!
 //! With `--obs-dir DIR`, every computed run additionally writes its
 //! observability artifacts (`events.jsonl`, `timeseries.csv`,
@@ -26,6 +37,7 @@
 //! summary). Experiment output on stdout is never gated.
 
 use ccnuma_bench::{experiments, Executor, RunPlan};
+use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::Verbosity;
 use ccnuma_workloads::Scale;
 use std::path::PathBuf;
@@ -45,12 +57,55 @@ fn print_list() {
     }
 }
 
+fn print_fault_list() {
+    for sc in FaultScenario::ALL {
+        println!("{:<15} {}", sc.name(), sc.describe());
+    }
+}
+
+/// The stdout chaos summary for a stressed invocation: what was
+/// injected and how the simulator degraded. Derived purely from
+/// sim-time statistics, so it is identical for any `--jobs` value.
+fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("== chaos summary: {faults} ==\n"));
+    s.push_str(&format!("runs: {ok} ok, {failed} failed\n"));
+    s.push_str(&format!(
+        "faults injected: {} (storms {}, copy aborts {}, allocs blocked {}, acks delayed {}, \
+         interrupts lost {}, counters capped {})\n",
+        t.injected_total(),
+        t.storms,
+        t.copy_aborts,
+        t.allocs_blocked,
+        t.acks_delayed,
+        t.interrupts_lost,
+        t.counters_capped,
+    ));
+    s.push_str(&format!(
+        "frames seized: {}, extra ack delay: {} ns\n",
+        t.frames_seized, t.ack_delay_total.0
+    ));
+    s.push_str(&format!(
+        "degradation: retries {} ({} recovered), dropped ops {}, throttled moves {}, \
+         remap-only activations {}, reclaimed frames {}\n",
+        t.op_retries,
+        t.retry_successes,
+        t.failed_ops,
+        t.throttled_ops,
+        t.remap_only_activations,
+        t.reclaimed_frames,
+    ));
+    s
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::standard();
     let mut jobs = default_jobs();
     let mut obs_dir: Option<PathBuf> = None;
     let mut verbosity_flag: Option<Verbosity> = None;
+    let mut fault_scenario: Option<FaultScenario> = None;
+    let mut chaos_seed: u64 = 0;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -58,6 +113,32 @@ fn main() {
             "--list" => {
                 print_list();
                 return;
+            }
+            "--list-faults" => {
+                print_fault_list();
+                return;
+            }
+            "--faults" => {
+                fault_scenario = match it.next().map(|v| v.parse::<FaultScenario>()) {
+                    Some(Ok(sc)) => Some(sc),
+                    Some(Err(e)) => {
+                        eprintln!("--faults: {e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--faults expects a scenario name (see repro --list-faults)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--chaos-seed" => {
+                chaos_seed = match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--chaos-seed expects an unsigned integer");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--scale" => {
                 let v = it.next().map(String::as_str);
@@ -99,9 +180,9 @@ fn main() {
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--obs-dir DIR] [-v|-q]"
+             [--obs-dir DIR] [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
         );
-        eprintln!("       repro all | repro --list");
+        eprintln!("       repro all | repro --list | repro --list-faults");
         std::process::exit(2);
     }
 
@@ -133,16 +214,56 @@ fn main() {
     for exp in &selected {
         plan.extend((exp.plan)(scale));
     }
+    let fault_spec = fault_scenario.map(|scenario| FaultSpec {
+        scenario,
+        chaos_seed,
+    });
     let mut exec = Executor::new(jobs).with_verbosity(verbosity);
     if let Some(dir) = &obs_dir {
         exec = exec.with_obs_dir(dir.clone());
     }
+    if let Some(faults) = fault_spec {
+        exec = exec.with_faults(faults);
+    }
     exec.execute(&plan);
     for exp in &selected {
-        println!("{}", (exp.render)(scale, &exec));
+        // An experiment whose plan contains a failed run cannot render;
+        // skip it with a notice and keep going — the failure itself is
+        // reported in the summary below.
+        let broken: Vec<_> = (exp.plan)(scale)
+            .iter()
+            .filter_map(|s| exec.failure_for(s))
+            .collect();
+        if broken.is_empty() {
+            println!("{}", (exp.render)(scale, &exec));
+        } else {
+            println!(
+                "== {} skipped: {} failed run(s) ==\n",
+                exp.name,
+                broken.len()
+            );
+        }
     }
 
     let stats = exec.stats();
+    if let Some(faults) = fault_spec {
+        print!(
+            "{}",
+            chaos_summary(faults, stats.computed, stats.failed, &exec.fault_totals())
+        );
+    }
+    let failures = exec.failures();
+    if failures.is_empty() {
+        if fault_spec.is_some() {
+            println!("failures: none");
+        }
+    } else {
+        println!("== failure summary ==");
+        for f in &failures {
+            println!("FAILED {}: {}", f.label, f.error);
+        }
+        println!("failures: {}", failures.len());
+    }
     let wall = start.elapsed();
     if let Some(dir) = &obs_dir {
         match exec.write_run_metadata(dir, wall) {
@@ -164,16 +285,25 @@ fn main() {
         }
     }
     if verbosity.normal() {
+        let failed = if stats.failed > 0 {
+            format!(", {} FAILED", stats.failed)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s), jobs={}, wall {:.2}s",
+            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}, jobs={}, wall {:.2}s",
             selected.len(),
             stats.computed,
             stats.hits,
+            failed,
             stats.jobs,
             wall.as_secs_f64()
         );
     }
     if !unknown.is_empty() {
         std::process::exit(2);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
     }
 }

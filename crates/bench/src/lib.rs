@@ -37,4 +37,4 @@ pub mod plan;
 pub use helpers::{
     dynamic_options, dynamic_spec, ft_options, ft_spec, traced_ft_spec, trigger_for, RunPair,
 };
-pub use plan::{Executor, ExecutorStats, RunPlan, RunTiming};
+pub use plan::{Executor, ExecutorStats, RunFailure, RunPlan, RunTiming};

@@ -1,4 +1,4 @@
-//! Run plans and the deduplicating, parallel executor.
+//! Run plans and the deduplicating, parallel, fault-tolerant executor.
 //!
 //! Experiments describe the simulator runs they need as [`RunSpec`]s.
 //! A [`RunPlan`] collects specs in deterministic order, dropping
@@ -10,15 +10,47 @@
 //! figures read it — cannot change any output, and neither can the order
 //! in which worker threads finish: renderers pull finished reports out of
 //! the cache in plan order.
+//!
+//! The executor is built to survive failing runs. A run that returns a
+//! typed `SimError` or panics outright (both reachable under fault
+//! injection) becomes a memoized [`RunFailure`] instead of tearing the
+//! worker pool down: the rest of the plan still executes, the failure is
+//! listed in `run-metadata.json`, and [`Executor::failure_for`] lets the
+//! `repro` binary skip just the experiments that depend on the failed
+//! run. Mutex poisoning from a panicking worker is likewise recovered —
+//! the executor's locks guard simple collections that are never left in
+//! a torn state, so a poisoned guard's data is still valid.
 
+use ccnuma_faults::{FaultSpec, FaultStats};
 use ccnuma_machine::{RunReport, RunSpec};
 use ccnuma_obs::{artifact_slug, json::JsonWriter, RunRecorder, Verbosity};
+use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the data from a poisoned mutex. Every mutex in
+/// the executor guards an append-only collection that is never left
+/// half-updated, so data behind a poisoned lock is still consistent —
+/// a worker that panicked mid-run must not wedge the whole plan.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a panic payload as a message for a [`RunFailure`].
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
 
 /// An ordered, duplicate-free collection of runs to execute.
 #[derive(Default)]
@@ -76,6 +108,20 @@ pub struct RunTiming {
     pub wall: Duration,
 }
 
+/// One run that did not produce a report: the simulator returned a typed
+/// `SimError` or panicked. Memoized like a report (retrying a
+/// deterministic failure would fail identically) and listed under
+/// `"failures"` in `run-metadata.json`.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Human-readable description of the failed run.
+    pub label: String,
+    /// The run's stable artifact slug.
+    pub slug: String,
+    /// What went wrong (the `SimError` rendering or the panic message).
+    pub error: String,
+}
+
 /// Counters describing what an executor did.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutorStats {
@@ -85,6 +131,8 @@ pub struct ExecutorStats {
     pub hits: u64,
     /// Reports actually computed.
     pub computed: u64,
+    /// Runs attempted that ended in a [`RunFailure`].
+    pub failed: u64,
 }
 
 /// A memoizing run executor.
@@ -93,14 +141,23 @@ pub struct ExecutorStats {
 /// calling thread on a cache miss. [`Executor::execute`] computes every
 /// not-yet-cached spec of a plan on up to `jobs` scoped threads, so later
 /// `run` calls are cache hits. Equal specs always share one report.
+///
+/// Failing runs degrade gracefully: [`Executor::try_run`] returns a
+/// [`RunFailure`] instead of panicking, [`Executor::execute`] records
+/// failures and keeps going, and [`Executor::metadata_json`] reports
+/// them. [`Executor::with_faults`] stresses a whole plan by applying a
+/// default fault scenario to every spec that does not carry its own.
 pub struct Executor {
     jobs: usize,
     obs_dir: Option<PathBuf>,
     verbosity: Verbosity,
-    cache: Mutex<HashMap<String, Arc<RunReport>>>,
+    default_faults: Option<FaultSpec>,
+    cache: Mutex<HashMap<String, Result<Arc<RunReport>, RunFailure>>>,
     hits: AtomicU64,
     computed: AtomicU64,
     timings: Mutex<Vec<RunTiming>>,
+    failures: Mutex<Vec<RunFailure>>,
+    warnings: Mutex<Vec<String>>,
 }
 
 impl Executor {
@@ -110,10 +167,13 @@ impl Executor {
             jobs: jobs.max(1),
             obs_dir: None,
             verbosity: Verbosity::default(),
+            default_faults: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
+            warnings: Mutex::new(Vec::new()),
         }
     }
 
@@ -139,22 +199,60 @@ impl Executor {
         self
     }
 
+    /// Injects `faults` into every run whose spec does not already name
+    /// a fault scenario of its own. The fault spec joins the cache key,
+    /// so a stressed plan never shares reports with a clean one.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Executor {
+        self.default_faults = Some(faults);
+        self
+    }
+
     /// The configured observability directory, if any.
     pub fn obs_dir(&self) -> Option<&Path> {
         self.obs_dir.as_deref()
+    }
+
+    /// The spec as this executor will actually run it: the default fault
+    /// scenario applied unless the spec carries its own.
+    fn effective_spec(&self, spec: &RunSpec) -> RunSpec {
+        match self.default_faults {
+            Some(f) if spec.opts.faults.is_none() => spec.clone().with_faults(f),
+            _ => spec.clone(),
+        }
+    }
+
+    /// Records a non-fatal problem (shown on stderr, listed under
+    /// `"warnings"` in `run-metadata.json`).
+    fn warn(&self, msg: String) {
+        if self.verbosity.normal() {
+            eprintln!("warn  {msg}");
+        }
+        lock(&self.warnings).push(msg);
     }
 
     /// Returns the report for `spec`, computing it here if not cached.
     ///
     /// # Panics
     ///
-    /// Panics if an `--obs-dir` is configured and writing the run's
-    /// artifacts fails.
+    /// Panics if the run fails (see [`Executor::try_run`] for the
+    /// non-panicking form). Renderers call this only for specs the
+    /// `repro` driver has already checked with [`Executor::failure_for`].
     pub fn run(&self, spec: &RunSpec) -> Arc<RunReport> {
+        self.try_run(spec)
+            .unwrap_or_else(|f| panic!("run {} failed: {}", f.label, f.error))
+    }
+
+    /// Returns the report for `spec`, or the memoized [`RunFailure`] if
+    /// the run errored or panicked. Computes on the calling thread on a
+    /// cache miss; a failure is cached exactly like a report, so a
+    /// deterministic failure is attempted once per executor.
+    pub fn try_run(&self, spec: &RunSpec) -> Result<Arc<RunReport>, RunFailure> {
+        let spec = self.effective_spec(spec);
         let key = spec.cache_key();
-        if let Some(report) = self.cache.lock().unwrap().get(&key) {
+        if let Some(outcome) = lock(&self.cache).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(report);
+            return outcome.clone();
         }
         let label = spec.describe();
         let slug = artifact_slug(&label, &key);
@@ -162,41 +260,71 @@ impl Executor {
             eprintln!("run   {label}");
         }
         let start = Instant::now();
-        let report = if let Some(dir) = &self.obs_dir {
-            // Instrumented run: same report (the recorder is a pure
-            // side-channel), plus the artifact set on disk.
-            let cpus = spec.build_workload().config.procs() as usize;
-            let mut rec = RunRecorder::default();
-            let report = spec.run_with(&mut rec);
-            ccnuma_obs::write_run_artifacts(dir, &slug, &rec, cpus)
-                .unwrap_or_else(|e| panic!("writing obs artifacts for {label}: {e}"));
-            Arc::new(report)
-        } else {
-            Arc::new(spec.run())
+        // The catch_unwind fence is what lets one poisoned run fail
+        // alone: a panic inside the simulator (or the recorder) becomes
+        // a RunFailure here instead of unwinding through the worker pool.
+        let computed = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(dir) = &self.obs_dir {
+                // Instrumented run: same report (the recorder is a pure
+                // side-channel), plus the artifact set on disk. A failed
+                // artifact write degrades to a warning — the report is
+                // already computed and still worth serving.
+                let cpus = spec.build_workload().config.procs() as usize;
+                let mut rec = RunRecorder::default();
+                let report = spec.try_run_with(&mut rec)?;
+                if let Err(e) = ccnuma_obs::write_run_artifacts(dir, &slug, &rec, cpus) {
+                    self.warn(format!("writing obs artifacts for {label}: {e}"));
+                }
+                Ok(report)
+            } else {
+                spec.try_run()
+            }
+        }));
+        let outcome = match computed {
+            Ok(Ok(report)) => Ok(Arc::new(report)),
+            Ok(Err(e)) => Err(RunFailure {
+                label: label.clone(),
+                slug: slug.clone(),
+                error: e.to_string(),
+            }),
+            Err(payload) => Err(RunFailure {
+                label: label.clone(),
+                slug: slug.clone(),
+                error: panic_message(payload),
+            }),
         };
         let wall = start.elapsed();
-        if self.verbosity.verbose() {
-            eprintln!("done  {label} ({:.2}s)", wall.as_secs_f64());
+        match &outcome {
+            Ok(_) => {
+                if self.verbosity.verbose() {
+                    eprintln!("done  {label} ({:.2}s)", wall.as_secs_f64());
+                }
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                lock(&self.timings).push(RunTiming { label, slug, wall });
+            }
+            Err(f) => {
+                if self.verbosity.normal() {
+                    eprintln!("fail  {label}: {}", f.error);
+                }
+                lock(&self.failures).push(f.clone());
+            }
         }
-        self.computed.fetch_add(1, Ordering::Relaxed);
-        self.timings
-            .lock()
-            .unwrap()
-            .push(RunTiming { label, slug, wall });
-        // Keep the first report if another thread raced us here; both are
-        // equal by determinism, but callers must agree on one Arc.
-        Arc::clone(self.cache.lock().unwrap().entry(key).or_insert(report))
+        // Keep the first outcome if another thread raced us here; both
+        // are equal by determinism, but callers must agree on one Arc.
+        lock(&self.cache).entry(key).or_insert(outcome).clone()
     }
 
     /// Computes every spec of `plan` that is not yet cached, using up to
     /// `jobs` worker threads. Idempotent; call before rendering so the
-    /// renderers' `run` calls all hit the cache.
+    /// renderers' `run` calls all hit the cache. Failing runs are
+    /// recorded (see [`Executor::failures`]) and do not stop the rest of
+    /// the plan.
     pub fn execute(&self, plan: &RunPlan) {
         let todo: Vec<&RunSpec> = {
-            let cache = self.cache.lock().unwrap();
+            let cache = lock(&self.cache);
             plan.specs()
                 .iter()
-                .filter(|s| !cache.contains_key(&s.cache_key()))
+                .filter(|s| !cache.contains_key(&self.effective_spec(s).cache_key()))
                 .collect()
         };
         if todo.is_empty() {
@@ -205,7 +333,7 @@ impl Executor {
         let workers = self.jobs.min(todo.len());
         if workers <= 1 {
             for spec in todo {
-                self.run(spec);
+                let _ = self.try_run(spec);
             }
             return;
         }
@@ -217,49 +345,98 @@ impl Executor {
                     let Some(spec) = todo.get(i) else {
                         break;
                     };
-                    self.run(spec);
+                    let _ = self.try_run(spec);
                 });
             }
         });
     }
 
-    /// Hit/compute counters so far.
+    /// Hit/compute/failure counters so far.
     pub fn stats(&self) -> ExecutorStats {
         ExecutorStats {
             jobs: self.jobs,
             hits: self.hits.load(Ordering::Relaxed),
             computed: self.computed.load(Ordering::Relaxed),
+            failed: lock(&self.failures).len() as u64,
         }
     }
 
     /// Per-run wall times of every computed run, in completion order.
     pub fn timings(&self) -> Vec<RunTiming> {
-        self.timings.lock().unwrap().clone()
+        lock(&self.timings).clone()
+    }
+
+    /// Every recorded run failure, sorted by slug (deterministic across
+    /// thread schedules).
+    pub fn failures(&self) -> Vec<RunFailure> {
+        let mut fs = lock(&self.failures).clone();
+        fs.sort_by(|a, b| a.slug.cmp(&b.slug));
+        fs.dedup_by(|a, b| a.slug == b.slug);
+        fs
+    }
+
+    /// True if any attempted run failed.
+    pub fn has_failures(&self) -> bool {
+        !lock(&self.failures).is_empty()
+    }
+
+    /// Recorded warnings (non-fatal problems like failed artifact
+    /// writes), sorted for determinism.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut ws = lock(&self.warnings).clone();
+        ws.sort();
+        ws
+    }
+
+    /// The memoized failure for `spec` (after fault defaulting), if its
+    /// run failed. Lets the `repro` driver skip rendering exactly the
+    /// experiments that depend on a failed run.
+    pub fn failure_for(&self, spec: &RunSpec) -> Option<RunFailure> {
+        let key = self.effective_spec(spec).cache_key();
+        match lock(&self.cache).get(&key) {
+            Some(Err(f)) => Some(f.clone()),
+            _ => None,
+        }
+    }
+
+    /// Field-wise sum of the fault/degradation statistics of every
+    /// successfully computed run — the executor-level chaos summary.
+    /// All-zero when fault injection is off.
+    pub fn fault_totals(&self) -> FaultStats {
+        lock(&self.cache)
+            .values()
+            .filter_map(|o| o.as_ref().ok())
+            .fold(FaultStats::default(), |acc, r| acc.merged(&r.fault_stats))
     }
 
     /// The `run-metadata.json` document for everything executed so far:
-    /// job count, distinct runs computed, cache hits, total wall time,
-    /// and a per-run list of `{label, slug, wall_seconds}`.
+    /// job count, distinct runs computed, cache hits, failure count,
+    /// total wall time, a per-run list of `{label, slug, wall_seconds}`,
+    /// and the recorded failures and warnings.
     ///
-    /// Runs are sorted by slug so the *structure* is deterministic; the
-    /// wall-clock fields are measurements and naturally vary between
-    /// invocations (which is why this file lives next to, not inside,
-    /// the per-run artifact directories the byte-identity guarantee
-    /// covers).
+    /// Runs, failures and warnings are sorted so the *structure* is
+    /// deterministic; the wall-clock fields are measurements and
+    /// naturally vary between invocations (which is why this file lives
+    /// next to, not inside, the per-run artifact directories the
+    /// byte-identity guarantee covers).
     pub fn metadata_json(&self, wall_total: Duration) -> String {
         let stats = self.stats();
         let mut timings = self.timings();
         timings.sort_by(|a, b| a.slug.cmp(&b.slug));
+        let failures = self.failures();
+        let warnings = self.warnings();
         let mut j = JsonWriter::new();
         j.begin_obj();
         j.key("schema");
-        j.str("ccnuma-run-metadata/1");
+        j.str("ccnuma-run-metadata/2");
         j.key("jobs");
         j.raw(&stats.jobs.to_string());
         j.key("distinct_runs");
         j.raw(&stats.computed.to_string());
         j.key("cache_hits");
         j.raw(&stats.hits.to_string());
+        j.key("failed_runs");
+        j.raw(&stats.failed.to_string());
         j.key("wall_seconds_total");
         j.raw(&format!("{:.6}", wall_total.as_secs_f64()));
         j.key("runs");
@@ -273,6 +450,25 @@ impl Executor {
             j.key("wall_seconds");
             j.raw(&format!("{:.6}", t.wall.as_secs_f64()));
             j.end_obj();
+        }
+        j.end_arr();
+        j.key("failures");
+        j.begin_arr();
+        for f in &failures {
+            j.begin_obj();
+            j.key("label");
+            j.str(&f.label);
+            j.key("slug");
+            j.str(&f.slug);
+            j.key("error");
+            j.str(&f.error);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("warnings");
+        j.begin_arr();
+        for w in &warnings {
+            j.str(w);
         }
         j.end_arr();
         j.end_obj();
@@ -298,6 +494,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccnuma_faults::FaultScenario;
     use ccnuma_machine::{PolicyChoice, RunOptions};
     use ccnuma_workloads::{Scale, WorkloadKind};
 
@@ -335,6 +532,7 @@ mod tests {
         let stats = exec.stats();
         assert_eq!(stats.computed, 1);
         assert_eq!(stats.hits, 1);
+        assert_eq!(stats.failed, 0);
         assert_eq!(exec.timings().len(), 1);
     }
 
@@ -370,5 +568,90 @@ mod tests {
         let b = parallel.run(&spec);
         assert_eq!(format!("{:?}", a.breakdown), format!("{:?}", b.breakdown));
         assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn default_faults_apply_and_split_the_cache() {
+        let spec = ft(WorkloadKind::Raytrace);
+        let clean = Executor::serial();
+        let chaotic = Executor::serial().with_faults(FaultSpec::new(FaultScenario::PressureStorm));
+        let a = clean.run(&spec);
+        let b = chaotic.run(&spec);
+        assert!(a.fault_stats.is_zero(), "clean run must inject nothing");
+        assert!(
+            b.fault_stats.injected_total() > 0,
+            "defaulted fault spec must actually inject"
+        );
+        // A spec carrying its own fault scenario wins over the default.
+        // Counter saturation needs a counting policy, so use Mig/Rep.
+        let own = crate::dynamic_spec(WorkloadKind::Raytrace, Scale::quick())
+            .with_faults(FaultSpec::new(FaultScenario::CounterSat));
+        let c = chaotic.run(&own);
+        assert_eq!(c.fault_stats.storms, 0, "own scenario overrides default");
+        assert!(c.fault_stats.counters_capped > 0);
+        assert!(chaotic.fault_totals().injected_total() > 0);
+        assert!(clean.fault_totals().is_zero());
+    }
+
+    #[test]
+    fn failures_are_recorded_and_memoized_without_poisoning() {
+        let exec = Executor::serial();
+        // Inject a failure the way try_run does, then confirm the
+        // executor keeps serving other runs and reports it everywhere.
+        lock(&exec.failures).push(RunFailure {
+            label: "broken [X]".into(),
+            slug: "zz-broken".into(),
+            error: "out of memory: no frame for page 7 on node 1".into(),
+        });
+        lock(&exec.cache).insert(
+            "broken-key".into(),
+            Err(RunFailure {
+                label: "broken [X]".into(),
+                slug: "zz-broken".into(),
+                error: "out of memory: no frame for page 7 on node 1".into(),
+            }),
+        );
+        assert!(exec.has_failures());
+        assert_eq!(exec.stats().failed, 1);
+        let report = exec.run(&ft(WorkloadKind::Raytrace));
+        assert!(report.sim_time.0 > 0, "healthy runs still execute");
+        let meta = exec.metadata_json(Duration::from_secs(1));
+        assert!(meta.contains("\"schema\":\"ccnuma-run-metadata/2\""));
+        assert!(meta.contains("\"failed_runs\":1"));
+        assert!(meta.contains("\"zz-broken\""));
+        assert!(meta.contains("out of memory"));
+        assert!(meta.contains("\"warnings\":[]"));
+    }
+
+    #[test]
+    fn obs_write_problems_degrade_to_warnings() {
+        // Point the obs dir at a *file* so artifact writes must fail;
+        // the run itself still succeeds and the warning is recorded.
+        let dir = std::env::temp_dir().join(format!("ccnuma-warn-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("runs");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let exec = Executor::serial()
+            .with_obs_dir(&dir)
+            .with_verbosity(Verbosity::Quiet);
+        let report = exec.run(&ft(WorkloadKind::Raytrace));
+        assert!(report.sim_time.0 > 0, "report survives the failed write");
+        let warnings = exec.warnings();
+        assert_eq!(warnings.len(), 1, "exactly one warning: {warnings:?}");
+        assert!(warnings[0].contains("writing obs artifacts"));
+        let meta = exec.metadata_json(Duration::from_secs(1));
+        assert!(meta.contains("writing obs artifacts"));
+        assert!(!exec.has_failures());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panic_messages_render_usefully() {
+        let s: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(s), "panicked: boom");
+        let s: Box<dyn Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(s), "panicked: kaboom");
+        let s: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s), "panicked (non-string payload)");
     }
 }

@@ -1,0 +1,105 @@
+//! Robustness integration tests for the `repro` binary.
+//!
+//! Two guarantees from the fault-injection work:
+//!
+//! 1. With fault injection off, the binary's stdout is byte-identical to
+//!    the committed golden capture — the injection hooks monomorphize
+//!    away and cannot perturb a clean run.
+//! 2. With any shipped scenario on, runs complete without panicking or
+//!    tripping the kernel invariant checker (a violation would surface
+//!    as a `FAILED` line and a non-zero exit), and stdout — reports,
+//!    chaos summary and all — is byte-identical whatever `--jobs` is.
+
+use ccnuma_faults::FaultScenario;
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn all_quick_stdout_matches_the_committed_golden_file() {
+    let out = repro(&["all", "--scale", "quick", "--jobs", "4", "-q"]);
+    assert!(
+        out.status.success(),
+        "repro all failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let golden = include_str!("golden_repro_all_quick.stdout");
+    assert_eq!(
+        stdout, golden,
+        "stdout must stay byte-identical with fault injection off \
+         (re-capture the golden file only for intentional output changes)"
+    );
+}
+
+#[test]
+fn every_fault_scenario_completes_deterministically_across_job_counts() {
+    for sc in FaultScenario::ALL {
+        let run = |jobs: &str| {
+            repro(&[
+                "table4",
+                "--scale",
+                "quick",
+                "--jobs",
+                jobs,
+                "--faults",
+                sc.name(),
+                "-q",
+            ])
+        };
+        let serial = run("1");
+        let parallel = run("4");
+        assert!(
+            serial.status.success() && parallel.status.success(),
+            "{} must degrade gracefully, not fail: {}",
+            sc.name(),
+            String::from_utf8_lossy(&serial.stderr)
+        );
+        let a = String::from_utf8(serial.stdout).expect("stdout is UTF-8");
+        let b = String::from_utf8(parallel.stdout).expect("stdout is UTF-8");
+        assert_eq!(a, b, "{} stdout must not depend on --jobs", sc.name());
+        assert!(
+            a.contains(&format!("== chaos summary: {}#0 ==", sc.name())),
+            "{}: missing chaos summary in:\n{a}",
+            sc.name()
+        );
+        assert!(a.contains("faults injected: "), "{}: {a}", sc.name());
+        // "failures: none" doubles as the invariant-checker verdict: a
+        // violated invariant fails the run and would be listed here.
+        assert!(
+            a.contains("failures: none"),
+            "{}: runs failed under injection:\n{a}",
+            sc.name()
+        );
+    }
+}
+
+#[test]
+fn pressure_storm_actually_stresses_and_reports_degradation() {
+    let out = repro(&[
+        "table4",
+        "--scale",
+        "quick",
+        "--faults",
+        "pressure-storm",
+        "-q",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let injected: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("faults injected: "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("chaos summary carries an injected count");
+    assert!(injected > 0, "storms must fire at quick scale:\n{stdout}");
+    assert!(
+        stdout.contains("degradation: "),
+        "summary lists the degradation responses:\n{stdout}"
+    );
+}

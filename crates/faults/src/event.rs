@@ -1,0 +1,187 @@
+//! Fault events and the run-level fault/degradation statistics.
+
+use ccnuma_types::{NodeId, Ns, VirtPage};
+
+/// What kind of fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A memory-pressure storm seized frames on a node.
+    StormSeize {
+        /// The node whose free list shrank.
+        node: NodeId,
+        /// Frames taken out of the free list.
+        frames: u32,
+    },
+    /// A storm ended and its frames returned to the free list.
+    StormRelease {
+        /// The node whose frames came back.
+        node: NodeId,
+        /// Frames returned.
+        frames: u32,
+    },
+    /// A page-copy aborted mid-operation (transient migrate/replicate
+    /// failure).
+    CopyAbort {
+        /// The page whose copy failed.
+        page: VirtPage,
+    },
+    /// A frame allocation was forced to fail on a node.
+    AllocBlocked {
+        /// The node whose allocation failed.
+        node: NodeId,
+    },
+    /// A TLB-shootdown acknowledgement was delayed (or dropped and
+    /// re-sent), extending the rendezvous.
+    AckDelay {
+        /// Extra rendezvous time charged.
+        delay: Ns,
+    },
+    /// A pager interrupt was lost; the batch stayed queued.
+    InterruptLost,
+    /// A per-page miss counter saturated; the miss was not counted.
+    CounterCapped {
+        /// The page whose counter pinned at the cap.
+        page: VirtPage,
+    },
+}
+
+impl FaultKind {
+    /// Short lowercase name for exports and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::StormSeize { .. } => "storm_seize",
+            FaultKind::StormRelease { .. } => "storm_release",
+            FaultKind::CopyAbort { .. } => "copy_abort",
+            FaultKind::AllocBlocked { .. } => "alloc_blocked",
+            FaultKind::AckDelay { .. } => "ack_delay",
+            FaultKind::InterruptLost => "interrupt_lost",
+            FaultKind::CounterCapped { .. } => "counter_capped",
+        }
+    }
+}
+
+/// One injected fault, stamped with sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Sim time the fault fired.
+    pub now: Ns,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Counts of injected faults and of the simulator's degradation
+/// responses, accumulated over one run.
+///
+/// The injection-side fields are filled by the [`FaultPlan`]
+/// (`crate::FaultPlan`); the degradation-side fields are filled by the
+/// machine runner as it retries, throttles and reclaims. The two halves
+/// are [merged](FaultStats::merged) into the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Memory-pressure storms started.
+    pub storms: u64,
+    /// Frames temporarily seized by storms.
+    pub frames_seized: u64,
+    /// Transient page-copy aborts injected.
+    pub copy_aborts: u64,
+    /// Frame allocations forced to fail.
+    pub allocs_blocked: u64,
+    /// Shootdown acknowledgements delayed or dropped.
+    pub acks_delayed: u64,
+    /// Total extra rendezvous time injected.
+    pub ack_delay_total: Ns,
+    /// Pager interrupts lost.
+    pub interrupts_lost: u64,
+    /// Misses dropped because a page counter saturated.
+    pub counters_capped: u64,
+    /// Failed operations retried by the runner.
+    pub op_retries: u64,
+    /// Retries that then succeeded.
+    pub retry_successes: u64,
+    /// Operations that exhausted their retries and were dropped.
+    pub failed_ops: u64,
+    /// Times sustained pressure pushed the pager into remap-only mode.
+    pub remap_only_activations: u64,
+    /// Migrations/replications suppressed while in remap-only mode.
+    pub throttled_ops: u64,
+    /// Replica frames reclaimed in response to allocation failure.
+    pub reclaimed_frames: u64,
+}
+
+impl FaultStats {
+    /// True when nothing was injected and nothing degraded.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Total faults injected (the injection-side fields only).
+    pub fn injected_total(&self) -> u64 {
+        self.storms
+            + self.copy_aborts
+            + self.allocs_blocked
+            + self.acks_delayed
+            + self.interrupts_lost
+            + self.counters_capped
+    }
+
+    /// Field-wise sum of two stats (injector half + runner half).
+    #[must_use]
+    pub fn merged(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            storms: self.storms + other.storms,
+            frames_seized: self.frames_seized + other.frames_seized,
+            copy_aborts: self.copy_aborts + other.copy_aborts,
+            allocs_blocked: self.allocs_blocked + other.allocs_blocked,
+            acks_delayed: self.acks_delayed + other.acks_delayed,
+            ack_delay_total: self.ack_delay_total + other.ack_delay_total,
+            interrupts_lost: self.interrupts_lost + other.interrupts_lost,
+            counters_capped: self.counters_capped + other.counters_capped,
+            op_retries: self.op_retries + other.op_retries,
+            retry_successes: self.retry_successes + other.retry_successes,
+            failed_ops: self.failed_ops + other.failed_ops,
+            remap_only_activations: self.remap_only_activations + other.remap_only_activations,
+            throttled_ops: self.throttled_ops + other.throttled_ops,
+            reclaimed_frames: self.reclaimed_frames + other.reclaimed_frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            FaultKind::StormSeize {
+                node: NodeId(0),
+                frames: 1
+            }
+            .name(),
+            "storm_seize"
+        );
+        assert_eq!(FaultKind::InterruptLost.name(), "interrupt_lost");
+    }
+
+    #[test]
+    fn merged_sums_fieldwise() {
+        let a = FaultStats {
+            storms: 2,
+            ack_delay_total: Ns(10),
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            storms: 3,
+            op_retries: 7,
+            ack_delay_total: Ns(5),
+            ..FaultStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.storms, 5);
+        assert_eq!(m.op_retries, 7);
+        assert_eq!(m.ack_delay_total, Ns(15));
+        assert!(!m.is_zero());
+        assert!(FaultStats::default().is_zero());
+        assert_eq!(m.injected_total(), 5);
+    }
+}

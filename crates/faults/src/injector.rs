@@ -1,0 +1,159 @@
+//! The [`FaultInjector`] trait and the zero-cost [`NullFaults`] no-op.
+//!
+//! Mirrors the `Recorder` pattern from `ccnuma-obs`: the machine runner
+//! and kernel pager are generic over `F: FaultInjector`, an associated
+//! `ENABLED` constant tells callers whether injection can ever fire, and
+//! the `NullFaults` implementation (with `ENABLED = false`) lets the
+//! compiler erase every injection site so the fault-free path is
+//! instruction-for-instruction identical to a build without this crate.
+
+use ccnuma_types::{NodeId, Ns, VirtPage};
+
+use crate::event::{FaultEvent, FaultStats};
+
+/// The page operation about to be attempted, as seen by an injector.
+///
+/// A deliberately small mirror of the kernel's `PageOpKind` so this
+/// crate depends only on `ccnuma-types`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Move a page to a new home node.
+    Migrate,
+    /// Add a read-only copy of a page on another node.
+    Replicate,
+    /// Collapse a replica chain back to a single copy.
+    Collapse,
+    /// Re-point a mapping without copying data.
+    Remap,
+}
+
+/// A memory-pressure command the runner applies to the frame allocator.
+///
+/// Storms model bursts of outside demand (the paper's Splash
+/// memory-pressure workload): frames are seized out of a node's free
+/// list for a while, then released. The runner performs the actual
+/// allocation so that frame accounting stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormCmd {
+    /// Seize free frames on `node` until at most `keep_free` remain.
+    Seize {
+        /// Node to pressure.
+        node: NodeId,
+        /// Free frames to leave available.
+        keep_free: u32,
+    },
+    /// Return every frame previously seized on `node`.
+    Release {
+        /// Node to relieve.
+        node: NodeId,
+    },
+}
+
+/// Deterministic fault source threaded through the simulator.
+///
+/// All hooks default to "no fault", so an implementation only overrides
+/// the faults it injects. Hooks take `&mut self` because deciding
+/// whether to fire consumes seeded randomness; with [`NullFaults`] every
+/// call is a no-op the optimizer removes.
+///
+/// Implementations must be deterministic: the decision stream may depend
+/// only on construction-time seeds and the (deterministic) sequence of
+/// hook calls, never on wall-clock time or global state.
+pub trait FaultInjector {
+    /// Whether this injector can ever fire. `false` lets the runner and
+    /// pager skip fault bookkeeping entirely (monomorphized out).
+    const ENABLED: bool = true;
+
+    /// Should the data copy for this page operation abort?
+    ///
+    /// Consulted before any state is mutated, so an abort needs no
+    /// rollback.
+    fn page_op_fails(&mut self, _now: Ns, _op: FaultOp, _page: VirtPage) -> bool {
+        false
+    }
+
+    /// Should a frame allocation on `node` be forced to fail?
+    fn alloc_blocked(&mut self, _now: Ns, _node: NodeId) -> bool {
+        false
+    }
+
+    /// Extra rendezvous time from delayed or dropped shootdown acks for
+    /// a batch flush spanning `tlbs` TLBs. [`Ns::ZERO`] means no fault.
+    fn shootdown_ack_delay(&mut self, _now: Ns, _tlbs: u32) -> Ns {
+        Ns::ZERO
+    }
+
+    /// Should the pager interrupt for a pending batch be lost, leaving
+    /// the batch queued for the next drive?
+    fn interrupt_lost(&mut self, _now: Ns) -> bool {
+        false
+    }
+
+    /// Saturation cap for per-page miss counters, if this injector caps
+    /// them. Misses on a page already at the cap are dropped.
+    fn counter_cap(&self) -> Option<u32> {
+        None
+    }
+
+    /// Memory-pressure commands to apply at time `now`. Called once per
+    /// scheduler quantum boundary.
+    fn storm_cmds(&mut self, _now: Ns) -> Vec<StormCmd> {
+        Vec::new()
+    }
+
+    /// Record a fault that the *runner* executed on the injector's
+    /// behalf (e.g. the actual number of frames a storm seized, or a
+    /// counter that hit the cap).
+    fn note(&mut self, _event: FaultEvent) {}
+
+    /// Drain buffered fault events (for the audit log). Ordering is
+    /// stable and deterministic.
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        Vec::new()
+    }
+
+    /// Injection-side statistics accumulated so far.
+    fn stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// The no-op injector: never fires, compiles to nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_faults::{FaultInjector, FaultOp, NullFaults};
+/// use ccnuma_types::{Ns, VirtPage};
+///
+/// let mut f = NullFaults;
+/// assert!(!<NullFaults as FaultInjector>::ENABLED);
+/// assert!(!f.page_op_fails(Ns(0), FaultOp::Migrate, VirtPage(1)));
+/// assert!(f.stats().is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullFaults;
+
+impl FaultInjector for NullFaults {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn null_faults_is_inert() {
+        let mut f = NullFaults;
+        assert!(!NullFaults::ENABLED);
+        assert!(!f.page_op_fails(Ns(5), FaultOp::Replicate, VirtPage(9)));
+        assert!(!f.alloc_blocked(Ns(5), NodeId(0)));
+        assert_eq!(f.shootdown_ack_delay(Ns(5), 8), Ns::ZERO);
+        assert!(!f.interrupt_lost(Ns(5)));
+        assert_eq!(f.counter_cap(), None);
+        assert!(f.storm_cmds(Ns(5)).is_empty());
+        assert!(f.drain_events().is_empty());
+        assert!(f.stats().is_zero());
+    }
+}

@@ -1,0 +1,546 @@
+//! Named fault scenarios and the seeded, deterministic [`FaultPlan`].
+
+use core::fmt;
+use core::str::FromStr;
+
+use ccnuma_types::{NodeId, Ns, VirtPage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{FaultEvent, FaultKind, FaultStats};
+use crate::injector::{FaultInjector, FaultOp, StormCmd};
+
+/// Buffered fault events are capped so a long stressed run cannot grow
+/// without bound; statistics stay exact past the cap.
+const EVENT_BUFFER_CAP: usize = 8192;
+
+/// A shipped, named fault scenario.
+///
+/// Scenario names are part of the CLI surface (`repro --faults <name>`)
+/// and of the run cache key, so they are stable strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultScenario {
+    /// Periodic per-node memory-pressure storms that shrink a node's
+    /// free list to a handful of frames, then release.
+    PressureStorm,
+    /// Transient page-copy aborts: migrations and replications fail
+    /// mid-copy with some probability.
+    CopyFlake,
+    /// Delayed / dropped TLB-shootdown acknowledgements stretch the
+    /// flush rendezvous.
+    AckStorm,
+    /// Pager interrupts are lost; batches sit queued until re-driven.
+    IntrLoss,
+    /// Per-page miss counters saturate at a small cap.
+    CounterSat,
+    /// Everything at once, at milder rates.
+    Chaos,
+}
+
+impl FaultScenario {
+    /// Every shipped scenario, in a stable order.
+    pub const ALL: [FaultScenario; 6] = [
+        FaultScenario::PressureStorm,
+        FaultScenario::CopyFlake,
+        FaultScenario::AckStorm,
+        FaultScenario::IntrLoss,
+        FaultScenario::CounterSat,
+        FaultScenario::Chaos,
+    ];
+
+    /// The CLI name of the scenario.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenario::PressureStorm => "pressure-storm",
+            FaultScenario::CopyFlake => "copy-flake",
+            FaultScenario::AckStorm => "ack-storm",
+            FaultScenario::IntrLoss => "intr-loss",
+            FaultScenario::CounterSat => "counter-sat",
+            FaultScenario::Chaos => "chaos",
+        }
+    }
+
+    /// One-line description for `--list`-style output.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FaultScenario::PressureStorm => {
+                "periodic storms seize a node's free frames, forcing reclamation"
+            }
+            FaultScenario::CopyFlake => "migrate/replicate data copies abort transiently",
+            FaultScenario::AckStorm => "TLB-shootdown acks are delayed or dropped",
+            FaultScenario::IntrLoss => "pager interrupts are lost; batches stay queued",
+            FaultScenario::CounterSat => "per-page miss counters saturate at a small cap",
+            FaultScenario::Chaos => "all fault classes at once, at milder rates",
+        }
+    }
+}
+
+impl fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultScenario::ALL
+            .into_iter()
+            .find(|sc| sc.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = FaultScenario::ALL.iter().map(|sc| sc.name()).collect();
+                format!(
+                    "unknown fault scenario '{s}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// What to inject in a run: a scenario plus the chaos seed.
+///
+/// Lives in the machine `RunOptions`, so its `Debug` rendering is part
+/// of the executor's cache key: the same spec with different faults (or
+/// a different chaos seed) is a different run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// The named scenario to inject.
+    pub scenario: FaultScenario,
+    /// Extra seed mixed with the workload seed, so one workload can be
+    /// stressed with many independent fault streams.
+    pub chaos_seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec for `scenario` with the default chaos seed (0).
+    pub fn new(scenario: FaultScenario) -> FaultSpec {
+        FaultSpec {
+            scenario,
+            chaos_seed: 0,
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.scenario, self.chaos_seed)
+    }
+}
+
+/// Tunable fault rates behind a scenario.
+///
+/// Probabilities are per opportunity (per page op, per allocation, per
+/// flush, per pager drive). Tests may build custom configs directly to
+/// push the simulator harder than any shipped scenario does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Gap between memory-pressure storms; `None` disables storms.
+    pub storm_period: Option<Ns>,
+    /// How long each storm holds its frames.
+    pub storm_duration: Ns,
+    /// Free frames a storm leaves on the node it pressures.
+    pub storm_keep_free: u32,
+    /// Probability a migrate/replicate data copy aborts.
+    pub copy_abort_p: f64,
+    /// Probability a frame allocation is forced to fail.
+    pub alloc_block_p: f64,
+    /// Probability a batch flush suffers delayed/dropped acks.
+    pub ack_delay_p: f64,
+    /// Extra rendezvous time charged when acks are delayed.
+    pub ack_delay: Ns,
+    /// Probability a pager interrupt is lost.
+    pub intr_loss_p: f64,
+    /// Saturation cap for per-page miss counters; `None` disables.
+    pub counter_cap: Option<u32>,
+}
+
+impl Default for FaultConfig {
+    /// The all-off config: equivalent to [`crate::NullFaults`] in
+    /// behaviour (though not in cost — prefer `NullFaults` for that).
+    fn default() -> FaultConfig {
+        FaultConfig {
+            storm_period: None,
+            storm_duration: Ns::ZERO,
+            storm_keep_free: 0,
+            copy_abort_p: 0.0,
+            alloc_block_p: 0.0,
+            ack_delay_p: 0.0,
+            ack_delay: Ns::ZERO,
+            intr_loss_p: 0.0,
+            counter_cap: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The preset rates for a shipped scenario.
+    ///
+    /// Rates are tuned so that even a `--scale quick` run (a few
+    /// simulated milliseconds) sees each fault class fire many times,
+    /// while every scenario still completes with a report.
+    pub fn for_scenario(scenario: FaultScenario) -> FaultConfig {
+        let off = FaultConfig::default();
+        match scenario {
+            FaultScenario::PressureStorm => FaultConfig {
+                storm_period: Some(Ns(300_000)),
+                storm_duration: Ns(150_000),
+                storm_keep_free: 2,
+                ..off
+            },
+            FaultScenario::CopyFlake => FaultConfig {
+                copy_abort_p: 0.15,
+                ..off
+            },
+            FaultScenario::AckStorm => FaultConfig {
+                ack_delay_p: 0.30,
+                ack_delay: Ns(5_000),
+                ..off
+            },
+            FaultScenario::IntrLoss => FaultConfig {
+                intr_loss_p: 0.25,
+                ..off
+            },
+            FaultScenario::CounterSat => FaultConfig {
+                counter_cap: Some(3),
+                ..off
+            },
+            FaultScenario::Chaos => FaultConfig {
+                storm_period: Some(Ns(500_000)),
+                storm_duration: Ns(120_000),
+                storm_keep_free: 4,
+                copy_abort_p: 0.08,
+                alloc_block_p: 0.02,
+                ack_delay_p: 0.15,
+                ack_delay: Ns(3_000),
+                intr_loss_p: 0.10,
+                counter_cap: Some(5),
+            },
+        }
+    }
+}
+
+/// A seeded, deterministic fault injector.
+///
+/// The decision streams are pure functions of the construction seeds:
+/// each fault class draws from its own [`SmallRng`] stream, so firing
+/// one class never perturbs another, and a run replayed with the same
+/// workload seed and chaos seed injects the identical fault sequence
+/// regardless of thread count or wall-clock time.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    nodes: u16,
+    copy_rng: SmallRng,
+    alloc_rng: SmallRng,
+    ack_rng: SmallRng,
+    intr_rng: SmallRng,
+    storm_rng: SmallRng,
+    /// Time the next storm may start.
+    next_storm: Ns,
+    /// Release deadline and node of the storm in flight, if any.
+    active_storm: Option<(Ns, NodeId)>,
+    stats: FaultStats,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a custom config. `seed` fixes every decision
+    /// stream; `nodes` bounds which nodes storms may target.
+    pub fn new(cfg: FaultConfig, seed: u64, nodes: u16) -> FaultPlan {
+        // Decorrelate the per-class streams with fixed odd salts.
+        let stream =
+            |salt: u64| SmallRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let first_storm = cfg.storm_period.unwrap_or(Ns::ZERO);
+        FaultPlan {
+            cfg,
+            nodes: nodes.max(1),
+            copy_rng: stream(1),
+            alloc_rng: stream(2),
+            ack_rng: stream(3),
+            intr_rng: stream(4),
+            storm_rng: stream(5),
+            next_storm: first_storm,
+            active_storm: None,
+            stats: FaultStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds a plan for a named scenario, mixing the chaos seed with
+    /// the run's workload seed so distinct runs see distinct (but
+    /// reproducible) fault streams.
+    pub fn from_spec(spec: FaultSpec, workload_seed: u64, nodes: u16) -> FaultPlan {
+        let seed = spec.chaos_seed
+            ^ workload_seed.rotate_left(17)
+            ^ (spec.scenario.name().len() as u64) << 56;
+        FaultPlan::new(FaultConfig::for_scenario(spec.scenario), seed, nodes)
+    }
+
+    /// The config this plan runs with.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn record(&mut self, now: Ns, kind: FaultKind) {
+        match kind {
+            FaultKind::StormSeize { frames, .. } => {
+                self.stats.storms += 1;
+                self.stats.frames_seized += u64::from(frames);
+            }
+            FaultKind::StormRelease { .. } => {}
+            FaultKind::CopyAbort { .. } => self.stats.copy_aborts += 1,
+            FaultKind::AllocBlocked { .. } => self.stats.allocs_blocked += 1,
+            FaultKind::AckDelay { delay } => {
+                self.stats.acks_delayed += 1;
+                self.stats.ack_delay_total += delay;
+            }
+            FaultKind::InterruptLost => self.stats.interrupts_lost += 1,
+            FaultKind::CounterCapped { .. } => self.stats.counters_capped += 1,
+        }
+        if self.events.len() < EVENT_BUFFER_CAP {
+            self.events.push(FaultEvent { now, kind });
+        }
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn page_op_fails(&mut self, now: Ns, op: FaultOp, page: VirtPage) -> bool {
+        // Remaps carry no data copy, so there is nothing to abort.
+        if matches!(op, FaultOp::Remap) || self.cfg.copy_abort_p <= 0.0 {
+            return false;
+        }
+        let fails = self.copy_rng.gen_bool(self.cfg.copy_abort_p);
+        if fails {
+            self.record(now, FaultKind::CopyAbort { page });
+        }
+        fails
+    }
+
+    fn alloc_blocked(&mut self, now: Ns, node: NodeId) -> bool {
+        if self.cfg.alloc_block_p <= 0.0 {
+            return false;
+        }
+        let blocked = self.alloc_rng.gen_bool(self.cfg.alloc_block_p);
+        if blocked {
+            self.record(now, FaultKind::AllocBlocked { node });
+        }
+        blocked
+    }
+
+    fn shootdown_ack_delay(&mut self, now: Ns, tlbs: u32) -> Ns {
+        if self.cfg.ack_delay_p <= 0.0 || tlbs == 0 {
+            return Ns::ZERO;
+        }
+        if self.ack_rng.gen_bool(self.cfg.ack_delay_p) {
+            let delay = self.cfg.ack_delay;
+            if delay > Ns::ZERO {
+                self.record(now, FaultKind::AckDelay { delay });
+            }
+            delay
+        } else {
+            Ns::ZERO
+        }
+    }
+
+    fn interrupt_lost(&mut self, now: Ns) -> bool {
+        if self.cfg.intr_loss_p <= 0.0 {
+            return false;
+        }
+        let lost = self.intr_rng.gen_bool(self.cfg.intr_loss_p);
+        if lost {
+            self.record(now, FaultKind::InterruptLost);
+        }
+        lost
+    }
+
+    fn counter_cap(&self) -> Option<u32> {
+        self.cfg.counter_cap
+    }
+
+    fn storm_cmds(&mut self, now: Ns) -> Vec<StormCmd> {
+        let Some(period) = self.cfg.storm_period else {
+            return Vec::new();
+        };
+        let mut cmds = Vec::new();
+        if let Some((release_at, node)) = self.active_storm {
+            if now >= release_at {
+                cmds.push(StormCmd::Release { node });
+                self.active_storm = None;
+                self.next_storm = now + period;
+            }
+        }
+        if self.active_storm.is_none() && now >= self.next_storm {
+            let node = NodeId(self.storm_rng.gen_range(0..self.nodes));
+            cmds.push(StormCmd::Seize {
+                node,
+                keep_free: self.cfg.storm_keep_free,
+            });
+            self.active_storm = Some((now + self.cfg.storm_duration, node));
+        }
+        cmds
+    }
+
+    fn note(&mut self, event: FaultEvent) {
+        self.record(event.now, event.kind);
+    }
+
+    fn drain_events(&mut self) -> Vec<FaultEvent> {
+        core::mem::take(&mut self.events)
+    }
+
+    fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in FaultScenario::ALL {
+            assert_eq!(sc.name().parse::<FaultScenario>().unwrap(), sc);
+        }
+        let err = "no-such".parse::<FaultScenario>().unwrap_err();
+        assert!(err.contains("pressure-storm"), "error lists names: {err}");
+    }
+
+    /// Drive two identically-seeded plans through the same call
+    /// sequence and require identical decisions, events and stats.
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let spec = FaultSpec {
+            scenario: FaultScenario::Chaos,
+            chaos_seed: 7,
+        };
+        let mut a = FaultPlan::from_spec(spec, 1234, 8);
+        let mut b = FaultPlan::from_spec(spec, 1234, 8);
+        for i in 0..2_000u64 {
+            let now = Ns(i * 1_000);
+            let page = VirtPage(i % 64);
+            let node = NodeId((i % 8) as u16);
+            assert_eq!(
+                a.page_op_fails(now, FaultOp::Migrate, page),
+                b.page_op_fails(now, FaultOp::Migrate, page)
+            );
+            assert_eq!(a.alloc_blocked(now, node), b.alloc_blocked(now, node));
+            assert_eq!(a.shootdown_ack_delay(now, 8), b.shootdown_ack_delay(now, 8));
+            assert_eq!(a.interrupt_lost(now), b.interrupt_lost(now));
+            assert_eq!(a.storm_cmds(now), b.storm_cmds(now));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.drain_events(), b.drain_events());
+        assert!(a.stats().injected_total() > 0, "chaos must actually inject");
+    }
+
+    /// Different chaos seeds must give different decision streams.
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| FaultSpec {
+            scenario: FaultScenario::CopyFlake,
+            chaos_seed: seed,
+        };
+        let mut a = FaultPlan::from_spec(mk(1), 99, 4);
+        let mut b = FaultPlan::from_spec(mk(2), 99, 4);
+        let differs = (0..500u64).any(|i| {
+            a.page_op_fails(Ns(i), FaultOp::Replicate, VirtPage(i))
+                != b.page_op_fails(Ns(i), FaultOp::Replicate, VirtPage(i))
+        });
+        assert!(differs);
+    }
+
+    /// Fault classes draw from independent streams: consuming one
+    /// stream never perturbs another.
+    #[test]
+    fn streams_are_independent() {
+        let cfg = FaultConfig {
+            copy_abort_p: 0.5,
+            intr_loss_p: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg, 42, 4);
+        let mut b = FaultPlan::new(cfg, 42, 4);
+        // Plan `a` consumes 100 extra copy decisions first.
+        for i in 0..100u64 {
+            a.page_op_fails(Ns(i), FaultOp::Migrate, VirtPage(i));
+        }
+        for i in 0..200u64 {
+            assert_eq!(a.interrupt_lost(Ns(i)), b.interrupt_lost(Ns(i)));
+        }
+    }
+
+    #[test]
+    fn storms_alternate_seize_and_release() {
+        let cfg = FaultConfig {
+            storm_period: Some(Ns(100)),
+            storm_duration: Ns(50),
+            storm_keep_free: 2,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg, 5, 4);
+        let mut seizes = 0u32;
+        let mut releases = 0u32;
+        let mut holding: Option<NodeId> = None;
+        for t in (0..10_000u64).step_by(10) {
+            for cmd in plan.storm_cmds(Ns(t)) {
+                match cmd {
+                    StormCmd::Seize { node, keep_free } => {
+                        assert!(holding.is_none(), "no overlapping storms");
+                        assert_eq!(keep_free, 2);
+                        assert!(node.0 < 4);
+                        holding = Some(node);
+                        seizes += 1;
+                    }
+                    StormCmd::Release { node } => {
+                        assert_eq!(holding, Some(node), "release matches seize");
+                        holding = None;
+                        releases += 1;
+                    }
+                }
+            }
+        }
+        assert!(seizes >= 10, "expected many storms, got {seizes}");
+        assert!(releases == seizes || releases + 1 == seizes);
+    }
+
+    #[test]
+    fn remap_never_aborts_and_null_config_is_silent() {
+        let mut hot = FaultPlan::new(
+            FaultConfig {
+                copy_abort_p: 1.0,
+                ..FaultConfig::default()
+            },
+            1,
+            2,
+        );
+        assert!(!hot.page_op_fails(Ns(0), FaultOp::Remap, VirtPage(0)));
+        assert!(hot.page_op_fails(Ns(0), FaultOp::Migrate, VirtPage(0)));
+
+        let mut off = FaultPlan::new(FaultConfig::default(), 1, 2);
+        for i in 0..100u64 {
+            assert!(!off.page_op_fails(Ns(i), FaultOp::Migrate, VirtPage(i)));
+            assert!(!off.alloc_blocked(Ns(i), NodeId(0)));
+            assert!(!off.interrupt_lost(Ns(i)));
+            assert_eq!(off.shootdown_ack_delay(Ns(i), 4), Ns::ZERO);
+            assert!(off.storm_cmds(Ns(i)).is_empty());
+        }
+        assert!(off.stats().is_zero());
+    }
+
+    #[test]
+    fn event_buffer_is_capped_but_stats_stay_exact() {
+        let cfg = FaultConfig {
+            copy_abort_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg, 9, 2);
+        let n = (EVENT_BUFFER_CAP + 500) as u64;
+        for i in 0..n {
+            plan.page_op_fails(Ns(i), FaultOp::Migrate, VirtPage(i));
+        }
+        assert_eq!(plan.stats().copy_aborts, n);
+        assert_eq!(plan.drain_events().len(), EVENT_BUFFER_CAP);
+    }
+}

@@ -1,6 +1,6 @@
 //! Per-node physical frame allocation.
 
-use ccnuma_types::{Frame, MachineConfig, NodeId};
+use ccnuma_types::{Frame, MachineConfig, NodeId, SimError};
 
 /// Per-node free lists over the machine's physical frames.
 ///
@@ -22,7 +22,7 @@ use ccnuma_types::{Frame, MachineConfig, NodeId};
 /// let f = alloc.alloc(NodeId(2)).unwrap();
 /// assert_eq!(cfg.node_of_frame(f), NodeId(2));
 /// assert_eq!(alloc.free_on(NodeId(2)), 3);
-/// alloc.free(f);
+/// alloc.free(f).unwrap();
 /// assert_eq!(alloc.free_on(NodeId(2)), 4);
 /// ```
 #[derive(Debug, Clone)]
@@ -106,16 +106,22 @@ impl FrameAllocator {
 
     /// Returns a frame to its node's free list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame's node has no outstanding allocations (double
-    /// free).
-    pub fn free(&mut self, frame: Frame) {
+    /// Returns [`SimError::DoubleFree`] if the frame is already free —
+    /// either its node has no outstanding allocations, or the frame
+    /// itself is sitting on the free list. The allocator state is left
+    /// untouched, so the caller can degrade instead of corrupting the
+    /// accounting.
+    pub fn free(&mut self, frame: Frame) -> Result<(), SimError> {
         let node = self.cfg.node_of_frame(frame);
         let i = node.index();
-        assert!(self.used[i] > 0, "double free on node {node}");
+        if self.used[i] == 0 || self.recycled[i].contains(&frame) {
+            return Err(SimError::DoubleFree { frame, node });
+        }
         self.used[i] -= 1;
         self.recycled[i].push(frame);
+        Ok(())
     }
 
     /// Free frames remaining on `node`.
@@ -180,19 +186,41 @@ mod tests {
     fn free_recycles() {
         let mut a = FrameAllocator::new(&small());
         let f = a.alloc(NodeId(0)).unwrap();
-        a.free(f);
+        a.free(f).unwrap();
         assert_eq!(a.free_on(NodeId(0)), 4);
         // recycled frame is reused
         assert_eq!(a.alloc(NodeId(0)), Some(f));
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_an_error_and_leaves_state_intact() {
         let mut a = FrameAllocator::new(&small());
         let f = a.alloc(NodeId(0)).unwrap();
-        a.free(f);
-        a.free(f);
+        a.free(f).unwrap();
+        let err = a.free(f).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DoubleFree {
+                frame: f,
+                node: NodeId(0)
+            }
+        );
+        // Accounting is untouched: the frame is free exactly once.
+        assert_eq!(a.free_on(NodeId(0)), 4);
+        assert_eq!(a.alloc(NodeId(0)), Some(f));
+        assert_eq!(a.alloc(NodeId(0)).map(|g| g == f), Some(false));
+    }
+
+    #[test]
+    fn free_with_other_frames_outstanding_still_detects_double_free() {
+        let mut a = FrameAllocator::new(&small());
+        let f = a.alloc(NodeId(0)).unwrap();
+        let _g = a.alloc(NodeId(0)).unwrap();
+        a.free(f).unwrap();
+        // used > 0 because g is still out, but f is already on the free
+        // list: this is a double free, not a legal return.
+        assert!(matches!(a.free(f), Err(SimError::DoubleFree { .. })));
+        assert_eq!(a.used_on(NodeId(0)), 1);
     }
 
     #[test]

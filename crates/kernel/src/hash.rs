@@ -186,7 +186,8 @@ impl PageHash {
 
     /// Pages that currently have replicas on `node` (reclaim candidates).
     pub fn replicated_pages_on(&self, node: NodeId) -> Vec<VirtPage> {
-        self.entries
+        let mut pages: Vec<VirtPage> = self
+            .entries
             .iter()
             .filter(|(_, e)| {
                 e.replicas
@@ -194,7 +195,18 @@ impl PageHash {
                     .any(|f| self.cfg.node_of_frame(*f) == node)
             })
             .map(|(p, _)| *p)
-            .collect()
+            .collect();
+        // The backing HashMap iterates in per-process random order, but
+        // reclaim takes victims from the front of this list, so it must
+        // be deterministic for runs to be reproducible under pressure.
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Every (page, entry) pair, in unspecified order — used by the
+    /// invariant checker to audit all replica chains.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtPage, &PageEntry)> {
+        self.entries.iter().map(|(&p, e)| (p, e))
     }
 
     /// Replica frames currently live.

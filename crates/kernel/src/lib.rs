@@ -46,10 +46,11 @@ mod hash;
 mod locks;
 mod pager;
 mod tables;
+pub mod verify;
 
 pub use costs::{CostBook, CostParams, OpClass, PagerStep};
 pub use frames::FrameAllocator;
 pub use hash::{PageEntry, PageHash};
 pub use locks::{LockGranularity, LockId, LockModel};
-pub use pager::{BatchStats, OpOutcome, PageOp, Pager, PagerConfig, ShootdownMode};
+pub use pager::{BatchStats, OpFailReason, OpOutcome, PageOp, Pager, PagerConfig, ShootdownMode};
 pub use tables::PageTables;

@@ -12,8 +12,9 @@ use crate::{
     PagerStep,
 };
 use ccnuma_core::PageLocation;
+use ccnuma_faults::{FaultInjector, FaultOp, NullFaults};
 use ccnuma_types::{Frame, MachineConfig, NodeId, Ns, Pid, VirtPage};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How TLB shootdowns pick their victim CPUs.
 ///
@@ -154,6 +155,36 @@ impl PageOp {
     }
 }
 
+/// Why an operation failed (the typed payload of [`OpOutcome::Failed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFailReason {
+    /// The page data copy aborted mid-flight (transient; retryable).
+    CopyAborted,
+    /// The page's hash entry vanished mid-operation (racing collapse or
+    /// reclaim; not retryable against the same chain).
+    MissingPage,
+    /// Freeing the operation's dead frame was rejected as a double free;
+    /// the mapping change stands but the frame was leaked rather than
+    /// corrupt the allocator.
+    DoubleFree,
+}
+
+impl OpFailReason {
+    /// Short lowercase name for logs and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpFailReason::CopyAborted => "copy_aborted",
+            OpFailReason::MissingPage => "missing_page",
+            OpFailReason::DoubleFree => "double_free",
+        }
+    }
+
+    /// Whether retrying the same operation can plausibly succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, OpFailReason::CopyAborted)
+    }
+}
+
 /// Result of one operation in a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpOutcome {
@@ -168,6 +199,12 @@ pub enum OpOutcome {
     /// The operation was dropped (e.g. collapse of a non-replicated page
     /// that raced with another collapse).
     Skipped,
+    /// The operation failed for `reason` without completing; the pager's
+    /// state is consistent and the caller may retry or drop the op.
+    Failed {
+        /// The typed failure cause.
+        reason: OpFailReason,
+    },
 }
 
 impl OpOutcome {
@@ -202,6 +239,9 @@ pub struct Pager {
     /// Last known node for each process (set by the scheduler), used to
     /// pick "nearest" copies in policy-end.
     pid_nodes: HashMap<Pid, NodeId>,
+    /// Frames held out of circulation by injected memory-pressure storms,
+    /// per node (BTreeMap keeps release order deterministic).
+    seized: BTreeMap<NodeId, Vec<Frame>>,
     last_batch: BatchStats,
     batches: u64,
 }
@@ -218,6 +258,7 @@ impl Pager {
             locks: LockModel::new(),
             book: CostBook::new(),
             pid_nodes: HashMap::new(),
+            seized: BTreeMap::new(),
             last_batch: BatchStats::default(),
             batches: 0,
             cfg,
@@ -244,16 +285,17 @@ impl Pager {
         if let Some(frame) = self.tables.lookup(pid, page) {
             return Some(self.cfg.machine.node_of_frame(frame));
         }
-        if !self.hash.contains(page) {
-            let frame = self.frames.alloc_with_fallback(node)?;
-            self.hash.insert_master(page, frame);
-            self.tables.map(pid, page, frame);
-            return Some(self.cfg.machine.node_of_frame(frame));
-        }
-        let frame = self
-            .hash
-            .copy_on(page, node)
-            .unwrap_or_else(|| self.hash.get(page).expect("page present").master());
+        let frame = match self.hash.get(page) {
+            None => {
+                let frame = self.frames.alloc_with_fallback(node)?;
+                self.hash.insert_master(page, frame);
+                frame
+            }
+            Some(entry) => {
+                let master = entry.master();
+                self.hash.copy_on(page, node).unwrap_or(master)
+            }
+        };
         self.tables.map(pid, page, frame);
         Some(self.cfg.machine.node_of_frame(frame))
     }
@@ -341,13 +383,72 @@ impl Pager {
             }
             if let Some(frame) = self.hash.remove_replica_on(page, node) {
                 // Repoint any PTEs using the dying replica at the master.
-                let master = self.hash.get(page).expect("page present").master();
+                // A page that lost its hash entry to a racing collapse is
+                // skipped rather than crashing the reclaim pass.
+                let Some(entry) = self.hash.get(page) else {
+                    continue;
+                };
+                let master = entry.master();
                 self.tables.repoint(page, frame, master);
-                self.frames.free(frame);
-                freed += 1;
+                if self.frames.free(frame).is_ok() {
+                    freed += 1;
+                }
             }
         }
         freed
+    }
+
+    /// Seizes free frames on `node` until at most `keep_free` remain,
+    /// simulating a burst of outside memory demand (an injected
+    /// memory-pressure storm). Returns how many frames were seized; they
+    /// stay allocated but unmapped until [`Pager::release_seized`]
+    /// returns them.
+    pub fn seize_frames(&mut self, node: NodeId, keep_free: u32) -> u32 {
+        let mut taken = 0;
+        while self.frames.free_on(node) > keep_free {
+            let Some(frame) = self.frames.alloc(node) else {
+                break;
+            };
+            self.seized.entry(node).or_default().push(frame);
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Releases every frame previously seized on `node`, ending a storm.
+    /// Returns how many frames went back to the free list.
+    pub fn release_seized(&mut self, node: NodeId) -> u32 {
+        let mut returned = 0;
+        for frame in self.seized.remove(&node).unwrap_or_default() {
+            if self.frames.free(frame).is_ok() {
+                returned += 1;
+            }
+        }
+        returned
+    }
+
+    /// Frames currently seized by storms on `node`.
+    pub fn seized_on(&self, node: NodeId) -> u32 {
+        self.seized.get(&node).map_or(0, |v| v.len() as u32)
+    }
+
+    /// Every frame currently seized by storms, across all nodes.
+    pub fn seized_frames(&self) -> impl Iterator<Item = Frame> + '_ {
+        self.seized.values().flatten().copied()
+    }
+
+    /// The page tables (for the invariant checker and diagnostics).
+    pub fn tables(&self) -> &PageTables {
+        &self.tables
+    }
+
+    /// Test-only raw access for deliberately corrupting kernel state, so
+    /// the invariant checker's negative paths can be exercised.
+    #[cfg(test)]
+    pub(crate) fn state_mut_for_test(
+        &mut self,
+    ) -> (&mut FrameAllocator, &mut PageHash, &mut PageTables) {
+        (&mut self.frames, &mut self.hash, &mut self.tables)
     }
 
     fn replica_lock(&self, page: VirtPage) -> LockId {
@@ -361,6 +462,23 @@ impl Pager {
     /// outcome per op, in order; the batch's single TLB flush and the
     /// interrupt cost are amortized across the ops that need them.
     pub fn service_batch(&mut self, now: Ns, ops: &[PageOp]) -> Vec<OpOutcome> {
+        self.service_batch_with(now, ops, &mut NullFaults)
+    }
+
+    /// [`Pager::service_batch`] with a fault injector threaded through.
+    ///
+    /// With [`NullFaults`] this monomorphizes to exactly the fault-free
+    /// handler. An enabled injector may abort page copies (the op fails
+    /// with [`OpFailReason::CopyAborted`] before any state changes),
+    /// force allocations to fail (surfacing the [`OpOutcome::NoPage`]
+    /// degradation path), and stretch the shootdown rendezvous with
+    /// delayed acknowledgements.
+    pub fn service_batch_with<F: FaultInjector>(
+        &mut self,
+        now: Ns,
+        ops: &[PageOp],
+        faults: &mut F,
+    ) -> Vec<OpOutcome> {
         self.batches += 1;
         let mut outcomes = Vec::with_capacity(ops.len());
         if ops.is_empty() {
@@ -380,11 +498,16 @@ impl Pager {
                 ShootdownMode::Targeted => self.targeted_cpu_count(ops),
             }
         };
-        let flush_total = if flush_ops == 0 {
+        let mut flush_total = if flush_ops == 0 {
             Ns::ZERO
         } else {
             costs.tlb_flush_cost(flushed_cpus)
         };
+        if F::ENABLED && flush_ops > 0 {
+            // Delayed or dropped acks stretch the rendezvous for the
+            // whole batch; every spinning CPU pays the extension below.
+            flush_total += faults.shootdown_ack_delay(now, flushed_cpus);
+        }
         let flush_share = if flush_ops == 0 {
             Ns::ZERO
         } else {
@@ -401,7 +524,14 @@ impl Pager {
         let mut batch_total = Ns::ZERO;
         for op in ops {
             let class = op.class();
-            let outcome = self.run_op(now + batch_total, op, intr_share, flush_share, &costs);
+            let outcome = self.run_op(
+                now + batch_total,
+                op,
+                intr_share,
+                flush_share,
+                &costs,
+                faults,
+            );
             if let OpOutcome::Done { latency } = outcome {
                 batch_total += latency;
                 self.book.add(class, PagerStep::IntrProc, intr_share);
@@ -435,20 +565,21 @@ impl Pager {
         (nodes.len() as u32).max(1)
     }
 
-    fn run_op(
+    fn run_op<F: FaultInjector>(
         &mut self,
         now: Ns,
         op: &PageOp,
         intr_share: Ns,
         flush_share: Ns,
         costs: &CostParams,
+        faults: &mut F,
     ) -> OpOutcome {
         match *op {
             PageOp::Migrate { page, to } => {
-                self.do_migrate(now, page, to, intr_share, flush_share, costs)
+                self.do_migrate(now, page, to, intr_share, flush_share, costs, faults)
             }
             PageOp::Replicate { page, at } => {
-                self.do_replicate(now, page, at, intr_share, flush_share, costs)
+                self.do_replicate(now, page, at, intr_share, flush_share, costs, faults)
             }
             PageOp::Collapse { page } => {
                 self.do_collapse(now, page, intr_share, flush_share, costs)
@@ -457,7 +588,8 @@ impl Pager {
         }
     }
 
-    fn do_migrate(
+    #[allow(clippy::too_many_arguments)]
+    fn do_migrate<F: FaultInjector>(
         &mut self,
         now: Ns,
         page: VirtPage,
@@ -465,6 +597,7 @@ impl Pager {
         intr_share: Ns,
         flush_share: Ns,
         costs: &CostParams,
+        faults: &mut F,
     ) -> OpOutcome {
         if !self.hash.contains(page) {
             return OpOutcome::Skipped;
@@ -473,6 +606,13 @@ impl Pager {
             // The destination already holds a copy (master or replica);
             // the right action there is a remap, not a second copy.
             return OpOutcome::Skipped;
+        }
+        // Injected copy abort, decided before any state changes so no
+        // rollback is needed.
+        if F::ENABLED && faults.page_op_fails(now, FaultOp::Migrate, page) {
+            return OpOutcome::Failed {
+                reason: OpFailReason::CopyAborted,
+            };
         }
         let class = OpClass::Migrate;
         let mut latency = intr_share + costs.decision;
@@ -483,7 +623,8 @@ impl Pager {
         let wait = self
             .locks
             .acquire(LockId::Memlock, now + latency, costs.memlock_hold_alloc);
-        let Some(new_frame) = self.frames.alloc(to) else {
+        let blocked = F::ENABLED && faults.alloc_blocked(now, to);
+        let Some(new_frame) = (if blocked { None } else { self.frames.alloc(to) }) else {
             return OpOutcome::NoPage;
         };
         let alloc_cost = costs.page_alloc_base + wait;
@@ -508,8 +649,14 @@ impl Pager {
         self.book.add(class, PagerStep::PageCopy, copy);
         latency += copy;
 
-        // Step 8: free the old frame, final mappings.
-        self.frames.free(old_frame);
+        // Step 8: free the old frame, final mappings. A rejected free
+        // (double free) leaks the frame instead of corrupting the
+        // allocator; the op reports the inconsistency.
+        if self.frames.free(old_frame).is_err() {
+            return OpOutcome::Failed {
+                reason: OpFailReason::DoubleFree,
+            };
+        }
         let end = costs.end_migr_base;
         self.book.add(class, PagerStep::PolicyEnd, end);
         latency += end;
@@ -521,7 +668,8 @@ impl Pager {
         OpOutcome::Done { latency }
     }
 
-    fn do_replicate(
+    #[allow(clippy::too_many_arguments)]
+    fn do_replicate<F: FaultInjector>(
         &mut self,
         now: Ns,
         page: VirtPage,
@@ -529,6 +677,7 @@ impl Pager {
         intr_share: Ns,
         flush_share: Ns,
         costs: &CostParams,
+        faults: &mut F,
     ) -> OpOutcome {
         if !self.hash.contains(page) {
             return OpOutcome::Skipped;
@@ -536,6 +685,11 @@ impl Pager {
         if self.hash.copy_on(page, at).is_some() {
             // A racing replication already put a copy here.
             return OpOutcome::Skipped;
+        }
+        if F::ENABLED && faults.page_op_fails(now, FaultOp::Replicate, page) {
+            return OpOutcome::Failed {
+                reason: OpFailReason::CopyAborted,
+            };
         }
         let class = OpClass::Replicate;
         let mut latency = intr_share + costs.decision;
@@ -545,7 +699,8 @@ impl Pager {
         let wait = self
             .locks
             .acquire(LockId::Memlock, now + latency, costs.memlock_hold_alloc);
-        let Some(new_frame) = self.frames.alloc(at) else {
+        let blocked = F::ENABLED && faults.alloc_blocked(now, at);
+        let Some(new_frame) = (if blocked { None } else { self.frames.alloc(at) }) else {
             return OpOutcome::NoPage;
         };
         let alloc_cost = costs.page_alloc_base + wait;
@@ -567,16 +722,22 @@ impl Pager {
         self.book.add(class, PagerStep::PageCopy, copy);
         latency += copy;
 
-        // Step 8: point every mapper at its nearest copy.
+        // Step 8: point every mapper at its nearest copy. The entry must
+        // still be present (we just linked the replica), but a racing
+        // collapse is reported as a typed failure rather than a panic;
+        // the fresh replica is the page's one surviving copy either way.
+        let Some(entry) = self.hash.get(page) else {
+            return OpOutcome::Failed {
+                reason: OpFailReason::MissingPage,
+            };
+        };
+        let master = entry.master();
         let pids = self.tables.mappers_of_page(page);
         let nearest: Vec<(Pid, Frame)> = pids
             .iter()
             .map(|&pid| {
                 let node = self.pid_node(pid);
-                let frame = self
-                    .hash
-                    .copy_on(page, node)
-                    .unwrap_or_else(|| self.hash.get(page).expect("present").master());
+                let frame = self.hash.copy_on(page, node).unwrap_or(master);
                 (pid, frame)
             })
             .collect();
@@ -620,9 +781,12 @@ impl Pager {
             .acquire(self.replica_lock(page), now, costs.page_lock_hold);
         let freed = self.hash.collapse(page);
         let mut moved = 0;
+        let mut free_failed = false;
         for frame in &freed {
             moved += self.tables.repoint(page, *frame, master);
-            self.frames.free(*frame);
+            // A rejected free leaks that replica frame but keeps the
+            // allocator consistent; finish repointing the rest first.
+            free_failed |= self.frames.free(*frame).is_err();
         }
         let links_cost = costs.links_repl_base + wait + costs.per_pte * moved as u64;
         self.book.add(class, PagerStep::LinksMapping, links_cost);
@@ -637,6 +801,11 @@ impl Pager {
         self.book
             .add(class, PagerStep::PageFault, costs.pfault * moved as u64);
 
+        if free_failed {
+            return OpOutcome::Failed {
+                reason: OpFailReason::DoubleFree,
+            };
+        }
         OpOutcome::Done { latency }
     }
 
@@ -897,5 +1066,154 @@ mod tests {
         p.first_touch(Pid(1), VirtPage(1), NodeId(0));
         let out = p.service_batch(Ns(0), &[PageOp::replicate(VirtPage(1), NodeId(0))]);
         assert_eq!(out[0], OpOutcome::Skipped);
+    }
+
+    /// Regression: a collapse and a migrate racing on the same page in
+    /// one batch (in either order) must never panic, and must leave the
+    /// kernel state consistent. The old code reached `expect("page
+    /// present")` paths on this shape.
+    #[test]
+    fn racing_collapse_and_migrate_cannot_panic() {
+        for order in 0..2 {
+            let mut p = pager();
+            p.set_pid_node(Pid(1), NodeId(0));
+            p.set_pid_node(Pid(2), NodeId(6));
+            p.first_touch(Pid(1), VirtPage(1), NodeId(0));
+            p.first_touch(Pid(2), VirtPage(1), NodeId(6));
+            p.service_batch(Ns::from_ms(1), &[PageOp::replicate(VirtPage(1), NodeId(6))]);
+            let ops = if order == 0 {
+                [
+                    PageOp::collapse(VirtPage(1)),
+                    PageOp::migrate(VirtPage(1), NodeId(6)),
+                ]
+            } else {
+                [
+                    PageOp::migrate(VirtPage(1), NodeId(6)),
+                    PageOp::collapse(VirtPage(1)),
+                ]
+            };
+            let out = p.service_batch(Ns::from_ms(2), &ops);
+            assert_eq!(out.len(), 2);
+            assert!(
+                out.iter().all(|o| !matches!(o, OpOutcome::Failed { .. })),
+                "racing ops resolve via skip/done, not failure: {out:?} (order {order})"
+            );
+            assert_eq!(
+                crate::verify::violations(&p),
+                Vec::<String>::new(),
+                "state stays consistent (order {order})"
+            );
+        }
+    }
+
+    /// A replicate whose data copy is aborted by fault injection fails
+    /// typed, leaves no trace, and succeeds on retry.
+    #[test]
+    fn injected_copy_abort_fails_typed_and_is_retryable() {
+        struct AbortOnce(bool);
+        impl ccnuma_faults::FaultInjector for AbortOnce {
+            fn page_op_fails(
+                &mut self,
+                _now: Ns,
+                _op: ccnuma_faults::FaultOp,
+                _page: VirtPage,
+            ) -> bool {
+                std::mem::replace(&mut self.0, false)
+            }
+        }
+        let mut p = pager();
+        p.set_pid_node(Pid(2), NodeId(6));
+        p.first_touch(Pid(1), VirtPage(1), NodeId(0));
+        p.first_touch(Pid(2), VirtPage(1), NodeId(6));
+        let mut faults = AbortOnce(true);
+        let ops = [PageOp::replicate(VirtPage(1), NodeId(6))];
+        let out = p.service_batch_with(Ns::from_ms(1), &ops, &mut faults);
+        assert_eq!(
+            out[0],
+            OpOutcome::Failed {
+                reason: OpFailReason::CopyAborted
+            }
+        );
+        assert!(OpFailReason::CopyAborted.retryable());
+        assert_eq!(
+            p.copies(VirtPage(1)),
+            vec![NodeId(0)],
+            "no replica left behind"
+        );
+        assert_eq!(crate::verify::violations(&p), Vec::<String>::new());
+        // Retry with the transient fault gone: succeeds.
+        let out = p.service_batch_with(Ns::from_ms(2), &ops, &mut faults);
+        assert!(out[0].succeeded());
+        assert_eq!(p.copies(VirtPage(1)), vec![NodeId(0), NodeId(6)]);
+    }
+
+    /// A blocked allocation surfaces as NoPage — the same degradation
+    /// path as a genuinely exhausted node.
+    #[test]
+    fn injected_alloc_block_surfaces_no_page() {
+        struct BlockAllocs;
+        impl ccnuma_faults::FaultInjector for BlockAllocs {
+            fn alloc_blocked(&mut self, _now: Ns, _node: NodeId) -> bool {
+                true
+            }
+        }
+        let mut p = pager();
+        p.first_touch(Pid(1), VirtPage(1), NodeId(0));
+        let out = p.service_batch_with(
+            Ns::from_ms(1),
+            &[PageOp::migrate(VirtPage(1), NodeId(3))],
+            &mut BlockAllocs,
+        );
+        assert_eq!(out[0], OpOutcome::NoPage);
+        assert_eq!(p.copies(VirtPage(1)), vec![NodeId(0)]);
+        assert_eq!(crate::verify::violations(&p), Vec::<String>::new());
+    }
+
+    /// Delayed shootdown acks stretch the batch's flush share.
+    #[test]
+    fn injected_ack_delay_stretches_flush() {
+        struct SlowAcks;
+        impl ccnuma_faults::FaultInjector for SlowAcks {
+            fn shootdown_ack_delay(&mut self, _now: Ns, _tlbs: u32) -> Ns {
+                Ns(40_000)
+            }
+        }
+        let mut base = pager();
+        let mut slow = pager();
+        for p in [&mut base, &mut slow] {
+            p.first_touch(Pid(1), VirtPage(1), NodeId(0));
+        }
+        let ops = [PageOp::migrate(VirtPage(1), NodeId(3))];
+        let fast = base.service_batch(Ns::from_ms(1), &ops);
+        let delayed = slow.service_batch_with(Ns::from_ms(1), &ops, &mut SlowAcks);
+        let (OpOutcome::Done { latency: a }, OpOutcome::Done { latency: b }) =
+            (fast[0], delayed[0])
+        else {
+            panic!("both must succeed");
+        };
+        assert_eq!(
+            b,
+            a + Ns(40_000),
+            "the whole delay lands on the one flush op"
+        );
+    }
+
+    /// Storm seizure empties a node down to `keep_free` and release
+    /// restores it exactly.
+    #[test]
+    fn storms_seize_and_release_frames() {
+        let mut p = tiny_pager();
+        assert_eq!(p.frames().free_on(NodeId(1)), 2);
+        let taken = p.seize_frames(NodeId(1), 1);
+        assert_eq!(taken, 1);
+        assert_eq!(p.frames().free_on(NodeId(1)), 1);
+        assert_eq!(p.seized_on(NodeId(1)), 1);
+        assert_eq!(crate::verify::violations(&p), Vec::<String>::new());
+        let returned = p.release_seized(NodeId(1));
+        assert_eq!(returned, 1);
+        assert_eq!(p.frames().free_on(NodeId(1)), 2);
+        assert_eq!(p.seized_on(NodeId(1)), 0);
+        // releasing again is a no-op
+        assert_eq!(p.release_seized(NodeId(1)), 0);
     }
 }

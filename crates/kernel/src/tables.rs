@@ -124,6 +124,12 @@ impl PageTables {
             .collect()
     }
 
+    /// Every live PTE as ((pid, page), frame), in unspecified order —
+    /// used by the invariant checker to audit the whole mapping state.
+    pub fn iter(&self) -> impl Iterator<Item = ((Pid, VirtPage), Frame)> + '_ {
+        self.ptes.iter().map(|(&k, &f)| (k, f))
+    }
+
     /// Number of live PTEs.
     pub fn len(&self) -> usize {
         self.ptes.len()

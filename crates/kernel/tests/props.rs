@@ -27,7 +27,7 @@ proptest! {
                     live.push(f);
                 }
             } else if let Some(f) = live.pop() {
-                a.free(f);
+                prop_assert!(a.free(f).is_ok());
             }
             for n in 0..4u16 {
                 prop_assert!(a.used_on(NodeId(n)) <= 16);
@@ -35,6 +35,97 @@ proptest! {
             }
         }
         prop_assert_eq!(a.used_total(), live.len() as u64);
+    }
+
+    /// Random alloc / free / alloc_with_fallback sequences driven
+    /// through exhaustion and recovery: the allocator hands out each
+    /// frame at most once, every double free is rejected as a typed
+    /// error without corrupting state, and fallback only fails when the
+    /// whole machine is full.
+    #[test]
+    fn allocator_survives_exhaustion_and_double_frees(
+        ops in proptest::collection::vec((0u16..3, 0u8..4, 0usize..64), 1..400),
+    ) {
+        let nodes = 3u16;
+        let per_node = 8u32;
+        let cfg = MachineConfig::cc_numa().with_nodes(nodes).with_frames_per_node(per_node);
+        let mut a = FrameAllocator::new(&cfg);
+        let mut live: Vec<ccnuma_types::Frame> = Vec::new();
+        let mut freed: Vec<ccnuma_types::Frame> = Vec::new();
+        for (node, op, pick) in ops {
+            let node = NodeId(node);
+            match op {
+                // Plain alloc: must fail exactly when the node is full.
+                0 => {
+                    let was_full = a.free_on(node) == 0;
+                    match a.alloc(node) {
+                        Some(f) => {
+                            prop_assert!(!was_full);
+                            prop_assert_eq!(cfg.node_of_frame(f), node);
+                            prop_assert!(!live.contains(&f), "frame handed out twice");
+                            live.push(f);
+                            freed.retain(|g| *g != f);
+                        }
+                        None => prop_assert!(was_full),
+                    }
+                }
+                // Fallback alloc: must fail only when everything is full.
+                1 => {
+                    let machine_full =
+                        (0..nodes).all(|n| a.free_on(NodeId(n)) == 0);
+                    match a.alloc_with_fallback(node) {
+                        Some(f) => {
+                            prop_assert!(!machine_full);
+                            prop_assert!(!live.contains(&f));
+                            live.push(f);
+                            freed.retain(|g| *g != f);
+                        }
+                        None => prop_assert!(machine_full),
+                    }
+                }
+                // Legal free of a live frame.
+                2 => {
+                    if !live.is_empty() {
+                        let f = live.swap_remove(pick % live.len());
+                        prop_assert!(a.free(f).is_ok());
+                        freed.push(f);
+                    }
+                }
+                // Double free of an already-freed frame: typed error,
+                // state untouched.
+                _ => {
+                    if !freed.is_empty() {
+                        let f = freed[pick % freed.len()];
+                        let before: Vec<u32> =
+                            (0..nodes).map(|n| a.used_on(NodeId(n))).collect();
+                        let err = a.free(f);
+                        prop_assert!(
+                            matches!(err, Err(ccnuma_types::SimError::DoubleFree { frame, .. }) if frame == f)
+                        );
+                        let after: Vec<u32> =
+                            (0..nodes).map(|n| a.used_on(NodeId(n))).collect();
+                        prop_assert_eq!(before, after, "rejected free must not change accounting");
+                    }
+                }
+            }
+            for n in 0..nodes {
+                prop_assert!(a.used_on(NodeId(n)) <= per_node);
+                prop_assert_eq!(a.free_on(NodeId(n)), per_node - a.used_on(NodeId(n)));
+            }
+            prop_assert_eq!(a.used_total(), live.len() as u64);
+        }
+        // Recovery: free everything, then the machine is empty again and
+        // every node can be fully re-allocated.
+        for f in live.drain(..) {
+            prop_assert!(a.free(f).is_ok());
+        }
+        prop_assert_eq!(a.used_total(), 0);
+        for n in 0..nodes {
+            for _ in 0..per_node {
+                prop_assert!(a.alloc(NodeId(n)).is_some());
+            }
+            prop_assert_eq!(a.alloc(NodeId(n)), None);
+        }
     }
 
     /// The lock model's waits are bounded by the backlog cap and its

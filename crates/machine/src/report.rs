@@ -2,6 +2,7 @@
 
 use crate::ContentionStats;
 use ccnuma_core::PolicyStats;
+use ccnuma_faults::FaultStats;
 use ccnuma_kernel::CostBook;
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::Trace;
@@ -51,6 +52,9 @@ pub struct RunReport {
     /// Average TLBs flushed per pager batch (8 under broadcast; ~2 under
     /// targeted shootdown, §7.2.2).
     pub avg_tlbs_flushed: f64,
+    /// Injected faults and the runner's degradation responses; all-zero
+    /// for runs without fault injection.
+    pub fault_stats: FaultStats,
 }
 
 impl RunReport {
@@ -102,6 +106,7 @@ mod tests {
             lock_contention_rate: 0.0,
             avg_local_miss_latency: Ns::ZERO,
             avg_tlbs_flushed: 0.0,
+            fault_stats: FaultStats::default(),
         }
     }
 

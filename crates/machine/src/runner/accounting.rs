@@ -3,11 +3,12 @@
 
 use super::Sim;
 use crate::RunReport;
+use ccnuma_faults::FaultInjector;
 use ccnuma_obs::{Recorder, SampleView};
 use ccnuma_trace::{MissRecord, MissSource, TraceBuilder};
 use ccnuma_types::{MemAccess, Ns, Pid, ProcId};
 
-impl<R: Recorder> Sim<'_, R> {
+impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
     /// Snapshots the cumulative simulator state at sim time `now` for the
     /// epoch sampler. Only called on instrumented runs (`R::ENABLED`).
     pub(super) fn sample_view(&self, now: Ns) -> SampleView {
@@ -47,6 +48,9 @@ impl<R: Recorder> Sim<'_, R> {
     pub(super) fn finish(mut self) -> RunReport {
         let sim_time = self.clocks.iter().copied().fold(Ns::ZERO, Ns::max);
         let cpu_time = self.clocks.iter().copied().sum::<Ns>();
+        if F::ENABLED {
+            self.forward_fault_events();
+        }
         if R::ENABLED {
             let view = self.sample_view(sim_time);
             self.obs.on_run_end(sim_time, &view);
@@ -80,6 +84,7 @@ impl<R: Recorder> Sim<'_, R> {
             lock_contention_rate: self.pager.locks().contention_rate(),
             avg_local_miss_latency: avg_local,
             avg_tlbs_flushed: avg_tlbs,
+            fault_stats: self.faults.stats().merged(&self.fault_stats),
         }
     }
 }

@@ -1,0 +1,114 @@
+//! Fault-injection driving and graceful degradation.
+//!
+//! Everything here is gated on `F::ENABLED`: with [`NullFaults`]
+//! (`ccnuma_faults::NullFaults`) every method monomorphizes to nothing
+//! and the run path is byte-identical to a build without fault
+//! injection. With a live `FaultPlan` this module turns the injector's
+//! decisions into real simulator state: storms seize and release frames
+//! through the pager (so frame accounting stays exact), injected events
+//! flow into the observability audit log, and the kernel invariant
+//! checker audits the pager after every serviced batch.
+
+use super::Sim;
+use ccnuma_faults::{FaultEvent, FaultInjector, FaultKind, StormCmd};
+use ccnuma_obs::Recorder;
+use ccnuma_types::{NodeId, Ns, SimError};
+
+/// Consecutive failed page operations that count as sustained pressure
+/// and flip the pager into remap-only mode.
+pub(super) const PRESSURE_THRESHOLD: u32 = 4;
+
+/// How long remap-only mode holds once activated.
+pub(super) const REMAP_ONLY_WINDOW: Ns = Ns(200_000);
+
+/// Kernel time charged per retry of a failed page operation (the
+/// bounded backoff).
+pub(super) const RETRY_BACKOFF: Ns = Ns(2_000);
+
+/// Retries a failed-but-retryable page operation gets before it is
+/// declared failed.
+pub(super) const MAX_OP_RETRIES: u32 = 2;
+
+/// Consecutive lost pager interrupts tolerated before the batch is
+/// force-driven regardless of the injector's decision.
+pub(super) const MAX_INTR_LOSSES: u32 = 3;
+
+impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+    /// Applies pending memory-pressure storm commands. Called at quantum
+    /// boundaries; the runner performs the actual allocations so the
+    /// allocator, hash and invariant checker all agree on where every
+    /// frame went.
+    pub(super) fn drive_storms(&mut self, now: Ns) {
+        for cmd in self.faults.storm_cmds(now) {
+            match cmd {
+                StormCmd::Seize { node, keep_free } => {
+                    let frames = self.pager.seize_frames(node, keep_free);
+                    self.faults.note(FaultEvent {
+                        now,
+                        kind: FaultKind::StormSeize { node, frames },
+                    });
+                }
+                StormCmd::Release { node } => {
+                    let frames = self.pager.release_seized(node);
+                    self.faults.note(FaultEvent {
+                        now,
+                        kind: FaultKind::StormRelease { node, frames },
+                    });
+                }
+            }
+        }
+        self.forward_fault_events();
+    }
+
+    /// Moves buffered injector events into the observability audit log.
+    /// Without a recorder the injector's (capped) buffer just keeps its
+    /// statistics; nothing is lost that the report needs.
+    pub(super) fn forward_fault_events(&mut self) {
+        if R::ENABLED {
+            for e in self.faults.drain_events() {
+                self.obs.on_fault(&e);
+            }
+        }
+    }
+
+    /// True while remap-only degradation is active at `now`; counts the
+    /// suppressed operation when it is.
+    pub(super) fn throttle_move(&mut self, now: Ns) -> bool {
+        match self.remap_only_until {
+            Some(until) if now < until => {
+                self.fault_stats.throttled_ops += 1;
+                true
+            }
+            Some(_) => {
+                self.remap_only_until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Sustained pressure response: activate remap-only mode and shed
+    /// replicas everywhere to relieve the allocator — the paper's §7.2.3
+    /// reclamation running as the live degradation path.
+    pub(super) fn enter_remap_only(&mut self, now: Ns) {
+        self.consec_failures = 0;
+        self.fault_stats.remap_only_activations += 1;
+        self.remap_only_until = Some(now + REMAP_ONLY_WINDOW);
+        for n in 0..self.spec.config.nodes {
+            self.fault_stats.reclaimed_frames +=
+                u64::from(self.pager.reclaim_replicas_on(NodeId(n), 4));
+        }
+    }
+
+    /// Audits the kernel state after a serviced batch: always under
+    /// fault injection (any scenario that corrupts the pager must fail
+    /// loudly), sampled every 32nd batch in plain debug builds, never on
+    /// the uninstrumented release path.
+    pub(super) fn check_invariants(&mut self) -> Result<(), SimError> {
+        self.batches_serviced += 1;
+        if F::ENABLED || (cfg!(debug_assertions) && self.batches_serviced.is_multiple_of(32)) {
+            ccnuma_kernel::verify::check(&self.pager)?;
+        }
+        Ok(())
+    }
+}

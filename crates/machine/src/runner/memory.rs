@@ -3,20 +3,21 @@
 
 use super::Sim;
 use ccnuma_core::Placer;
+use ccnuma_faults::FaultInjector;
 use ccnuma_obs::Recorder;
 use ccnuma_trace::MissSource;
-use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId};
+use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId, SimError};
 
 /// TLB refill cost (software-reloaded TLB handler, kernel time).
 const TLB_REFILL: Ns = Ns(250);
 
-impl<R: Recorder> Sim<'_, R> {
+impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
     pub(super) fn node_of(&self, cpu: usize) -> NodeId {
         self.spec.config.node_of_proc(ProcId(cpu as u16))
     }
 
     /// Simulates one memory reference on `cpu`.
-    pub(super) fn step(&mut self, cpu: usize, pid: Pid, access: MemAccess) {
+    pub(super) fn step(&mut self, cpu: usize, pid: Pid, access: MemAccess) -> Result<(), SimError> {
         let compute = self.spec.config.compute_ns_per_ref;
         let l2_hit = self.spec.config.l2_hit;
         let local_latency = self.spec.config.local_latency;
@@ -38,11 +39,19 @@ impl<R: Recorder> Sim<'_, R> {
             };
             if self.pager.first_touch(pid, access.page, home).is_none() {
                 for n in 0..self.spec.config.nodes {
-                    self.pager.reclaim_replicas_on(NodeId(n), 8);
+                    let freed = self.pager.reclaim_replicas_on(NodeId(n), 8);
+                    if F::ENABLED {
+                        self.fault_stats.reclaimed_frames += u64::from(freed);
+                    }
                 }
-                self.pager
-                    .first_touch(pid, access.page, home)
-                    .expect("machine out of memory even after replica reclaim");
+                if self.pager.first_touch(pid, access.page, home).is_none() {
+                    // Out of memory even after shedding every replica:
+                    // surface the typed error instead of panicking.
+                    return Err(SimError::OutOfMemory {
+                        page: access.page,
+                        node: home,
+                    });
+                }
             }
         }
 
@@ -56,7 +65,7 @@ impl<R: Recorder> Sim<'_, R> {
             if let Some(t) = &mut self.trace {
                 t.push(rec);
             }
-            self.drive_policy(cpu, pid, my_node, proc, &rec);
+            self.drive_policy(cpu, pid, my_node, proc, &rec)?;
         }
 
         // L2 + coherence.
@@ -73,7 +82,7 @@ impl<R: Recorder> Sim<'_, R> {
             self.breakdown
                 .add_hit_stall(access.mode, access.class, l2_hit);
             self.clocks[cpu] += l2_hit;
-            return;
+            return Ok(());
         }
 
         // Secondary-cache miss: go to memory.
@@ -102,6 +111,6 @@ impl<R: Recorder> Sim<'_, R> {
         if let Some(t) = &mut self.trace {
             t.push(rec);
         }
-        self.drive_policy(cpu, pid, my_node, proc, &rec);
+        self.drive_policy(cpu, pid, my_node, proc, &rec)
     }
 }

@@ -18,6 +18,7 @@
 //! distinct specs on worker threads and memoize reports by spec.
 
 mod accounting;
+mod faults;
 mod memory;
 mod options;
 mod policy;
@@ -27,11 +28,12 @@ pub use options::{PolicyChoice, RunOptions};
 
 use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
 use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
+use ccnuma_faults::{FaultInjector, FaultPlan, FaultStats, NullFaults};
 use ccnuma_kernel::{PageOp, Pager, PagerConfig};
 use ccnuma_obs::{NullRecorder, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
-use ccnuma_types::{Ns, Pid};
+use ccnuma_types::{Ns, Pid, SimError};
 use ccnuma_workloads::WorkloadSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -49,6 +51,13 @@ impl Machine {
     }
 
     /// Runs the workload to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (see [`Machine::try_run`] for the
+    /// fallible form). Without fault injection the simulator only fails
+    /// on genuine exhaustion (machine out of memory after reclaim), so
+    /// existing callers keep their infallible API.
     pub fn run(self) -> RunReport {
         self.run_with(&mut NullRecorder)
     }
@@ -59,15 +68,57 @@ impl Machine {
     /// `run_with(&mut NullRecorder)` compiles to exactly the
     /// uninstrumented run path and [`Machine::run`]'s results are
     /// byte-identical to a build without observability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails; use [`Machine::try_run_with`] to
+    /// handle failure as a value.
     pub fn run_with<R: Recorder>(self, obs: &mut R) -> RunReport {
-        Sim::new(self.spec, self.opts, obs).run()
+        self.try_run_with(obs)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Runs the workload to completion, returning a typed error instead
+    /// of panicking when the simulation cannot continue.
+    pub fn try_run(self) -> Result<RunReport, SimError> {
+        self.try_run_with(&mut NullRecorder)
+    }
+
+    /// The fallible, instrumented run: drives the run with the recorder
+    /// attached and, when [`RunOptions::faults`] is set, with the
+    /// scenario's deterministic [`FaultPlan`] injected. The fault-free
+    /// path is monomorphized over [`NullFaults`] and stays byte-identical
+    /// to a build without fault injection.
+    pub fn try_run_with<R: Recorder>(self, obs: &mut R) -> Result<RunReport, SimError> {
+        match self.opts.faults {
+            Some(fspec) => {
+                let plan = FaultPlan::from_spec(fspec, self.spec.seed, self.spec.config.nodes);
+                Sim::new(self.spec, self.opts, obs, plan).run()
+            }
+            None => Sim::new(self.spec, self.opts, obs, NullFaults).run(),
+        }
     }
 }
 
 /// Internal simulation state. Assembly lives here; behaviour lives in the
 /// sibling submodules.
-struct Sim<'a, R: Recorder> {
+struct Sim<'a, R: Recorder, F: FaultInjector> {
     obs: &'a mut R,
+    faults: F,
+    /// Runner-side degradation statistics (retries, throttles, reclaims);
+    /// merged with the injector's own half into the report.
+    fault_stats: FaultStats,
+    /// Consecutive failed page ops; crossing the pressure threshold
+    /// activates remap-only mode.
+    consec_failures: u32,
+    /// While set, migrations and replications are throttled (remap-only
+    /// degradation); collapses and remaps still run.
+    remap_only_until: Option<Ns>,
+    /// Consecutive lost pager interrupts; the batch is force-driven after
+    /// the bound so injected interrupt loss can only delay, never starve.
+    consec_intr_lost: u32,
+    /// Pager batches serviced (drives sampled invariant checks).
+    batches_serviced: u64,
     spec: WorkloadSpec,
     opts: RunOptions,
     rng: SmallRng,
@@ -95,8 +146,8 @@ struct Sim<'a, R: Recorder> {
     obs_epoch: u64,
 }
 
-impl<'a, R: Recorder> Sim<'a, R> {
-    fn new(spec: WorkloadSpec, opts: RunOptions, obs: &'a mut R) -> Sim<'a, R> {
+impl<'a, R: Recorder, F: FaultInjector> Sim<'a, R, F> {
+    fn new(spec: WorkloadSpec, opts: RunOptions, obs: &'a mut R, faults: F) -> Sim<'a, R, F> {
         let cfg = spec.config.clone();
         let procs = cfg.procs() as usize;
         let pager_cfg = PagerConfig::for_machine(cfg.clone())
@@ -145,6 +196,12 @@ impl<'a, R: Recorder> Sim<'a, R> {
             adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
             obs_epoch: 0,
             obs,
+            faults,
+            fault_stats: FaultStats::default(),
+            consec_failures: 0,
+            remap_only_until: None,
+            consec_intr_lost: 0,
+            batches_serviced: 0,
             spec,
             opts,
         }
@@ -165,8 +222,8 @@ mod tests {
     fn machine_and_sim_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Machine>();
-        assert_send::<Sim<'static, NullRecorder>>();
-        assert_send::<Sim<'static, ccnuma_obs::RunRecorder>>();
+        assert_send::<Sim<'static, NullRecorder, NullFaults>>();
+        assert_send::<Sim<'static, ccnuma_obs::RunRecorder, FaultPlan>>();
     }
 
     #[test]
@@ -242,5 +299,114 @@ mod tests {
         let b = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn no_faults_run_reports_zero_fault_stats() {
+        let r = quick(WorkloadKind::Raytrace, PolicyChoice::first_touch());
+        assert!(r.fault_stats.is_zero());
+    }
+
+    fn chaos_run(sc: ccnuma_faults::FaultScenario) -> RunReport {
+        let spec = WorkloadKind::Raytrace.build(Scale::quick());
+        let params = PolicyParams::base().with_trigger(16);
+        let opts = RunOptions::new(PolicyChoice::base_mig_rep(params))
+            .with_faults(ccnuma_faults::FaultSpec::new(sc));
+        Machine::new(spec, opts)
+            .try_run()
+            .unwrap_or_else(|e| panic!("{sc} must degrade gracefully, got: {e}"))
+    }
+
+    /// Every shipped fault scenario completes with a structured report
+    /// (no panic), keeps every kernel invariant (the checker runs after
+    /// every pager batch when faults are enabled — a violation would
+    /// have surfaced as `SimError::Invariant`), and actually injects.
+    #[test]
+    fn every_fault_scenario_completes_and_injects() {
+        for sc in ccnuma_faults::FaultScenario::ALL {
+            let r = chaos_run(sc);
+            assert!(
+                r.fault_stats.injected_total() > 0,
+                "{sc} injected nothing: {:?}",
+                r.fault_stats
+            );
+            assert!(r.breakdown.total() > ccnuma_types::Ns::ZERO);
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        for sc in [
+            ccnuma_faults::FaultScenario::Chaos,
+            ccnuma_faults::FaultScenario::PressureStorm,
+        ] {
+            let a = chaos_run(sc);
+            let b = chaos_run(sc);
+            assert_eq!(a.breakdown, b.breakdown, "{sc}");
+            assert_eq!(a.sim_time, b.sim_time, "{sc}");
+            assert_eq!(a.fault_stats, b.fault_stats, "{sc}");
+        }
+    }
+
+    #[test]
+    fn copy_flake_retries_and_degrades_instead_of_panicking() {
+        let r = chaos_run(ccnuma_faults::FaultScenario::CopyFlake);
+        assert!(r.fault_stats.copy_aborts > 0, "{:?}", r.fault_stats);
+        assert!(r.fault_stats.op_retries > 0, "aborts must trigger retries");
+        assert!(
+            r.fault_stats.retry_successes + r.fault_stats.failed_ops > 0,
+            "every retry chain ends in success or a counted failure"
+        );
+    }
+
+    #[test]
+    fn pressure_storms_seize_frames_and_trigger_reclaim() {
+        let r = chaos_run(ccnuma_faults::FaultScenario::PressureStorm);
+        assert!(r.fault_stats.storms > 0);
+        assert!(r.fault_stats.frames_seized > 0);
+    }
+
+    #[test]
+    fn counter_saturation_starves_the_policy_but_run_completes() {
+        let sat = chaos_run(ccnuma_faults::FaultScenario::CounterSat);
+        let free = {
+            let spec = WorkloadKind::Raytrace.build(Scale::quick());
+            let params = PolicyParams::base().with_trigger(16);
+            Machine::new(spec, RunOptions::new(PolicyChoice::base_mig_rep(params))).run()
+        };
+        assert!(sat.fault_stats.counters_capped > 0);
+        let sat_moves = sat
+            .policy_stats
+            .map_or(0, |s| s.migrations + s.replications);
+        let free_moves = free
+            .policy_stats
+            .map_or(0, |s| s.migrations + s.replications);
+        assert!(
+            sat_moves < free_moves,
+            "cap 3 < trigger 16 must suppress moves ({sat_moves} vs {free_moves})"
+        );
+    }
+
+    #[test]
+    fn different_chaos_seeds_inject_different_streams() {
+        let run = |chaos_seed| {
+            let fs = ccnuma_faults::FaultSpec {
+                scenario: ccnuma_faults::FaultScenario::CopyFlake,
+                chaos_seed,
+            };
+            let params = PolicyParams::base().with_trigger(16);
+            Machine::new(
+                WorkloadKind::Raytrace.build(Scale::quick()),
+                RunOptions::new(PolicyChoice::base_mig_rep(params)).with_faults(fs),
+            )
+            .try_run()
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_ne!(
+            a.fault_stats, b.fault_stats,
+            "distinct chaos seeds should flake different copies"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Per-run configuration: the placement policy and the kernel knobs.
 
 use ccnuma_core::{AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
+use ccnuma_faults::FaultSpec;
 use ccnuma_kernel::{LockGranularity, ShootdownMode};
 use ccnuma_trace::MissSource;
 
@@ -76,6 +77,9 @@ pub struct RunOptions {
     pub pipelined_copy: bool,
     /// §8.4: adapt the trigger threshold at reset-interval boundaries.
     pub adaptive: Option<AdaptiveTrigger>,
+    /// Deterministic fault injection (chaos runs); `None` = no faults,
+    /// which monomorphizes to the exact uninstrumented run path.
+    pub faults: Option<FaultSpec>,
 }
 
 impl RunOptions {
@@ -90,6 +94,7 @@ impl RunOptions {
             batch_pages: 4,
             pipelined_copy: false,
             adaptive: None,
+            faults: None,
         }
     }
 
@@ -139,6 +144,15 @@ impl RunOptions {
     #[must_use]
     pub fn with_adaptive(mut self, controller: AdaptiveTrigger) -> RunOptions {
         self.adaptive = Some(controller);
+        self
+    }
+
+    /// Enables deterministic fault injection for this run. The fault
+    /// streams are seeded from the workload seed and the spec's chaos
+    /// seed, never from wall-clock time.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> RunOptions {
+        self.faults = Some(faults);
         self
     }
 }

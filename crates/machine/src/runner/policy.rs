@@ -1,14 +1,16 @@
 //! Policy-interrupt handling: feeding miss events to the engine, batching
 //! page operations, running the pager, and TLB shootdown.
 
+use super::faults::{MAX_INTR_LOSSES, MAX_OP_RETRIES, PRESSURE_THRESHOLD, RETRY_BACKOFF};
 use super::Sim;
 use ccnuma_core::{ObservedMiss, PolicyAction};
+use ccnuma_faults::{FaultEvent, FaultInjector, FaultKind};
 use ccnuma_kernel::{OpOutcome, PageOp};
 use ccnuma_obs::{AuditAction, Decision, Recorder};
 use ccnuma_trace::MissRecord;
-use ccnuma_types::{NodeId, Ns, Pid, ProcId, VirtPage};
+use ccnuma_types::{Mode, NodeId, Ns, Pid, ProcId, SimError, VirtPage};
 
-impl<R: Recorder> Sim<'_, R> {
+impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
     /// Feeds one miss event to the policy engine and acts on the decision.
     pub(super) fn drive_policy(
         &mut self,
@@ -17,17 +19,33 @@ impl<R: Recorder> Sim<'_, R> {
         my_node: NodeId,
         proc: ProcId,
         rec: &MissRecord,
-    ) {
+    ) -> Result<(), SimError> {
         let Some(metric) = &mut self.metric else {
-            return;
+            return Ok(());
         };
         if !metric.admits(rec) {
-            return;
+            return Ok(());
         }
         let engine = self.engine.as_mut().expect("metric implies engine");
         let loc = self.pager.location_for(pid, rec.page, my_node);
         let pressure = self.pager.pressure(my_node);
         let now = self.clocks[cpu];
+        if F::ENABLED {
+            // Miss-counter saturation: a page pinned at the cap stops
+            // counting, so the policy starves on it (the run still
+            // completes; the fault shows up as capped-counter events).
+            if let Some(cap) = self.faults.counter_cap() {
+                let count = engine.counters(rec.page).map_or(0, |c| c.miss_count(proc));
+                if count >= cap {
+                    self.faults.note(FaultEvent {
+                        now,
+                        kind: FaultKind::CounterCapped { page: rec.page },
+                    });
+                    return Ok(());
+                }
+            }
+        }
+        let engine = self.engine.as_mut().expect("metric implies engine");
         let miss = ObservedMiss {
             now,
             proc,
@@ -68,35 +86,75 @@ impl<R: Recorder> Sim<'_, R> {
             PolicyAction::Nothing(_) => {}
             PolicyAction::Collapse => {
                 // The pfault path runs immediately, not batched.
-                self.service_now(cpu, &[(PageOp::collapse(rec.page), action)]);
+                self.service_now(cpu, &[(PageOp::collapse(rec.page), action)])?;
             }
             PolicyAction::Remap { to } => {
-                self.service_now(cpu, &[(PageOp::remap(rec.page, pid, to), action)]);
+                self.service_now(cpu, &[(PageOp::remap(rec.page, pid, to), action)])?;
             }
             PolicyAction::Migrate { to } => {
+                if F::ENABLED && self.throttle_move(now) {
+                    // Remap-only degradation: the decided move never
+                    // reaches the pager, so net it out of the stats.
+                    self.note_move_dropped(now, rec.page, &action);
+                    return Ok(());
+                }
                 self.pending.push((PageOp::migrate(rec.page, to), action));
                 if self.pending.len() >= self.opts.batch_pages {
-                    self.flush_pending(cpu);
+                    self.flush_pending(cpu)?;
                 }
             }
             PolicyAction::Replicate { at } => {
+                if F::ENABLED && self.throttle_move(now) {
+                    self.note_move_dropped(now, rec.page, &action);
+                    return Ok(());
+                }
                 self.pending.push((PageOp::replicate(rec.page, at), action));
                 if self.pending.len() >= self.opts.batch_pages {
-                    self.flush_pending(cpu);
+                    self.flush_pending(cpu)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn flush_pending(&mut self, cpu: usize) {
+    /// Nets a decided-but-never-executed page move out of the policy
+    /// statistics (same reclassification as the kernel's "no page"
+    /// failure, Table 4) and mirrors it into the audit log so the
+    /// audit's net totals keep matching `PolicyStats` under faults.
+    fn note_move_dropped(&mut self, now: Ns, page: VirtPage, action: &PolicyAction) {
+        if let Some(e) = &mut self.engine {
+            e.note_no_page(action);
+            self.obs.on_no_page(now, page, action);
+        }
+    }
+
+    fn flush_pending(&mut self, cpu: usize) -> Result<(), SimError> {
+        if F::ENABLED && !self.pending.is_empty() {
+            // Pager-interrupt loss: the batch stays queued and is
+            // retried on the next flush attempt, but only up to the
+            // bound — injected loss may delay a batch, never starve it.
+            if self.consec_intr_lost < MAX_INTR_LOSSES
+                && self.faults.interrupt_lost(self.clocks[cpu])
+            {
+                self.consec_intr_lost += 1;
+                return Ok(());
+            }
+            self.consec_intr_lost = 0;
+        }
         let batch = std::mem::take(&mut self.pending);
-        self.service_now(cpu, &batch);
+        self.service_now(cpu, &batch)
     }
 
     /// Runs a pager batch on `cpu`, charging its kernel overhead there.
-    fn service_now(&mut self, cpu: usize, batch: &[(PageOp, PolicyAction)]) {
+    fn service_now(
+        &mut self,
+        cpu: usize,
+        batch: &[(PageOp, PolicyAction)],
+    ) -> Result<(), SimError> {
         let ops: Vec<PageOp> = batch.iter().map(|(op, _)| *op).collect();
-        let outcomes = self.pager.service_batch(self.clocks[cpu], &ops);
+        let outcomes = self
+            .pager
+            .service_batch_with(self.clocks[cpu], &ops, &mut self.faults);
         let stats = self.pager.last_batch();
         if stats.flush_ops > 0 {
             self.tlbs_flushed_sum += stats.tlbs_flushed as u64;
@@ -107,6 +165,9 @@ impl<R: Recorder> Sim<'_, R> {
             let start = self.clocks[cpu];
             match outcome {
                 OpOutcome::Done { latency } => {
+                    if F::ENABLED {
+                        self.consec_failures = 0;
+                    }
                     self.charge_overhead(cpu, op, latency);
                     self.shootdown_all(op.page());
                     self.obs.on_page_op(cpu, start, op, &outcome);
@@ -120,24 +181,91 @@ impl<R: Recorder> Sim<'_, R> {
                         _ => unreachable!("only page moves can fail allocation"),
                     };
                     let freed = self.pager.reclaim_replicas_on(target, 2);
+                    if F::ENABLED {
+                        self.fault_stats.reclaimed_frames += u64::from(freed);
+                    }
                     let retried = if freed > 0 {
-                        self.pager.service_batch(self.clocks[cpu], &[*op])[0]
+                        self.pager
+                            .service_batch_with(self.clocks[cpu], &[*op], &mut self.faults)[0]
                     } else {
                         OpOutcome::NoPage
                     };
                     if let OpOutcome::Done { latency } = retried {
+                        if F::ENABLED {
+                            self.consec_failures = 0;
+                        }
                         self.charge_overhead(cpu, op, latency);
                         self.shootdown_all(op.page());
-                    } else if let Some(e) = &mut self.engine {
-                        e.note_no_page(action);
-                        self.obs.on_no_page(start, op.page(), action);
+                    } else {
+                        if let Some(e) = &mut self.engine {
+                            e.note_no_page(action);
+                            self.obs.on_no_page(start, op.page(), action);
+                        }
+                        if F::ENABLED {
+                            self.note_pressure_failure(cpu);
+                        }
                     }
                     self.obs.on_page_op(cpu, start, op, &retried);
                 }
                 OpOutcome::Skipped => {
                     self.obs.on_page_op(cpu, start, op, &outcome);
                 }
+                OpOutcome::Failed { reason } => {
+                    // Transient failure: bounded retry with backoff, then
+                    // graceful degradation instead of a panic.
+                    let mut last = outcome;
+                    if reason.retryable() {
+                        for _ in 0..MAX_OP_RETRIES {
+                            self.fault_stats.op_retries += 1;
+                            self.breakdown.add_busy(Mode::Kernel, RETRY_BACKOFF);
+                            self.clocks[cpu] += RETRY_BACKOFF;
+                            last = self.pager.service_batch_with(
+                                self.clocks[cpu],
+                                &[*op],
+                                &mut self.faults,
+                            )[0];
+                            if matches!(last, OpOutcome::Done { .. }) {
+                                break;
+                            }
+                        }
+                    }
+                    if let OpOutcome::Done { latency } = last {
+                        self.fault_stats.retry_successes += 1;
+                        self.consec_failures = 0;
+                        self.charge_overhead(cpu, op, latency);
+                        self.shootdown_all(op.page());
+                    } else {
+                        self.fault_stats.failed_ops += 1;
+                        // A dropped move never happened: net it out of
+                        // the policy statistics like a "no page" event.
+                        if matches!(
+                            action,
+                            PolicyAction::Migrate { .. } | PolicyAction::Replicate { .. }
+                        ) {
+                            if let Some(e) = &mut self.engine {
+                                e.note_no_page(action);
+                                self.obs.on_no_page(start, op.page(), action);
+                            }
+                        }
+                        self.note_pressure_failure(cpu);
+                    }
+                    self.obs.on_page_op(cpu, start, op, &last);
+                }
             }
+        }
+        if F::ENABLED {
+            self.forward_fault_events();
+        }
+        self.check_invariants()
+    }
+
+    /// Counts one failed page operation toward sustained pressure and
+    /// activates remap-only mode at the threshold.
+    fn note_pressure_failure(&mut self, cpu: usize) {
+        self.consec_failures += 1;
+        if self.consec_failures >= PRESSURE_THRESHOLD {
+            let now = self.clocks[cpu];
+            self.enter_remap_only(now);
         }
     }
 

@@ -5,12 +5,15 @@
 use super::Sim;
 use crate::RunReport;
 use ccnuma_core::IntervalFeedback;
+use ccnuma_faults::FaultInjector;
 use ccnuma_obs::Recorder;
-use ccnuma_types::Ns;
+use ccnuma_types::{Ns, SimError};
 
-impl<R: Recorder> Sim<'_, R> {
-    /// Runs the workload to completion and reports.
-    pub(super) fn run(mut self) -> RunReport {
+impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+    /// Runs the workload to completion and reports. Fails with a typed
+    /// [`SimError`] instead of panicking when the machine cannot
+    /// continue (exhaustion) or a kernel invariant breaks.
+    pub(super) fn run(mut self) -> Result<RunReport, SimError> {
         let mut refs_left = self.spec.total_refs;
         let quantum = self.spec.scheduler.quantum();
         while refs_left > 0 {
@@ -34,6 +37,9 @@ impl<R: Recorder> Sim<'_, R> {
             let q = now.0 / quantum.0;
             if q != self.cur_quantum[cpu] {
                 self.cur_quantum[cpu] = q;
+                if F::ENABLED {
+                    self.drive_storms(now);
+                }
                 self.adaptive_tick(now);
                 let map = self.spec.scheduler.assignment(now);
                 let pid = map.get(cpu).copied().flatten();
@@ -58,9 +64,9 @@ impl<R: Recorder> Sim<'_, R> {
 
             let access = self.spec.streams[pid.index()].next_ref(&mut self.rng);
             refs_left -= 1;
-            self.step(cpu, pid, access);
+            self.step(cpu, pid, access)?;
         }
-        self.finish()
+        Ok(self.finish())
     }
 
     /// At reset-interval boundaries, feed the adaptive controller the

@@ -10,7 +10,8 @@
 //! one report, and distinct specs can run on different threads.
 
 use crate::{Machine, RunOptions, RunReport};
-use ccnuma_types::Ns;
+use ccnuma_faults::FaultSpec;
+use ccnuma_types::{Ns, SimError};
 use ccnuma_workloads::{shared_reader, Scale, WorkloadKind, WorkloadSpec};
 
 /// Which workload a run builds.
@@ -79,6 +80,15 @@ impl RunSpec {
         self
     }
 
+    /// Enables deterministic fault injection for this run. Part of the
+    /// cache key: the same spec under a different scenario or chaos seed
+    /// is a different run.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> RunSpec {
+        self.opts = self.opts.with_faults(faults);
+        self
+    }
+
     /// Builds the workload this spec describes, with overrides applied.
     pub fn build_workload(&self) -> WorkloadSpec {
         let mut spec = match self.kind {
@@ -107,6 +117,22 @@ impl RunSpec {
         Machine::new(self.build_workload(), self.opts.clone()).run_with(obs)
     }
 
+    /// Like [`RunSpec::run`], but failures (exhaustion, broken kernel
+    /// invariants under fault injection) come back as a typed
+    /// [`SimError`] instead of a panic.
+    pub fn try_run(&self) -> Result<RunReport, SimError> {
+        Machine::new(self.build_workload(), self.opts.clone()).try_run()
+    }
+
+    /// Fallible, instrumented run: [`RunSpec::run_with`] returning
+    /// [`SimError`] instead of panicking.
+    pub fn try_run_with<R: ccnuma_obs::Recorder>(
+        &self,
+        obs: &mut R,
+    ) -> Result<RunReport, SimError> {
+        Machine::new(self.build_workload(), self.opts.clone()).try_run_with(obs)
+    }
+
     /// A short human-readable description for logs and timing summaries
     /// (not an identity — use [`RunSpec::cache_key`] for that).
     pub fn describe(&self) -> String {
@@ -117,6 +143,9 @@ impl RunSpec {
         let mut s = format!("{name} [{}]", self.opts.policy.label());
         if self.opts.capture_trace {
             s.push_str(" +trace");
+        }
+        if let Some(faults) = self.opts.faults {
+            s.push_str(&format!(" +faults={faults}"));
         }
         if let Some(latency) = self.remote_latency {
             s.push_str(&format!(" +remote={}ns", latency.0));

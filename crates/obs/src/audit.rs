@@ -9,6 +9,7 @@
 //! run's `PolicyStats` action counts exactly.
 
 use ccnuma_core::PolicyAction;
+use ccnuma_faults::FaultEvent;
 use ccnuma_types::{NodeId, Ns, ProcId, VirtPage};
 
 /// The action half of a decision entry: the non-trivial
@@ -117,6 +118,10 @@ pub enum AuditEvent {
         /// The new interval's index.
         epoch: u64,
     },
+    /// A fault was injected (chaos runs only). Fault events interleave
+    /// with decisions in time order but are excluded from
+    /// [`AuditLog::totals`], which mirrors `PolicyStats` arithmetic.
+    Fault(FaultEvent),
 }
 
 impl AuditEvent {
@@ -125,6 +130,7 @@ impl AuditEvent {
         match *self {
             AuditEvent::Decision(d) => d.now,
             AuditEvent::NoPage { now, .. } | AuditEvent::Reset { now, .. } => now,
+            AuditEvent::Fault(e) => e.now,
         }
     }
 }
@@ -200,6 +206,9 @@ impl AuditLog {
                     t.no_page += 1;
                 }
                 AuditEvent::Reset { .. } => t.resets += 1,
+                // Injected faults are not policy actions; the audit ==
+                // PolicyStats equality must hold under chaos too.
+                AuditEvent::Fault(_) => {}
             }
         }
         t
@@ -249,6 +258,25 @@ mod tests {
         assert_eq!(t.remaps, 0);
         assert_eq!(t.no_page, 1);
         assert_eq!(t.resets, 1);
+    }
+
+    #[test]
+    fn fault_events_carry_time_but_not_totals() {
+        use ccnuma_faults::FaultKind;
+        let mut log = AuditLog::new();
+        log.push(decision(AuditAction::Migrate { to: NodeId(2) }));
+        let before = log.totals();
+        log.push(AuditEvent::Fault(FaultEvent {
+            now: Ns(42),
+            kind: FaultKind::CopyAbort { page: VirtPage(7) },
+        }));
+        assert_eq!(log.events()[1].time(), Ns(42));
+        assert_eq!(
+            log.totals(),
+            before,
+            "fault entries must not perturb totals"
+        );
+        assert_eq!(before.migrations, 1);
     }
 
     #[test]

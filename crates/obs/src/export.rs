@@ -125,6 +125,37 @@ pub fn write_events_jsonl<W: Write>(mut w: W, log: &AuditLog) -> io::Result<()> 
                 j.key("epoch");
                 j.raw(&epoch.to_string());
             }
+            AuditEvent::Fault(f) => {
+                use ccnuma_faults::FaultKind;
+                j.key("event");
+                j.str("fault");
+                j.key("t_ns");
+                j.raw(&f.now.0.to_string());
+                j.key("kind");
+                j.str(f.kind.name());
+                match f.kind {
+                    FaultKind::StormSeize { node, frames }
+                    | FaultKind::StormRelease { node, frames } => {
+                        j.key("node");
+                        j.raw(&node.0.to_string());
+                        j.key("frames");
+                        j.raw(&frames.to_string());
+                    }
+                    FaultKind::CopyAbort { page } | FaultKind::CounterCapped { page } => {
+                        j.key("page");
+                        j.raw(&page.0.to_string());
+                    }
+                    FaultKind::AllocBlocked { node } => {
+                        j.key("node");
+                        j.raw(&node.0.to_string());
+                    }
+                    FaultKind::AckDelay { delay } => {
+                        j.key("delay_ns");
+                        j.raw(&delay.0.to_string());
+                    }
+                    FaultKind::InterruptLost => {}
+                }
+            }
         }
         j.end_obj();
         writeln!(w, "{}", j.finish())?;
@@ -424,6 +455,34 @@ mod tests {
             assert!(line.contains("\"event\":\"decision\""));
             assert!(line.contains("\"action\":\"migrate\""));
         }
+    }
+
+    #[test]
+    fn jsonl_serializes_fault_events() {
+        use ccnuma_faults::{FaultEvent, FaultKind};
+        let mut r = sample_recorder();
+        r.on_fault(&FaultEvent {
+            now: Ns(70),
+            kind: FaultKind::StormSeize {
+                node: NodeId(2),
+                frames: 6,
+            },
+        });
+        r.on_fault(&FaultEvent {
+            now: Ns(80),
+            kind: FaultKind::AckDelay { delay: Ns(5_000) },
+        });
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &r.audit).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"event\":\"fault\""));
+        assert!(lines[1].contains("\"kind\":\"storm_seize\""));
+        assert!(lines[1].contains("\"node\":2"));
+        assert!(lines[1].contains("\"frames\":6"));
+        assert!(lines[2].contains("\"kind\":\"ack_delay\""));
+        assert!(lines[2].contains("\"delay_ns\":5000"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::audit::{AuditAction, AuditEvent, AuditLog, Decision};
 use crate::metrics::Metrics;
 use crate::sample::{EpochSeries, SampleView};
 use ccnuma_core::PolicyAction;
+use ccnuma_faults::{FaultEvent, FaultKind};
 use ccnuma_kernel::{BatchStats, OpOutcome, PageOp};
 use ccnuma_trace::MissRecord;
 use ccnuma_types::{Ns, VirtPage};
@@ -57,6 +58,10 @@ pub trait Recorder: Send {
 
     /// A pager batch performed its TLB shootdown.
     fn on_shootdown(&mut self, _now: Ns, _stats: &BatchStats) {}
+
+    /// A fault was injected (chaos runs only; never fires with fault
+    /// injection off).
+    fn on_fault(&mut self, _event: &FaultEvent) {}
 
     /// True when the epoch sampler wants a snapshot at sim time `now`.
     /// The simulator checks this before building the (non-free)
@@ -124,7 +129,7 @@ pub struct OpEvent {
     pub page: VirtPage,
     /// End-to-end latency (zero for skipped / no-page).
     pub dur: Ns,
-    /// Outcome name ("done", "skipped", "no_page").
+    /// Outcome name ("done", "skipped", "no_page", "failed").
     pub outcome: &'static str,
 }
 
@@ -274,6 +279,10 @@ impl Recorder for RunRecorder {
                 self.metrics.inc("pager_ops_skipped");
                 (Ns::ZERO, "skipped")
             }
+            OpOutcome::Failed { .. } => {
+                self.metrics.inc("pager_ops_failed");
+                (Ns::ZERO, "failed")
+            }
         };
         self.ops.push(OpEvent {
             cpu,
@@ -298,6 +307,20 @@ impl Recorder for RunRecorder {
         });
     }
 
+    fn on_fault(&mut self, event: &FaultEvent) {
+        self.metrics.inc("faults_injected");
+        self.metrics.inc(match event.kind {
+            FaultKind::StormSeize { .. } => "fault_storm_seize",
+            FaultKind::StormRelease { .. } => "fault_storm_release",
+            FaultKind::CopyAbort { .. } => "fault_copy_abort",
+            FaultKind::AllocBlocked { .. } => "fault_alloc_blocked",
+            FaultKind::AckDelay { .. } => "fault_ack_delay",
+            FaultKind::InterruptLost => "fault_interrupt_lost",
+            FaultKind::CounterCapped { .. } => "fault_counter_capped",
+        });
+        self.audit.push(AuditEvent::Fault(*event));
+    }
+
     fn epoch_due(&self, now: Ns) -> bool {
         self.series.due(now)
     }
@@ -320,6 +343,7 @@ mod tests {
     use ccnuma_types::NodeId;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn null_recorder_is_disabled() {
         assert!(!NullRecorder::ENABLED);
         assert!(RunRecorder::ENABLED);
@@ -342,12 +366,29 @@ mod tests {
         let op = PageOp::migrate(VirtPage(3), NodeId(1));
         r.on_page_op(0, Ns(10), &op, &OpOutcome::Done { latency: Ns(400) });
         r.on_page_op(0, Ns(20), &op, &OpOutcome::Skipped);
+        r.on_page_op(
+            0,
+            Ns(30),
+            &op,
+            &OpOutcome::Failed {
+                reason: ccnuma_kernel::OpFailReason::CopyAborted,
+            },
+        );
+        r.on_fault(&FaultEvent {
+            now: Ns(30),
+            kind: FaultKind::CopyAbort { page: VirtPage(3) },
+        });
         r.on_run_end(Ns(1000), &SampleView::default());
         assert_eq!(r.metrics.counter("context_switches"), 1);
         assert_eq!(r.metrics.counter("pager_ops_done"), 1);
         assert_eq!(r.metrics.counter("pager_ops_skipped"), 1);
+        assert_eq!(r.metrics.counter("pager_ops_failed"), 1);
+        assert_eq!(r.metrics.counter("faults_injected"), 1);
+        assert_eq!(r.metrics.counter("fault_copy_abort"), 1);
+        assert_eq!(r.audit.len(), 1, "fault lands in the audit log");
+        assert_eq!(r.op_events()[2].outcome, "failed");
         assert_eq!(r.metrics.histogram("pager_migrate_ns").unwrap().count(), 1);
-        assert_eq!(r.op_events().len(), 2);
+        assert_eq!(r.op_events().len(), 3);
         assert_eq!(r.shootdown_events().len(), 1);
         assert_eq!(r.sim_time(), Ns(1000));
         assert_eq!(r.series.len(), 1, "run end closes the series");

@@ -35,6 +35,74 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// A runtime failure inside a simulated run.
+///
+/// These replace the `panic!`/`assert!`/`expect` paths that used to
+/// abort the whole process: kernel primitives return `SimError` upward,
+/// the machine runner surfaces it from `Machine::try_run`, and the bench
+/// executor records it as a per-run failure while the rest of the plan
+/// continues.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::{Frame, NodeId, SimError};
+/// let e = SimError::DoubleFree { frame: Frame(7), node: NodeId(2) };
+/// assert!(e.to_string().contains("double free"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A frame was freed twice (or freed while not allocated).
+    DoubleFree {
+        /// The frame that was freed again.
+        frame: crate::Frame,
+        /// The node whose allocator caught it.
+        node: crate::NodeId,
+    },
+    /// No frame could be allocated anywhere, even after reclaiming
+    /// replicas — the simulated machine is truly out of memory.
+    OutOfMemory {
+        /// The page that needed a frame.
+        page: crate::VirtPage,
+        /// The node the allocation was first tried on.
+        node: crate::NodeId,
+    },
+    /// A page the kernel expected to be mapped has no hash entry.
+    MissingPage {
+        /// The missing page.
+        page: crate::VirtPage,
+    },
+    /// The kernel invariant checker found inconsistencies.
+    Invariant {
+        /// How many violations were found in the failing check.
+        count: usize,
+        /// The first violation, as a human-readable message.
+        first: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DoubleFree { frame, node } => {
+                write!(f, "double free of {frame} on {node}")
+            }
+            SimError::OutOfMemory { page, node } => write!(
+                f,
+                "out of memory mapping {page}: no free frame on {node} or any fallback, even after replica reclamation"
+            ),
+            SimError::MissingPage { page } => {
+                write!(f, "kernel state missing hash entry for mapped page {page}")
+            }
+            SimError::Invariant { count, first } => {
+                write!(f, "kernel invariant check failed ({count} violations; first: {first})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +120,29 @@ mod tests {
     fn is_std_error_send_sync() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
+        assert_err::<SimError>();
+    }
+
+    #[test]
+    fn sim_error_messages_name_the_entities() {
+        use crate::{Frame, NodeId, VirtPage};
+        let oom = SimError::OutOfMemory {
+            page: VirtPage(0x20),
+            node: NodeId(3),
+        };
+        assert!(oom.to_string().contains("v0x20"));
+        assert!(oom.to_string().contains("n3"));
+        let missing = SimError::MissingPage { page: VirtPage(1) };
+        assert!(missing.to_string().contains("hash entry"));
+        let inv = SimError::Invariant {
+            count: 2,
+            first: "frame f0 mapped twice".into(),
+        };
+        assert!(inv.to_string().contains("2 violations"));
+        let df = SimError::DoubleFree {
+            frame: Frame(9),
+            node: NodeId(1),
+        };
+        assert!(df.to_string().contains("double free"));
     }
 }

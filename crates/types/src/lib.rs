@@ -30,6 +30,6 @@ mod time;
 
 pub use access::{AccessKind, MemAccess, Mode, RefClass};
 pub use config::{MachineConfig, NetworkKind};
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use ids::{Frame, NodeId, Pid, ProcId, VirtPage};
 pub use time::Ns;

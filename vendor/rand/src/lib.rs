@@ -197,7 +197,7 @@ mod tests {
         let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
         let frac = hits as f64 / 100_000.0;
         assert!((0.29..0.31).contains(&frac), "p=0.3 measured {frac}");
-        assert!(rng.gen_bool(1.0) || true);
+        assert!(rng.gen_bool(1.0));
         assert!(!rng.gen_bool(0.0));
     }
 
