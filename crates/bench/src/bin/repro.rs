@@ -7,6 +7,7 @@
 //!                       [--obs-dir DIR] [--faults SCENARIO]
 //!                       [--chaos-seed N] [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N]
+//! repro bench [--scale quick|standard|full] [--out FILE]
 //! repro --list | repro --list-faults
 //! ```
 //!
@@ -39,7 +40,7 @@
 use ccnuma_bench::{experiments, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::Verbosity;
-use ccnuma_workloads::Scale;
+use ccnuma_workloads::{Scale, WorkloadKind};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -98,8 +99,69 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
     s
 }
 
+/// `repro bench`: time every workload under FT and Mig/Rep and write
+/// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/1`). Timings go to
+/// the file and a summary to stderr; nothing is printed to stdout, so
+/// the subcommand composes with scripts the way `--obs-dir` does.
+fn run_bench(args: &[String]) -> ! {
+    let mut scale = Scale::standard();
+    let mut scale_label = "standard".to_string();
+    let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str);
+                (scale, scale_label) = match v {
+                    Some("quick") => (Scale::quick(), "quick".into()),
+                    Some("standard") => (Scale::standard(), "standard".into()),
+                    Some("full") => (Scale::full(), "full".into()),
+                    other => {
+                        eprintln!("--scale expects quick|standard|full, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out = match it.next() {
+                    Some(p) => PathBuf::from(p),
+                    None => {
+                        eprintln!("--out expects a file path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("repro bench: unknown argument {other:?}");
+                eprintln!("usage: repro bench [--scale quick|standard|full] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let start = Instant::now();
+    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL);
+    let (refs, wall, rate) = report.totals();
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench: {} run(s), {} refs in {:.2}s ({:.0} refs/s), wall {:.2}s -> {}",
+        report.runs.len(),
+        refs,
+        wall,
+        rate,
+        start.elapsed().as_secs_f64(),
+        out.display()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
+    }
     let mut scale = Scale::standard();
     let mut jobs = default_jobs();
     let mut obs_dir: Option<PathBuf> = None;

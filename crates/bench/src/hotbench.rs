@@ -1,0 +1,206 @@
+//! The `repro bench` hot-path throughput benchmark.
+//!
+//! Times every requested workload under the first-touch baseline and the
+//! base Mig/Rep policy — the two run shapes every experiment in the suite
+//! is built from — and reports wall time and simulated references per
+//! second for each, plus suite totals. The output (`BENCH_hotpath.json`)
+//! is the macro-level complement to the Criterion micro-benches in
+//! `benches/hotpath.rs`: those isolate single hot-path components (TLB
+//! probe, coherence write, directory request), this measures the whole
+//! per-reference loop end to end.
+//!
+//! Schema (`ccnuma-bench-hotpath/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "ccnuma-bench-hotpath/1",
+//!   "scale": "quick",
+//!   "runs": [
+//!     {"workload": "engineering", "policy": "FT", "total_refs": 320000,
+//!      "wall_seconds": 0.41, "refs_per_sec": 780487.8}
+//!   ],
+//!   "totals": {"total_refs": 3200000, "wall_seconds": 4.1,
+//!              "refs_per_sec": 780487.8}
+//! }
+//! ```
+//!
+//! `refs_per_sec` is simulated references retired per wall-clock second —
+//! the throughput figure EXPERIMENTS.md tracks across optimisation work.
+//! Wall-clock numbers are machine-dependent by nature; only the stdout of
+//! the experiments themselves is held byte-identical.
+
+use crate::{dynamic_spec, ft_spec};
+use ccnuma_machine::RunSpec;
+use ccnuma_obs::json::JsonWriter;
+use ccnuma_workloads::{Scale, WorkloadKind};
+use std::time::Instant;
+
+/// One timed simulator run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Workload name (Table 2 spelling, lowercased catalog name).
+    pub workload: String,
+    /// Policy label (`FT` or the dynamic policy's table label).
+    pub policy: String,
+    /// Simulated references retired by the run.
+    pub total_refs: u64,
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+    /// `total_refs / wall_seconds`.
+    pub refs_per_sec: f64,
+}
+
+/// The full benchmark result: one [`BenchRun`] per workload × policy.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale label (`quick`, `standard`, `full`).
+    pub scale: String,
+    /// The timed runs, in workload-catalog order, FT before Mig/Rep.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Suite totals: summed references, summed wall time, and the
+    /// aggregate throughput.
+    pub fn totals(&self) -> (u64, f64, f64) {
+        let refs: u64 = self.runs.iter().map(|r| r.total_refs).sum();
+        let wall: f64 = self.runs.iter().map(|r| r.wall_seconds).sum();
+        let rate = if wall > 0.0 { refs as f64 / wall } else { 0.0 };
+        (refs, wall, rate)
+    }
+
+    /// Renders the report as `ccnuma-bench-hotpath/1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("schema");
+        w.str("ccnuma-bench-hotpath/1");
+        w.key("scale");
+        w.str(&self.scale);
+        w.key("runs");
+        w.begin_arr();
+        for r in &self.runs {
+            w.begin_obj();
+            w.key("workload");
+            w.str(&r.workload);
+            w.key("policy");
+            w.str(&r.policy);
+            w.key("total_refs");
+            w.raw(&r.total_refs.to_string());
+            w.key("wall_seconds");
+            w.raw(&format!("{:.6}", r.wall_seconds));
+            w.key("refs_per_sec");
+            w.raw(&format!("{:.1}", r.refs_per_sec));
+            w.end_obj();
+        }
+        w.end_arr();
+        let (refs, wall, rate) = self.totals();
+        w.key("totals");
+        w.begin_obj();
+        w.key("total_refs");
+        w.raw(&refs.to_string());
+        w.key("wall_seconds");
+        w.raw(&format!("{wall:.6}"));
+        w.key("refs_per_sec");
+        w.raw(&format!("{rate:.1}"));
+        w.end_obj();
+        w.end_obj();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Times one spec end to end (build + simulate), off any executor cache —
+/// a benchmark must never report a memoized run as a measurement.
+fn time_spec(kind: WorkloadKind, spec: &RunSpec) -> BenchRun {
+    let total_refs = spec.build_workload().total_refs;
+    let start = Instant::now();
+    let report = spec.run();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    BenchRun {
+        workload: kind.to_string(),
+        policy: report.policy_label.clone(),
+        total_refs,
+        wall_seconds: wall,
+        refs_per_sec: total_refs as f64 / wall,
+    }
+}
+
+/// Runs the hot-path benchmark over `workloads` at `scale`.
+///
+/// Each workload is timed under first-touch and under the base Mig/Rep
+/// policy, serially (timings on a loaded machine are noise), and progress
+/// goes to stderr so stdout stays clean for scripting.
+pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]) -> BenchReport {
+    let mut runs = Vec::new();
+    for &kind in workloads {
+        for spec in [ft_spec(kind, scale), dynamic_spec(kind, scale)] {
+            let run = time_spec(kind, &spec);
+            eprintln!(
+                "bench: {} [{}] {} refs in {:.2}s ({:.0} refs/s)",
+                run.workload, run.policy, run.total_refs, run.wall_seconds, run.refs_per_sec
+            );
+            runs.push(run);
+        }
+    }
+    BenchReport {
+        scale: scale_label.to_string(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_workload_bench_reports_both_policies() {
+        let report = hotpath_bench(Scale::quick(), "quick", &[WorkloadKind::Raytrace]);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].policy, "FT");
+        assert_ne!(report.runs[1].policy, "FT");
+        for r in &report.runs {
+            assert!(r.total_refs > 0);
+            assert!(r.wall_seconds > 0.0);
+            assert!(r.refs_per_sec > 0.0);
+        }
+        let (refs, wall, rate) = report.totals();
+        assert_eq!(refs, report.runs.iter().map(|r| r.total_refs).sum::<u64>());
+        assert!(wall > 0.0 && rate > 0.0);
+    }
+
+    #[test]
+    fn json_has_schema_and_balanced_structure() {
+        let report = BenchReport {
+            scale: "quick".into(),
+            runs: vec![BenchRun {
+                workload: "raytrace".into(),
+                policy: "FT".into(),
+                total_refs: 1000,
+                wall_seconds: 0.5,
+                refs_per_sec: 2000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/1","scale":"quick""#));
+        assert!(json.contains(r#""total_refs":1000"#));
+        assert!(json.contains(r#""wall_seconds":0.500000"#));
+        assert!(json.contains(r#""refs_per_sec":2000.0"#));
+        assert!(json.contains(r#""totals":{"total_refs":1000"#));
+        assert!(json.ends_with("}\n"));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_report_totals_are_zero() {
+        let report = BenchReport {
+            scale: "quick".into(),
+            runs: vec![],
+        };
+        assert_eq!(report.totals(), (0, 0.0, 0.0));
+        assert!(report.to_json().contains(r#""runs":[]"#));
+    }
+}

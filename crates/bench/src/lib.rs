@@ -32,9 +32,11 @@
 
 pub mod experiments;
 mod helpers;
+pub mod hotbench;
 pub mod plan;
 
 pub use helpers::{
     dynamic_options, dynamic_spec, ft_options, ft_spec, traced_ft_spec, trigger_for, RunPair,
 };
+pub use hotbench::{hotpath_bench, BenchReport, BenchRun};
 pub use plan::{Executor, ExecutorStats, RunFailure, RunPlan, RunTiming};

@@ -65,6 +65,36 @@ fn fig3_quick_output_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn every_workload_report_is_byte_identical_across_job_counts() {
+    // The allocation-free hot path (flat TLB, bitmask coherence
+    // directory, flat counter tables, FxHash page tables) must stay a
+    // pure function of the spec: full RunReports — not just rendered
+    // tables — agree to the byte whether the executor runs serial or
+    // with a worker pool.
+    let scale = Scale::quick();
+    let reports_with_jobs = |jobs: usize| -> Vec<String> {
+        let exec = Executor::new(jobs);
+        let mut out = Vec::new();
+        for kind in WorkloadKind::ALL {
+            for spec in [
+                ccnuma_bench::ft_spec(kind, scale),
+                ccnuma_bench::dynamic_spec(kind, scale),
+            ] {
+                out.push(format!("{:?}", exec.run(&spec)));
+            }
+        }
+        out
+    };
+
+    let serial = reports_with_jobs(1);
+    let parallel = reports_with_jobs(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "report {i} diverged between --jobs 1 and --jobs 4");
+    }
+}
+
+#[test]
 fn executor_memoizes_across_experiments() {
     // fig3 and table3 both need the engineering FT baseline; the second
     // renderer must reuse the first's run rather than recompute.

@@ -6,8 +6,16 @@
 //! its last update and clears itself when the global epoch has advanced,
 //! which is observationally identical to a synchronous reset because a
 //! counter is only consulted on the increment path.
+//!
+//! Two representations live here. [`PageCounters`] is the reference
+//! model: one self-contained struct per page, easy to reason about and
+//! the oracle the property tests compare against. [`CounterTable`] is
+//! what the policy engine actually uses on the per-miss hot path: every
+//! page's counters flattened into contiguous arrays indexed by
+//! `slot × procs + proc`, reached through one FxHash lookup — no
+//! per-page heap allocation, no SipHash, no pointer chase per counter.
 
-use ccnuma_types::ProcId;
+use ccnuma_types::{FxHashMap, ProcId, VirtPage};
 
 /// Counters for one page within the current reset interval.
 ///
@@ -159,6 +167,240 @@ impl PageCounters {
     /// True while the page is frozen at `epoch`.
     pub fn is_frozen(&self, epoch: u64) -> bool {
         epoch < self.frozen_until
+    }
+}
+
+/// A read-only snapshot of one page's counters inside a
+/// [`CounterTable`]. Cheap to copy (two words and two integers);
+/// instrumentation uses it to record the counter state behind a
+/// decision without touching the table.
+#[derive(Debug, Clone, Copy)]
+pub struct PageCountersView<'a> {
+    misses: &'a [u32],
+    writes: u32,
+    migrates: u32,
+}
+
+impl PageCountersView<'_> {
+    /// Miss count for one processor in the current interval.
+    pub fn miss_count(&self, proc: ProcId) -> u32 {
+        self.misses[proc.index()]
+    }
+
+    /// Write count in the current interval.
+    pub fn writes(&self) -> u32 {
+        self.writes
+    }
+
+    /// Migration count in the current interval.
+    pub fn migrates(&self) -> u32 {
+        self.migrates
+    }
+}
+
+/// Every tracked page's counters in contiguous arrays.
+///
+/// The policy engine consults counters on every counted miss, so the
+/// per-page [`PageCounters`] boxes (each with its own heap-allocated
+/// per-processor vector behind a SipHash map) are flattened: one
+/// FxHash lookup maps a page to a slot, and a slot's per-processor miss
+/// counters live at `misses[slot × procs ..][..procs]` next to parallel
+/// scalar arrays for writes, migrates, epochs, freezes and caps. Slots
+/// are never freed individually — [`clear`](CounterTable::clear) drops
+/// everything — which matches the engine's lifecycle (pages accumulate
+/// over a run, counters reset by epoch rolling in place).
+///
+/// Semantics are identical to driving one [`PageCounters`] per page;
+/// the property tests in `crates/core/tests/props.rs` hold the two
+/// representations against each other over random miss streams.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::CounterTable;
+/// use ccnuma_types::{ProcId, VirtPage};
+///
+/// let mut t = CounterTable::new(8);
+/// let s = t.slot(VirtPage(7), u32::MAX);
+/// t.roll_epoch(s, 0);
+/// assert_eq!(t.record_miss(s, ProcId(3), false), 1);
+/// assert_eq!(t.record_miss(s, ProcId(3), true), 2);
+/// assert_eq!(t.writes(s), 1);
+/// t.roll_epoch(s, 1); // reset interval elapsed
+/// assert_eq!(t.miss_count(s, ProcId(3)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CounterTable {
+    procs: usize,
+    slots: FxHashMap<VirtPage, u32>,
+    /// Per-processor miss counters, stride `procs` per slot.
+    misses: Vec<u32>,
+    writes: Vec<u32>,
+    migrates: Vec<u32>,
+    epochs: Vec<u64>,
+    frozen_until: Vec<u64>,
+    /// Per-slot saturation value, captured from the parameters live when
+    /// the page was first counted (the engine's historical behaviour:
+    /// adaptive parameter swaps only affect pages seen afterwards).
+    caps: Vec<u32>,
+}
+
+impl CounterTable {
+    /// An empty table for a machine with `procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero.
+    pub fn new(procs: usize) -> CounterTable {
+        assert!(procs > 0, "counter table needs at least one processor");
+        CounterTable {
+            procs,
+            ..CounterTable::default()
+        }
+    }
+
+    /// Number of pages with live counter state.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no page is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drops every page's state, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.misses.clear();
+        self.writes.clear();
+        self.migrates.clear();
+        self.epochs.clear();
+        self.frozen_until.clear();
+        self.caps.clear();
+    }
+
+    /// The slot for `page`, creating zeroed counters saturating at `cap`
+    /// on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn slot(&mut self, page: VirtPage, cap: u32) -> usize {
+        if let Some(&s) = self.slots.get(&page) {
+            return s as usize;
+        }
+        assert!(cap > 0, "counter cap must be non-zero");
+        let s = self.caps.len();
+        self.slots.insert(page, s as u32);
+        self.misses.resize(self.misses.len() + self.procs, 0);
+        self.writes.push(0);
+        self.migrates.push(0);
+        self.epochs.push(0);
+        self.frozen_until.push(0);
+        self.caps.push(cap);
+        s
+    }
+
+    /// A read-only view of `page`'s counters, if any miss has been
+    /// counted against it.
+    pub fn get(&self, page: VirtPage) -> Option<PageCountersView<'_>> {
+        let s = *self.slots.get(&page)? as usize;
+        Some(PageCountersView {
+            misses: self.row(s),
+            writes: self.writes[s],
+            migrates: self.migrates[s],
+        })
+    }
+
+    #[inline]
+    fn row(&self, slot: usize) -> &[u32] {
+        &self.misses[slot * self.procs..(slot + 1) * self.procs]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, slot: usize) -> &mut [u32] {
+        &mut self.misses[slot * self.procs..(slot + 1) * self.procs]
+    }
+
+    /// Clears `slot`'s counters if `epoch` has advanced past the stored
+    /// one. Returns `true` when a reset happened.
+    pub fn roll_epoch(&mut self, slot: usize, epoch: u64) -> bool {
+        if epoch != self.epochs[slot] {
+            self.row_mut(slot).fill(0);
+            self.writes[slot] = 0;
+            self.migrates[slot] = 0;
+            self.epochs[slot] = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a miss from `proc`, bumping the write counter when
+    /// `is_write`. Returns the processor's new miss count.
+    pub fn record_miss(&mut self, slot: usize, proc: ProcId, is_write: bool) -> u32 {
+        let cap = self.caps[slot];
+        let procs = self.procs;
+        let m = &mut self.misses[slot * procs + proc.index()];
+        *m = m.saturating_add(1).min(cap);
+        let count = *m;
+        if is_write {
+            self.writes[slot] = self.writes[slot].saturating_add(1);
+        }
+        count
+    }
+
+    /// Miss count for one processor in the current interval.
+    pub fn miss_count(&self, slot: usize, proc: ProcId) -> u32 {
+        self.misses[slot * self.procs + proc.index()]
+    }
+
+    /// Write count in the current interval.
+    pub fn writes(&self, slot: usize) -> u32 {
+        self.writes[slot]
+    }
+
+    /// Migration count in the current interval.
+    pub fn migrates(&self, slot: usize) -> u32 {
+        self.migrates[slot]
+    }
+
+    /// Records a migration of the page (the migrate-threshold input).
+    pub fn record_migrate(&mut self, slot: usize) {
+        self.migrates[slot] = self.migrates[slot].saturating_add(1);
+    }
+
+    /// True when any processor other than `hot` has at least `sharing`
+    /// misses — the node-2 sharing test of the decision tree.
+    pub fn shared_beyond(&self, slot: usize, hot: ProcId, sharing: u32) -> bool {
+        self.row(slot)
+            .iter()
+            .enumerate()
+            .any(|(i, &m)| i != hot.index() && m >= sharing)
+    }
+
+    /// Zeroes the per-processor miss counters (done after a migration so
+    /// the page must re-heat), keeping write and migrate counters.
+    pub fn clear_misses(&mut self, slot: usize) {
+        self.row_mut(slot).fill(0);
+    }
+
+    /// Zeroes one processor's miss counter (done after a replication or
+    /// remap so the other sharers keep their accumulated counts).
+    pub fn clear_proc(&mut self, slot: usize, proc: ProcId) {
+        self.misses[slot * self.procs + proc.index()] = 0;
+    }
+
+    /// Freezes the page (no replication) until `epoch`. Survives epoch
+    /// rolls — that is the point of freezing.
+    pub fn freeze_until(&mut self, slot: usize, epoch: u64) {
+        self.frozen_until[slot] = self.frozen_until[slot].max(epoch);
+    }
+
+    /// True while the page is frozen at `epoch`.
+    pub fn is_frozen(&self, slot: usize, epoch: u64) -> bool {
+        epoch < self.frozen_until[slot]
     }
 }
 

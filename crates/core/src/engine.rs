@@ -1,9 +1,8 @@
 //! The policy engine: Figure 1's decision tree over per-page counters.
 
-use crate::{DynamicPolicyKind, PageCounters, PageLocation, PolicyParams};
+use crate::{CounterTable, DynamicPolicyKind, PageCountersView, PageLocation, PolicyParams};
 use ccnuma_types::{NodeId, Ns, ProcId, VirtPage};
 use core::fmt;
-use std::collections::HashMap;
 
 /// One counted miss, as fed to [`PolicyEngine::observe`].
 ///
@@ -204,8 +203,7 @@ impl PolicyStats {
 pub struct PolicyEngine {
     params: PolicyParams,
     kind: DynamicPolicyKind,
-    procs: usize,
-    pages: HashMap<VirtPage, PageCounters>,
+    pages: CounterTable,
     stats: PolicyStats,
 }
 
@@ -221,12 +219,10 @@ impl PolicyEngine {
     ///
     /// Panics if `procs` is zero.
     pub fn with_procs(params: PolicyParams, kind: DynamicPolicyKind, procs: usize) -> PolicyEngine {
-        assert!(procs > 0, "engine needs at least one processor");
         PolicyEngine {
             params,
             kind,
-            procs,
-            pages: HashMap::new(),
+            pages: CounterTable::new(procs),
             stats: PolicyStats::default(),
         }
     }
@@ -254,8 +250,8 @@ impl PolicyEngine {
     /// The live counter state for `page`, if any miss has been counted
     /// against it. Read-only: instrumentation uses this to snapshot the
     /// counters behind a decision.
-    pub fn counters(&self, page: VirtPage) -> Option<&PageCounters> {
-        self.pages.get(&page)
+    pub fn counters(&self, page: VirtPage) -> Option<PageCountersView<'_>> {
+        self.pages.get(page)
     }
 
     /// Feeds one counted miss through the decision tree (Figure 1).
@@ -276,26 +272,24 @@ impl PolicyEngine {
         mem_pressure: bool,
     ) -> PolicyAction {
         self.stats.misses_observed += 1;
-        let counters = self
-            .pages
-            .entry(miss.page)
-            .or_insert_with(|| PageCounters::new(self.procs).with_cap(self.params.counter_cap));
-        counters.roll_epoch(self.params.epoch_of(miss.now));
+        let slot = self.pages.slot(miss.page, self.params.counter_cap);
+        self.pages.roll_epoch(slot, self.params.epoch_of(miss.now));
 
         // The pfault path: a store to a replicated page always collapses,
         // independent of heat (Section 4). With freeze/defrost enabled,
         // the collapsed page is frozen against re-replication.
         if miss.is_write && loc.is_replicated() {
-            counters.record_miss(miss.proc, true);
+            self.pages.record_miss(slot, miss.proc, true);
             if self.params.freeze_intervals > 0 {
                 let epoch = self.params.epoch_of(miss.now);
-                counters.freeze_until(epoch + 1 + self.params.freeze_intervals as u64);
+                self.pages
+                    .freeze_until(slot, epoch + 1 + self.params.freeze_intervals as u64);
             }
             self.stats.collapses += 1;
             return PolicyAction::Collapse;
         }
 
-        let count = counters.record_miss(miss.proc, miss.is_write);
+        let count = self.pages.record_miss(slot, miss.proc, miss.is_write);
         if count != self.params.trigger_threshold {
             // Fires exactly when the counter *reaches* the trigger; later
             // misses in the same interval do not re-interrupt.
@@ -310,14 +304,16 @@ impl PolicyEngine {
         self.stats.hot_events += 1;
 
         if loc.copy_on_accessor_node() {
-            counters.clear_proc(miss.proc);
+            self.pages.clear_proc(slot, miss.proc);
             self.stats.remaps += 1;
             return PolicyAction::Remap { to: miss.node };
         }
 
-        let shared = counters.shared_beyond(miss.proc, self.params.sharing_threshold);
+        let shared = self
+            .pages
+            .shared_beyond(slot, miss.proc, self.params.sharing_threshold);
         if shared {
-            if counters.is_frozen(self.params.epoch_of(miss.now)) {
+            if self.pages.is_frozen(slot, self.params.epoch_of(miss.now)) {
                 return Self::no_action(&mut self.stats, NoActionReason::Frozen);
             }
             Self::decide_shared(
@@ -325,11 +321,19 @@ impl PolicyEngine {
                 self.kind,
                 &mut self.stats,
                 miss,
-                counters,
+                &mut self.pages,
+                slot,
                 mem_pressure,
             )
         } else {
-            Self::decide_unshared(&self.params, self.kind, &mut self.stats, miss, counters)
+            Self::decide_unshared(
+                &self.params,
+                self.kind,
+                &mut self.stats,
+                miss,
+                &mut self.pages,
+                slot,
+            )
         }
     }
 
@@ -338,7 +342,8 @@ impl PolicyEngine {
         kind: DynamicPolicyKind,
         stats: &mut PolicyStats,
         miss: ObservedMiss,
-        counters: &mut PageCounters,
+        counters: &mut CounterTable,
+        slot: usize,
         mem_pressure: bool,
     ) -> PolicyAction {
         if !kind.allows_replication() {
@@ -347,20 +352,20 @@ impl PolicyEngine {
         if mem_pressure {
             return Self::no_action(stats, NoActionReason::MemoryPressure);
         }
-        if counters.writes() < params.write_threshold {
+        if counters.writes(slot) < params.write_threshold {
             // Only the requester's counter clears: other sharers keep
             // their counts and earn their own replicas this interval.
-            counters.clear_proc(miss.proc);
+            counters.clear_proc(slot, miss.proc);
             stats.replications += 1;
             return PolicyAction::Replicate { at: miss.node };
         }
         // §7.1.2 extension: migrate even write-shared pages to spread load.
         if params.hotspot_migrate
             && kind.allows_migration()
-            && counters.migrates() < params.migrate_threshold
+            && counters.migrates(slot) < params.migrate_threshold
         {
-            counters.record_migrate();
-            counters.clear_misses();
+            counters.record_migrate(slot);
+            counters.clear_misses(slot);
             stats.migrations += 1;
             return PolicyAction::Migrate { to: miss.node };
         }
@@ -372,16 +377,17 @@ impl PolicyEngine {
         kind: DynamicPolicyKind,
         stats: &mut PolicyStats,
         miss: ObservedMiss,
-        counters: &mut PageCounters,
+        counters: &mut CounterTable,
+        slot: usize,
     ) -> PolicyAction {
         if !kind.allows_migration() {
             return Self::no_action(stats, NoActionReason::BranchDisabled);
         }
-        if counters.migrates() >= params.migrate_threshold {
+        if counters.migrates(slot) >= params.migrate_threshold {
             return Self::no_action(stats, NoActionReason::MigrateLimit);
         }
-        counters.record_migrate();
-        counters.clear_misses();
+        counters.record_migrate(slot);
+        counters.clear_misses(slot);
         stats.migrations += 1;
         PolicyAction::Migrate { to: miss.node }
     }

@@ -62,7 +62,7 @@ mod params;
 mod placement;
 
 pub use adaptive::{AdaptiveTrigger, IntervalFeedback};
-pub use counters::PageCounters;
+pub use counters::{CounterTable, PageCounters, PageCountersView};
 pub use engine::{NoActionReason, ObservedMiss, PolicyAction, PolicyEngine, PolicyStats};
 pub use location::PageLocation;
 pub use metric::MissMetric;

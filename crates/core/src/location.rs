@@ -43,6 +43,24 @@ impl PageLocation {
         }
     }
 
+    /// Builds a location from already-computed placement facts — the
+    /// kernel's allocation-free path: the miss handler reads the replica
+    /// chain in place instead of materialising the copy list that
+    /// [`new`](PageLocation::new) summarises.
+    pub fn from_parts(
+        mapped_node: NodeId,
+        accessor_node: NodeId,
+        copy_on_accessor_node: bool,
+        replicated: bool,
+    ) -> PageLocation {
+        PageLocation {
+            mapped_node,
+            accessor_node,
+            copy_on_accessor_node,
+            replicated,
+        }
+    }
+
     /// Convenience: a single un-replicated master on `master`, accessed
     /// from `accessor_node` with an up-to-date mapping.
     pub fn master_only(master: NodeId, accessor_node: NodeId) -> PageLocation {

@@ -6,8 +6,7 @@
 //! chain, with one member (the master) in the hash table. This module
 //! reproduces that structure keyed by [`VirtPage`].
 
-use ccnuma_types::{Frame, MachineConfig, NodeId, VirtPage};
-use std::collections::HashMap;
+use ccnuma_types::{Frame, FxHashMap, MachineConfig, NodeId, VirtPage};
 
 /// One logical page's physical copies: a master frame plus replica chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +59,12 @@ impl PageEntry {
 #[derive(Debug, Clone)]
 pub struct PageHash {
     cfg: MachineConfig,
-    entries: HashMap<VirtPage, PageEntry>,
+    /// Keyed by FxHash: the miss handler consults the chain on every
+    /// counted miss. Every order-sensitive reader sorts
+    /// ([`replicated_pages_on`](PageHash::replicated_pages_on)) or is
+    /// order-insensitive (the invariant audit), so the hasher swap never
+    /// shows up in output.
+    entries: FxHashMap<VirtPage, PageEntry>,
     /// Running count of replica frames, for the §7.2.3 space overhead.
     replica_frames: u64,
     /// High-water mark of replica frames.
@@ -72,7 +76,7 @@ impl PageHash {
     pub fn new(cfg: MachineConfig) -> PageHash {
         PageHash {
             cfg,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             replica_frames: 0,
             replica_frames_peak: 0,
         }

@@ -323,8 +323,17 @@ impl Pager {
         let mapped = self
             .mapping_node(pid, page)
             .expect("page must be mapped before asking for its location");
-        let copies = self.copies(page);
-        PageLocation::new(mapped, accessor_node, &copies)
+        // Read the replica chain in place — this runs once per counted
+        // miss and must not allocate a copy list just to summarise it.
+        let (copy_local, replicated) = match self.hash.get(page) {
+            None => (false, false),
+            Some(e) => (
+                e.all_frames()
+                    .any(|f| self.cfg.machine.node_of_frame(f) == accessor_node),
+                e.is_replicated(),
+            ),
+        };
+        PageLocation::from_parts(mapped, accessor_node, copy_local, replicated)
     }
 
     /// Whether `node` is under memory pressure (decision node 3a input).
@@ -479,11 +488,31 @@ impl Pager {
         ops: &[PageOp],
         faults: &mut F,
     ) -> Vec<OpOutcome> {
-        self.batches += 1;
         let mut outcomes = Vec::with_capacity(ops.len());
+        self.service_batch_into(now, ops, faults, &mut outcomes);
+        outcomes
+    }
+
+    /// [`Pager::service_batch_with`] writing into a caller-owned buffer.
+    ///
+    /// `outcomes` is cleared and refilled with one outcome per op, in
+    /// order. The simulator's per-reference path (a collapse or remap is
+    /// a one-op batch issued from inside the miss handler) reuses one
+    /// buffer across the whole run, so servicing allocates nothing in
+    /// steady state.
+    pub fn service_batch_into<F: FaultInjector>(
+        &mut self,
+        now: Ns,
+        ops: &[PageOp],
+        faults: &mut F,
+        outcomes: &mut Vec<OpOutcome>,
+    ) {
+        self.batches += 1;
+        outcomes.clear();
+        outcomes.reserve(ops.len());
         if ops.is_empty() {
             self.last_batch = BatchStats::default();
-            return outcomes;
+            return;
         }
         let costs = self.cfg.costs.clone();
         let intr_share = costs.intr_batch / ops.len() as u64;
@@ -547,7 +576,6 @@ impl Pager {
             tlbs_flushed: flushed_cpus,
             flush_ops,
         };
-        outcomes
     }
 
     /// CPUs whose processes map any page in the batch (plus one for the

@@ -5,8 +5,7 @@
 //! this page, similar to an inverted page table" so a migration can find
 //! and update every mapping cheaply. [`PageTables`] keeps both directions.
 
-use ccnuma_types::{Frame, Pid, VirtPage};
-use std::collections::HashMap;
+use ccnuma_types::{Frame, FxHashMap, Pid, VirtPage};
 
 /// Per-process virtual→physical mappings plus the frame→PTE back-map.
 ///
@@ -26,10 +25,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTables {
-    /// (pid, page) → frame.
-    ptes: HashMap<(Pid, VirtPage), Frame>,
+    /// (pid, page) → frame. [`lookup`](PageTables::lookup) runs at least
+    /// once per simulated reference, so the map uses the deterministic
+    /// FxHash rather than SipHash; iteration order is never exposed.
+    ptes: FxHashMap<(Pid, VirtPage), Frame>,
     /// frame → pids whose PTE points at it (the added back-map).
-    back: HashMap<Frame, Vec<Pid>>,
+    back: FxHashMap<Frame, Vec<Pid>>,
 }
 
 impl PageTables {

@@ -1,11 +1,17 @@
 //! Write-invalidate coherence bookkeeping.
 
-use ccnuma_types::{ProcId, VirtPage};
-use std::collections::HashMap;
+use ccnuma_types::{FxHashMap, ProcId, VirtPage};
 
 /// Tracks which processors cache each line, so a write can invalidate
 /// the other holders — the directory's sharing vector, reduced to what
 /// the simulator needs. Supports up to 64 processors.
+///
+/// This table is consulted on every simulated write and every L2 fill,
+/// so the map hashes its `(VirtPage, u16)` keys through
+/// [`FxHashMap`] (three word-mixes instead of SipHash) and
+/// [`write`](CoherenceDir::write) hands back the victim set as a raw
+/// `u64` bitmask for the caller to decode — the hot path never allocates
+/// a `Vec<ProcId>` per write.
 ///
 /// # Examples
 ///
@@ -17,11 +23,20 @@ use std::collections::HashMap;
 /// dir.record_fill(ProcId(0), VirtPage(1), 4);
 /// dir.record_fill(ProcId(2), VirtPage(1), 4);
 /// let victims = dir.write(ProcId(0), VirtPage(1), 4);
-/// assert_eq!(victims, vec![ProcId(2)]);
+/// assert_eq!(victims, 1 << 2, "proc 2 must invalidate");
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CoherenceDir {
-    holders: HashMap<(VirtPage, u16), u64>,
+    holders: FxHashMap<(VirtPage, u16), u64>,
+}
+
+/// The sharing-vector bit for `proc`, bounds-checked once for every
+/// entry point — an out-of-range processor would otherwise corrupt the
+/// mask silently via a wrapping shift in release builds.
+#[inline]
+fn holder_bit(proc: ProcId) -> u64 {
+    assert!(proc.0 < 64, "coherence dir supports up to 64 processors");
+    1u64 << proc.0
 }
 
 impl CoherenceDir {
@@ -31,15 +46,23 @@ impl CoherenceDir {
     }
 
     /// Records that `proc` now caches (`page`, `line`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is 64 or larger.
     pub fn record_fill(&mut self, proc: ProcId, page: VirtPage, line: u16) {
-        assert!(proc.0 < 64, "coherence dir supports up to 64 processors");
-        *self.holders.entry((page, line)).or_insert(0) |= 1 << proc.0;
+        *self.holders.entry((page, line)).or_insert(0) |= holder_bit(proc);
     }
 
     /// Records that `proc` lost (`page`, `line`) to eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is 64 or larger.
     pub fn record_evict(&mut self, proc: ProcId, page: VirtPage, line: u16) {
+        let bit = holder_bit(proc);
         if let Some(mask) = self.holders.get_mut(&(page, line)) {
-            *mask &= !(1 << proc.0);
+            *mask &= !bit;
             if *mask == 0 {
                 self.holders.remove(&(page, line));
             }
@@ -47,18 +70,25 @@ impl CoherenceDir {
     }
 
     /// A write by `proc`: every *other* holder must invalidate. Returns
-    /// the victims and leaves `proc` as the sole holder.
-    pub fn write(&mut self, proc: ProcId, page: VirtPage, line: u16) -> Vec<ProcId> {
+    /// the victims as a bitmask (bit *i* set ⇒ processor *i* holds a
+    /// stale copy) and leaves `proc` as the sole holder. Decode with
+    /// `trailing_zeros` in a clear-lowest-bit loop; the common case —
+    /// no other holder — is a plain zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is 64 or larger.
+    #[must_use]
+    pub fn write(&mut self, proc: ProcId, page: VirtPage, line: u16) -> u64 {
+        let bit = holder_bit(proc);
         let entry = self.holders.entry((page, line)).or_insert(0);
-        let others = *entry & !(1 << proc.0);
-        *entry = 1 << proc.0;
-        (0..64)
-            .filter(|i| others & (1 << i) != 0)
-            .map(|i| ProcId(i as u16))
-            .collect()
+        let others = *entry & !bit;
+        *entry = bit;
+        others
     }
 
-    /// Holders of (`page`, `line`).
+    /// Holders of (`page`, `line`), lowest processor first. Diagnostic
+    /// convenience — allocates, so keep it off the per-reference path.
     pub fn holders_of(&self, page: VirtPage, line: u16) -> Vec<ProcId> {
         let mask = self.holders.get(&(page, line)).copied().unwrap_or(0);
         (0..64)
@@ -82,14 +112,23 @@ impl CoherenceDir {
 mod tests {
     use super::*;
 
+    /// Decodes a victim mask the way the runner does.
+    fn decode(mut mask: u64) -> Vec<ProcId> {
+        let mut v = Vec::new();
+        while mask != 0 {
+            v.push(ProcId(mask.trailing_zeros() as u16));
+            mask &= mask - 1;
+        }
+        v
+    }
+
     #[test]
     fn fill_and_write_invalidate() {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(0), VirtPage(1), 0);
         d.record_fill(ProcId(1), VirtPage(1), 0);
         d.record_fill(ProcId(5), VirtPage(1), 0);
-        let mut v = d.write(ProcId(1), VirtPage(1), 0);
-        v.sort();
+        let v = decode(d.write(ProcId(1), VirtPage(1), 0));
         assert_eq!(v, vec![ProcId(0), ProcId(5)]);
         assert_eq!(d.holders_of(VirtPage(1), 0), vec![ProcId(1)]);
     }
@@ -98,7 +137,7 @@ mod tests {
     fn write_by_sole_holder_invalidates_nobody() {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(3), VirtPage(2), 7);
-        assert!(d.write(ProcId(3), VirtPage(2), 7).is_empty());
+        assert_eq!(d.write(ProcId(3), VirtPage(2), 7), 0);
     }
 
     #[test]
@@ -117,9 +156,35 @@ mod tests {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(0), VirtPage(1), 0);
         d.record_fill(ProcId(0), VirtPage(1), 1);
-        let victims = d.write(ProcId(2), VirtPage(1), 0);
-        assert_eq!(victims, vec![ProcId(0)]);
+        assert_eq!(decode(d.write(ProcId(2), VirtPage(1), 0)), vec![ProcId(0)]);
         assert_eq!(d.holders_of(VirtPage(1), 1), vec![ProcId(0)]);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn proc_63_is_the_last_representable_holder() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(63), VirtPage(1), 0);
+        assert_eq!(d.write(ProcId(0), VirtPage(1), 0), 1 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 64 processors")]
+    fn record_fill_rejects_out_of_range_proc() {
+        CoherenceDir::new().record_fill(ProcId(64), VirtPage(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 64 processors")]
+    fn record_evict_rejects_out_of_range_proc() {
+        let mut d = CoherenceDir::new();
+        d.record_fill(ProcId(0), VirtPage(1), 0);
+        d.record_evict(ProcId(64), VirtPage(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 64 processors")]
+    fn write_rejects_out_of_range_proc() {
+        let _ = CoherenceDir::new().write(ProcId(64), VirtPage(1), 0);
     }
 }

@@ -29,34 +29,38 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
         self.breakdown.add_busy(access.mode, compute);
         self.clocks[cpu] += compute;
 
-        // First touch: allocate/map the page. If the whole machine is
-        // out of frames, reclaim replicated pages (the §7.2.3 pressure
-        // response) before giving up.
-        if self.pager.mapping_node(pid, access.page).is_none() {
-            let home = match &mut self.rr {
-                Some(rr) => rr.place(access.page, my_node),
-                None => my_node,
-            };
-            if self.pager.first_touch(pid, access.page, home).is_none() {
-                for n in 0..self.spec.config.nodes {
-                    let freed = self.pager.reclaim_replicas_on(NodeId(n), 8);
-                    if F::ENABLED {
-                        self.fault_stats.reclaimed_frames += u64::from(freed);
+        // TLB. A hit proves the page is already mapped — entries are
+        // only installed by a prior access (which first-touched the
+        // page), the TLB is flushed on every context switch, and
+        // mappings are never torn down, only repointed — so the
+        // first-touch probe is needed only on a miss.
+        if !self.tlb[cpu].access(access.page) {
+            // First touch: allocate/map the page. If the whole machine
+            // is out of frames, reclaim replicated pages (the §7.2.3
+            // pressure response) before giving up.
+            if self.pager.mapping_node(pid, access.page).is_none() {
+                let home = match &mut self.rr {
+                    Some(rr) => rr.place(access.page, my_node),
+                    None => my_node,
+                };
+                if self.pager.first_touch(pid, access.page, home).is_none() {
+                    for n in 0..self.spec.config.nodes {
+                        let freed = self.pager.reclaim_replicas_on(NodeId(n), 8);
+                        if F::ENABLED {
+                            self.fault_stats.reclaimed_frames += u64::from(freed);
+                        }
+                    }
+                    if self.pager.first_touch(pid, access.page, home).is_none() {
+                        // Out of memory even after shedding every
+                        // replica: surface the typed error instead of
+                        // panicking.
+                        return Err(SimError::OutOfMemory {
+                            page: access.page,
+                            node: home,
+                        });
                     }
                 }
-                if self.pager.first_touch(pid, access.page, home).is_none() {
-                    // Out of memory even after shedding every replica:
-                    // surface the typed error instead of panicking.
-                    return Err(SimError::OutOfMemory {
-                        page: access.page,
-                        node: home,
-                    });
-                }
             }
-        }
-
-        // TLB.
-        if !self.tlb[cpu].access(access.page) {
             self.breakdown
                 .add_busy(ccnuma_types::Mode::Kernel, TLB_REFILL);
             self.clocks[cpu] += TLB_REFILL;
@@ -71,8 +75,14 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
         // L2 + coherence.
         let hit = self.l2[cpu].access(access.page, access.line);
         if access.kind == AccessKind::Write {
-            for victim in self.coherence.write(proc, access.page, access.line) {
-                self.l2[victim.index()].invalidate(access.page, access.line);
+            // The victim set arrives as a bitmask (usually 0: no other
+            // holder); decoding it costs one trailing_zeros per actual
+            // victim and nothing on the heap.
+            let mut victims = self.coherence.write(proc, access.page, access.line);
+            while victims != 0 {
+                let victim = victims.trailing_zeros() as usize;
+                self.l2[victim].invalidate(access.page, access.line);
+                victims &= victims - 1;
             }
         } else if !hit {
             self.coherence.record_fill(proc, access.page, access.line);

@@ -29,7 +29,7 @@ pub use options::{PolicyChoice, RunOptions};
 use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
 use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
 use ccnuma_faults::{FaultInjector, FaultPlan, FaultStats, NullFaults};
-use ccnuma_kernel::{PageOp, Pager, PagerConfig};
+use ccnuma_kernel::{OpOutcome, PageOp, Pager, PagerConfig};
 use ccnuma_obs::{NullRecorder, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
@@ -136,6 +136,12 @@ struct Sim<'a, R: Recorder, F: FaultInjector> {
     breakdown: RunBreakdown,
     trace: Option<TraceBuilder>,
     pending: Vec<(PageOp, PolicyAction)>,
+    /// Drained `pending` batches swap through here so both buffers keep
+    /// their capacity; with the op/outcome scratches below, servicing a
+    /// batch allocates nothing in steady state.
+    pending_scratch: Vec<(PageOp, PolicyAction)>,
+    ops_scratch: Vec<PageOp>,
+    outcomes_scratch: Vec<OpOutcome>,
     local_lat_sum: Ns,
     local_lat_n: u64,
     tlbs_flushed_sum: u64,
@@ -187,6 +193,9 @@ impl<'a, R: Recorder, F: FaultInjector> Sim<'a, R, F> {
                 None
             },
             pending: Vec::new(),
+            pending_scratch: Vec::new(),
+            ops_scratch: Vec::new(),
+            outcomes_scratch: Vec::new(),
             local_lat_sum: Ns::ZERO,
             local_lat_n: 0,
             tlbs_flushed_sum: 0,

@@ -141,8 +141,14 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
             }
             self.consec_intr_lost = 0;
         }
-        let batch = std::mem::take(&mut self.pending);
-        self.service_now(cpu, &batch)
+        // Drain into the scratch buffer so both vectors keep their
+        // capacity: after warm-up no flush allocates.
+        std::mem::swap(&mut self.pending, &mut self.pending_scratch);
+        let batch = std::mem::take(&mut self.pending_scratch);
+        let result = self.service_now(cpu, &batch);
+        self.pending_scratch = batch;
+        self.pending_scratch.clear();
+        result
     }
 
     /// Runs a pager batch on `cpu`, charging its kernel overhead there.
@@ -151,17 +157,22 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
         cpu: usize,
         batch: &[(PageOp, PolicyAction)],
     ) -> Result<(), SimError> {
-        let ops: Vec<PageOp> = batch.iter().map(|(op, _)| *op).collect();
-        let outcomes = self
-            .pager
-            .service_batch_with(self.clocks[cpu], &ops, &mut self.faults);
+        self.ops_scratch.clear();
+        self.ops_scratch.extend(batch.iter().map(|(op, _)| *op));
+        let mut outcomes = std::mem::take(&mut self.outcomes_scratch);
+        self.pager.service_batch_into(
+            self.clocks[cpu],
+            &self.ops_scratch,
+            &mut self.faults,
+            &mut outcomes,
+        );
         let stats = self.pager.last_batch();
         if stats.flush_ops > 0 {
             self.tlbs_flushed_sum += stats.tlbs_flushed as u64;
             self.flush_batches += 1;
             self.obs.on_shootdown(self.clocks[cpu], &stats);
         }
-        for ((op, action), outcome) in batch.iter().zip(outcomes) {
+        for ((op, action), outcome) in batch.iter().zip(outcomes.iter().copied()) {
             let start = self.clocks[cpu];
             match outcome {
                 OpOutcome::Done { latency } => {
@@ -253,6 +264,7 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
                 }
             }
         }
+        self.outcomes_scratch = outcomes;
         if F::ENABLED {
             self.forward_fault_events();
         }

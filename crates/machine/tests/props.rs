@@ -3,6 +3,57 @@
 use ccnuma_machine::{CoherenceDir, DirectoryModel, L2Cache, Tlb};
 use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, VirtPage};
 use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Naive reference model for the flat open-addressed [`Tlb`]: presence in
+/// a std `HashSet` (SipHash, no probing to get wrong), recency in the same
+/// FIFO ring the hardware models — a fixed slot array whose head advances
+/// once per miss, with shot-down entries leaving holes that evict nothing
+/// when their turn comes.
+struct ModelTlb {
+    present: HashSet<u64>,
+    ring: Vec<Option<u64>>,
+    head: usize,
+}
+
+impl ModelTlb {
+    fn new(capacity: usize) -> ModelTlb {
+        ModelTlb {
+            present: HashSet::new(),
+            ring: vec![None; capacity],
+            head: 0,
+        }
+    }
+
+    fn access(&mut self, page: u64) -> bool {
+        if self.present.contains(&page) {
+            return true;
+        }
+        if let Some(old) = self.ring[self.head].replace(page) {
+            self.present.remove(&old);
+        }
+        self.present.insert(page);
+        self.head = (self.head + 1) % self.ring.len();
+        false
+    }
+
+    fn shootdown(&mut self, page: u64) {
+        if self.present.remove(&page) {
+            let slot = self
+                .ring
+                .iter()
+                .position(|&p| p == Some(page))
+                .expect("present pages are in the ring");
+            self.ring[slot] = None;
+        }
+    }
+
+    fn flush(&mut self) {
+        self.present.clear();
+        self.ring.iter_mut().for_each(|s| *s = None);
+        self.head = 0;
+    }
+}
 
 proptest! {
     /// The L2 obeys inclusion of recency: an access immediately followed
@@ -45,12 +96,88 @@ proptest! {
             let proc = ProcId(proc);
             if is_write {
                 let victims = dir.write(proc, VirtPage(page), line);
-                prop_assert!(!victims.contains(&proc), "writer invalidated itself");
+                prop_assert_eq!(victims & (1 << proc.0), 0, "writer invalidated itself");
                 prop_assert_eq!(dir.holders_of(VirtPage(page), line), vec![proc]);
             } else {
                 dir.record_fill(proc, VirtPage(page), line);
                 prop_assert!(dir.holders_of(VirtPage(page), line).contains(&proc));
             }
+        }
+    }
+
+    /// The flat TLB agrees with the naive model on every access outcome
+    /// over arbitrary interleavings of accesses, shootdowns and flushes —
+    /// the probing and backward-shift deletion never lose or invent a page.
+    #[test]
+    fn tlb_matches_reference_model(
+        events in proptest::collection::vec((0u8..8, 0u64..200), 1..800),
+    ) {
+        let cfg = MachineConfig::cc_numa();
+        let mut tlb = Tlb::new(&cfg);
+        let mut model = ModelTlb::new(cfg.tlb_entries as usize);
+        for (kind, page) in events {
+            match kind {
+                0 => {
+                    // Rare: full flush (context switch).
+                    tlb.flush();
+                    model.flush();
+                }
+                1 | 2 => {
+                    tlb.shootdown(VirtPage(page));
+                    model.shootdown(page);
+                }
+                _ => {
+                    let hit = tlb.access(VirtPage(page));
+                    let expect = model.access(page);
+                    prop_assert_eq!(hit, expect, "access {} disagreed with model", page);
+                }
+            }
+            prop_assert_eq!(tlb.len(), model.present.len());
+        }
+    }
+
+    /// The bitmask coherence directory agrees with a naive
+    /// `HashMap<line, HashSet<proc>>` model: fills and evicts track holder
+    /// sets exactly, and a write's victim mask is precisely the other
+    /// holders at that instant.
+    #[test]
+    fn coherence_matches_reference_model(
+        events in proptest::collection::vec((0u8..4, 0u16..16, 0u64..12, 0u16..4), 1..600),
+    ) {
+        let mut dir = CoherenceDir::new();
+        let mut model: HashMap<(u64, u16), HashSet<u16>> = HashMap::new();
+        for (kind, proc, page, line) in events {
+            let key = (page, line);
+            match kind {
+                0 => {
+                    dir.record_evict(ProcId(proc), VirtPage(page), line);
+                    if let Some(set) = model.get_mut(&key) {
+                        set.remove(&proc);
+                    }
+                }
+                1 => {
+                    let victims = dir.write(ProcId(proc), VirtPage(page), line);
+                    let expect = model.entry(key).or_default();
+                    expect.remove(&proc);
+                    let expect_mask = expect.iter().fold(0u64, |m, &p| m | (1 << p));
+                    prop_assert_eq!(victims, expect_mask, "victim mask disagreed");
+                    expect.clear();
+                    expect.insert(proc);
+                }
+                _ => {
+                    dir.record_fill(ProcId(proc), VirtPage(page), line);
+                    model.entry(key).or_default().insert(proc);
+                }
+            }
+            let mut holders: Vec<u16> =
+                model.get(&key).map_or_else(Vec::new, |s| s.iter().copied().collect());
+            holders.sort_unstable();
+            let got: Vec<u16> = dir
+                .holders_of(VirtPage(page), line)
+                .into_iter()
+                .map(|p| p.0)
+                .collect();
+            prop_assert_eq!(got, holders, "holder set disagreed");
         }
     }
 

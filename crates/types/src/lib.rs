@@ -25,11 +25,13 @@
 mod access;
 mod config;
 mod error;
+mod fxhash;
 mod ids;
 mod time;
 
 pub use access::{AccessKind, MemAccess, Mode, RefClass};
 pub use config::{MachineConfig, NetworkKind};
 pub use error::{ConfigError, SimError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Frame, NodeId, Pid, ProcId, VirtPage};
 pub use time::Ns;

@@ -10,11 +10,21 @@
 //! Measurement is intentionally simple — a fixed-duration timing loop
 //! with a median-of-samples report — but the bench targets compile and
 //! run, and relative numbers are meaningful on a quiet machine.
+//!
+//! `cargo bench -- --test` runs every benchmark exactly once without
+//! timing (real criterion's smoke mode); CI uses it to keep the bench
+//! targets honest without paying for measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
+
+/// True when the harness was invoked in smoke mode (`--test`): each
+/// routine runs once, nothing is timed.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// An opaque value barrier: keeps the optimizer from deleting the
 /// benchmarked computation.
@@ -68,11 +78,16 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Times `routine`, collecting several samples.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // Warm up and size the per-sample iteration count so one sample
         // takes roughly a millisecond.
         let t0 = Instant::now();
@@ -93,8 +108,15 @@ impl Bencher {
 const SAMPLES: usize = 21;
 
 fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher::default();
+    let mut b = Bencher {
+        smoke: test_mode(),
+        ..Bencher::default()
+    };
     f(&mut b);
+    if b.smoke {
+        println!("  {label}: ok (smoke)");
+        return;
+    }
     if b.samples.is_empty() {
         println!("  {label}: no samples");
         return;
