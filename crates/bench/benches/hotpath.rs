@@ -80,7 +80,7 @@ fn bench_directory(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t = t.wrapping_add(137);
-            black_box(dir.request(Ns(t), NodeId((t % 8) as u16), t % 3 == 0))
+            black_box(dir.request(Ns(t), NodeId((t % 8) as u16), t.is_multiple_of(3)))
         });
     });
     group.finish();

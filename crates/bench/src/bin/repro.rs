@@ -4,10 +4,17 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
-//!                       [--obs-dir DIR] [--faults SCENARIO]
-//!                       [--chaos-seed N] [-v|--verbose] [-q|--quiet]
+//!                       [--obs-dir DIR] [--trace-dir DIR]
+//!                       [--faults SCENARIO] [--chaos-seed N]
+//!                       [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N]
 //! repro bench [--scale quick|standard|full] [--out FILE]
+//! repro trace <capture|info|verify> [WORKLOAD|SLUG]...
+//!             [--scale S] [--trace-dir DIR]
+//! repro sweep (--workload NAME | --trace SLUG) [--scale S]
+//!             [--trace-dir DIR] [--jobs N] [--out FILE] [--csv FILE]
+//!             [--policies P,..] [--triggers N,..] [--samples N,..]
+//!             [--latencies NS,..] [--move-costs US,..]
 //! repro --list | repro --list-faults
 //! ```
 //!
@@ -32,17 +39,60 @@
 //! invocation writes `DIR/run-metadata.json` (jobs, cache hits, per-run
 //! wall times). See EXPERIMENTS.md for the artifact schemas.
 //!
+//! With `--trace-dir DIR`, captured miss traces are stored under `DIR`
+//! in the chunked v2 format and served from there on later invocations
+//! — the Section 8 experiments (fig4/6/7/8/9, sharing, counters,
+//! characterize) then render without re-running the machine simulator.
+//! The `trace` subcommand manages the store directly (`capture` fills
+//! it, `info` lists it, `verify` re-decodes every chunk against its
+//! checksum), and `sweep` replays a policy-parameter grid over a stored
+//! trace, writing a `ccnuma-sweep/1` JSON (and optionally CSV)
+//! artifact. Both default to the `artifacts/traces` store directory.
+//!
 //! Stderr chatter is gated by one verbosity knob: `-v`/`--verbose` and
 //! `-q`/`--quiet` flags first, then the `CCNUMA_LOG` environment
 //! variable (`quiet|info|debug`), then the default (a one-line
 //! summary). Experiment output on stdout is never gated.
 
-use ccnuma_bench::{experiments, Executor, RunPlan};
+use ccnuma_bench::{experiments, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::Verbosity;
+use ccnuma_tracestore::{run_sweep, ChunkIndex, SweepPolicy, SweepSpec, TraceStore};
 use ccnuma_workloads::{Scale, WorkloadKind};
+use std::fs::File;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Default store directory for the `trace` and `sweep` subcommands.
+const DEFAULT_TRACE_DIR: &str = "artifacts/traces";
+
+fn parse_scale(v: Option<&str>) -> Scale {
+    match v {
+        Some("quick") => Scale::quick(),
+        Some("standard") => Scale::standard(),
+        Some("full") => Scale::full(),
+        other => {
+            eprintln!("--scale expects quick|standard|full, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.to_string().eq_ignore_ascii_case(name))
+}
+
+fn open_store(dir: &PathBuf) -> TraceStore {
+    match TraceStore::new(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("opening trace store {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -100,7 +150,7 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
 }
 
 /// `repro bench`: time every workload under FT and Mig/Rep and write
-/// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/1`). Timings go to
+/// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/2`). Timings go to
 /// the file and a summary to stderr; nothing is printed to stdout, so
 /// the subcommand composes with scripts the way `--obs-dir` does.
 fn run_bench(args: &[String]) -> ! {
@@ -157,14 +207,323 @@ fn run_bench(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro trace capture|info|verify`: manage the on-disk trace store.
+fn run_trace_cmd(args: &[String]) -> ! {
+    let usage = "usage: repro trace <capture|info|verify> [WORKLOAD|SLUG]... \
+                 [--scale quick|standard|full] [--trace-dir DIR]";
+    let Some(action) = args.first().map(String::as_str) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let mut scale = Scale::standard();
+    let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = parse_scale(it.next().map(String::as_str)),
+            "--trace-dir" => match it.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--trace-dir expects a directory path");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("repro trace: unknown argument {flag:?}\n{usage}");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    let store = open_store(&dir);
+    match action {
+        "capture" => {
+            let kinds: Vec<WorkloadKind> = if names.is_empty() {
+                WorkloadKind::ALL.to_vec()
+            } else {
+                names
+                    .iter()
+                    .map(|n| {
+                        parse_workload(n).unwrap_or_else(|| {
+                            eprintln!("unknown workload '{n}' (want one of Engineering, Raytrace, Splash, Database, Pmake)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect()
+            };
+            let exec = Executor::serial().with_trace_store(store.clone());
+            for kind in kinds {
+                let spec = traced_ft_spec(kind, scale);
+                let slug = exec.trace_slug(&spec);
+                let tr = exec.traced(&spec);
+                let bytes = std::fs::metadata(store.trace_path(&slug))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                println!(
+                    "{} {slug}: {} records, {} bytes, nodes={}",
+                    if tr.from_store() {
+                        "stored  "
+                    } else {
+                        "captured"
+                    },
+                    tr.trace().len(),
+                    bytes,
+                    tr.nodes()
+                );
+            }
+            let stats = exec.stats();
+            eprintln!(
+                "trace capture: {} machine run(s), {} store hit(s) -> {}",
+                stats.computed,
+                stats.store_hits,
+                store.dir().display()
+            );
+            std::process::exit(0);
+        }
+        "info" | "verify" => {
+            let slugs = if names.is_empty() {
+                store.list().unwrap_or_else(|e| {
+                    eprintln!("listing {}: {e}", store.dir().display());
+                    std::process::exit(1);
+                })
+            } else {
+                names
+            };
+            if slugs.is_empty() {
+                eprintln!("trace store {} is empty", store.dir().display());
+            }
+            let mut failed = false;
+            for slug in &slugs {
+                let outcome = if action == "info" {
+                    trace_info(&store, slug)
+                } else {
+                    trace_verify(&store, slug)
+                };
+                if let Err(e) = outcome {
+                    println!("FAIL {slug}: {e}");
+                    failed = true;
+                }
+            }
+            std::process::exit(i32::from(failed));
+        }
+        other => {
+            eprintln!("repro trace: unknown action {other:?}\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One `trace info` line: sidecar fields plus the chunk index.
+fn trace_info(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore::StoreError> {
+    let meta = store.meta(slug)?;
+    let path = store.trace_path(slug);
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let index = ChunkIndex::read_from(&mut File::open(&path)?)?;
+    println!(
+        "{slug}: label=\"{}\" records={} nodes={} other_time_ns={} chunks={} bytes={}",
+        meta.label,
+        meta.records,
+        meta.nodes,
+        meta.other_time_ns,
+        index.chunks.len(),
+        bytes
+    );
+    Ok(())
+}
+
+/// One `trace verify` line: full strict decode of every chunk, with the
+/// record count cross-checked against the sidecar and the footer.
+fn trace_verify(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore::StoreError> {
+    let (reader, meta) = store.open(slug)?;
+    let mut records = 0u64;
+    for rec in reader {
+        rec?;
+        records += 1;
+    }
+    if records != meta.records {
+        return Err(ccnuma_tracestore::StoreError::Corrupt {
+            chunk: usize::MAX,
+            what: "record count disagrees with sidecar",
+        });
+    }
+    println!("ok {slug}: {records} records");
+    Ok(())
+}
+
+/// `repro sweep`: replay a policy-parameter grid over a stored trace.
+fn run_sweep_cmd(args: &[String]) -> ! {
+    let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
+                 [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
+                 [--out FILE] [--csv FILE] [--policies P,..] [--triggers N,..] \
+                 [--samples N,..] [--latencies NS,..] [--move-costs US,..]";
+    let mut scale = Scale::standard();
+    let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
+    let mut jobs = default_jobs();
+    let mut workload: Option<WorkloadKind> = None;
+    let mut trace_slug: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut spec = SweepSpec::default_grid();
+    fn next_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
+        it.next().map(String::as_str).unwrap_or_else(|| {
+            eprintln!("{flag} expects a value");
+            std::process::exit(2);
+        })
+    }
+    fn num_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Vec<T> {
+        raw.split(',')
+            .map(|x| {
+                x.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("{flag}: bad element {x:?} in {raw:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = parse_scale(it.next().map(String::as_str)),
+            "--trace-dir" => dir = PathBuf::from(next_value("--trace-dir", &mut it)),
+            "--jobs" => {
+                jobs = match next_value("--jobs", &mut it).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--workload" => {
+                let name = next_value("--workload", &mut it);
+                workload = Some(parse_workload(name).unwrap_or_else(|| {
+                    eprintln!("unknown workload '{name}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace" => trace_slug = Some(next_value("--trace", &mut it).to_string()),
+            "--out" => out = Some(PathBuf::from(next_value("--out", &mut it))),
+            "--csv" => csv = Some(PathBuf::from(next_value("--csv", &mut it))),
+            "--policies" => {
+                spec.policies = next_value("--policies", &mut it)
+                    .split(',')
+                    .map(|p| {
+                        SweepPolicy::parse(p.trim()).unwrap_or_else(|| {
+                            eprintln!("--policies: unknown policy {p:?} (want RR, FT, PF, Migr, Repl, Mig/Rep)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--triggers" => {
+                spec.triggers = num_list("--triggers", next_value("--triggers", &mut it))
+            }
+            "--samples" => {
+                spec.sample_rates = num_list("--samples", next_value("--samples", &mut it));
+            }
+            "--latencies" => {
+                spec.remote_latencies_ns =
+                    num_list("--latencies", next_value("--latencies", &mut it));
+            }
+            "--move-costs" => {
+                spec.move_costs_us = num_list("--move-costs", next_value("--move-costs", &mut it));
+            }
+            other => {
+                eprintln!("repro sweep: unknown argument {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if spec.is_empty() {
+        eprintln!("repro sweep: the grid is empty (an axis has no values)");
+        std::process::exit(2);
+    }
+    let store = open_store(&dir);
+    let (slug, label, nodes, other_time) = match (trace_slug, workload) {
+        (Some(slug), None) => {
+            let meta = store.meta(&slug).unwrap_or_else(|e| {
+                eprintln!("reading stored trace {slug}: {e}");
+                std::process::exit(1);
+            });
+            (
+                slug,
+                meta.label,
+                meta.nodes,
+                ccnuma_types::Ns(meta.other_time_ns),
+            )
+        }
+        (None, Some(kind)) => {
+            // Capture-once: the machine runs only if the store does not
+            // already hold this workload's trace.
+            let exec = Executor::serial().with_trace_store(store.clone());
+            let run_spec = traced_ft_spec(kind, scale);
+            let slug = exec.trace_slug(&run_spec);
+            let tr = exec.traced(&run_spec);
+            let stats = exec.stats();
+            eprintln!(
+                "sweep: trace {slug} {}, {} machine run(s), {} store hit(s)",
+                if tr.from_store() {
+                    "served from store"
+                } else {
+                    "captured"
+                },
+                stats.computed,
+                stats.store_hits
+            );
+            (slug, run_spec.describe(), tr.nodes(), tr.other_time())
+        }
+        _ => {
+            eprintln!("repro sweep: exactly one of --workload or --trace is required\n{usage}");
+            std::process::exit(2);
+        }
+    };
+    let report = run_sweep(&spec, nodes, other_time, jobs, || {
+        store.open(&slug).map(|(reader, _)| reader)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("sweep over {slug}: {e}");
+        std::process::exit(1);
+    });
+    let json = report.to_json(&label);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("sweep artifact -> {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    if let Some(path) = &csv {
+        if let Err(e) = std::fs::write(path, report.to_csv()) {
+            eprintln!("writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("sweep CSV -> {}", path.display());
+    }
+    eprintln!(
+        "sweep: {} cell(s), {} unique replay(s), {} records, jobs={jobs}",
+        report.cells.len(),
+        report.unique_replays,
+        report.records
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("bench") {
-        run_bench(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("bench") => run_bench(&args[1..]),
+        Some("trace") => run_trace_cmd(&args[1..]),
+        Some("sweep") => run_sweep_cmd(&args[1..]),
+        _ => {}
     }
     let mut scale = Scale::standard();
     let mut jobs = default_jobs();
     let mut obs_dir: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut verbosity_flag: Option<Verbosity> = None;
     let mut fault_scenario: Option<FaultScenario> = None;
     let mut chaos_seed: u64 = 0;
@@ -232,6 +591,15 @@ fn main() {
                     }
                 };
             }
+            "--trace-dir" => {
+                trace_dir = match it.next() {
+                    Some(dir) => Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--trace-dir expects a directory path");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "-v" | "--verbose" => verbosity_flag = Some(Verbosity::Verbose),
             "-q" | "--quiet" => verbosity_flag = Some(Verbosity::Quiet),
             "all" => names.extend(experiments::ALL.iter().map(|e| e.name.to_string())),
@@ -242,9 +610,10 @@ fn main() {
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--obs-dir DIR] [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
+             [--obs-dir DIR] [--trace-dir DIR] [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
         );
-        eprintln!("       repro all | repro --list | repro --list-faults");
+        eprintln!("       repro all | repro bench | repro trace | repro sweep");
+        eprintln!("       repro --list | repro --list-faults");
         std::process::exit(2);
     }
 
@@ -283,6 +652,9 @@ fn main() {
     let mut exec = Executor::new(jobs).with_verbosity(verbosity);
     if let Some(dir) = &obs_dir {
         exec = exec.with_obs_dir(dir.clone());
+    }
+    if let Some(dir) = &trace_dir {
+        exec = exec.with_trace_store(open_store(dir));
     }
     if let Some(faults) = fault_spec {
         exec = exec.with_faults(faults);
@@ -352,11 +724,17 @@ fn main() {
         } else {
             String::new()
         };
+        let store_hits = if stats.store_hits > 0 {
+            format!(", {} trace-store hit(s)", stats.store_hits)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}, jobs={}, wall {:.2}s",
+            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}{}, jobs={}, wall {:.2}s",
             selected.len(),
             stats.computed,
             stats.hits,
+            store_hits,
             failed,
             stats.jobs,
             wall.as_secs_f64()

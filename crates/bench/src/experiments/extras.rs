@@ -7,8 +7,7 @@
 //! through the [`Executor`].
 
 use crate::helpers::{
-    base_params, dynamic_options, dynamic_spec, ft_spec, other_time_of, run, run_traced_ft,
-    traced_ft_spec, RunPair,
+    base_params, dynamic_options, dynamic_spec, ft_spec, run, traced_ft, traced_ft_spec, RunPair,
 };
 use crate::plan::Executor;
 use ccnuma_core::{overhead, AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
@@ -189,10 +188,9 @@ pub fn sharing(scale: Scale, exec: &Executor) -> String {
         "Workload", "share=8", "share=16", "share=32", "share=64",
     ]);
     for kind in WorkloadKind::USER_SET {
-        let machine_run = run_traced_ft(exec, kind, scale);
-        let trace = machine_run.trace.as_ref().expect("traced");
-        let nodes = kind.build(Scale::quick()).config.nodes;
-        let cfg = PolsimConfig::section8(nodes).with_other_time(other_time_of(&machine_run));
+        let tr = traced_ft(exec, kind, scale);
+        let trace = tr.trace();
+        let cfg = PolsimConfig::section8(tr.nodes()).with_other_time(tr.other_time());
         let base = simulate(trace, &cfg, SimPolicy::round_robin(), TraceFilter::UserOnly);
         let mut row = vec![kind.to_string()];
         for share in [8u32, 16, 32, 64] {
@@ -429,9 +427,9 @@ pub fn counters(scale: Scale, exec: &Executor) -> String {
     let kind = WorkloadKind::Raytrace;
     let mut out = String::new();
     let _ = writeln!(out, "== §7.2.1: counter-width accuracy ==");
-    let machine_run = run_traced_ft(exec, kind, scale);
-    let trace = machine_run.trace.as_ref().expect("traced");
-    let cfg = PolsimConfig::section8(8).with_other_time(other_time_of(&machine_run));
+    let tr = traced_ft(exec, kind, scale);
+    let trace = tr.trace();
+    let cfg = PolsimConfig::section8(8).with_other_time(tr.other_time());
     let mut t = Table::new(vec!["Counters", "Normalized", "Local%", "Moves"]);
     let variants: [(&str, SimPolicy); 3] = [
         (
@@ -628,8 +626,8 @@ pub fn characterize(scale: Scale, exec: &Executor) -> String {
         "Top5% pages hold",
     ]);
     for kind in WorkloadKind::ALL {
-        let r = run_traced_ft(exec, kind, scale);
-        let s = TraceStats::of(r.trace.as_ref().expect("traced"));
+        let tr = traced_ft(exec, kind, scale);
+        let s = TraceStats::of(tr.trace());
         t.row(vec![
             kind.to_string(),
             s.cache_misses.to_string(),

@@ -4,9 +4,7 @@
 //! (for the executor to batch and parallelize) and a render function
 //! that fetches those runs through the [`Executor`] handle.
 
-use crate::helpers::{
-    base_params, dynamic_spec, ft_spec, other_time_of, run_traced_ft, traced_ft_spec, RunPair,
-};
+use crate::helpers::{base_params, dynamic_spec, ft_spec, traced_ft, traced_ft_spec, RunPair};
 use crate::plan::Executor;
 use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
 use ccnuma_machine::{RunReport, RunSpec};
@@ -100,8 +98,8 @@ pub fn figure4(scale: Scale, exec: &Executor) -> String {
     let summaries: Vec<_> = WorkloadKind::USER_SET
         .iter()
         .map(|kind| {
-            let r = run_traced_ft(exec, *kind, scale);
-            read_chains(r.trace.as_ref().expect("traced run")).summary()
+            let tr = traced_ft(exec, *kind, scale);
+            read_chains(tr.trace()).summary()
         })
         .collect();
     for (i, threshold) in ccnuma_trace::ChainSummary::THRESHOLDS.iter().enumerate() {
@@ -205,13 +203,11 @@ fn polsim_figure(
     policies: impl Fn(WorkloadKind) -> Vec<SimPolicy>,
 ) {
     for kind in workloads {
-        let machine_run = run_traced_ft(exec, *kind, scale);
-        let trace = machine_run.trace.as_ref().expect("traced run");
-        let nodes = kind.build(Scale::quick()).config.nodes;
-        let cfg = PolsimConfig::section8(nodes).with_other_time(other_time_of(&machine_run));
+        let tr = traced_ft(exec, *kind, scale);
+        let cfg = PolsimConfig::section8(tr.nodes()).with_other_time(tr.other_time());
         let reports: Vec<PolsimReport> = policies(*kind)
             .into_iter()
-            .map(|p| simulate(trace, &cfg, p, filter))
+            .map(|p| simulate(tr.trace(), &cfg, p, filter))
             .collect();
         let base_total = reports[0].total();
         let mut chart = BarChart::new(vec![

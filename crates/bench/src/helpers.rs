@@ -63,9 +63,12 @@ pub fn run(exec: &Executor, kind: WorkloadKind, scale: Scale, opts: RunOptions) 
     exec.run(&RunSpec::catalog(kind, scale, opts))
 }
 
-/// Fetches the traced first-touch run of a workload through `exec`.
-pub fn run_traced_ft(exec: &Executor, kind: WorkloadKind, scale: Scale) -> Arc<RunReport> {
-    exec.run(&traced_ft_spec(kind, scale))
+/// Fetches a workload's first-touch trace through `exec` — from the
+/// executor's trace store when it already holds the capture, from a
+/// machine run otherwise. Every Section 8 experiment sources its trace
+/// here so one capture feeds all of them.
+pub fn traced_ft(exec: &Executor, kind: WorkloadKind, scale: Scale) -> crate::plan::TracedRun {
+    exec.traced(&traced_ft_spec(kind, scale))
 }
 
 /// The constant "all other time" a policy-simulator bar carries over

@@ -9,16 +9,20 @@
 //! probe, coherence write, directory request), this measures the whole
 //! per-reference loop end to end.
 //!
-//! Schema (`ccnuma-bench-hotpath/1`):
+//! Schema (`ccnuma-bench-hotpath/2`):
 //!
 //! ```json
 //! {
-//!   "schema": "ccnuma-bench-hotpath/1",
+//!   "schema": "ccnuma-bench-hotpath/2",
 //!   "scale": "quick",
 //!   "runs": [
 //!     {"workload": "engineering", "policy": "FT", "total_refs": 320000,
 //!      "wall_seconds": 0.41, "refs_per_sec": 780487.8}
 //!   ],
+//!   "tracestore": {"workload": "Engineering", "records": 470000,
+//!                  "v2_bytes": 3000000, "encode_mb_per_sec": 250.0,
+//!                  "decode_mb_per_sec": 400.0,
+//!                  "replay_refs_per_sec": 9000000.0},
 //!   "totals": {"total_refs": 3200000, "wall_seconds": 4.1,
 //!              "refs_per_sec": 780487.8}
 //! }
@@ -26,12 +30,19 @@
 //!
 //! `refs_per_sec` is simulated references retired per wall-clock second —
 //! the throughput figure EXPERIMENTS.md tracks across optimisation work.
-//! Wall-clock numbers are machine-dependent by nature; only the stdout of
-//! the experiments themselves is held byte-identical.
+//! The `tracestore` block times the v2 trace codec on one captured trace:
+//! encode and decode throughput over the compressed byte size, plus the
+//! rate at which a policy-simulator replay retires records streamed
+//! straight out of the decoder. Wall-clock numbers are machine-dependent
+//! by nature; only the stdout of the experiments themselves is held
+//! byte-identical.
 
+use crate::helpers::{other_time_of, traced_ft_spec};
 use crate::{dynamic_spec, ft_spec};
 use ccnuma_machine::RunSpec;
 use ccnuma_obs::json::JsonWriter;
+use ccnuma_polsim::{PolsimConfig, Replay, SimPolicy, TraceFilter};
+use ccnuma_tracestore::{TraceReader, TraceWriter};
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::time::Instant;
 
@@ -50,6 +61,24 @@ pub struct BenchRun {
     pub refs_per_sec: f64,
 }
 
+/// Trace-store codec and replay throughput, measured on one captured
+/// trace held in memory (no disk in the timed paths).
+#[derive(Debug, Clone)]
+pub struct TraceBench {
+    /// Workload whose first-touch trace was measured.
+    pub workload: String,
+    /// Records in the trace.
+    pub records: u64,
+    /// Size of the v2 encoding.
+    pub v2_bytes: u64,
+    /// v2 encode throughput, MB of output per second.
+    pub encode_mb_per_sec: f64,
+    /// v2 decode throughput, MB of input per second.
+    pub decode_mb_per_sec: f64,
+    /// Records per second through decode + one base-policy replay.
+    pub replay_refs_per_sec: f64,
+}
+
 /// The full benchmark result: one [`BenchRun`] per workload × policy.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -57,6 +86,8 @@ pub struct BenchReport {
     pub scale: String,
     /// The timed runs, in workload-catalog order, FT before Mig/Rep.
     pub runs: Vec<BenchRun>,
+    /// Trace codec timings, when the benchmark measured them.
+    pub trace: Option<TraceBench>,
 }
 
 impl BenchReport {
@@ -69,12 +100,12 @@ impl BenchReport {
         (refs, wall, rate)
     }
 
-    /// Renders the report as `ccnuma-bench-hotpath/1` JSON.
+    /// Renders the report as `ccnuma-bench-hotpath/2` JSON.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.key("schema");
-        w.str("ccnuma-bench-hotpath/1");
+        w.str("ccnuma-bench-hotpath/2");
         w.key("scale");
         w.str(&self.scale);
         w.key("runs");
@@ -94,6 +125,23 @@ impl BenchReport {
             w.end_obj();
         }
         w.end_arr();
+        if let Some(t) = &self.trace {
+            w.key("tracestore");
+            w.begin_obj();
+            w.key("workload");
+            w.str(&t.workload);
+            w.key("records");
+            w.raw(&t.records.to_string());
+            w.key("v2_bytes");
+            w.raw(&t.v2_bytes.to_string());
+            w.key("encode_mb_per_sec");
+            w.raw(&format!("{:.1}", t.encode_mb_per_sec));
+            w.key("decode_mb_per_sec");
+            w.raw(&format!("{:.1}", t.decode_mb_per_sec));
+            w.key("replay_refs_per_sec");
+            w.raw(&format!("{:.1}", t.replay_refs_per_sec));
+            w.end_obj();
+        }
         let (refs, wall, rate) = self.totals();
         w.key("totals");
         w.begin_obj();
@@ -127,11 +175,58 @@ fn time_spec(kind: WorkloadKind, spec: &RunSpec) -> BenchRun {
     }
 }
 
+/// Times the v2 trace codec and a streamed policy-simulator replay on
+/// one workload's first-touch trace, entirely in memory.
+pub fn tracestore_bench(scale: Scale, kind: WorkloadKind) -> TraceBench {
+    let spec = traced_ft_spec(kind, scale);
+    let nodes = spec.build_workload().config.nodes;
+    let report = spec.run();
+    let trace = report.trace.as_ref().expect("traced run carries a trace");
+
+    let start = Instant::now();
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf).expect("in-memory header write");
+    for rec in trace.iter() {
+        w.push(rec).expect("in-memory record write");
+    }
+    w.finish().expect("in-memory footer write");
+    let encode_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    let mut decoded = 0u64;
+    for rec in TraceReader::new(buf.as_slice()).expect("own header reads back") {
+        rec.expect("own stream decodes");
+        decoded += 1;
+    }
+    let decode_s = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(decoded, trace.len() as u64, "decode must see every record");
+
+    let cfg = PolsimConfig::section8(nodes).with_other_time(other_time_of(&report));
+    let mut replay = Replay::new(&cfg, SimPolicy::base_dynamic(), TraceFilter::UserOnly);
+    let start = Instant::now();
+    for rec in TraceReader::new(buf.as_slice()).expect("own header reads back") {
+        replay.observe(&rec.expect("own stream decodes"));
+    }
+    let _ = replay.finish();
+    let replay_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mb = buf.len() as f64 / 1e6;
+    TraceBench {
+        workload: kind.to_string(),
+        records: trace.len() as u64,
+        v2_bytes: buf.len() as u64,
+        encode_mb_per_sec: mb / encode_s,
+        decode_mb_per_sec: mb / decode_s,
+        replay_refs_per_sec: decoded as f64 / replay_s,
+    }
+}
+
 /// Runs the hot-path benchmark over `workloads` at `scale`.
 ///
 /// Each workload is timed under first-touch and under the base Mig/Rep
 /// policy, serially (timings on a loaded machine are noise), and progress
-/// goes to stderr so stdout stays clean for scripting.
+/// goes to stderr so stdout stays clean for scripting. The first workload
+/// additionally gets a [`tracestore_bench`] codec measurement.
 pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]) -> BenchReport {
     let mut runs = Vec::new();
     for &kind in workloads {
@@ -144,9 +239,19 @@ pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]
             runs.push(run);
         }
     }
+    let trace = workloads.first().map(|&kind| {
+        let t = tracestore_bench(scale, kind);
+        eprintln!(
+            "bench: {} trace {} records, {} bytes, encode {:.0} MB/s, decode {:.0} MB/s, replay {:.0} refs/s",
+            t.workload, t.records, t.v2_bytes, t.encode_mb_per_sec, t.decode_mb_per_sec,
+            t.replay_refs_per_sec
+        );
+        t
+    });
     BenchReport {
         scale: scale_label.to_string(),
         runs,
+        trace,
     }
 }
 
@@ -168,6 +273,19 @@ mod tests {
         let (refs, wall, rate) = report.totals();
         assert_eq!(refs, report.runs.iter().map(|r| r.total_refs).sum::<u64>());
         assert!(wall > 0.0 && rate > 0.0);
+        let t = report.trace.expect("codec timings ride along");
+        assert_eq!(t.workload, "Raytrace");
+        assert!(t.records > 0 && t.v2_bytes > 0);
+        assert!(t.encode_mb_per_sec > 0.0 && t.decode_mb_per_sec > 0.0);
+        assert!(t.replay_refs_per_sec > 0.0);
+        // The codec must beat the flat 24-byte v1 records by at least 2x
+        // on a real trace — the acceptance bar for the v2 format.
+        assert!(
+            t.v2_bytes * 2 <= t.records * 24,
+            "{} bytes for {} records is not half of v1",
+            t.v2_bytes,
+            t.records
+        );
     }
 
     #[test]
@@ -181,12 +299,23 @@ mod tests {
                 wall_seconds: 0.5,
                 refs_per_sec: 2000.0,
             }],
+            trace: Some(TraceBench {
+                workload: "raytrace".into(),
+                records: 1000,
+                v2_bytes: 6400,
+                encode_mb_per_sec: 100.0,
+                decode_mb_per_sec: 200.0,
+                replay_refs_per_sec: 5000.0,
+            }),
         };
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/1","scale":"quick""#));
+        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/2","scale":"quick""#));
         assert!(json.contains(r#""total_refs":1000"#));
         assert!(json.contains(r#""wall_seconds":0.500000"#));
         assert!(json.contains(r#""refs_per_sec":2000.0"#));
+        assert!(json.contains(
+            r#""tracestore":{"workload":"raytrace","records":1000,"v2_bytes":6400,"encode_mb_per_sec":100.0,"decode_mb_per_sec":200.0,"replay_refs_per_sec":5000.0}"#
+        ));
         assert!(json.contains(r#""totals":{"total_refs":1000"#));
         assert!(json.ends_with("}\n"));
         let opens = json.matches(['{', '[']).count();
@@ -199,8 +328,10 @@ mod tests {
         let report = BenchReport {
             scale: "quick".into(),
             runs: vec![],
+            trace: None,
         };
         assert_eq!(report.totals(), (0, 0.0, 0.0));
         assert!(report.to_json().contains(r#""runs":[]"#));
+        assert!(!report.to_json().contains("tracestore"));
     }
 }

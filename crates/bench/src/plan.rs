@@ -24,6 +24,9 @@
 use ccnuma_faults::{FaultSpec, FaultStats};
 use ccnuma_machine::{RunReport, RunSpec};
 use ccnuma_obs::{artifact_slug, json::JsonWriter, RunRecorder, Verbosity};
+use ccnuma_trace::Trace;
+use ccnuma_tracestore::{TraceMeta, TraceStore};
+use ccnuma_types::Ns;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::io;
@@ -133,6 +136,62 @@ pub struct ExecutorStats {
     pub computed: u64,
     /// Runs attempted that ended in a [`RunFailure`].
     pub failed: u64,
+    /// Traces served from the on-disk trace store instead of a machine
+    /// run (always 0 without [`Executor::with_trace_store`]).
+    pub store_hits: u64,
+}
+
+/// A trace-bearing run fetched through [`Executor::traced`]: either a
+/// fresh machine run carrying its captured trace, or — when the
+/// executor has a trace store and the store already holds this spec's
+/// capture — the stored trace plus its sidecar, with no machine run at
+/// all. Either way the handle exposes exactly what the Section 8
+/// policy-simulator experiments need: the records, the machine's node
+/// count, and the run's constant non-miss time.
+#[derive(Debug)]
+pub struct TracedRun {
+    source: TracedSource,
+    nodes: u16,
+    other_time: Ns,
+}
+
+#[derive(Debug)]
+enum TracedSource {
+    Fresh(Arc<RunReport>),
+    Stored(Trace),
+}
+
+impl TracedRun {
+    /// The captured miss trace.
+    pub fn trace(&self) -> &Trace {
+        match &self.source {
+            TracedSource::Fresh(report) => report.trace.as_ref().expect("traced run"),
+            TracedSource::Stored(trace) => trace,
+        }
+    }
+
+    /// NUMA nodes of the machine that produced the trace.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The run's constant "all other time" component.
+    pub fn other_time(&self) -> Ns {
+        self.other_time
+    }
+
+    /// True when the trace came from the store (no machine run).
+    pub fn from_store(&self) -> bool {
+        matches!(self.source, TracedSource::Stored(_))
+    }
+
+    /// The full machine report, when one was computed.
+    pub fn report(&self) -> Option<&Arc<RunReport>> {
+        match &self.source {
+            TracedSource::Fresh(report) => Some(report),
+            TracedSource::Stored(_) => None,
+        }
+    }
 }
 
 /// A memoizing run executor.
@@ -152,9 +211,11 @@ pub struct Executor {
     obs_dir: Option<PathBuf>,
     verbosity: Verbosity,
     default_faults: Option<FaultSpec>,
+    trace_store: Option<TraceStore>,
     cache: Mutex<HashMap<String, Result<Arc<RunReport>, RunFailure>>>,
     hits: AtomicU64,
     computed: AtomicU64,
+    store_hits: AtomicU64,
     timings: Mutex<Vec<RunTiming>>,
     failures: Mutex<Vec<RunFailure>>,
     warnings: Mutex<Vec<String>>,
@@ -168,9 +229,11 @@ impl Executor {
             obs_dir: None,
             verbosity: Verbosity::default(),
             default_faults: None,
+            trace_store: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
             warnings: Mutex::new(Vec::new()),
@@ -208,9 +271,44 @@ impl Executor {
         self
     }
 
+    /// Serves and captures traces through `store`: a
+    /// [`Executor::traced`] call whose capture is already stored skips
+    /// the machine run entirely, and a fresh capture is saved for next
+    /// time. The store is keyed by the same slug as obs artifacts, so a
+    /// spec change (scale, seed, faults) never serves a stale trace.
+    #[must_use]
+    pub fn with_trace_store(mut self, store: TraceStore) -> Executor {
+        self.trace_store = Some(store);
+        self
+    }
+
     /// The configured observability directory, if any.
     pub fn obs_dir(&self) -> Option<&Path> {
         self.obs_dir.as_deref()
+    }
+
+    /// The configured trace store, if any.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.trace_store.as_ref()
+    }
+
+    /// The trace-store slug for `spec` (after fault defaulting) — the
+    /// same label + identity-fingerprint scheme obs artifacts use.
+    pub fn trace_slug(&self, spec: &RunSpec) -> String {
+        let spec = self.effective_spec(spec);
+        TraceStore::slug(&spec.describe(), &spec.cache_key())
+    }
+
+    /// True when [`Executor::traced`] would serve `spec` from the store
+    /// without running the machine.
+    fn store_serves(&self, effective: &RunSpec) -> bool {
+        effective.opts.capture_trace
+            && self.trace_store.as_ref().is_some_and(|store| {
+                store.contains(&TraceStore::slug(
+                    &effective.describe(),
+                    &effective.cache_key(),
+                ))
+            })
     }
 
     /// The spec as this executor will actually run it: the default fault
@@ -314,6 +412,68 @@ impl Executor {
         lock(&self.cache).entry(key).or_insert(outcome).clone()
     }
 
+    /// Returns the trace-bearing run for `spec` — from the trace store
+    /// when possible (capture-once), from a machine run otherwise. A
+    /// fresh capture is saved to the store for future invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine run fails (see [`Executor::try_traced`]).
+    pub fn traced(&self, spec: &RunSpec) -> TracedRun {
+        self.try_traced(spec)
+            .unwrap_or_else(|f| panic!("run {} failed: {}", f.label, f.error))
+    }
+
+    /// Non-panicking form of [`Executor::traced`].
+    ///
+    /// An unreadable store entry degrades to a warning plus a fresh
+    /// capture; only a failing machine run is an error.
+    pub fn try_traced(&self, spec: &RunSpec) -> Result<TracedRun, RunFailure> {
+        let spec = self.effective_spec(spec);
+        let slug = TraceStore::slug(&spec.describe(), &spec.cache_key());
+        if let Some(store) = &self.trace_store {
+            if store.contains(&slug) {
+                match store.load(&slug) {
+                    Ok((trace, meta)) => {
+                        self.store_hits.fetch_add(1, Ordering::Relaxed);
+                        if self.verbosity.verbose() {
+                            eprintln!("trace {} served from store", meta.label);
+                        }
+                        return Ok(TracedRun {
+                            nodes: meta.nodes,
+                            other_time: Ns(meta.other_time_ns),
+                            source: TracedSource::Stored(trace),
+                        });
+                    }
+                    Err(e) => {
+                        self.warn(format!("stored trace {slug} unreadable ({e}); recapturing"))
+                    }
+                }
+            }
+        }
+        let report = self.try_run(&spec)?;
+        let nodes = spec.build_workload().config.nodes;
+        let other_time = crate::helpers::other_time_of(&report);
+        if let (Some(store), Some(trace)) = (&self.trace_store, report.trace.as_ref()) {
+            if !store.contains(&slug) {
+                let meta = TraceMeta {
+                    label: spec.describe(),
+                    records: trace.len() as u64,
+                    nodes,
+                    other_time_ns: other_time.0,
+                };
+                if let Err(e) = store.save(&slug, trace, &meta) {
+                    self.warn(format!("saving trace {slug}: {e}"));
+                }
+            }
+        }
+        Ok(TracedRun {
+            nodes,
+            other_time,
+            source: TracedSource::Fresh(report),
+        })
+    }
+
     /// Computes every spec of `plan` that is not yet cached, using up to
     /// `jobs` worker threads. Idempotent; call before rendering so the
     /// renderers' `run` calls all hit the cache. Failing runs are
@@ -324,7 +484,13 @@ impl Executor {
             let cache = lock(&self.cache);
             plan.specs()
                 .iter()
-                .filter(|s| !cache.contains_key(&self.effective_spec(s).cache_key()))
+                .filter(|s| {
+                    let eff = self.effective_spec(s);
+                    // A traced spec whose capture is already stored is
+                    // served by `traced` without a machine run; planning
+                    // it here would defeat capture-once.
+                    !cache.contains_key(&eff.cache_key()) && !self.store_serves(&eff)
+                })
                 .collect()
         };
         if todo.is_empty() {
@@ -358,6 +524,7 @@ impl Executor {
             hits: self.hits.load(Ordering::Relaxed),
             computed: self.computed.load(Ordering::Relaxed),
             failed: lock(&self.failures).len() as u64,
+            store_hits: self.store_hits.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,169 @@
+//! End-to-end guarantees for the capture-once trace store, driven
+//! through the `repro` binary:
+//!
+//! 1. `repro fig6` stdout is byte-identical whether traces come from a
+//!    fresh machine run, a cold store (capture on first use), or a warm
+//!    store (pure replay) — and the warm run computes zero machine runs.
+//! 2. `repro sweep` artifacts (JSON and CSV) are byte-identical across
+//!    worker counts.
+//! 3. `repro trace verify` exits 0 on an intact store and 1 with a
+//!    checksum diagnostic after a single flipped byte.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// A fresh scratch directory under the OS temp dir, cleaned first so
+/// reruns start cold.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccnuma-tracestore-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+#[test]
+fn fig6_stdout_identical_fresh_cold_and_warm_store() {
+    let dir = scratch("fig6");
+    let dir = dir.to_str().expect("temp path is UTF-8");
+
+    let fresh = repro(&["fig6", "--scale", "quick"]);
+    let cold = repro(&["fig6", "--scale", "quick", "--trace-dir", dir]);
+    let warm = repro(&["fig6", "--scale", "quick", "--trace-dir", dir]);
+
+    let fresh_out = stdout_of(&fresh);
+    assert_eq!(
+        fresh_out,
+        stdout_of(&cold),
+        "capturing through the store must not change the figure"
+    );
+    assert_eq!(
+        fresh_out,
+        stdout_of(&warm),
+        "replaying stored traces must not change the figure"
+    );
+
+    // The warm run never touches the machine simulator: every traced
+    // spec is served from the store before the executor plans it.
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("0 distinct run(s) computed"),
+        "warm run must compute nothing: {warm_err}"
+    );
+    assert!(
+        warm_err.contains("trace-store hit(s)"),
+        "warm run must report its store hits: {warm_err}"
+    );
+}
+
+#[test]
+fn sweep_artifacts_identical_across_job_counts() {
+    let dir = scratch("sweep");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.to_str().expect("temp path is UTF-8");
+    let sweep = |jobs: &str, tag: &str| {
+        let json = dir.join(format!("sweep-{tag}.json"));
+        let csv = dir.join(format!("sweep-{tag}.csv"));
+        let out = repro(&[
+            "sweep",
+            "--workload",
+            "Raytrace",
+            "--scale",
+            "quick",
+            "--trace-dir",
+            store,
+            "--jobs",
+            jobs,
+            "--out",
+            json.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "sweep --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read(&json).expect("json artifact"),
+            std::fs::read(&csv).expect("csv artifact"),
+        )
+    };
+
+    let (json1, csv1) = sweep("1", "j1");
+    let (json4, csv4) = sweep("4", "j4");
+    assert_eq!(json1, json4, "sweep JSON must not depend on job count");
+    assert_eq!(csv1, csv4, "sweep CSV must not depend on job count");
+
+    let text = String::from_utf8(json1).expect("JSON is UTF-8");
+    assert!(
+        text.contains("\"schema\":\"ccnuma-sweep/1\""),
+        "artifact must declare its schema: {text}"
+    );
+}
+
+#[test]
+fn trace_verify_detects_a_flipped_byte() {
+    let dir = scratch("verify");
+    let store = dir.to_str().expect("temp path is UTF-8");
+
+    let cap = repro(&[
+        "trace",
+        "capture",
+        "Raytrace",
+        "--scale",
+        "quick",
+        "--trace-dir",
+        store,
+    ]);
+    assert!(
+        cap.status.success(),
+        "capture failed: {}",
+        String::from_utf8_lossy(&cap.stderr)
+    );
+
+    let good = repro(&["trace", "verify", "--trace-dir", store]);
+    let good_out = stdout_of(&good);
+    assert!(
+        good_out.contains("ok "),
+        "intact store verifies: {good_out}"
+    );
+
+    // Flip one bit in the middle of the only .trace file.
+    let trace_file = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "trace"))
+        .expect("captured trace file");
+    let mut bytes = std::fs::read(&trace_file).expect("trace bytes");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&trace_file, &bytes).expect("rewrite trace");
+
+    let bad = repro(&["trace", "verify", "--trace-dir", store]);
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "corruption must exit 1: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    let bad_out = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        bad_out.contains("FAIL"),
+        "corruption must be diagnosed: {bad_out}"
+    );
+}

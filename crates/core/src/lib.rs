@@ -67,4 +67,6 @@ pub use engine::{NoActionReason, ObservedMiss, PolicyAction, PolicyEngine, Polic
 pub use location::PageLocation;
 pub use metric::MissMetric;
 pub use params::{DynamicPolicyKind, PolicyParams};
-pub use placement::{FirstTouch, Placer, PostFacto, RoundRobin, StaticPolicyKind};
+pub use placement::{
+    FirstTouch, Placer, PostFacto, PostFactoBuilder, RoundRobin, StaticPolicyKind,
+};

@@ -6,7 +6,7 @@
 //! allocation case", computed with perfect future knowledge of the miss
 //! trace.
 
-use ccnuma_trace::Trace;
+use ccnuma_trace::{MissRecord, Trace};
 use ccnuma_types::{MachineConfig, NodeId, VirtPage};
 use core::fmt;
 use std::collections::HashMap;
@@ -149,15 +149,79 @@ impl PostFacto {
     /// only secondary-cache misses. Ties are broken toward the
     /// lowest-numbered node, deterministically.
     pub fn from_trace(trace: &Trace, cfg: &MachineConfig) -> PostFacto {
-        let mut counts: HashMap<VirtPage, Vec<u64>> = HashMap::new();
-        for r in trace.cache_misses() {
-            let node = cfg.node_of_proc(r.proc);
-            let per_node = counts
-                .entry(r.page)
-                .or_insert_with(|| vec![0; cfg.nodes as usize]);
-            per_node[node.index()] += 1;
+        let mut b = PostFactoBuilder::new(cfg);
+        for r in trace.iter() {
+            b.observe(r);
         }
-        let best = counts
+        b.finish()
+    }
+
+    /// Number of pages with a computed optimal home.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when the source trace had no cache misses.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// Streaming constructor for [`PostFacto`]: feed it miss records one at a
+/// time (e.g. straight off a stored trace) and [`finish`] into the placer
+/// without ever materializing the trace.
+///
+/// [`finish`]: PostFactoBuilder::finish
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_core::{Placer, PostFactoBuilder};
+/// use ccnuma_trace::MissRecord;
+/// use ccnuma_types::{MachineConfig, NodeId, Ns, Pid, ProcId, VirtPage};
+///
+/// let cfg = MachineConfig::cc_numa();
+/// let mut b = PostFactoBuilder::new(&cfg);
+/// for t in 0..3 {
+///     b.observe(&MissRecord::user_data_read(Ns(t), ProcId(2), Pid(0), VirtPage(7)));
+/// }
+/// let mut pf = b.finish();
+/// assert_eq!(pf.place(VirtPage(7), NodeId(5)), NodeId(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PostFactoBuilder {
+    cfg: MachineConfig,
+    counts: HashMap<VirtPage, Vec<u64>>,
+}
+
+impl PostFactoBuilder {
+    /// An empty builder for a machine shaped like `cfg`.
+    pub fn new(cfg: &MachineConfig) -> PostFactoBuilder {
+        PostFactoBuilder {
+            cfg: cfg.clone(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Counts one record toward its node's claim on the page. TLB-only
+    /// records are ignored — post-facto placement optimizes cache misses.
+    pub fn observe(&mut self, r: &MissRecord) {
+        if r.source != ccnuma_trace::MissSource::Cache {
+            return;
+        }
+        let node = self.cfg.node_of_proc(r.proc);
+        let per_node = self
+            .counts
+            .entry(r.page)
+            .or_insert_with(|| vec![0; self.cfg.nodes as usize]);
+        per_node[node.index()] += 1;
+    }
+
+    /// Resolves every page to the node that took the most misses to it.
+    /// Ties break toward the lowest-numbered node, deterministically.
+    pub fn finish(self) -> PostFacto {
+        let best = self
+            .counts
             .into_iter()
             .map(|(page, per_node)| {
                 let (idx, _) = per_node
@@ -169,16 +233,6 @@ impl PostFacto {
             })
             .collect();
         PostFacto { best }
-    }
-
-    /// Number of pages with a computed optimal home.
-    pub fn len(&self) -> usize {
-        self.best.len()
-    }
-
-    /// True when the source trace had no cache misses.
-    pub fn is_empty(&self) -> bool {
-        self.best.is_empty()
     }
 }
 

@@ -36,4 +36,4 @@ mod report;
 mod sim;
 
 pub use report::PolsimReport;
-pub use sim::{simulate, PolsimConfig, SimPolicy, TraceFilter};
+pub use sim::{simulate, PolsimConfig, Replay, SimPolicy, TraceFilter};

@@ -3,9 +3,9 @@
 use crate::PolsimReport;
 use ccnuma_core::{
     DynamicPolicyKind, FirstTouch, MissMetric, ObservedMiss, PageLocation, Placer, PolicyAction,
-    PolicyEngine, PolicyParams, PostFacto, RoundRobin, StaticPolicyKind,
+    PolicyEngine, PolicyParams, PostFactoBuilder, RoundRobin, StaticPolicyKind,
 };
-use ccnuma_trace::{MissSource, Trace};
+use ccnuma_trace::{MissRecord, MissSource, Trace};
 use ccnuma_types::{MachineConfig, Mode, NodeId, Ns, VirtPage};
 use std::collections::HashMap;
 
@@ -178,94 +178,173 @@ impl Placement {
     }
 }
 
-/// Replays `trace` under `policy` with the Section 8 memory model.
+/// An incremental replay of one policy under the Section 8 memory model:
+/// the streaming entry point behind [`simulate`].
 ///
-/// Stall is charged for every secondary-cache miss passing `filter`; the
-/// policy is driven by whatever records its metric admits (which is how
-/// TLB-driven policies are evaluated on cache-miss performance in
-/// Figure 8). Page moves cost [`PolsimConfig::move_cost`] each.
-pub fn simulate(
-    trace: &Trace,
-    cfg: &PolsimConfig,
-    policy: SimPolicy,
+/// Records are fed one at a time, so a stored trace can be replayed
+/// chunk by chunk with bounded memory. Post-facto placement needs the
+/// whole trace before the replay proper ([`needs_priming`] returns
+/// `true`); run the trace through [`prime`] first and [`seal`] the
+/// placer, then make the second pass with [`observe`]. Every other
+/// policy is single-pass: skip straight to [`observe`]. [`finish`]
+/// yields the [`PolsimReport`].
+///
+/// [`needs_priming`]: Replay::needs_priming
+/// [`prime`]: Replay::prime
+/// [`seal`]: Replay::seal
+/// [`observe`]: Replay::observe
+/// [`finish`]: Replay::finish
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_polsim::{PolsimConfig, Replay, SimPolicy, TraceFilter};
+/// use ccnuma_trace::MissRecord;
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// let cfg = PolsimConfig::section8(8);
+/// let mut replay = Replay::new(&cfg, SimPolicy::first_touch(), TraceFilter::All);
+/// assert!(!replay.needs_priming());
+/// for i in 0..10 {
+///     replay.observe(&MissRecord::user_data_read(Ns(i), ProcId(3), Pid(0), VirtPage(1)));
+/// }
+/// let report = replay.finish();
+/// assert_eq!(report.local_misses, 10);
+/// ```
+pub struct Replay {
+    cfg: PolsimConfig,
+    machine: MachineConfig,
     filter: TraceFilter,
-) -> PolsimReport {
-    let label = policy.label();
-    let machine = MachineConfig::cc_numa().with_nodes(cfg.nodes);
-    let mut placements: HashMap<VirtPage, Placement> = HashMap::new();
+    placements: HashMap<VirtPage, Placement>,
+    placer: Option<Box<dyn Placer>>,
+    dynamic: Option<(PolicyEngine, MissMetric)>,
+    priming: Option<PostFactoBuilder>,
+    report: PolsimReport,
+}
 
-    type DynamicState = Option<(PolicyEngine, MissMetric)>;
-    let (mut placer, mut dynamic): (Option<Box<dyn Placer>>, DynamicState) = match policy {
-        SimPolicy::Static(StaticPolicyKind::RoundRobin) => {
-            (Some(Box::new(RoundRobin::new(cfg.nodes))), None)
-        }
-        SimPolicy::Static(StaticPolicyKind::FirstTouch) => {
-            (Some(Box::new(FirstTouch::new())), None)
-        }
-        SimPolicy::Static(StaticPolicyKind::PostFacto) => {
-            // Perfect future knowledge of the filtered miss population.
-            let filtered = trace.filtered(|r| filter.admits(r.mode));
-            (
-                Some(Box::new(PostFacto::from_trace(&filtered, &machine))),
-                None,
-            )
-        }
-        SimPolicy::Dynamic {
-            params,
-            kind,
-            metric,
-        } => (
-            None,
-            Some((
-                PolicyEngine::with_procs(params, kind, machine.procs() as usize),
+impl Replay {
+    /// Sets up a replay of `policy` on a `cfg.nodes`-node machine.
+    pub fn new(cfg: &PolsimConfig, policy: SimPolicy, filter: TraceFilter) -> Replay {
+        let label = policy.label();
+        let machine = MachineConfig::cc_numa().with_nodes(cfg.nodes);
+
+        type Parts = (
+            Option<Box<dyn Placer>>,
+            Option<(PolicyEngine, MissMetric)>,
+            Option<PostFactoBuilder>,
+        );
+        let (placer, dynamic, priming): Parts = match policy {
+            SimPolicy::Static(StaticPolicyKind::RoundRobin) => {
+                (Some(Box::new(RoundRobin::new(cfg.nodes))), None, None)
+            }
+            SimPolicy::Static(StaticPolicyKind::FirstTouch) => {
+                (Some(Box::new(FirstTouch::new())), None, None)
+            }
+            SimPolicy::Static(StaticPolicyKind::PostFacto) => {
+                // Perfect future knowledge: collect it in a priming pass.
+                (None, None, Some(PostFactoBuilder::new(&machine)))
+            }
+            SimPolicy::Dynamic {
+                params,
+                kind,
                 metric,
-            )),
-        ),
-    };
+            } => (
+                None,
+                Some((
+                    PolicyEngine::with_procs(params, kind, machine.procs() as usize),
+                    metric,
+                )),
+                None,
+            ),
+        };
 
-    let mut report = PolsimReport {
-        label,
-        local_misses: 0,
-        remote_misses: 0,
-        local_stall: Ns::ZERO,
-        remote_stall: Ns::ZERO,
-        mig_overhead: Ns::ZERO,
-        rep_overhead: Ns::ZERO,
-        migrations: 0,
-        replications: 0,
-        collapses: 0,
-        other_time: cfg.other_time,
-        policy_stats: None,
-    };
+        Replay {
+            cfg: cfg.clone(),
+            machine,
+            filter,
+            placements: HashMap::new(),
+            placer,
+            dynamic,
+            priming,
+            report: PolsimReport {
+                label,
+                local_misses: 0,
+                remote_misses: 0,
+                local_stall: Ns::ZERO,
+                remote_stall: Ns::ZERO,
+                mig_overhead: Ns::ZERO,
+                rep_overhead: Ns::ZERO,
+                migrations: 0,
+                replications: 0,
+                collapses: 0,
+                other_time: cfg.other_time,
+                policy_stats: None,
+            },
+        }
+    }
 
-    for rec in trace.iter() {
-        let node = machine.node_of_proc(rec.proc);
+    /// True while the policy still needs a priming pass over the whole
+    /// trace (post-facto only) before [`observe`](Replay::observe).
+    pub fn needs_priming(&self) -> bool {
+        self.priming.is_some()
+    }
+
+    /// Feeds one record of the priming pass. A no-op for single-pass
+    /// policies, so callers may unconditionally prime when convenient.
+    pub fn prime(&mut self, rec: &MissRecord) {
+        if let Some(b) = &mut self.priming {
+            if self.filter.admits(rec.mode) {
+                b.observe(rec);
+            }
+        }
+    }
+
+    /// Ends the priming pass and freezes the post-facto placement.
+    /// Observing a record seals implicitly, so a forgotten `seal` after
+    /// an empty priming pass degrades to first-touch fallback rather
+    /// than panicking.
+    pub fn seal(&mut self) {
+        if let Some(b) = self.priming.take() {
+            self.placer = Some(Box::new(b.finish()));
+        }
+    }
+
+    /// Replays one record: establishes placement at first sight of the
+    /// page, charges stall for cache misses passing the filter, and lets
+    /// a dynamic policy act on whatever its metric admits.
+    pub fn observe(&mut self, rec: &MissRecord) {
+        self.seal();
+        let node = self.machine.node_of_proc(rec.proc);
         // Establish placement at first sight of the page (first touch for
         // dynamic policies, the placer's choice for static ones).
-        let placement = placements.entry(rec.page).or_insert_with(|| Placement {
-            copies: vec![match &mut placer {
-                Some(p) => p.place(rec.page, node),
-                None => node,
-            }],
-        });
+        let placer = &mut self.placer;
+        let placement = self
+            .placements
+            .entry(rec.page)
+            .or_insert_with(|| Placement {
+                copies: vec![match placer {
+                    Some(p) => p.place(rec.page, node),
+                    None => node,
+                }],
+            });
 
         // Stall accounting: cache misses passing the filter.
-        if rec.source == MissSource::Cache && filter.admits(rec.mode) {
+        if rec.source == MissSource::Cache && self.filter.admits(rec.mode) {
             if placement.has(node) {
-                report.local_misses += 1;
-                report.local_stall += cfg.local_latency;
+                self.report.local_misses += 1;
+                self.report.local_stall += self.cfg.local_latency;
             } else {
-                report.remote_misses += 1;
-                report.remote_stall += cfg.remote_latency;
+                self.report.remote_misses += 1;
+                self.report.remote_stall += self.cfg.remote_latency;
             }
         }
 
         // Policy decisions: whatever the metric admits.
-        let Some((engine, metric)) = &mut dynamic else {
-            continue;
+        let Some((engine, metric)) = &mut self.dynamic else {
+            return;
         };
         if !metric.admits(rec) {
-            continue;
+            return;
         }
         let mapped = if placement.has(node) {
             node
@@ -284,26 +363,59 @@ pub fn simulate(
             PolicyAction::Nothing(_) | PolicyAction::Remap { .. } => {}
             PolicyAction::Migrate { to } => {
                 placement.copies[0] = to;
-                report.migrations += 1;
-                report.mig_overhead += cfg.move_cost;
+                self.report.migrations += 1;
+                self.report.mig_overhead += self.cfg.move_cost;
             }
             PolicyAction::Replicate { at } => {
                 placement.copies.push(at);
-                report.replications += 1;
-                report.rep_overhead += cfg.move_cost;
+                self.report.replications += 1;
+                self.report.rep_overhead += self.cfg.move_cost;
             }
             PolicyAction::Collapse => {
                 if placement.is_replicated() {
                     placement.copies.truncate(1);
-                    report.collapses += 1;
-                    report.rep_overhead += cfg.move_cost;
+                    self.report.collapses += 1;
+                    self.report.rep_overhead += self.cfg.move_cost;
                 }
             }
         }
     }
 
-    report.policy_stats = dynamic.map(|(engine, _)| *engine.stats());
-    report
+    /// Consumes the replay and returns the report.
+    pub fn finish(mut self) -> PolsimReport {
+        self.seal();
+        self.report.policy_stats = self.dynamic.map(|(engine, _)| *engine.stats());
+        self.report
+    }
+}
+
+/// Replays `trace` under `policy` with the Section 8 memory model.
+///
+/// Stall is charged for every secondary-cache miss passing `filter`; the
+/// policy is driven by whatever records its metric admits (which is how
+/// TLB-driven policies are evaluated on cache-miss performance in
+/// Figure 8). Page moves cost [`PolsimConfig::move_cost`] each.
+///
+/// This is the convenience wrapper over [`Replay`] for in-memory traces;
+/// replay from a stored trace streams records through [`Replay`]
+/// directly.
+pub fn simulate(
+    trace: &Trace,
+    cfg: &PolsimConfig,
+    policy: SimPolicy,
+    filter: TraceFilter,
+) -> PolsimReport {
+    let mut replay = Replay::new(cfg, policy, filter);
+    if replay.needs_priming() {
+        for rec in trace.iter() {
+            replay.prime(rec);
+        }
+        replay.seal();
+    }
+    for rec in trace.iter() {
+        replay.observe(rec);
+    }
+    replay.finish()
 }
 
 #[cfg(test)]

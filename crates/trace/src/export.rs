@@ -4,7 +4,7 @@
 //! with an external plotting tool, traces and read-chain series can be
 //! written as CSV.
 
-use crate::{ChainSummary, Trace};
+use crate::{ChainSummary, MissRecord, Trace};
 use std::io::{self, Write};
 
 /// Writes a trace as CSV with a header row:
@@ -35,9 +35,41 @@ use std::io::{self, Write};
 /// # Ok(())
 /// # }
 /// ```
-pub fn write_csv<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+pub fn write_csv<W: Write>(w: W, trace: &Trace) -> io::Result<()> {
+    write_csv_records(w, trace.iter().copied())
+}
+
+/// Streaming form of [`write_csv`]: writes whatever record iterator it is
+/// handed, one row at a time, without materializing a [`Trace`] (or an
+/// intermediate `String`). This is what lets a store-resident trace be
+/// exported chunk by chunk with bounded memory.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{export::write_csv_records, MissRecord};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut buf = Vec::new();
+/// write_csv_records(
+///     &mut buf,
+///     (0..2).map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(i))),
+/// )?;
+/// assert_eq!(String::from_utf8(buf)?.lines().count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv_records<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = MissRecord>,
+) -> io::Result<()> {
     writeln!(w, "time_ns,proc,pid,page,kind,mode,class,source")?;
-    for r in trace.iter() {
+    for r in records {
         writeln!(
             w,
             "{},{},{},{},{},{},{},{}",

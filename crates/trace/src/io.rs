@@ -1,8 +1,15 @@
-//! Compact binary persistence for traces.
+//! Compact binary persistence for traces (format v1).
 //!
 //! Each record is 24 bytes: time (u64 LE), page (u64 LE), pid (u32 LE),
 //! proc (u16 LE), flags (u8), pad (u8). The stream is prefixed with a magic
 //! string, a format version, and a record count so truncation is detected.
+//!
+//! Reading is streaming: [`TraceStream`] yields records one at a time with
+//! bounded memory, and [`read_trace`] is a convenience that collects a
+//! whole stream into a [`Trace`]. The chunked, delta-compressed format v2
+//! lives in the `ccnuma-tracestore` crate, which builds on the
+//! [`encode_flags`]/[`record_from_parts`] codec exported here and falls
+//! back to [`TraceStream`] for version-1 files.
 //!
 //! # Examples
 //!
@@ -26,8 +33,11 @@ use crate::{MissRecord, MissSource, Trace, TraceBuilder};
 use ccnuma_types::{AccessKind, Mode, Ns, Pid, ProcId, RefClass, VirtPage};
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"CCNT";
-const VERSION: u32 = 1;
+/// The four magic bytes every trace stream starts with, shared by format
+/// v1 (this module) and the chunked format v2 (`ccnuma-tracestore`).
+pub const MAGIC: &[u8; 4] = b"CCNT";
+/// The format version this module writes.
+pub const VERSION: u32 = 1;
 
 /// Errors produced when decoding a trace stream.
 #[derive(Debug)]
@@ -68,7 +78,9 @@ impl From<io::Error> for ReadTraceError {
     }
 }
 
-fn flags_of(r: &MissRecord) -> u8 {
+/// Packs a record's four booleans into the shared flag byte: bit 0 write,
+/// bit 1 kernel, bit 2 instruction fetch, bit 3 TLB miss.
+pub fn encode_flags(r: &MissRecord) -> u8 {
     let mut f = 0u8;
     if r.kind.is_write() {
         f |= 1;
@@ -85,7 +97,14 @@ fn flags_of(r: &MissRecord) -> u8 {
     f
 }
 
-fn record_of(
+/// Rebuilds a record from its serialized fields, validating the flag byte
+/// (the inverse of [`encode_flags`]).
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::BadFlags`] if `flags` has bits outside the
+/// defined set.
+pub fn record_from_parts(
     time: u64,
     page: u64,
     pid: u32,
@@ -138,42 +157,120 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
         w.write_all(&r.page.0.to_le_bytes())?;
         w.write_all(&r.pid.0.to_le_bytes())?;
         w.write_all(&r.proc.0.to_le_bytes())?;
-        w.write_all(&[flags_of(r), 0])?;
+        w.write_all(&[encode_flags(r), 0])?;
     }
     Ok(())
+}
+
+/// A streaming reader over a v1 trace stream: parses the header eagerly,
+/// then yields one record per [`Iterator::next`] call with bounded memory
+/// (a single 24-byte buffer), however long the trace is.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_trace::{io::{write_trace, TraceStream}, MissRecord, Trace};
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace: Trace = (0..3)
+///     .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(i)))
+///     .collect();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace)?;
+/// let mut stream = TraceStream::new(buf.as_slice())?;
+/// assert_eq!(stream.remaining(), 3);
+/// assert_eq!(stream.next().transpose()?, Some(trace.as_slice()[0]));
+/// assert_eq!(stream.remaining(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceStream<R: Read> {
+    reader: R,
+    remaining: u64,
+}
+
+impl<R: Read> TraceStream<R> {
+    /// Parses the magic, version and record count, leaving the reader
+    /// positioned at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure, bad magic, or a version
+    /// other than 1.
+    pub fn new(mut reader: R) -> Result<TraceStream<R>, ReadTraceError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadTraceError::BadMagic);
+        }
+        let mut four = [0u8; 4];
+        reader.read_exact(&mut four)?;
+        let version = u32::from_le_bytes(four);
+        if version != VERSION {
+            return Err(ReadTraceError::BadVersion(version));
+        }
+        let mut eight = [0u8; 8];
+        reader.read_exact(&mut eight)?;
+        Ok(TraceStream {
+            reader,
+            remaining: u64::from_le_bytes(eight),
+        })
+    }
+
+    /// Records the header promised that have not been yielded yet.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: Read> Iterator for TraceStream<R> {
+    type Item = Result<MissRecord, ReadTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut buf = [0u8; 24];
+        if let Err(e) = self.reader.read_exact(&mut buf) {
+            // Poison the stream: a short read is terminal.
+            self.remaining = 0;
+            return Some(Err(ReadTraceError::Io(e)));
+        }
+        self.remaining -= 1;
+        let time = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
+        let page = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
+        let pid = u32::from_le_bytes(buf[16..20].try_into().expect("slice len"));
+        let proc = u16::from_le_bytes(buf[20..22].try_into().expect("slice len"));
+        let rec = record_from_parts(time, page, pid, proc, buf[22]);
+        if rec.is_err() {
+            self.remaining = 0;
+        }
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
 }
 
 /// Reads a trace previously written by [`write_trace`]. The reader can be
 /// passed by `&mut` reference thanks to the blanket `Read` impl.
 ///
+/// Implemented over the streaming [`TraceStream`]; the only whole-trace
+/// allocation is the returned [`Trace`] itself.
+///
 /// # Errors
 ///
 /// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
 /// version, or corrupt record flags.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(ReadTraceError::BadMagic);
-    }
-    let mut four = [0u8; 4];
-    r.read_exact(&mut four)?;
-    let version = u32::from_le_bytes(four);
-    if version != VERSION {
-        return Err(ReadTraceError::BadVersion(version));
-    }
-    let mut eight = [0u8; 8];
-    r.read_exact(&mut eight)?;
-    let count = u64::from_le_bytes(eight);
-    let mut b = TraceBuilder::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        let mut buf = [0u8; 24];
-        r.read_exact(&mut buf)?;
-        let time = u64::from_le_bytes(buf[0..8].try_into().expect("slice len"));
-        let page = u64::from_le_bytes(buf[8..16].try_into().expect("slice len"));
-        let pid = u32::from_le_bytes(buf[16..20].try_into().expect("slice len"));
-        let proc = u16::from_le_bytes(buf[20..22].try_into().expect("slice len"));
-        b.push(record_of(time, page, pid, proc, buf[22])?);
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, ReadTraceError> {
+    let stream = TraceStream::new(r)?;
+    let mut b = TraceBuilder::with_capacity(stream.remaining().min(1 << 24) as usize);
+    for rec in stream {
+        b.push(rec?);
     }
     Ok(b.finish())
 }
@@ -244,6 +341,49 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let err = read_trace(buf.as_slice()).unwrap_err();
         assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn stream_yields_records_lazily_and_counts_down() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let mut stream = TraceStream::new(buf.as_slice()).unwrap();
+        assert_eq!(stream.remaining(), 4);
+        assert_eq!(stream.size_hint(), (4, Some(4)));
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first, t.as_slice()[0]);
+        assert_eq!(stream.remaining(), 3);
+        let rest: Result<Vec<_>, _> = stream.collect();
+        assert_eq!(rest.unwrap(), t.as_slice()[1..]);
+    }
+
+    #[test]
+    fn stream_poisons_after_short_read() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 30); // kill the last record and change
+        let mut stream = TraceStream::new(buf.as_slice()).unwrap();
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().unwrap().is_ok());
+        assert!(matches!(stream.next().unwrap(), Err(ReadTraceError::Io(_))));
+        assert!(stream.next().is_none(), "stream terminates after an error");
+        assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn flags_roundtrip_through_the_codec() {
+        for r in sample_trace().iter() {
+            let f = encode_flags(r);
+            let back =
+                record_from_parts(r.time.0, r.page.0, r.pid.0, r.proc.0, f).expect("valid flags");
+            assert_eq!(&back, r);
+        }
+        assert!(matches!(
+            record_from_parts(0, 0, 0, 0, 0x10),
+            Err(ReadTraceError::BadFlags(0x10))
+        ));
     }
 
     #[test]

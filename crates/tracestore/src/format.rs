@@ -1,0 +1,912 @@
+//! The chunked on-disk trace format, version 2.
+//!
+//! A v2 stream shares the v1 header shape — the `CCNT` magic followed by
+//! a little-endian `u32` version — so one reader sniffs both. After the
+//! header come self-contained chunks and a chunk-index footer:
+//!
+//! ```text
+//! header := "CCNT" u32(version = 2)
+//! chunk  := 0x01 u32(body_len) u64(fnv1a64 of body) body
+//! footer := 0x00 u32(body_len) u64(fnv1a64 of body) body
+//!           u32(body_len again) "CCNX"
+//! ```
+//!
+//! A chunk body is `varint(record_count)` followed by delta-encoded
+//! records; the delta baseline resets to zero at every chunk boundary,
+//! so any chunk decodes on its own — that is what makes parallel decode
+//! and tail salvage possible. Each record is four zigzag varints (time,
+//! page, pid and processor deltas) plus the one-byte v1 flags, which for
+//! the simulator's sorted, page-local traces comes to ~3–8 bytes
+//! instead of v1's fixed 24.
+//!
+//! The footer body is `varint(chunk_count)`, then per chunk
+//! `varint(file_offset) varint(record_count)`, then
+//! `varint(total_records)`. The trailing length + `CCNX` magic let a
+//! seekable reader find the index from the end of the file without
+//! scanning.
+
+use crate::varint;
+use ccnuma_obs::fnv1a64;
+use ccnuma_trace::io::{encode_flags, record_from_parts, ReadTraceError, TraceStream, MAGIC};
+use ccnuma_trace::MissRecord;
+use std::fmt;
+use std::io::{self, Cursor, Read, Seek, SeekFrom, Write};
+
+/// Format version written by [`TraceWriter`].
+pub const VERSION_V2: u32 = 2;
+/// Marker byte that opens every chunk.
+pub const CHUNK_MARKER: u8 = 0x01;
+/// Marker byte that opens the footer.
+pub const FOOTER_MARKER: u8 = 0x00;
+/// Magic that ends a complete v2 file.
+pub const END_MAGIC: &[u8; 4] = b"CCNX";
+/// Default records per chunk: bounds writer and reader memory to a few
+/// hundred KB while keeping per-chunk overhead (13 bytes) negligible.
+pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
+
+/// Everything that can go wrong reading or writing a stored trace.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `CCNT` magic.
+    BadMagic([u8; 4]),
+    /// A version this reader does not understand.
+    BadVersion(u32),
+    /// A chunk's FNV checksum does not match its body.
+    ChecksumMismatch {
+        /// Zero-based index of the failing chunk.
+        chunk: usize,
+    },
+    /// A structural problem inside a chunk or the footer.
+    Corrupt {
+        /// Zero-based chunk index (chunk count for the footer).
+        chunk: usize,
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// A record carried reserved flag bits.
+    BadFlags(u8),
+    /// The file ended before a complete footer.
+    MissingFooter,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store I/O error: {e}"),
+            StoreError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            StoreError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            StoreError::ChecksumMismatch { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            StoreError::Corrupt { chunk, what } => {
+                write!(f, "corrupt trace file at chunk {chunk}: {what}")
+            }
+            StoreError::BadFlags(b) => write!(f, "record with reserved flag bits {b:#04x}"),
+            StoreError::MissingFooter => write!(f, "trace file truncated before its footer"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ReadTraceError> for StoreError {
+    fn from(e: ReadTraceError) -> StoreError {
+        match e {
+            ReadTraceError::Io(e) => StoreError::Io(e),
+            ReadTraceError::BadMagic => StoreError::BadMagic(*MAGIC),
+            ReadTraceError::BadVersion(v) => StoreError::BadVersion(v),
+            ReadTraceError::BadFlags(b) => StoreError::BadFlags(b),
+        }
+    }
+}
+
+/// One entry of the chunk-index footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of the chunk's marker byte from the start of the file.
+    pub offset: u64,
+    /// Records stored in the chunk.
+    pub records: u64,
+}
+
+/// The decoded chunk-index footer of a v2 file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIndex {
+    /// Per-chunk offsets and record counts, in file order.
+    pub chunks: Vec<ChunkEntry>,
+    /// Total records across all chunks.
+    pub total_records: u64,
+}
+
+impl ChunkIndex {
+    /// Reads the index from the end of a seekable v2 file without
+    /// scanning the chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingFooter`] when the trailer is absent or
+    /// damaged, [`StoreError::Corrupt`]/[`StoreError::ChecksumMismatch`]
+    /// when the footer body does not validate, or an I/O error.
+    pub fn read_from<R: Read + Seek>(r: &mut R) -> Result<ChunkIndex, StoreError> {
+        let file_len = r.seek(SeekFrom::End(0))?;
+        // Trailer: u32 body_len + 4-byte end magic.
+        if file_len < 8 {
+            return Err(StoreError::MissingFooter);
+        }
+        r.seek(SeekFrom::End(-8))?;
+        let mut trailer = [0u8; 8];
+        r.read_exact(&mut trailer)?;
+        if &trailer[4..] != END_MAGIC {
+            return Err(StoreError::MissingFooter);
+        }
+        let body_len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as u64;
+        // marker(1) + len(4) + checksum(8) + body + trailer(8)
+        let footer_total = 13 + body_len + 8;
+        if file_len < footer_total {
+            return Err(StoreError::MissingFooter);
+        }
+        r.seek(SeekFrom::Start(file_len - footer_total))?;
+        let mut head = [0u8; 13];
+        r.read_exact(&mut head)?;
+        if head[0] != FOOTER_MARKER {
+            return Err(StoreError::MissingFooter);
+        }
+        let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]) as u64;
+        if len != body_len {
+            return Err(StoreError::MissingFooter);
+        }
+        let checksum = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
+        let mut body = vec![0u8; body_len as usize];
+        r.read_exact(&mut body)?;
+        decode_footer_body(&body, checksum)
+    }
+}
+
+fn decode_footer_body(body: &[u8], checksum: u64) -> Result<ChunkIndex, StoreError> {
+    if fnv1a64(body) != checksum {
+        return Err(StoreError::Corrupt {
+            chunk: usize::MAX,
+            what: "footer checksum mismatch",
+        });
+    }
+    let corrupt = |what| StoreError::Corrupt {
+        chunk: usize::MAX,
+        what,
+    };
+    let mut pos = 0;
+    let count = varint::read_u64(body, &mut pos).ok_or(corrupt("footer chunk count"))?;
+    if count > body.len() as u64 {
+        // Each entry takes at least two bytes; a count beyond the body
+        // length is garbage and must not drive an allocation.
+        return Err(corrupt("footer chunk count out of range"));
+    }
+    let mut chunks = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let offset = varint::read_u64(body, &mut pos).ok_or(corrupt("footer chunk offset"))?;
+        let records = varint::read_u64(body, &mut pos).ok_or(corrupt("footer record count"))?;
+        chunks.push(ChunkEntry { offset, records });
+    }
+    let total_records = varint::read_u64(body, &mut pos).ok_or(corrupt("footer total"))?;
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes in footer"));
+    }
+    if total_records != chunks.iter().map(|c| c.records).sum::<u64>() {
+        return Err(corrupt("footer total disagrees with entries"));
+    }
+    Ok(ChunkIndex {
+        chunks,
+        total_records,
+    })
+}
+
+/// Delta-encodes `records` into a chunk body (count prefix included).
+fn encode_chunk_body(records: &[MissRecord]) -> Vec<u8> {
+    // ~6 bytes/record is typical; over-reserving slightly avoids realloc.
+    let mut body = Vec::with_capacity(8 + records.len() * 8);
+    varint::write_u64(&mut body, records.len() as u64);
+    let (mut pt, mut pp, mut ppid, mut pproc) = (0u64, 0u64, 0i64, 0i64);
+    for r in records {
+        varint::write_u64(&mut body, varint::zigzag(r.time.0.wrapping_sub(pt) as i64));
+        varint::write_u64(&mut body, varint::zigzag(r.page.0.wrapping_sub(pp) as i64));
+        varint::write_u64(&mut body, varint::zigzag(r.pid.0 as i64 - ppid));
+        varint::write_u64(&mut body, varint::zigzag(r.proc.0 as i64 - pproc));
+        body.push(encode_flags(r));
+        pt = r.time.0;
+        pp = r.page.0;
+        ppid = r.pid.0 as i64;
+        pproc = r.proc.0 as i64;
+    }
+    body
+}
+
+/// Decodes a chunk body back into records.
+fn decode_chunk_body(body: &[u8], chunk: usize) -> Result<Vec<MissRecord>, StoreError> {
+    let corrupt = |what| StoreError::Corrupt { chunk, what };
+    let mut pos = 0;
+    let count = varint::read_u64(body, &mut pos).ok_or(corrupt("record count"))?;
+    // Each record needs at least 5 bytes, so a count past the body
+    // length can never be satisfied; reject before allocating.
+    if count > body.len() as u64 {
+        return Err(corrupt("record count out of range"));
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    let (mut pt, mut pp, mut ppid, mut pproc) = (0u64, 0u64, 0i64, 0i64);
+    for _ in 0..count {
+        let dt = varint::read_u64(body, &mut pos).ok_or(corrupt("time delta"))?;
+        let dp = varint::read_u64(body, &mut pos).ok_or(corrupt("page delta"))?;
+        let dpid = varint::read_u64(body, &mut pos).ok_or(corrupt("pid delta"))?;
+        let dproc = varint::read_u64(body, &mut pos).ok_or(corrupt("proc delta"))?;
+        let flags = *body.get(pos).ok_or(corrupt("flags byte"))?;
+        pos += 1;
+        let time = pt.wrapping_add(varint::unzigzag(dt) as u64);
+        let page = pp.wrapping_add(varint::unzigzag(dp) as u64);
+        let pid = ppid + varint::unzigzag(dpid);
+        let proc = pproc + varint::unzigzag(dproc);
+        let pid = u32::try_from(pid).map_err(|_| corrupt("pid out of range"))?;
+        let proc = u16::try_from(proc).map_err(|_| corrupt("proc out of range"))?;
+        records.push(record_from_parts(time, page, pid, proc, flags)?);
+        pt = time;
+        pp = page;
+        ppid = pid as i64;
+        pproc = proc as i64;
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes in chunk"));
+    }
+    Ok(records)
+}
+
+/// Summary returned by [`TraceWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Records written.
+    pub records: u64,
+    /// Chunks written.
+    pub chunks: usize,
+    /// Total bytes of the finished file, header to end magic.
+    pub bytes: u64,
+}
+
+/// Bounded-memory streaming writer for format v2.
+///
+/// Push records one at a time; the writer buffers at most one chunk
+/// (default [`DEFAULT_CHUNK_RECORDS`] records) before flushing it with
+/// its checksum, and [`finish`](TraceWriter::finish) appends the
+/// chunk-index footer.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_tracestore::{TraceReader, TraceWriter};
+/// use ccnuma_trace::MissRecord;
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), ccnuma_tracestore::StoreError> {
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// for i in 0..100u64 {
+///     w.push(&MissRecord::user_data_read(Ns(i * 500), ProcId(0), Pid(0), VirtPage(i / 8)))?;
+/// }
+/// let summary = w.finish()?;
+/// assert_eq!(summary.records, 100);
+/// let back: Result<Vec<_>, _> = TraceReader::new(buf.as_slice())?.collect();
+/// assert_eq!(back?.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TraceWriter<W: Write> {
+    w: W,
+    written: u64,
+    buf: Vec<MissRecord>,
+    chunk_records: usize,
+    index: Vec<ChunkEntry>,
+    total: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a v2 stream on `w` with the default chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(w: W) -> Result<TraceWriter<W>, StoreError> {
+        TraceWriter::with_chunk_records(w, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// Starts a v2 stream flushing every `chunk_records` records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is zero.
+    pub fn with_chunk_records(
+        mut w: W,
+        chunk_records: usize,
+    ) -> Result<TraceWriter<W>, StoreError> {
+        assert!(chunk_records > 0, "chunks must hold at least one record");
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION_V2.to_le_bytes())?;
+        Ok(TraceWriter {
+            w,
+            written: 8,
+            buf: Vec::with_capacity(chunk_records),
+            chunk_records,
+            index: Vec::new(),
+            total: 0,
+        })
+    }
+
+    /// Appends one record, flushing a chunk when the buffer fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from a chunk flush.
+    pub fn push(&mut self, rec: &MissRecord) -> Result<(), StoreError> {
+        self.buf.push(*rec);
+        self.total += 1;
+        if self.buf.len() >= self.chunk_records {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let body = encode_chunk_body(&self.buf);
+        self.index.push(ChunkEntry {
+            offset: self.written,
+            records: self.buf.len() as u64,
+        });
+        self.w.write_all(&[CHUNK_MARKER])?;
+        self.w.write_all(&(body.len() as u32).to_le_bytes())?;
+        self.w.write_all(&fnv1a64(&body).to_le_bytes())?;
+        self.w.write_all(&body)?;
+        self.written += 13 + body.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the last chunk, writes the footer, and returns totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final writes.
+    pub fn finish(mut self) -> Result<WriteSummary, StoreError> {
+        self.flush_chunk()?;
+        let mut body = Vec::new();
+        varint::write_u64(&mut body, self.index.len() as u64);
+        for entry in &self.index {
+            varint::write_u64(&mut body, entry.offset);
+            varint::write_u64(&mut body, entry.records);
+        }
+        varint::write_u64(&mut body, self.total);
+        self.w.write_all(&[FOOTER_MARKER])?;
+        let len = (body.len() as u32).to_le_bytes();
+        self.w.write_all(&len)?;
+        self.w.write_all(&fnv1a64(&body).to_le_bytes())?;
+        self.w.write_all(&body)?;
+        self.w.write_all(&len)?;
+        self.w.write_all(END_MAGIC)?;
+        self.w.flush()?;
+        Ok(WriteSummary {
+            records: self.total,
+            chunks: self.index.len(),
+            bytes: self.written + 13 + body.len() as u64 + 8,
+        })
+    }
+}
+
+/// What a salvaging reader recovered from a damaged file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageInfo {
+    /// Complete chunks recovered before the damage.
+    pub chunks_kept: usize,
+    /// Records in those chunks.
+    pub records_kept: u64,
+    /// Why the scan stopped.
+    pub reason: SalvageReason,
+}
+
+/// Why a salvage scan stopped accepting chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageReason {
+    /// The file ended mid-chunk (e.g. an interrupted capture).
+    TruncatedChunk,
+    /// A chunk's checksum or structure did not validate.
+    DamagedChunk,
+    /// All chunks were fine but the footer was missing or damaged.
+    MissingFooter,
+}
+
+enum ReaderKind<R: Read> {
+    V1 {
+        stream: TraceStream<io::Chain<Cursor<[u8; 8]>, R>>,
+        done: u64,
+    },
+    V2(V2State<R>),
+}
+
+struct V2State<R: Read> {
+    reader: R,
+    current: std::vec::IntoIter<MissRecord>,
+    chunks_done: usize,
+    records_done: u64,
+    footer_seen: bool,
+    salvage: bool,
+    salvaged: Option<SalvageInfo>,
+    finished: bool,
+}
+
+/// Streaming reader for stored traces: decodes v2 chunk by chunk with
+/// bounded memory, and falls back to the flat v1 stream for old files.
+///
+/// Iterate it (`Iterator<Item = Result<MissRecord, StoreError>>`); after
+/// a salvaging read finishes, [`salvaged`](TraceReader::salvaged)
+/// reports what was dropped.
+///
+/// # Examples
+///
+/// Reading a v1 stream transparently:
+///
+/// ```
+/// use ccnuma_trace::{io::write_trace, MissRecord, Trace};
+/// use ccnuma_tracestore::TraceReader;
+/// use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace: Trace = [MissRecord::user_data_read(Ns(1), ProcId(0), Pid(0), VirtPage(2))]
+///     .into_iter()
+///     .collect();
+/// let mut v1 = Vec::new();
+/// write_trace(&mut v1, &trace)?;
+/// let records: Result<Vec<_>, _> = TraceReader::new(v1.as_slice())?.collect();
+/// assert_eq!(records?, trace.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub struct TraceReader<R: Read> {
+    kind: ReaderKind<R>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a stored trace, sniffing the version from the header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadMagic`] / [`StoreError::BadVersion`] for foreign
+    /// input, or an I/O error reading the header.
+    pub fn new(reader: R) -> Result<TraceReader<R>, StoreError> {
+        TraceReader::open(reader, false)
+    }
+
+    /// Like [`new`](TraceReader::new), but a damaged or truncated v2
+    /// tail ends the stream cleanly (recording [`SalvageInfo`]) instead
+    /// of yielding an error. Header problems still fail: there is
+    /// nothing to salvage from a file of the wrong format.
+    ///
+    /// # Errors
+    ///
+    /// Same header errors as [`new`](TraceReader::new).
+    pub fn with_salvage(reader: R) -> Result<TraceReader<R>, StoreError> {
+        TraceReader::open(reader, true)
+    }
+
+    fn open(mut reader: R, salvage: bool) -> Result<TraceReader<R>, StoreError> {
+        let mut header = [0u8; 8];
+        reader.read_exact(&mut header)?;
+        let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        let kind = match version {
+            1 => {
+                // Hand the already-consumed header back to the v1 parser.
+                let chained = Cursor::new(header).chain(reader);
+                ReaderKind::V1 {
+                    stream: TraceStream::new(chained)?,
+                    done: 0,
+                }
+            }
+            VERSION_V2 => ReaderKind::V2(V2State {
+                reader,
+                current: Vec::new().into_iter(),
+                chunks_done: 0,
+                records_done: 0,
+                footer_seen: false,
+                salvage,
+                salvaged: None,
+                finished: false,
+            }),
+            v => return Err(StoreError::BadVersion(v)),
+        };
+        Ok(TraceReader { kind })
+    }
+
+    /// After iteration: what a salvaging read had to drop, if anything.
+    /// Always `None` for v1 streams — they carry no chunk structure to
+    /// salvage.
+    pub fn salvaged(&self) -> Option<SalvageInfo> {
+        match &self.kind {
+            ReaderKind::V1 { .. } => None,
+            ReaderKind::V2(s) => s.salvaged,
+        }
+    }
+
+    /// Records yielded so far.
+    pub fn records_read(&self) -> u64 {
+        match &self.kind {
+            ReaderKind::V1 { done, .. } => *done,
+            ReaderKind::V2(s) => s.records_done,
+        }
+    }
+}
+
+impl<R: Read> V2State<R> {
+    /// Loads the next chunk into `current`. Returns `Ok(false)` at a
+    /// clean end of stream (footer validated, or salvage stop).
+    fn refill(&mut self) -> Result<bool, StoreError> {
+        loop {
+            let mut marker = [0u8; 1];
+            match self.reader.read_exact(&mut marker) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return self.stop(SalvageReason::MissingFooter, StoreError::MissingFooter);
+                }
+                Err(e) => return self.stop(SalvageReason::TruncatedChunk, e.into()),
+            }
+            match marker[0] {
+                CHUNK_MARKER => {
+                    let mut head = [0u8; 12];
+                    if let Err(e) = self.reader.read_exact(&mut head) {
+                        return self.stop_io(e);
+                    }
+                    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+                    let checksum = u64::from_le_bytes(head[4..].try_into().expect("8 bytes"));
+                    let mut body = vec![0u8; len as usize];
+                    if let Err(e) = self.reader.read_exact(&mut body) {
+                        return self.stop_io(e);
+                    }
+                    if fnv1a64(&body) != checksum {
+                        return self.stop(
+                            SalvageReason::DamagedChunk,
+                            StoreError::ChecksumMismatch {
+                                chunk: self.chunks_done,
+                            },
+                        );
+                    }
+                    let records = match decode_chunk_body(&body, self.chunks_done) {
+                        Ok(r) => r,
+                        Err(e) => return self.stop(SalvageReason::DamagedChunk, e),
+                    };
+                    self.chunks_done += 1;
+                    if records.is_empty() {
+                        continue;
+                    }
+                    self.current = records.into_iter();
+                    return Ok(true);
+                }
+                FOOTER_MARKER => {
+                    let mut head = [0u8; 12];
+                    if let Err(e) = self.reader.read_exact(&mut head) {
+                        return self.stop_io(e);
+                    }
+                    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+                    let checksum = u64::from_le_bytes(head[4..].try_into().expect("8 bytes"));
+                    let mut body = vec![0u8; len as usize];
+                    if let Err(e) = self.reader.read_exact(&mut body) {
+                        return self.stop_io(e);
+                    }
+                    let index = match decode_footer_body(&body, checksum) {
+                        Ok(i) => i,
+                        Err(e) => return self.stop(SalvageReason::MissingFooter, e),
+                    };
+                    if index.chunks.len() != self.chunks_done
+                        || index.total_records != self.records_done
+                    {
+                        return self.stop(
+                            SalvageReason::MissingFooter,
+                            StoreError::Corrupt {
+                                chunk: self.chunks_done,
+                                what: "footer disagrees with chunks read",
+                            },
+                        );
+                    }
+                    self.footer_seen = true;
+                    return Ok(false);
+                }
+                _ => {
+                    return self.stop(
+                        SalvageReason::DamagedChunk,
+                        StoreError::Corrupt {
+                            chunk: self.chunks_done,
+                            what: "unknown marker byte",
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn stop_io(&mut self, e: io::Error) -> Result<bool, StoreError> {
+        let reason = if e.kind() == io::ErrorKind::UnexpectedEof {
+            SalvageReason::TruncatedChunk
+        } else {
+            SalvageReason::DamagedChunk
+        };
+        self.stop(reason, e.into())
+    }
+
+    /// In salvage mode, record the reason and end cleanly; otherwise
+    /// surface the error.
+    fn stop(&mut self, reason: SalvageReason, err: StoreError) -> Result<bool, StoreError> {
+        self.finished = true;
+        if self.salvage {
+            self.salvaged = Some(SalvageInfo {
+                chunks_kept: self.chunks_done,
+                records_kept: self.records_done,
+                reason,
+            });
+            Ok(false)
+        } else {
+            Err(err)
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<MissRecord, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.kind {
+            ReaderKind::V1 { stream, done } => {
+                let item = stream.next()?;
+                if item.is_ok() {
+                    *done += 1;
+                }
+                Some(item.map_err(StoreError::from))
+            }
+            ReaderKind::V2(s) => {
+                if let Some(rec) = s.current.next() {
+                    s.records_done += 1;
+                    return Some(Ok(rec));
+                }
+                if s.finished || s.footer_seen {
+                    return None;
+                }
+                match s.refill() {
+                    Ok(true) => {
+                        let rec = s.current.next().expect("refilled chunk is non-empty");
+                        s.records_done += 1;
+                        Some(Ok(rec))
+                    }
+                    Ok(false) => None,
+                    Err(e) => {
+                        s.finished = true;
+                        Some(Err(e))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decodes the chunk at `entry` from a seekable reader — the unit of
+/// parallel decode.
+///
+/// # Errors
+///
+/// Checksum, structure, or I/O errors for that chunk.
+pub fn read_chunk_at<R: Read + Seek>(
+    r: &mut R,
+    chunk_no: usize,
+    entry: ChunkEntry,
+) -> Result<Vec<MissRecord>, StoreError> {
+    r.seek(SeekFrom::Start(entry.offset))?;
+    let mut head = [0u8; 13];
+    r.read_exact(&mut head)?;
+    if head[0] != CHUNK_MARKER {
+        return Err(StoreError::Corrupt {
+            chunk: chunk_no,
+            what: "index points at a non-chunk",
+        });
+    }
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(head[5..].try_into().expect("8 bytes"));
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    if fnv1a64(&body) != checksum {
+        return Err(StoreError::ChecksumMismatch { chunk: chunk_no });
+    }
+    let records = decode_chunk_body(&body, chunk_no)?;
+    if records.len() as u64 != entry.records {
+        return Err(StoreError::Corrupt {
+            chunk: chunk_no,
+            what: "chunk record count disagrees with index",
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_trace::{Trace, TraceBuilder};
+    use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+
+    fn sample(n: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            b.push(MissRecord::user_data_read(
+                Ns(i * 500),
+                ProcId((i % 8) as u16),
+                Pid((i % 3) as u32),
+                VirtPage(100 + i / 16),
+            ));
+        }
+        b.finish()
+    }
+
+    fn encode(trace: &Trace, chunk_records: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_chunk_records(&mut buf, chunk_records).unwrap();
+        for r in trace.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundaries() {
+        let t = sample(1000);
+        let buf = encode(&t, 64);
+        let back: Result<Vec<_>, _> = TraceReader::new(buf.as_slice()).unwrap().collect();
+        assert_eq!(back.unwrap(), t.as_slice());
+    }
+
+    #[test]
+    fn v2_is_much_smaller_than_v1() {
+        let t = sample(4000);
+        let mut v1 = Vec::new();
+        ccnuma_trace::io::write_trace(&mut v1, &t).unwrap();
+        let v2 = encode(&t, DEFAULT_CHUNK_RECORDS);
+        assert!(
+            v2.len() * 2 <= v1.len(),
+            "v2 {} bytes vs v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let buf = encode(&Trace::new(), 16);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(r.next().is_none());
+        assert!(r.salvaged().is_none());
+    }
+
+    #[test]
+    fn index_reads_from_the_end_and_seeks_chunks() {
+        let t = sample(300);
+        let buf = encode(&t, 100);
+        let mut cur = Cursor::new(&buf);
+        let index = ChunkIndex::read_from(&mut cur).unwrap();
+        assert_eq!(index.chunks.len(), 3);
+        assert_eq!(index.total_records, 300);
+        // Decode the middle chunk alone.
+        let mid = read_chunk_at(&mut cur, 1, index.chunks[1]).unwrap();
+        assert_eq!(mid, &t.as_slice()[100..200]);
+    }
+
+    #[test]
+    fn truncated_tail_errors_strictly_and_salvages_leniently() {
+        let t = sample(300);
+        let full = encode(&t, 100);
+        // Cut into the middle of the last chunk (before the footer).
+        let mut cur = Cursor::new(&full);
+        let index = ChunkIndex::read_from(&mut cur).unwrap();
+        let cut = (index.chunks[2].offset + 20) as usize;
+        let buf = &full[..cut];
+
+        let strict: Result<Vec<_>, _> = TraceReader::new(buf).unwrap().collect();
+        assert!(strict.is_err(), "strict read must surface truncation");
+
+        let mut lenient = TraceReader::with_salvage(buf).unwrap();
+        let recovered: Result<Vec<_>, _> = (&mut lenient).collect();
+        assert_eq!(recovered.unwrap(), &t.as_slice()[..200]);
+        let info = lenient.salvaged().unwrap();
+        assert_eq!(info.chunks_kept, 2);
+        assert_eq!(info.records_kept, 200);
+        assert_eq!(info.reason, SalvageReason::TruncatedChunk);
+    }
+
+    #[test]
+    fn bit_flip_in_a_chunk_is_a_checksum_error() {
+        let t = sample(300);
+        let mut buf = encode(&t, 100);
+        let mut cur = Cursor::new(&buf);
+        let index = ChunkIndex::read_from(&mut cur).unwrap();
+        // Flip a byte inside the second chunk's body.
+        let victim = (index.chunks[1].offset + 15) as usize;
+        buf[victim] ^= 0x40;
+        let res: Result<Vec<_>, _> = TraceReader::new(buf.as_slice()).unwrap().collect();
+        match res {
+            Err(StoreError::ChecksumMismatch { chunk: 1 }) => {}
+            other => panic!("expected checksum mismatch in chunk 1, got {other:?}"),
+        }
+        // Salvage keeps the first chunk.
+        let mut lenient = TraceReader::with_salvage(buf.as_slice()).unwrap();
+        let recovered: Result<Vec<_>, _> = (&mut lenient).collect();
+        assert_eq!(recovered.unwrap().len(), 100);
+        assert_eq!(
+            lenient.salvaged().unwrap().reason,
+            SalvageReason::DamagedChunk
+        );
+    }
+
+    #[test]
+    fn missing_footer_is_detected() {
+        let t = sample(50);
+        let full = encode(&t, 100);
+        // Drop the whole footer (marker through end magic).
+        let mut cur = Cursor::new(&full);
+        let index = ChunkIndex::read_from(&mut cur).unwrap();
+        let footer_start = (index.chunks[0].offset + 13) as usize + {
+            // chunk body length
+            u32::from_le_bytes(
+                full[(index.chunks[0].offset + 1) as usize..][..4]
+                    .try_into()
+                    .unwrap(),
+            ) as usize
+        };
+        let buf = &full[..footer_start];
+        let strict: Result<Vec<_>, _> = TraceReader::new(buf).unwrap().collect();
+        assert!(matches!(strict, Err(StoreError::MissingFooter)));
+        let mut lenient = TraceReader::with_salvage(buf).unwrap();
+        let recovered: Result<Vec<_>, _> = (&mut lenient).collect();
+        assert_eq!(recovered.unwrap().len(), 50, "all chunks were intact");
+        assert_eq!(
+            lenient.salvaged().unwrap().reason,
+            SalvageReason::MissingFooter
+        );
+    }
+
+    #[test]
+    fn foreign_bytes_are_bad_magic() {
+        let res = TraceReader::new(&b"not a trace file"[..]);
+        assert!(matches!(res, Err(StoreError::BadMagic(_))));
+        let res = TraceReader::new(&b"CCNT\x09\x00\x00\x00"[..]);
+        assert!(matches!(res, Err(StoreError::BadVersion(9))));
+    }
+
+    #[test]
+    fn v1_streams_read_transparently() {
+        let t = sample(120);
+        let mut v1 = Vec::new();
+        ccnuma_trace::io::write_trace(&mut v1, &t).unwrap();
+        let back: Result<Vec<_>, _> = TraceReader::new(v1.as_slice()).unwrap().collect();
+        assert_eq!(back.unwrap(), t.as_slice());
+    }
+}

@@ -1,0 +1,59 @@
+//! Capture-once trace store and policy-sweep engine.
+//!
+//! The paper's Section 8 methodology captures each workload's cache-miss
+//! trace once and replays it through a cheap contentionless policy
+//! simulator many times. This crate makes that literal on disk:
+//!
+//! * [`format`] — the chunked trace format v2: varint + delta encoding
+//!   (~3–8 bytes per record instead of v1's 24), an FNV checksum per
+//!   chunk, a chunk-index footer for seeks and parallel decode, a
+//!   bounded-memory streaming [`TraceWriter`]/[`TraceReader`] pair,
+//!   salvage of complete chunks from a truncated tail, and transparent
+//!   reading of v1 streams.
+//! * [`store`] — a content-addressed [`TraceStore`] directory keyed by
+//!   run-spec slug, with a JSON sidecar per trace so experiments render
+//!   from storage without re-running the machine simulator.
+//! * [`sweep`] — a declarative [`SweepSpec`] grid (policies × triggers ×
+//!   sampling × latencies × move costs) replayed in parallel over a
+//!   stored trace with memoized cells, emitting deterministic
+//!   `ccnuma-sweep/1` JSON/CSV artifacts.
+//!
+//! # Examples
+//!
+//! Round-trip a trace through the v2 format:
+//!
+//! ```
+//! use ccnuma_trace::MissRecord;
+//! use ccnuma_tracestore::{TraceReader, TraceWriter};
+//! use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+//!
+//! # fn main() -> Result<(), ccnuma_tracestore::StoreError> {
+//! let mut buf = Vec::new();
+//! let mut w = TraceWriter::new(&mut buf)?;
+//! for i in 0..1000u64 {
+//!     w.push(&MissRecord::user_data_read(Ns(i * 300), ProcId(0), Pid(0), VirtPage(i / 8)))?;
+//! }
+//! let summary = w.finish()?;
+//! assert!(summary.bytes < 1000 * 12, "far below v1's 24 bytes/record");
+//! let records: Result<Vec<_>, _> = TraceReader::new(buf.as_slice())?.collect();
+//! assert_eq!(records?.len(), 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod store;
+pub mod sweep;
+pub mod varint;
+
+pub use format::{
+    read_chunk_at, ChunkEntry, ChunkIndex, SalvageInfo, SalvageReason, StoreError, TraceReader,
+    TraceWriter, WriteSummary, DEFAULT_CHUNK_RECORDS, VERSION_V2,
+};
+pub use store::{TraceMeta, TraceStore, META_SCHEMA};
+pub use sweep::{
+    run_sweep, CellParams, SweepCell, SweepPolicy, SweepReport, SweepSpec, SWEEP_SCHEMA,
+};

@@ -1,0 +1,353 @@
+//! The capture-once trace cache.
+//!
+//! A [`TraceStore`] is a directory of v2 trace files, content-addressed
+//! by the same slug scheme the observability layer uses for run
+//! artifacts: a human-readable label plus an FNV fingerprint of the run
+//! spec's identity. Each trace carries a small JSON sidecar
+//! (`<slug>.meta.json`, schema `ccnuma-trace-meta/1`) holding what a
+//! replay needs beyond the records themselves — the machine's node
+//! count and the run's constant non-miss time — so experiments can
+//! render from a stored trace without re-running the machine simulator.
+
+use crate::format::{StoreError, TraceReader, TraceWriter, WriteSummary};
+use ccnuma_obs::artifact_slug;
+use ccnuma_obs::json::JsonWriter;
+use ccnuma_trace::{MissRecord, Trace, TraceBuilder};
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read};
+use std::path::{Path, PathBuf};
+
+/// Sidecar metadata stored next to each trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Human-readable run description (e.g. `raytrace [FT] +trace`).
+    pub label: String,
+    /// Records in the trace.
+    pub records: u64,
+    /// NUMA nodes of the captured machine.
+    pub nodes: u16,
+    /// The run's constant "all other time" component, in nanoseconds.
+    pub other_time_ns: u64,
+}
+
+/// Schema tag written into every meta sidecar.
+pub const META_SCHEMA: &str = "ccnuma-trace-meta/1";
+
+impl TraceMeta {
+    /// Renders the sidecar JSON (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut j = JsonWriter::new();
+        j.begin_obj();
+        j.key("schema");
+        j.str(META_SCHEMA);
+        j.key("label");
+        j.str(&self.label);
+        j.key("records");
+        j.raw(&self.records.to_string());
+        j.key("nodes");
+        j.raw(&self.nodes.to_string());
+        j.key("other_time_ns");
+        j.raw(&self.other_time_ns.to_string());
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Parses a sidecar produced by [`to_json`](TraceMeta::to_json).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when a field is missing, malformed, or
+    /// the schema tag is unknown.
+    pub fn from_json(text: &str) -> Result<TraceMeta, StoreError> {
+        let corrupt = |what| StoreError::Corrupt {
+            chunk: usize::MAX,
+            what,
+        };
+        let schema = json_str_field(text, "schema").ok_or(corrupt("meta: missing schema"))?;
+        if schema != META_SCHEMA {
+            return Err(corrupt("meta: unknown schema"));
+        }
+        Ok(TraceMeta {
+            label: json_str_field(text, "label").ok_or(corrupt("meta: missing label"))?,
+            records: json_u64_field(text, "records").ok_or(corrupt("meta: missing records"))?,
+            nodes: json_u64_field(text, "nodes")
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or(corrupt("meta: missing nodes"))?,
+            other_time_ns: json_u64_field(text, "other_time_ns")
+                .ok_or(corrupt("meta: missing other_time_ns"))?,
+        })
+    }
+}
+
+/// Extracts a top-level string field from flat JSON written by
+/// [`JsonWriter`] (keys are unescaped identifiers; values may contain
+/// standard escapes).
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let start = find_value(text, key)?;
+    let rest = &text[start..];
+    if !rest.starts_with('"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut chars = rest[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a top-level unsigned integer field.
+fn json_u64_field(text: &str, key: &str) -> Option<u64> {
+    let start = find_value(text, key)?;
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Byte offset just past `"key":` in `text`.
+fn find_value(text: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)?;
+    Some(at + needle.len())
+}
+
+/// A directory of stored traces, addressed by run-spec slug.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ccnuma_tracestore::{TraceMeta, TraceStore};
+/// use ccnuma_trace::Trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let store = TraceStore::new("artifacts/traces")?;
+/// let slug = TraceStore::slug("raytrace [FT] +trace", "spec identity");
+/// if !store.contains(&slug) {
+///     let trace = Trace::new(); // ... captured from a machine run
+///     let meta = TraceMeta { label: "raytrace".into(), records: 0, nodes: 8, other_time_ns: 0 };
+///     store.save(&slug, &trace, &meta)?;
+/// }
+/// let (trace, meta) = store.load(&slug)?;
+/// # let _ = (trace, meta);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new<P: AsRef<Path>>(dir: P) -> Result<TraceStore, StoreError> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(TraceStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content address for a run: readable label + identity
+    /// fingerprint, shared with the obs artifact naming.
+    pub fn slug(label: &str, identity: &str) -> String {
+        artifact_slug(label, identity)
+    }
+
+    /// Path of the trace file for `slug`.
+    pub fn trace_path(&self, slug: &str) -> PathBuf {
+        self.dir.join(format!("{slug}.trace"))
+    }
+
+    /// Path of the meta sidecar for `slug`.
+    pub fn meta_path(&self, slug: &str) -> PathBuf {
+        self.dir.join(format!("{slug}.meta.json"))
+    }
+
+    /// True when both the trace and its sidecar exist.
+    pub fn contains(&self, slug: &str) -> bool {
+        self.trace_path(slug).is_file() && self.meta_path(slug).is_file()
+    }
+
+    /// Writes `trace` and its sidecar under `slug`, atomically: data
+    /// lands in temporaries first and is renamed into place (sidecar
+    /// last, since [`contains`](TraceStore::contains) requires both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a failed save leaves no visible entry.
+    pub fn save(
+        &self,
+        slug: &str,
+        trace: &Trace,
+        meta: &TraceMeta,
+    ) -> Result<WriteSummary, StoreError> {
+        self.save_records(slug, trace.iter().copied(), meta)
+    }
+
+    /// Streaming form of [`save`](TraceStore::save) for callers that do
+    /// not hold a whole [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a failed save leaves no visible entry.
+    pub fn save_records(
+        &self,
+        slug: &str,
+        records: impl IntoIterator<Item = MissRecord>,
+        meta: &TraceMeta,
+    ) -> Result<WriteSummary, StoreError> {
+        let trace_tmp = self.dir.join(format!("{slug}.trace.tmp"));
+        let meta_tmp = self.dir.join(format!("{slug}.meta.json.tmp"));
+        let result = (|| {
+            let mut w = TraceWriter::new(BufWriter::new(File::create(&trace_tmp)?))?;
+            for r in records {
+                w.push(&r)?;
+            }
+            let summary = w.finish()?;
+            fs::write(&meta_tmp, meta.to_json())?;
+            fs::rename(&trace_tmp, self.trace_path(slug))?;
+            fs::rename(&meta_tmp, self.meta_path(slug))?;
+            Ok(summary)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&trace_tmp);
+            let _ = fs::remove_file(&meta_tmp);
+        }
+        result
+    }
+
+    /// Opens a streaming reader plus the sidecar for `slug`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (including a missing entry) or a corrupt sidecar.
+    pub fn open(
+        &self,
+        slug: &str,
+    ) -> Result<(TraceReader<BufReader<File>>, TraceMeta), StoreError> {
+        let meta = self.meta(slug)?;
+        let reader = TraceReader::new(BufReader::new(File::open(self.trace_path(slug))?))?;
+        Ok((reader, meta))
+    }
+
+    /// Loads the whole trace into memory (for callers that genuinely
+    /// need a [`Trace`], e.g. figure rendering).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from the read.
+    pub fn load(&self, slug: &str) -> Result<(Trace, TraceMeta), StoreError> {
+        let (reader, meta) = self.open(slug)?;
+        let mut b = TraceBuilder::with_capacity(meta.records.min(1 << 24) as usize);
+        for rec in reader {
+            b.push(rec?);
+        }
+        Ok((b.finish(), meta))
+    }
+
+    /// Reads just the sidecar for `slug`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors or a corrupt sidecar.
+    pub fn meta(&self, slug: &str) -> Result<TraceMeta, StoreError> {
+        let mut text = String::new();
+        File::open(self.meta_path(slug))?.read_to_string(&mut text)?;
+        TraceMeta::from_json(&text)
+    }
+
+    /// All slugs present in the store, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut slugs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(slug) = name.strip_suffix(".trace") {
+                if self.meta_path(slug).is_file() {
+                    slugs.push(slug.to_string());
+                }
+            }
+        }
+        slugs.sort();
+        Ok(slugs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            label: "raytrace [FT] +trace".into(),
+            records: 3,
+            nodes: 8,
+            other_time_ns: 123_456,
+        }
+    }
+
+    fn trace() -> Trace {
+        (0..3)
+            .map(|i| MissRecord::user_data_read(Ns(i), ProcId(0), Pid(0), VirtPage(i)))
+            .collect()
+    }
+
+    #[test]
+    fn meta_roundtrips_through_json() {
+        let m = meta();
+        assert_eq!(TraceMeta::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn meta_rejects_wrong_schema() {
+        let text = meta().to_json().replace(META_SCHEMA, "ccnuma-other/9");
+        assert!(TraceMeta::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn save_load_and_list() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let slug = TraceStore::slug("raytrace [FT] +trace", "identity-a");
+        assert!(!store.contains(&slug));
+        store.save(&slug, &trace(), &meta()).unwrap();
+        assert!(store.contains(&slug));
+        let (t, m) = store.load(&slug).unwrap();
+        assert_eq!(t, trace());
+        assert_eq!(m, meta());
+        assert_eq!(store.list().unwrap(), vec![slug]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

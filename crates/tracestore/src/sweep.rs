@@ -1,0 +1,594 @@
+//! The policy-parameter sweep engine.
+//!
+//! Section 8's methodology — capture a trace once, replay it under many
+//! policies — generalizes to a grid: policies × trigger thresholds ×
+//! sampling rates × remote latencies × move costs. A [`SweepSpec`]
+//! declares the grid; [`run_sweep`] streams the stored trace through
+//! [`ccnuma_polsim::Replay`] for each *distinct* cell on scoped worker
+//! threads (cells whose effective inputs coincide — a static policy
+//! ignores triggers and sampling — share one replay), and the result
+//! renders as a deterministic JSON (`ccnuma-sweep/1`) or CSV artifact
+//! whose bytes do not depend on the worker count.
+
+use crate::format::StoreError;
+use ccnuma_core::{MissMetric, PolicyParams};
+use ccnuma_obs::json::JsonWriter;
+use ccnuma_polsim::{PolsimConfig, PolsimReport, Replay, SimPolicy, TraceFilter};
+use ccnuma_trace::MissRecord;
+use ccnuma_types::Ns;
+use core::fmt;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A policy axis value in a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepPolicy {
+    /// Round-robin static baseline.
+    RoundRobin,
+    /// First-touch static baseline.
+    FirstTouch,
+    /// Post-facto optimal static placement (two-pass replay).
+    PostFacto,
+    /// Dynamic policy, migration only.
+    MigrationOnly,
+    /// Dynamic policy, replication only.
+    ReplicationOnly,
+    /// Dynamic policy, migration + replication.
+    MigRep,
+}
+
+impl SweepPolicy {
+    /// All six policies, in the Figure 6 order.
+    pub const ALL: [SweepPolicy; 6] = [
+        SweepPolicy::RoundRobin,
+        SweepPolicy::FirstTouch,
+        SweepPolicy::PostFacto,
+        SweepPolicy::MigrationOnly,
+        SweepPolicy::ReplicationOnly,
+        SweepPolicy::MigRep,
+    ];
+
+    /// True for the policies driven by the miss metric and trigger.
+    pub fn is_dynamic(self) -> bool {
+        matches!(
+            self,
+            SweepPolicy::MigrationOnly | SweepPolicy::ReplicationOnly | SweepPolicy::MigRep
+        )
+    }
+
+    /// Parses the labels used on the CLI and in artifacts.
+    pub fn parse(s: &str) -> Option<SweepPolicy> {
+        match s {
+            "RR" => Some(SweepPolicy::RoundRobin),
+            "FT" => Some(SweepPolicy::FirstTouch),
+            "PF" => Some(SweepPolicy::PostFacto),
+            "Migr" => Some(SweepPolicy::MigrationOnly),
+            "Repl" => Some(SweepPolicy::ReplicationOnly),
+            "Mig/Rep" | "MigRep" => Some(SweepPolicy::MigRep),
+            _ => None,
+        }
+    }
+
+    fn to_sim(self, trigger: u32, sample: u32) -> SimPolicy {
+        let metric = if sample == 1 {
+            MissMetric::full_cache()
+        } else {
+            MissMetric::sampled_cache(sample)
+        };
+        let params = PolicyParams::base().with_trigger(trigger);
+        match self {
+            SweepPolicy::RoundRobin => SimPolicy::round_robin(),
+            SweepPolicy::FirstTouch => SimPolicy::first_touch(),
+            SweepPolicy::PostFacto => SimPolicy::post_facto(),
+            SweepPolicy::MigrationOnly => SimPolicy::Dynamic {
+                params,
+                kind: ccnuma_core::DynamicPolicyKind::MigrationOnly,
+                metric,
+            },
+            SweepPolicy::ReplicationOnly => SimPolicy::Dynamic {
+                params,
+                kind: ccnuma_core::DynamicPolicyKind::ReplicationOnly,
+                metric,
+            },
+            SweepPolicy::MigRep => SimPolicy::Dynamic {
+                params,
+                kind: ccnuma_core::DynamicPolicyKind::MigRep,
+                metric,
+            },
+        }
+    }
+}
+
+impl fmt::Display for SweepPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SweepPolicy::RoundRobin => "RR",
+            SweepPolicy::FirstTouch => "FT",
+            SweepPolicy::PostFacto => "PF",
+            SweepPolicy::MigrationOnly => "Migr",
+            SweepPolicy::ReplicationOnly => "Repl",
+            SweepPolicy::MigRep => "Mig/Rep",
+        })
+    }
+}
+
+/// A declarative policy-parameter grid.
+///
+/// The cell list is the cartesian product of the five axes, in
+/// policy-major order; axes that do not apply to a policy (triggers and
+/// sampling for static baselines, move costs likewise) still appear in
+/// the output rows but collapse onto a single replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Policies to replay.
+    pub policies: Vec<SweepPolicy>,
+    /// Trigger thresholds for the dynamic policies.
+    pub triggers: Vec<u32>,
+    /// Metric sampling rates (1 = full information).
+    pub sample_rates: Vec<u32>,
+    /// Remote miss latencies, nanoseconds.
+    pub remote_latencies_ns: Vec<u64>,
+    /// Page move costs, microseconds.
+    pub move_costs_us: Vec<u64>,
+    /// Which records count for stall accounting.
+    pub filter: TraceFilter,
+}
+
+impl SweepSpec {
+    /// The default 12-cell grid: the three dynamic policies × triggers
+    /// {64, 128} × sampling {1:1, 1:10}, at the paper's latencies.
+    pub fn default_grid() -> SweepSpec {
+        SweepSpec {
+            policies: vec![
+                SweepPolicy::MigrationOnly,
+                SweepPolicy::ReplicationOnly,
+                SweepPolicy::MigRep,
+            ],
+            triggers: vec![64, 128],
+            sample_rates: vec![1, 10],
+            remote_latencies_ns: vec![1200],
+            move_costs_us: vec![350],
+            filter: TraceFilter::UserOnly,
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+            * self.triggers.len()
+            * self.sample_rates.len()
+            * self.remote_latencies_ns.len()
+            * self.move_costs_us.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cells of the grid, in deterministic policy-major order.
+    pub fn cells(&self) -> Vec<CellParams> {
+        let mut out = Vec::with_capacity(self.len());
+        for &policy in &self.policies {
+            for &trigger in &self.triggers {
+                for &sample in &self.sample_rates {
+                    for &remote_ns in &self.remote_latencies_ns {
+                        for &move_us in &self.move_costs_us {
+                            out.push(CellParams {
+                                policy,
+                                trigger,
+                                sample,
+                                remote_ns,
+                                move_us,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Coordinates of one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellParams {
+    /// Policy axis value.
+    pub policy: SweepPolicy,
+    /// Trigger threshold (ignored by static policies).
+    pub trigger: u32,
+    /// Metric sampling rate (ignored by static policies).
+    pub sample: u32,
+    /// Remote miss latency, nanoseconds.
+    pub remote_ns: u64,
+    /// Page move cost, microseconds (ignored by static policies).
+    pub move_us: u64,
+}
+
+impl CellParams {
+    /// The effective-input key cells are memoized on: static policies
+    /// drop the axes that cannot change their result, so e.g. `FT` at
+    /// any trigger is one replay.
+    pub fn memo_key(&self) -> String {
+        if self.policy.is_dynamic() {
+            format!(
+                "{}|t={}|s={}|lat={}|mv={}",
+                self.policy, self.trigger, self.sample, self.remote_ns, self.move_us
+            )
+        } else {
+            format!("{}|lat={}", self.policy, self.remote_ns)
+        }
+    }
+
+    fn config(&self, nodes: u16, other_time: Ns) -> PolsimConfig {
+        let mut cfg = PolsimConfig::section8(nodes).with_other_time(other_time);
+        cfg.remote_latency = Ns(self.remote_ns);
+        cfg.move_cost = Ns::from_us(self.move_us);
+        cfg
+    }
+}
+
+/// One finished cell: its coordinates plus the replay report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Grid coordinates.
+    pub params: CellParams,
+    /// Replay result.
+    pub report: PolsimReport,
+}
+
+/// The result of a sweep, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Nodes of the replayed machine.
+    pub nodes: u16,
+    /// Records in the source trace.
+    pub records: u64,
+    /// One entry per grid cell.
+    pub cells: Vec<SweepCell>,
+    /// Distinct replays actually executed (≤ `cells.len()`).
+    pub unique_replays: usize,
+}
+
+/// Schema tag of the JSON artifact.
+pub const SWEEP_SCHEMA: &str = "ccnuma-sweep/1";
+
+impl SweepReport {
+    /// Renders the `ccnuma-sweep/1` JSON artifact. Deterministic: same
+    /// spec and trace give the same bytes whatever the worker count.
+    pub fn to_json(&self, trace_label: &str) -> String {
+        let mut j = JsonWriter::new();
+        j.begin_obj();
+        j.key("schema");
+        j.str(SWEEP_SCHEMA);
+        j.key("trace");
+        j.str(trace_label);
+        j.key("records");
+        j.raw(&self.records.to_string());
+        j.key("nodes");
+        j.raw(&self.nodes.to_string());
+        j.key("cells");
+        j.raw(&self.cells.len().to_string());
+        j.key("unique_replays");
+        j.raw(&self.unique_replays.to_string());
+        j.key("grid");
+        j.begin_arr();
+        for cell in &self.cells {
+            let p = &cell.params;
+            let r = &cell.report;
+            j.begin_obj();
+            j.key("policy");
+            j.str(&p.policy.to_string());
+            j.key("trigger");
+            j.raw(&p.trigger.to_string());
+            j.key("sample_rate");
+            j.raw(&p.sample.to_string());
+            j.key("remote_latency_ns");
+            j.raw(&p.remote_ns.to_string());
+            j.key("move_cost_us");
+            j.raw(&p.move_us.to_string());
+            j.key("local_misses");
+            j.raw(&r.local_misses.to_string());
+            j.key("remote_misses");
+            j.raw(&r.remote_misses.to_string());
+            j.key("local_stall_ns");
+            j.raw(&r.local_stall.0.to_string());
+            j.key("remote_stall_ns");
+            j.raw(&r.remote_stall.0.to_string());
+            j.key("mig_overhead_ns");
+            j.raw(&r.mig_overhead.0.to_string());
+            j.key("rep_overhead_ns");
+            j.raw(&r.rep_overhead.0.to_string());
+            j.key("migrations");
+            j.raw(&r.migrations.to_string());
+            j.key("replications");
+            j.raw(&r.replications.to_string());
+            j.key("collapses");
+            j.raw(&r.collapses.to_string());
+            j.key("other_time_ns");
+            j.raw(&r.other_time.0.to_string());
+            j.key("total_ns");
+            j.raw(&r.total().0.to_string());
+            j.key("pct_local");
+            j.raw(&format!("{:.3}", r.pct_local_misses()));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Renders the same table as CSV (header + one row per cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "policy,trigger,sample_rate,remote_latency_ns,move_cost_us,\
+             local_misses,remote_misses,local_stall_ns,remote_stall_ns,\
+             mig_overhead_ns,rep_overhead_ns,migrations,replications,\
+             collapses,other_time_ns,total_ns,pct_local\n",
+        );
+        use std::fmt::Write as _;
+        for cell in &self.cells {
+            let p = &cell.params;
+            let r = &cell.report;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+                p.policy,
+                p.trigger,
+                p.sample,
+                p.remote_ns,
+                p.move_us,
+                r.local_misses,
+                r.remote_misses,
+                r.local_stall.0,
+                r.remote_stall.0,
+                r.mig_overhead.0,
+                r.rep_overhead.0,
+                r.migrations,
+                r.replications,
+                r.collapses,
+                r.other_time.0,
+                r.total().0,
+                r.pct_local_misses()
+            );
+        }
+        out
+    }
+}
+
+/// Replays one cell, reopening the trace stream for the second pass a
+/// post-facto policy needs.
+fn replay_cell<I, F>(
+    cell: &CellParams,
+    nodes: u16,
+    other_time: Ns,
+    filter: TraceFilter,
+    open: &F,
+) -> Result<(PolsimReport, u64), StoreError>
+where
+    I: Iterator<Item = Result<MissRecord, StoreError>>,
+    F: Fn() -> Result<I, StoreError>,
+{
+    let cfg = cell.config(nodes, other_time);
+    let mut replay = Replay::new(&cfg, cell.policy.to_sim(cell.trigger, cell.sample), filter);
+    if replay.needs_priming() {
+        for rec in open()? {
+            replay.prime(&rec?);
+        }
+        replay.seal();
+    }
+    let mut records = 0u64;
+    for rec in open()? {
+        replay.observe(&rec?);
+        records += 1;
+    }
+    Ok((replay.finish(), records))
+}
+
+/// Runs the sweep: every distinct cell is replayed once, on up to
+/// `jobs` scoped worker threads, each streaming its own reopened trace
+/// (`open` must yield a fresh stream per call — post-facto cells open
+/// it twice). The output is in grid order regardless of scheduling.
+///
+/// # Errors
+///
+/// The first [`StoreError`] any worker hits (opening or decoding the
+/// trace stream).
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn run_sweep<I, F>(
+    spec: &SweepSpec,
+    nodes: u16,
+    other_time: Ns,
+    jobs: usize,
+    open: F,
+) -> Result<SweepReport, StoreError>
+where
+    I: Iterator<Item = Result<MissRecord, StoreError>>,
+    F: Fn() -> Result<I, StoreError> + Sync,
+{
+    assert!(jobs > 0, "need at least one worker");
+    let cells = spec.cells();
+
+    // Collapse cells onto distinct effective inputs, preserving first-
+    // appearance order so the job list is deterministic.
+    let mut job_of_cell = Vec::with_capacity(cells.len());
+    let mut job_cells: Vec<CellParams> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for cell in &cells {
+        let key = cell.memo_key();
+        let job = *seen.entry(key).or_insert_with(|| {
+            job_cells.push(*cell);
+            job_cells.len() - 1
+        });
+        job_of_cell.push(job);
+    }
+
+    type JobSlot = Mutex<Option<Result<(PolsimReport, u64), StoreError>>>;
+    let results: Vec<JobSlot> = job_cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(job_cells.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = job_cells.get(i) else {
+                    return;
+                };
+                let outcome = replay_cell(cell, nodes, other_time, spec.filter, &open);
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            });
+        }
+    });
+
+    let mut reports = Vec::with_capacity(job_cells.len());
+    let mut records = 0u64;
+    for slot in results {
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok((report, n))) => {
+                records = records.max(n);
+                reports.push(report);
+            }
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every job slot is filled before the scope ends"),
+        }
+    }
+
+    let unique_replays = job_cells.len();
+    let cells = cells
+        .into_iter()
+        .zip(&job_of_cell)
+        .map(|(params, &job)| SweepCell {
+            params,
+            report: reports[job].clone(),
+        })
+        .collect();
+    Ok(SweepReport {
+        nodes,
+        records,
+        cells,
+        unique_replays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_types::{Pid, ProcId, VirtPage};
+
+    fn records() -> Vec<MissRecord> {
+        let mut v = Vec::new();
+        for i in 0..400u64 {
+            let proc = if i % 2 == 0 { ProcId(0) } else { ProcId(5) };
+            v.push(MissRecord::user_data_read(
+                Ns(i * 500),
+                proc,
+                Pid(0),
+                VirtPage(1 + i / 64),
+            ));
+        }
+        v
+    }
+
+    fn open_mem(recs: &[MissRecord]) -> impl Iterator<Item = Result<MissRecord, StoreError>> + '_ {
+        recs.iter().map(|r| Ok(*r))
+    }
+
+    #[test]
+    fn default_grid_is_twelve_cells() {
+        let spec = SweepSpec::default_grid();
+        assert_eq!(spec.len(), 12);
+        assert_eq!(spec.cells().len(), 12);
+    }
+
+    #[test]
+    fn static_cells_collapse_to_one_replay() {
+        let spec = SweepSpec {
+            policies: vec![SweepPolicy::FirstTouch],
+            triggers: vec![32, 64, 128],
+            sample_rates: vec![1, 10],
+            remote_latencies_ns: vec![1200],
+            move_costs_us: vec![350],
+            filter: TraceFilter::All,
+        };
+        let recs = records();
+        let report = run_sweep(&spec, 8, Ns::ZERO, 2, || Ok(open_mem(&recs))).unwrap();
+        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.unique_replays, 1, "FT ignores trigger and sampling");
+        // Every cell carries the same numbers.
+        for c in &report.cells {
+            assert_eq!(c.report, report.cells[0].report);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_direct_simulate() {
+        let recs = records();
+        let trace: ccnuma_trace::Trace = recs.iter().copied().collect();
+        let spec = SweepSpec {
+            policies: vec![SweepPolicy::MigRep],
+            triggers: vec![128],
+            sample_rates: vec![1],
+            remote_latencies_ns: vec![1200],
+            move_costs_us: vec![350],
+            filter: TraceFilter::All,
+        };
+        let swept = run_sweep(&spec, 8, Ns::ZERO, 1, || Ok(open_mem(&recs))).unwrap();
+        let direct = ccnuma_polsim::simulate(
+            &trace,
+            &PolsimConfig::section8(8),
+            SimPolicy::base_dynamic(),
+            TraceFilter::All,
+        );
+        assert_eq!(swept.cells[0].report, direct);
+        assert_eq!(swept.records, 400);
+    }
+
+    #[test]
+    fn artifacts_are_job_count_invariant() {
+        let recs = records();
+        let spec = SweepSpec::default_grid();
+        let run = |jobs| {
+            let r = run_sweep(&spec, 8, Ns(777), jobs, || Ok(open_mem(&recs))).unwrap();
+            (r.to_json("demo"), r.to_csv())
+        };
+        let (j1, c1) = run(1);
+        let (j4, c4) = run(4);
+        assert_eq!(j1, j4, "JSON must not depend on worker count");
+        assert_eq!(c1, c4, "CSV must not depend on worker count");
+        assert!(j1.starts_with(&format!("{{\"schema\":\"{SWEEP_SCHEMA}\"")));
+    }
+
+    #[test]
+    fn post_facto_cell_primes_twice() {
+        use std::sync::atomic::AtomicUsize;
+        let recs = records();
+        let opens = AtomicUsize::new(0);
+        let spec = SweepSpec {
+            policies: vec![SweepPolicy::PostFacto],
+            triggers: vec![128],
+            sample_rates: vec![1],
+            remote_latencies_ns: vec![1200],
+            move_costs_us: vec![350],
+            filter: TraceFilter::All,
+        };
+        let report = run_sweep(&spec, 8, Ns::ZERO, 1, || {
+            opens.fetch_add(1, Ordering::Relaxed);
+            Ok(open_mem(&recs))
+        })
+        .unwrap();
+        assert_eq!(opens.load(Ordering::Relaxed), 2, "prime + replay passes");
+        assert_eq!(report.cells[0].report.label, "PF");
+    }
+
+    #[test]
+    fn sweep_policy_labels_roundtrip() {
+        for p in SweepPolicy::ALL {
+            assert_eq!(SweepPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(SweepPolicy::parse("bogus"), None);
+    }
+}

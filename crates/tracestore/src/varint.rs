@@ -1,0 +1,145 @@
+//! LEB128 varints and zigzag signed mapping — the primitive codec under
+//! the v2 chunk format.
+//!
+//! Timestamps in a trace are monotone and pages exhibit locality, so
+//! successive records differ by small amounts; zigzag folds those small
+//! signed deltas onto small unsigned values and LEB128 stores them in
+//! one or two bytes instead of eight.
+
+/// Appends `v` to `out` as an LEB128 varint (1–10 bytes).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_tracestore::varint::write_u64;
+///
+/// let mut buf = Vec::new();
+/// write_u64(&mut buf, 0);
+/// write_u64(&mut buf, 300);
+/// assert_eq!(buf, [0x00, 0xac, 0x02]);
+/// ```
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `bytes` at `*pos`, advancing `*pos`.
+/// Returns `None` on buffer overrun or a malformed encoding (more than
+/// ten bytes, or bits beyond the 64th).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_tracestore::varint::{read_u64, write_u64};
+///
+/// let mut buf = Vec::new();
+/// write_u64(&mut buf, u64::MAX);
+/// let mut pos = 0;
+/// assert_eq!(read_u64(&buf, &mut pos), Some(u64::MAX));
+/// assert_eq!(pos, 10);
+/// assert_eq!(read_u64(&buf, &mut pos), None, "overrun");
+/// ```
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        let low = (byte & 0x7f) as u64;
+        // The tenth byte carries the top single bit; anything above it
+        // would overflow u64.
+        if shift == 63 && low > 1 {
+            return None;
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Maps a signed value onto an unsigned one with small magnitudes first:
+/// 0, -1, 1, -2, 2, ...
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_tracestore::varint::zigzag;
+///
+/// assert_eq!(zigzag(0), 0);
+/// assert_eq!(zigzag(-1), 1);
+/// assert_eq!(zigzag(1), 2);
+/// ```
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_tracestore::varint::{unzigzag, zigzag};
+///
+/// for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+///     assert_eq!(unzigzag(zigzag(v)), v);
+/// }
+/// ```
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len(), "no trailing bytes for {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_encoding() {
+        // 11 continuation bytes never terminate within the 10-byte cap.
+        let bytes = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&bytes, &mut pos), None);
+        // A tenth byte with payload beyond bit 64 is also malformed.
+        let mut overflow = vec![0x80u8; 9];
+        overflow.push(0x02);
+        pos = 0;
+        assert_eq!(read_u64(&overflow, &mut pos), None);
+    }
+
+    #[test]
+    fn truncated_input_is_none_not_panic() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1u64 << 40);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..cut], &mut pos), None);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the v2 trace format: codec roundtrips, v1/v2
+//! equivalence, and the corruption contract (a damaged stream yields a
+//! typed error or a salvaged prefix — never a panic, never garbage
+//! records).
+
+use ccnuma_trace::io::{record_from_parts, write_trace};
+use ccnuma_trace::{MissRecord, Trace};
+use ccnuma_tracestore::varint::{read_u64, unzigzag, write_u64, zigzag};
+use ccnuma_tracestore::{StoreError, TraceReader, TraceWriter};
+use proptest::prelude::*;
+
+/// An arbitrary record: unconstrained fields plus any of the 16 valid
+/// flag combinations.
+fn arb_record() -> impl Strategy<Value = MissRecord> {
+    (
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u32..=u32::MAX,
+        0u16..=u16::MAX,
+        0u8..16,
+    )
+        .prop_map(|(time, page, pid, proc, flags)| {
+            record_from_parts(time, page, pid, proc, flags).expect("flags < 16 are valid")
+        })
+}
+
+fn encode_v2(records: &[MissRecord], chunk_records: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::with_chunk_records(&mut buf, chunk_records).unwrap();
+    for r in records {
+        w.push(r).unwrap();
+    }
+    w.finish().unwrap();
+    buf
+}
+
+fn decode_v2(bytes: &[u8]) -> Vec<MissRecord> {
+    TraceReader::new(bytes)
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in 0u64..=u64::MAX) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrips(bits in 0u64..=u64::MAX) {
+        let v = bits as i64;
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn varint_decode_never_reads_past_or_panics(bytes in proptest::collection::vec(0u8..=u8::MAX, 0..24)) {
+        let mut pos = 0;
+        if read_u64(&bytes, &mut pos).is_some() {
+            prop_assert!(pos <= bytes.len());
+        }
+    }
+
+    /// Arbitrary records — arbitrary deltas, wrapping both ways — come
+    /// back exactly, across chunk boundaries.
+    #[test]
+    fn v2_roundtrips_arbitrary_records(
+        records in proptest::collection::vec(arb_record(), 0..200),
+        chunk in 1usize..33,
+    ) {
+        let bytes = encode_v2(&records, chunk);
+        prop_assert_eq!(decode_v2(&bytes), records);
+    }
+
+    /// A v1 stream and its v2 re-encode decode to the same records
+    /// through the same reader.
+    #[test]
+    fn v1_and_v2_reads_agree(records in proptest::collection::vec(arb_record(), 0..120)) {
+        // `Trace` time-sorts on collect, so the v1 stream holds the
+        // sorted order — that is the order both readers must agree on.
+        let trace: Trace = records.iter().copied().collect();
+        let sorted: Vec<MissRecord> = trace.iter().copied().collect();
+        let mut v1 = Vec::new();
+        write_trace(&mut v1, &trace).unwrap();
+        let from_v1 = TraceReader::new(v1.as_slice())
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        prop_assert_eq!(&from_v1, &sorted);
+        let v2 = encode_v2(&from_v1, 16);
+        prop_assert_eq!(decode_v2(&v2), sorted);
+    }
+
+    /// Truncation anywhere: the strict reader yields a correct prefix
+    /// then a typed error (or clean EOF exactly at a record boundary is
+    /// impossible — the footer is gone); the salvage reader always ends
+    /// cleanly with complete chunks only. Nothing panics.
+    #[test]
+    fn truncated_streams_never_panic(
+        records in proptest::collection::vec(arb_record(), 1..100),
+        chunk in 1usize..17,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_v2(&records, chunk);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut_bytes = &bytes[..cut];
+
+        match TraceReader::new(cut_bytes) {
+            Ok(reader) => {
+                let mut seen = 0usize;
+                let mut errored = false;
+                for item in reader {
+                    match item {
+                        Ok(rec) => {
+                            prop_assert_eq!(rec, records[seen], "prefix must be exact");
+                            seen += 1;
+                        }
+                        Err(_) => {
+                            errored = true;
+                            break;
+                        }
+                    }
+                }
+                // A streaming read validates the footer body but never
+                // touches the 8-byte seek trailer, so only a cut that
+                // reaches into the footer body (or earlier) must error.
+                prop_assert!(errored || cut >= bytes.len() - 8);
+            }
+            Err(_) => prop_assert!(cut < 8, "header errors only from a cut header"),
+        }
+
+        if cut >= 8 {
+            let reader = TraceReader::with_salvage(cut_bytes).unwrap();
+            let mut seen = 0usize;
+            for item in reader {
+                let rec = item.expect("salvage mode never errors past the header");
+                prop_assert_eq!(rec, records[seen]);
+                seen += 1;
+            }
+            // Salvage keeps whole chunks: a multiple of the chunk size,
+            // or everything (the final chunk may be smaller).
+            prop_assert!(
+                seen == records.len() || seen.is_multiple_of(chunk),
+                "salvage kept a partial chunk: {seen} of {} (chunk {chunk})",
+                records.len()
+            );
+        }
+    }
+
+    /// A single flipped bit anywhere in the stream: decode either still
+    /// succeeds (the flip hit slack the checksum does not cover — it
+    /// cannot, every byte is covered, so really: the flip was detected)
+    /// or fails with a typed error; the prefix of records delivered
+    /// before the error is exact. Nothing panics.
+    #[test]
+    fn bit_flips_are_detected_or_isolated(
+        records in proptest::collection::vec(arb_record(), 1..80),
+        chunk in 1usize..17,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_v2(&records, chunk);
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+
+        let mut delivered = Vec::new();
+        let outcome: Result<(), StoreError> = (|| {
+            for item in TraceReader::new(bytes.as_slice())? {
+                delivered.push(item?);
+            }
+            Ok(())
+        })();
+        match outcome {
+            Ok(()) => prop_assert_eq!(&delivered, &records, "undetected flip must be harmless"),
+            Err(_) => {
+                prop_assert!(delivered.len() <= records.len());
+                prop_assert_eq!(&delivered[..], &records[..delivered.len()], "prefix must be exact");
+            }
+        }
+    }
+}
