@@ -2,14 +2,14 @@
 //! macro-bench.
 //!
 //! The micro targets isolate the three structures every reference (or
-//! every miss) touches — the flat open-addressed TLB, the bitmask
+//! every miss) touches — the flat open-addressed TLB, the ProcSet
 //! coherence directory, and the directory-contention model — so a
 //! regression in any one of them is visible without re-running the whole
 //! suite. The macro target runs Raytrace at quick scale end to end under
 //! both policies, the same shape `repro bench` times.
 
 use ccnuma_machine::{CoherenceDir, DirectoryModel, Tlb};
-use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, VirtPage};
+use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, ProcSet, VirtPage};
 use ccnuma_workloads::{Scale, WorkloadKind};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -46,6 +46,7 @@ fn bench_coherence(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath/coherence");
     group.bench_function("write_contended", |b| {
         let mut dir = CoherenceDir::new();
+        let mut victims = ProcSet::with_capacity_for(64);
         let mut t = 0u64;
         b.iter(|| {
             t = t.wrapping_add(1);
@@ -55,7 +56,25 @@ fn bench_coherence(c: &mut Criterion) {
             // Another processor fills first, so the write usually has a
             // victim to invalidate.
             dir.record_fill(ProcId(((t + 1) % 8) as u16), page, line);
-            black_box(dir.write(proc, page, line))
+            dir.write(proc, page, line, &mut victims);
+            black_box(victims.len())
+        });
+    });
+    // The lifted-cap configuration: 128 sharers per line means the
+    // victim set spans two 64-bit words, and the write must stay
+    // allocation-free exactly like the 8-proc case above.
+    group.bench_function("write_128_procs", |b| {
+        let mut dir = CoherenceDir::with_procs(128);
+        let mut victims = ProcSet::with_capacity_for(128);
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            let proc = ProcId((t % 128) as u16);
+            let page = VirtPage(t % 64);
+            let line = (t % 4) as u16;
+            dir.record_fill(ProcId(((t + 67) % 128) as u16), page, line);
+            dir.write(proc, page, line, &mut victims);
+            black_box(victims.len())
         });
     });
     group.bench_function("fill_evict", |b| {

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
+//!                       [--topology PRESET]
 //!                       [--obs-dir DIR] [--trace-dir DIR]
 //!                       [--faults SCENARIO] [--chaos-seed N]
 //!                       [-v|--verbose] [-q|--quiet]
@@ -15,8 +16,16 @@
 //!             [--trace-dir DIR] [--jobs N] [--out FILE] [--csv FILE]
 //!             [--policies P,..] [--triggers N,..] [--samples N,..]
 //!             [--latencies NS,..] [--move-costs US,..]
+//!             [--topologies T,..]
 //! repro --list | repro --list-faults
 //! ```
+//!
+//! `--topology PRESET` reruns every experiment on a named machine
+//! topology (`flat`, `two-socket`, `four-socket-hierarchical`,
+//! `cxl-tiered`). `flat` is the paper's machine and the default; its
+//! stdout is the byte-identical golden. Non-flat presets carry their own
+//! hop-path latencies, so the simulated machine — and every table — is
+//! expected to differ.
 //!
 //! The requested experiments' run plans are merged, deduplicated, and
 //! executed on `--jobs` worker threads (default: available parallelism)
@@ -46,7 +55,7 @@
 //! The `trace` subcommand manages the store directly (`capture` fills
 //! it, `info` lists it, `verify` re-decodes every chunk against its
 //! checksum), and `sweep` replays a policy-parameter grid over a stored
-//! trace, writing a `ccnuma-sweep/1` JSON (and optionally CSV)
+//! trace, writing a `ccnuma-sweep/2` JSON (and optionally CSV)
 //! artifact. Both default to the `artifacts/traces` store directory.
 //!
 //! Stderr chatter is gated by one verbosity knob: `-v`/`--verbose` and
@@ -54,10 +63,11 @@
 //! variable (`quiet|info|debug`), then the default (a one-line
 //! summary). Experiment output on stdout is never gated.
 
-use ccnuma_bench::{experiments, traced_ft_spec, Executor, RunPlan};
+use ccnuma_bench::{experiments, set_topology_override, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::Verbosity;
 use ccnuma_tracestore::{run_sweep, ChunkIndex, SweepPolicy, SweepSpec, TraceStore};
+use ccnuma_types::TopologyPreset;
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fs::File;
 use std::path::PathBuf;
@@ -82,6 +92,17 @@ fn parse_workload(name: &str) -> Option<WorkloadKind> {
     WorkloadKind::ALL
         .into_iter()
         .find(|k| k.to_string().eq_ignore_ascii_case(name))
+}
+
+fn parse_topology(flag: &str, label: &str) -> TopologyPreset {
+    TopologyPreset::parse(label).unwrap_or_else(|| {
+        let known: Vec<&str> = TopologyPreset::ALL.into_iter().map(|p| p.label()).collect();
+        eprintln!(
+            "{flag}: unknown topology {label:?} (want one of {})",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    })
 }
 
 fn open_store(dir: &PathBuf) -> TraceStore {
@@ -150,7 +171,7 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
 }
 
 /// `repro bench`: time every workload under FT and Mig/Rep and write
-/// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/2`). Timings go to
+/// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/3`). Timings go to
 /// the file and a summary to stderr; nothing is printed to stdout, so
 /// the subcommand composes with scripts the way `--obs-dir` does.
 fn run_bench(args: &[String]) -> ! {
@@ -356,7 +377,8 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
                  [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
                  [--out FILE] [--csv FILE] [--policies P,..] [--triggers N,..] \
-                 [--samples N,..] [--latencies NS,..] [--move-costs US,..]";
+                 [--samples N,..] [--latencies NS,..] [--move-costs US,..] \
+                 [--topologies T,..]";
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
     let mut jobs = default_jobs();
@@ -428,6 +450,12 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             }
             "--move-costs" => {
                 spec.move_costs_us = num_list("--move-costs", next_value("--move-costs", &mut it));
+            }
+            "--topologies" => {
+                spec.topologies = next_value("--topologies", &mut it)
+                    .split(',')
+                    .map(|t| parse_topology("--topologies", t.trim()))
+                    .collect();
             }
             other => {
                 eprintln!("repro sweep: unknown argument {other:?}\n{usage}");
@@ -582,6 +610,19 @@ fn main() {
                     }
                 };
             }
+            "--topology" => {
+                let label = match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--topology expects a preset name");
+                        std::process::exit(2);
+                    }
+                };
+                if !set_topology_override(parse_topology("--topology", label)) {
+                    eprintln!("--topology: a different preset is already installed");
+                    std::process::exit(2);
+                }
+            }
             "--obs-dir" => {
                 obs_dir = match it.next() {
                     Some(dir) => Some(PathBuf::from(dir)),
@@ -610,7 +651,8 @@ fn main() {
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--obs-dir DIR] [--trace-dir DIR] [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
+             [--topology PRESET] [--obs-dir DIR] [--trace-dir DIR] [--faults SCENARIO] \
+             [--chaos-seed N] [-v|-q]"
         );
         eprintln!("       repro all | repro bench | repro trace | repro sweep");
         eprintln!("       repro --list | repro --list-faults");

@@ -7,7 +7,8 @@
 //! through the [`Executor`].
 
 use crate::helpers::{
-    base_params, dynamic_options, dynamic_spec, ft_spec, run, traced_ft, traced_ft_spec, RunPair,
+    base_params, catalog, dynamic_options, dynamic_spec, ft_spec, run, shared_reader, traced_ft,
+    traced_ft_spec, RunPair,
 };
 use crate::plan::Executor;
 use ccnuma_core::{overhead, AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
@@ -214,7 +215,7 @@ fn shootdown_specs(scale: Scale) -> [RunSpec; 2] {
     let kind = WorkloadKind::Engineering;
     [
         dynamic_spec(kind, scale),
-        RunSpec::catalog(
+        catalog(
             kind,
             scale,
             dynamic_options(kind).with_shootdown(ShootdownMode::Targeted),
@@ -260,7 +261,7 @@ fn hotspot_specs(scale: Scale) -> [RunSpec; 2] {
     let kind = WorkloadKind::Database;
     [
         dynamic_spec(kind, scale),
-        RunSpec::catalog(
+        catalog(
             kind,
             scale,
             RunOptions::new(PolicyChoice::Dynamic {
@@ -310,7 +311,7 @@ pub fn hotspot(scale: Scale, exec: &Executor) -> String {
 
 /// The four trigger configurations [`adaptive`] compares on one workload.
 fn adaptive_variants(kind: WorkloadKind, scale: Scale) -> [(&'static str, RunSpec); 4] {
-    let make = |opts: RunOptions| RunSpec::catalog(kind, scale, opts);
+    let make = |opts: RunOptions| catalog(kind, scale, opts);
     [
         (
             "fixed 32",
@@ -374,7 +375,7 @@ fn copyengine_specs(scale: Scale) -> [RunSpec; 2] {
     let kind = WorkloadKind::Engineering;
     [
         dynamic_spec(kind, scale),
-        RunSpec::catalog(kind, scale, dynamic_options(kind).with_pipelined_copy()),
+        catalog(kind, scale, dynamic_options(kind).with_pipelined_copy()),
     ]
 }
 
@@ -490,8 +491,8 @@ const SCALING_NODES: [u16; 3] = [4, 8, 16];
 /// The FT and Mig/Rep shared-reader runs at one node count.
 fn scaling_specs(nodes: u16, scale: Scale) -> [RunSpec; 2] {
     [
-        RunSpec::shared_reader(nodes, scale, RunOptions::new(PolicyChoice::first_touch())),
-        RunSpec::shared_reader(
+        shared_reader(nodes, scale, RunOptions::new(PolicyChoice::first_touch())),
+        shared_reader(
             nodes,
             scale,
             RunOptions::new(PolicyChoice::base_mig_rep(PolicyParams::base())),

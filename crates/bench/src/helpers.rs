@@ -8,9 +8,43 @@
 use crate::plan::Executor;
 use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
 use ccnuma_machine::{PolicyChoice, RunOptions, RunReport, RunSpec};
-use ccnuma_types::Ns;
+use ccnuma_types::{Ns, TopologyPreset};
 use ccnuma_workloads::{Scale, WorkloadKind};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The `repro --topology` override. Process-global so the plan phase and
+/// the render phase of an experiment build identical [`RunSpec`]s (and
+/// hence hit the same executor cache entries) without threading a preset
+/// through every table and figure.
+static TOPOLOGY_OVERRIDE: OnceLock<TopologyPreset> = OnceLock::new();
+
+/// Installs the topology preset every `*_spec` helper applies to its
+/// runs. Write-once: returns `false` if a *different* preset was already
+/// installed (re-setting the same preset is a no-op success).
+pub fn set_topology_override(preset: TopologyPreset) -> bool {
+    TOPOLOGY_OVERRIDE.set(preset).is_ok() || topology_override() == preset
+}
+
+/// The installed topology preset, [`TopologyPreset::Flat`] (the paper's
+/// machine) when none was set.
+pub fn topology_override() -> TopologyPreset {
+    TOPOLOGY_OVERRIDE
+        .get()
+        .copied()
+        .unwrap_or(TopologyPreset::Flat)
+}
+
+/// `RunSpec::catalog` with the session's topology override applied.
+/// A `Flat` override is recorded as no override (see
+/// [`RunSpec::with_topology`]), keeping cache keys and goldens stable.
+pub(crate) fn catalog(kind: WorkloadKind, scale: Scale, opts: RunOptions) -> RunSpec {
+    RunSpec::catalog(kind, scale, opts).with_topology(topology_override())
+}
+
+/// `RunSpec::shared_reader` with the session's topology override applied.
+pub(crate) fn shared_reader(nodes: u16, scale: Scale, opts: RunOptions) -> RunSpec {
+    RunSpec::shared_reader(nodes, scale, opts).with_topology(topology_override())
+}
 
 /// The paper's per-workload trigger threshold: 96 for engineering, 128
 /// for everything else (Section 7).
@@ -44,23 +78,23 @@ pub fn dynamic_options(kind: WorkloadKind) -> RunOptions {
 
 /// The first-touch baseline run of a workload.
 pub fn ft_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
-    RunSpec::catalog(kind, scale, ft_options())
+    catalog(kind, scale, ft_options())
 }
 
 /// The base-policy run of a workload.
 pub fn dynamic_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
-    RunSpec::catalog(kind, scale, dynamic_options(kind))
+    catalog(kind, scale, dynamic_options(kind))
 }
 
 /// The traced first-touch run of a workload (the input to the Section 8
 /// policy simulator).
 pub fn traced_ft_spec(kind: WorkloadKind, scale: Scale) -> RunSpec {
-    RunSpec::catalog(kind, scale, ft_options().with_trace())
+    catalog(kind, scale, ft_options().with_trace())
 }
 
 /// Fetches one workload run under the given options through `exec`.
 pub fn run(exec: &Executor, kind: WorkloadKind, scale: Scale, opts: RunOptions) -> Arc<RunReport> {
-    exec.run(&RunSpec::catalog(kind, scale, opts))
+    exec.run(&catalog(kind, scale, opts))
 }
 
 /// Fetches a workload's first-touch trace through `exec` — from the

@@ -9,15 +9,16 @@
 //! probe, coherence write, directory request), this measures the whole
 //! per-reference loop end to end.
 //!
-//! Schema (`ccnuma-bench-hotpath/2`):
+//! Schema (`ccnuma-bench-hotpath/3`; v3 added the per-run `topology`
+//! field and a four-socket-hierarchical whole-run row):
 //!
 //! ```json
 //! {
-//!   "schema": "ccnuma-bench-hotpath/2",
+//!   "schema": "ccnuma-bench-hotpath/3",
 //!   "scale": "quick",
 //!   "runs": [
-//!     {"workload": "engineering", "policy": "FT", "total_refs": 320000,
-//!      "wall_seconds": 0.41, "refs_per_sec": 780487.8}
+//!     {"workload": "engineering", "policy": "FT", "topology": "flat",
+//!      "total_refs": 320000, "wall_seconds": 0.41, "refs_per_sec": 780487.8}
 //!   ],
 //!   "tracestore": {"workload": "Engineering", "records": 470000,
 //!                  "v2_bytes": 3000000, "encode_mb_per_sec": 250.0,
@@ -53,6 +54,8 @@ pub struct BenchRun {
     pub workload: String,
     /// Policy label (`FT` or the dynamic policy's table label).
     pub policy: String,
+    /// Topology preset label the run simulated under.
+    pub topology: String,
     /// Simulated references retired by the run.
     pub total_refs: u64,
     /// Wall-clock duration of the run.
@@ -100,12 +103,12 @@ impl BenchReport {
         (refs, wall, rate)
     }
 
-    /// Renders the report as `ccnuma-bench-hotpath/2` JSON.
+    /// Renders the report as `ccnuma-bench-hotpath/3` JSON.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.key("schema");
-        w.str("ccnuma-bench-hotpath/2");
+        w.str("ccnuma-bench-hotpath/3");
         w.key("scale");
         w.str(&self.scale);
         w.key("runs");
@@ -116,6 +119,8 @@ impl BenchReport {
             w.str(&r.workload);
             w.key("policy");
             w.str(&r.policy);
+            w.key("topology");
+            w.str(&r.topology);
             w.key("total_refs");
             w.raw(&r.total_refs.to_string());
             w.key("wall_seconds");
@@ -169,6 +174,9 @@ fn time_spec(kind: WorkloadKind, spec: &RunSpec) -> BenchRun {
     BenchRun {
         workload: kind.to_string(),
         policy: report.policy_label.clone(),
+        topology: spec
+            .topology
+            .map_or_else(|| "flat".to_string(), |p| p.label().to_string()),
         total_refs,
         wall_seconds: wall,
         refs_per_sec: total_refs as f64 / wall,
@@ -226,8 +234,11 @@ pub fn tracestore_bench(scale: Scale, kind: WorkloadKind) -> TraceBench {
 /// Each workload is timed under first-touch and under the base Mig/Rep
 /// policy, serially (timings on a loaded machine are noise), and progress
 /// goes to stderr so stdout stays clean for scripting. The first workload
-/// additionally gets a [`tracestore_bench`] codec measurement.
+/// additionally gets a whole-run row under the four-socket-hierarchical
+/// topology — tracking what the hop-path latency model costs on the
+/// per-reference loop — and a [`tracestore_bench`] codec measurement.
 pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]) -> BenchReport {
+    use ccnuma_types::TopologyPreset;
     let mut runs = Vec::new();
     for &kind in workloads {
         for spec in [ft_spec(kind, scale), dynamic_spec(kind, scale)] {
@@ -238,6 +249,20 @@ pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]
             );
             runs.push(run);
         }
+    }
+    if let Some(&kind) = workloads.first() {
+        let spec = dynamic_spec(kind, scale).with_topology(TopologyPreset::FourSocketHierarchical);
+        let run = time_spec(kind, &spec);
+        eprintln!(
+            "bench: {} [{} +topo={}] {} refs in {:.2}s ({:.0} refs/s)",
+            run.workload,
+            run.policy,
+            run.topology,
+            run.total_refs,
+            run.wall_seconds,
+            run.refs_per_sec
+        );
+        runs.push(run);
     }
     let trace = workloads.first().map(|&kind| {
         let t = tracestore_bench(scale, kind);
@@ -262,9 +287,12 @@ mod tests {
     #[test]
     fn single_workload_bench_reports_both_policies() {
         let report = hotpath_bench(Scale::quick(), "quick", &[WorkloadKind::Raytrace]);
-        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs.len(), 3);
         assert_eq!(report.runs[0].policy, "FT");
         assert_ne!(report.runs[1].policy, "FT");
+        assert_eq!(report.runs[0].topology, "flat");
+        assert_eq!(report.runs[1].topology, "flat");
+        assert_eq!(report.runs[2].topology, "four-socket-hierarchical");
         for r in &report.runs {
             assert!(r.total_refs > 0);
             assert!(r.wall_seconds > 0.0);
@@ -295,6 +323,7 @@ mod tests {
             runs: vec![BenchRun {
                 workload: "raytrace".into(),
                 policy: "FT".into(),
+                topology: "flat".into(),
                 total_refs: 1000,
                 wall_seconds: 0.5,
                 refs_per_sec: 2000.0,
@@ -309,7 +338,8 @@ mod tests {
             }),
         };
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/2","scale":"quick""#));
+        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/3","scale":"quick""#));
+        assert!(json.contains(r#""topology":"flat""#));
         assert!(json.contains(r#""total_refs":1000"#));
         assert!(json.contains(r#""wall_seconds":0.500000"#));
         assert!(json.contains(r#""refs_per_sec":2000.0"#));

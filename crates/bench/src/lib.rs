@@ -36,8 +36,8 @@ pub mod hotbench;
 pub mod plan;
 
 pub use helpers::{
-    dynamic_options, dynamic_spec, ft_options, ft_spec, traced_ft, traced_ft_spec, trigger_for,
-    RunPair,
+    dynamic_options, dynamic_spec, ft_options, ft_spec, set_topology_override, topology_override,
+    traced_ft, traced_ft_spec, trigger_for, RunPair,
 };
 pub use hotbench::{hotpath_bench, tracestore_bench, BenchReport, BenchRun, TraceBench};
 pub use plan::{Executor, ExecutorStats, RunFailure, RunPlan, RunTiming, TracedRun};

@@ -95,6 +95,63 @@ fn every_workload_report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn topology_runs_are_byte_identical_across_job_counts() {
+    // The hop-path latency model adds per-tier accounting to the hot
+    // path; it must stay as deterministic as the flat machine. Full
+    // RunReports on the hierarchical and CXL presets agree to the byte
+    // whether the executor runs serial or with a worker pool.
+    use ccnuma_types::TopologyPreset;
+    let scale = Scale::quick();
+    let specs = || {
+        [
+            ccnuma_bench::dynamic_spec(WorkloadKind::Raytrace, scale)
+                .with_topology(TopologyPreset::FourSocketHierarchical),
+            ccnuma_bench::ft_spec(WorkloadKind::Database, scale)
+                .with_topology(TopologyPreset::CxlTiered),
+        ]
+    };
+    let reports_with_jobs = |jobs: usize| -> Vec<String> {
+        let exec = Executor::new(jobs);
+        specs()
+            .iter()
+            .map(|spec| format!("{:?}", exec.run(spec)))
+            .collect()
+    };
+
+    let serial = reports_with_jobs(1);
+    let parallel = reports_with_jobs(4);
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            a, b,
+            "topology report {i} diverged between --jobs 1 and --jobs 4"
+        );
+    }
+    // The presets really did change the machine: a hierarchical run is
+    // not the flat run under a different label.
+    let flat = format!(
+        "{:?}",
+        Executor::new(1).run(&ccnuma_bench::dynamic_spec(WorkloadKind::Raytrace, scale))
+    );
+    assert_ne!(serial[0], flat, "hierarchical preset must differ from flat");
+}
+
+#[test]
+fn lifted_processor_cap_completes_a_quick_run() {
+    // 128 shared-reader nodes means 128 processors — double the old
+    // 64-proc bitmask ceiling. The run must validate, complete, and
+    // stay deterministic.
+    let spec = RunSpec::shared_reader(
+        128,
+        Scale::quick(),
+        RunOptions::new(PolicyChoice::first_touch()),
+    );
+    let a = spec.run();
+    let b = spec.run();
+    assert!(a.breakdown.total().0 > 0, "128-proc run retired work");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
 fn executor_memoizes_across_experiments() {
     // fig3 and table3 both need the engineering FT baseline; the second
     // renderer must reuse the first's run rather than recompute.

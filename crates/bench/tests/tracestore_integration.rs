@@ -111,7 +111,7 @@ fn sweep_artifacts_identical_across_job_counts() {
 
     let text = String::from_utf8(json1).expect("JSON is UTF-8");
     assert!(
-        text.contains("\"schema\":\"ccnuma-sweep/1\""),
+        text.contains("\"schema\":\"ccnuma-sweep/2\""),
         "artifact must declare its schema: {text}"
     );
 }

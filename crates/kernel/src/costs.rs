@@ -170,7 +170,12 @@ pub struct CostParams {
 
 impl CostParams {
     /// Costs for the given machine; data movement and IPI costs follow the
-    /// machine's remote latency.
+    /// machine's remote latency. When a [`ccnuma_types::Topology`] is
+    /// installed, `remote_latency` is its worst read path
+    /// ([`ccnuma_types::Topology::max_read_latency`]), so these tables
+    /// track the topology without further plumbing; the pager refines the
+    /// per-copy charge to the actual hop path via
+    /// [`CostParams::copy_cost_on_path`].
     pub fn for_machine(cfg: &MachineConfig) -> CostParams {
         CostParams {
             intr_batch: Ns::from_us(30),
@@ -197,14 +202,28 @@ impl CostParams {
         }
     }
 
-    /// The full page-copy cost for one page.
+    /// The full page-copy cost for one page, at the machine-wide
+    /// worst-case per-line latency ([`CostParams::copy_per_line`]).
     pub fn copy_cost(&self) -> Ns {
+        self.copy_cost_on_path(self.copy_per_line)
+    }
+
+    /// The page-copy cost over a specific topology path, where
+    /// `per_line` is the destination node's read latency for one cache
+    /// line from the source node. On the flat machine every off-node
+    /// path reads at `remote_latency`, so this equals
+    /// [`copy_cost`](CostParams::copy_cost); on hierarchical or
+    /// CXL-tiered topologies a nearby source makes the copy cheaper and
+    /// a far-tier source makes it dearer, line by line. The pipelined
+    /// copy (§7.2.2) streams the page inside the directory controller
+    /// and is indifferent to the path.
+    pub fn copy_cost_on_path(&self, per_line: Ns) -> Ns {
         if self.pipelined_copy {
             // The MAGIC controller streams the page without involving
             // the processor (§7.2.2).
             Ns::from_us(35)
         } else {
-            self.copy_base + self.copy_per_line * self.lines_per_page as u64
+            self.copy_base + per_line * self.lines_per_page as u64
         }
     }
 

@@ -13,7 +13,7 @@ use crate::{
 };
 use ccnuma_core::PageLocation;
 use ccnuma_faults::{FaultInjector, FaultOp, NullFaults};
-use ccnuma_types::{Frame, MachineConfig, NodeId, Ns, Pid, VirtPage};
+use ccnuma_types::{Frame, MachineConfig, NodeId, Ns, Pid, Topology, VirtPage};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How TLB shootdowns pick their victim CPUs.
@@ -242,6 +242,9 @@ pub struct Pager {
     /// Frames held out of circulation by injected memory-pressure storms,
     /// per node (BTreeMap keeps release order deterministic).
     seized: BTreeMap<NodeId, Vec<Frame>>,
+    /// The machine's latency model, resolved once; page copies are
+    /// charged by their actual hop path through it.
+    topo: Topology,
     last_batch: BatchStats,
     batches: u64,
 }
@@ -251,9 +254,11 @@ impl Pager {
     pub fn new(cfg: PagerConfig) -> Pager {
         let frames = FrameAllocator::new(&cfg.machine);
         let hash = PageHash::new(cfg.machine.clone());
+        let topo = cfg.machine.effective_topology();
         Pager {
             frames,
             hash,
+            topo,
             tables: PageTables::new(),
             locks: LockModel::new(),
             book: CostBook::new(),
@@ -672,8 +677,11 @@ impl Pager {
         // Step 6 amortized flush.
         latency += flush_share;
 
-        // Step 7: copy.
-        let copy = costs.copy_cost();
+        // Step 7: copy, line by line over the actual source→destination
+        // path (on the flat machine every off-node path reads at
+        // `remote_latency`, so this matches the legacy flat charge).
+        let src = self.cfg.machine.node_of_frame(old_frame);
+        let copy = costs.copy_cost_on_path(self.topo.read_latency(to, src));
         self.book.add(class, PagerStep::PageCopy, copy);
         latency += copy;
 
@@ -719,6 +727,16 @@ impl Pager {
                 reason: OpFailReason::CopyAborted,
             };
         }
+        // The copy streams from the nearest existing copy, and the fresh
+        // replica is linked into the chain before step 7 — so resolve the
+        // per-line path cost now, while the chain holds only real sources.
+        let copy_per_line = self
+            .hash
+            .copy_nodes(page)
+            .into_iter()
+            .map(|n| self.topo.read_latency(at, n))
+            .min()
+            .unwrap_or(costs.copy_per_line);
         let class = OpClass::Replicate;
         let mut latency = intr_share + costs.decision;
         self.book
@@ -746,7 +764,7 @@ impl Pager {
 
         latency += flush_share;
 
-        let copy = costs.copy_cost();
+        let copy = costs.copy_cost_on_path(copy_per_line);
         self.book.add(class, PagerStep::PageCopy, copy);
         latency += copy;
 
@@ -916,6 +934,49 @@ mod tests {
         assert_eq!(p.frames().used_on(NodeId(0)), 0);
         assert_eq!(p.frames().used_on(NodeId(5)), 1);
         assert_eq!(p.book().ops(OpClass::Migrate), 1);
+    }
+
+    #[test]
+    fn migration_copy_charge_follows_the_topology_path() {
+        let m = MachineConfig::cc_numa()
+            .with_nodes(8)
+            .with_topology(Topology::four_socket_hierarchical(8));
+        let lines = m.lines_per_page() as u64;
+        let mut p = Pager::new(PagerConfig::for_machine(m));
+        p.first_touch(Pid(1), VirtPage(1), NodeId(0));
+        p.first_touch(Pid(2), VirtPage(2), NodeId(0));
+        // Node 1 shares node 0's socket (500 ns/line); node 4 sits two
+        // ring hops away (2100 ns/line). The batches are 1 ms apart so no
+        // lock contention blurs the comparison: the only difference in
+        // latency is the per-line copy cost times the page's line count.
+        let near = p.service_batch(Ns::from_ms(1), &[PageOp::migrate(VirtPage(1), NodeId(1))]);
+        let far = p.service_batch(Ns::from_ms(2), &[PageOp::migrate(VirtPage(2), NodeId(4))]);
+        let (OpOutcome::Done { latency: near }, OpOutcome::Done { latency: far }) =
+            (near[0], far[0])
+        else {
+            panic!("both migrations must succeed");
+        };
+        assert_eq!(far.0 - near.0, (2100 - 500) * lines);
+    }
+
+    #[test]
+    fn replication_copies_from_the_nearest_copy() {
+        let m = MachineConfig::cc_numa()
+            .with_nodes(8)
+            .with_topology(Topology::four_socket_hierarchical(8));
+        let lines = m.lines_per_page() as u64;
+        let mut p = Pager::new(PagerConfig::for_machine(m));
+        // Master two ring hops from socket {0,1}.
+        p.first_touch(Pid(1), VirtPage(1), NodeId(4));
+        // First replica at node 0 must stream from the distant master
+        // (2100 ns/line); the second, at node 1, finds the node-0 replica
+        // one intra-socket hop away (500 ns/line) and uses it instead.
+        p.service_batch(Ns::from_ms(1), &[PageOp::replicate(VirtPage(1), NodeId(0))]);
+        let first = p.book().step_total(OpClass::Replicate, PagerStep::PageCopy);
+        p.service_batch(Ns::from_ms(2), &[PageOp::replicate(VirtPage(1), NodeId(1))]);
+        let both = p.book().step_total(OpClass::Replicate, PagerStep::PageCopy);
+        let second = both.0 - first.0;
+        assert_eq!(first.0 - second, (2100 - 500) * lines);
     }
 
     #[test]

@@ -1,110 +1,201 @@
 //! Write-invalidate coherence bookkeeping.
 
-use ccnuma_types::{FxHashMap, ProcId, VirtPage};
+use ccnuma_types::{FxHashMap, ProcId, ProcSet, VirtPage};
+use std::collections::hash_map::Entry;
 
 /// Tracks which processors cache each line, so a write can invalidate
 /// the other holders — the directory's sharing vector, reduced to what
-/// the simulator needs. Supports up to 64 processors.
+/// the simulator needs. Sized for the machine at construction
+/// ([`CoherenceDir::with_procs`]), up to [`ProcSet::MAX_PROCS`]
+/// processors.
 ///
 /// This table is consulted on every simulated write and every L2 fill,
-/// so the map hashes its `(VirtPage, u16)` keys through
-/// [`FxHashMap`] (three word-mixes instead of SipHash) and
-/// [`write`](CoherenceDir::write) hands back the victim set as a raw
-/// `u64` bitmask for the caller to decode — the hot path never allocates
-/// a `Vec<ProcId>` per write.
+/// so it is built for the hot path: `(VirtPage, u16)` keys hash through
+/// [`FxHashMap`] (three word-mixes instead of SipHash) into a *slot*
+/// index, and the sharing vectors themselves live in one flat `Vec<u64>`
+/// arena at a fixed stride of words per line. A ≤64-processor machine
+/// keeps the old single-word cost; a 1024-processor machine uses 16
+/// words per line — and in both cases
+/// [`write`](CoherenceDir::write) fills a caller-owned [`ProcSet`]
+/// scratch, so the per-reference path never allocates.
 ///
 /// # Examples
 ///
 /// ```
 /// use ccnuma_machine::CoherenceDir;
-/// use ccnuma_types::{ProcId, VirtPage};
+/// use ccnuma_types::{ProcId, ProcSet, VirtPage};
 ///
 /// let mut dir = CoherenceDir::new();
+/// let mut victims = ProcSet::with_capacity_for(64);
 /// dir.record_fill(ProcId(0), VirtPage(1), 4);
 /// dir.record_fill(ProcId(2), VirtPage(1), 4);
-/// let victims = dir.write(ProcId(0), VirtPage(1), 4);
-/// assert_eq!(victims, 1 << 2, "proc 2 must invalidate");
+/// dir.write(ProcId(0), VirtPage(1), 4, &mut victims);
+/// assert_eq!(victims.iter().collect::<Vec<_>>(), vec![ProcId(2)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CoherenceDir {
-    holders: FxHashMap<(VirtPage, u16), u64>,
-}
-
-/// The sharing-vector bit for `proc`, bounds-checked once for every
-/// entry point — an out-of-range processor would otherwise corrupt the
-/// mask silently via a wrapping shift in release builds.
-#[inline]
-fn holder_bit(proc: ProcId) -> u64 {
-    assert!(proc.0 < 64, "coherence dir supports up to 64 processors");
-    1u64 << proc.0
+    /// Line → slot index into the `words` arena.
+    slots: FxHashMap<(VirtPage, u16), u32>,
+    /// Sharing vectors, `stride` words per slot.
+    words: Vec<u64>,
+    /// Recycled slots of lines whose last holder evicted.
+    free: Vec<u32>,
+    /// Words per sharing vector (`ceil(max_procs / 64)`).
+    stride: usize,
+    max_procs: u16,
 }
 
 impl CoherenceDir {
-    /// An empty directory.
+    /// An empty directory for the paper's machine sizes (up to 64
+    /// processors, one word per line — the historical footprint).
     pub fn new() -> CoherenceDir {
-        CoherenceDir::default()
+        CoherenceDir::with_procs(64)
+    }
+
+    /// An empty directory sized for a machine with `procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero or exceeds [`ProcSet::MAX_PROCS`].
+    pub fn with_procs(procs: u16) -> CoherenceDir {
+        assert!(
+            procs > 0 && procs <= ProcSet::MAX_PROCS,
+            "coherence dir supports 1..={} processors, got {procs}",
+            ProcSet::MAX_PROCS
+        );
+        CoherenceDir {
+            slots: FxHashMap::default(),
+            words: Vec::new(),
+            free: Vec::new(),
+            stride: procs.div_ceil(64) as usize,
+            max_procs: procs,
+        }
+    }
+
+    /// The processor capacity this directory was sized for.
+    pub fn max_procs(&self) -> u16 {
+        self.max_procs
+    }
+
+    /// Bounds-check once per entry point — an out-of-range processor
+    /// would otherwise corrupt a neighbouring sharing vector silently.
+    #[inline]
+    fn check(&self, proc: ProcId) {
+        assert!(
+            proc.0 < self.max_procs,
+            "coherence dir supports up to {} processors",
+            self.max_procs
+        );
+    }
+
+    /// The arena offset of (`page`, `line`)'s sharing vector, allocating
+    /// a slot (recycled if possible) on first sight.
+    #[inline]
+    fn slot_base(&mut self, page: VirtPage, line: u16) -> usize {
+        let stride = self.stride;
+        match self.slots.entry((page, line)) {
+            Entry::Occupied(e) => *e.get() as usize * stride,
+            Entry::Vacant(e) => {
+                let slot = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        let s = (self.words.len() / stride) as u32;
+                        self.words.resize(self.words.len() + stride, 0);
+                        s
+                    }
+                };
+                e.insert(slot);
+                slot as usize * stride
+            }
+        }
     }
 
     /// Records that `proc` now caches (`page`, `line`).
     ///
     /// # Panics
     ///
-    /// Panics if `proc` is 64 or larger.
+    /// Panics if `proc` is beyond the directory's capacity.
     pub fn record_fill(&mut self, proc: ProcId, page: VirtPage, line: u16) {
-        *self.holders.entry((page, line)).or_insert(0) |= holder_bit(proc);
+        self.check(proc);
+        let base = self.slot_base(page, line);
+        self.words[base + proc.index() / 64] |= 1u64 << (proc.index() % 64);
     }
 
     /// Records that `proc` lost (`page`, `line`) to eviction.
     ///
     /// # Panics
     ///
-    /// Panics if `proc` is 64 or larger.
+    /// Panics if `proc` is beyond the directory's capacity.
     pub fn record_evict(&mut self, proc: ProcId, page: VirtPage, line: u16) {
-        let bit = holder_bit(proc);
-        if let Some(mask) = self.holders.get_mut(&(page, line)) {
-            *mask &= !bit;
-            if *mask == 0 {
-                self.holders.remove(&(page, line));
+        self.check(proc);
+        if let Some(&slot) = self.slots.get(&(page, line)) {
+            let base = slot as usize * self.stride;
+            self.words[base + proc.index() / 64] &= !(1u64 << (proc.index() % 64));
+            if self.words[base..base + self.stride].iter().all(|&w| w == 0) {
+                self.slots.remove(&(page, line));
+                self.free.push(slot);
             }
         }
     }
 
-    /// A write by `proc`: every *other* holder must invalidate. Returns
-    /// the victims as a bitmask (bit *i* set ⇒ processor *i* holds a
-    /// stale copy) and leaves `proc` as the sole holder. Decode with
-    /// `trailing_zeros` in a clear-lowest-bit loop; the common case —
-    /// no other holder — is a plain zero.
+    /// A write by `proc`: every *other* holder must invalidate. Fills
+    /// `victims` with the victim set (usually empty: no other holder)
+    /// and leaves `proc` as the sole holder. The caller owns and reuses
+    /// the scratch set, so the hot path stays allocation-free.
     ///
     /// # Panics
     ///
-    /// Panics if `proc` is 64 or larger.
-    #[must_use]
-    pub fn write(&mut self, proc: ProcId, page: VirtPage, line: u16) -> u64 {
-        let bit = holder_bit(proc);
-        let entry = self.holders.entry((page, line)).or_insert(0);
-        let others = *entry & !bit;
-        *entry = bit;
-        others
+    /// Panics if `proc` is beyond the directory's capacity, or if
+    /// `victims` was sized for a different machine.
+    pub fn write(&mut self, proc: ProcId, page: VirtPage, line: u16, victims: &mut ProcSet) {
+        self.check(proc);
+        let stride = self.stride;
+        let base = self.slot_base(page, line);
+        let dst = victims.words_mut();
+        assert_eq!(
+            dst.len(),
+            stride,
+            "victim set sized for a different machine"
+        );
+        dst.copy_from_slice(&self.words[base..base + stride]);
+        let (w, b) = (proc.index() / 64, proc.index() % 64);
+        dst[w] &= !(1u64 << b);
+        self.words[base..base + stride].fill(0);
+        self.words[base + w] = 1u64 << b;
     }
 
     /// Holders of (`page`, `line`), lowest processor first. Diagnostic
     /// convenience — allocates, so keep it off the per-reference path.
     pub fn holders_of(&self, page: VirtPage, line: u16) -> Vec<ProcId> {
-        let mask = self.holders.get(&(page, line)).copied().unwrap_or(0);
-        (0..64)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| ProcId(i as u16))
-            .collect()
+        let Some(&slot) = self.slots.get(&(page, line)) else {
+            return Vec::new();
+        };
+        let base = slot as usize * self.stride;
+        let mut out = Vec::new();
+        for (wi, &word) in self.words[base..base + self.stride].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(ProcId((wi * 64 + w.trailing_zeros() as usize) as u16));
+                w &= w - 1;
+            }
+        }
+        out
     }
 
     /// Number of tracked lines.
     pub fn len(&self) -> usize {
-        self.holders.len()
+        self.slots.len()
     }
 
     /// True when nothing is tracked.
     pub fn is_empty(&self) -> bool {
-        self.holders.is_empty()
+        self.slots.is_empty()
+    }
+}
+
+impl Default for CoherenceDir {
+    fn default() -> CoherenceDir {
+        CoherenceDir::new()
     }
 }
 
@@ -112,14 +203,11 @@ impl CoherenceDir {
 mod tests {
     use super::*;
 
-    /// Decodes a victim mask the way the runner does.
-    fn decode(mut mask: u64) -> Vec<ProcId> {
-        let mut v = Vec::new();
-        while mask != 0 {
-            v.push(ProcId(mask.trailing_zeros() as u16));
-            mask &= mask - 1;
-        }
-        v
+    /// Runs a write and decodes the victims, the way the runner does.
+    fn write_victims(d: &mut CoherenceDir, proc: ProcId, page: VirtPage, line: u16) -> Vec<ProcId> {
+        let mut victims = ProcSet::with_capacity_for(d.max_procs());
+        d.write(proc, page, line, &mut victims);
+        victims.iter().collect()
     }
 
     #[test]
@@ -128,7 +216,7 @@ mod tests {
         d.record_fill(ProcId(0), VirtPage(1), 0);
         d.record_fill(ProcId(1), VirtPage(1), 0);
         d.record_fill(ProcId(5), VirtPage(1), 0);
-        let v = decode(d.write(ProcId(1), VirtPage(1), 0));
+        let v = write_victims(&mut d, ProcId(1), VirtPage(1), 0);
         assert_eq!(v, vec![ProcId(0), ProcId(5)]);
         assert_eq!(d.holders_of(VirtPage(1), 0), vec![ProcId(1)]);
     }
@@ -137,7 +225,7 @@ mod tests {
     fn write_by_sole_holder_invalidates_nobody() {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(3), VirtPage(2), 7);
-        assert_eq!(d.write(ProcId(3), VirtPage(2), 7), 0);
+        assert!(write_victims(&mut d, ProcId(3), VirtPage(2), 7).is_empty());
     }
 
     #[test]
@@ -156,7 +244,10 @@ mod tests {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(0), VirtPage(1), 0);
         d.record_fill(ProcId(0), VirtPage(1), 1);
-        assert_eq!(decode(d.write(ProcId(2), VirtPage(1), 0)), vec![ProcId(0)]);
+        assert_eq!(
+            write_victims(&mut d, ProcId(2), VirtPage(1), 0),
+            vec![ProcId(0)]
+        );
         assert_eq!(d.holders_of(VirtPage(1), 1), vec![ProcId(0)]);
         assert_eq!(d.len(), 2);
     }
@@ -165,7 +256,38 @@ mod tests {
     fn proc_63_is_the_last_representable_holder() {
         let mut d = CoherenceDir::new();
         d.record_fill(ProcId(63), VirtPage(1), 0);
-        assert_eq!(d.write(ProcId(0), VirtPage(1), 0), 1 << 63);
+        assert_eq!(
+            write_victims(&mut d, ProcId(0), VirtPage(1), 0),
+            vec![ProcId(63)]
+        );
+    }
+
+    #[test]
+    fn large_machines_cross_word_boundaries() {
+        let mut d = CoherenceDir::with_procs(128);
+        assert_eq!(d.max_procs(), 128);
+        d.record_fill(ProcId(1), VirtPage(1), 0);
+        d.record_fill(ProcId(64), VirtPage(1), 0);
+        d.record_fill(ProcId(127), VirtPage(1), 0);
+        assert_eq!(
+            d.holders_of(VirtPage(1), 0),
+            vec![ProcId(1), ProcId(64), ProcId(127)]
+        );
+        let v = write_victims(&mut d, ProcId(127), VirtPage(1), 0);
+        assert_eq!(v, vec![ProcId(1), ProcId(64)]);
+        assert_eq!(d.holders_of(VirtPage(1), 0), vec![ProcId(127)]);
+    }
+
+    #[test]
+    fn evicted_slots_are_recycled() {
+        let mut d = CoherenceDir::with_procs(256);
+        d.record_fill(ProcId(200), VirtPage(1), 0);
+        d.record_evict(ProcId(200), VirtPage(1), 0);
+        assert!(d.is_empty());
+        // The recycled slot must come back zeroed-in-effect: a stale
+        // holder from the previous tenant would corrupt the new line.
+        d.record_fill(ProcId(3), VirtPage(9), 5);
+        assert_eq!(d.holders_of(VirtPage(9), 5), vec![ProcId(3)]);
     }
 
     #[test]
@@ -185,6 +307,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "up to 64 processors")]
     fn write_rejects_out_of_range_proc() {
-        let _ = CoherenceDir::new().write(ProcId(64), VirtPage(1), 0);
+        let mut victims = ProcSet::with_capacity_for(64);
+        CoherenceDir::new().write(ProcId(64), VirtPage(1), 0, &mut victims);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for a different machine")]
+    fn write_rejects_mismatched_victim_set() {
+        let mut victims = ProcSet::with_capacity_for(128);
+        CoherenceDir::new().write(ProcId(0), VirtPage(1), 0, &mut victims);
     }
 }

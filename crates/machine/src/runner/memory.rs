@@ -20,8 +20,6 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
     pub(super) fn step(&mut self, cpu: usize, pid: Pid, access: MemAccess) -> Result<(), SimError> {
         let compute = self.spec.config.compute_ns_per_ref;
         let l2_hit = self.spec.config.l2_hit;
-        let local_latency = self.spec.config.local_latency;
-        let remote_latency = self.spec.config.remote_latency;
         let my_node = self.node_of(cpu);
         let proc = ProcId(cpu as u16);
 
@@ -75,14 +73,13 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
         // L2 + coherence.
         let hit = self.l2[cpu].access(access.page, access.line);
         if access.kind == AccessKind::Write {
-            // The victim set arrives as a bitmask (usually 0: no other
-            // holder); decoding it costs one trailing_zeros per actual
-            // victim and nothing on the heap.
-            let mut victims = self.coherence.write(proc, access.page, access.line);
-            while victims != 0 {
-                let victim = victims.trailing_zeros() as usize;
-                self.l2[victim].invalidate(access.page, access.line);
-                victims &= victims - 1;
+            // The victim set lands in the reusable `ProcSet` scratch
+            // (usually empty: no other holder); decoding it costs one
+            // trailing_zeros per actual victim and nothing on the heap.
+            self.coherence
+                .write(proc, access.page, access.line, &mut self.victims);
+            for victim in self.victims.iter() {
+                self.l2[victim.index()].invalidate(access.page, access.line);
             }
         } else if !hit {
             self.coherence.record_fill(proc, access.page, access.line);
@@ -100,16 +97,13 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
             .pager
             .mapping_node(pid, access.page)
             .expect("mapped above");
-        let remote = mapped != my_node;
-        let base = if remote {
-            remote_latency
-        } else {
-            local_latency
-        };
+        let tier = self.topo.tier(my_node, mapped);
+        let remote = tier.is_off_node();
+        let base = self.topo.latency(my_node, mapped, access.kind);
         let wait = self.directory.request(self.clocks[cpu], mapped, remote);
         let latency = base + wait;
         self.breakdown
-            .add_stall(access.mode, access.class, remote, latency);
+            .add_stall_tier(access.mode, access.class, tier, latency);
         self.clocks[cpu] += latency;
         if !remote {
             self.local_lat_sum += latency;

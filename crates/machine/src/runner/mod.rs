@@ -33,7 +33,7 @@ use ccnuma_kernel::{OpOutcome, PageOp, Pager, PagerConfig};
 use ccnuma_obs::{NullRecorder, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
-use ccnuma_types::{Ns, Pid, SimError};
+use ccnuma_types::{Ns, Pid, ProcSet, SimError, Topology};
 use ccnuma_workloads::WorkloadSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -128,6 +128,13 @@ struct Sim<'a, R: Recorder, F: FaultInjector> {
     l2: Vec<L2Cache>,
     tlb: Vec<Tlb>,
     coherence: CoherenceDir,
+    /// Reusable victim-set scratch for coherence writes; sized for the
+    /// machine once so the per-reference path never allocates.
+    victims: ProcSet,
+    /// The machine's topology (explicit, or the flat view of the config's
+    /// latency pair), resolved once so the per-reference path is a pair
+    /// of table lookups.
+    topo: Topology,
     directory: DirectoryModel,
     pager: Pager,
     engine: Option<PolicyEngine>,
@@ -180,7 +187,9 @@ impl<'a, R: Recorder, F: FaultInjector> Sim<'a, R, F> {
             cur_quantum: vec![u64::MAX; procs],
             l2: (0..procs).map(|_| L2Cache::new(&cfg)).collect(),
             tlb: (0..procs).map(|_| Tlb::new(&cfg)).collect(),
-            coherence: CoherenceDir::new(),
+            coherence: CoherenceDir::with_procs(cfg.procs()),
+            victims: ProcSet::with_capacity_for(cfg.procs()),
+            topo: cfg.effective_topology(),
             directory: DirectoryModel::new(&cfg),
             pager: Pager::new(pager_cfg),
             engine,

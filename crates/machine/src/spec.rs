@@ -11,7 +11,7 @@
 
 use crate::{Machine, RunOptions, RunReport};
 use ccnuma_faults::FaultSpec;
-use ccnuma_types::{Ns, SimError};
+use ccnuma_types::{Ns, SimError, TopologyPreset};
 use ccnuma_workloads::{shared_reader, Scale, WorkloadKind, WorkloadSpec};
 
 /// Which workload a run builds.
@@ -41,6 +41,10 @@ pub struct RunSpec {
     /// Overrides the machine's remote-miss latency (the zero-delay
     /// interconnect experiment).
     pub remote_latency: Option<Ns>,
+    /// Overrides the machine's topology with a named preset. Applied
+    /// after `remote_latency`, so an explicit topology wins; `Flat` (or
+    /// `None`) leaves the paper's machine untouched.
+    pub topology: Option<TopologyPreset>,
 }
 
 impl RunSpec {
@@ -52,6 +56,7 @@ impl RunSpec {
             opts,
             seed: None,
             remote_latency: None,
+            topology: None,
         }
     }
 
@@ -63,6 +68,7 @@ impl RunSpec {
             opts,
             seed: None,
             remote_latency: None,
+            topology: None,
         }
     }
 
@@ -77,6 +83,15 @@ impl RunSpec {
     #[must_use]
     pub fn with_remote_latency(mut self, latency: Ns) -> RunSpec {
         self.remote_latency = Some(latency);
+        self
+    }
+
+    /// Overrides the machine's topology with a named preset. A `Flat`
+    /// preset is recorded as no override at all, so flat runs share
+    /// their cache key (and memoized report) with legacy specs.
+    #[must_use]
+    pub fn with_topology(mut self, preset: TopologyPreset) -> RunSpec {
+        self.topology = (!preset.is_flat()).then_some(preset);
         self
     }
 
@@ -100,6 +115,10 @@ impl RunSpec {
         }
         if let Some(latency) = self.remote_latency {
             spec.config = spec.config.clone().with_remote_latency(latency);
+        }
+        if let Some(preset) = self.topology {
+            let topo = preset.build(spec.config.nodes);
+            spec.config = spec.config.clone().with_topology(topo);
         }
         spec
     }
@@ -149,6 +168,9 @@ impl RunSpec {
         }
         if let Some(latency) = self.remote_latency {
             s.push_str(&format!(" +remote={}ns", latency.0));
+        }
+        if let Some(preset) = self.topology {
+            s.push_str(&format!(" +topo={preset}"));
         }
         if let Some(seed) = self.seed {
             s.push_str(&format!(" +seed={seed:#x}"));
@@ -213,6 +235,25 @@ mod tests {
             RunOptions::new(PolicyChoice::first_touch()).with_trace(),
         );
         assert_ne!(ft(WorkloadKind::Raytrace).cache_key(), traced.cache_key());
+    }
+
+    #[test]
+    fn topology_override_applies_and_flat_is_identity() {
+        let base = ft(WorkloadKind::Raytrace);
+        let flat = base.clone().with_topology(TopologyPreset::Flat);
+        assert_eq!(base.cache_key(), flat.cache_key(), "flat is no override");
+        let cxl = base.clone().with_topology(TopologyPreset::CxlTiered);
+        assert_ne!(base.cache_key(), cxl.cache_key());
+        assert!(
+            cxl.describe().contains("+topo=cxl-tiered"),
+            "{}",
+            cxl.describe()
+        );
+        let w = cxl.build_workload();
+        let topo = w.config.topology.as_ref().expect("topology installed");
+        assert_eq!(topo.label(), "cxl-tiered");
+        assert_eq!(topo.nodes(), w.config.nodes);
+        w.config.validate().unwrap();
     }
 
     #[test]

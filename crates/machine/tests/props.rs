@@ -1,7 +1,7 @@
 //! Property-based tests for the machine simulator's components.
 
 use ccnuma_machine::{CoherenceDir, DirectoryModel, L2Cache, Tlb};
-use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, VirtPage};
+use ccnuma_types::{MachineConfig, NodeId, Ns, ProcId, ProcSet, VirtPage};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -92,11 +92,12 @@ proptest! {
         events in proptest::collection::vec((0u16..8, 0u64..16, 0u16..4, proptest::bool::ANY), 1..300),
     ) {
         let mut dir = CoherenceDir::new();
+        let mut victims = ProcSet::with_capacity_for(dir.max_procs());
         for (proc, page, line, is_write) in events {
             let proc = ProcId(proc);
             if is_write {
-                let victims = dir.write(proc, VirtPage(page), line);
-                prop_assert_eq!(victims & (1 << proc.0), 0, "writer invalidated itself");
+                dir.write(proc, VirtPage(page), line, &mut victims);
+                prop_assert!(!victims.contains(proc), "writer invalidated itself");
                 prop_assert_eq!(dir.holders_of(VirtPage(page), line), vec![proc]);
             } else {
                 dir.record_fill(proc, VirtPage(page), line);
@@ -136,15 +137,17 @@ proptest! {
         }
     }
 
-    /// The bitmask coherence directory agrees with a naive
+    /// The slot-arena coherence directory agrees with a naive
     /// `HashMap<line, HashSet<proc>>` model: fills and evicts track holder
-    /// sets exactly, and a write's victim mask is precisely the other
-    /// holders at that instant.
+    /// sets exactly, and a write's victim set is precisely the other
+    /// holders at that instant. Processors span several `ProcSet` words
+    /// (up to 160), exercising the lifted 64-processor cap.
     #[test]
     fn coherence_matches_reference_model(
-        events in proptest::collection::vec((0u8..4, 0u16..16, 0u64..12, 0u16..4), 1..600),
+        events in proptest::collection::vec((0u8..4, 0u16..160, 0u64..12, 0u16..4), 1..600),
     ) {
-        let mut dir = CoherenceDir::new();
+        let mut dir = CoherenceDir::with_procs(160);
+        let mut victims = ProcSet::with_capacity_for(dir.max_procs());
         let mut model: HashMap<(u64, u16), HashSet<u16>> = HashMap::new();
         for (kind, proc, page, line) in events {
             let key = (page, line);
@@ -156,11 +159,13 @@ proptest! {
                     }
                 }
                 1 => {
-                    let victims = dir.write(ProcId(proc), VirtPage(page), line);
+                    dir.write(ProcId(proc), VirtPage(page), line, &mut victims);
                     let expect = model.entry(key).or_default();
                     expect.remove(&proc);
-                    let expect_mask = expect.iter().fold(0u64, |m, &p| m | (1 << p));
-                    prop_assert_eq!(victims, expect_mask, "victim mask disagreed");
+                    let mut expect_set: Vec<u16> = expect.iter().copied().collect();
+                    expect_set.sort_unstable();
+                    let got: Vec<u16> = victims.iter().map(|p| p.0).collect();
+                    prop_assert_eq!(got, expect_set, "victim set disagreed");
                     expect.clear();
                     expect.insert(proc);
                 }
@@ -217,6 +222,33 @@ proptest! {
             }
             prop_assert_eq!(solo_total, joint_node_total, "node {} interfered", n);
         }
+    }
+
+    /// The `flat` topology preset reproduces the legacy two-latency cost
+    /// model *exactly*: for every (from, to, kind) the end-to-end latency
+    /// is `local` on-node and `remote` off-node, reads and writes alike,
+    /// and the tier is the legacy local/remote bool. This is the
+    /// correctness bar that keeps flat-machine goldens byte-identical.
+    #[test]
+    fn flat_topology_reproduces_two_latency_model(
+        nodes in 1u16..64,
+        local in 1u64..3000,
+        extra in 0u64..5000,
+        from_raw in 0u16..64,
+        to_raw in 0u16..64,
+        is_write in proptest::bool::ANY,
+    ) {
+        use ccnuma_types::{AccessKind, Topology};
+        let remote = Ns(local + extra);
+        let local = Ns(local);
+        let topo = Topology::flat(nodes, local, remote);
+        topo.validate().unwrap();
+        let (from, to) = (NodeId(from_raw % nodes), NodeId(to_raw % nodes));
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        // The naive reference model the codebase used before topologies.
+        let naive = if from == to { local } else { remote };
+        prop_assert_eq!(topo.latency(from, to, kind), naive);
+        prop_assert_eq!(topo.tier(from, to).is_off_node(), from != to);
     }
 
     /// Shootdown of arbitrary subsets leaves exactly the untouched pages

@@ -6,7 +6,7 @@ use ccnuma_core::{
     PolicyEngine, PolicyParams, PostFactoBuilder, RoundRobin, StaticPolicyKind,
 };
 use ccnuma_trace::{MissRecord, MissSource, Trace};
-use ccnuma_types::{MachineConfig, Mode, NodeId, Ns, VirtPage};
+use ccnuma_types::{MachineConfig, Mode, NodeId, Ns, Topology, TopologyPreset, VirtPage};
 use std::collections::HashMap;
 
 /// The contentionless memory model of Section 8.
@@ -14,26 +14,33 @@ use std::collections::HashMap;
 pub struct PolsimConfig {
     /// Nodes in the machine (processor *i* lives on node *i*).
     pub nodes: u16,
-    /// Local miss latency (300 ns).
+    /// Local miss latency (the machine config's 300 ns).
     pub local_latency: Ns,
-    /// Remote miss latency (1200 ns).
+    /// Remote miss latency (the machine config's 1200 ns).
     pub remote_latency: Ns,
     /// Cost of one migrate, replicate or collapse (350 µs).
     pub move_cost: Ns,
     /// The constant "all other time" component reported in the bars;
     /// callers usually take it from a machine run of the same trace.
     pub other_time: Ns,
+    /// Replay under a non-flat topology preset; `None` (or `Flat`) keeps
+    /// the paper's two-latency model built from the pair above.
+    pub topology: Option<TopologyPreset>,
 }
 
 impl PolsimConfig {
-    /// The paper's Section 8 parameters for an `nodes`-node machine.
+    /// The paper's Section 8 parameters for an `nodes`-node machine. The
+    /// local/remote pair comes from [`MachineConfig::cc_numa`], the single
+    /// source of truth for the 300/1200 ns figures.
     pub fn section8(nodes: u16) -> PolsimConfig {
+        let machine = MachineConfig::cc_numa();
         PolsimConfig {
             nodes,
-            local_latency: Ns(300),
-            remote_latency: Ns(1200),
+            local_latency: machine.local_latency,
+            remote_latency: machine.remote_latency,
             move_cost: Ns::from_us(350),
             other_time: Ns::ZERO,
+            topology: None,
         }
     }
 
@@ -42,6 +49,22 @@ impl PolsimConfig {
     pub fn with_other_time(mut self, other: Ns) -> PolsimConfig {
         self.other_time = other;
         self
+    }
+
+    /// Replays under a topology preset ([`TopologyPreset::Flat`] is the
+    /// identity: it reproduces the two-latency model exactly).
+    #[must_use]
+    pub fn with_topology(mut self, preset: TopologyPreset) -> PolsimConfig {
+        self.topology = Some(preset);
+        self
+    }
+
+    /// The latency model this config replays under.
+    pub fn topology_model(&self) -> Topology {
+        match self.topology {
+            Some(preset) if !preset.is_flat() => preset.build(self.nodes),
+            _ => Topology::flat(self.nodes, self.local_latency, self.remote_latency),
+        }
     }
 }
 
@@ -214,6 +237,9 @@ impl Placement {
 pub struct Replay {
     cfg: PolsimConfig,
     machine: MachineConfig,
+    /// The latency model misses are charged through (flat unless the
+    /// config installs a preset).
+    topo: Topology,
     filter: TraceFilter,
     placements: HashMap<VirtPage, Placement>,
     placer: Option<Box<dyn Placer>>,
@@ -260,6 +286,7 @@ impl Replay {
 
         Replay {
             cfg: cfg.clone(),
+            topo: cfg.topology_model(),
             machine,
             filter,
             placements: HashMap::new(),
@@ -328,14 +355,28 @@ impl Replay {
                 }],
             });
 
-        // Stall accounting: cache misses passing the filter.
+        // Stall accounting: cache misses passing the filter are charged
+        // for the cheapest copy through the topology. On the flat model
+        // this is exactly the legacy rule — local latency when a copy is
+        // on-node, remote latency otherwise.
         if rec.source == MissSource::Cache && self.filter.admits(rec.mode) {
-            if placement.has(node) {
-                self.report.local_misses += 1;
-                self.report.local_stall += self.cfg.local_latency;
-            } else {
+            let (cost, tier) = placement
+                .copies
+                .iter()
+                .map(|&c| {
+                    (
+                        self.topo.latency(node, c, rec.kind),
+                        self.topo.tier(node, c),
+                    )
+                })
+                .min_by_key(|&(cost, _)| cost)
+                .expect("placement holds at least the master copy");
+            if tier.is_off_node() {
                 self.report.remote_misses += 1;
-                self.report.remote_stall += self.cfg.remote_latency;
+                self.report.remote_stall += cost;
+            } else {
+                self.report.local_misses += 1;
+                self.report.local_stall += cost;
             }
         }
 
@@ -670,6 +711,80 @@ mod tests {
         assert_eq!(r.label, "RR");
         assert_eq!(r.other_time, Ns::from_ms(5));
         assert!(r.total() >= Ns::from_ms(5));
+    }
+
+    #[test]
+    fn section8_latencies_come_from_the_machine_config() {
+        let machine = MachineConfig::cc_numa();
+        let cfg = PolsimConfig::section8(8);
+        assert_eq!(cfg.local_latency, machine.local_latency);
+        assert_eq!(cfg.remote_latency, machine.remote_latency);
+    }
+
+    #[test]
+    fn flat_topology_preset_is_the_identity() {
+        let t = remote_read_trace(10);
+        let base = simulate(
+            &t,
+            &PolsimConfig::section8(8),
+            SimPolicy::first_touch(),
+            TraceFilter::All,
+        );
+        let flat = simulate(
+            &t,
+            &PolsimConfig::section8(8).with_topology(TopologyPreset::Flat),
+            SimPolicy::first_touch(),
+            TraceFilter::All,
+        );
+        assert_eq!(base.local_misses, flat.local_misses);
+        assert_eq!(base.remote_misses, flat.remote_misses);
+        assert_eq!(base.stall(), flat.stall());
+    }
+
+    #[test]
+    fn topology_replay_charges_the_hop_path() {
+        // Proc 5's node sits two ring hops from the first-touch home
+        // (node 0) under four-socket-hierarchical: 2100 ns per miss
+        // instead of the flat 1200 ns.
+        let t = remote_read_trace(10);
+        let cfg = PolsimConfig::section8(8).with_topology(TopologyPreset::FourSocketHierarchical);
+        let r = simulate(&t, &cfg, SimPolicy::first_touch(), TraceFilter::All);
+        assert_eq!(r.remote_misses, 10);
+        assert_eq!(r.remote_stall, Ns(10 * 2100));
+        assert_eq!(r.local_stall, Ns(300));
+    }
+
+    #[test]
+    fn cxl_far_writes_cost_more_than_reads() {
+        // One read and one write to a page homed on a far node (node 6 of
+        // 8 under cxl-tiered) from node 0: 1800 ns read, 3600 ns write.
+        let mut b = TraceBuilder::new();
+        b.push(MissRecord::user_data_read(
+            Ns(0),
+            ProcId(6),
+            Pid(0),
+            VirtPage(1),
+        ));
+        b.push(MissRecord::user_data_read(
+            Ns(500),
+            ProcId(0),
+            Pid(1),
+            VirtPage(1),
+        ));
+        b.push(MissRecord::user_data_write(
+            Ns(1000),
+            ProcId(0),
+            Pid(1),
+            VirtPage(1),
+        ));
+        let t = b.finish();
+        let cfg = PolsimConfig::section8(8).with_topology(TopologyPreset::CxlTiered);
+        let r = simulate(&t, &cfg, SimPolicy::first_touch(), TraceFilter::All);
+        // The first-toucher's own miss is on-node but still far-tier, so
+        // every access here is off-node or far: 900 (on-node far read)
+        // + 1800 (cross read) + 3600 (cross write).
+        assert_eq!(r.remote_misses, 3);
+        assert_eq!(r.remote_stall, Ns(900 + 1800 + 3600));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The execution-time breakdown used by every experiment.
 
-use ccnuma_types::{Mode, Ns, RefClass};
+use ccnuma_types::{Mode, Ns, RefClass, StallTier};
 
 fn midx(mode: Mode) -> usize {
     match mode {
@@ -18,17 +18,20 @@ fn cidx(class: RefClass) -> usize {
 
 /// Cumulative execution-time slices for one simulated run.
 ///
-/// Stall time is kept in a (mode × class × locality) cube so Table 3's
+/// Stall time is kept in a (mode × class × tier) cube so Table 3's
 /// four stall columns, Figure 3's local/remote split, and Figure 6's
-/// user-stall bars all come from the same accumulator. Busy (non-stall)
+/// user-stall bars all come from the same accumulator. The tier axis is
+/// [`StallTier`]: local, remote DRAM, or far (CXL-like) memory — on the
+/// paper's flat machine the far slice stays zero and every output
+/// reduces to the original local/remote split. Busy (non-stall)
 /// time is kept per mode; the pager's kernel overhead is kept separately
 /// per action so the Mig and Rep overhead segments of Figures 6, 8 and 9
 /// can be told apart. Miss *counts* (local vs. remote) feed the
 /// "% misses local" annotations at the bottom of each figure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunBreakdown {
-    // [mode][class][remote? 1 : 0]
-    stall: [[[Ns; 2]; 2]; 2],
+    // [mode][class][StallTier::index()]
+    stall: [[[Ns; 3]; 2]; 2],
     // L2-hit stall: time waiting on the secondary cache that did not go
     // to memory ([mode][class]). Part of Table 3's stall columns, part of
     // "other time" in the figures' local/remote split.
@@ -39,6 +42,7 @@ pub struct RunBreakdown {
     rep_overhead: Ns,
     local_misses: u64,
     remote_misses: u64,
+    far_misses: u64,
 }
 
 impl RunBreakdown {
@@ -52,13 +56,25 @@ impl RunBreakdown {
         self.busy[midx(mode)] += t;
     }
 
-    /// Adds memory-stall time and counts the miss.
+    /// Adds memory-stall time and counts the miss, using the legacy
+    /// local/remote dichotomy (the flat machine's two tiers).
     pub fn add_stall(&mut self, mode: Mode, class: RefClass, remote: bool, t: Ns) {
-        self.stall[midx(mode)][cidx(class)][remote as usize] += t;
-        if remote {
-            self.remote_misses += 1;
+        let tier = if remote {
+            StallTier::Remote
         } else {
-            self.local_misses += 1;
+            StallTier::Local
+        };
+        self.add_stall_tier(mode, class, tier, t);
+    }
+
+    /// Adds memory-stall time in a specific [`StallTier`] and counts the
+    /// miss there.
+    pub fn add_stall_tier(&mut self, mode: Mode, class: RefClass, tier: StallTier, t: Ns) {
+        self.stall[midx(mode)][cidx(class)][tier.index()] += t;
+        match tier {
+            StallTier::Local => self.local_misses += 1,
+            StallTier::Remote => self.remote_misses += 1,
+            StallTier::Far => self.far_misses += 1,
         }
     }
 
@@ -104,12 +120,23 @@ impl RunBreakdown {
 
     /// Total stall to local memory.
     pub fn local_stall(&self) -> Ns {
-        self.sum_stall(0)
+        self.sum_stall(StallTier::Local.index())
     }
 
-    /// Total stall to remote memory.
+    /// Total stall to off-node memory (remote DRAM plus far tier) — the
+    /// figures' "remote" segment.
     pub fn remote_stall(&self) -> Ns {
-        self.sum_stall(1)
+        self.sum_stall(StallTier::Remote.index()) + self.sum_stall(StallTier::Far.index())
+    }
+
+    /// Total stall charged to one [`StallTier`].
+    pub fn tier_stall(&self, tier: StallTier) -> Ns {
+        self.sum_stall(tier.index())
+    }
+
+    /// Total stall to the far (CXL-like) memory tier.
+    pub fn far_stall(&self) -> Ns {
+        self.sum_stall(StallTier::Far.index())
     }
 
     fn sum_stall(&self, loc: usize) -> Ns {
@@ -184,15 +211,20 @@ impl RunBreakdown {
         self.local_misses
     }
 
-    /// Misses that went remote.
+    /// Misses that left the node (remote DRAM plus far tier).
     pub fn remote_misses(&self) -> u64 {
-        self.remote_misses
+        self.remote_misses + self.far_misses
+    }
+
+    /// Misses satisfied from the far (CXL-like) memory tier.
+    pub fn far_misses(&self) -> u64 {
+        self.far_misses
     }
 
     /// Percentage of misses satisfied from local memory — the number
     /// printed at the bottom of each bar in Figures 3, 6, 8 and 9.
     pub fn pct_local_misses(&self) -> f64 {
-        let total = self.local_misses + self.remote_misses;
+        let total = self.local_misses + self.remote_misses();
         if total == 0 {
             0.0
         } else {
@@ -236,7 +268,7 @@ impl RunBreakdown {
     pub fn merge(&mut self, other: &RunBreakdown) {
         for m in 0..2 {
             for c in 0..2 {
-                for l in 0..2 {
+                for l in 0..3 {
                     self.stall[m][c][l] += other.stall[m][c][l];
                 }
                 self.hit_stall[m][c] += other.hit_stall[m][c];
@@ -248,6 +280,7 @@ impl RunBreakdown {
         self.rep_overhead += other.rep_overhead;
         self.local_misses += other.local_misses;
         self.remote_misses += other.remote_misses;
+        self.far_misses += other.far_misses;
     }
 }
 
@@ -324,6 +357,26 @@ mod tests {
         assert_eq!(a.mig_overhead(), Ns(140));
         assert_eq!(a.rep_overhead(), Ns(60));
         assert_eq!(a.mode_stall(Mode::Kernel), Ns(80));
+    }
+
+    #[test]
+    fn far_tier_counts_as_off_node() {
+        let mut b = RunBreakdown::new();
+        b.add_stall_tier(Mode::User, RefClass::Data, StallTier::Local, Ns(100));
+        b.add_stall_tier(Mode::User, RefClass::Data, StallTier::Remote, Ns(200));
+        b.add_stall_tier(Mode::User, RefClass::Data, StallTier::Far, Ns(400));
+        assert_eq!(b.local_stall(), Ns(100));
+        assert_eq!(b.tier_stall(StallTier::Remote), Ns(200));
+        assert_eq!(b.far_stall(), Ns(400));
+        assert_eq!(b.remote_stall(), Ns(600), "remote includes far");
+        assert_eq!(b.total_stall(), Ns(700));
+        assert_eq!(b.local_misses(), 1);
+        assert_eq!(b.far_misses(), 1);
+        assert_eq!(b.remote_misses(), 2, "off-node misses include far");
+        assert!((b.pct_local_misses() - 100.0 / 3.0).abs() < 1e-9);
+        let mut merged = RunBreakdown::new();
+        merged.merge(&b);
+        assert_eq!(merged, b);
     }
 
     #[test]

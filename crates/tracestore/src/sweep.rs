@@ -2,20 +2,21 @@
 //!
 //! Section 8's methodology — capture a trace once, replay it under many
 //! policies — generalizes to a grid: policies × trigger thresholds ×
-//! sampling rates × remote latencies × move costs. A [`SweepSpec`]
-//! declares the grid; [`run_sweep`] streams the stored trace through
-//! [`ccnuma_polsim::Replay`] for each *distinct* cell on scoped worker
-//! threads (cells whose effective inputs coincide — a static policy
-//! ignores triggers and sampling — share one replay), and the result
-//! renders as a deterministic JSON (`ccnuma-sweep/1`) or CSV artifact
-//! whose bytes do not depend on the worker count.
+//! sampling rates × remote latencies × move costs × topologies. A
+//! [`SweepSpec`] declares the grid; [`run_sweep`] streams the stored
+//! trace through [`ccnuma_polsim::Replay`] for each *distinct* cell on
+//! scoped worker threads (cells whose effective inputs coincide — a
+//! static policy ignores triggers and sampling, a non-flat topology
+//! ignores the latency axis — share one replay), and the result renders
+//! as a deterministic JSON (`ccnuma-sweep/2`) or CSV artifact whose
+//! bytes do not depend on the worker count.
 
 use crate::format::StoreError;
 use ccnuma_core::{MissMetric, PolicyParams};
 use ccnuma_obs::json::JsonWriter;
 use ccnuma_polsim::{PolsimConfig, PolsimReport, Replay, SimPolicy, TraceFilter};
 use ccnuma_trace::MissRecord;
-use ccnuma_types::Ns;
+use ccnuma_types::{Ns, TopologyPreset};
 use core::fmt;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -127,17 +128,21 @@ pub struct SweepSpec {
     pub triggers: Vec<u32>,
     /// Metric sampling rates (1 = full information).
     pub sample_rates: Vec<u32>,
-    /// Remote miss latencies, nanoseconds.
+    /// Remote miss latencies, nanoseconds (ignored by non-flat
+    /// topologies, whose latency model is the preset's own).
     pub remote_latencies_ns: Vec<u64>,
     /// Page move costs, microseconds.
     pub move_costs_us: Vec<u64>,
+    /// Topology presets to replay under.
+    pub topologies: Vec<TopologyPreset>,
     /// Which records count for stall accounting.
     pub filter: TraceFilter,
 }
 
 impl SweepSpec {
     /// The default 12-cell grid: the three dynamic policies × triggers
-    /// {64, 128} × sampling {1:1, 1:10}, at the paper's latencies.
+    /// {64, 128} × sampling {1:1, 1:10}, at the paper's latencies on the
+    /// flat machine.
     pub fn default_grid() -> SweepSpec {
         SweepSpec {
             policies: vec![
@@ -149,6 +154,7 @@ impl SweepSpec {
             sample_rates: vec![1, 10],
             remote_latencies_ns: vec![1200],
             move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat],
             filter: TraceFilter::UserOnly,
         }
     }
@@ -160,6 +166,7 @@ impl SweepSpec {
             * self.sample_rates.len()
             * self.remote_latencies_ns.len()
             * self.move_costs_us.len()
+            * self.topologies.len()
     }
 
     /// True when any axis is empty.
@@ -175,13 +182,16 @@ impl SweepSpec {
                 for &sample in &self.sample_rates {
                     for &remote_ns in &self.remote_latencies_ns {
                         for &move_us in &self.move_costs_us {
-                            out.push(CellParams {
-                                policy,
-                                trigger,
-                                sample,
-                                remote_ns,
-                                move_us,
-                            });
+                            for &topology in &self.topologies {
+                                out.push(CellParams {
+                                    policy,
+                                    trigger,
+                                    sample,
+                                    remote_ns,
+                                    move_us,
+                                    topology,
+                                });
+                            }
                         }
                     }
                 }
@@ -200,24 +210,32 @@ pub struct CellParams {
     pub trigger: u32,
     /// Metric sampling rate (ignored by static policies).
     pub sample: u32,
-    /// Remote miss latency, nanoseconds.
+    /// Remote miss latency, nanoseconds (ignored by non-flat topologies).
     pub remote_ns: u64,
     /// Page move cost, microseconds (ignored by static policies).
     pub move_us: u64,
+    /// Topology preset the replay runs under.
+    pub topology: TopologyPreset,
 }
 
 impl CellParams {
     /// The effective-input key cells are memoized on: static policies
-    /// drop the axes that cannot change their result, so e.g. `FT` at
-    /// any trigger is one replay.
+    /// drop the axes that cannot change their result (e.g. `FT` at any
+    /// trigger is one replay), and a non-flat topology drops the remote
+    /// latency — the preset carries its own latency model.
     pub fn memo_key(&self) -> String {
+        let lat = if self.topology.is_flat() {
+            format!("|lat={}", self.remote_ns)
+        } else {
+            String::new()
+        };
         if self.policy.is_dynamic() {
             format!(
-                "{}|t={}|s={}|lat={}|mv={}",
-                self.policy, self.trigger, self.sample, self.remote_ns, self.move_us
+                "{}|t={}|s={}{}|mv={}|topo={}",
+                self.policy, self.trigger, self.sample, lat, self.move_us, self.topology
             )
         } else {
-            format!("{}|lat={}", self.policy, self.remote_ns)
+            format!("{}{}|topo={}", self.policy, lat, self.topology)
         }
     }
 
@@ -225,6 +243,9 @@ impl CellParams {
         let mut cfg = PolsimConfig::section8(nodes).with_other_time(other_time);
         cfg.remote_latency = Ns(self.remote_ns);
         cfg.move_cost = Ns::from_us(self.move_us);
+        if !self.topology.is_flat() {
+            cfg = cfg.with_topology(self.topology);
+        }
         cfg
     }
 }
@@ -251,11 +272,11 @@ pub struct SweepReport {
     pub unique_replays: usize,
 }
 
-/// Schema tag of the JSON artifact.
-pub const SWEEP_SCHEMA: &str = "ccnuma-sweep/1";
+/// Schema tag of the JSON artifact (v2 added the `topology` axis).
+pub const SWEEP_SCHEMA: &str = "ccnuma-sweep/2";
 
 impl SweepReport {
-    /// Renders the `ccnuma-sweep/1` JSON artifact. Deterministic: same
+    /// Renders the `ccnuma-sweep/2` JSON artifact. Deterministic: same
     /// spec and trace give the same bytes whatever the worker count.
     pub fn to_json(&self, trace_label: &str) -> String {
         let mut j = JsonWriter::new();
@@ -288,6 +309,8 @@ impl SweepReport {
             j.raw(&p.remote_ns.to_string());
             j.key("move_cost_us");
             j.raw(&p.move_us.to_string());
+            j.key("topology");
+            j.str(p.topology.label());
             j.key("local_misses");
             j.raw(&r.local_misses.to_string());
             j.key("remote_misses");
@@ -322,7 +345,7 @@ impl SweepReport {
     /// Renders the same table as CSV (header + one row per cell).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "policy,trigger,sample_rate,remote_latency_ns,move_cost_us,\
+            "policy,trigger,sample_rate,remote_latency_ns,move_cost_us,topology,\
              local_misses,remote_misses,local_stall_ns,remote_stall_ns,\
              mig_overhead_ns,rep_overhead_ns,migrations,replications,\
              collapses,other_time_ns,total_ns,pct_local\n",
@@ -333,12 +356,13 @@ impl SweepReport {
             let r = &cell.report;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
                 p.policy,
                 p.trigger,
                 p.sample,
                 p.remote_ns,
                 p.move_us,
+                p.topology,
                 r.local_misses,
                 r.remote_misses,
                 r.local_stall.0,
@@ -512,6 +536,7 @@ mod tests {
             sample_rates: vec![1, 10],
             remote_latencies_ns: vec![1200],
             move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat],
             filter: TraceFilter::All,
         };
         let recs = records();
@@ -534,6 +559,7 @@ mod tests {
             sample_rates: vec![1],
             remote_latencies_ns: vec![1200],
             move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat],
             filter: TraceFilter::All,
         };
         let swept = run_sweep(&spec, 8, Ns::ZERO, 1, || Ok(open_mem(&recs))).unwrap();
@@ -573,6 +599,7 @@ mod tests {
             sample_rates: vec![1],
             remote_latencies_ns: vec![1200],
             move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat],
             filter: TraceFilter::All,
         };
         let report = run_sweep(&spec, 8, Ns::ZERO, 1, || {
@@ -582,6 +609,43 @@ mod tests {
         .unwrap();
         assert_eq!(opens.load(Ordering::Relaxed), 2, "prime + replay passes");
         assert_eq!(report.cells[0].report.label, "PF");
+    }
+
+    #[test]
+    fn topology_axis_sweeps_and_drops_the_latency_axis() {
+        let recs = records();
+        let spec = SweepSpec {
+            policies: vec![SweepPolicy::FirstTouch],
+            triggers: vec![128],
+            sample_rates: vec![1],
+            remote_latencies_ns: vec![1200, 2400],
+            move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat, TopologyPreset::CxlTiered],
+            filter: TraceFilter::All,
+        };
+        let report = run_sweep(&spec, 8, Ns::ZERO, 2, || Ok(open_mem(&recs))).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        // Flat cells differ by latency (2 replays); the cxl-tiered cells
+        // ignore the latency axis and collapse onto one replay.
+        assert_eq!(report.unique_replays, 3);
+        let cxl: Vec<&SweepCell> = report
+            .cells
+            .iter()
+            .filter(|c| c.params.topology == TopologyPreset::CxlTiered)
+            .collect();
+        assert_eq!(
+            cxl[0].report, cxl[1].report,
+            "latency axis must not split cxl"
+        );
+        // The artifact carries the topology column.
+        let json = report.to_json("demo");
+        assert!(json.contains("\"topology\":\"cxl-tiered\""), "{json}");
+        assert!(report
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .contains(",topology,"));
     }
 
     #[test]

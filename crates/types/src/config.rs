@@ -1,6 +1,6 @@
 //! Machine configuration mirroring Section 5 of the paper.
 
-use crate::{ConfigError, Frame, NodeId, Ns, ProcId};
+use crate::{ConfigError, Frame, NodeId, Ns, ProcId, Topology};
 use core::fmt;
 
 /// The interconnect class being modelled.
@@ -80,6 +80,13 @@ pub struct MachineConfig {
     /// Average nanoseconds of compute between two L2 references, i.e. the
     /// non-stall CPI component at 300 MHz. Only affects absolute times.
     pub compute_ns_per_ref: Ns,
+    /// Optional explicit topology. `None` means the paper's flat machine:
+    /// `local_latency` on-node, `remote_latency` everywhere else (see
+    /// [`MachineConfig::effective_topology`]). When set, `local_latency`
+    /// and `remote_latency` hold the flat-preset *view* of the topology
+    /// (best on-node read / worst read path) so legacy consumers keep
+    /// sensible scalars.
+    pub topology: Option<Topology>,
 }
 
 impl MachineConfig {
@@ -99,6 +106,7 @@ impl MachineConfig {
             network: NetworkKind::CcNuma,
             frames_per_node: 4096, // 16 MB per node, 128 MB total
             compute_ns_per_ref: Ns(60),
+            topology: None,
         }
     }
 
@@ -124,9 +132,13 @@ impl MachineConfig {
     }
 
     /// The database workload runs on four processors (Table 2).
+    ///
+    /// Drops any explicit topology (its node count would no longer match);
+    /// the flat view survives through `local_latency`/`remote_latency`.
     #[must_use]
     pub fn with_nodes(mut self, nodes: u16) -> MachineConfig {
         self.nodes = nodes;
+        self.topology = None;
         self
     }
 
@@ -137,11 +149,36 @@ impl MachineConfig {
         self
     }
 
-    /// Overrides the remote latency, keeping everything else.
+    /// Overrides the remote latency, keeping everything else. Drops any
+    /// explicit topology — this setter *means* "the flat machine with
+    /// this remote latency".
     #[must_use]
     pub fn with_remote_latency(mut self, latency: Ns) -> MachineConfig {
         self.remote_latency = latency;
+        self.topology = None;
         self
+    }
+
+    /// Installs an explicit topology and syncs the flat-view scalars:
+    /// `local_latency` becomes the cheapest on-node read and
+    /// `remote_latency` the worst read path, so kernel cost tables and
+    /// legacy consumers track the topology they run on.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> MachineConfig {
+        self.local_latency = topology.min_local_read_latency();
+        self.remote_latency = topology.max_read_latency();
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The topology this machine runs on: the explicit one when set,
+    /// otherwise the paper's flat machine built from
+    /// `local_latency`/`remote_latency`.
+    pub fn effective_topology(&self) -> Topology {
+        match &self.topology {
+            Some(t) => t.clone(),
+            None => Topology::flat(self.nodes, self.local_latency, self.remote_latency),
+        }
     }
 
     /// Total processors in the machine.
@@ -256,6 +293,15 @@ impl MachineConfig {
                 "remote_latency must be at least local_latency",
             ));
         }
+        if let Some(topo) = &self.topology {
+            topo.validate()?;
+            if topo.nodes() != self.nodes {
+                return Err(ConfigError::NodeCountMismatch {
+                    topology: topo.nodes(),
+                    machine: self.nodes,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -355,6 +401,52 @@ mod tests {
         assert_eq!(c.nodes, 4);
         assert_eq!(c.frames_per_node, 100);
         assert_eq!(c.remote_latency, Ns(5000));
+    }
+
+    #[test]
+    fn effective_topology_defaults_to_flat() {
+        let c = MachineConfig::cc_numa();
+        assert!(c.topology.is_none());
+        let t = c.effective_topology();
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.read_latency(NodeId(0), NodeId(0)), Ns(300));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(1)), Ns(1200));
+    }
+
+    #[test]
+    fn with_topology_syncs_the_flat_view() {
+        let c = MachineConfig::cc_numa().with_topology(Topology::four_socket_hierarchical(8));
+        c.validate().unwrap();
+        assert_eq!(c.local_latency, Ns(300));
+        assert_eq!(c.remote_latency, Ns(2100));
+        // The flat setters mean "flat machine" and drop the topology.
+        let back = c.clone().with_remote_latency(Ns(1200));
+        assert!(back.topology.is_none());
+        let renodes = c.with_nodes(4);
+        assert!(renodes.topology.is_none());
+        renodes.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_node_count_mismatch() {
+        let mut c = MachineConfig::cc_numa().with_topology(Topology::two_socket(8));
+        c.nodes = 4;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::NodeCountMismatch {
+                topology: 8,
+                machine: 4
+            }
+        );
+    }
+
+    #[test]
+    fn large_machines_validate() {
+        let c = MachineConfig::cc_numa()
+            .with_nodes(128)
+            .with_topology(Topology::cxl_tiered(128));
+        c.validate().unwrap();
+        assert_eq!(c.procs(), 128);
     }
 
     #[test]

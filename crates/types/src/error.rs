@@ -4,8 +4,11 @@ use core::fmt;
 
 /// An invalid machine configuration.
 ///
-/// Returned by [`crate::MachineConfig::validate`]; the message names the
-/// offending field.
+/// Returned by [`crate::MachineConfig::validate`] and
+/// [`crate::Topology::validate`]. Simple field problems use
+/// [`ConfigError::Field`] with a message naming the offending field;
+/// topology problems carry the offending coordinates so a typo in a
+/// 1024×1024 hop matrix is findable.
 ///
 /// # Examples
 ///
@@ -17,19 +20,81 @@ use core::fmt;
 /// assert!(err.to_string().contains("page_size"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError {
-    message: &'static str,
+pub enum ConfigError {
+    /// A scalar field is out of range; the message names it.
+    Field(&'static str),
+    /// The hop matrix is asymmetric: `hop[a][b] != hop[b][a]`.
+    AsymmetricHop {
+        /// First node of the offending pair.
+        a: u16,
+        /// Second node of the offending pair.
+        b: u16,
+        /// The `a → b` hop cost.
+        ab: crate::Ns,
+        /// The `b → a` hop cost.
+        ba: crate::Ns,
+    },
+    /// A node's hop cost to itself is non-zero.
+    SelfHop {
+        /// The offending node.
+        node: u16,
+        /// The non-zero diagonal entry.
+        cost: crate::Ns,
+    },
+    /// A hop cost was negative (caught before it wraps to a huge `Ns`).
+    NegativeHop {
+        /// Source node of the offending entry.
+        from: u16,
+        /// Destination node of the offending entry.
+        to: u16,
+        /// The negative cost as given.
+        cost: i64,
+    },
+    /// A node advertises zero memory device latency.
+    ZeroLatency {
+        /// The offending node.
+        node: u16,
+    },
+    /// The topology's node count disagrees with `MachineConfig::nodes`.
+    NodeCountMismatch {
+        /// Nodes in the topology.
+        topology: u16,
+        /// Nodes in the machine configuration.
+        machine: u16,
+    },
 }
 
 impl ConfigError {
     pub(crate) fn new(message: &'static str) -> ConfigError {
-        ConfigError { message }
+        ConfigError::Field(message)
     }
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid machine configuration: {}", self.message)
+        write!(f, "invalid machine configuration: ")?;
+        match self {
+            ConfigError::Field(message) => f.write_str(message),
+            ConfigError::AsymmetricHop { a, b, ab, ba } => write!(
+                f,
+                "topology hop matrix is asymmetric: hop[{a}][{b}] = {ab} but hop[{b}][{a}] = {ba}"
+            ),
+            ConfigError::SelfHop { node, cost } => write!(
+                f,
+                "topology hop matrix has non-zero self-hop on node {node}: {cost}"
+            ),
+            ConfigError::NegativeHop { from, to, cost } => {
+                write!(f, "topology hop cost [{from}][{to}] is negative: {cost} ns")
+            }
+            ConfigError::ZeroLatency { node } => write!(
+                f,
+                "topology node {node} advertises zero memory device latency"
+            ),
+            ConfigError::NodeCountMismatch { topology, machine } => write!(
+                f,
+                "topology describes {topology} nodes but the machine has {machine}"
+            ),
+        }
     }
 }
 
@@ -114,6 +179,37 @@ mod tests {
             e.to_string(),
             "invalid machine configuration: nodes must be non-zero"
         );
+    }
+
+    #[test]
+    fn topology_variants_name_the_coordinates() {
+        use crate::Ns;
+        let e = ConfigError::AsymmetricHop {
+            a: 1,
+            b: 3,
+            ab: Ns(200),
+            ba: Ns(900),
+        };
+        assert!(e.to_string().contains("hop[1][3]"), "{e}");
+        let e = ConfigError::SelfHop {
+            node: 2,
+            cost: Ns(50),
+        };
+        assert!(e.to_string().contains("self-hop on node 2"), "{e}");
+        let e = ConfigError::NegativeHop {
+            from: 0,
+            to: 1,
+            cost: -7,
+        };
+        assert!(e.to_string().contains("-7 ns"), "{e}");
+        let e = ConfigError::ZeroLatency { node: 4 };
+        assert!(e.to_string().contains("node 4"), "{e}");
+        let e = ConfigError::NodeCountMismatch {
+            topology: 4,
+            machine: 8,
+        };
+        assert!(e.to_string().contains("4 nodes"), "{e}");
+        assert!(e.to_string().contains("has 8"), "{e}");
     }
 
     #[test]

@@ -27,11 +27,15 @@ mod config;
 mod error;
 mod fxhash;
 mod ids;
+mod procset;
 mod time;
+mod topology;
 
 pub use access::{AccessKind, MemAccess, Mode, RefClass};
 pub use config::{MachineConfig, NetworkKind};
 pub use error::{ConfigError, SimError};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Frame, NodeId, Pid, ProcId, VirtPage};
+pub use procset::{ProcSet, ProcSetIter};
 pub use time::Ns;
+pub use topology::{MemClass, NodeMemory, StallTier, Topology, TopologyPreset};

@@ -1,0 +1,251 @@
+//! A fixed-capacity processor bitset that never allocates.
+//!
+//! The coherence directory used a raw `u64` sharing vector, hard-capping
+//! the machine at 64 processors. [`ProcSet`] lifts that to
+//! [`ProcSet::MAX_PROCS`] with inline `[u64; N]` words: the live word
+//! count is chosen per machine configuration, so a ≤64-processor machine
+//! still touches exactly one word on the hot path and a 1024-processor
+//! machine validates and simulates without per-write allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccnuma_types::{ProcId, ProcSet};
+//!
+//! let mut set = ProcSet::with_capacity_for(128);
+//! set.insert(ProcId(3));
+//! set.insert(ProcId(127));
+//! assert_eq!(set.len(), 2);
+//! assert_eq!(set.iter().collect::<Vec<_>>(), vec![ProcId(3), ProcId(127)]);
+//! ```
+
+use crate::ProcId;
+use core::fmt;
+
+/// Inline words backing the largest supported machine (1024 processors).
+const MAX_WORDS: usize = 16;
+
+/// A set of processors stored as an inline bitmask.
+///
+/// Capacity is fixed at construction (rounded up to a whole 64-bit word)
+/// and all operations touch only the live words, so the common small
+/// machine pays nothing for the large-machine headroom.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ProcSet {
+    words: [u64; MAX_WORDS],
+    nwords: u8,
+}
+
+impl ProcSet {
+    /// The largest processor count a `ProcSet` can represent.
+    pub const MAX_PROCS: u16 = (MAX_WORDS * 64) as u16;
+
+    /// An empty set sized for a machine with `procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero or exceeds [`ProcSet::MAX_PROCS`].
+    pub fn with_capacity_for(procs: u16) -> ProcSet {
+        assert!(
+            procs > 0 && procs <= ProcSet::MAX_PROCS,
+            "ProcSet supports 1..={} processors, got {procs}",
+            ProcSet::MAX_PROCS
+        );
+        ProcSet {
+            words: [0; MAX_WORDS],
+            nwords: procs.div_ceil(64) as u8,
+        }
+    }
+
+    /// The number of live 64-bit words.
+    #[inline]
+    pub fn nwords(&self) -> usize {
+        self.nwords as usize
+    }
+
+    /// The processor capacity (a whole number of words).
+    #[inline]
+    pub fn capacity(&self) -> u16 {
+        self.nwords as u16 * 64
+    }
+
+    /// Removes every processor.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words[..self.nwords as usize].fill(0);
+    }
+
+    /// Adds `proc` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is beyond the set's capacity.
+    #[inline]
+    pub fn insert(&mut self, proc: ProcId) {
+        assert!(
+            proc.0 < self.capacity(),
+            "processor {proc} out of range for a {}-proc set",
+            self.capacity()
+        );
+        self.words[proc.index() / 64] |= 1u64 << (proc.index() % 64);
+    }
+
+    /// Removes `proc` from the set (a no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, proc: ProcId) {
+        if proc.0 < self.capacity() {
+            self.words[proc.index() / 64] &= !(1u64 << (proc.index() % 64));
+        }
+    }
+
+    /// True if `proc` is in the set.
+    #[inline]
+    pub fn contains(&self, proc: ProcId) -> bool {
+        proc.0 < self.capacity()
+            && self.words[proc.index() / 64] & (1u64 << (proc.index() % 64)) != 0
+    }
+
+    /// True when no processor is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words[..self.nwords as usize].iter().all(|&w| w == 0)
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words[..self.nwords as usize]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The live words, for bulk copies by the coherence directory.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words[..self.nwords as usize]
+    }
+
+    /// Mutable live words, for bulk fills by the coherence directory.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words[..self.nwords as usize]
+    }
+
+    /// Iterates set processors in ascending order without allocating.
+    #[inline]
+    pub fn iter(&self) -> ProcSetIter<'_> {
+        ProcSetIter {
+            words: self.words(),
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Allocation-free iterator over a [`ProcSet`], ascending processor order.
+pub struct ProcSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ProcSetIter<'_> {
+    type Item = ProcId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ProcId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(ProcId((self.word_idx * 64 + bit) as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::with_capacity_for(8);
+        assert_eq!(s.nwords(), 1);
+        assert!(s.is_empty());
+        s.insert(ProcId(0));
+        s.insert(ProcId(7));
+        assert!(s.contains(ProcId(0)));
+        assert!(!s.contains(ProcId(3)));
+        assert_eq!(s.len(), 2);
+        s.remove(ProcId(0));
+        assert!(!s.contains(ProcId(0)));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_words() {
+        assert_eq!(ProcSet::with_capacity_for(1).capacity(), 64);
+        assert_eq!(ProcSet::with_capacity_for(64).nwords(), 1);
+        assert_eq!(ProcSet::with_capacity_for(65).nwords(), 2);
+        assert_eq!(ProcSet::with_capacity_for(128).nwords(), 2);
+        assert_eq!(ProcSet::with_capacity_for(1024).nwords(), 16);
+    }
+
+    #[test]
+    fn iteration_crosses_word_boundaries() {
+        let mut s = ProcSet::with_capacity_for(256);
+        for p in [0u16, 63, 64, 127, 200, 255] {
+            s.insert(ProcId(p));
+        }
+        let got: Vec<u16> = s.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 200, 255]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false_and_remove_is_noop() {
+        let mut s = ProcSet::with_capacity_for(64);
+        assert!(!s.contains(ProcId(64)));
+        s.remove(ProcId(1000)); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_beyond_capacity_panics() {
+        ProcSet::with_capacity_for(64).insert(ProcId(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=1024")]
+    fn oversized_capacity_rejected() {
+        let _ = ProcSet::with_capacity_for(1025);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let mut s = ProcSet::with_capacity_for(8);
+        s.insert(ProcId(2));
+        assert_eq!(format!("{s:?}"), "{ProcId(2)}");
+    }
+
+    #[test]
+    fn word_access_is_bounded_to_live_words() {
+        let mut s = ProcSet::with_capacity_for(65);
+        assert_eq!(s.words().len(), 2);
+        s.words_mut()[1] = 0b1;
+        assert!(s.contains(ProcId(64)));
+    }
+}

@@ -1,0 +1,601 @@
+//! First-class machine topology: hop-path latencies and memory tiers.
+//!
+//! The paper models a flat 2-hop NUMA machine — every remote access costs
+//! the same 1200 ns no matter which node it lands on. Modern servers are
+//! multi-socket/multi-chiplet with CXL-attached far memory, where latency
+//! is a function of the hop path and the target tier. [`Topology`] captures
+//! both: a validated node-to-node hop-cost matrix plus per-node memory with
+//! asymmetric read/write latency (CXL far memory writes cost more than
+//! reads).
+//!
+//! The paper's machine is the [`Topology::flat`] preset, which reproduces
+//! the legacy `local_latency`/`remote_latency` pair exactly; the other
+//! presets ([`Topology::two_socket`], [`Topology::four_socket_hierarchical`],
+//! [`Topology::cxl_tiered`]) model 2019–2025 hardware shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccnuma_types::{AccessKind, StallTier, Topology, Ns};
+//!
+//! let flat = Topology::flat(8, Ns(300), Ns(1200));
+//! assert_eq!(flat.read_latency(0.into(), 0.into()), Ns(300));
+//! assert_eq!(flat.read_latency(0.into(), 7.into()), Ns(1200));
+//!
+//! let cxl = Topology::cxl_tiered(8);
+//! assert_eq!(cxl.tier(0.into(), 7.into()), StallTier::Far);
+//! assert!(cxl.write_latency(0.into(), 7.into()) > cxl.read_latency(0.into(), 7.into()));
+//! ```
+
+use crate::{AccessKind, ConfigError, NodeId, Ns};
+use core::fmt;
+
+/// The class of memory a node exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemClass {
+    /// Socket-attached DRAM (the paper's only tier).
+    #[default]
+    Dram,
+    /// CXL-like far memory: higher latency, asymmetric read/write.
+    Far,
+}
+
+impl fmt::Display for MemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemClass::Dram => "dram",
+            MemClass::Far => "far",
+        })
+    }
+}
+
+/// The memory attached to one node: its tier and device latencies
+/// (before any interconnect hop cost is added).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeMemory {
+    /// The memory tier.
+    pub tier: MemClass,
+    /// Device read latency.
+    pub read: Ns,
+    /// Device write latency (CXL far memory writes cost more than reads).
+    pub write: Ns,
+}
+
+impl NodeMemory {
+    /// Symmetric DRAM with the given device latency.
+    pub const fn dram(latency: Ns) -> NodeMemory {
+        NodeMemory {
+            tier: MemClass::Dram,
+            read: latency,
+            write: latency,
+        }
+    }
+
+    /// Far (CXL-like) memory with asymmetric read/write latency.
+    pub const fn far(read: Ns, write: Ns) -> NodeMemory {
+        NodeMemory {
+            tier: MemClass::Far,
+            read,
+            write,
+        }
+    }
+}
+
+/// Which stall bucket a memory access lands in, decided by the topology.
+///
+/// The paper's `local`/`remote` dichotomy generalizes to three tiers once
+/// far memory exists: an access to a far-tier node is `Far` regardless of
+/// distance, otherwise it is `Local` iff it stays on-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallTier {
+    /// Same-node DRAM access.
+    Local,
+    /// Cross-node DRAM access (any hop distance).
+    Remote,
+    /// Access to a far-memory (CXL-like) node.
+    Far,
+}
+
+impl StallTier {
+    /// Index into per-tier accounting arrays (`Local`=0, `Remote`=1, `Far`=2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            StallTier::Local => 0,
+            StallTier::Remote => 1,
+            StallTier::Far => 2,
+        }
+    }
+
+    /// True unless the access stayed on-node — the legacy `remote` bool.
+    #[inline]
+    pub fn is_off_node(self) -> bool {
+        !matches!(self, StallTier::Local)
+    }
+}
+
+impl fmt::Display for StallTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StallTier::Local => "local",
+            StallTier::Remote => "remote",
+            StallTier::Far => "far",
+        })
+    }
+}
+
+/// A named topology preset, usable as a CLI flag, sweep-axis value, and
+/// `RunSpec` override. `Flat` is the paper's machine; the rest model the
+/// multi-socket and CXL-tiered shapes of modern servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyPreset {
+    /// The paper's flat 2-hop machine (uniform remote latency).
+    #[default]
+    Flat,
+    /// Two sockets; cheap intra-socket hop, expensive cross-socket hop.
+    TwoSocket,
+    /// Four sockets on a ring; latency grows with ring distance.
+    FourSocketHierarchical,
+    /// DRAM nodes plus a CXL-like far-memory tier on the last quarter of
+    /// nodes, with asymmetric read/write latency.
+    CxlTiered,
+}
+
+impl TopologyPreset {
+    /// Every preset, in CLI/schema order.
+    pub const ALL: [TopologyPreset; 4] = [
+        TopologyPreset::Flat,
+        TopologyPreset::TwoSocket,
+        TopologyPreset::FourSocketHierarchical,
+        TopologyPreset::CxlTiered,
+    ];
+
+    /// The preset's stable label (CLI value, sweep key, slug component).
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyPreset::Flat => "flat",
+            TopologyPreset::TwoSocket => "two-socket",
+            TopologyPreset::FourSocketHierarchical => "four-socket-hierarchical",
+            TopologyPreset::CxlTiered => "cxl-tiered",
+        }
+    }
+
+    /// Parses a label produced by [`TopologyPreset::label`].
+    pub fn parse(s: &str) -> Option<TopologyPreset> {
+        TopologyPreset::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// True for the paper's flat machine.
+    #[inline]
+    pub fn is_flat(self) -> bool {
+        matches!(self, TopologyPreset::Flat)
+    }
+
+    /// Builds the preset for an `nodes`-node machine. `Flat` uses the
+    /// paper's CC-NUMA latencies (300/1200 ns); callers that need a flat
+    /// view of other latency pairs use [`Topology::flat`] directly.
+    pub fn build(self, nodes: u16) -> Topology {
+        match self {
+            TopologyPreset::Flat => Topology::flat(nodes, Ns(300), Ns(1200)),
+            TopologyPreset::TwoSocket => Topology::two_socket(nodes),
+            TopologyPreset::FourSocketHierarchical => Topology::four_socket_hierarchical(nodes),
+            TopologyPreset::CxlTiered => Topology::cxl_tiered(nodes),
+        }
+    }
+}
+
+impl fmt::Display for TopologyPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A validated inter-node latency model: per-node memory (tier + device
+/// latency) plus a symmetric node-to-node hop-cost matrix with a zero
+/// diagonal. The end-to-end latency of an access from node `f` to memory
+/// on node `t` is `mem[t].{read,write} + hop[f][t]`.
+///
+/// Construct via the presets or [`Topology::custom`]; every constructor
+/// returns an internally consistent topology, and
+/// [`crate::MachineConfig::validate`] re-checks it against the machine's
+/// node count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    nodes: u16,
+    label: String,
+    /// Row-major `nodes × nodes` hop costs.
+    hop: Vec<Ns>,
+    mem: Vec<NodeMemory>,
+}
+
+impl Topology {
+    /// The paper's flat machine as a topology: every node has DRAM with
+    /// `local` device latency, and every cross-node hop costs
+    /// `remote - local`, so end-to-end latency is exactly the legacy
+    /// two-latency model.
+    pub fn flat(nodes: u16, local: Ns, remote: Ns) -> Topology {
+        let cross = remote.saturating_sub(local);
+        Topology::build_uniform_mem("flat", nodes, NodeMemory::dram(local), |i, j| {
+            if i == j {
+                Ns::ZERO
+            } else {
+                cross
+            }
+        })
+    }
+
+    /// Two sockets of DRAM nodes: 300 ns on-node, 500 ns to a sibling in
+    /// the same socket, 1200 ns across the socket boundary.
+    pub fn two_socket(nodes: u16) -> Topology {
+        let socket = move |n: u16| (n as u32 * 2 / nodes.max(1) as u32) as u16;
+        Topology::build_uniform_mem("two-socket", nodes, NodeMemory::dram(Ns(300)), |i, j| {
+            if i == j {
+                Ns::ZERO
+            } else if socket(i) == socket(j) {
+                Ns(200)
+            } else {
+                Ns(900)
+            }
+        })
+    }
+
+    /// Four sockets on a ring: 300 ns on-node, 500 ns intra-socket,
+    /// 1200 ns one ring hop away, 2100 ns two hops away.
+    pub fn four_socket_hierarchical(nodes: u16) -> Topology {
+        let socket = move |n: u16| n as u32 * 4 / nodes.max(1) as u32;
+        Topology::build_uniform_mem(
+            "four-socket-hierarchical",
+            nodes,
+            NodeMemory::dram(Ns(300)),
+            |i, j| {
+                if i == j {
+                    return Ns::ZERO;
+                }
+                let (a, b) = (socket(i), socket(j));
+                if a == b {
+                    return Ns(200);
+                }
+                let d = a.abs_diff(b);
+                match d.min(4 - d) {
+                    1 => Ns(900),
+                    _ => Ns(1800),
+                }
+            },
+        )
+    }
+
+    /// DRAM nodes plus a CXL-like far tier: the last `max(1, nodes/4)`
+    /// nodes expose far memory (900 ns read, 2700 ns write at the device)
+    /// behind a flat 900 ns cross-node hop.
+    pub fn cxl_tiered(nodes: u16) -> Topology {
+        let far_nodes = (nodes / 4).max(1).min(nodes);
+        let first_far = nodes - far_nodes;
+        let mem: Vec<NodeMemory> = (0..nodes)
+            .map(|n| {
+                if n >= first_far {
+                    NodeMemory::far(Ns(900), Ns(2700))
+                } else {
+                    NodeMemory::dram(Ns(300))
+                }
+            })
+            .collect();
+        Topology::build("cxl-tiered", nodes, mem, |i, j| {
+            if i == j {
+                Ns::ZERO
+            } else {
+                Ns(900)
+            }
+        })
+    }
+
+    /// A fully custom topology from per-node memory and a row-major
+    /// `nodes × nodes` hop matrix in signed nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] when the matrix is not square for
+    /// `mem.len()` nodes, contains a negative hop cost, is asymmetric, has
+    /// a non-zero diagonal, or a node advertises zero memory latency.
+    pub fn custom(
+        label: &str,
+        mem: Vec<NodeMemory>,
+        hops_ns: &[i64],
+    ) -> Result<Topology, ConfigError> {
+        let nodes = mem.len() as u16;
+        if hops_ns.len() != mem.len() * mem.len() {
+            return Err(ConfigError::new(
+                "topology hop matrix must be nodes x nodes",
+            ));
+        }
+        let n = nodes as usize;
+        let mut hop = Vec::with_capacity(hops_ns.len());
+        for (idx, &cost) in hops_ns.iter().enumerate() {
+            if cost < 0 {
+                return Err(ConfigError::NegativeHop {
+                    from: (idx / n) as u16,
+                    to: (idx % n) as u16,
+                    cost,
+                });
+            }
+            hop.push(Ns(cost as u64));
+        }
+        let topo = Topology {
+            nodes,
+            label: label.to_string(),
+            hop,
+            mem,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    fn build_uniform_mem(
+        label: &str,
+        nodes: u16,
+        mem: NodeMemory,
+        hop: impl Fn(u16, u16) -> Ns,
+    ) -> Topology {
+        Topology::build(label, nodes, vec![mem; nodes as usize], hop)
+    }
+
+    fn build(
+        label: &str,
+        nodes: u16,
+        mem: Vec<NodeMemory>,
+        hop: impl Fn(u16, u16) -> Ns,
+    ) -> Topology {
+        let mut matrix = Vec::with_capacity(nodes as usize * nodes as usize);
+        for i in 0..nodes {
+            for j in 0..nodes {
+                matrix.push(hop(i, j));
+            }
+        }
+        let topo = Topology {
+            nodes,
+            label: label.to_string(),
+            hop: matrix,
+            mem,
+        };
+        debug_assert!(topo.validate().is_ok(), "preset must be valid");
+        topo
+    }
+
+    /// Number of nodes this topology describes.
+    #[inline]
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The topology's label (preset name, or the custom label).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The memory attached to `node`.
+    #[inline]
+    pub fn mem_of(&self, node: NodeId) -> NodeMemory {
+        self.mem[node.index()]
+    }
+
+    /// Interconnect hop cost from `from` to `to` (zero on the diagonal).
+    #[inline]
+    pub fn hop(&self, from: NodeId, to: NodeId) -> Ns {
+        self.hop[from.index() * self.nodes as usize + to.index()]
+    }
+
+    /// End-to-end latency of an access from node `from` to memory on node
+    /// `to`: the target's device latency for `kind` plus the hop cost.
+    #[inline]
+    pub fn latency(&self, from: NodeId, to: NodeId, kind: AccessKind) -> Ns {
+        let mem = self.mem[to.index()];
+        let device = if kind.is_write() { mem.write } else { mem.read };
+        device + self.hop(from, to)
+    }
+
+    /// [`Topology::latency`] for a read.
+    #[inline]
+    pub fn read_latency(&self, from: NodeId, to: NodeId) -> Ns {
+        self.latency(from, to, AccessKind::Read)
+    }
+
+    /// [`Topology::latency`] for a write.
+    #[inline]
+    pub fn write_latency(&self, from: NodeId, to: NodeId) -> Ns {
+        self.latency(from, to, AccessKind::Write)
+    }
+
+    /// The stall bucket for an access from `from` to node `to`: `Far` when
+    /// the target is far memory, else `Local` iff the access stays on-node.
+    #[inline]
+    pub fn tier(&self, from: NodeId, to: NodeId) -> StallTier {
+        if self.mem[to.index()].tier == MemClass::Far {
+            StallTier::Far
+        } else if from == to {
+            StallTier::Local
+        } else {
+            StallTier::Remote
+        }
+    }
+
+    /// The cheapest on-node read in the machine — the flat-view
+    /// `local_latency`.
+    pub fn min_local_read_latency(&self) -> Ns {
+        (0..self.nodes)
+            .map(|n| self.read_latency(NodeId(n), NodeId(n)))
+            .min()
+            .unwrap_or(Ns::ZERO)
+    }
+
+    /// The worst read path in the machine — the flat-view
+    /// `remote_latency`, and what kernel cost tables scale with.
+    pub fn max_read_latency(&self) -> Ns {
+        let mut worst = Ns::ZERO;
+        for f in 0..self.nodes {
+            for t in 0..self.nodes {
+                worst = worst.max(self.read_latency(NodeId(f), NodeId(t)));
+            }
+        }
+        worst
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`]: [`ConfigError::AsymmetricHop`] for
+    /// an asymmetric matrix, [`ConfigError::SelfHop`] for a non-zero
+    /// diagonal, and [`ConfigError::ZeroLatency`] for a node with zero
+    /// device latency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let n = self.nodes as usize;
+        if self.nodes == 0 {
+            return Err(ConfigError::new("topology must have at least one node"));
+        }
+        if self.hop.len() != n * n || self.mem.len() != n {
+            return Err(ConfigError::new(
+                "topology hop matrix must be nodes x nodes",
+            ));
+        }
+        for i in 0..self.nodes {
+            let diag = self.hop(NodeId(i), NodeId(i));
+            if diag != Ns::ZERO {
+                return Err(ConfigError::SelfHop {
+                    node: i,
+                    cost: diag,
+                });
+            }
+            let mem = self.mem[i as usize];
+            if mem.read == Ns::ZERO || mem.write == Ns::ZERO {
+                return Err(ConfigError::ZeroLatency { node: i });
+            }
+            for j in (i + 1)..self.nodes {
+                let ab = self.hop(NodeId(i), NodeId(j));
+                let ba = self.hop(NodeId(j), NodeId(i));
+                if ab != ba {
+                    return Err(ConfigError::AsymmetricHop { a: i, b: j, ab, ba });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_reproduces_the_two_latency_model() {
+        let t = Topology::flat(8, Ns(300), Ns(1200));
+        t.validate().unwrap();
+        for f in 0..8u16 {
+            for to in 0..8u16 {
+                let expect = if f == to { Ns(300) } else { Ns(1200) };
+                assert_eq!(t.read_latency(NodeId(f), NodeId(to)), expect);
+                assert_eq!(t.write_latency(NodeId(f), NodeId(to)), expect);
+                let tier = t.tier(NodeId(f), NodeId(to));
+                assert_eq!(tier.is_off_node(), f != to);
+            }
+        }
+        assert_eq!(t.min_local_read_latency(), Ns(300));
+        assert_eq!(t.max_read_latency(), Ns(1200));
+    }
+
+    #[test]
+    fn two_socket_has_three_latency_levels() {
+        let t = Topology::two_socket(8);
+        t.validate().unwrap();
+        assert_eq!(t.read_latency(NodeId(0), NodeId(0)), Ns(300));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(3)), Ns(500));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(4)), Ns(1200));
+        assert_eq!(t.max_read_latency(), Ns(1200));
+    }
+
+    #[test]
+    fn four_socket_ring_distance_drives_latency() {
+        let t = Topology::four_socket_hierarchical(8);
+        t.validate().unwrap();
+        // Sockets on 8 nodes: {0,1} {2,3} {4,5} {6,7}.
+        assert_eq!(t.read_latency(NodeId(0), NodeId(1)), Ns(500));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(2)), Ns(1200));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(4)), Ns(2100));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(6)), Ns(1200), "ring wraps");
+        assert_eq!(t.max_read_latency(), Ns(2100));
+    }
+
+    #[test]
+    fn cxl_far_tier_is_asymmetric_and_far() {
+        let t = Topology::cxl_tiered(8);
+        t.validate().unwrap();
+        // Last quarter (nodes 6, 7) is far memory.
+        assert_eq!(t.mem_of(NodeId(5)).tier, MemClass::Dram);
+        assert_eq!(t.mem_of(NodeId(6)).tier, MemClass::Far);
+        assert_eq!(t.tier(NodeId(0), NodeId(7)), StallTier::Far);
+        assert_eq!(t.tier(NodeId(7), NodeId(7)), StallTier::Far);
+        assert_eq!(t.read_latency(NodeId(0), NodeId(7)), Ns(1800));
+        assert_eq!(t.write_latency(NodeId(0), NodeId(7)), Ns(3600));
+        assert_eq!(t.read_latency(NodeId(0), NodeId(1)), Ns(1200));
+    }
+
+    #[test]
+    fn presets_scale_to_large_machines() {
+        for preset in TopologyPreset::ALL {
+            for nodes in [1u16, 2, 8, 128, 1024] {
+                let t = preset.build(nodes);
+                t.validate().unwrap();
+                assert_eq!(t.nodes(), nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn preset_labels_round_trip() {
+        for preset in TopologyPreset::ALL {
+            assert_eq!(TopologyPreset::parse(preset.label()), Some(preset));
+            assert_eq!(preset.to_string(), preset.label());
+        }
+        assert_eq!(TopologyPreset::parse("moebius"), None);
+        assert!(TopologyPreset::Flat.is_flat());
+        assert!(!TopologyPreset::CxlTiered.is_flat());
+    }
+
+    #[test]
+    fn custom_rejects_bad_matrices() {
+        let mem = vec![NodeMemory::dram(Ns(300)); 2];
+        let err = Topology::custom("bad", mem.clone(), &[0, 5]).unwrap_err();
+        assert!(err.to_string().contains("nodes x nodes"), "{err}");
+
+        let err = Topology::custom("bad", mem.clone(), &[0, -5, -5, 0]).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::NegativeHop { cost: -5, .. }),
+            "{err}"
+        );
+
+        let err = Topology::custom("bad", mem.clone(), &[0, 5, 7, 0]).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::AsymmetricHop { a: 0, b: 1, .. }),
+            "{err}"
+        );
+
+        let err = Topology::custom("bad", mem.clone(), &[9, 5, 5, 0]).unwrap_err();
+        assert!(matches!(err, ConfigError::SelfHop { node: 0, .. }), "{err}");
+
+        let zero = vec![NodeMemory::dram(Ns::ZERO); 2];
+        let err = Topology::custom("bad", zero, &[0, 5, 5, 0]).unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroLatency { node: 0 }), "{err}");
+
+        let ok = Topology::custom("ok", mem, &[0, 5, 5, 0]).unwrap();
+        assert_eq!(ok.label(), "ok");
+        assert_eq!(ok.hop(NodeId(0), NodeId(1)), Ns(5));
+    }
+
+    #[test]
+    fn stall_tier_indices_are_stable() {
+        assert_eq!(StallTier::Local.index(), 0);
+        assert_eq!(StallTier::Remote.index(), 1);
+        assert_eq!(StallTier::Far.index(), 2);
+        assert_eq!(StallTier::Far.to_string(), "far");
+        assert!(StallTier::Far.is_off_node());
+        assert!(!StallTier::Local.is_off_node());
+    }
+}
