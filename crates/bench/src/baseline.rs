@@ -1,0 +1,439 @@
+//! Bench-regression tracking: baseline diffing and the history trail.
+//!
+//! `repro bench --baseline FILE --check` compares a freshly measured
+//! [`BenchReport`] against a committed `ccnuma-bench-hotpath/3` baseline
+//! and fails (exit 1) when any throughput figure falls below the
+//! baseline by more than a tolerance band. Wall-clock throughput is
+//! noisy by nature, so the default band is generous (20%) — the check
+//! exists to catch real hot-path regressions (an accidental allocation
+//! per reference, a quadratic pass), not 3% scheduler jitter.
+//!
+//! Every checked *and* unchecked bench invocation can also append one
+//! `ccnuma-bench-history/1` line to a JSONL trajectory file, so the
+//! throughput story across optimisation work stays on disk next to the
+//! repo instead of in CI logs that expire.
+//!
+//! Artifact writes here (and the bench JSON itself) go through
+//! [`atomic_write`]: bytes land in `<path>.tmp` first and are renamed
+//! into place, the same torn-file discipline the trace store uses — a
+//! baseline that CI reads must never be observable half-written.
+
+use crate::hotbench::BenchReport;
+use ccnuma_obs::JsonValue;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Schema tag of one history-trajectory JSONL line.
+pub const HISTORY_SCHEMA: &str = "ccnuma-bench-history/1";
+
+/// Default tolerance band, percent below baseline that still passes.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+/// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp`
+/// and is renamed into place, so a reader never observes a torn file
+/// and a crash leaves the previous version intact. The temporary is
+/// removed if any step fails.
+///
+/// # Errors
+///
+/// Propagates the underlying write/rename error.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// One compared throughput figure.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// What was compared (e.g. `run engineering/FT/flat refs_per_sec`).
+    pub metric: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value (0 when the run is missing now).
+    pub current: f64,
+    /// True when `current` fell below the tolerance band.
+    pub regressed: bool,
+}
+
+impl BenchDelta {
+    /// `current / baseline` (0 when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BenchCheck {
+    /// The tolerance band used, percent below baseline.
+    pub tolerance_pct: f64,
+    /// Every compared figure, baseline order.
+    pub deltas: Vec<BenchDelta>,
+}
+
+impl BenchCheck {
+    /// Number of regressed figures.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// True when nothing regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Human-readable comparison table (one line per figure, regressed
+    /// lines marked `REGRESSED`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "== bench check (tolerance {:.1}% below baseline) ==\n",
+            self.tolerance_pct
+        ));
+        for d in &self.deltas {
+            s.push_str(&format!(
+                "{} {:<55} baseline {:>14.1} current {:>14.1} ({:>6.1}%)\n",
+                if d.regressed { "FAIL" } else { "ok  " },
+                d.metric,
+                d.baseline,
+                d.current,
+                d.ratio() * 100.0
+            ));
+        }
+        s.push_str(&format!(
+            "bench check: {} figure(s), {} regression(s)\n",
+            self.deltas.len(),
+            self.regressions()
+        ));
+        s
+    }
+}
+
+/// Reads one `f64` member of a JSON object, erroring with context.
+fn f64_member(obj: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("baseline {what} has no numeric {key:?}"))
+}
+
+fn str_member<'a>(obj: &'a JsonValue, key: &str, what: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("baseline {what} has no string {key:?}"))
+}
+
+/// Compares `current` against a committed `ccnuma-bench-hotpath/3`
+/// baseline document.
+///
+/// Compared figures, all "higher is better" rates:
+///
+/// * `totals.refs_per_sec` — the headline suite throughput;
+/// * per-run `refs_per_sec`, keyed by `(workload, policy, topology)` —
+///   a baseline run with no matching current run counts as a
+///   regression (the suite silently dropping a measurement must fail);
+/// * the `tracestore` codec block's `encode_mb_per_sec`,
+///   `decode_mb_per_sec` and `replay_refs_per_sec`, when both sides
+///   measured it.
+///
+/// A figure regresses when `current < baseline * (1 - tolerance/100)`.
+/// Current runs absent from the baseline are ignored — adding coverage
+/// must not fail the check.
+///
+/// # Errors
+///
+/// Returns a message when the baseline is not valid
+/// `ccnuma-bench-hotpath/3` JSON or its scale differs from the
+/// measured report's (cross-scale throughput is not comparable).
+pub fn check_against_baseline(
+    current: &BenchReport,
+    baseline_json: &str,
+    tolerance_pct: f64,
+) -> Result<BenchCheck, String> {
+    let doc = JsonValue::parse(baseline_json).map_err(|e| format!("parsing baseline: {e}"))?;
+    let schema = str_member(&doc, "schema", "document")?;
+    if schema != "ccnuma-bench-hotpath/3" {
+        return Err(format!(
+            "baseline schema is {schema:?}, want \"ccnuma-bench-hotpath/3\""
+        ));
+    }
+    let scale = str_member(&doc, "scale", "document")?;
+    if scale != current.scale {
+        return Err(format!(
+            "baseline was measured at scale {scale:?}, current at {:?} — not comparable",
+            current.scale
+        ));
+    }
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let mut deltas = Vec::new();
+    let mut push = |metric: String, baseline: f64, current: f64| {
+        deltas.push(BenchDelta {
+            metric,
+            baseline,
+            current,
+            regressed: current < baseline * floor,
+        });
+    };
+
+    let totals = doc
+        .get("totals")
+        .ok_or("baseline document has no \"totals\"")?;
+    let (_, _, current_rate) = current.totals();
+    push(
+        "totals refs_per_sec".into(),
+        f64_member(totals, "refs_per_sec", "totals")?,
+        current_rate,
+    );
+
+    for run in doc
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or("baseline document has no \"runs\" array")?
+    {
+        let workload = str_member(run, "workload", "run")?;
+        let policy = str_member(run, "policy", "run")?;
+        let topology = str_member(run, "topology", "run")?;
+        let base_rate = f64_member(run, "refs_per_sec", "run")?;
+        let now = current
+            .runs
+            .iter()
+            .find(|r| r.workload == workload && r.policy == policy && r.topology == topology)
+            .map_or(0.0, |r| r.refs_per_sec);
+        push(
+            format!("run {workload}/{policy}/{topology} refs_per_sec"),
+            base_rate,
+            now,
+        );
+    }
+
+    if let (Some(base_t), Some(cur_t)) = (doc.get("tracestore"), current.trace.as_ref()) {
+        for (key, now) in [
+            ("encode_mb_per_sec", cur_t.encode_mb_per_sec),
+            ("decode_mb_per_sec", cur_t.decode_mb_per_sec),
+            ("replay_refs_per_sec", cur_t.replay_refs_per_sec),
+        ] {
+            push(
+                format!("tracestore {key}"),
+                f64_member(base_t, key, "tracestore")?,
+                now,
+            );
+        }
+    }
+
+    Ok(BenchCheck {
+        tolerance_pct,
+        deltas,
+    })
+}
+
+/// Renders one `ccnuma-bench-history/1` trajectory line (no trailing
+/// newline): the suite totals of `report`, stamped with `unix_time`,
+/// plus the check outcome when one ran.
+pub fn history_line(report: &BenchReport, check: Option<&BenchCheck>, unix_time: u64) -> String {
+    use ccnuma_obs::json::JsonWriter;
+    let (refs, wall, rate) = report.totals();
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("schema");
+    w.str(HISTORY_SCHEMA);
+    w.key("unix_time");
+    w.raw(&unix_time.to_string());
+    w.key("scale");
+    w.str(&report.scale);
+    w.key("runs");
+    w.raw(&report.runs.len().to_string());
+    w.key("total_refs");
+    w.raw(&refs.to_string());
+    w.key("wall_seconds");
+    w.raw(&format!("{wall:.6}"));
+    w.key("refs_per_sec");
+    w.raw(&format!("{rate:.1}"));
+    if let Some(t) = &report.trace {
+        w.key("encode_mb_per_sec");
+        w.raw(&format!("{:.1}", t.encode_mb_per_sec));
+        w.key("decode_mb_per_sec");
+        w.raw(&format!("{:.1}", t.decode_mb_per_sec));
+        w.key("replay_refs_per_sec");
+        w.raw(&format!("{:.1}", t.replay_refs_per_sec));
+    }
+    w.key("checked");
+    w.raw(if check.is_some() { "true" } else { "false" });
+    if let Some(c) = check {
+        w.key("tolerance_pct");
+        w.raw(&format!("{:.1}", c.tolerance_pct));
+        w.key("regressions");
+        w.raw(&c.regressions().to_string());
+    }
+    w.end_obj();
+    w.finish()
+}
+
+/// Appends `line` (plus a newline) to the JSONL trajectory at `path`.
+///
+/// # Errors
+///
+/// Propagates open/write errors.
+pub fn append_history(path: &Path, line: &str) -> io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotbench::{BenchRun, TraceBench};
+
+    fn report(rate: f64) -> BenchReport {
+        BenchReport {
+            scale: "quick".into(),
+            runs: vec![BenchRun {
+                workload: "raytrace".into(),
+                policy: "FT".into(),
+                topology: "flat".into(),
+                total_refs: 1000,
+                wall_seconds: 1000.0 / rate,
+                refs_per_sec: rate,
+            }],
+            trace: Some(TraceBench {
+                workload: "raytrace".into(),
+                records: 1000,
+                v2_bytes: 6400,
+                encode_mb_per_sec: 100.0,
+                decode_mb_per_sec: 200.0,
+                replay_refs_per_sec: 5000.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn identical_report_passes_its_own_baseline() {
+        let rep = report(2000.0);
+        let check = check_against_baseline(&rep, &rep.to_json(), DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(check.ok(), "{}", check.render());
+        // totals + 1 run + 3 codec figures.
+        assert_eq!(check.deltas.len(), 5);
+        assert!(check.render().contains("run raytrace/FT/flat"));
+    }
+
+    #[test]
+    fn inflated_baseline_fails_and_small_noise_passes() {
+        let rep = report(2000.0);
+        // 10% slower than baseline: inside the 20% band.
+        let baseline = report(2222.0).to_json();
+        let check = check_against_baseline(&rep, &baseline, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(check.ok(), "10% down is inside the band");
+        // 10x faster baseline: far outside any sane band.
+        let baseline = report(20000.0).to_json();
+        let check = check_against_baseline(&rep, &baseline, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(!check.ok());
+        assert!(check.regressions() >= 2, "totals and the run regress");
+        assert!(check.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_run_is_a_regression_and_extra_run_is_not() {
+        let mut rep = report(2000.0);
+        let baseline = rep.to_json();
+        rep.runs.clear(); // the suite silently lost a measurement
+        rep.trace = None;
+        let check = check_against_baseline(&rep, &baseline, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(!check.ok());
+        let missing = check
+            .deltas
+            .iter()
+            .find(|d| d.metric.contains("raytrace"))
+            .unwrap();
+        assert!(missing.regressed);
+        assert_eq!(missing.current, 0.0);
+        // The reverse — current measures more than the baseline — passes.
+        let small = report(2000.0);
+        let mut grown = report(2000.0);
+        grown.runs.push(BenchRun {
+            workload: "pmake".into(),
+            policy: "FT".into(),
+            topology: "flat".into(),
+            total_refs: 500,
+            wall_seconds: 0.25,
+            refs_per_sec: 2000.0,
+        });
+        let check =
+            check_against_baseline(&grown, &small.to_json(), DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(check.ok(), "{}", check.render());
+    }
+
+    #[test]
+    fn scale_and_schema_mismatches_are_errors() {
+        let rep = report(2000.0);
+        let mut other = report(2000.0);
+        other.scale = "standard".into();
+        let err = check_against_baseline(&rep, &other.to_json(), 20.0).unwrap_err();
+        assert!(err.contains("scale"), "{err}");
+        let err = check_against_baseline(&rep, r#"{"schema":"nope"}"#, 20.0).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let err = check_against_baseline(&rep, "not json", 20.0).unwrap_err();
+        assert!(err.contains("parsing baseline"), "{err}");
+    }
+
+    #[test]
+    fn history_line_carries_schema_and_check_outcome() {
+        let rep = report(2000.0);
+        let line = history_line(&rep, None, 1_700_000_000);
+        assert!(line.starts_with(r#"{"schema":"ccnuma-bench-history/1","unix_time":1700000000"#));
+        assert!(line.contains(r#""checked":false"#));
+        assert!(!line.contains("regressions"));
+        let check = check_against_baseline(&rep, &rep.to_json(), 20.0).unwrap();
+        let line = history_line(&rep, Some(&check), 1_700_000_001);
+        assert!(line.contains(r#""checked":true"#));
+        assert!(line.contains(r#""tolerance_pct":20.0"#));
+        assert!(line.contains(r#""regressions":0"#));
+        // JSONL: one object, no embedded newline.
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-atomic-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(
+            !dir.join("out.json.tmp").exists(),
+            "temporary must not linger"
+        );
+        // A failing rename (target dir vanished) leaves no temporary.
+        let gone = dir.join("sub").join("x.json");
+        assert!(atomic_write(&gone, b"x").is_err());
+        assert!(!dir.join("sub").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_history_accumulates_lines() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-history-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_history.jsonl");
+        append_history(&path, "{\"a\":1}").unwrap();
+        append_history(&path, "{\"a\":2}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,15 +5,19 @@
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
 //!                       [--topology PRESET]
-//!                       [--obs-dir DIR] [--trace-dir DIR]
+//!                       [--obs-dir DIR] [--profile] [--trace-dir DIR]
 //!                       [--faults SCENARIO] [--chaos-seed N]
 //!                       [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N]
 //! repro bench [--scale quick|standard|full] [--out FILE]
+//!             [--baseline FILE] [--check] [--tolerance PCT]
+//!             [--history FILE]
+//! repro obs report DIR [--out FILE]
 //! repro trace <capture|info|verify> [WORKLOAD|SLUG]...
 //!             [--scale S] [--trace-dir DIR]
 //! repro sweep (--workload NAME | --trace SLUG) [--scale S]
 //!             [--trace-dir DIR] [--jobs N] [--out FILE] [--csv FILE]
+//!             [--profile FILE]
 //!             [--policies P,..] [--triggers N,..] [--samples N,..]
 //!             [--latencies NS,..] [--move-costs US,..]
 //!             [--topologies T,..]
@@ -48,6 +52,27 @@
 //! invocation writes `DIR/run-metadata.json` (jobs, cache hits, per-run
 //! wall times). See EXPERIMENTS.md for the artifact schemas.
 //!
+//! With `--profile` (requires `--obs-dir`), every computed run is
+//! additionally timed by the host-side span profiler: each run's
+//! directory gains a `profile.json` (`ccnuma-profile/1` phase summary)
+//! and a `host-trace.json` (host-time Chrome trace), and the invocation
+//! writes a merged `DIR/profile.json`. The profiler watches only the
+//! host's wall clock, so profiled stdout stays byte-identical to an
+//! unprofiled invocation; the artifact's *structure* (phases, entries,
+//! spans) is deterministic while its durations are host measurements.
+//! `repro obs report DIR` reads a whole artifact tree back and prints
+//! the fleet rollup (summed counters, merged histograms with
+//! p50/p90/p99, merged host profile); `--out FILE` adds a
+//! `ccnuma-obs-report/1` JSON document.
+//!
+//! `repro bench` gains regression tracking: `--baseline FILE` compares
+//! the fresh measurements against a committed `BENCH_hotpath.json`,
+//! `--check` makes any figure falling more than `--tolerance PCT`
+//! (default 20) below baseline exit 1, and every invocation appends one
+//! `ccnuma-bench-history/1` line to `--history FILE` (default
+//! `BENCH_history.jsonl`). All bench artifacts are written atomically
+//! (temp file + rename), so a concurrent reader never sees a torn file.
+//!
 //! With `--trace-dir DIR`, captured miss traces are stored under `DIR`
 //! in the chunked v2 format and served from there on later invocations
 //! — the Section 8 experiments (fig4/6/7/8/9, sharing, counters,
@@ -66,7 +91,9 @@
 use ccnuma_bench::{experiments, set_topology_override, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::Verbosity;
-use ccnuma_tracestore::{run_sweep, ChunkIndex, SweepPolicy, SweepSpec, TraceStore};
+use ccnuma_tracestore::{
+    run_sweep, run_sweep_profiled, ChunkIndex, SweepPolicy, SweepSpec, TraceStore,
+};
 use ccnuma_types::TopologyPreset;
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fs::File;
@@ -173,12 +200,28 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
 /// `repro bench`: time every workload under FT and Mig/Rep and write
 /// `BENCH_hotpath.json` (schema `ccnuma-bench-hotpath/3`). Timings go to
 /// the file and a summary to stderr; nothing is printed to stdout, so
-/// the subcommand composes with scripts the way `--obs-dir` does.
+/// the subcommand composes with scripts the way `--obs-dir` does. With
+/// `--baseline FILE` the fresh figures are diffed against a committed
+/// baseline (on stderr), `--check` turns any out-of-tolerance figure
+/// into exit 1, and one `ccnuma-bench-history/1` line is appended to
+/// the `--history` trajectory either way. File writes are atomic.
 fn run_bench(args: &[String]) -> ! {
+    let usage = "usage: repro bench [--scale quick|standard|full] [--out FILE] \
+                 [--baseline FILE] [--check] [--tolerance PCT] [--history FILE]";
     let mut scale = Scale::standard();
     let mut scale_label = "standard".to_string();
     let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut check = false;
+    let mut tolerance = ccnuma_bench::DEFAULT_TOLERANCE_PCT;
+    let mut history = PathBuf::from("BENCH_history.jsonl");
     let mut it = args.iter();
+    fn path_value(flag: &str, it: &mut std::slice::Iter<'_, String>) -> PathBuf {
+        it.next().map(PathBuf::from).unwrap_or_else(|| {
+            eprintln!("{flag} expects a file path");
+            std::process::exit(2);
+        })
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -193,38 +236,130 @@ fn run_bench(args: &[String]) -> ! {
                     }
                 };
             }
+            "--out" => out = path_value("--out", &mut it),
+            "--baseline" => baseline = Some(path_value("--baseline", &mut it)),
+            "--check" => check = true,
+            "--tolerance" => {
+                tolerance = match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(t) if t >= 0.0 => t,
+                    _ => {
+                        eprintln!("--tolerance expects a non-negative percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--history" => history = path_value("--history", &mut it),
+            other => {
+                eprintln!("repro bench: unknown argument {other:?}");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if check && baseline.is_none() {
+        eprintln!("repro bench: --check requires --baseline FILE\n{usage}");
+        std::process::exit(2);
+    }
+    let start = Instant::now();
+    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL);
+    let (refs, wall, rate) = report.totals();
+    if let Err(e) = ccnuma_bench::atomic_write(&out, report.to_json().as_bytes()) {
+        eprintln!("writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let outcome = baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let result = ccnuma_bench::check_against_baseline(&report, &text, tolerance)
+            .unwrap_or_else(|e| {
+                eprintln!("bench check against {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        eprint!("{}", result.render());
+        result
+    });
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = ccnuma_bench::history_line(&report, outcome.as_ref(), unix_time);
+    if let Err(e) = ccnuma_bench::append_history(&history, &line) {
+        eprintln!("appending {}: {e}", history.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench: {} run(s), {} refs in {:.2}s ({:.0} refs/s), wall {:.2}s -> {} (history {})",
+        report.runs.len(),
+        refs,
+        wall,
+        rate,
+        start.elapsed().as_secs_f64(),
+        out.display(),
+        history.display()
+    );
+    let regressed = check && outcome.as_ref().is_some_and(|c| !c.ok());
+    if regressed {
+        eprintln!(
+            "bench check FAILED: {} regression(s) beyond {tolerance:.1}%",
+            outcome
+                .as_ref()
+                .map_or(0, ccnuma_bench::BenchCheck::regressions)
+        );
+    }
+    std::process::exit(i32::from(regressed));
+}
+
+/// `repro obs report DIR [--out FILE]`: aggregate one invocation's
+/// artifact tree into a fleet summary (stdout) and optionally the
+/// `ccnuma-obs-report/1` JSON document.
+fn run_obs_cmd(args: &[String]) -> ! {
+    let usage = "usage: repro obs report DIR [--out FILE]";
+    if args.first().map(String::as_str) != Some("report") {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
             "--out" => {
                 out = match it.next() {
-                    Some(p) => PathBuf::from(p),
+                    Some(p) => Some(PathBuf::from(p)),
                     None => {
                         eprintln!("--out expects a file path");
                         std::process::exit(2);
                     }
                 };
             }
-            other => {
-                eprintln!("repro bench: unknown argument {other:?}");
-                eprintln!("usage: repro bench [--scale quick|standard|full] [--out FILE]");
+            flag if flag.starts_with('-') => {
+                eprintln!("repro obs: unknown argument {flag:?}\n{usage}");
+                std::process::exit(2);
+            }
+            path if dir.is_none() => dir = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("repro obs: unexpected argument {extra:?}\n{usage}");
                 std::process::exit(2);
             }
         }
     }
-    let start = Instant::now();
-    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL);
-    let (refs, wall, rate) = report.totals();
-    if let Err(e) = std::fs::write(&out, report.to_json()) {
-        eprintln!("writing {}: {e}", out.display());
+    let Some(dir) = dir else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let report = ccnuma_bench::build_report(&dir).unwrap_or_else(|e| {
+        eprintln!("obs report over {}: {e}", dir.display());
         std::process::exit(1);
+    });
+    print!("{}", report.render(&dir));
+    if let Some(path) = &out {
+        if let Err(e) = ccnuma_bench::atomic_write(path, report.to_json().as_bytes()) {
+            eprintln!("writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("obs report artifact -> {}", path.display());
     }
-    eprintln!(
-        "bench: {} run(s), {} refs in {:.2}s ({:.0} refs/s), wall {:.2}s -> {}",
-        report.runs.len(),
-        refs,
-        wall,
-        rate,
-        start.elapsed().as_secs_f64(),
-        out.display()
-    );
     std::process::exit(0);
 }
 
@@ -376,9 +511,9 @@ fn trace_verify(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore:
 fn run_sweep_cmd(args: &[String]) -> ! {
     let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
                  [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
-                 [--out FILE] [--csv FILE] [--policies P,..] [--triggers N,..] \
-                 [--samples N,..] [--latencies NS,..] [--move-costs US,..] \
-                 [--topologies T,..]";
+                 [--out FILE] [--csv FILE] [--profile FILE] [--policies P,..] \
+                 [--triggers N,..] [--samples N,..] [--latencies NS,..] \
+                 [--move-costs US,..] [--topologies T,..]";
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
     let mut jobs = default_jobs();
@@ -386,6 +521,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     let mut trace_slug: Option<String> = None;
     let mut out: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
     let mut spec = SweepSpec::default_grid();
     fn next_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
         it.next().map(String::as_str).unwrap_or_else(|| {
@@ -427,6 +563,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             "--trace" => trace_slug = Some(next_value("--trace", &mut it).to_string()),
             "--out" => out = Some(PathBuf::from(next_value("--out", &mut it))),
             "--csv" => csv = Some(PathBuf::from(next_value("--csv", &mut it))),
+            "--profile" => profile_out = Some(PathBuf::from(next_value("--profile", &mut it))),
             "--policies" => {
                 spec.policies = next_value("--policies", &mut it)
                     .split(',')
@@ -506,13 +643,35 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
-    let report = run_sweep(&spec, nodes, other_time, jobs, || {
-        store.open(&slug).map(|(reader, _)| reader)
-    })
-    .unwrap_or_else(|e| {
-        eprintln!("sweep over {slug}: {e}");
-        std::process::exit(1);
-    });
+    let open = || store.open(&slug).map(|(reader, _)| reader);
+    let (report, prof) = if profile_out.is_some() {
+        match run_sweep_profiled(&spec, nodes, other_time, jobs, open) {
+            Ok((report, prof)) => (report, Some(prof)),
+            Err(e) => {
+                eprintln!("sweep over {slug}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run_sweep(&spec, nodes, other_time, jobs, open) {
+            Ok(report) => (report, None),
+            Err(e) => {
+                eprintln!("sweep over {slug}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let (Some(path), Some(prof)) = (&profile_out, &prof) {
+        if let Err(e) = ccnuma_bench::atomic_write(path, prof.to_json().as_bytes()) {
+            eprintln!("writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "sweep profile -> {} ({} replay span(s))",
+            path.display(),
+            prof.spans(ccnuma_obs::Phase::Replay)
+        );
+    }
     let json = report.to_json(&label);
     match &out {
         Some(path) => {
@@ -544,6 +703,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench") => run_bench(&args[1..]),
+        Some("obs") => run_obs_cmd(&args[1..]),
         Some("trace") => run_trace_cmd(&args[1..]),
         Some("sweep") => run_sweep_cmd(&args[1..]),
         _ => {}
@@ -551,6 +711,7 @@ fn main() {
     let mut scale = Scale::standard();
     let mut jobs = default_jobs();
     let mut obs_dir: Option<PathBuf> = None;
+    let mut profile = false;
     let mut trace_dir: Option<PathBuf> = None;
     let mut verbosity_flag: Option<Verbosity> = None;
     let mut fault_scenario: Option<FaultScenario> = None;
@@ -632,6 +793,7 @@ fn main() {
                     }
                 };
             }
+            "--profile" => profile = true,
             "--trace-dir" => {
                 trace_dir = match it.next() {
                     Some(dir) => Some(PathBuf::from(dir)),
@@ -648,13 +810,17 @@ fn main() {
         }
     }
     let verbosity = Verbosity::resolve(verbosity_flag, std::env::var("CCNUMA_LOG").ok().as_deref());
+    if profile && obs_dir.is_none() {
+        eprintln!("--profile requires --obs-dir DIR (profiles are artifacts, not stdout)");
+        std::process::exit(2);
+    }
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--topology PRESET] [--obs-dir DIR] [--trace-dir DIR] [--faults SCENARIO] \
-             [--chaos-seed N] [-v|-q]"
+             [--topology PRESET] [--obs-dir DIR] [--profile] [--trace-dir DIR] \
+             [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
         );
-        eprintln!("       repro all | repro bench | repro trace | repro sweep");
+        eprintln!("       repro all | repro bench | repro obs report | repro trace | repro sweep");
         eprintln!("       repro --list | repro --list-faults");
         std::process::exit(2);
     }
@@ -694,6 +860,9 @@ fn main() {
     let mut exec = Executor::new(jobs).with_verbosity(verbosity);
     if let Some(dir) = &obs_dir {
         exec = exec.with_obs_dir(dir.clone());
+    }
+    if profile {
+        exec = exec.with_profiling();
     }
     if let Some(dir) = &trace_dir {
         exec = exec.with_trace_store(open_store(dir));
@@ -750,6 +919,18 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("writing {}/run-metadata.json: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        match exec.write_invocation_profile(dir) {
+            Ok(Some(path)) => {
+                if verbosity.normal() {
+                    eprintln!("invocation profile -> {}", path.display());
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("writing {}/profile.json: {e}", dir.display());
                 std::process::exit(1);
             }
         }

@@ -23,7 +23,9 @@
 
 use ccnuma_faults::{FaultSpec, FaultStats};
 use ccnuma_machine::{RunReport, RunSpec};
-use ccnuma_obs::{artifact_slug, json::JsonWriter, RunRecorder, Verbosity};
+use ccnuma_obs::{
+    artifact_slug, json::JsonWriter, NullRecorder, RunRecorder, SpanProfiler, Verbosity,
+};
 use ccnuma_trace::Trace;
 use ccnuma_tracestore::{TraceMeta, TraceStore};
 use ccnuma_types::Ns;
@@ -212,6 +214,8 @@ pub struct Executor {
     verbosity: Verbosity,
     default_faults: Option<FaultSpec>,
     trace_store: Option<TraceStore>,
+    profiling: bool,
+    profile: Mutex<SpanProfiler>,
     cache: Mutex<HashMap<String, Result<Arc<RunReport>, RunFailure>>>,
     hits: AtomicU64,
     computed: AtomicU64,
@@ -230,6 +234,8 @@ impl Executor {
             verbosity: Verbosity::default(),
             default_faults: None,
             trace_store: None,
+            profiling: false,
+            profile: Mutex::new(SpanProfiler::new()),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
@@ -268,6 +274,20 @@ impl Executor {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSpec) -> Executor {
         self.default_faults = Some(faults);
+        self
+    }
+
+    /// Attaches a host-time span profiler to every computed run. The
+    /// run report is unchanged (the profiler only watches the host's
+    /// wall clock), so profiled and unprofiled invocations render
+    /// byte-identical stdout. Each run's profile merges into one
+    /// invocation-level aggregate (see
+    /// [`Executor::write_invocation_profile`]); under an obs dir the
+    /// run additionally writes its own `profile.json` and
+    /// `host-trace.json` (see [`ccnuma_obs::write_profile_artifacts`]).
+    #[must_use]
+    pub fn with_profiling(mut self) -> Executor {
+        self.profiling = true;
         self
     }
 
@@ -362,21 +382,42 @@ impl Executor {
         // alone: a panic inside the simulator (or the recorder) becomes
         // a RunFailure here instead of unwinding through the worker pool.
         let computed = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(dir) = &self.obs_dir {
+            // Profiling rides any of the paths below without changing
+            // the report: the profiler only watches the host's wall
+            // clock, so profiled stdout stays byte-identical. Each
+            // worker profiles into a local SpanProfiler (no lock on the
+            // hot path) merged into the invocation aggregate at the end.
+            let mut prof = self.profiling.then(SpanProfiler::new);
+            let result = if let Some(dir) = &self.obs_dir {
                 // Instrumented run: same report (the recorder is a pure
                 // side-channel), plus the artifact set on disk. A failed
                 // artifact write degrades to a warning — the report is
                 // already computed and still worth serving.
                 let cpus = spec.build_workload().config.procs() as usize;
                 let mut rec = RunRecorder::default();
-                let report = spec.try_run_with(&mut rec)?;
+                let report = match &mut prof {
+                    Some(p) => spec.try_run_profiled(&mut rec, p)?,
+                    None => spec.try_run_with(&mut rec)?,
+                };
                 if let Err(e) = ccnuma_obs::write_run_artifacts(dir, &slug, &rec, cpus) {
                     self.warn(format!("writing obs artifacts for {label}: {e}"));
                 }
+                if let Some(p) = &prof {
+                    if let Err(e) = ccnuma_obs::write_profile_artifacts(dir, &slug, p) {
+                        self.warn(format!("writing profile artifacts for {label}: {e}"));
+                    }
+                }
                 Ok(report)
             } else {
-                spec.try_run()
+                match &mut prof {
+                    Some(p) => spec.try_run_profiled(&mut NullRecorder, p),
+                    None => spec.try_run(),
+                }
+            };
+            if let Some(p) = &prof {
+                lock(&self.profile).merge(p);
             }
+            result
         }));
         let outcome = match computed {
             Ok(Ok(report)) => Ok(Arc::new(report)),
@@ -644,6 +685,32 @@ impl Executor {
         s
     }
 
+    /// The invocation-level host profile: every computed run's
+    /// per-phase aggregates merged commutatively, so the totals never
+    /// depend on worker scheduling. `None` unless
+    /// [`Executor::with_profiling`] was set.
+    pub fn invocation_profile(&self) -> Option<SpanProfiler> {
+        self.profiling.then(|| lock(&self.profile).clone())
+    }
+
+    /// Writes the merged invocation profile to `<dir>/profile.json`
+    /// (the same `ccnuma-profile/1` document the per-run artifacts
+    /// use), creating `dir` if needed. Returns the file's path; no-op
+    /// `None` when profiling is off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write errors.
+    pub fn write_invocation_profile(&self, dir: &Path) -> io::Result<Option<PathBuf>> {
+        let Some(prof) = self.invocation_profile() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("profile.json");
+        std::fs::write(&path, prof.to_json())?;
+        Ok(Some(path))
+    }
+
     /// Writes [`Executor::metadata_json`] to `<dir>/run-metadata.json`,
     /// creating `dir` if needed. Returns the file's path.
     ///
@@ -809,6 +876,54 @@ mod tests {
         let meta = exec.metadata_json(Duration::from_secs(1));
         assert!(meta.contains("writing obs artifacts"));
         assert!(!exec.has_failures());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profiled_executor_matches_unprofiled_and_aggregates_runs() {
+        use ccnuma_obs::Phase;
+        let mut plan = RunPlan::new();
+        plan.add(ft(WorkloadKind::Raytrace));
+        plan.add(ft(WorkloadKind::Database));
+        let plain = Executor::serial();
+        plain.execute(&plan);
+        let dir = std::env::temp_dir().join(format!("ccnuma-prof-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiled = Executor::new(2)
+            .with_profiling()
+            .with_obs_dir(&dir)
+            .with_verbosity(Verbosity::Quiet);
+        profiled.execute(&plan);
+        assert!(plain.invocation_profile().is_none());
+        let prof = profiled.invocation_profile().expect("profiling is on");
+        // One Run span per computed run; memory entries = the sum of
+        // both workloads' references — all deterministic structure.
+        assert_eq!(prof.entries(Phase::Run), 2);
+        let total_refs: u64 = plan
+            .specs()
+            .iter()
+            .map(|s| s.build_workload().total_refs)
+            .sum();
+        assert_eq!(prof.entries(Phase::Memory), total_refs);
+        for spec in plan.specs() {
+            let a = plain.run(spec);
+            let b = profiled.run(spec);
+            assert_eq!(a.breakdown, b.breakdown, "profiler must not change reports");
+            assert_eq!(a.sim_time, b.sim_time);
+            // Per-run artifacts landed next to the obs set.
+            let slug = artifact_slug(&spec.describe(), &spec.cache_key());
+            let run_dir = dir.join("runs").join(&slug);
+            assert!(run_dir.join("profile.json").is_file(), "{slug}");
+            assert!(run_dir.join("host-trace.json").is_file(), "{slug}");
+            assert!(run_dir.join("metrics.json").is_file(), "{slug}");
+        }
+        let path = profiled
+            .write_invocation_profile(&dir)
+            .unwrap()
+            .expect("profiling on");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"ccnuma-profile/1\""));
+        assert_eq!(plain.write_invocation_profile(&dir).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

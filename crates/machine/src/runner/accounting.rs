@@ -4,11 +4,11 @@
 use super::Sim;
 use crate::RunReport;
 use ccnuma_faults::FaultInjector;
-use ccnuma_obs::{Recorder, SampleView};
+use ccnuma_obs::{Profiler, Recorder, SampleView};
 use ccnuma_trace::{MissRecord, MissSource, TraceBuilder};
 use ccnuma_types::{MemAccess, Ns, Pid, ProcId};
 
-impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     /// Snapshots the cumulative simulator state at sim time `now` for the
     /// epoch sampler. Only called on instrumented runs (`R::ENABLED`).
     pub(super) fn sample_view(&self, now: Ns) -> SampleView {

@@ -11,7 +11,7 @@
 
 use super::Sim;
 use ccnuma_faults::{FaultEvent, FaultInjector, FaultKind, StormCmd};
-use ccnuma_obs::Recorder;
+use ccnuma_obs::{Profiler, Recorder};
 use ccnuma_types::{NodeId, Ns, SimError};
 
 /// Consecutive failed page operations that count as sustained pressure
@@ -33,7 +33,7 @@ pub(super) const MAX_OP_RETRIES: u32 = 2;
 /// force-driven regardless of the injector's decision.
 pub(super) const MAX_INTR_LOSSES: u32 = 3;
 
-impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     /// Applies pending memory-pressure storm commands. Called at quantum
     /// boundaries; the runner performs the actual allocations so the
     /// allocator, hash and invariant checker all agree on where every

@@ -4,14 +4,14 @@
 use super::Sim;
 use ccnuma_core::Placer;
 use ccnuma_faults::FaultInjector;
-use ccnuma_obs::Recorder;
+use ccnuma_obs::{Phase, Profiler, Recorder};
 use ccnuma_trace::MissSource;
 use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId, SimError};
 
 /// TLB refill cost (software-reloaded TLB handler, kernel time).
 const TLB_REFILL: Ns = Ns(250);
 
-impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     pub(super) fn node_of(&self, cpu: usize) -> NodeId {
         self.spec.config.node_of_proc(ProcId(cpu as u16))
     }
@@ -73,6 +73,7 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
         // L2 + coherence.
         let hit = self.l2[cpu].access(access.page, access.line);
         if access.kind == AccessKind::Write {
+            let span = self.prof.enter(Phase::Coherence);
             // The victim set lands in the reusable `ProcSet` scratch
             // (usually empty: no other holder); decoding it costs one
             // trailing_zeros per actual victim and nothing on the heap.
@@ -81,6 +82,7 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
             for victim in self.victims.iter() {
                 self.l2[victim.index()].invalidate(access.page, access.line);
             }
+            self.prof.exit(Phase::Coherence, span);
         } else if !hit {
             self.coherence.record_fill(proc, access.page, access.line);
         }

@@ -30,7 +30,7 @@ use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
 use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
 use ccnuma_faults::{FaultInjector, FaultPlan, FaultStats, NullFaults};
 use ccnuma_kernel::{OpOutcome, PageOp, Pager, PagerConfig};
-use ccnuma_obs::{NullRecorder, Recorder};
+use ccnuma_obs::{NullProfiler, NullRecorder, Profiler, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
 use ccnuma_types::{Ns, Pid, ProcSet, SimError, Topology};
@@ -90,20 +90,37 @@ impl Machine {
     /// path is monomorphized over [`NullFaults`] and stays byte-identical
     /// to a build without fault injection.
     pub fn try_run_with<R: Recorder>(self, obs: &mut R) -> Result<RunReport, SimError> {
+        self.try_run_profiled(obs, &mut NullProfiler)
+    }
+
+    /// [`Machine::try_run_with`] with a host-time [`Profiler`] attached
+    /// as well. The simulator is monomorphized over all three hook
+    /// types; `try_run_profiled(obs, &mut NullProfiler)` compiles to
+    /// exactly the unprofiled path, so every other entry point keeps its
+    /// byte-identical results. The profiler only measures host wall
+    /// time — it never influences the run.
+    pub fn try_run_profiled<R: Recorder, P: Profiler>(
+        self,
+        obs: &mut R,
+        prof: &mut P,
+    ) -> Result<RunReport, SimError> {
         match self.opts.faults {
             Some(fspec) => {
                 let plan = FaultPlan::from_spec(fspec, self.spec.seed, self.spec.config.nodes);
-                Sim::new(self.spec, self.opts, obs, plan).run()
+                Sim::new(self.spec, self.opts, obs, prof, plan).run()
             }
-            None => Sim::new(self.spec, self.opts, obs, NullFaults).run(),
+            None => Sim::new(self.spec, self.opts, obs, prof, NullFaults).run(),
         }
     }
 }
 
 /// Internal simulation state. Assembly lives here; behaviour lives in the
 /// sibling submodules.
-struct Sim<'a, R: Recorder, F: FaultInjector> {
+struct Sim<'a, R: Recorder, F: FaultInjector, P: Profiler> {
     obs: &'a mut R,
+    /// Host-time span profiler ([`NullProfiler`] compiles its hooks
+    /// away). Observes wall time only; never feeds back into the run.
+    prof: &'a mut P,
     faults: F,
     /// Runner-side degradation statistics (retries, throttles, reclaims);
     /// merged with the injector's own half into the report.
@@ -159,8 +176,14 @@ struct Sim<'a, R: Recorder, F: FaultInjector> {
     obs_epoch: u64,
 }
 
-impl<'a, R: Recorder, F: FaultInjector> Sim<'a, R, F> {
-    fn new(spec: WorkloadSpec, opts: RunOptions, obs: &'a mut R, faults: F) -> Sim<'a, R, F> {
+impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
+    fn new(
+        spec: WorkloadSpec,
+        opts: RunOptions,
+        obs: &'a mut R,
+        prof: &'a mut P,
+        faults: F,
+    ) -> Sim<'a, R, F, P> {
         let cfg = spec.config.clone();
         let procs = cfg.procs() as usize;
         let pager_cfg = PagerConfig::for_machine(cfg.clone())
@@ -214,6 +237,7 @@ impl<'a, R: Recorder, F: FaultInjector> Sim<'a, R, F> {
             adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
             obs_epoch: 0,
             obs,
+            prof,
             faults,
             fault_stats: FaultStats::default(),
             consec_failures: 0,
@@ -240,8 +264,8 @@ mod tests {
     fn machine_and_sim_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Machine>();
-        assert_send::<Sim<'static, NullRecorder, NullFaults>>();
-        assert_send::<Sim<'static, ccnuma_obs::RunRecorder, FaultPlan>>();
+        assert_send::<Sim<'static, NullRecorder, NullFaults, NullProfiler>>();
+        assert_send::<Sim<'static, ccnuma_obs::RunRecorder, FaultPlan, ccnuma_obs::SpanProfiler>>();
     }
 
     #[test]

@@ -6,11 +6,11 @@ use super::Sim;
 use ccnuma_core::{ObservedMiss, PolicyAction};
 use ccnuma_faults::{FaultEvent, FaultInjector, FaultKind};
 use ccnuma_kernel::{OpOutcome, PageOp};
-use ccnuma_obs::{AuditAction, Decision, Recorder};
+use ccnuma_obs::{AuditAction, Decision, Phase, Profiler, Recorder};
 use ccnuma_trace::MissRecord;
 use ccnuma_types::{Mode, NodeId, Ns, Pid, ProcId, SimError, VirtPage};
 
-impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     /// Feeds one miss event to the policy engine and acts on the decision.
     pub(super) fn drive_policy(
         &mut self,
@@ -153,6 +153,17 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
 
     /// Runs a pager batch on `cpu`, charging its kernel overhead there.
     fn service_now(
+        &mut self,
+        cpu: usize,
+        batch: &[(PageOp, PolicyAction)],
+    ) -> Result<(), SimError> {
+        let span = self.prof.enter(Phase::Pager);
+        let result = self.service_now_inner(cpu, batch);
+        self.prof.exit(Phase::Pager, span);
+        result
+    }
+
+    fn service_now_inner(
         &mut self,
         cpu: usize,
         batch: &[(PageOp, PolicyAction)],

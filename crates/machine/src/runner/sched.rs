@@ -6,14 +6,15 @@ use super::Sim;
 use crate::RunReport;
 use ccnuma_core::IntervalFeedback;
 use ccnuma_faults::FaultInjector;
-use ccnuma_obs::Recorder;
+use ccnuma_obs::{Phase, Profiler, Recorder};
 use ccnuma_types::{Ns, SimError};
 
-impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     /// Runs the workload to completion and reports. Fails with a typed
     /// [`SimError`] instead of panicking when the machine cannot
     /// continue (exhaustion) or a kernel invariant breaks.
     pub(super) fn run(mut self) -> Result<RunReport, SimError> {
+        let run_span = self.prof.enter(Phase::Run);
         let mut refs_left = self.spec.total_refs;
         let quantum = self.spec.scheduler.quantum();
         while refs_left > 0 {
@@ -29,13 +30,16 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
             // `R::ENABLED` guard keeps the (non-free) sample view off
             // the uninstrumented path entirely.
             if R::ENABLED && self.obs.epoch_due(now) {
+                let span = self.prof.enter(Phase::Epoch);
                 let view = self.sample_view(now);
                 self.obs.on_epoch(now, &view);
+                self.prof.exit(Phase::Epoch, span);
             }
 
             // Re-query the scheduler on quantum boundaries.
             let q = now.0 / quantum.0;
             if q != self.cur_quantum[cpu] {
+                let span = self.prof.enter(Phase::Sched);
                 self.cur_quantum[cpu] = q;
                 if F::ENABLED {
                     self.drive_storms(now);
@@ -53,6 +57,7 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
                     self.obs
                         .on_context_switch(cpu, now, pid.map(|p| p.0 as u64));
                 }
+                self.prof.exit(Phase::Sched, span);
             }
             let Some(pid) = self.cur_pid[cpu] else {
                 // Idle until the next quantum boundary.
@@ -64,8 +69,17 @@ impl<R: Recorder, F: FaultInjector> Sim<'_, R, F> {
 
             let access = self.spec.streams[pid.index()].next_ref(&mut self.rng);
             refs_left -= 1;
-            self.step(cpu, pid, access)?;
+            // The per-reference hot path: stride-sampled (see
+            // `Phase::stride`) so the NullProfiler-free overhead budget
+            // holds even here.
+            let span = self.prof.enter(Phase::Memory);
+            let stepped = self.step(cpu, pid, access);
+            self.prof.exit(Phase::Memory, span);
+            stepped?;
         }
+        // `finish` consumes `self`, so the run span closes here; the
+        // cheap report assembly after this point is uncounted.
+        self.prof.exit(Phase::Run, run_span);
         Ok(self.finish())
     }
 

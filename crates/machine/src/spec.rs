@@ -152,6 +152,17 @@ impl RunSpec {
         Machine::new(self.build_workload(), self.opts.clone()).try_run_with(obs)
     }
 
+    /// [`RunSpec::try_run_with`] with a host-time profiler attached as
+    /// well. The report is identical — the profiler only measures where
+    /// the host's wall clock goes.
+    pub fn try_run_profiled<R: ccnuma_obs::Recorder, P: ccnuma_obs::Profiler>(
+        &self,
+        obs: &mut R,
+        prof: &mut P,
+    ) -> Result<RunReport, SimError> {
+        Machine::new(self.build_workload(), self.opts.clone()).try_run_profiled(obs, prof)
+    }
+
     /// A short human-readable description for logs and timing summaries
     /// (not an identity — use [`RunSpec::cache_key`] for that).
     pub fn describe(&self) -> String {
@@ -264,6 +275,38 @@ mod tests {
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.sim_time, b.sim_time);
         assert_eq!(a.cpu_time, b.cpu_time);
+    }
+
+    #[test]
+    fn profiled_run_report_is_identical_and_structure_deterministic() {
+        use ccnuma_obs::{NullRecorder, Phase, SpanProfiler};
+        let spec = ft(WorkloadKind::Raytrace);
+        let plain = spec.try_run().unwrap();
+        let mut prof = SpanProfiler::new();
+        let profiled = spec.try_run_profiled(&mut NullRecorder, &mut prof).unwrap();
+        assert_eq!(plain.breakdown, profiled.breakdown);
+        assert_eq!(plain.sim_time, profiled.sim_time);
+        assert_eq!(plain.cpu_time, profiled.cpu_time);
+        // The span structure derives from deterministic sim event
+        // counts: every reference enters the memory phase, the whole
+        // run is one run span, and a second profiled run reproduces
+        // the same entry/span counts for every phase.
+        assert_eq!(prof.entries(Phase::Run), 1);
+        assert_eq!(prof.spans(Phase::Run), 1);
+        let w = spec.build_workload();
+        assert_eq!(prof.entries(Phase::Memory), w.total_refs);
+        assert_eq!(
+            prof.spans(Phase::Memory),
+            w.total_refs.div_ceil(Phase::Memory.stride())
+        );
+        assert!(prof.entries(Phase::Sched) > 0, "quantum boundaries fire");
+        let mut prof2 = SpanProfiler::new();
+        spec.try_run_profiled(&mut NullRecorder, &mut prof2)
+            .unwrap();
+        for phase in Phase::ALL {
+            assert_eq!(prof.entries(phase), prof2.entries(phase), "{phase:?}");
+            assert_eq!(prof.spans(phase), prof2.spans(phase), "{phase:?}");
+        }
     }
 
     #[test]

@@ -162,6 +162,27 @@ impl Histogram {
         self.percentile(99.0)
     }
 
+    /// Rebuilds a histogram from exported parts: per-bucket counts plus
+    /// the exact `sum`/`min`/`max` kept alongside them. This is the
+    /// inverse of an artifact rendering (sparse `buckets` plus summary
+    /// fields), so fleet-level aggregation can re-merge histograms from
+    /// `metrics.json`/`profile.json` files exactly. The sample count is
+    /// derived from the buckets; `min`/`max` are ignored when the
+    /// buckets are empty.
+    pub fn from_parts(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Histogram {
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return Histogram::new();
+        }
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Adds every sample of `other` into `self`. Merging is associative
     /// and commutative: any merge order yields the same histogram.
     pub fn merge(&mut self, other: &Histogram) {
@@ -215,6 +236,76 @@ mod tests {
         assert_eq!(h.p50(), 15);
         assert_eq!(h.p90(), 15);
         assert_eq!(h.percentile(100.0), 1000, "p100 clamps to observed max");
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_at_every_point() {
+        let h = Histogram::new();
+        for p in [0.0, 0.1, 25.0, 50.0, 90.0, 99.0, 99.99, 100.0, 250.0, -3.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty");
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(1u64 << 63); // same top bucket, smaller value
+        assert_eq!(h.buckets()[64], 4, "all land in the top bucket");
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 1u64 << 63);
+        // Bucket 64's upper bound is u64::MAX; the clamp to observed max
+        // keeps every percentile exact-at-the-top rather than wrapping.
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        // Sum is tracked in u128, so near-u64::MAX samples cannot
+        // overflow it.
+        assert_eq!(h.sum(), 3 * (u64::MAX as u128) + (1u128 << 63));
+    }
+
+    #[test]
+    fn merging_disjoint_ranges_keeps_both_tails() {
+        let mut low = Histogram::new();
+        for v in [0, 1, 2, 3] {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        for v in [1u64 << 40, (1u64 << 40) + 17, u64::MAX] {
+            high.record(v);
+        }
+        // Merge in both orders: commutative even with no overlap.
+        let mut a = low.clone();
+        a.merge(&high);
+        let mut b = high.clone();
+        b.merge(&low);
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), u64::MAX);
+        // The low tail still answers low percentiles, the high tail high
+        // ones, with nothing smeared into the empty middle buckets.
+        assert_eq!(a.percentile(0.0), 0);
+        assert_eq!(a.p50(), 3);
+        assert_eq!(a.percentile(100.0), u64::MAX);
+        let occupied: Vec<usize> = (0..BUCKETS).filter(|&i| a.buckets()[i] > 0).collect();
+        assert_eq!(occupied, vec![0, 1, 2, 41, 64]);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_an_exported_histogram() {
+        let mut h = Histogram::new();
+        for v in [0, 5, 5, 900, 1 << 30] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(*h.buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt, h);
+        let empty = Histogram::from_parts([0; BUCKETS], 0, 123, 456);
+        assert_eq!(empty, Histogram::new(), "empty parts ignore min/max");
     }
 
     #[test]

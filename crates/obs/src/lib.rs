@@ -25,10 +25,17 @@
 //!   time series, and Chrome trace-event JSON with per-CPU tracks for
 //!   scheduler quanta, page operations and TLB shootdowns (loadable in
 //!   Perfetto).
+//! * [`profile`] — the *host-time* counterpart: a [`Profiler`] hook
+//!   trait with a provably-free [`NullProfiler`] off-path and a
+//!   stride-sampling [`SpanProfiler`] measuring where the wall clock
+//!   goes per runner phase, codec chunk and sweep replay.
 //!
-//! All recorded data is keyed by sim time and spec identity, never
-//! wall-clock, so artifacts for the same run spec are byte-identical
-//! across thread counts and machines.
+//! All recorded data except the [`profile`] module's is keyed by sim
+//! time and spec identity, never wall-clock, so artifacts for the same
+//! run spec are byte-identical across thread counts and machines.
+//! Profile artifacts are the documented exception: their *structure*
+//! (phases, entry and span counts, strides) is deterministic, their
+//! durations are honest host measurements.
 //!
 //! # Examples
 //!
@@ -57,6 +64,7 @@ pub mod export;
 mod hist;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod recorder;
 mod sample;
 mod verbosity;
@@ -64,7 +72,12 @@ mod verbosity;
 pub use audit::{AuditAction, AuditEvent, AuditLog, AuditTotals, Decision};
 pub use export::{artifact_slug, fnv1a64, write_run_artifacts};
 pub use hist::{bucket_bounds, bucket_of, Histogram, BUCKETS};
+pub use json::JsonValue;
 pub use metrics::Metrics;
+pub use profile::{
+    write_profile_artifacts, NullProfiler, Phase, Profiler, SpanEvent, SpanProfiler, PHASES,
+    PROFILE_SCHEMA,
+};
 pub use recorder::{
     NullRecorder, ObsConfig, OpEvent, Recorder, RunRecorder, SchedEvent, ShootdownEvent,
 };

@@ -26,7 +26,7 @@
 //! scanning.
 
 use crate::varint;
-use ccnuma_obs::fnv1a64;
+use ccnuma_obs::{fnv1a64, Phase, Profiler, SpanProfiler};
 use ccnuma_trace::io::{encode_flags, record_from_parts, ReadTraceError, TraceStream, MAGIC};
 use ccnuma_trace::MissRecord;
 use std::fmt;
@@ -316,6 +316,9 @@ pub struct TraceWriter<W: Write> {
     chunk_records: usize,
     index: Vec<ChunkEntry>,
     total: u64,
+    /// When attached, each chunk encode is timed as a
+    /// [`Phase::TraceEncode`] span.
+    prof: Option<SpanProfiler>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -351,7 +354,18 @@ impl<W: Write> TraceWriter<W> {
             chunk_records,
             index: Vec::new(),
             total: 0,
+            prof: None,
         })
+    }
+
+    /// Attaches a host-time profiler: every chunk encode (delta
+    /// encoding, checksum, write) becomes one [`Phase::TraceEncode`]
+    /// span, recovered via [`TraceWriter::finish_with_profile`]. Purely
+    /// observational — the bytes written are identical either way.
+    #[must_use]
+    pub fn with_profiling(mut self) -> TraceWriter<W> {
+        self.prof = Some(SpanProfiler::new());
+        self
     }
 
     /// Appends one record, flushing a chunk when the buffer fills.
@@ -372,6 +386,7 @@ impl<W: Write> TraceWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let span = self.prof.as_mut().and_then(|p| p.enter(Phase::TraceEncode));
         let body = encode_chunk_body(&self.buf);
         self.index.push(ChunkEntry {
             offset: self.written,
@@ -383,6 +398,9 @@ impl<W: Write> TraceWriter<W> {
         self.w.write_all(&body)?;
         self.written += 13 + body.len() as u64;
         self.buf.clear();
+        if let Some(p) = self.prof.as_mut() {
+            p.exit(Phase::TraceEncode, span);
+        }
         Ok(())
     }
 
@@ -391,7 +409,20 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the final writes.
-    pub fn finish(mut self) -> Result<WriteSummary, StoreError> {
+    pub fn finish(self) -> Result<WriteSummary, StoreError> {
+        self.finish_with_profile().map(|(summary, _)| summary)
+    }
+
+    /// [`TraceWriter::finish`] that also hands back the profiler
+    /// attached with [`TraceWriter::with_profiling`] (`None` when
+    /// profiling was never enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final writes.
+    pub fn finish_with_profile(
+        mut self,
+    ) -> Result<(WriteSummary, Option<SpanProfiler>), StoreError> {
         self.flush_chunk()?;
         let mut body = Vec::new();
         varint::write_u64(&mut body, self.index.len() as u64);
@@ -408,11 +439,14 @@ impl<W: Write> TraceWriter<W> {
         self.w.write_all(&len)?;
         self.w.write_all(END_MAGIC)?;
         self.w.flush()?;
-        Ok(WriteSummary {
-            records: self.total,
-            chunks: self.index.len(),
-            bytes: self.written + 13 + body.len() as u64 + 8,
-        })
+        Ok((
+            WriteSummary {
+                records: self.total,
+                chunks: self.index.len(),
+                bytes: self.written + 13 + body.len() as u64 + 8,
+            },
+            self.prof.take(),
+        ))
     }
 }
 
@@ -455,6 +489,10 @@ struct V2State<R: Read> {
     salvage: bool,
     salvaged: Option<SalvageInfo>,
     finished: bool,
+    /// When attached, each chunk decode is timed as a
+    /// [`Phase::TraceDecode`] span. Boxed: the profiler's per-phase
+    /// aggregates are several KB and would dominate the reader's size.
+    prof: Option<Box<SpanProfiler>>,
 }
 
 /// Streaming reader for stored traces: decodes v2 chunk by chunk with
@@ -537,10 +575,33 @@ impl<R: Read> TraceReader<R> {
                 salvage,
                 salvaged: None,
                 finished: false,
+                prof: None,
             }),
             v => return Err(StoreError::BadVersion(v)),
         };
         Ok(TraceReader { kind })
+    }
+
+    /// Attaches a host-time profiler: every v2 chunk decode (read,
+    /// checksum, delta decoding) becomes one [`Phase::TraceDecode`]
+    /// span, recovered via [`TraceReader::take_profile`]. A v1 stream
+    /// has no chunk structure, so profiling is a no-op there.
+    #[must_use]
+    pub fn with_profiling(mut self) -> TraceReader<R> {
+        if let ReaderKind::V2(s) = &mut self.kind {
+            s.prof = Some(Box::new(SpanProfiler::new()));
+        }
+        self
+    }
+
+    /// Takes the profiler attached with
+    /// [`TraceReader::with_profiling`], if any (typically after
+    /// iteration ends).
+    pub fn take_profile(&mut self) -> Option<SpanProfiler> {
+        match &mut self.kind {
+            ReaderKind::V1 { .. } => None,
+            ReaderKind::V2(s) => s.prof.take().map(|p| *p),
+        }
     }
 
     /// After iteration: what a salvaging read had to drop, if anything.
@@ -577,6 +638,11 @@ impl<R: Read> V2State<R> {
             }
             match marker[0] {
                 CHUNK_MARKER => {
+                    // One TraceDecode span per chunk; error paths drop
+                    // the token (the entry stays counted, the span does
+                    // not — a damaged read is not a representative
+                    // decode timing).
+                    let span = self.prof.as_mut().and_then(|p| p.enter(Phase::TraceDecode));
                     let mut head = [0u8; 12];
                     if let Err(e) = self.reader.read_exact(&mut head) {
                         return self.stop_io(e);
@@ -600,6 +666,9 @@ impl<R: Read> V2State<R> {
                         Err(e) => return self.stop(SalvageReason::DamagedChunk, e),
                     };
                     self.chunks_done += 1;
+                    if let Some(p) = self.prof.as_mut() {
+                        p.exit(Phase::TraceDecode, span);
+                    }
                     if records.is_empty() {
                         continue;
                     }
@@ -899,6 +968,48 @@ mod tests {
         assert!(matches!(res, Err(StoreError::BadMagic(_))));
         let res = TraceReader::new(&b"CCNT\x09\x00\x00\x00"[..]);
         assert!(matches!(res, Err(StoreError::BadVersion(9))));
+    }
+
+    #[test]
+    fn profiled_codec_counts_chunks_and_keeps_bytes_identical() {
+        let t = sample(1000);
+        let plain = encode(&t, 64);
+
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_chunk_records(&mut buf, 64)
+            .unwrap()
+            .with_profiling();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        let (summary, prof) = w.finish_with_profile().unwrap();
+        let prof = prof.expect("profiling was enabled");
+        assert_eq!(buf, plain, "profiling never changes the bytes");
+        assert_eq!(summary.chunks, 16, "1000 records / 64 per chunk");
+        assert_eq!(prof.entries(Phase::TraceEncode), 16);
+        assert_eq!(prof.spans(Phase::TraceEncode), 16);
+
+        let mut r = TraceReader::new(buf.as_slice()).unwrap().with_profiling();
+        let back: Result<Vec<_>, _> = (&mut r).collect();
+        assert_eq!(back.unwrap(), t.as_slice());
+        let rprof = r.take_profile().expect("profiling was enabled");
+        assert_eq!(rprof.entries(Phase::TraceDecode), 16);
+        assert_eq!(rprof.spans(Phase::TraceDecode), 16);
+        assert!(r.take_profile().is_none(), "profile is taken once");
+    }
+
+    #[test]
+    fn unprofiled_codec_reports_no_profile() {
+        let t = sample(10);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        let (_, prof) = w.finish_with_profile().unwrap();
+        assert!(prof.is_none());
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(r.take_profile().is_none());
     }
 
     #[test]

@@ -55,5 +55,6 @@ pub use format::{
 };
 pub use store::{TraceMeta, TraceStore, META_SCHEMA};
 pub use sweep::{
-    run_sweep, CellParams, SweepCell, SweepPolicy, SweepReport, SweepSpec, SWEEP_SCHEMA,
+    run_sweep, run_sweep_profiled, CellParams, SweepCell, SweepPolicy, SweepReport, SweepSpec,
+    SWEEP_SCHEMA,
 };

@@ -14,6 +14,7 @@
 use crate::format::StoreError;
 use ccnuma_core::{MissMetric, PolicyParams};
 use ccnuma_obs::json::JsonWriter;
+use ccnuma_obs::{Phase, Profiler, SpanProfiler};
 use ccnuma_polsim::{PolsimConfig, PolsimReport, Replay, SimPolicy, TraceFilter};
 use ccnuma_trace::MissRecord;
 use ccnuma_types::{Ns, TopologyPreset};
@@ -434,6 +435,50 @@ where
     I: Iterator<Item = Result<MissRecord, StoreError>>,
     F: Fn() -> Result<I, StoreError> + Sync,
 {
+    run_sweep_inner(spec, nodes, other_time, jobs, open, false).map(|(report, _)| report)
+}
+
+/// [`run_sweep`] with host-time profiling: each worker thread owns its
+/// own [`SpanProfiler`] (no shared hot-path state) and times every
+/// distinct cell replay as a [`Phase::Replay`] span; the per-worker
+/// profilers merge commutatively into the returned aggregate, so its
+/// entry/span counts equal `unique_replays` whatever the worker count
+/// or scheduling.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn run_sweep_profiled<I, F>(
+    spec: &SweepSpec,
+    nodes: u16,
+    other_time: Ns,
+    jobs: usize,
+    open: F,
+) -> Result<(SweepReport, SpanProfiler), StoreError>
+where
+    I: Iterator<Item = Result<MissRecord, StoreError>>,
+    F: Fn() -> Result<I, StoreError> + Sync,
+{
+    run_sweep_inner(spec, nodes, other_time, jobs, open, true)
+        .map(|(report, prof)| (report, prof.expect("profiling was requested")))
+}
+
+fn run_sweep_inner<I, F>(
+    spec: &SweepSpec,
+    nodes: u16,
+    other_time: Ns,
+    jobs: usize,
+    open: F,
+    profile: bool,
+) -> Result<(SweepReport, Option<SpanProfiler>), StoreError>
+where
+    I: Iterator<Item = Result<MissRecord, StoreError>>,
+    F: Fn() -> Result<I, StoreError> + Sync,
+{
     assert!(jobs > 0, "need at least one worker");
     let cells = spec.cells();
 
@@ -455,15 +500,33 @@ where
     let results: Vec<JobSlot> = job_cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = jobs.min(job_cells.len()).max(1);
+    let merged_prof: Mutex<SpanProfiler> = Mutex::new(SpanProfiler::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = job_cells.get(i) else {
-                    return;
-                };
-                let outcome = replay_cell(cell, nodes, other_time, spec.filter, &open);
-                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            scope.spawn(|| {
+                // Each worker keeps its own profiler so the replay loop
+                // never contends on shared state; the merge at the end
+                // is commutative, so the aggregate is scheduling-
+                // independent.
+                let mut local_prof = profile.then(SpanProfiler::new);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = job_cells.get(i) else {
+                        break;
+                    };
+                    let span = local_prof.as_mut().and_then(|p| p.enter(Phase::Replay));
+                    let outcome = replay_cell(cell, nodes, other_time, spec.filter, &open);
+                    if let Some(p) = local_prof.as_mut() {
+                        p.exit(Phase::Replay, span);
+                    }
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                }
+                if let Some(p) = local_prof {
+                    merged_prof
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .merge(&p);
+                }
             });
         }
     });
@@ -490,12 +553,16 @@ where
             report: reports[job].clone(),
         })
         .collect();
-    Ok(SweepReport {
-        nodes,
-        records,
-        cells,
-        unique_replays,
-    })
+    let prof = profile.then(|| merged_prof.into_inner().unwrap_or_else(|e| e.into_inner()));
+    Ok((
+        SweepReport {
+            nodes,
+            records,
+            cells,
+            unique_replays,
+        },
+        prof,
+    ))
 }
 
 #[cfg(test)]
@@ -646,6 +713,27 @@ mod tests {
             .next()
             .unwrap()
             .contains(",topology,"));
+    }
+
+    #[test]
+    fn profiled_sweep_matches_plain_and_counts_replays() {
+        let recs = records();
+        let spec = SweepSpec::default_grid();
+        let plain = run_sweep(&spec, 8, Ns::ZERO, 2, || Ok(open_mem(&recs))).unwrap();
+        for jobs in [1, 4] {
+            let (report, prof) =
+                run_sweep_profiled(&spec, 8, Ns::ZERO, jobs, || Ok(open_mem(&recs))).unwrap();
+            assert_eq!(report, plain, "profiling never changes the sweep");
+            // One Replay span per distinct replay, independent of the
+            // worker count (the merge is commutative).
+            assert_eq!(
+                prof.entries(Phase::Replay),
+                report.unique_replays as u64,
+                "jobs={jobs}"
+            );
+            assert_eq!(prof.spans(Phase::Replay), report.unique_replays as u64);
+            assert!(prof.histogram(Phase::Replay).count() > 0);
+        }
     }
 
     #[test]
