@@ -20,7 +20,7 @@
 
 use crate::hotbench::BenchReport;
 use ccnuma_obs::JsonValue;
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
 
 /// Schema tag of one history-trajectory JSONL line.
@@ -29,26 +29,7 @@ pub const HISTORY_SCHEMA: &str = "ccnuma-bench-history/1";
 /// Default tolerance band, percent below baseline that still passes.
 pub const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
 
-/// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp`
-/// and is renamed into place, so a reader never observes a torn file
-/// and a crash leaves the previous version intact. The temporary is
-/// removed if any step fails.
-///
-/// # Errors
-///
-/// Propagates the underlying write/rename error.
-pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = {
-        let mut os = path.as_os_str().to_os_string();
-        os.push(".tmp");
-        std::path::PathBuf::from(os)
-    };
-    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
+pub use ccnuma_faults::io::atomic_write;
 
 /// One compared throughput figure.
 #[derive(Debug, Clone)]
@@ -279,18 +260,17 @@ pub fn history_line(report: &BenchReport, check: Option<&BenchCheck>, unix_time:
     w.finish()
 }
 
-/// Appends `line` (plus a newline) to the JSONL trajectory at `path`.
+/// Appends `line` (plus a newline) to the JSONL trajectory at `path`,
+/// as a single locked `write(2)` on an `O_APPEND` descriptor — two
+/// racing appenders (or a crash mid-append) can interleave whole
+/// records but never tear one.
 ///
 /// # Errors
 ///
 /// Propagates open/write errors.
 pub fn append_history(path: &Path, line: &str) -> io::Result<()> {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    f.write_all(line.as_bytes())?;
-    f.write_all(b"\n")
+    use ccnuma_faults::io::Storage as _;
+    ccnuma_faults::DiskStorage.append_line(path, line)
 }
 
 #[cfg(test)]
@@ -434,6 +414,49 @@ mod tests {
         append_history(&path, "{\"a\":2}").unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn racing_appenders_never_tear_a_line() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-history-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_history.jsonl");
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let path = &path;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Long enough that a torn write would split it.
+                        let line = format!(
+                            "{{\"thread\":{t},\"seq\":{i},\"pad\":\"{}\"}}",
+                            "x".repeat(512)
+                        );
+                        append_history(path, &line).unwrap();
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut seen = vec![0u64; THREADS as usize];
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"thread\":") && line.ends_with("\"}"),
+                "torn line: {line:?}"
+            );
+            let t: usize = line["{\"thread\":".len()..]
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            seen[t] += 1;
+        }
+        assert_eq!(seen, vec![PER_THREAD; THREADS as usize]);
+        assert!(text.ends_with('\n'), "file ends at a record boundary");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

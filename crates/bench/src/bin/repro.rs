@@ -7,17 +7,21 @@
 //!                       [--topology PRESET]
 //!                       [--obs-dir DIR] [--profile] [--trace-dir DIR]
 //!                       [--faults SCENARIO] [--chaos-seed N]
+//!                       [--resume DIR] [--soft-deadline SECS]
+//!                       [--hard-deadline SECS]
 //!                       [-v|--verbose] [-q|--quiet]
-//! repro all [--scale ...] [--jobs N]
+//! repro all [--scale ...] [--jobs N] [--resume DIR]
 //! repro bench [--scale quick|standard|full] [--out FILE]
 //!             [--baseline FILE] [--check] [--tolerance PCT]
 //!             [--history FILE]
 //! repro obs report DIR [--out FILE]
 //! repro trace <capture|info|verify> [WORKLOAD|SLUG]...
 //!             [--scale S] [--trace-dir DIR]
+//! repro trace fsck [--repair] [--trace-dir DIR]
+//! repro trace gc --max-bytes N [--trace-dir DIR]
 //! repro sweep (--workload NAME | --trace SLUG) [--scale S]
 //!             [--trace-dir DIR] [--jobs N] [--out FILE] [--csv FILE]
-//!             [--profile FILE]
+//!             [--profile FILE] [--resume DIR] [--soft-deadline SECS]
 //!             [--policies P,..] [--triggers N,..] [--samples N,..]
 //!             [--latencies NS,..] [--move-costs US,..]
 //!             [--topologies T,..]
@@ -82,6 +86,20 @@
 //! checksum), and `sweep` replays a policy-parameter grid over a stored
 //! trace, writing a `ccnuma-sweep/2` JSON (and optionally CSV)
 //! artifact. Both default to the `artifacts/traces` store directory.
+//! `trace fsck` verifies every store entry (exit 1 on damage); with
+//! `--repair` it salvages what the format's truncation-salvage path can
+//! recover and quarantines the rest under `quarantine/`. `trace gc
+//! --max-bytes N` evicts least-recently-used entries until the store
+//! fits the byte budget (loads freshen an entry's LRU stamp).
+//!
+//! With `--resume DIR`, the invocation journals every completed run (or
+//! sweep cell) to a `ccnuma-checkpoint/1` directory and restores
+//! journaled results instead of recomputing them, so a killed
+//! invocation rerun with the same `--resume DIR` completes only the
+//! missing work while printing byte-identical stdout. `--soft-deadline
+//! SECS` warns on stderr when a run overruns; `--hard-deadline SECS`
+//! converts an overrunning run into a failure (never journaled, plan
+//! continues).
 //!
 //! Stderr chatter is gated by one verbosity knob: `-v`/`--verbose` and
 //! `-q`/`--quiet` flags first, then the `CCNUMA_LOG` environment
@@ -90,15 +108,17 @@
 
 use ccnuma_bench::{experiments, set_topology_override, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
+use ccnuma_obs::checkpoint::CheckpointJournal;
 use ccnuma_obs::Verbosity;
 use ccnuma_tracestore::{
-    run_sweep, run_sweep_profiled, ChunkIndex, SweepPolicy, SweepSpec, TraceStore,
+    fsck, gc, run_sweep, run_sweep_profiled, run_sweep_resumable, ChunkIndex, SweepPolicy,
+    SweepSpec, TraceStore,
 };
 use ccnuma_types::TopologyPreset;
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fs::File;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default store directory for the `trace` and `sweep` subcommands.
 const DEFAULT_TRACE_DIR: &str = "artifacts/traces";
@@ -366,13 +386,17 @@ fn run_obs_cmd(args: &[String]) -> ! {
 /// `repro trace capture|info|verify`: manage the on-disk trace store.
 fn run_trace_cmd(args: &[String]) -> ! {
     let usage = "usage: repro trace <capture|info|verify> [WORKLOAD|SLUG]... \
-                 [--scale quick|standard|full] [--trace-dir DIR]";
+                 [--scale quick|standard|full] [--trace-dir DIR]\n\
+                 \u{20}      repro trace fsck [--repair] [--trace-dir DIR]\n\
+                 \u{20}      repro trace gc --max-bytes N [--trace-dir DIR]";
     let Some(action) = args.first().map(String::as_str) else {
         eprintln!("{usage}");
         std::process::exit(2);
     };
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
+    let mut repair = false;
+    let mut max_bytes: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -385,6 +409,16 @@ fn run_trace_cmd(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--repair" => repair = true,
+            "--max-bytes" => {
+                max_bytes = match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--max-bytes expects an unsigned byte count");
+                        std::process::exit(2);
+                    }
+                };
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("repro trace: unknown argument {flag:?}\n{usage}");
                 std::process::exit(2);
@@ -463,6 +497,29 @@ fn run_trace_cmd(args: &[String]) -> ! {
             }
             std::process::exit(i32::from(failed));
         }
+        "fsck" => {
+            let report = fsck(&store, repair).unwrap_or_else(|e| {
+                eprintln!("fsck over {}: {e}", store.dir().display());
+                std::process::exit(1);
+            });
+            print!("{}", report.render());
+            // Dry runs signal damage through the exit status; a repair
+            // run that contained everything it found exits clean.
+            let dirty = report.damaged().count() > 0 || !report.orphans.is_empty();
+            std::process::exit(i32::from(dirty && !repair));
+        }
+        "gc" => {
+            let Some(budget) = max_bytes else {
+                eprintln!("repro trace gc requires --max-bytes N\n{usage}");
+                std::process::exit(2);
+            };
+            let report = gc(&store, budget).unwrap_or_else(|e| {
+                eprintln!("gc over {}: {e}", store.dir().display());
+                std::process::exit(1);
+            });
+            print!("{}", report.render());
+            std::process::exit(0);
+        }
         other => {
             eprintln!("repro trace: unknown action {other:?}\n{usage}");
             std::process::exit(2);
@@ -511,7 +568,8 @@ fn trace_verify(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore:
 fn run_sweep_cmd(args: &[String]) -> ! {
     let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
                  [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
-                 [--out FILE] [--csv FILE] [--profile FILE] [--policies P,..] \
+                 [--out FILE] [--csv FILE] [--profile FILE] [--resume DIR] \
+                 [--soft-deadline SECS] [--policies P,..] \
                  [--triggers N,..] [--samples N,..] [--latencies NS,..] \
                  [--move-costs US,..] [--topologies T,..]";
     let mut scale = Scale::standard();
@@ -522,6 +580,8 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     let mut out: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
     let mut profile_out: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut soft_deadline: Option<Duration> = None;
     let mut spec = SweepSpec::default_grid();
     fn next_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
         it.next().map(String::as_str).unwrap_or_else(|| {
@@ -564,6 +624,13 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             "--out" => out = Some(PathBuf::from(next_value("--out", &mut it))),
             "--csv" => csv = Some(PathBuf::from(next_value("--csv", &mut it))),
             "--profile" => profile_out = Some(PathBuf::from(next_value("--profile", &mut it))),
+            "--resume" => resume = Some(PathBuf::from(next_value("--resume", &mut it))),
+            "--soft-deadline" => {
+                soft_deadline = Some(parse_deadline(
+                    "--soft-deadline",
+                    next_value("--soft-deadline", &mut it),
+                ));
+            }
             "--policies" => {
                 spec.policies = next_value("--policies", &mut it)
                     .split(',')
@@ -643,8 +710,40 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    if soft_deadline.is_some() && resume.is_none() {
+        eprintln!("repro sweep: --soft-deadline requires --resume DIR\n{usage}");
+        std::process::exit(2);
+    }
+    if profile_out.is_some() && resume.is_some() {
+        eprintln!("repro sweep: --profile and --resume cannot be combined\n{usage}");
+        std::process::exit(2);
+    }
     let open = || store.open(&slug).map(|(reader, _)| reader);
-    let (report, prof) = if profile_out.is_some() {
+    let mut resumed = 0usize;
+    let (report, prof) = if let Some(ckpt_dir) = &resume {
+        let journal = CheckpointJournal::open(ckpt_dir).unwrap_or_else(|e| {
+            eprintln!("opening checkpoint {}: {e}", ckpt_dir.display());
+            std::process::exit(1);
+        });
+        match run_sweep_resumable(
+            &spec,
+            nodes,
+            other_time,
+            jobs,
+            open,
+            &journal,
+            soft_deadline,
+        ) {
+            Ok((report, n)) => {
+                resumed = n;
+                (report, None)
+            }
+            Err(e) => {
+                eprintln!("sweep over {slug}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if profile_out.is_some() {
         match run_sweep_profiled(&spec, nodes, other_time, jobs, open) {
             Ok((report, prof)) => (report, Some(prof)),
             Err(e) => {
@@ -690,13 +789,30 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         }
         eprintln!("sweep CSV -> {}", path.display());
     }
+    let resumed_note = if resume.is_some() {
+        format!(", {resumed} resumed from checkpoint")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "sweep: {} cell(s), {} unique replay(s), {} records, jobs={jobs}",
+        "sweep: {} cell(s), {} unique replay(s){resumed_note}, {} records, jobs={jobs}",
         report.cells.len(),
         report.unique_replays,
         report.records
     );
     std::process::exit(0);
+}
+
+/// Parses a `--soft-deadline`/`--hard-deadline` value: positive
+/// seconds, fractions allowed.
+fn parse_deadline(flag: &str, raw: &str) -> Duration {
+    match raw.parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
+        _ => {
+            eprintln!("{flag} expects a positive number of seconds");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -713,6 +829,9 @@ fn main() {
     let mut obs_dir: Option<PathBuf> = None;
     let mut profile = false;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    let mut soft_deadline: Option<Duration> = None;
+    let mut hard_deadline: Option<Duration> = None;
     let mut verbosity_flag: Option<Verbosity> = None;
     let mut fault_scenario: Option<FaultScenario> = None;
     let mut chaos_seed: u64 = 0;
@@ -803,6 +922,29 @@ fn main() {
                     }
                 };
             }
+            "--resume" => {
+                resume_dir = match it.next() {
+                    Some(dir) => Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--resume expects a checkpoint directory path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--soft-deadline" => {
+                let raw = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--soft-deadline expects a number of seconds");
+                    std::process::exit(2);
+                });
+                soft_deadline = Some(parse_deadline("--soft-deadline", &raw));
+            }
+            "--hard-deadline" => {
+                let raw = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--hard-deadline expects a number of seconds");
+                    std::process::exit(2);
+                });
+                hard_deadline = Some(parse_deadline("--hard-deadline", &raw));
+            }
             "-v" | "--verbose" => verbosity_flag = Some(Verbosity::Verbose),
             "-q" | "--quiet" => verbosity_flag = Some(Verbosity::Quiet),
             "all" => names.extend(experiments::ALL.iter().map(|e| e.name.to_string())),
@@ -818,7 +960,8 @@ fn main() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
              [--topology PRESET] [--obs-dir DIR] [--profile] [--trace-dir DIR] \
-             [--faults SCENARIO] [--chaos-seed N] [-v|-q]"
+             [--faults SCENARIO] [--chaos-seed N] [--resume DIR] \
+             [--soft-deadline SECS] [--hard-deadline SECS] [-v|-q]"
         );
         eprintln!("       repro all | repro bench | repro obs report | repro trace | repro sweep");
         eprintln!("       repro --list | repro --list-faults");
@@ -869,6 +1012,15 @@ fn main() {
     }
     if let Some(faults) = fault_spec {
         exec = exec.with_faults(faults);
+    }
+    if soft_deadline.is_some() || hard_deadline.is_some() {
+        exec = exec.with_deadlines(soft_deadline, hard_deadline);
+    }
+    if let Some(dir) = &resume_dir {
+        exec = exec.with_checkpoint(dir.clone()).unwrap_or_else(|e| {
+            eprintln!("opening checkpoint {}: {e}", dir.display());
+            std::process::exit(1);
+        });
     }
     exec.execute(&plan);
     for exp in &selected {
@@ -952,12 +1104,18 @@ fn main() {
         } else {
             String::new()
         };
+        let resumed = if stats.resumed > 0 {
+            format!(", {} resumed from checkpoint", stats.resumed)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}{}, jobs={}, wall {:.2}s",
+            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}{}{}, jobs={}, wall {:.2}s",
             selected.len(),
             stats.computed,
             stats.hits,
             store_hits,
+            resumed,
             failed,
             stats.jobs,
             wall.as_secs_f64()

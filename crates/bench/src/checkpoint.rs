@@ -1,0 +1,461 @@
+//! Exact [`RunReport`] serialization over the `ccnuma-checkpoint/1`
+//! journal — what makes `repro … --resume DIR` possible.
+//!
+//! The executor journals every successfully computed run: the report's
+//! scalars go into the journal line's payload, and a captured trace (if
+//! any) goes into an atomically-written sidecar under `traces/`. On
+//! resume, journaled reports are deserialized straight into the memo
+//! cache, so renderers re-render **byte-identical stdout with zero
+//! recomputation** for completed entries.
+//!
+//! Exactness is the whole contract: every `u64` is written as a JSON
+//! integer, and every `f64` is written as its IEEE-754 bit pattern
+//! (`f64::to_bits`), so a resumed report is bit-for-bit the report that
+//! was journaled — formatting a percentage from it cannot produce a
+//! different digit. The serialization surface is pinned by
+//! [`RunBreakdown::to_raw_parts`] and [`CostBook::to_raw_parts`].
+
+use ccnuma_faults::io::{retry_io, RetryPolicy, Storage};
+use ccnuma_faults::{DiskStorage, FaultStats};
+use ccnuma_kernel::CostBook;
+use ccnuma_machine::{ContentionStats, RunReport};
+use ccnuma_obs::checkpoint::CheckpointJournal;
+use ccnuma_obs::{json::JsonWriter, JsonValue};
+use ccnuma_stats::RunBreakdown;
+use ccnuma_trace::Trace;
+use ccnuma_types::Ns;
+use std::io;
+use std::path::PathBuf;
+
+pub use ccnuma_obs::checkpoint::CHECKPOINT_SCHEMA;
+
+/// The journal record kind for executor runs.
+pub const RUN_KIND: &str = "run";
+
+/// Subdirectory of a checkpoint dir holding trace sidecars.
+pub const TRACES_DIR: &str = "traces";
+
+/// A resumable journal of completed executor runs.
+#[derive(Debug)]
+pub struct RunJournal<S: Storage = DiskStorage> {
+    journal: CheckpointJournal<S>,
+}
+
+/// One run restored from a journal.
+#[derive(Debug)]
+pub struct ResumedRun {
+    /// The run's artifact slug.
+    pub slug: String,
+    /// The executor cache key ([`RunSpec::cache_key`]).
+    ///
+    /// [`RunSpec::cache_key`]: ccnuma_machine::RunSpec::cache_key
+    pub cache_key: String,
+    /// The reconstructed report, bit-exact.
+    pub report: RunReport,
+}
+
+/// What [`RunJournal::load`] restored.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    /// Every restorable run, in journal order.
+    pub runs: Vec<ResumedRun>,
+    /// Journal lines or payloads that could not be restored (torn
+    /// tail, corrupt payload, missing trace sidecar) — each costs one
+    /// recomputation, never the resume.
+    pub skipped: usize,
+}
+
+impl RunJournal<DiskStorage> {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a schema mismatch.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<RunJournal<DiskStorage>> {
+        RunJournal::open_with(dir, DiskStorage)
+    }
+}
+
+impl<S: Storage> RunJournal<S> {
+    /// Opens (creating if needed) a checkpoint directory on `storage`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a schema mismatch.
+    pub fn open_with(dir: impl Into<PathBuf>, storage: S) -> io::Result<RunJournal<S>> {
+        Ok(RunJournal {
+            journal: CheckpointJournal::open_with(dir, storage)?,
+        })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &std::path::Path {
+        self.journal.dir()
+    }
+
+    /// Journals one completed run durably: the trace sidecar (if the
+    /// report carries a trace) is written atomically first, then the
+    /// record is appended and fsync'd. Returns only once the record
+    /// would survive a SIGKILL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors after bounded retries.
+    pub fn record(&self, slug: &str, cache_key: &str, report: &RunReport) -> io::Result<()> {
+        if let Some(trace) = &report.trace {
+            let storage = self.journal.storage();
+            let dir = self.journal.dir().join(TRACES_DIR);
+            retry_io(RetryPolicy::default(), || storage.create_dir_all(&dir))?;
+            let mut bytes = Vec::new();
+            ccnuma_trace::io::write_trace(&mut bytes, trace)?;
+            let path = dir.join(format!("{slug}.trace"));
+            retry_io(RetryPolicy::default(), || {
+                storage.write_atomic(&path, &bytes)
+            })?;
+        }
+        self.journal
+            .append(RUN_KIND, slug, cache_key, &report_payload(report))
+    }
+
+    /// Restores every journaled run. Unrestorable records are counted,
+    /// not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O errors reading the journal itself.
+    pub fn load(&self) -> io::Result<ResumeState> {
+        let contents = self.journal.load()?;
+        let mut state = ResumeState {
+            skipped: contents.skipped,
+            ..ResumeState::default()
+        };
+        for rec in contents.records {
+            if rec.kind != RUN_KIND {
+                continue;
+            }
+            let trace = match rec.payload.get("trace_records").and_then(JsonValue::as_u64) {
+                Some(n) => {
+                    let path = self
+                        .journal
+                        .dir()
+                        .join(TRACES_DIR)
+                        .join(format!("{}.trace", rec.key));
+                    match self
+                        .journal
+                        .storage()
+                        .read(&path)
+                        .ok()
+                        .and_then(|bytes| ccnuma_trace::io::read_trace(&bytes[..]).ok())
+                    {
+                        Some(t) if t.len() as u64 == n => Some(t),
+                        _ => {
+                            // Sidecar missing or damaged: the scalars
+                            // alone would break trace-dependent
+                            // renderers, so recompute this run.
+                            state.skipped += 1;
+                            continue;
+                        }
+                    }
+                }
+                None => None,
+            };
+            match report_from_payload(&rec.payload, trace) {
+                Some(report) => state.runs.push(ResumedRun {
+                    slug: rec.key,
+                    cache_key: rec.cache_key,
+                    report,
+                }),
+                None => state.skipped += 1,
+            }
+        }
+        Ok(state)
+    }
+}
+
+fn bits_key(j: &mut JsonWriter, key: &str, v: f64) {
+    j.key(key);
+    j.raw(&v.to_bits().to_string());
+}
+
+fn u64_key(j: &mut JsonWriter, key: &str, v: u64) {
+    j.key(key);
+    j.raw(&v.to_string());
+}
+
+fn u64_arr(j: &mut JsonWriter, key: &str, vals: &[u64]) {
+    j.key(key);
+    j.begin_arr();
+    for v in vals {
+        j.raw(&v.to_string());
+    }
+    j.end_arr();
+}
+
+/// Serializes a report (minus its trace, which goes into a sidecar)
+/// into the journal payload. Every `f64` is stored as its bit pattern.
+pub fn report_payload(report: &RunReport) -> String {
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("workload");
+    j.str(&report.workload);
+    j.key("policy_label");
+    j.str(&report.policy_label);
+    u64_arr(&mut j, "breakdown", &report.breakdown.to_raw_parts());
+    j.key("policy_stats");
+    match &report.policy_stats {
+        None => j.raw("null"),
+        Some(p) => {
+            j.begin_obj();
+            u64_key(&mut j, "misses_observed", p.misses_observed);
+            u64_key(&mut j, "hot_events", p.hot_events);
+            u64_key(&mut j, "migrations", p.migrations);
+            u64_key(&mut j, "replications", p.replications);
+            u64_key(&mut j, "remaps", p.remaps);
+            u64_key(&mut j, "collapses", p.collapses);
+            u64_key(&mut j, "no_action", p.no_action);
+            u64_key(&mut j, "no_action_write_shared", p.no_action_write_shared);
+            u64_key(&mut j, "no_action_migrate_limit", p.no_action_migrate_limit);
+            u64_key(&mut j, "no_action_pressure", p.no_action_pressure);
+            u64_key(&mut j, "no_action_disabled", p.no_action_disabled);
+            u64_key(&mut j, "no_action_frozen", p.no_action_frozen);
+            u64_key(&mut j, "no_page", p.no_page);
+            j.end_obj();
+        }
+    }
+    u64_arr(&mut j, "cost_book", &report.cost_book.to_raw_parts());
+    j.key("contention");
+    j.begin_obj();
+    u64_key(&mut j, "remote_requests", report.contention.remote_requests);
+    u64_key(&mut j, "local_requests", report.contention.local_requests);
+    u64_key(&mut j, "total_wait", report.contention.total_wait.0);
+    u64_key(&mut j, "remote_wait", report.contention.remote_wait.0);
+    u64_key(&mut j, "local_wait", report.contention.local_wait.0);
+    bits_key(
+        &mut j,
+        "remote_queue_sum",
+        report.contention.remote_queue_sum,
+    );
+    j.end_obj();
+    bits_key(&mut j, "max_occupancy", report.max_occupancy);
+    u64_key(&mut j, "sim_time", report.sim_time.0);
+    u64_key(&mut j, "cpu_time", report.cpu_time.0);
+    if let Some(trace) = &report.trace {
+        u64_key(&mut j, "trace_records", trace.len() as u64);
+    }
+    u64_key(&mut j, "distinct_pages", report.distinct_pages);
+    u64_key(&mut j, "replica_frames_peak", report.replica_frames_peak);
+    bits_key(
+        &mut j,
+        "replication_space_overhead_pct",
+        report.replication_space_overhead_pct,
+    );
+    u64_key(&mut j, "frames_used", report.frames_used);
+    u64_key(&mut j, "lock_wait", report.lock_wait.0);
+    bits_key(&mut j, "lock_contention_rate", report.lock_contention_rate);
+    u64_key(
+        &mut j,
+        "avg_local_miss_latency",
+        report.avg_local_miss_latency.0,
+    );
+    bits_key(&mut j, "avg_tlbs_flushed", report.avg_tlbs_flushed);
+    j.key("fault_stats");
+    j.begin_obj();
+    let f = &report.fault_stats;
+    u64_key(&mut j, "storms", f.storms);
+    u64_key(&mut j, "frames_seized", f.frames_seized);
+    u64_key(&mut j, "copy_aborts", f.copy_aborts);
+    u64_key(&mut j, "allocs_blocked", f.allocs_blocked);
+    u64_key(&mut j, "acks_delayed", f.acks_delayed);
+    u64_key(&mut j, "ack_delay_total", f.ack_delay_total.0);
+    u64_key(&mut j, "interrupts_lost", f.interrupts_lost);
+    u64_key(&mut j, "counters_capped", f.counters_capped);
+    u64_key(&mut j, "op_retries", f.op_retries);
+    u64_key(&mut j, "retry_successes", f.retry_successes);
+    u64_key(&mut j, "failed_ops", f.failed_ops);
+    u64_key(&mut j, "remap_only_activations", f.remap_only_activations);
+    u64_key(&mut j, "throttled_ops", f.throttled_ops);
+    u64_key(&mut j, "reclaimed_frames", f.reclaimed_frames);
+    j.end_obj();
+    j.end_obj();
+    j.finish()
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(JsonValue::as_u64)
+}
+
+fn get_bits(v: &JsonValue, key: &str) -> Option<f64> {
+    get_u64(v, key).map(f64::from_bits)
+}
+
+fn get_u64_arr<const N: usize>(v: &JsonValue, key: &str) -> Option<[u64; N]> {
+    let arr = v.get(key)?.as_array()?;
+    if arr.len() != N {
+        return None;
+    }
+    let mut out = [0u64; N];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = item.as_u64()?;
+    }
+    Some(out)
+}
+
+/// Rebuilds a report from a journal payload plus its (already loaded)
+/// trace sidecar. `None` if the payload is malformed or incomplete —
+/// the caller recomputes that run.
+pub fn report_from_payload(v: &JsonValue, trace: Option<Trace>) -> Option<RunReport> {
+    let policy_stats = match v.get("policy_stats")? {
+        JsonValue::Null => None,
+        p => Some(ccnuma_core::PolicyStats {
+            misses_observed: get_u64(p, "misses_observed")?,
+            hot_events: get_u64(p, "hot_events")?,
+            migrations: get_u64(p, "migrations")?,
+            replications: get_u64(p, "replications")?,
+            remaps: get_u64(p, "remaps")?,
+            collapses: get_u64(p, "collapses")?,
+            no_action: get_u64(p, "no_action")?,
+            no_action_write_shared: get_u64(p, "no_action_write_shared")?,
+            no_action_migrate_limit: get_u64(p, "no_action_migrate_limit")?,
+            no_action_pressure: get_u64(p, "no_action_pressure")?,
+            no_action_disabled: get_u64(p, "no_action_disabled")?,
+            no_action_frozen: get_u64(p, "no_action_frozen")?,
+            no_page: get_u64(p, "no_page")?,
+        }),
+    };
+    let c = v.get("contention")?;
+    let contention = ContentionStats {
+        remote_requests: get_u64(c, "remote_requests")?,
+        local_requests: get_u64(c, "local_requests")?,
+        total_wait: Ns(get_u64(c, "total_wait")?),
+        remote_wait: Ns(get_u64(c, "remote_wait")?),
+        local_wait: Ns(get_u64(c, "local_wait")?),
+        remote_queue_sum: get_bits(c, "remote_queue_sum")?,
+    };
+    let f = v.get("fault_stats")?;
+    let fault_stats = FaultStats {
+        storms: get_u64(f, "storms")?,
+        frames_seized: get_u64(f, "frames_seized")?,
+        copy_aborts: get_u64(f, "copy_aborts")?,
+        allocs_blocked: get_u64(f, "allocs_blocked")?,
+        acks_delayed: get_u64(f, "acks_delayed")?,
+        ack_delay_total: Ns(get_u64(f, "ack_delay_total")?),
+        interrupts_lost: get_u64(f, "interrupts_lost")?,
+        counters_capped: get_u64(f, "counters_capped")?,
+        op_retries: get_u64(f, "op_retries")?,
+        retry_successes: get_u64(f, "retry_successes")?,
+        failed_ops: get_u64(f, "failed_ops")?,
+        remap_only_activations: get_u64(f, "remap_only_activations")?,
+        throttled_ops: get_u64(f, "throttled_ops")?,
+        reclaimed_frames: get_u64(f, "reclaimed_frames")?,
+    };
+    Some(RunReport {
+        workload: v.get("workload")?.as_str()?.to_string(),
+        policy_label: v.get("policy_label")?.as_str()?.to_string(),
+        breakdown: RunBreakdown::from_raw_parts(get_u64_arr::<{ RunBreakdown::RAW_LEN }>(
+            v,
+            "breakdown",
+        )?),
+        policy_stats,
+        cost_book: CostBook::from_raw_parts(get_u64_arr::<{ CostBook::RAW_LEN }>(v, "cost_book")?),
+        contention,
+        max_occupancy: get_bits(v, "max_occupancy")?,
+        sim_time: Ns(get_u64(v, "sim_time")?),
+        cpu_time: Ns(get_u64(v, "cpu_time")?),
+        trace,
+        distinct_pages: get_u64(v, "distinct_pages")?,
+        replica_frames_peak: get_u64(v, "replica_frames_peak")?,
+        replication_space_overhead_pct: get_bits(v, "replication_space_overhead_pct")?,
+        frames_used: get_u64(v, "frames_used")?,
+        lock_wait: Ns(get_u64(v, "lock_wait")?),
+        lock_contention_rate: get_bits(v, "lock_contention_rate")?,
+        avg_local_miss_latency: Ns(get_u64(v, "avg_local_miss_latency")?),
+        avg_tlbs_flushed: get_bits(v, "avg_tlbs_flushed")?,
+        fault_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{dynamic_spec, traced_ft_spec};
+    use ccnuma_workloads::{Scale, WorkloadKind};
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ccnuma-runj-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+        // Debug formatting covers every field (including f64s, which
+        // {:?} prints with shortest-roundtrip precision) except the
+        // trace, compared separately by record count and equality.
+        let strip = |r: &RunReport| format!("{:?}", r).replace(&format!("{:?}", r.trace), "");
+        assert_eq!(strip(a), strip(b));
+        assert_eq!(
+            a.trace.as_ref().map(|t| t.as_slice().to_vec()),
+            b.trace.as_ref().map(|t| t.as_slice().to_vec())
+        );
+    }
+
+    #[test]
+    fn dynamic_report_round_trips_bit_exactly() {
+        let report = dynamic_spec(WorkloadKind::Raytrace, Scale::quick())
+            .try_run()
+            .unwrap();
+        let payload = report_payload(&report);
+        let v = JsonValue::parse(&payload).unwrap();
+        let rebuilt = report_from_payload(&v, None).unwrap();
+        assert_reports_identical(&report, &rebuilt);
+    }
+
+    #[test]
+    fn traced_report_round_trips_through_journal() {
+        let d = tmpdir("traced");
+        let spec = traced_ft_spec(WorkloadKind::Database, Scale::quick());
+        let report = spec.try_run().unwrap();
+        assert!(report.trace.is_some(), "spec must capture a trace");
+        let journal = RunJournal::open(&d).unwrap();
+        journal
+            .record("db-slug", &spec.cache_key(), &report)
+            .unwrap();
+        let state = journal.load().unwrap();
+        assert_eq!(state.skipped, 0);
+        assert_eq!(state.runs.len(), 1);
+        assert_eq!(state.runs[0].slug, "db-slug");
+        assert_eq!(state.runs[0].cache_key, spec.cache_key());
+        assert_reports_identical(&report, &state.runs[0].report);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_trace_sidecar_skips_the_run() {
+        let d = tmpdir("missing");
+        let spec = traced_ft_spec(WorkloadKind::Database, Scale::quick());
+        let report = spec.try_run().unwrap();
+        let journal = RunJournal::open(&d).unwrap();
+        journal
+            .record("db-slug", &spec.cache_key(), &report)
+            .unwrap();
+        fs::remove_file(d.join(TRACES_DIR).join("db-slug.trace")).unwrap();
+        let state = journal.load().unwrap();
+        assert_eq!(state.runs.len(), 0, "scalars without trace are unusable");
+        assert_eq!(state.skipped, 1);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_payload_skips_not_panics() {
+        let d = tmpdir("corrupt");
+        let journal = RunJournal::open(&d).unwrap();
+        journal
+            .journal
+            .append(RUN_KIND, "bad", "bad-key", "{\"workload\":\"x\"}")
+            .unwrap();
+        let state = journal.load().unwrap();
+        assert_eq!(state.runs.len(), 0);
+        assert_eq!(state.skipped, 1);
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod experiments;
 mod helpers;
 pub mod hotbench;
@@ -41,6 +42,7 @@ pub use baseline::{
     append_history, atomic_write, check_against_baseline, history_line, BenchCheck, BenchDelta,
     DEFAULT_TOLERANCE_PCT, HISTORY_SCHEMA,
 };
+pub use checkpoint::{ResumeState, ResumedRun, RunJournal};
 pub use helpers::{
     dynamic_options, dynamic_spec, ft_options, ft_spec, set_topology_override, topology_override,
     traced_ft, traced_ft_spec, trigger_for, RunPair,

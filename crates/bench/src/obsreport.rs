@@ -449,8 +449,8 @@ mod tests {
         write_run(&dir, "a-run", 4000);
         std::fs::write(
             dir.join("run-metadata.json"),
-            r#"{"schema":"ccnuma-run-metadata/2","jobs":4,"distinct_runs":2,"cache_hits":1,
-                "failed_runs":0,"wall_seconds_total":1.5,
+            r#"{"schema":"ccnuma-run-metadata/3","jobs":4,"distinct_runs":2,"cache_hits":1,
+                "failed_runs":0,"resumed_runs":0,"wall_seconds_total":1.5,
                 "runs":[{"label":"a [FT]","slug":"a-run","wall_seconds":1.0},
                         {"label":"b [FT]","slug":"b-run","wall_seconds":0.5}],
                 "failures":[],"warnings":["w1"]}"#,

@@ -21,7 +21,8 @@
 //! the executor's locks guard simple collections that are never left in
 //! a torn state, so a poisoned guard's data is still valid.
 
-use ccnuma_faults::{FaultSpec, FaultStats};
+use crate::checkpoint::RunJournal;
+use ccnuma_faults::{atomic_write, FaultSpec, FaultStats};
 use ccnuma_machine::{RunReport, RunSpec};
 use ccnuma_obs::{
     artifact_slug, json::JsonWriter, NullRecorder, RunRecorder, SpanProfiler, Verbosity,
@@ -141,6 +142,9 @@ pub struct ExecutorStats {
     /// Traces served from the on-disk trace store instead of a machine
     /// run (always 0 without [`Executor::with_trace_store`]).
     pub store_hits: u64,
+    /// Reports restored from a checkpoint journal instead of computed
+    /// (always 0 without [`Executor::with_checkpoint`]).
+    pub resumed: u64,
 }
 
 /// A trace-bearing run fetched through [`Executor::traced`]: either a
@@ -215,11 +219,15 @@ pub struct Executor {
     default_faults: Option<FaultSpec>,
     trace_store: Option<TraceStore>,
     profiling: bool,
+    checkpoint: Option<RunJournal>,
+    soft_deadline: Option<Duration>,
+    hard_deadline: Option<Duration>,
     profile: Mutex<SpanProfiler>,
     cache: Mutex<HashMap<String, Result<Arc<RunReport>, RunFailure>>>,
     hits: AtomicU64,
     computed: AtomicU64,
     store_hits: AtomicU64,
+    resumed: AtomicU64,
     timings: Mutex<Vec<RunTiming>>,
     failures: Mutex<Vec<RunFailure>>,
     warnings: Mutex<Vec<String>>,
@@ -235,11 +243,15 @@ impl Executor {
             default_faults: None,
             trace_store: None,
             profiling: false,
+            checkpoint: None,
+            soft_deadline: None,
+            hard_deadline: None,
             profile: Mutex::new(SpanProfiler::new()),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
             warnings: Mutex::new(Vec::new()),
@@ -299,6 +311,56 @@ impl Executor {
     #[must_use]
     pub fn with_trace_store(mut self, store: TraceStore) -> Executor {
         self.trace_store = Some(store);
+        self
+    }
+
+    /// Resumes from (and journals into) the `ccnuma-checkpoint/1`
+    /// directory `dir`. Every run already journaled there is preloaded
+    /// into the memo cache — bit-exact, so renderers re-render identical
+    /// stdout with zero recomputation — and every run computed from here
+    /// on is appended durably (fsync before the result is served).
+    ///
+    /// Resume never prints to stdout; restored-run counts surface only
+    /// through [`Executor::stats`] and `run-metadata.json`, keeping
+    /// golden stdout byte-identical with or without `--resume`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created/read or carries a
+    /// different schema. A torn journal tail (a crash mid-append) is
+    /// not an error: the torn record is skipped and recomputed.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>) -> io::Result<Executor> {
+        let journal = RunJournal::open(dir)?;
+        let state = journal.load()?;
+        if state.skipped > 0 {
+            self.warn(format!(
+                "checkpoint: {} unrestorable journal record(s) will be recomputed",
+                state.skipped
+            ));
+        }
+        {
+            let mut cache = lock(&self.cache);
+            for run in state.runs {
+                if cache
+                    .insert(run.cache_key, Ok(Arc::new(run.report)))
+                    .is_none()
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.checkpoint = Some(journal);
+        Ok(self)
+    }
+
+    /// Arms the per-run watchdog: a run slower than `soft` is recorded
+    /// as a warning in `run-metadata.json`; one slower than `hard` has
+    /// its report discarded and replaced by a [`RunFailure`], and the
+    /// rest of the plan continues. Either bound may be `None`.
+    #[must_use]
+    pub fn with_deadlines(mut self, soft: Option<Duration>, hard: Option<Duration>) -> Executor {
+        self.soft_deadline = soft;
+        self.hard_deadline = hard;
         self
     }
 
@@ -419,7 +481,7 @@ impl Executor {
             }
             result
         }));
-        let outcome = match computed {
+        let mut outcome = match computed {
             Ok(Ok(report)) => Ok(Arc::new(report)),
             Ok(Err(e)) => Err(RunFailure {
                 label: label.clone(),
@@ -433,6 +495,40 @@ impl Executor {
             }),
         };
         let wall = start.elapsed();
+        // Per-run watchdog. Threads cannot be killed safely, so both
+        // bounds are checked when the run hands its result back: a
+        // soft overrun is a warning, a hard overrun discards the (by
+        // definition suspect) result and degrades to a RunFailure so
+        // the rest of the plan keeps going.
+        if let (Some(hard), Ok(_)) = (self.hard_deadline, &outcome) {
+            if wall > hard {
+                outcome = Err(RunFailure {
+                    label: label.clone(),
+                    slug: slug.clone(),
+                    error: format!(
+                        "watchdog: run exceeded hard deadline ({:.2}s > {:.2}s)",
+                        wall.as_secs_f64(),
+                        hard.as_secs_f64()
+                    ),
+                });
+            }
+        }
+        if let Some(soft) = self.soft_deadline {
+            if wall > soft && outcome.is_ok() {
+                self.warn(format!(
+                    "watchdog: {label} exceeded soft deadline ({:.2}s > {:.2}s)",
+                    wall.as_secs_f64(),
+                    soft.as_secs_f64()
+                ));
+            }
+        }
+        if let (Some(journal), Ok(report)) = (&self.checkpoint, &outcome) {
+            // Journal before serving the result: once a caller sees
+            // this report, a crash-and-resume must not recompute it.
+            if let Err(e) = journal.record(&slug, &key, report.as_ref()) {
+                self.warn(format!("checkpoint: journaling {label}: {e}"));
+            }
+        }
         match &outcome {
             Ok(_) => {
                 if self.verbosity.verbose() {
@@ -566,6 +662,7 @@ impl Executor {
             computed: self.computed.load(Ordering::Relaxed),
             failed: lock(&self.failures).len() as u64,
             store_hits: self.store_hits.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
         }
     }
 
@@ -636,7 +733,7 @@ impl Executor {
         let mut j = JsonWriter::new();
         j.begin_obj();
         j.key("schema");
-        j.str("ccnuma-run-metadata/2");
+        j.str("ccnuma-run-metadata/3");
         j.key("jobs");
         j.raw(&stats.jobs.to_string());
         j.key("distinct_runs");
@@ -645,6 +742,8 @@ impl Executor {
         j.raw(&stats.hits.to_string());
         j.key("failed_runs");
         j.raw(&stats.failed.to_string());
+        j.key("resumed_runs");
+        j.raw(&stats.resumed.to_string());
         j.key("wall_seconds_total");
         j.raw(&format!("{:.6}", wall_total.as_secs_f64()));
         j.key("runs");
@@ -707,7 +806,7 @@ impl Executor {
         };
         std::fs::create_dir_all(dir)?;
         let path = dir.join("profile.json");
-        std::fs::write(&path, prof.to_json())?;
+        atomic_write(&path, prof.to_json().as_bytes())?;
         Ok(Some(path))
     }
 
@@ -720,7 +819,7 @@ impl Executor {
     pub fn write_run_metadata(&self, dir: &Path, wall_total: Duration) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("run-metadata.json");
-        std::fs::write(&path, self.metadata_json(wall_total))?;
+        atomic_write(&path, self.metadata_json(wall_total).as_bytes())?;
         Ok(path)
     }
 }
@@ -850,7 +949,7 @@ mod tests {
         let report = exec.run(&ft(WorkloadKind::Raytrace));
         assert!(report.sim_time.0 > 0, "healthy runs still execute");
         let meta = exec.metadata_json(Duration::from_secs(1));
-        assert!(meta.contains("\"schema\":\"ccnuma-run-metadata/2\""));
+        assert!(meta.contains("\"schema\":\"ccnuma-run-metadata/3\""));
         assert!(meta.contains("\"failed_runs\":1"));
         assert!(meta.contains("\"zz-broken\""));
         assert!(meta.contains("out of memory"));
@@ -924,6 +1023,104 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.starts_with("{\"schema\":\"ccnuma-profile/1\""));
         assert_eq!(plain.write_invocation_profile(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_serves_identical_reports_with_zero_recomputation() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-ckpt-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ft(WorkloadKind::Raytrace);
+        let first = Executor::serial().with_checkpoint(&dir).unwrap();
+        assert_eq!(first.stats().resumed, 0, "nothing journaled yet");
+        let a = first.run(&spec);
+        assert_eq!(first.stats().computed, 1);
+        // A second executor resuming from the same directory serves the
+        // journaled report without running the machine.
+        let second = Executor::serial().with_checkpoint(&dir).unwrap();
+        assert_eq!(second.stats().resumed, 1);
+        let b = second.run(&spec);
+        assert_eq!(
+            second.stats().computed,
+            0,
+            "resume means zero recomputation"
+        );
+        assert_eq!(
+            format!("{:?}", *a),
+            format!("{:?}", *b),
+            "bit-exact restore"
+        );
+        let meta = second.metadata_json(Duration::from_secs(1));
+        assert!(meta.contains("\"resumed_runs\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_restores_traced_runs() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-ckpt-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = crate::traced_ft_spec(WorkloadKind::Database, Scale::quick());
+        let first = Executor::serial().with_checkpoint(&dir).unwrap();
+        let a = first.run(&spec);
+        assert!(a.trace.is_some());
+        let second = Executor::serial().with_checkpoint(&dir).unwrap();
+        let b = second.run(&spec);
+        assert_eq!(second.stats().computed, 0);
+        assert_eq!(
+            a.trace.as_ref().unwrap().as_slice(),
+            b.trace.as_ref().unwrap().as_slice(),
+            "trace sidecar restores the capture exactly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_soft_deadline_warns_and_hard_deadline_fails() {
+        let spec = ft(WorkloadKind::Raytrace);
+        // Zero-length deadlines trip on any real run.
+        let soft = Executor::serial()
+            .with_verbosity(Verbosity::Quiet)
+            .with_deadlines(Some(Duration::ZERO), None);
+        let report = soft.try_run(&spec);
+        assert!(report.is_ok(), "soft overrun still serves the report");
+        let warnings = soft.warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("watchdog"));
+        assert!(warnings[0].contains("soft deadline"));
+
+        let hard = Executor::serial()
+            .with_verbosity(Verbosity::Quiet)
+            .with_deadlines(None, Some(Duration::ZERO));
+        let failure = hard.try_run(&spec).unwrap_err();
+        assert!(failure.error.contains("hard deadline"), "{}", failure.error);
+        assert!(hard.has_failures());
+        // The failure is memoized like any other; the plan continues.
+        assert!(hard.try_run(&spec).is_err());
+        assert_eq!(hard.stats().failed, 1);
+
+        // Generous deadlines change nothing.
+        let lenient = Executor::serial().with_deadlines(
+            Some(Duration::from_secs(3600)),
+            Some(Duration::from_secs(3600)),
+        );
+        assert!(lenient.try_run(&spec).is_ok());
+        assert!(lenient.warnings().is_empty());
+    }
+
+    #[test]
+    fn hard_deadline_overruns_are_not_journaled() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-ckpt-hard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ft(WorkloadKind::Database);
+        let hard = Executor::serial()
+            .with_verbosity(Verbosity::Quiet)
+            .with_checkpoint(&dir)
+            .unwrap()
+            .with_deadlines(None, Some(Duration::ZERO));
+        assert!(hard.try_run(&spec).is_err());
+        // A resuming executor finds nothing: the overrun was discarded.
+        let resumed = Executor::serial().with_checkpoint(&dir).unwrap();
+        assert_eq!(resumed.stats().resumed, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

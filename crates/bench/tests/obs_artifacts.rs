@@ -159,7 +159,8 @@ fn executor_writes_parseable_artifacts_and_metadata() {
 
     let wall = started.elapsed();
     let metadata = exec.metadata_json(wall);
-    assert!(metadata.contains("\"schema\":\"ccnuma-run-metadata/2\""));
+    assert!(metadata.contains("\"schema\":\"ccnuma-run-metadata/3\""));
+    assert!(metadata.contains("\"resumed_runs\":0"));
     assert!(metadata.contains(&format!("\"slug\":\"{slug}\"")));
     let path = exec.write_run_metadata(&dir, wall).unwrap();
     assert_eq!(std::fs::read_to_string(&path).unwrap(), metadata);

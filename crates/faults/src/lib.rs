@@ -23,6 +23,11 @@
 //!   tests.
 //! * [`FaultEvent`] / [`FaultStats`] — what fired, for the audit log
 //!   and the run report's degradation summary.
+//! * [`io`] — the same discipline for the *host* pipeline: artifact
+//!   writers are generic over [`Storage`], whose null layer
+//!   ([`DiskStorage`]) is plain `std::fs` and whose faulty layer
+//!   ([`FaultyStorage`] + [`IoFaults`]) injects seeded write failures,
+//!   ENOSPC, torn writes, silent bit flips and slow-I/O delays.
 //!
 //! # Examples
 //!
@@ -48,8 +53,13 @@
 
 mod event;
 mod injector;
+pub mod io;
 mod plan;
 
 pub use event::{FaultEvent, FaultKind, FaultStats};
 pub use injector::{FaultInjector, FaultOp, NullFaults, StormCmd};
+pub use io::{
+    atomic_write, is_transient, retry_io, DiskStorage, FaultyStorage, IoFaultConfig, IoFaultKind,
+    IoFaults, IoScenario, IoStats, RetryPolicy, Storage, StorageFile,
+};
 pub use plan::{FaultConfig, FaultPlan, FaultScenario, FaultSpec};

@@ -333,11 +333,72 @@ impl CostBook {
             100.0 * self.total_by_step(step).0 as f64 / total.0 as f64
         }
     }
+
+    /// Number of values in the [`to_raw_parts`](CostBook::to_raw_parts)
+    /// flattening: the 4×8 initiator totals, 8 system-wide slices, and
+    /// 4 op counts.
+    pub const RAW_LEN: usize = 44;
+
+    /// Flattens the book into a fixed-order `u64` array, the checkpoint
+    /// journal's exact serialization surface.
+    pub fn to_raw_parts(&self) -> [u64; CostBook::RAW_LEN] {
+        let mut out = [0u64; CostBook::RAW_LEN];
+        let mut i = 0;
+        for op in 0..4 {
+            for step in 0..8 {
+                out[i] = self.totals[op][step].0;
+                i += 1;
+            }
+        }
+        for step in 0..8 {
+            out[i] = self.system[step].0;
+            i += 1;
+        }
+        for op in 0..4 {
+            out[i] = self.counts[op];
+            i += 1;
+        }
+        out
+    }
+
+    /// Rebuilds a book from a [`to_raw_parts`](CostBook::to_raw_parts)
+    /// flattening.
+    pub fn from_raw_parts(raw: [u64; CostBook::RAW_LEN]) -> CostBook {
+        let mut book = CostBook::new();
+        let mut i = 0;
+        for op in 0..4 {
+            for step in 0..8 {
+                book.totals[op][step] = Ns(raw[i]);
+                i += 1;
+            }
+        }
+        for step in 0..8 {
+            book.system[step] = Ns(raw[i]);
+            i += 1;
+        }
+        for op in 0..4 {
+            book.counts[op] = raw[i];
+            i += 1;
+        }
+        book
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_parts_round_trip_exactly() {
+        let mut book = CostBook::new();
+        book.add(OpClass::Migrate, PagerStep::PageCopy, Ns(93_400));
+        book.add_system(PagerStep::TlbFlush, Ns(12_000));
+        book.count_op(OpClass::Migrate);
+        book.count_op(OpClass::Replicate);
+        let rebuilt = CostBook::from_raw_parts(book.to_raw_parts());
+        assert_eq!(rebuilt, book);
+        assert_eq!(rebuilt.total(), book.total());
+    }
 
     #[test]
     fn copy_and_flush_scale_with_remote_latency() {

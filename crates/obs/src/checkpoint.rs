@@ -1,0 +1,408 @@
+//! The `ccnuma-checkpoint/1` journal: crash-tolerant completion records.
+//!
+//! A checkpoint directory makes long invocations resumable. It holds:
+//!
+//! * `checkpoint.json` — the manifest, written atomically (tmp +
+//!   rename) when the directory is initialised; names the schema so a
+//!   future format can refuse gracefully.
+//! * `journal.jsonl` — one record per completed unit of work (a bench
+//!   run or a sweep cell), appended as a single `write(2)` and fsync'd
+//!   before the append returns, so a record that made it into the file
+//!   survives a SIGKILL or power cut.
+//!
+//! Each record is one JSON line:
+//!
+//! ```json
+//! {"schema":"ccnuma-checkpoint/1","kind":"run","key":"<slug>","cache_key":"<identity>","payload":{...}}
+//! ```
+//!
+//! `kind` scopes the namespace (`"run"` for executor runs, `"cell"` for
+//! sweep cells), `key` is the unit's stable slug, `cache_key` its full
+//! identity string, and `payload` the consumer-defined serialization of
+//! the completed result. The reader is deliberately lenient: a torn
+//! final line (the crash interrupted the append itself) or an
+//! otherwise unparseable line is skipped and counted, never fatal —
+//! losing one record costs one recomputation, not the resume.
+//!
+//! The journal performs all I/O through a
+//! [`Storage`](ccnuma_faults::Storage) implementation, so the
+//! host-I/O fault scenarios in `ccnuma-faults` exercise it directly;
+//! appends retry transient failures with bounded backoff.
+
+use ccnuma_faults::io::{is_transient, RetryPolicy, Storage, StorageFile};
+use ccnuma_faults::DiskStorage;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::{push_json_str, JsonValue};
+
+/// The checkpoint directory schema identifier.
+pub const CHECKPOINT_SCHEMA: &str = "ccnuma-checkpoint/1";
+
+/// The journal file name inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// The manifest file name inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "checkpoint.json";
+
+/// One completion record read back from a journal.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Namespace of the unit ("run" or "cell").
+    pub kind: String,
+    /// The unit's stable slug.
+    pub key: String,
+    /// The unit's full identity string (the memo/cache key).
+    pub cache_key: String,
+    /// The consumer-defined result serialization.
+    pub payload: JsonValue,
+}
+
+/// What [`CheckpointJournal::load`] found.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// Every valid record, in file order (later duplicates of a
+    /// `(kind, cache_key)` pair are dropped — first write wins, records
+    /// are immutable facts).
+    pub records: Vec<CheckpointRecord>,
+    /// Lines that failed to parse or carried the wrong schema —
+    /// normally 0 or 1 (a torn final append).
+    pub skipped: usize,
+}
+
+/// An append-only, fsync-per-record completion journal.
+///
+/// Cheap to share behind a reference; appends serialize on an internal
+/// mutex (the underlying descriptor is `O_APPEND`, so each record is a
+/// single atomic `write(2)` regardless).
+pub struct CheckpointJournal<S: Storage = DiskStorage> {
+    dir: PathBuf,
+    storage: S,
+    retry: RetryPolicy,
+    file: Mutex<AppendState<S>>,
+}
+
+impl<S: Storage> std::fmt::Debug for CheckpointJournal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointJournal")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+struct AppendState<S: Storage> {
+    handle: Option<S::File>,
+    /// Set after a failed append: the file may end mid-line, so the
+    /// next record starts with a newline to seal off the torn tail.
+    reseal: bool,
+}
+
+impl CheckpointJournal<DiskStorage> {
+    /// Opens (creating if needed) a checkpoint directory on the null
+    /// storage layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or when `dir` holds a manifest with a
+    /// different schema.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CheckpointJournal<DiskStorage>> {
+        CheckpointJournal::open_with(dir, DiskStorage)
+    }
+}
+
+impl<S: Storage> CheckpointJournal<S> {
+    /// Opens (creating if needed) a checkpoint directory on `storage`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or when `dir` holds a manifest with a
+    /// different schema.
+    pub fn open_with(dir: impl Into<PathBuf>, storage: S) -> io::Result<CheckpointJournal<S>> {
+        let dir = dir.into();
+        let retry = RetryPolicy::default();
+        ccnuma_faults::io::retry_io(retry, || storage.create_dir_all(&dir))?;
+        let manifest = dir.join(MANIFEST_FILE);
+        match storage.read(&manifest) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let schema = JsonValue::parse(&text)
+                    .ok()
+                    .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(String::from)));
+                if schema.as_deref() != Some(CHECKPOINT_SCHEMA) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{} is not a {CHECKPOINT_SCHEMA} directory (manifest schema {:?})",
+                            dir.display(),
+                            schema
+                        ),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut doc = String::from("{\"schema\":");
+                push_json_str(&mut doc, CHECKPOINT_SCHEMA);
+                doc.push_str("}\n");
+                ccnuma_faults::io::retry_io(retry, || {
+                    storage.write_atomic(&manifest, doc.as_bytes())
+                })?;
+            }
+            Err(e) => return Err(e),
+        }
+        // A SIGKILL mid-append can leave the journal ending mid-line;
+        // start resealed so the first append lands on its own line.
+        let reseal = match storage.read(&dir.join(JOURNAL_FILE)) {
+            Ok(bytes) => !bytes.is_empty() && bytes.last() != Some(&b'\n'),
+            Err(_) => false,
+        };
+        Ok(CheckpointJournal {
+            dir,
+            storage,
+            retry,
+            file: Mutex::new(AppendState {
+                handle: None,
+                reseal,
+            }),
+        })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Overrides the bounded retry policy for appends (default:
+    /// [`RetryPolicy::default`]).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> CheckpointJournal<S> {
+        self.retry = retry;
+        self
+    }
+
+    /// The storage layer the journal performs I/O through.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Appends one completion record and fsyncs it. Returns only after
+    /// the record is durable.
+    ///
+    /// `payload` must be a complete JSON value (object, array, or
+    /// scalar) rendered by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error after bounded retries of transient
+    /// failures; the journal stays usable (a torn partial line is
+    /// sealed off by the next successful append and skipped on load).
+    pub fn append(&self, kind: &str, key: &str, cache_key: &str, payload: &str) -> io::Result<()> {
+        let mut line = String::with_capacity(payload.len() + 96);
+        line.push_str("{\"schema\":");
+        push_json_str(&mut line, CHECKPOINT_SCHEMA);
+        line.push_str(",\"kind\":");
+        push_json_str(&mut line, kind);
+        line.push_str(",\"key\":");
+        push_json_str(&mut line, key);
+        line.push_str(",\"cache_key\":");
+        push_json_str(&mut line, cache_key);
+        line.push_str(",\"payload\":");
+        line.push_str(payload);
+        line.push('}');
+
+        let path = self.dir.join(JOURNAL_FILE);
+        let mut state = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let attempts = self.retry.attempts.max(1);
+        let mut backoff = self.retry.base_backoff;
+        let mut tried = 0;
+        loop {
+            let res = (|| -> io::Result<()> {
+                if state.handle.is_none() {
+                    state.handle = Some(self.storage.open_append(&path)?);
+                }
+                let mut buf = Vec::with_capacity(line.len() + 2);
+                if state.reseal {
+                    buf.push(b'\n');
+                }
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+                let f = state.handle.as_mut().expect("opened above");
+                f.write_all(&buf)?;
+                f.sync()
+            })();
+            match res {
+                Ok(()) => {
+                    state.reseal = false;
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The append may have landed partially; drop the
+                    // handle and start the next attempt on a new line.
+                    state.handle = None;
+                    state.reseal = true;
+                    tried += 1;
+                    if tried >= attempts || !is_transient(&e) {
+                        return Err(e);
+                    }
+                    if backoff > std::time::Duration::ZERO {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads every valid record in the journal. A missing journal file
+    /// is an empty journal; torn or malformed lines are counted in
+    /// [`JournalContents::skipped`], never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O errors other than the journal not existing yet.
+    pub fn load(&self) -> io::Result<JournalContents> {
+        let path = self.dir.join(JOURNAL_FILE);
+        let bytes = match self.storage.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalContents::default()),
+            Err(e) => return Err(e),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let mut out = JournalContents::default();
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(rec) = parse_record(line) else {
+                out.skipped += 1;
+                continue;
+            };
+            if seen.insert((rec.kind.clone(), rec.cache_key.clone())) {
+                out.records.push(rec);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_record(line: &str) -> Option<CheckpointRecord> {
+    let v = JsonValue::parse(line).ok()?;
+    if v.get("schema")?.as_str()? != CHECKPOINT_SCHEMA {
+        return None;
+    }
+    Some(CheckpointRecord {
+        kind: v.get("kind")?.as_str()?.to_string(),
+        key: v.get("key")?.as_str()?.to_string(),
+        cache_key: v.get("cache_key")?.as_str()?.to_string(),
+        payload: v.get("payload")?.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ccnuma-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn records_round_trip_and_dedup() {
+        let d = tmpdir("rt");
+        let j = CheckpointJournal::open(&d).unwrap();
+        j.append("run", "slug-a", "key-a", "{\"x\":1}").unwrap();
+        j.append("cell", "slug-b", "key-b", "[1,2,3]").unwrap();
+        j.append("run", "slug-a", "key-a", "{\"x\":999}").unwrap();
+        let contents = j.load().unwrap();
+        assert_eq!(contents.skipped, 0);
+        assert_eq!(contents.records.len(), 2, "duplicate key deduplicated");
+        let run = &contents.records[0];
+        assert_eq!(run.kind, "run");
+        assert_eq!(run.key, "slug-a");
+        assert_eq!(
+            run.payload.get("x").and_then(JsonValue::as_u64),
+            Some(1),
+            "first write wins"
+        );
+        assert_eq!(contents.records[1].payload.as_array().unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn reopen_resumes_and_torn_tail_is_skipped() {
+        let d = tmpdir("torn");
+        {
+            let j = CheckpointJournal::open(&d).unwrap();
+            j.append("run", "s1", "k1", "1").unwrap();
+        }
+        // Simulate a crash mid-append: a torn, newline-less tail.
+        let journal = d.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&journal).unwrap();
+        bytes.extend_from_slice(
+            b"{\"schema\":\"ccnuma-checkpoint/1\",\"kind\":\"run\",\"key\":\"s2",
+        );
+        fs::write(&journal, &bytes).unwrap();
+        let j = CheckpointJournal::open(&d).unwrap();
+        let contents = j.load().unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.skipped, 1, "torn tail skipped, not fatal");
+        // Reopening detected the newline-less tail, so the next append
+        // seals it off and lands on its own line.
+        j.append("run", "s3", "k3", "3").unwrap();
+        let contents = j.load().unwrap();
+        assert_eq!(contents.records.len(), 2, "append after torn tail survives");
+        assert_eq!(contents.skipped, 1);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wrong_schema_is_refused() {
+        let d = tmpdir("schema");
+        fs::create_dir_all(&d).unwrap();
+        fs::write(
+            d.join(MANIFEST_FILE),
+            b"{\"schema\":\"ccnuma-checkpoint/9\"}",
+        )
+        .unwrap();
+        let err = CheckpointJournal::open(&d).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn faulty_appends_survive_retries() {
+        use ccnuma_faults::io::{FaultyStorage, IoFaultConfig, IoFaults};
+        let d = tmpdir("faulty");
+        let faults = IoFaults::new(
+            IoFaultConfig {
+                write_fail_p: 0.1,
+                ..IoFaultConfig::default()
+            },
+            5,
+        );
+        // Every append rolls the engine up to three times (open, write,
+        // sync), so give the retry loop plenty of headroom.
+        let j = CheckpointJournal::open_with(&d, FaultyStorage::new(faults.clone()))
+            .unwrap()
+            .with_retry(RetryPolicy {
+                attempts: 12,
+                base_backoff: std::time::Duration::ZERO,
+            });
+        for i in 0..50 {
+            j.append("run", &format!("s{i}"), &format!("k{i}"), &i.to_string())
+                .unwrap();
+        }
+        let contents = j.load().unwrap();
+        assert_eq!(contents.records.len(), 50, "every record made it");
+        assert!(faults.stats().write_fails > 0, "faults actually fired");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -10,6 +10,7 @@ use crate::audit::{AuditEvent, AuditLog};
 use crate::json::JsonWriter;
 use crate::recorder::RunRecorder;
 use crate::sample::EpochSeries;
+use ccnuma_faults::io::atomic_write;
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -388,17 +389,20 @@ pub fn write_run_artifacts(
 
     let mut buf = Vec::new();
     write_events_jsonl(&mut buf, &rec.audit)?;
-    std::fs::write(run_dir.join("events.jsonl"), &buf)?;
+    atomic_write(&run_dir.join("events.jsonl"), &buf)?;
 
     buf.clear();
     write_timeseries_csv(&mut buf, &rec.series)?;
-    std::fs::write(run_dir.join("timeseries.csv"), &buf)?;
+    atomic_write(&run_dir.join("timeseries.csv"), &buf)?;
 
     buf.clear();
     write_chrome_trace(&mut buf, rec, cpus)?;
-    std::fs::write(run_dir.join("trace.json"), &buf)?;
+    atomic_write(&run_dir.join("trace.json"), &buf)?;
 
-    std::fs::write(run_dir.join("metrics.json"), rec.metrics.to_json())?;
+    atomic_write(
+        &run_dir.join("metrics.json"),
+        rec.metrics.to_json().as_bytes(),
+    )?;
     Ok(run_dir)
 }
 

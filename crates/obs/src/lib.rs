@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod checkpoint;
 pub mod export;
 mod hist;
 pub mod json;
@@ -70,6 +71,7 @@ mod sample;
 mod verbosity;
 
 pub use audit::{AuditAction, AuditEvent, AuditLog, AuditTotals, Decision};
+pub use checkpoint::{CheckpointJournal, CheckpointRecord, JournalContents, CHECKPOINT_SCHEMA};
 pub use export::{artifact_slug, fnv1a64, write_run_artifacts};
 pub use hist::{bucket_bounds, bucket_of, Histogram, BUCKETS};
 pub use json::JsonValue;

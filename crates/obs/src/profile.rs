@@ -461,10 +461,10 @@ impl Profiler for SpanProfiler {
 pub fn write_profile_artifacts(dir: &Path, slug: &str, prof: &SpanProfiler) -> io::Result<PathBuf> {
     let run_dir = dir.join("runs").join(slug);
     std::fs::create_dir_all(&run_dir)?;
-    std::fs::write(run_dir.join("profile.json"), prof.to_json())?;
+    ccnuma_faults::io::atomic_write(&run_dir.join("profile.json"), prof.to_json().as_bytes())?;
     let mut buf = Vec::new();
     prof.write_host_trace(&mut buf)?;
-    std::fs::write(run_dir.join("host-trace.json"), &buf)?;
+    ccnuma_faults::io::atomic_write(&run_dir.join("host-trace.json"), &buf)?;
     Ok(run_dir)
 }
 

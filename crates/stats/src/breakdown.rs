@@ -282,11 +282,102 @@ impl RunBreakdown {
         self.remote_misses += other.remote_misses;
         self.far_misses += other.far_misses;
     }
+
+    /// Number of values in the [`to_raw_parts`](RunBreakdown::to_raw_parts)
+    /// flattening.
+    pub const RAW_LEN: usize = 24;
+
+    /// Flattens every accumulator into a fixed-order `u64` array, the
+    /// checkpoint journal's exact serialization surface. Layout: the
+    /// stall cube in `[mode][class][tier]` order (12), hit stall in
+    /// `[mode][class]` order (4), busy per mode (2), idle, migration
+    /// overhead, replication overhead, then local/remote/far miss
+    /// counts.
+    pub fn to_raw_parts(&self) -> [u64; RunBreakdown::RAW_LEN] {
+        let mut out = [0u64; RunBreakdown::RAW_LEN];
+        let mut i = 0;
+        let mut push = |v: u64| {
+            out[i] = v;
+            i += 1;
+        };
+        for m in 0..2 {
+            for c in 0..2 {
+                for l in 0..3 {
+                    push(self.stall[m][c][l].0);
+                }
+            }
+        }
+        for m in 0..2 {
+            for c in 0..2 {
+                push(self.hit_stall[m][c].0);
+            }
+        }
+        push(self.busy[0].0);
+        push(self.busy[1].0);
+        push(self.idle.0);
+        push(self.mig_overhead.0);
+        push(self.rep_overhead.0);
+        push(self.local_misses);
+        push(self.remote_misses);
+        push(self.far_misses);
+        out
+    }
+
+    /// Rebuilds a breakdown from a
+    /// [`to_raw_parts`](RunBreakdown::to_raw_parts) flattening.
+    pub fn from_raw_parts(raw: [u64; RunBreakdown::RAW_LEN]) -> RunBreakdown {
+        let mut b = RunBreakdown::new();
+        let mut i = 0;
+        let mut next = || {
+            let v = raw[i];
+            i += 1;
+            v
+        };
+        for m in 0..2 {
+            for c in 0..2 {
+                for l in 0..3 {
+                    b.stall[m][c][l] = Ns(next());
+                }
+            }
+        }
+        for m in 0..2 {
+            for c in 0..2 {
+                b.hit_stall[m][c] = Ns(next());
+            }
+        }
+        b.busy[0] = Ns(next());
+        b.busy[1] = Ns(next());
+        b.idle = Ns(next());
+        b.mig_overhead = Ns(next());
+        b.rep_overhead = Ns(next());
+        b.local_misses = next();
+        b.remote_misses = next();
+        b.far_misses = next();
+        b
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_parts_round_trip_exactly() {
+        let mut b = RunBreakdown::new();
+        b.add_busy(Mode::User, Ns(11));
+        b.add_busy(Mode::Kernel, Ns(22));
+        b.add_stall(Mode::User, RefClass::Data, true, Ns(33));
+        b.add_stall_tier(Mode::Kernel, RefClass::Instr, StallTier::Far, Ns(44));
+        b.add_hit_stall(Mode::User, RefClass::Instr, Ns(5));
+        b.add_idle(Ns(6));
+        b.add_mig_overhead(Ns(7));
+        b.add_rep_overhead(Ns(8));
+        let rebuilt = RunBreakdown::from_raw_parts(b.to_raw_parts());
+        assert_eq!(rebuilt, b);
+        assert_eq!(rebuilt.local_misses(), b.local_misses());
+        assert_eq!(rebuilt.remote_misses(), b.remote_misses());
+        assert_eq!(rebuilt.total(), b.total());
+    }
 
     fn sample() -> RunBreakdown {
         let mut b = RunBreakdown::new();

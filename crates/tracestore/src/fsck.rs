@@ -1,0 +1,706 @@
+//! Store-wide verification (`fsck`), quarantine/salvage repair, and
+//! byte-budget garbage collection for a [`TraceStore`].
+//!
+//! A trace store accretes entries across many invocations, and the
+//! paper pipeline trusts it blindly on the capture-once fast path — a
+//! flipped bit or a truncated tail would otherwise surface as a wrong
+//! replay deep inside an experiment. [`fsck`] walks every entry with
+//! the strict reader, classifies the damage, and (with repair enabled)
+//! moves damaged files into a `quarantine/` subdirectory, salvaging
+//! every complete chunk through the format's existing
+//! truncation-salvage path first. [`gc`] evicts least-recently-used
+//! entries until the store fits a byte budget; [`TraceStore::load`]
+//! freshens mtimes, so "recently used" means used, not just captured.
+
+use crate::format::{SalvageReason, StoreError, TraceReader};
+use crate::store::{TraceMeta, TraceStore};
+use ccnuma_faults::io::Storage;
+use ccnuma_trace::MissRecord;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Subdirectory of the store that repair moves damaged files into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// The verdict on one store entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Strict read succeeded and the record count matches the sidecar.
+    Clean {
+        /// Records in the trace.
+        records: u64,
+    },
+    /// The tail is damaged but complete chunks are recoverable through
+    /// the salvage path.
+    Salvageable {
+        /// Records recoverable from intact chunks.
+        records_kept: u64,
+        /// Records the sidecar claims.
+        records_expected: u64,
+        /// What stopped the scan.
+        reason: SalvageReason,
+    },
+    /// Nothing recoverable: bad header, or no intact leading chunk.
+    Unreadable {
+        /// The strict reader's error rendering.
+        detail: String,
+    },
+    /// The meta sidecar is missing a field, malformed, or of an
+    /// unknown schema.
+    CorruptMeta {
+        /// The parse error rendering.
+        detail: String,
+    },
+    /// The trace reads cleanly but its record count disagrees with the
+    /// sidecar — one of the two is lying.
+    MetaMismatch {
+        /// Records actually in the trace.
+        records: u64,
+        /// Records the sidecar claims.
+        records_expected: u64,
+    },
+}
+
+impl EntryStatus {
+    /// True for the one status that needs no attention.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, EntryStatus::Clean { .. })
+    }
+}
+
+/// One entry's fsck result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckEntry {
+    /// The entry's slug.
+    pub slug: String,
+    /// What the verifier found.
+    pub status: EntryStatus,
+}
+
+/// What one repair action did to an entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Both files moved to `quarantine/`; nothing was recoverable.
+    Quarantined,
+    /// Damaged original quarantined and the salvageable records
+    /// rewritten as a fresh entry (sidecar updated to the kept count).
+    Salvaged {
+        /// Records in the rewritten entry.
+        records_kept: u64,
+    },
+    /// Sidecar rewritten to match the (clean) trace's record count.
+    MetaRewritten,
+}
+
+/// The result of an [`fsck`] walk.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Every entry examined, sorted by slug.
+    pub entries: Vec<FsckEntry>,
+    /// Files that are not part of a complete entry: traces without a
+    /// sidecar, sidecars without a trace, stale `*.tmp` leftovers.
+    /// Sorted.
+    pub orphans: Vec<String>,
+    /// Repairs performed (empty unless repair was requested), in slug
+    /// order.
+    pub repaired: Vec<(String, RepairAction)>,
+}
+
+impl FsckReport {
+    /// True when every entry is clean and nothing is orphaned.
+    pub fn is_clean(&self) -> bool {
+        self.orphans.is_empty() && self.entries.iter().all(|e| e.status.is_clean())
+    }
+
+    /// Entries that are not clean.
+    pub fn damaged(&self) -> impl Iterator<Item = &FsckEntry> {
+        self.entries.iter().filter(|e| !e.status.is_clean())
+    }
+
+    /// Renders the deterministic human-readable summary the
+    /// `repro trace fsck` subcommand prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.status {
+                EntryStatus::Clean { records } => {
+                    let _ = writeln!(out, "ok        {} ({records} records)", e.slug);
+                }
+                EntryStatus::Salvageable {
+                    records_kept,
+                    records_expected,
+                    reason,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "damaged   {} ({records_kept}/{records_expected} records salvageable, {reason:?})",
+                        e.slug
+                    );
+                }
+                EntryStatus::Unreadable { detail } => {
+                    let _ = writeln!(out, "unreadable {} ({detail})", e.slug);
+                }
+                EntryStatus::CorruptMeta { detail } => {
+                    let _ = writeln!(out, "bad-meta  {} ({detail})", e.slug);
+                }
+                EntryStatus::MetaMismatch {
+                    records,
+                    records_expected,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "mismatch  {} (trace has {records}, sidecar claims {records_expected})",
+                        e.slug
+                    );
+                }
+            }
+        }
+        for o in &self.orphans {
+            let _ = writeln!(out, "orphan    {o}");
+        }
+        for (slug, action) in &self.repaired {
+            let what = match action {
+                RepairAction::Quarantined => "quarantined".to_string(),
+                RepairAction::Salvaged { records_kept } => {
+                    format!("salvaged {records_kept} records, original quarantined")
+                }
+                RepairAction::MetaRewritten => "sidecar rewritten".to_string(),
+            };
+            let _ = writeln!(out, "repaired  {slug}: {what}");
+        }
+        let damaged = self.damaged().count();
+        let _ = writeln!(
+            out,
+            "{} entries: {} clean, {} damaged, {} orphaned file(s)",
+            self.entries.len(),
+            self.entries.len() - damaged,
+            damaged,
+            self.orphans.len()
+        );
+        out
+    }
+}
+
+/// Classifies one trace file by strict read, falling back to a salvage
+/// scan to measure what is recoverable.
+fn verify_entry<S: Storage>(
+    store: &TraceStore<S>,
+    slug: &str,
+    meta: &TraceMeta,
+) -> Result<EntryStatus, StoreError> {
+    let bytes = store.storage().read(&store.trace_path(slug))?;
+    let strict = TraceReader::new(&bytes[..]).and_then(|r| {
+        let mut n = 0u64;
+        for rec in r {
+            rec?;
+            n += 1;
+        }
+        Ok(n)
+    });
+    match strict {
+        Ok(records) if records == meta.records => Ok(EntryStatus::Clean { records }),
+        Ok(records) => Ok(EntryStatus::MetaMismatch {
+            records,
+            records_expected: meta.records,
+        }),
+        Err(e) => {
+            // Damaged: measure what the salvage path would keep.
+            let mut lenient = match TraceReader::with_salvage(&bytes[..]) {
+                Ok(r) => r,
+                Err(_) => {
+                    return Ok(EntryStatus::Unreadable {
+                        detail: e.to_string(),
+                    })
+                }
+            };
+            let mut kept = 0u64;
+            for rec in &mut lenient {
+                if rec.is_err() {
+                    break;
+                }
+                kept += 1;
+            }
+            if kept == 0 {
+                Ok(EntryStatus::Unreadable {
+                    detail: e.to_string(),
+                })
+            } else {
+                let reason = lenient
+                    .salvaged()
+                    .map_or(SalvageReason::DamagedChunk, |s| s.reason);
+                Ok(EntryStatus::Salvageable {
+                    records_kept: kept,
+                    records_expected: meta.records,
+                    reason,
+                })
+            }
+        }
+    }
+}
+
+/// Moves `path` into the store's quarantine directory (best-effort
+/// create), preserving the file name.
+fn quarantine<S: Storage>(store: &TraceStore<S>, path: &Path) -> Result<(), StoreError> {
+    let qdir = store.dir().join(QUARANTINE_DIR);
+    store.storage().create_dir_all(&qdir)?;
+    let name = path.file_name().expect("store paths have file names");
+    store.storage().rename(path, &qdir.join(name))?;
+    Ok(())
+}
+
+/// Reads the salvageable prefix of a damaged entry.
+fn salvage_records<S: Storage>(
+    store: &TraceStore<S>,
+    slug: &str,
+) -> Result<Vec<MissRecord>, StoreError> {
+    let bytes = store.storage().read(&store.trace_path(slug))?;
+    let mut out = Vec::new();
+    for rec in TraceReader::with_salvage(&bytes[..])? {
+        match rec {
+            Ok(r) => out.push(r),
+            Err(_) => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Verifies every entry of `store`; with `repair`, quarantines damaged
+/// files (salvaging complete chunks into a fresh entry first) and
+/// removes stale `*.tmp` leftovers.
+///
+/// Never panics on damaged input: corruption is reported (and with
+/// `repair`, contained), not propagated as a torn replay.
+///
+/// # Errors
+///
+/// Only environment errors — an unlistable directory, a quarantine
+/// move that fails. Damage inside entries is a report, not an error.
+pub fn fsck<S: Storage>(store: &TraceStore<S>, repair: bool) -> Result<FsckReport, StoreError> {
+    let mut report = FsckReport::default();
+    let mut traces = Vec::new();
+    let mut metas = Vec::new();
+    for entry in fs::read_dir(store.dir())? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".tmp") {
+            report.orphans.push(name);
+        } else if let Some(slug) = name.strip_suffix(".trace") {
+            traces.push(slug.to_string());
+        } else if let Some(slug) = name.strip_suffix(".meta.json") {
+            metas.push(slug.to_string());
+        }
+    }
+    traces.sort();
+    metas.sort();
+    for slug in &traces {
+        if !metas.contains(slug) {
+            report.orphans.push(format!("{slug}.trace"));
+        }
+    }
+    for slug in &metas {
+        if !traces.contains(slug) {
+            report.orphans.push(format!("{slug}.meta.json"));
+        }
+    }
+    report.orphans.sort();
+
+    for slug in traces.iter().filter(|s| metas.contains(s)) {
+        let status = match store.meta(slug) {
+            Ok(meta) => verify_entry(store, slug, &meta)?,
+            Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+            Err(e) => EntryStatus::CorruptMeta {
+                detail: e.to_string(),
+            },
+        };
+        report.entries.push(FsckEntry {
+            slug: slug.clone(),
+            status,
+        });
+    }
+
+    if repair {
+        for entry in &report.entries {
+            match &entry.status {
+                EntryStatus::Clean { .. } => {}
+                EntryStatus::Salvageable { .. } => {
+                    let records = salvage_records(store, &entry.slug)?;
+                    let meta = store.meta(&entry.slug)?;
+                    quarantine(store, &store.trace_path(&entry.slug))?;
+                    let kept = records.len() as u64;
+                    store.save_records(
+                        &entry.slug,
+                        records,
+                        &TraceMeta {
+                            records: kept,
+                            ..meta
+                        },
+                    )?;
+                    report.repaired.push((
+                        entry.slug.clone(),
+                        RepairAction::Salvaged { records_kept: kept },
+                    ));
+                }
+                EntryStatus::MetaMismatch { records, .. } => {
+                    let meta = store.meta(&entry.slug)?;
+                    store.storage().write_atomic(
+                        &store.meta_path(&entry.slug),
+                        TraceMeta {
+                            records: *records,
+                            ..meta
+                        }
+                        .to_json()
+                        .as_bytes(),
+                    )?;
+                    report
+                        .repaired
+                        .push((entry.slug.clone(), RepairAction::MetaRewritten));
+                }
+                EntryStatus::Unreadable { .. } | EntryStatus::CorruptMeta { .. } => {
+                    quarantine(store, &store.trace_path(&entry.slug))?;
+                    quarantine(store, &store.meta_path(&entry.slug))?;
+                    report
+                        .repaired
+                        .push((entry.slug.clone(), RepairAction::Quarantined));
+                }
+            }
+        }
+        // Stale temporaries are droppings from an interrupted save;
+        // with repair on they are deleted, not quarantined.
+        for orphan in &report.orphans {
+            if orphan.ends_with(".tmp") {
+                let _ = store.storage().remove_file(&store.dir().join(orphan));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// One evicted entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    /// The entry's slug.
+    pub slug: String,
+    /// Bytes freed (trace + sidecar).
+    pub bytes: u64,
+}
+
+/// The result of a [`gc`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Store size (complete entries, trace + sidecar) before eviction.
+    pub bytes_before: u64,
+    /// Store size after eviction.
+    pub bytes_after: u64,
+    /// Evicted entries, least-recently-used first.
+    pub evicted: Vec<Evicted>,
+    /// Entries kept.
+    pub kept: usize,
+}
+
+impl GcReport {
+    /// Renders the deterministic summary `repro trace gc` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.evicted {
+            let _ = writeln!(out, "evicted   {} ({} bytes)", e.slug, e.bytes);
+        }
+        let _ = writeln!(
+            out,
+            "{} -> {} bytes, {} evicted, {} kept",
+            self.bytes_before,
+            self.bytes_after,
+            self.evicted.len(),
+            self.kept
+        );
+        out
+    }
+}
+
+/// Evicts least-recently-used entries until the store's complete
+/// entries total at most `max_bytes`. Use order is file mtime —
+/// [`TraceStore::load`] freshens it on every successful load. Ties
+/// break by slug so the eviction order is deterministic.
+///
+/// # Errors
+///
+/// Directory-listing or removal failures.
+pub fn gc<S: Storage>(store: &TraceStore<S>, max_bytes: u64) -> Result<GcReport, StoreError> {
+    let mut entries = Vec::new();
+    for slug in store.list()? {
+        let trace_path = store.trace_path(&slug);
+        let meta_path = store.meta_path(&slug);
+        let trace_md = fs::metadata(&trace_path)?;
+        let bytes = trace_md.len() + fs::metadata(&meta_path).map_or(0, |m| m.len());
+        let used = trace_md
+            .modified()
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        entries.push((used, slug, bytes));
+    }
+    let mut report = GcReport {
+        bytes_before: entries.iter().map(|(_, _, b)| b).sum(),
+        ..GcReport::default()
+    };
+    report.bytes_after = report.bytes_before;
+    // Oldest first; equal timestamps fall back to slug order.
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut keep_from = 0;
+    while report.bytes_after > max_bytes && keep_from < entries.len() {
+        let (_, slug, bytes) = &entries[keep_from];
+        store.storage().remove_file(&store.trace_path(slug))?;
+        store.storage().remove_file(&store.meta_path(slug))?;
+        report.bytes_after -= bytes;
+        report.evicted.push(Evicted {
+            slug: slug.clone(),
+            bytes: *bytes,
+        });
+        keep_from += 1;
+    }
+    report.kept = entries.len() - keep_from;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+    use ccnuma_trace::Trace;
+    use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ccnuma-fsck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample(n: u64) -> Trace {
+        (0..n)
+            .map(|i| MissRecord::user_data_read(Ns(i * 500), ProcId(0), Pid(0), VirtPage(i / 8)))
+            .collect()
+    }
+
+    fn meta_for(t: &Trace) -> TraceMeta {
+        TraceMeta {
+            label: "sample".into(),
+            records: t.len() as u64,
+            nodes: 8,
+            other_time_ns: 0,
+        }
+    }
+
+    fn store_with(tag: &str, slugs: &[(&str, u64)]) -> (TraceStore, PathBuf) {
+        let dir = tmpdir(tag);
+        let store = TraceStore::new(&dir).unwrap();
+        for (slug, n) in slugs {
+            let t = sample(*n);
+            store.save(slug, &t, &meta_for(&t)).unwrap();
+        }
+        (store, dir)
+    }
+
+    #[test]
+    fn clean_store_passes() {
+        let (store, dir) = store_with("clean", &[("a", 100), ("b", 50)]);
+        let report = fsck(&store, false).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.entries.len(), 2);
+        assert!(report.render().contains("2 entries: 2 clean"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_salvageable_and_repair_rewrites() {
+        let (store, dir) = store_with("trunc", &[("a", 10_000)]);
+        // Chop the tail mid-chunk.
+        let path = store.trace_path("a");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let report = fsck(&store, false).unwrap();
+        assert!(!report.is_clean());
+        let FsckEntry { status, .. } = &report.entries[0];
+        let EntryStatus::Salvageable { records_kept, .. } = status else {
+            panic!("expected salvageable, got {status:?}");
+        };
+        assert!(*records_kept > 0 && *records_kept < 10_000);
+
+        let repaired = fsck(&store, true).unwrap();
+        assert_eq!(repaired.repaired.len(), 1);
+        // The store now holds the salvaged entry and passes fsck.
+        let after = fsck(&store, false).unwrap();
+        assert!(after.is_clean(), "{}", after.render());
+        let (t, m) = store.load("a").unwrap();
+        assert_eq!(t.len() as u64, m.records);
+        assert!(dir.join(QUARANTINE_DIR).join("a.trace").is_file());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_header_is_quarantined() {
+        let (store, dir) = store_with("garbage", &[("a", 100)]);
+        fs::write(store.trace_path("a"), b"not a trace at all").unwrap();
+        let report = fsck(&store, true).unwrap();
+        assert!(matches!(
+            report.entries[0].status,
+            EntryStatus::Unreadable { .. }
+        ));
+        assert_eq!(report.repaired[0].1, RepairAction::Quarantined);
+        assert!(store.list().unwrap().is_empty());
+        assert!(dir.join(QUARANTINE_DIR).join("a.trace").is_file());
+        assert!(dir.join(QUARANTINE_DIR).join("a.meta.json").is_file());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_meta_and_mismatch_are_detected() {
+        let (store, dir) = store_with("meta", &[("a", 100), ("b", 100)]);
+        fs::write(store.meta_path("a"), "{ not json").unwrap();
+        let good = store.meta("b").unwrap();
+        fs::write(
+            store.meta_path("b"),
+            TraceMeta {
+                records: 999,
+                ..good
+            }
+            .to_json(),
+        )
+        .unwrap();
+        let report = fsck(&store, false).unwrap();
+        assert!(matches!(
+            report.entries[0].status,
+            EntryStatus::CorruptMeta { .. }
+        ));
+        assert!(matches!(
+            report.entries[1].status,
+            EntryStatus::MetaMismatch {
+                records: 100,
+                records_expected: 999
+            }
+        ));
+        // Repair rewrites the lying sidecar in place.
+        let repaired = fsck(&store, true).unwrap();
+        assert!(repaired
+            .repaired
+            .iter()
+            .any(|(s, a)| s == "b" && *a == RepairAction::MetaRewritten));
+        assert_eq!(store.meta("b").unwrap().records, 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphans_and_stale_tmps_are_reported_and_cleaned() {
+        let (store, dir) = store_with("orphan", &[("a", 10)]);
+        fs::write(dir.join("lonely.trace"), b"x").unwrap();
+        fs::write(dir.join("b.trace.tmp"), b"y").unwrap();
+        let report = fsck(&store, false).unwrap();
+        assert_eq!(report.orphans, vec!["b.trace.tmp", "lonely.trace"]);
+        assert!(dir.join("b.trace.tmp").is_file(), "dry run deletes nothing");
+        fsck(&store, true).unwrap();
+        assert!(!dir.join("b.trace.tmp").is_file(), "repair removes tmps");
+        assert!(dir.join("lonely.trace").is_file(), "orphans are kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_lru_until_under_budget() {
+        let (store, dir) = store_with("gc", &[("old", 5000), ("hot", 5000), ("mid", 5000)]);
+        // Establish distinct mtimes: old < mid < hot.
+        let stamp = |slug: &str, secs: u64| {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .open(store.trace_path(slug))
+                .unwrap();
+            f.set_modified(
+                std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs),
+            )
+            .unwrap();
+        };
+        stamp("old", 1000);
+        stamp("mid", 2000);
+        stamp("hot", 3000);
+        let total: u64 = store
+            .list()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                fs::metadata(store.trace_path(s)).unwrap().len()
+                    + fs::metadata(store.meta_path(s)).unwrap().len()
+            })
+            .sum();
+        // Budget for roughly two entries: the oldest goes.
+        let report = gc(&store, total * 2 / 3).unwrap();
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.evicted[0].slug, "old");
+        assert_eq!(report.kept, 2);
+        assert!(report.bytes_after <= total * 2 / 3);
+        assert_eq!(store.list().unwrap(), vec!["hot", "mid"]);
+        // A zero budget clears the store.
+        let report = gc(&store, 0).unwrap();
+        assert_eq!(report.evicted.len(), 2);
+        assert_eq!(report.bytes_after, 0);
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_freshens_mtime_for_lru() {
+        let (store, dir) = store_with("touch", &[("a", 100)]);
+        let f = fs::OpenOptions::new()
+            .append(true)
+            .open(store.trace_path("a"))
+            .unwrap();
+        f.set_modified(std::time::SystemTime::UNIX_EPOCH).unwrap();
+        drop(f);
+        let before = fs::metadata(store.trace_path("a"))
+            .unwrap()
+            .modified()
+            .unwrap();
+        store.load("a").unwrap();
+        let after = fs::metadata(store.trace_path("a"))
+            .unwrap()
+            .modified()
+            .unwrap();
+        assert!(after > before, "load must freshen the LRU stamp");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_never_panics_on_random_corruption() {
+        // A cheap deterministic sweep: flip one byte at a range of
+        // offsets and truncate at a range of lengths; fsck must always
+        // classify, never panic, and repair must always converge.
+        let t = sample(2000);
+        let mut encoded = Vec::new();
+        let mut w = TraceWriter::new(&mut encoded).unwrap();
+        for r in t.iter() {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        for step in 0..24usize {
+            let dir = tmpdir(&format!("sweep-{step}"));
+            let store = TraceStore::new(&dir).unwrap();
+            store.save("x", &t, &meta_for(&t)).unwrap();
+            let path = store.trace_path("x");
+            let mut bytes = encoded.clone();
+            if step % 2 == 0 {
+                let at = (step / 2) * bytes.len() / 12;
+                let at = at.min(bytes.len() - 1);
+                bytes[at] ^= 0x10;
+            } else {
+                let keep = (step / 2 + 1) * bytes.len() / 13;
+                bytes.truncate(keep.min(bytes.len()));
+            }
+            fs::write(&path, &bytes).unwrap();
+            let report = fsck(&store, true).unwrap();
+            assert_eq!(report.entries.len(), 1);
+            // After repair the store must verify clean (possibly empty).
+            let after = fsck(&store, false).unwrap();
+            assert!(after.is_clean(), "step {step}: {}", after.render());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

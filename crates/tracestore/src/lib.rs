@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod fsck;
 pub mod store;
 pub mod sweep;
 pub mod varint;
@@ -53,8 +54,11 @@ pub use format::{
     read_chunk_at, ChunkEntry, ChunkIndex, SalvageInfo, SalvageReason, StoreError, TraceReader,
     TraceWriter, WriteSummary, DEFAULT_CHUNK_RECORDS, VERSION_V2,
 };
-pub use store::{TraceMeta, TraceStore, META_SCHEMA};
+pub use fsck::{
+    fsck, gc, EntryStatus, FsckEntry, FsckReport, GcReport, RepairAction, QUARANTINE_DIR,
+};
+pub use store::{OpenedEntry, TraceMeta, TraceStore, META_SCHEMA};
 pub use sweep::{
-    run_sweep, run_sweep_profiled, CellParams, SweepCell, SweepPolicy, SweepReport, SweepSpec,
-    SWEEP_SCHEMA,
+    run_sweep, run_sweep_profiled, run_sweep_resumable, CellParams, SweepCell, SweepPolicy,
+    SweepReport, SweepSpec, CELL_KIND, SWEEP_SCHEMA,
 };

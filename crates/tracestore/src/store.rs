@@ -10,12 +10,17 @@
 //! render from a stored trace without re-running the machine simulator.
 
 use crate::format::{StoreError, TraceReader, TraceWriter, WriteSummary};
+use ccnuma_faults::io::{is_transient, DiskStorage, RetryPolicy, Storage};
 use ccnuma_obs::artifact_slug;
 use ccnuma_obs::json::JsonWriter;
 use ccnuma_trace::{MissRecord, Trace, TraceBuilder};
-use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Read};
+use std::fs;
+use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+
+/// What [`TraceStore::open`] yields: a streaming reader over the entry's
+/// trace plus its decoded sidecar.
+pub type OpenedEntry<S> = (TraceReader<BufReader<<S as Storage>::ReadFile>>, TraceMeta);
 
 /// Sidecar metadata stored next to each trace file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,32 +156,64 @@ fn find_value(text: &str, key: &str) -> Option<usize> {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct TraceStore {
+pub struct TraceStore<S: Storage = DiskStorage> {
     dir: PathBuf,
+    storage: S,
+    retry: RetryPolicy,
 }
 
-impl TraceStore {
-    /// Opens (creating if needed) the store directory.
+impl TraceStore<DiskStorage> {
+    /// Opens (creating if needed) the store directory on plain disk
+    /// storage. Monomorphizes to exactly the pre-fault-injection code.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn new<P: AsRef<Path>>(dir: P) -> Result<TraceStore, StoreError> {
-        fs::create_dir_all(dir.as_ref())?;
-        Ok(TraceStore {
-            dir: dir.as_ref().to_path_buf(),
-        })
-    }
-
-    /// The store's directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+        TraceStore::with_storage(dir, DiskStorage)
     }
 
     /// The content address for a run: readable label + identity
     /// fingerprint, shared with the obs artifact naming.
     pub fn slug(label: &str, identity: &str) -> String {
         artifact_slug(label, identity)
+    }
+}
+
+impl<S: Storage> TraceStore<S> {
+    /// Opens (creating if needed) the store directory on `storage` —
+    /// the fault-injection seam: hand it a
+    /// [`FaultyStorage`](ccnuma_faults::FaultyStorage) to stress every
+    /// save and load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_storage<P: AsRef<Path>>(dir: P, storage: S) -> Result<TraceStore<S>, StoreError> {
+        storage.create_dir_all(dir.as_ref())?;
+        Ok(TraceStore {
+            dir: dir.as_ref().to_path_buf(),
+            storage,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Overrides the bounded retry-with-backoff policy
+    /// [`save`](TraceStore::save) uses for transient storage failures.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> TraceStore<S> {
+        self.retry = retry;
+        self
+    }
+
+    /// The storage layer the store performs its I/O through.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Path of the trace file for `slug`.
@@ -197,6 +234,9 @@ impl TraceStore {
     /// Writes `trace` and its sidecar under `slug`, atomically: data
     /// lands in temporaries first and is renamed into place (sidecar
     /// last, since [`contains`](TraceStore::contains) requires both).
+    /// Transient storage failures are retried with bounded backoff (see
+    /// [`with_retry`](TraceStore::with_retry)); permanent errors
+    /// (ENOSPC-class) surface immediately.
     ///
     /// # Errors
     ///
@@ -207,11 +247,26 @@ impl TraceStore {
         trace: &Trace,
         meta: &TraceMeta,
     ) -> Result<WriteSummary, StoreError> {
-        self.save_records(slug, trace.iter().copied(), meta)
+        let attempts = self.retry.attempts.max(1);
+        let mut backoff = self.retry.base_backoff;
+        let mut tried = 0;
+        loop {
+            match self.save_records(slug, trace.iter().copied(), meta) {
+                Err(StoreError::Io(e)) if tried + 1 < attempts && is_transient(&e) => {
+                    tried += 1;
+                    if backoff > std::time::Duration::ZERO {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Streaming form of [`save`](TraceStore::save) for callers that do
-    /// not hold a whole [`Trace`].
+    /// not hold a whole [`Trace`]. Single-attempt: the record iterator
+    /// cannot be replayed, so retrying is the caller's business.
     ///
     /// # Errors
     ///
@@ -225,14 +280,14 @@ impl TraceStore {
         let trace_tmp = self.dir.join(format!("{slug}.trace.tmp"));
         let meta_tmp = self.dir.join(format!("{slug}.meta.json.tmp"));
         let result = (|| {
-            let mut w = TraceWriter::new(BufWriter::new(File::create(&trace_tmp)?))?;
+            let mut w = TraceWriter::new(BufWriter::new(self.storage.create(&trace_tmp)?))?;
             for r in records {
                 w.push(&r)?;
             }
             let summary = w.finish()?;
-            fs::write(&meta_tmp, meta.to_json())?;
-            fs::rename(&trace_tmp, self.trace_path(slug))?;
-            fs::rename(&meta_tmp, self.meta_path(slug))?;
+            self.storage.write(&meta_tmp, meta.to_json().as_bytes())?;
+            self.storage.rename(&trace_tmp, &self.trace_path(slug))?;
+            self.storage.rename(&meta_tmp, &self.meta_path(slug))?;
             Ok(summary)
         })();
         if result.is_err() {
@@ -247,17 +302,17 @@ impl TraceStore {
     /// # Errors
     ///
     /// I/O errors (including a missing entry) or a corrupt sidecar.
-    pub fn open(
-        &self,
-        slug: &str,
-    ) -> Result<(TraceReader<BufReader<File>>, TraceMeta), StoreError> {
+    pub fn open(&self, slug: &str) -> Result<OpenedEntry<S>, StoreError> {
         let meta = self.meta(slug)?;
-        let reader = TraceReader::new(BufReader::new(File::open(self.trace_path(slug))?))?;
+        let reader = TraceReader::new(BufReader::new(self.storage.open(&self.trace_path(slug))?))?;
         Ok((reader, meta))
     }
 
     /// Loads the whole trace into memory (for callers that genuinely
-    /// need a [`Trace`], e.g. figure rendering).
+    /// need a [`Trace`], e.g. figure rendering). A successful load
+    /// freshens the entry's file mtime, so `trace gc`'s
+    /// least-recently-used eviction order tracks actual use, not just
+    /// capture time.
     ///
     /// # Errors
     ///
@@ -268,6 +323,7 @@ impl TraceStore {
         for rec in reader {
             b.push(rec?);
         }
+        touch(&self.trace_path(slug));
         Ok((b.finish(), meta))
     }
 
@@ -277,8 +333,8 @@ impl TraceStore {
     ///
     /// I/O errors or a corrupt sidecar.
     pub fn meta(&self, slug: &str) -> Result<TraceMeta, StoreError> {
-        let mut text = String::new();
-        File::open(self.meta_path(slug))?.read_to_string(&mut text)?;
+        let bytes = self.storage.read(&self.meta_path(slug))?;
+        let text = String::from_utf8_lossy(&bytes);
         TraceMeta::from_json(&text)
     }
 
@@ -300,6 +356,15 @@ impl TraceStore {
         }
         slugs.sort();
         Ok(slugs)
+    }
+}
+
+/// Best-effort LRU hint: bump a file's mtime to "now" so `trace gc`
+/// evicts genuinely cold entries first. Purely a host-side ordering
+/// aid — failures are ignored and the bytes on disk are untouched.
+fn touch(path: &Path) {
+    if let Ok(f) = fs::OpenOptions::new().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
     }
 }
 
@@ -333,6 +398,39 @@ mod tests {
     fn meta_rejects_wrong_schema() {
         let text = meta().to_json().replace(META_SCHEMA, "ccnuma-other/9");
         assert!(TraceMeta::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn save_retries_through_injected_write_failures() {
+        use ccnuma_faults::io::{FaultyStorage, IoFaultConfig, IoFaults};
+        let dir = std::env::temp_dir().join(format!("ccnuma-store-faulty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = IoFaultConfig {
+            write_fail_p: 0.20,
+            ..IoFaultConfig::default()
+        };
+        // The fault stream is a pure function of the seed, so this test
+        // is deterministic: enough attempts that the flaky-disk run
+        // converges, and the entry must then read back bit-exact.
+        let store =
+            TraceStore::with_storage(&dir, FaultyStorage::new(IoFaults::new(cfg, 0xC0FFEE)))
+                .unwrap()
+                .with_retry(RetryPolicy {
+                    attempts: 64,
+                    base_backoff: std::time::Duration::ZERO,
+                });
+        let slug = TraceStore::slug("raytrace [FT] +trace", "identity-faulty");
+        store.save(&slug, &trace(), &meta()).unwrap();
+        assert!(
+            store.storage().faults().stats().write_fails > 0,
+            "the scenario must actually have injected failures"
+        );
+        // Verify through a clean store: no read-side injection.
+        let clean = TraceStore::new(&dir).unwrap();
+        let (t, m) = clean.load(&slug).unwrap();
+        assert_eq!(t, trace());
+        assert_eq!(m, meta());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! bytes do not depend on the worker count.
 
 use crate::format::StoreError;
-use ccnuma_core::{MissMetric, PolicyParams};
-use ccnuma_obs::json::JsonWriter;
+use ccnuma_core::{MissMetric, PolicyParams, PolicyStats};
+use ccnuma_faults::io::Storage;
+use ccnuma_obs::checkpoint::CheckpointJournal;
+use ccnuma_obs::json::{JsonValue, JsonWriter};
 use ccnuma_obs::{Phase, Profiler, SpanProfiler};
 use ccnuma_polsim::{PolsimConfig, PolsimReport, Replay, SimPolicy, TraceFilter};
 use ccnuma_trace::MissRecord;
@@ -22,6 +24,7 @@ use core::fmt;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A policy axis value in a sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -382,6 +385,114 @@ impl SweepReport {
     }
 }
 
+/// The journal record kind sweep cells are checkpointed under.
+pub const CELL_KIND: &str = "cell";
+
+/// Serializes one finished cell into a checkpoint-journal payload.
+/// Every field is a `u64` (times are `Ns` counts), so the round trip
+/// is exact by construction.
+fn cell_payload(report: &PolsimReport, records: u64) -> String {
+    let mut j = JsonWriter::new();
+    let u = |j: &mut JsonWriter, k: &str, v: u64| {
+        j.key(k);
+        j.raw(&v.to_string());
+    };
+    j.begin_obj();
+    j.key("label");
+    j.str(&report.label);
+    u(&mut j, "records", records);
+    u(&mut j, "local_misses", report.local_misses);
+    u(&mut j, "remote_misses", report.remote_misses);
+    u(&mut j, "local_stall_ns", report.local_stall.0);
+    u(&mut j, "remote_stall_ns", report.remote_stall.0);
+    u(&mut j, "mig_overhead_ns", report.mig_overhead.0);
+    u(&mut j, "rep_overhead_ns", report.rep_overhead.0);
+    u(&mut j, "migrations", report.migrations);
+    u(&mut j, "replications", report.replications);
+    u(&mut j, "collapses", report.collapses);
+    u(&mut j, "other_time_ns", report.other_time.0);
+    j.key("policy_stats");
+    match &report.policy_stats {
+        None => j.raw("null"),
+        Some(p) => {
+            j.begin_obj();
+            u(&mut j, "misses_observed", p.misses_observed);
+            u(&mut j, "hot_events", p.hot_events);
+            u(&mut j, "migrations", p.migrations);
+            u(&mut j, "replications", p.replications);
+            u(&mut j, "remaps", p.remaps);
+            u(&mut j, "collapses", p.collapses);
+            u(&mut j, "no_action", p.no_action);
+            u(&mut j, "no_action_write_shared", p.no_action_write_shared);
+            u(&mut j, "no_action_migrate_limit", p.no_action_migrate_limit);
+            u(&mut j, "no_action_pressure", p.no_action_pressure);
+            u(&mut j, "no_action_disabled", p.no_action_disabled);
+            u(&mut j, "no_action_frozen", p.no_action_frozen);
+            u(&mut j, "no_page", p.no_page);
+            j.end_obj();
+        }
+    }
+    j.end_obj();
+    j.finish()
+}
+
+/// Rebuilds a cell result from a journal payload. `None` if the
+/// payload is malformed — the caller replays that cell.
+fn cell_from_payload(v: &JsonValue) -> Option<(PolsimReport, u64)> {
+    fn u(v: &JsonValue, k: &str) -> Option<u64> {
+        v.get(k).and_then(JsonValue::as_u64)
+    }
+    let policy_stats = match v.get("policy_stats")? {
+        JsonValue::Null => None,
+        p => Some(PolicyStats {
+            misses_observed: u(p, "misses_observed")?,
+            hot_events: u(p, "hot_events")?,
+            migrations: u(p, "migrations")?,
+            replications: u(p, "replications")?,
+            remaps: u(p, "remaps")?,
+            collapses: u(p, "collapses")?,
+            no_action: u(p, "no_action")?,
+            no_action_write_shared: u(p, "no_action_write_shared")?,
+            no_action_migrate_limit: u(p, "no_action_migrate_limit")?,
+            no_action_pressure: u(p, "no_action_pressure")?,
+            no_action_disabled: u(p, "no_action_disabled")?,
+            no_action_frozen: u(p, "no_action_frozen")?,
+            no_page: u(p, "no_page")?,
+        }),
+    };
+    Some((
+        PolsimReport {
+            label: v.get("label")?.as_str()?.to_string(),
+            local_misses: u(v, "local_misses")?,
+            remote_misses: u(v, "remote_misses")?,
+            local_stall: Ns(u(v, "local_stall_ns")?),
+            remote_stall: Ns(u(v, "remote_stall_ns")?),
+            mig_overhead: Ns(u(v, "mig_overhead_ns")?),
+            rep_overhead: Ns(u(v, "rep_overhead_ns")?),
+            migrations: u(v, "migrations")?,
+            replications: u(v, "replications")?,
+            collapses: u(v, "collapses")?,
+            other_time: Ns(u(v, "other_time_ns")?),
+            policy_stats,
+        },
+        u(v, "records")?,
+    ))
+}
+
+/// Resume/journal hooks for a checkpointed sweep, threaded through
+/// [`run_sweep_inner`].
+struct SweepCkpt<'a> {
+    /// Restored results keyed by memo key; jobs found here are never
+    /// replayed.
+    resume: HashMap<String, (PolsimReport, u64)>,
+    /// Called (from worker threads) after each fresh replay completes.
+    on_complete: &'a (dyn Fn(&str, &PolsimReport, u64) + Sync),
+    /// Per-cell soft deadline: a replay exceeding it gets a stderr
+    /// warning. Warnings never touch the artifacts, so resumed and
+    /// fresh sweeps stay byte-identical.
+    soft_deadline: Option<Duration>,
+}
+
 /// Replays one cell, reopening the trace stream for the second pass a
 /// post-facto policy needs.
 fn replay_cell<I, F>(
@@ -435,7 +546,74 @@ where
     I: Iterator<Item = Result<MissRecord, StoreError>>,
     F: Fn() -> Result<I, StoreError> + Sync,
 {
-    run_sweep_inner(spec, nodes, other_time, jobs, open, false).map(|(report, _)| report)
+    run_sweep_inner(spec, nodes, other_time, jobs, open, false, None).map(|(report, _, _)| report)
+}
+
+/// [`run_sweep`] with crash tolerance: every finished distinct cell is
+/// journaled to `journal` (kind [`CELL_KIND`], keyed by
+/// [`CellParams::memo_key`]), and cells already journaled are restored
+/// instead of replayed. Returns the report plus the number of distinct
+/// replays restored from the journal.
+///
+/// The rendered artifacts are byte-identical whether the sweep ran
+/// fresh, resumed partially, or resumed completely — restored payloads
+/// round-trip every report field exactly, and `unique_replays` keeps
+/// counting distinct cells, not work done this invocation. Journaling
+/// failures cost durability, not the sweep: they are reported on
+/// stderr and the sweep continues. A replay exceeding `soft_deadline`
+/// warns on stderr (artifacts untouched); sweeps have no hard
+/// deadline — a cell is pure replay arithmetic, so unlike a bench run
+/// it cannot wedge on host state, and killing it would forfeit a
+/// resumable result.
+///
+/// # Errors
+///
+/// As [`run_sweep`], plus journal-load I/O errors (wrapped as
+/// [`StoreError::Io`]).
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn run_sweep_resumable<I, F, S>(
+    spec: &SweepSpec,
+    nodes: u16,
+    other_time: Ns,
+    jobs: usize,
+    open: F,
+    journal: &CheckpointJournal<S>,
+    soft_deadline: Option<Duration>,
+) -> Result<(SweepReport, usize), StoreError>
+where
+    I: Iterator<Item = Result<MissRecord, StoreError>>,
+    F: Fn() -> Result<I, StoreError> + Sync,
+    S: Storage,
+{
+    let mut resume = HashMap::new();
+    for rec in journal.load().map_err(StoreError::Io)?.records {
+        if rec.kind != CELL_KIND {
+            continue;
+        }
+        if let Some(restored) = cell_from_payload(&rec.payload) {
+            resume.insert(rec.cache_key, restored);
+        }
+    }
+    let on_complete = |memo_key: &str, report: &PolsimReport, records: u64| {
+        if let Err(e) = journal.append(
+            CELL_KIND,
+            memo_key,
+            memo_key,
+            &cell_payload(report, records),
+        ) {
+            eprintln!("warning: checkpoint: journaling sweep cell {memo_key}: {e}");
+        }
+    };
+    let ckpt = SweepCkpt {
+        resume,
+        on_complete: &on_complete,
+        soft_deadline,
+    };
+    run_sweep_inner(spec, nodes, other_time, jobs, open, false, Some(&ckpt))
+        .map(|(report, _, resumed)| (report, resumed))
 }
 
 /// [`run_sweep`] with host-time profiling: each worker thread owns its
@@ -463,8 +641,8 @@ where
     I: Iterator<Item = Result<MissRecord, StoreError>>,
     F: Fn() -> Result<I, StoreError> + Sync,
 {
-    run_sweep_inner(spec, nodes, other_time, jobs, open, true)
-        .map(|(report, prof)| (report, prof.expect("profiling was requested")))
+    run_sweep_inner(spec, nodes, other_time, jobs, open, true, None)
+        .map(|(report, prof, _)| (report, prof.expect("profiling was requested")))
 }
 
 fn run_sweep_inner<I, F>(
@@ -474,7 +652,8 @@ fn run_sweep_inner<I, F>(
     jobs: usize,
     open: F,
     profile: bool,
-) -> Result<(SweepReport, Option<SpanProfiler>), StoreError>
+    ckpt: Option<&SweepCkpt<'_>>,
+) -> Result<(SweepReport, Option<SpanProfiler>, usize), StoreError>
 where
     I: Iterator<Item = Result<MissRecord, StoreError>>,
     F: Fn() -> Result<I, StoreError> + Sync,
@@ -498,6 +677,20 @@ where
 
     type JobSlot = Mutex<Option<Result<(PolsimReport, u64), StoreError>>>;
     let results: Vec<JobSlot> = job_cells.iter().map(|_| Mutex::new(None)).collect();
+
+    // Restore journaled cells up front: their slots are filled before
+    // any worker starts, so workers simply skip them.
+    let mut resumed = 0usize;
+    if let Some(c) = ckpt {
+        for (i, cell) in job_cells.iter().enumerate() {
+            if let Some((report, n)) = c.resume.get(&cell.memo_key()) {
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(Ok((report.clone(), *n)));
+                resumed += 1;
+            }
+        }
+    }
+
     let next = AtomicUsize::new(0);
     let workers = jobs.min(job_cells.len()).max(1);
     let merged_prof: Mutex<SpanProfiler> = Mutex::new(SpanProfiler::new());
@@ -514,10 +707,33 @@ where
                     let Some(cell) = job_cells.get(i) else {
                         break;
                     };
+                    if results[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .is_some()
+                    {
+                        continue; // restored from the checkpoint journal
+                    }
                     let span = local_prof.as_mut().and_then(|p| p.enter(Phase::Replay));
+                    let started = Instant::now();
                     let outcome = replay_cell(cell, nodes, other_time, spec.filter, &open);
                     if let Some(p) = local_prof.as_mut() {
                         p.exit(Phase::Replay, span);
+                    }
+                    if let (Some(c), Ok((report, n))) = (ckpt, &outcome) {
+                        if let Some(soft) = c.soft_deadline {
+                            let wall = started.elapsed();
+                            if wall > soft {
+                                eprintln!(
+                                    "warning: watchdog: sweep cell {} exceeded soft deadline \
+                                     ({:.2}s > {:.2}s)",
+                                    cell.memo_key(),
+                                    wall.as_secs_f64(),
+                                    soft.as_secs_f64()
+                                );
+                            }
+                        }
+                        (c.on_complete)(&cell.memo_key(), report, *n);
                     }
                     *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 }
@@ -562,6 +778,7 @@ where
             unique_replays,
         },
         prof,
+        resumed,
     ))
 }
 
@@ -734,6 +951,116 @@ mod tests {
             assert_eq!(prof.spans(Phase::Replay), report.unique_replays as u64);
             assert!(prof.histogram(Phase::Replay).count() > 0);
         }
+    }
+
+    #[test]
+    fn resumable_sweep_journals_and_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-sweep-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = records();
+        // Dynamic + static policies so payloads cover both the
+        // policy_stats object and the null branch.
+        let spec = SweepSpec {
+            policies: vec![SweepPolicy::FirstTouch, SweepPolicy::MigRep],
+            triggers: vec![64, 128],
+            sample_rates: vec![1],
+            remote_latencies_ns: vec![1200],
+            move_costs_us: vec![350],
+            topologies: vec![TopologyPreset::Flat],
+            filter: TraceFilter::All,
+        };
+        let opens = AtomicUsize::new(0);
+        let open = || {
+            opens.fetch_add(1, Ordering::Relaxed);
+            Ok(open_mem(&recs))
+        };
+
+        let journal = CheckpointJournal::open(&dir).unwrap();
+        let (fresh, resumed) =
+            run_sweep_resumable(&spec, 8, Ns(777), 2, open, &journal, None).unwrap();
+        assert_eq!(resumed, 0, "first run restores nothing");
+        assert_eq!(fresh.unique_replays, 3, "FT + MigRep x 2 triggers");
+        let opened_fresh = opens.load(Ordering::Relaxed);
+        assert!(opened_fresh >= 3);
+
+        // A new invocation over the same journal replays nothing and
+        // renders the exact same bytes.
+        let journal = CheckpointJournal::open(&dir).unwrap();
+        let (resumed_report, resumed) =
+            run_sweep_resumable(&spec, 8, Ns(777), 2, open, &journal, None).unwrap();
+        assert_eq!(resumed, 3, "every distinct cell restored");
+        assert_eq!(
+            opens.load(Ordering::Relaxed),
+            opened_fresh,
+            "zero recomputation: the trace was never reopened"
+        );
+        assert_eq!(resumed_report, fresh);
+        assert_eq!(resumed_report.to_json("demo"), fresh.to_json("demo"));
+        assert_eq!(resumed_report.to_csv(), fresh.to_csv());
+
+        // And it matches a plain, never-checkpointed sweep.
+        let plain = run_sweep(&spec, 8, Ns(777), 2, || Ok(open_mem(&recs))).unwrap();
+        assert_eq!(plain, fresh);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_journal_resumes_only_missing_cells() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-sweep-part-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = records();
+        let spec = SweepSpec::default_grid();
+        // Journal only some cells, as if the first invocation was
+        // killed partway.
+        {
+            let journal = CheckpointJournal::open(&dir).unwrap();
+            let half = SweepSpec {
+                policies: vec![SweepPolicy::MigrationOnly],
+                ..spec.clone()
+            };
+            run_sweep_resumable(
+                &half,
+                8,
+                Ns::ZERO,
+                2,
+                || Ok(open_mem(&recs)),
+                &journal,
+                None,
+            )
+            .unwrap();
+        }
+        let journal = CheckpointJournal::open(&dir).unwrap();
+        let (report, resumed) = run_sweep_resumable(
+            &spec,
+            8,
+            Ns::ZERO,
+            2,
+            || Ok(open_mem(&recs)),
+            &journal,
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed, 4, "the four Migr cells came from the journal");
+        assert_eq!(report.unique_replays, 12);
+        let plain = run_sweep(&spec, 8, Ns::ZERO, 2, || Ok(open_mem(&recs))).unwrap();
+        assert_eq!(report, plain);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_payload_roundtrips_exactly() {
+        let recs = records();
+        let spec = SweepSpec::default_grid();
+        let report = run_sweep(&spec, 8, Ns(12345), 1, || Ok(open_mem(&recs))).unwrap();
+        for cell in &report.cells {
+            let payload = cell_payload(&cell.report, report.records);
+            let v = JsonValue::parse(&payload).unwrap();
+            let (back, n) = cell_from_payload(&v).unwrap();
+            assert_eq!(back, cell.report);
+            assert_eq!(n, report.records);
+        }
+        // Malformed payloads are rejected, not misread.
+        assert!(cell_from_payload(&JsonValue::parse("{\"label\":\"FT\"}").unwrap()).is_none());
     }
 
     #[test]

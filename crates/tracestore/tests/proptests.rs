@@ -6,8 +6,11 @@
 use ccnuma_trace::io::{record_from_parts, write_trace};
 use ccnuma_trace::{MissRecord, Trace};
 use ccnuma_tracestore::varint::{read_u64, unzigzag, write_u64, zigzag};
-use ccnuma_tracestore::{StoreError, TraceReader, TraceWriter};
+use ccnuma_tracestore::{
+    fsck, EntryStatus, StoreError, TraceMeta, TraceReader, TraceStore, TraceWriter,
+};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An arbitrary record: unconstrained fields plus any of the 16 valid
 /// flag combinations.
@@ -181,5 +184,133 @@ proptest! {
                 prop_assert_eq!(&delivered[..], &records[..delivered.len()], "prefix must be exact");
             }
         }
+    }
+}
+
+/// One kind of random damage an fsck case inflicts on a store entry.
+#[derive(Debug, Clone)]
+enum Damage {
+    /// XOR one byte of the trace at a fractional offset.
+    FlipTrace(f64, u8),
+    /// Truncate the trace to a fraction of its length.
+    Truncate(f64),
+    /// Overwrite the meta sidecar with garbage.
+    SmashMeta,
+    /// Leave the entry alone.
+    None,
+}
+
+fn arb_damage() -> impl Strategy<Value = Damage> {
+    (0u8..4, 0.0f64..1.0, 0u8..8).prop_map(|(kind, frac, bit)| match kind {
+        0 => Damage::FlipTrace(frac, bit),
+        1 => Damage::Truncate(frac),
+        2 => Damage::SmashMeta,
+        _ => Damage::None,
+    })
+}
+
+fn fsck_case_dir() -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "ccnuma-fsck-prop-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+proptest! {
+    // fsck cases hit the filesystem, so run fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary damage to an entry's trace or sidecar: fsck always
+    /// classifies (never panics), a dry run never mutates the store,
+    /// and a repair run always converges to a store fsck calls clean.
+    #[test]
+    fn fsck_classifies_and_repair_converges(
+        records in proptest::collection::vec(arb_record(), 1..600),
+        chunk in 1usize..33,
+        damage in arb_damage(),
+    ) {
+        let dir = fsck_case_dir();
+        let store = TraceStore::new(&dir).unwrap();
+        let trace: Trace = records.iter().copied().collect();
+        let meta = TraceMeta {
+            label: "prop".into(),
+            records: trace.len() as u64,
+            nodes: 8,
+            other_time_ns: 0,
+        };
+        // Re-encode at the case's chunk size so truncation points land
+        // in interesting places, then install it as the store entry.
+        {
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::with_chunk_records(&mut buf, chunk).unwrap();
+            for r in trace.iter() {
+                w.push(r).unwrap();
+            }
+            w.finish().unwrap();
+            store.save("x", &trace, &meta).unwrap();
+            std::fs::write(store.trace_path("x"), &buf).unwrap();
+        }
+        match &damage {
+            Damage::FlipTrace(frac, bit) => {
+                let p = store.trace_path("x");
+                let mut b = std::fs::read(&p).unwrap();
+                let at = (((b.len() - 1) as f64) * frac) as usize;
+                b[at] ^= 1 << bit;
+                std::fs::write(&p, &b).unwrap();
+            }
+            Damage::Truncate(frac) => {
+                let p = store.trace_path("x");
+                let b = std::fs::read(&p).unwrap();
+                let keep = ((b.len() as f64) * frac) as usize;
+                std::fs::write(&p, &b[..keep]).unwrap();
+            }
+            Damage::SmashMeta => {
+                std::fs::write(store.meta_path("x"), b"{ definitely not a sidecar").unwrap();
+            }
+            Damage::None => {}
+        }
+
+        let dry = fsck(&store, false).unwrap();
+        prop_assert_eq!(dry.entries.len(), 1);
+        prop_assert!(dry.repaired.is_empty(), "dry run repairs nothing");
+        if matches!(damage, Damage::None) {
+            prop_assert!(dry.is_clean(), "{}", dry.render());
+        }
+        if matches!(damage, Damage::SmashMeta) {
+            prop_assert!(
+                matches!(dry.entries[0].status, EntryStatus::CorruptMeta { .. }),
+                "{}", dry.render()
+            );
+        }
+        // Salvageable verdicts must never promise more than the sidecar.
+        if let EntryStatus::Salvageable { records_kept, records_expected, .. } =
+            &dry.entries[0].status
+        {
+            prop_assert!(*records_kept > 0, "zero kept is Unreadable, not Salvageable");
+            prop_assert!(records_kept <= records_expected);
+        }
+
+        // Repair, whatever the damage, converges: the next fsck is
+        // clean and every surviving entry loads.
+        let repaired = fsck(&store, true).unwrap();
+        prop_assert_eq!(
+            repaired.repaired.len(),
+            usize::from(!repaired.entries[0].status.is_clean())
+        );
+        let after = fsck(&store, false).unwrap();
+        prop_assert!(after.is_clean(), "after repair: {}", after.render());
+        for slug in store.list().unwrap() {
+            let (t, m) = store.load(&slug).unwrap();
+            prop_assert_eq!(t.len() as u64, m.records);
+            // Whatever survived is an exact prefix of the original.
+            let kept: Vec<MissRecord> = t.iter().copied().collect();
+            let original: Vec<MissRecord> = trace.iter().copied().collect();
+            prop_assert_eq!(&kept[..], &original[..kept.len()]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
