@@ -1,7 +1,7 @@
 //! Bench-regression tracking: baseline diffing and the history trail.
 //!
 //! `repro bench --baseline FILE --check` compares a freshly measured
-//! [`BenchReport`] against a committed `ccnuma-bench-hotpath/3` baseline
+//! [`BenchReport`] against a committed `ccnuma-bench-hotpath/4` baseline
 //! and fails (exit 1) when any throughput figure falls below the
 //! baseline by more than a tolerance band. Wall-clock throughput is
 //! noisy by nature, so the default band is generous (20%) — the check
@@ -31,23 +31,51 @@ pub const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
 
 pub use ccnuma_faults::io::atomic_write;
 
+/// Why a figure regressed for a structural reason rather than a plain
+/// below-the-band throughput number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaReason {
+    /// The baseline value is zero (or not a finite positive number):
+    /// no ratio is computable and the committed file is unusable as a
+    /// reference for this figure — regenerate it.
+    ZeroBaseline,
+    /// The baseline names a run the current suite did not measure: the
+    /// suite silently dropping a measurement must fail the check.
+    MissingRun,
+}
+
+impl DeltaReason {
+    /// Human-readable explanation for [`BenchCheck::render`].
+    pub fn describe(&self) -> &'static str {
+        match self {
+            DeltaReason::ZeroBaseline => "baseline value is zero — regenerate the baseline",
+            DeltaReason::MissingRun => "run missing from current suite",
+        }
+    }
+}
+
 /// One compared throughput figure.
 #[derive(Debug, Clone)]
 pub struct BenchDelta {
-    /// What was compared (e.g. `run engineering/FT/flat refs_per_sec`).
+    /// What was compared (e.g. `run engineering/FT/flat/x1 refs_per_sec`).
     pub metric: String,
     /// The committed baseline value.
     pub baseline: f64,
     /// The freshly measured value (0 when the run is missing now).
     pub current: f64,
-    /// True when `current` fell below the tolerance band.
+    /// True when `current` fell below the tolerance band (or the
+    /// comparison was structurally broken — see `reason`).
     pub regressed: bool,
+    /// Set when the figure regressed for a structural reason instead of
+    /// a below-the-band number.
+    pub reason: Option<DeltaReason>,
 }
 
 impl BenchDelta {
-    /// `current / baseline` (0 when the baseline is 0).
+    /// `current / baseline`. Never `Inf`/`NaN`: 0 when the baseline is
+    /// zero, negative, or not finite.
     pub fn ratio(&self) -> f64 {
-        if self.baseline > 0.0 {
+        if self.baseline > 0.0 && self.baseline.is_finite() && self.current.is_finite() {
             self.current / self.baseline
         } else {
             0.0
@@ -85,13 +113,17 @@ impl BenchCheck {
         ));
         for d in &self.deltas {
             s.push_str(&format!(
-                "{} {:<55} baseline {:>14.1} current {:>14.1} ({:>6.1}%)\n",
+                "{} {:<55} baseline {:>14.1} current {:>14.1} ({:>6.1}%)",
                 if d.regressed { "FAIL" } else { "ok  " },
                 d.metric,
                 d.baseline,
                 d.current,
                 d.ratio() * 100.0
             ));
+            if let Some(reason) = d.reason {
+                s.push_str(&format!(" [{}]", reason.describe()));
+            }
+            s.push('\n');
         }
         s.push_str(&format!(
             "bench check: {} figure(s), {} regression(s)\n",
@@ -115,27 +147,32 @@ fn str_member<'a>(obj: &'a JsonValue, key: &str, what: &str) -> Result<&'a str, 
         .ok_or_else(|| format!("baseline {what} has no string {key:?}"))
 }
 
-/// Compares `current` against a committed `ccnuma-bench-hotpath/3`
+/// Compares `current` against a committed `ccnuma-bench-hotpath/4`
 /// baseline document.
 ///
 /// Compared figures, all "higher is better" rates:
 ///
 /// * `totals.refs_per_sec` — the headline suite throughput;
-/// * per-run `refs_per_sec`, keyed by `(workload, policy, topology)` —
-///   a baseline run with no matching current run counts as a
-///   regression (the suite silently dropping a measurement must fail);
+/// * per-run `refs_per_sec`, keyed by `(workload, policy, topology,
+///   shards)` — a baseline run with no matching current run regresses
+///   with [`DeltaReason::MissingRun`] (the suite silently dropping a
+///   measurement must fail);
 /// * the `tracestore` codec block's `encode_mb_per_sec`,
 ///   `decode_mb_per_sec` and `replay_refs_per_sec`, when both sides
 ///   measured it.
 ///
 /// A figure regresses when `current < baseline * (1 - tolerance/100)`.
-/// Current runs absent from the baseline are ignored — adding coverage
-/// must not fail the check.
+/// A baseline value that is zero (or not a finite positive number)
+/// regresses with [`DeltaReason::ZeroBaseline`] instead of silently
+/// passing every current value — no ratio against it is meaningful, and
+/// no `Inf`/`NaN` ever reaches the rendered table. Current runs absent
+/// from the baseline are ignored — adding coverage must not fail the
+/// check.
 ///
 /// # Errors
 ///
 /// Returns a message when the baseline is not valid
-/// `ccnuma-bench-hotpath/3` JSON or its scale differs from the
+/// `ccnuma-bench-hotpath/4` JSON or its scale differs from the
 /// measured report's (cross-scale throughput is not comparable).
 pub fn check_against_baseline(
     current: &BenchReport,
@@ -144,9 +181,9 @@ pub fn check_against_baseline(
 ) -> Result<BenchCheck, String> {
     let doc = JsonValue::parse(baseline_json).map_err(|e| format!("parsing baseline: {e}"))?;
     let schema = str_member(&doc, "schema", "document")?;
-    if schema != "ccnuma-bench-hotpath/3" {
+    if schema != "ccnuma-bench-hotpath/4" {
         return Err(format!(
-            "baseline schema is {schema:?}, want \"ccnuma-bench-hotpath/3\""
+            "baseline schema is {schema:?}, want \"ccnuma-bench-hotpath/4\""
         ));
     }
     let scale = str_member(&doc, "scale", "document")?;
@@ -158,12 +195,18 @@ pub fn check_against_baseline(
     }
     let floor = 1.0 - tolerance_pct / 100.0;
     let mut deltas = Vec::new();
-    let mut push = |metric: String, baseline: f64, current: f64| {
+    let mut push = |metric: String, baseline: f64, current: f64, reason: Option<DeltaReason>| {
+        // A zero/non-finite baseline can never band-check a current
+        // value; surface it as its own typed failure.
+        let reason = reason.or_else(|| {
+            (!(baseline.is_finite() && baseline > 0.0)).then_some(DeltaReason::ZeroBaseline)
+        });
         deltas.push(BenchDelta {
             metric,
             baseline,
             current,
-            regressed: current < baseline * floor,
+            regressed: reason.is_some() || current < baseline * floor,
+            reason,
         });
     };
 
@@ -175,6 +218,7 @@ pub fn check_against_baseline(
         "totals refs_per_sec".into(),
         f64_member(totals, "refs_per_sec", "totals")?,
         current_rate,
+        None,
     );
 
     for run in doc
@@ -185,16 +229,19 @@ pub fn check_against_baseline(
         let workload = str_member(run, "workload", "run")?;
         let policy = str_member(run, "policy", "run")?;
         let topology = str_member(run, "topology", "run")?;
+        let shards = f64_member(run, "shards", "run")?;
         let base_rate = f64_member(run, "refs_per_sec", "run")?;
-        let now = current
-            .runs
-            .iter()
-            .find(|r| r.workload == workload && r.policy == policy && r.topology == topology)
-            .map_or(0.0, |r| r.refs_per_sec);
+        let now = current.runs.iter().find(|r| {
+            r.workload == workload
+                && r.policy == policy
+                && r.topology == topology
+                && f64::from(r.shards) == shards
+        });
         push(
-            format!("run {workload}/{policy}/{topology} refs_per_sec"),
+            format!("run {workload}/{policy}/{topology}/x{shards} refs_per_sec"),
             base_rate,
-            now,
+            now.map_or(0.0, |r| r.refs_per_sec),
+            now.is_none().then_some(DeltaReason::MissingRun),
         );
     }
 
@@ -208,6 +255,7 @@ pub fn check_against_baseline(
                 format!("tracestore {key}"),
                 f64_member(base_t, key, "tracestore")?,
                 now,
+                None,
             );
         }
     }
@@ -285,6 +333,7 @@ mod tests {
                 workload: "raytrace".into(),
                 policy: "FT".into(),
                 topology: "flat".into(),
+                shards: 1,
                 total_refs: 1000,
                 wall_seconds: 1000.0 / rate,
                 refs_per_sec: rate,
@@ -307,7 +356,7 @@ mod tests {
         assert!(check.ok(), "{}", check.render());
         // totals + 1 run + 3 codec figures.
         assert_eq!(check.deltas.len(), 5);
-        assert!(check.render().contains("run raytrace/FT/flat"));
+        assert!(check.render().contains("run raytrace/FT/flat/x1"));
     }
 
     #[test]
@@ -340,6 +389,10 @@ mod tests {
             .unwrap();
         assert!(missing.regressed);
         assert_eq!(missing.current, 0.0);
+        assert_eq!(missing.reason, Some(DeltaReason::MissingRun));
+        assert!(check.render().contains("run missing from current suite"));
+        // The ratio of the structurally-broken figure is still finite.
+        assert!(missing.ratio().is_finite());
         // The reverse — current measures more than the baseline — passes.
         let small = report(2000.0);
         let mut grown = report(2000.0);
@@ -347,6 +400,7 @@ mod tests {
             workload: "pmake".into(),
             policy: "FT".into(),
             topology: "flat".into(),
+            shards: 1,
             total_refs: 500,
             wall_seconds: 0.25,
             refs_per_sec: 2000.0,
@@ -354,6 +408,32 @@ mod tests {
         let check =
             check_against_baseline(&grown, &small.to_json(), DEFAULT_TOLERANCE_PCT).unwrap();
         assert!(check.ok(), "{}", check.render());
+    }
+
+    #[test]
+    fn zero_baseline_is_a_typed_regression_with_finite_ratio() {
+        let rep = report(2000.0);
+        // A baseline row whose refs_per_sec is 0 (a broken committed
+        // file) must fail with a typed reason, not silently pass every
+        // current value or render Inf/NaN.
+        let mut broken = report(2000.0);
+        broken.runs[0].refs_per_sec = 0.0;
+        let check = check_against_baseline(&rep, &broken.to_json(), DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(!check.ok());
+        let zero = check
+            .deltas
+            .iter()
+            .find(|d| d.metric.contains("raytrace"))
+            .unwrap();
+        assert!(zero.regressed);
+        assert_eq!(zero.reason, Some(DeltaReason::ZeroBaseline));
+        assert_eq!(zero.ratio(), 0.0, "never Inf/NaN");
+        let rendered = check.render();
+        assert!(rendered.contains("baseline value is zero"));
+        assert!(
+            !rendered.contains("inf") && !rendered.contains("NaN"),
+            "{rendered}"
+        );
     }
 
     #[test]

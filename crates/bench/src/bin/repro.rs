@@ -106,7 +106,7 @@
 //! variable (`quiet|info|debug`), then the default (a one-line
 //! summary). Experiment output on stdout is never gated.
 
-use ccnuma_bench::{experiments, set_topology_override, traced_ft_spec, Executor, RunPlan};
+use ccnuma_bench::{experiments, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::checkpoint::CheckpointJournal;
 use ccnuma_obs::Verbosity;
@@ -114,7 +114,7 @@ use ccnuma_tracestore::{
     fsck, gc, run_sweep, run_sweep_profiled, run_sweep_resumable, ChunkIndex, SweepPolicy,
     SweepSpec, TraceStore,
 };
-use ccnuma_types::TopologyPreset;
+use ccnuma_types::{ShardPlan, TopologyPreset};
 use ccnuma_workloads::{Scale, WorkloadKind};
 use std::fs::File;
 use std::path::PathBuf;
@@ -150,6 +150,19 @@ fn parse_topology(flag: &str, label: &str) -> TopologyPreset {
         );
         std::process::exit(2);
     })
+}
+
+/// Parses a `--shards N` value: a positive shard count. Shards are
+/// host-side parallelism only — stdout and reports are byte-identical
+/// at every count.
+fn parse_shards(flag: &str, it: &mut std::slice::Iter<'_, String>) -> ShardPlan {
+    match it.next().and_then(|v| v.parse::<u32>().ok()) {
+        Some(n) if n > 0 => ShardPlan::new(n),
+        _ => {
+            eprintln!("{flag} expects a positive shard count");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn open_store(dir: &PathBuf) -> TraceStore {
@@ -226,10 +239,11 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
 /// into exit 1, and one `ccnuma-bench-history/1` line is appended to
 /// the `--history` trajectory either way. File writes are atomic.
 fn run_bench(args: &[String]) -> ! {
-    let usage = "usage: repro bench [--scale quick|standard|full] [--out FILE] \
+    let usage = "usage: repro bench [--scale quick|standard|full] [--shards N] [--out FILE] \
                  [--baseline FILE] [--check] [--tolerance PCT] [--history FILE]";
     let mut scale = Scale::standard();
     let mut scale_label = "standard".to_string();
+    let mut shards = ShardPlan::serial();
     let mut out = PathBuf::from("BENCH_hotpath.json");
     let mut baseline: Option<PathBuf> = None;
     let mut check = false;
@@ -256,6 +270,7 @@ fn run_bench(args: &[String]) -> ! {
                     }
                 };
             }
+            "--shards" => shards = parse_shards("--shards", &mut it),
             "--out" => out = path_value("--out", &mut it),
             "--baseline" => baseline = Some(path_value("--baseline", &mut it)),
             "--check" => check = true,
@@ -281,7 +296,7 @@ fn run_bench(args: &[String]) -> ! {
         std::process::exit(2);
     }
     let start = Instant::now();
-    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL);
+    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL, shards);
     let (refs, wall, rate) = report.totals();
     if let Err(e) = ccnuma_bench::atomic_write(&out, report.to_json().as_bytes()) {
         eprintln!("writing {}: {e}", out.display());
@@ -568,13 +583,14 @@ fn trace_verify(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore:
 fn run_sweep_cmd(args: &[String]) -> ! {
     let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
                  [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
-                 [--out FILE] [--csv FILE] [--profile FILE] [--resume DIR] \
-                 [--soft-deadline SECS] [--policies P,..] \
+                 [--shards N] [--out FILE] [--csv FILE] [--profile FILE] \
+                 [--resume DIR] [--soft-deadline SECS] [--policies P,..] \
                  [--triggers N,..] [--samples N,..] [--latencies NS,..] \
                  [--move-costs US,..] [--topologies T,..]";
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
     let mut jobs = default_jobs();
+    let mut shards = ShardPlan::serial();
     let mut workload: Option<WorkloadKind> = None;
     let mut trace_slug: Option<String> = None;
     let mut out: Option<PathBuf> = None;
@@ -613,6 +629,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
                     }
                 };
             }
+            "--shards" => shards = parse_shards("--shards", &mut it),
             "--workload" => {
                 let name = next_value("--workload", &mut it);
                 workload = Some(parse_workload(name).unwrap_or_else(|| {
@@ -687,8 +704,12 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         }
         (None, Some(kind)) => {
             // Capture-once: the machine runs only if the store does not
-            // already hold this workload's trace.
-            let exec = Executor::serial().with_trace_store(store.clone());
+            // already hold this workload's trace. The capture (the only
+            // machine run a sweep makes) can shard; the swept replays
+            // are host-threaded via --jobs.
+            let exec = Executor::serial()
+                .with_shards(shards)
+                .with_trace_store(store.clone());
             let run_spec = traced_ft_spec(kind, scale);
             let slug = exec.trace_slug(&run_spec);
             let tr = exec.traced(&run_spec);
@@ -835,6 +856,8 @@ fn main() {
     let mut verbosity_flag: Option<Verbosity> = None;
     let mut fault_scenario: Option<FaultScenario> = None;
     let mut chaos_seed: u64 = 0;
+    let mut topology: Option<TopologyPreset> = None;
+    let mut shards: Option<ShardPlan> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -898,11 +921,9 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                if !set_topology_override(parse_topology("--topology", label)) {
-                    eprintln!("--topology: a different preset is already installed");
-                    std::process::exit(2);
-                }
+                topology = Some(parse_topology("--topology", label));
             }
+            "--shards" => shards = Some(parse_shards("--shards", &mut it)),
             "--obs-dir" => {
                 obs_dir = match it.next() {
                     Some(dir) => Some(PathBuf::from(dir)),
@@ -959,8 +980,8 @@ fn main() {
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--topology PRESET] [--obs-dir DIR] [--profile] [--trace-dir DIR] \
-             [--faults SCENARIO] [--chaos-seed N] [--resume DIR] \
+             [--shards N] [--topology PRESET] [--obs-dir DIR] [--profile] \
+             [--trace-dir DIR] [--faults SCENARIO] [--chaos-seed N] [--resume DIR] \
              [--soft-deadline SECS] [--hard-deadline SECS] [-v|-q]"
         );
         eprintln!("       repro all | repro bench | repro obs report | repro trace | repro sweep");
@@ -1001,6 +1022,12 @@ fn main() {
         chaos_seed,
     });
     let mut exec = Executor::new(jobs).with_verbosity(verbosity);
+    if let Some(preset) = topology {
+        exec = exec.with_topology(preset);
+    }
+    if let Some(plan) = shards {
+        exec = exec.with_shards(plan);
+    }
     if let Some(dir) = &obs_dir {
         exec = exec.with_obs_dir(dir.clone());
     }

@@ -8,42 +8,22 @@
 use crate::plan::Executor;
 use ccnuma_core::{DynamicPolicyKind, MissMetric, PolicyParams};
 use ccnuma_machine::{PolicyChoice, RunOptions, RunReport, RunSpec};
-use ccnuma_types::{Ns, TopologyPreset};
+use ccnuma_types::Ns;
 use ccnuma_workloads::{Scale, WorkloadKind};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-/// The `repro --topology` override. Process-global so the plan phase and
-/// the render phase of an experiment build identical [`RunSpec`]s (and
-/// hence hit the same executor cache entries) without threading a preset
-/// through every table and figure.
-static TOPOLOGY_OVERRIDE: OnceLock<TopologyPreset> = OnceLock::new();
-
-/// Installs the topology preset every `*_spec` helper applies to its
-/// runs. Write-once: returns `false` if a *different* preset was already
-/// installed (re-setting the same preset is a no-op success).
-pub fn set_topology_override(preset: TopologyPreset) -> bool {
-    TOPOLOGY_OVERRIDE.set(preset).is_ok() || topology_override() == preset
-}
-
-/// The installed topology preset, [`TopologyPreset::Flat`] (the paper's
-/// machine) when none was set.
-pub fn topology_override() -> TopologyPreset {
-    TOPOLOGY_OVERRIDE
-        .get()
-        .copied()
-        .unwrap_or(TopologyPreset::Flat)
-}
-
-/// `RunSpec::catalog` with the session's topology override applied.
-/// A `Flat` override is recorded as no override (see
-/// [`RunSpec::with_topology`]), keeping cache keys and goldens stable.
+/// `RunSpec::catalog`, preset-free. The `repro --topology` override is
+/// no longer process-global state: specs stay preset-free here and the
+/// [`Executor`] applies its configured default topology (see
+/// [`Executor::with_topology`]) when it runs them, so two executors in
+/// one process can reproduce two different machines.
 pub(crate) fn catalog(kind: WorkloadKind, scale: Scale, opts: RunOptions) -> RunSpec {
-    RunSpec::catalog(kind, scale, opts).with_topology(topology_override())
+    RunSpec::catalog(kind, scale, opts)
 }
 
-/// `RunSpec::shared_reader` with the session's topology override applied.
+/// `RunSpec::shared_reader`, preset-free (see [`catalog`]).
 pub(crate) fn shared_reader(nodes: u16, scale: Scale, opts: RunOptions) -> RunSpec {
-    RunSpec::shared_reader(nodes, scale, opts).with_topology(topology_override())
+    RunSpec::shared_reader(nodes, scale, opts)
 }
 
 /// The paper's per-workload trigger threshold: 96 for engineering, 128

@@ -9,16 +9,20 @@
 //! probe, coherence write, directory request), this measures the whole
 //! per-reference loop end to end.
 //!
-//! Schema (`ccnuma-bench-hotpath/3`; v3 added the per-run `topology`
-//! field and a four-socket-hierarchical whole-run row):
+//! Schema (`ccnuma-bench-hotpath/4`; v4 added the per-run `shards`
+//! field and — under `--shards N` — a serial comparison row for the
+//! first workload, so the file records the intra-run speedup. v3 added
+//! the per-run `topology` field and a four-socket-hierarchical
+//! whole-run row):
 //!
 //! ```json
 //! {
-//!   "schema": "ccnuma-bench-hotpath/3",
+//!   "schema": "ccnuma-bench-hotpath/4",
 //!   "scale": "quick",
 //!   "runs": [
 //!     {"workload": "engineering", "policy": "FT", "topology": "flat",
-//!      "total_refs": 320000, "wall_seconds": 0.41, "refs_per_sec": 780487.8}
+//!      "shards": 1, "total_refs": 320000, "wall_seconds": 0.41,
+//!      "refs_per_sec": 780487.8}
 //!   ],
 //!   "tracestore": {"workload": "Engineering", "records": 470000,
 //!                  "v2_bytes": 3000000, "encode_mb_per_sec": 250.0,
@@ -56,6 +60,9 @@ pub struct BenchRun {
     pub policy: String,
     /// Topology preset label the run simulated under.
     pub topology: String,
+    /// Host-thread shard count the run was timed at (1 = serial).
+    /// Shards never change the report — only the wall clock.
+    pub shards: u32,
     /// Simulated references retired by the run.
     pub total_refs: u64,
     /// Wall-clock duration of the run.
@@ -103,12 +110,12 @@ impl BenchReport {
         (refs, wall, rate)
     }
 
-    /// Renders the report as `ccnuma-bench-hotpath/3` JSON.
+    /// Renders the report as `ccnuma-bench-hotpath/4` JSON.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_obj();
         w.key("schema");
-        w.str("ccnuma-bench-hotpath/3");
+        w.str("ccnuma-bench-hotpath/4");
         w.key("scale");
         w.str(&self.scale);
         w.key("runs");
@@ -121,6 +128,8 @@ impl BenchReport {
             w.str(&r.policy);
             w.key("topology");
             w.str(&r.topology);
+            w.key("shards");
+            w.raw(&r.shards.to_string());
             w.key("total_refs");
             w.raw(&r.total_refs.to_string());
             w.key("wall_seconds");
@@ -177,6 +186,7 @@ fn time_spec(kind: WorkloadKind, spec: &RunSpec) -> BenchRun {
         topology: spec
             .topology
             .map_or_else(|| "flat".to_string(), |p| p.label().to_string()),
+        shards: spec.opts.shards.shards.max(1),
         total_refs,
         wall_seconds: wall,
         refs_per_sec: total_refs as f64 / wall,
@@ -229,29 +239,64 @@ pub fn tracestore_bench(scale: Scale, kind: WorkloadKind) -> TraceBench {
     }
 }
 
-/// Runs the hot-path benchmark over `workloads` at `scale`.
+/// Runs the hot-path benchmark over `workloads` at `scale`, timing
+/// every run at the requested shard plan.
 ///
 /// Each workload is timed under first-touch and under the base Mig/Rep
-/// policy, serially (timings on a loaded machine are noise), and progress
-/// goes to stderr so stdout stays clean for scripting. The first workload
-/// additionally gets a whole-run row under the four-socket-hierarchical
-/// topology — tracking what the hop-path latency model costs on the
-/// per-reference loop — and a [`tracestore_bench`] codec measurement.
-pub fn hotpath_bench(scale: Scale, scale_label: &str, workloads: &[WorkloadKind]) -> BenchReport {
-    use ccnuma_types::TopologyPreset;
+/// policy, one run at a time (timings on a loaded machine are noise),
+/// and progress goes to stderr so stdout stays clean for scripting.
+/// Under a non-serial `shards` plan the first workload's Mig/Rep run is
+/// additionally timed serially, so the report records the intra-run
+/// speedup pair (shards = 1 vs N) on otherwise-identical work. The
+/// first workload also gets a whole-run row under the
+/// four-socket-hierarchical topology — tracking what the hop-path
+/// latency model costs on the per-reference loop — and a
+/// [`tracestore_bench`] codec measurement.
+pub fn hotpath_bench(
+    scale: Scale,
+    scale_label: &str,
+    workloads: &[WorkloadKind],
+    shards: ccnuma_types::ShardPlan,
+) -> BenchReport {
+    use ccnuma_types::{ShardPlan, TopologyPreset};
     let mut runs = Vec::new();
     for &kind in workloads {
-        for spec in [ft_spec(kind, scale), dynamic_spec(kind, scale)] {
+        for mut spec in [ft_spec(kind, scale), dynamic_spec(kind, scale)] {
+            spec.opts.shards = shards;
             let run = time_spec(kind, &spec);
             eprintln!(
-                "bench: {} [{}] {} refs in {:.2}s ({:.0} refs/s)",
-                run.workload, run.policy, run.total_refs, run.wall_seconds, run.refs_per_sec
+                "bench: {} [{} x{}] {} refs in {:.2}s ({:.0} refs/s)",
+                run.workload,
+                run.policy,
+                run.shards,
+                run.total_refs,
+                run.wall_seconds,
+                run.refs_per_sec
             );
             runs.push(run);
         }
     }
     if let Some(&kind) = workloads.first() {
-        let spec = dynamic_spec(kind, scale).with_topology(TopologyPreset::FourSocketHierarchical);
+        if shards != ShardPlan::serial() {
+            // The serial half of the speedup pair: same spec, one host
+            // thread. Reports are byte-identical; only the wall clock
+            // (and hence refs_per_sec) may differ.
+            let spec = dynamic_spec(kind, scale);
+            let run = time_spec(kind, &spec);
+            eprintln!(
+                "bench: {} [{} x{} serial-compare] {} refs in {:.2}s ({:.0} refs/s)",
+                run.workload,
+                run.policy,
+                run.shards,
+                run.total_refs,
+                run.wall_seconds,
+                run.refs_per_sec
+            );
+            runs.push(run);
+        }
+        let mut spec =
+            dynamic_spec(kind, scale).with_topology(TopologyPreset::FourSocketHierarchical);
+        spec.opts.shards = shards;
         let run = time_spec(kind, &spec);
         eprintln!(
             "bench: {} [{} +topo={}] {} refs in {:.2}s ({:.0} refs/s)",
@@ -286,13 +331,19 @@ mod tests {
 
     #[test]
     fn single_workload_bench_reports_both_policies() {
-        let report = hotpath_bench(Scale::quick(), "quick", &[WorkloadKind::Raytrace]);
+        let report = hotpath_bench(
+            Scale::quick(),
+            "quick",
+            &[WorkloadKind::Raytrace],
+            ccnuma_types::ShardPlan::serial(),
+        );
         assert_eq!(report.runs.len(), 3);
         assert_eq!(report.runs[0].policy, "FT");
         assert_ne!(report.runs[1].policy, "FT");
         assert_eq!(report.runs[0].topology, "flat");
         assert_eq!(report.runs[1].topology, "flat");
         assert_eq!(report.runs[2].topology, "four-socket-hierarchical");
+        assert!(report.runs.iter().all(|r| r.shards == 1));
         for r in &report.runs {
             assert!(r.total_refs > 0);
             assert!(r.wall_seconds > 0.0);
@@ -324,6 +375,7 @@ mod tests {
                 workload: "raytrace".into(),
                 policy: "FT".into(),
                 topology: "flat".into(),
+                shards: 1,
                 total_refs: 1000,
                 wall_seconds: 0.5,
                 refs_per_sec: 2000.0,
@@ -338,8 +390,9 @@ mod tests {
             }),
         };
         let json = report.to_json();
-        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/3","scale":"quick""#));
+        assert!(json.starts_with(r#"{"schema":"ccnuma-bench-hotpath/4","scale":"quick""#));
         assert!(json.contains(r#""topology":"flat""#));
+        assert!(json.contains(r#""shards":1"#));
         assert!(json.contains(r#""total_refs":1000"#));
         assert!(json.contains(r#""wall_seconds":0.500000"#));
         assert!(json.contains(r#""refs_per_sec":2000.0"#));
@@ -351,6 +404,26 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn sharded_bench_adds_serial_compare_row() {
+        let report = hotpath_bench(
+            Scale::quick(),
+            "quick",
+            &[WorkloadKind::Raytrace],
+            ccnuma_types::ShardPlan::new(2),
+        );
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.runs[0].shards, 2); // FT
+        assert_eq!(report.runs[1].shards, 2); // Mig/Rep
+                                              // The serial half of the speedup pair: same workload and policy
+                                              // as runs[1], one host thread.
+        assert_eq!(report.runs[2].shards, 1);
+        assert_eq!(report.runs[2].policy, report.runs[1].policy);
+        assert_eq!(report.runs[2].total_refs, report.runs[1].total_refs);
+        assert_eq!(report.runs[3].topology, "four-socket-hierarchical");
+        assert_eq!(report.runs[3].shards, 2);
     }
 
     #[test]

@@ -136,6 +136,42 @@ fn topology_runs_are_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn experiment_output_is_byte_identical_across_shard_counts() {
+    // The tentpole contract: a shard plan is host-side parallelism
+    // only. Rendered experiment output — the same stdout `repro all`
+    // prints — must agree to the byte at every shard count. (CI
+    // additionally byte-compares the full `repro all --scale quick`
+    // stdout at --shards 1/2/8 against the golden file with the
+    // release binary.)
+    use ccnuma_types::ShardPlan;
+    let scale = Scale::quick();
+    let names = ["fig3", "table2", "contention"];
+    let render_with_shards = |shards: u32| -> String {
+        let exec = Executor::new(2).with_shards(ShardPlan::new(shards));
+        let mut plan = RunPlan::new();
+        for name in names {
+            plan.extend((experiments::find(name).expect(name).plan)(scale));
+        }
+        exec.execute(&plan);
+        names
+            .iter()
+            .map(|name| (experiments::find(name).unwrap().render)(scale, &exec))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let serial = render_with_shards(1);
+    for shards in [2, 8] {
+        assert_eq!(
+            serial,
+            render_with_shards(shards),
+            "rendered output diverged between --shards 1 and --shards {shards}"
+        );
+    }
+    assert!(!serial.is_empty());
+}
+
+#[test]
 fn lifted_processor_cap_completes_a_quick_run() {
     // 128 shared-reader nodes means 128 processors — double the old
     // 64-proc bitmask ceiling. The run must validate, complete, and

@@ -181,7 +181,7 @@ fn bench_check_passes_itself_and_fails_an_inflated_baseline() {
     let fake = dir.join("fake-baseline.json");
     std::fs::write(
         &fake,
-        r#"{"schema":"ccnuma-bench-hotpath/3","scale":"quick","runs":[],
+        r#"{"schema":"ccnuma-bench-hotpath/4","scale":"quick","runs":[],
             "totals":{"total_refs":1,"wall_seconds":1.0,"refs_per_sec":1e12}}"#,
     )
     .unwrap();

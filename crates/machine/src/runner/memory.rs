@@ -2,14 +2,13 @@
 //! the NUMA memory system, charging every nanosecond to the breakdown.
 
 use super::Sim;
-use ccnuma_core::Placer;
 use ccnuma_faults::FaultInjector;
 use ccnuma_obs::{Phase, Profiler, Recorder};
 use ccnuma_trace::MissSource;
 use ccnuma_types::{AccessKind, MemAccess, NodeId, Ns, Pid, ProcId, SimError};
 
 /// TLB refill cost (software-reloaded TLB handler, kernel time).
-const TLB_REFILL: Ns = Ns(250);
+pub(super) const TLB_REFILL: Ns = Ns(250);
 
 impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     pub(super) fn node_of(&self, cpu: usize) -> NodeId {
@@ -37,8 +36,8 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
             // is out of frames, reclaim replicated pages (the §7.2.3
             // pressure response) before giving up.
             if self.pager.mapping_node(pid, access.page).is_none() {
-                let home = match &mut self.rr {
-                    Some(rr) => rr.place(access.page, my_node),
+                let home = match self.rr_nodes {
+                    Some(n) => NodeId((access.page.0 % u64::from(n)) as u16),
                     None => my_node,
                 };
                 if self.pager.first_touch(pid, access.page, home).is_none() {

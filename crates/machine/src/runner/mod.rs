@@ -23,20 +23,22 @@ mod memory;
 mod options;
 mod policy;
 mod sched;
+mod window;
 
 pub use options::{PolicyChoice, RunOptions};
 
 use crate::{CoherenceDir, DirectoryModel, L2Cache, RunReport, Tlb};
-use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine, RoundRobin};
+use ccnuma_core::{AdaptiveTrigger, MissMetric, PolicyAction, PolicyEngine};
 use ccnuma_faults::{FaultInjector, FaultPlan, FaultStats, NullFaults};
 use ccnuma_kernel::{OpOutcome, PageOp, Pager, PagerConfig};
 use ccnuma_obs::{NullProfiler, NullRecorder, Profiler, Recorder};
 use ccnuma_stats::RunBreakdown;
 use ccnuma_trace::TraceBuilder;
-use ccnuma_types::{Ns, Pid, ProcSet, SimError, Topology};
-use ccnuma_workloads::WorkloadSpec;
+use ccnuma_types::{FxHashMap, NodeId, Ns, Pid, ProcSet, SimError, Topology, VirtPage};
+use ccnuma_workloads::{ProcessStream, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use window::WinEv;
 
 /// The assembled machine, ready to run one workload under one policy.
 pub struct Machine {
@@ -138,7 +140,11 @@ struct Sim<'a, R: Recorder, F: FaultInjector, P: Profiler> {
     batches_serviced: u64,
     spec: WorkloadSpec,
     opts: RunOptions,
-    rng: SmallRng,
+    /// Per-process reference stream plus its own RNG, both taken out of
+    /// the slot while a window lane owns them. One RNG per process (not
+    /// one global) is what lets lanes draw references independently of
+    /// how CPUs are grouped onto shards.
+    proc_streams: Vec<Option<(ProcessStream, SmallRng)>>,
     clocks: Vec<Ns>,
     cur_pid: Vec<Option<Pid>>,
     cur_quantum: Vec<u64>,
@@ -156,7 +162,10 @@ struct Sim<'a, R: Recorder, F: FaultInjector, P: Profiler> {
     pager: Pager,
     engine: Option<PolicyEngine>,
     metric: Option<MissMetric>,
-    rr: Option<RoundRobin>,
+    /// Round-robin placement as a pure function of the page number
+    /// (`page % nodes`), so any lane can compute a home without shared
+    /// placement state.
+    rr_nodes: Option<u16>,
     breakdown: RunBreakdown,
     trace: Option<TraceBuilder>,
     pending: Vec<(PageOp, PolicyAction)>,
@@ -174,11 +183,27 @@ struct Sim<'a, R: Recorder, F: FaultInjector, P: Profiler> {
     adaptive_epoch: u64,
     adaptive_snap: (Ns, Ns, Ns),
     obs_epoch: u64,
+    /// First-touch homes decided by window lanes, keyed by
+    /// `(pid, page)`. Consulted after the pager so a page touched in an
+    /// earlier window resolves even when its `FirstTouch` event is
+    /// still in the carry pool.
+    overlay: FxHashMap<(Pid, VirtPage), NodeId>,
+    /// Window events whose timestamps fall beyond the merged window;
+    /// replayed (still in canonical order) in a later merge.
+    carry: Vec<WinEv>,
+    /// Per-CPU event sequence numbers; never reset, so `(cpu, seq)` is
+    /// unique across the whole run and the merge order total.
+    lane_seq: Vec<u64>,
+    /// Per-CPU event buffers recycled between windows.
+    event_scratch: Vec<Vec<WinEv>>,
+    /// Last quantum index for which the windowed phase ran the
+    /// scheduler-boundary work (context switches, storms, adaptive).
+    win_quantum: u64,
 }
 
 impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
     fn new(
-        spec: WorkloadSpec,
+        mut spec: WorkloadSpec,
         opts: RunOptions,
         obs: &'a mut R,
         prof: &'a mut P,
@@ -190,9 +215,9 @@ impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
             .with_shootdown(opts.shootdown)
             .with_granularity(opts.granularity)
             .with_pipelined_copy(opts.pipelined_copy);
-        let (engine, metric, rr) = match &opts.policy {
+        let (engine, metric, rr_nodes) = match &opts.policy {
             PolicyChoice::FirstTouch => (None, None, None),
-            PolicyChoice::RoundRobin => (None, None, Some(RoundRobin::new(cfg.nodes))),
+            PolicyChoice::RoundRobin => (None, None, Some(cfg.nodes)),
             PolicyChoice::Dynamic {
                 params,
                 kind,
@@ -203,8 +228,17 @@ impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
                 None,
             ),
         };
+        let seed = spec.seed;
+        let proc_streams = std::mem::take(&mut spec.streams)
+            .into_iter()
+            .enumerate()
+            .map(|(pid, stream)| {
+                let rng = SmallRng::seed_from_u64(seed ^ splitmix64(pid as u64 + 1));
+                Some((stream, rng))
+            })
+            .collect();
         Sim {
-            rng: SmallRng::seed_from_u64(spec.seed),
+            proc_streams,
             clocks: vec![Ns::ZERO; procs],
             cur_pid: vec![None; procs],
             cur_quantum: vec![u64::MAX; procs],
@@ -217,7 +251,7 @@ impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
             pager: Pager::new(pager_cfg),
             engine,
             metric,
-            rr,
+            rr_nodes,
             breakdown: RunBreakdown::new(),
             trace: if opts.capture_trace {
                 Some(TraceBuilder::new())
@@ -236,6 +270,11 @@ impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
             adaptive_epoch: 0,
             adaptive_snap: (Ns::ZERO, Ns::ZERO, Ns::ZERO),
             obs_epoch: 0,
+            overlay: FxHashMap::default(),
+            carry: Vec::new(),
+            lane_seq: vec![0; procs],
+            event_scratch: (0..procs).map(|_| Vec::new()).collect(),
+            win_quantum: u64::MAX,
             obs,
             prof,
             faults,
@@ -248,6 +287,15 @@ impl<'a, R: Recorder, F: FaultInjector, P: Profiler> Sim<'a, R, F, P> {
             opts,
         }
     }
+}
+
+/// SplitMix64 finalizer: decorrelates per-process RNG seeds derived
+/// from one workload seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -341,6 +389,46 @@ mod tests {
         let b = quick(WorkloadKind::Engineering, PolicyChoice::first_touch());
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    /// The tentpole guarantee: the shard plan is thread placement and
+    /// nothing else. The full report — breakdown, policy stats, cost
+    /// book, contention, trace, every float — renders byte-identically
+    /// at every shard count.
+    #[test]
+    fn sharded_report_is_byte_identical_to_serial() {
+        use ccnuma_types::ShardPlan;
+        let run = |shards: u32| {
+            let params = PolicyParams::base().with_trigger(16);
+            let opts = RunOptions::new(PolicyChoice::base_mig_rep(params))
+                .with_trace()
+                .with_shards(ShardPlan::new(shards));
+            Machine::new(WorkloadKind::Raytrace.build(Scale::quick()), opts).run()
+        };
+        let serial = format!("{:?}", run(1));
+        for n in [2, 8] {
+            assert_eq!(serial, format!("{:?}", run(n)), "shards={n}");
+        }
+    }
+
+    /// Fault injection goes through the same canonical merge order, so
+    /// chaos runs shard deterministically too.
+    #[test]
+    fn sharded_chaos_run_is_byte_identical_to_serial() {
+        use ccnuma_types::ShardPlan;
+        let run = |shards: u32| {
+            let params = PolicyParams::base().with_trigger(16);
+            let opts = RunOptions::new(PolicyChoice::base_mig_rep(params))
+                .with_faults(ccnuma_faults::FaultSpec::new(
+                    ccnuma_faults::FaultScenario::Chaos,
+                ))
+                .with_shards(ShardPlan::new(shards));
+            Machine::new(WorkloadKind::Raytrace.build(Scale::quick()), opts)
+                .try_run()
+                .unwrap()
+        };
+        let serial = format!("{:?}", run(1));
+        assert_eq!(serial, format!("{:?}", run(4)));
     }
 
     #[test]

@@ -4,6 +4,8 @@ use ccnuma_core::{AdaptiveTrigger, DynamicPolicyKind, MissMetric, PolicyParams};
 use ccnuma_faults::FaultSpec;
 use ccnuma_kernel::{LockGranularity, ShootdownMode};
 use ccnuma_trace::MissSource;
+use ccnuma_types::ShardPlan;
+use std::fmt;
 
 /// The page-placement policy for a run.
 #[derive(Debug, Clone)]
@@ -61,7 +63,7 @@ impl PolicyChoice {
 }
 
 /// Options for one run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// The placement policy.
     pub policy: PolicyChoice,
@@ -80,6 +82,28 @@ pub struct RunOptions {
     /// Deterministic fault injection (chaos runs); `None` = no faults,
     /// which monomorphizes to the exact uninstrumented run path.
     pub faults: Option<FaultSpec>,
+    /// Intra-run parallelism: how many host threads advance the
+    /// simulated CPUs. Results are byte-identical at every shard count.
+    pub shards: ShardPlan,
+}
+
+/// Hand-written so the shard plan stays out of the debug rendering:
+/// run cache keys are derived from `format!("{spec:?}")`, and sharding
+/// must never perturb them — the whole point is that results are
+/// byte-identical at every shard count.
+impl fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("policy", &self.policy)
+            .field("capture_trace", &self.capture_trace)
+            .field("shootdown", &self.shootdown)
+            .field("granularity", &self.granularity)
+            .field("batch_pages", &self.batch_pages)
+            .field("pipelined_copy", &self.pipelined_copy)
+            .field("adaptive", &self.adaptive)
+            .field("faults", &self.faults)
+            .finish()
+    }
 }
 
 impl RunOptions {
@@ -95,6 +119,7 @@ impl RunOptions {
             pipelined_copy: false,
             adaptive: None,
             faults: None,
+            shards: ShardPlan::default(),
         }
     }
 
@@ -154,5 +179,27 @@ impl RunOptions {
     pub fn with_faults(mut self, faults: FaultSpec) -> RunOptions {
         self.faults = Some(faults);
         self
+    }
+
+    /// Sets the intra-run shard plan (host worker threads per run).
+    /// Purely an execution hint: the report is byte-identical at every
+    /// shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: ShardPlan) -> RunOptions {
+        self.shards = shards;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_is_invisible_to_debug_and_cache_keys() {
+        let a = RunOptions::new(PolicyChoice::first_touch());
+        let b = RunOptions::new(PolicyChoice::first_touch()).with_shards(ShardPlan::new(8));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!format!("{b:?}").contains("shards"));
     }
 }

@@ -29,7 +29,11 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
         let engine = self.engine.as_mut().expect("metric implies engine");
         let loc = self.pager.location_for(pid, rec.page, my_node);
         let pressure = self.pager.pressure(my_node);
-        let now = self.clocks[cpu];
+        // The event's own timestamp, not `clocks[cpu]`: identical on
+        // the serial path (records carry the CPU clock), and the only
+        // deterministic choice when a merge replays lane events after
+        // the lane clocks have already advanced past them.
+        let now = rec.time;
         if F::ENABLED {
             // Miss-counter saturation: a page pinned at the cap stops
             // counting, so the policy starves on it (the run still

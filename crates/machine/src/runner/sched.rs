@@ -17,6 +17,20 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
         let run_span = self.prof.enter(Phase::Run);
         let mut refs_left = self.spec.total_refs;
         let quantum = self.spec.scheduler.quantum();
+        let shards = self.opts.shards.effective(self.clocks.len());
+
+        // Windowed bulk phase: lanes advance one bounded time window at
+        // a time (in parallel when sharded), merging cross-CPU events
+        // in canonical order between windows. The bound guarantees one
+        // window can never consume the references reserved for the
+        // exact serial tail below.
+        let tail_bound = self.window_tail_bound();
+        while refs_left > tail_bound {
+            refs_left -= self.run_window(shards, quantum)?;
+        }
+        self.flush_carried()?;
+
+        // Exact serial tail: the original per-reference loop.
         while refs_left > 0 {
             // The CPU with the smallest clock steps next (deterministic
             // tie-break by index).
@@ -67,7 +81,12 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
                 continue;
             };
 
-            let access = self.spec.streams[pid.index()].next_ref(&mut self.rng);
+            let access = {
+                let (stream, rng) = self.proc_streams[pid.index()]
+                    .as_mut()
+                    .expect("scheduled pid has a stream");
+                stream.next_ref(rng)
+            };
             refs_left -= 1;
             // The per-reference hot path: stride-sampled (see
             // `Phase::stride`) so the NullProfiler-free overhead budget
@@ -85,7 +104,7 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
 
     /// At reset-interval boundaries, feed the adaptive controller the
     /// interval's overhead/stall deltas and install its new parameters.
-    fn adaptive_tick(&mut self, now: Ns) {
+    pub(super) fn adaptive_tick(&mut self, now: Ns) {
         let (Some(controller), Some(engine)) = (&mut self.adaptive, &mut self.engine) else {
             return;
         };

@@ -1,0 +1,537 @@
+//! Windowed, sharded execution: the bulk of a run advances in bounded
+//! time windows where every simulated CPU is an independent *lane*,
+//! and cross-CPU state changes are deferred as events that the
+//! coordinating thread replays in one canonical order.
+//!
+//! # Determinism contract
+//!
+//! A lane's window is a pure function of (lane state, the shared-state
+//! snapshot at the window start, the window bounds): it owns its TLB,
+//! L2, clock, reference stream and RNG, reads the pager and topology
+//! immutably, and queues everything else — first touches, coherence
+//! writes and fills, policy-driving miss events — as [`Ev`] values
+//! stamped `(time, cpu, seq)`. The merge sorts the combined event pool
+//! by that key and replays it on the coordinating thread, so the
+//! result depends only on the *window size*, never on how lanes are
+//! grouped onto host threads. `--shards 1` and `--shards 8` are the
+//! same computation with different thread placement; reports are
+//! byte-identical by construction.
+//!
+//! Directory-controller contention (§7.1.2) is charged entirely at the
+//! merge: lanes charge the uncontended miss latency, and the canonical
+//! replay queues every miss at the shared
+//! [`DirectoryModel`](crate::DirectoryModel) in merge
+//! order, deferring the computed wait onto the CPU's clock before its
+//! next window. Queueing statistics therefore see the same global
+//! interleaving the serial loop produced; only the timing feedback is
+//! one window late.
+//!
+//! Windows are clamped to scheduler-quantum boundaries, so a context
+//! switch never lands inside a window; the quantum-boundary work
+//! (scheduler re-query, fault storms, adaptive ticks, epoch sampling)
+//! runs between windows on the coordinating thread, exactly once per
+//! quantum. The final stretch of a run (and anything too short to
+//! window) uses the exact serial per-reference loop in `sched`.
+
+use super::memory::TLB_REFILL;
+use super::Sim;
+use crate::{L2Cache, Tlb};
+use ccnuma_faults::FaultInjector;
+use ccnuma_obs::{Phase, Profiler, Recorder};
+use ccnuma_stats::RunBreakdown;
+use ccnuma_trace::{MissRecord, MissSource};
+use ccnuma_types::{
+    AccessKind, FxHashMap, MachineConfig, MemAccess, Mode, NodeId, Ns, Pid, ProcId, SimError,
+    Topology, VirtPage,
+};
+use ccnuma_workloads::ProcessStream;
+use rand::rngs::SmallRng;
+
+/// Window length in simulated nanoseconds. Windows are additionally
+/// clamped so they never cross a scheduler-quantum boundary.
+pub(super) const WINDOW: Ns = Ns(100_000);
+
+/// One deferred cross-CPU interaction, replayed at merge time.
+pub(super) enum Ev {
+    /// A lane first-touched an unmapped page; the merge allocates it
+    /// (with the §7.2.3 reclaim-then-retry pressure response).
+    FirstTouch {
+        /// Touching process.
+        pid: Pid,
+        /// The touched page.
+        page: VirtPage,
+        /// Home node the lane decided (first-touch or round-robin).
+        home: NodeId,
+    },
+    /// A TLB refill: recorded, traced, and fed to the policy engine.
+    Tlb {
+        /// The miss record (timestamped with the lane clock).
+        rec: MissRecord,
+    },
+    /// A secondary-cache miss: recorded, traced, policy-driven, and
+    /// queued at the home node's directory controller during the
+    /// merge (the lane charges the uncontended latency; the canonical
+    /// replay computes the queueing delay and defers it to the CPU's
+    /// next window).
+    Miss {
+        /// The miss record.
+        rec: MissRecord,
+        /// Uncontended miss latency the lane charged.
+        latency: Ns,
+        /// Home node of the page (where the directory request lands).
+        home: NodeId,
+        /// Whether the miss went off-node.
+        remote: bool,
+    },
+    /// A write hit the coherence directory: invalidate other sharers.
+    CohWrite {
+        /// Written page.
+        page: VirtPage,
+        /// Written line within the page.
+        line: u16,
+    },
+    /// A clean fill: record the sharer in the coherence directory.
+    CohFill {
+        /// Filled page.
+        page: VirtPage,
+        /// Filled line.
+        line: u16,
+    },
+}
+
+/// An [`Ev`] with its canonical merge key.
+pub(super) struct WinEv {
+    /// Lane clock when the event was emitted.
+    pub time: Ns,
+    /// Emitting CPU.
+    pub cpu: u16,
+    /// Per-CPU sequence number, never reset: `(time, cpu, seq)` is a
+    /// strict total order over all events of a run.
+    pub seq: u64,
+    /// The deferred interaction.
+    pub ev: Ev,
+}
+
+/// Shared read-only context every lane sees during one window: the
+/// canonical state as of the window start.
+struct LaneCtx<'a> {
+    cfg: &'a MachineConfig,
+    topo: &'a Topology,
+    pager: &'a ccnuma_kernel::Pager,
+    overlay: &'a FxHashMap<(Pid, VirtPage), NodeId>,
+    rr_nodes: Option<u16>,
+    end: Ns,
+}
+
+/// Per-CPU state a window lane owns while it runs (moved out of `Sim`
+/// for the window, moved back at the merge).
+struct Lane {
+    cpu: u16,
+    clock: Ns,
+    pid: Option<Pid>,
+    tlb: Tlb,
+    l2: L2Cache,
+    /// The scheduled process's stream and RNG, taken from the slot.
+    slot: Option<(ProcessStream, SmallRng)>,
+    breakdown: RunBreakdown,
+    /// First-touch homes this lane decided this window.
+    touched: FxHashMap<(Pid, VirtPage), NodeId>,
+    local_lat_sum: Ns,
+    local_lat_n: u64,
+    refs: u64,
+    seq: u64,
+    events: Vec<WinEv>,
+}
+
+impl Lane {
+    fn emit(&mut self, time: Ns, ev: Ev) {
+        self.seq += 1;
+        self.events.push(WinEv {
+            time,
+            cpu: self.cpu,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Advances this lane to the window end (or until its reference
+    /// budget runs out — a guard against zero-cost configurations).
+    fn run_window(&mut self, ctx: &LaneCtx) {
+        let Some(pid) = self.pid else {
+            if self.clock < ctx.end {
+                self.breakdown.add_idle(ctx.end - self.clock);
+                self.clock = ctx.end;
+            }
+            return;
+        };
+        let min_step = ctx.cfg.compute_ns_per_ref.0.max(1);
+        let mut budget = ctx.end.0.saturating_sub(self.clock.0) / min_step + 1;
+        while self.clock < ctx.end && budget > 0 {
+            budget -= 1;
+            let (stream, rng) = self.slot.as_mut().expect("scheduled lane has a stream");
+            let access = stream.next_ref(rng);
+            self.refs += 1;
+            self.step(ctx, pid, access);
+        }
+    }
+
+    /// The lane-side memory step: identical timing to the serial
+    /// `Sim::step`, but every cross-CPU effect becomes an event.
+    fn step(&mut self, ctx: &LaneCtx, pid: Pid, access: MemAccess) {
+        let my_node = ctx.cfg.node_of_proc(ProcId(self.cpu));
+
+        self.breakdown
+            .add_busy(access.mode, ctx.cfg.compute_ns_per_ref);
+        self.clock += ctx.cfg.compute_ns_per_ref;
+
+        if !self.tlb.access(access.page) {
+            let key = (pid, access.page);
+            if ctx.pager.mapping_node(pid, access.page).is_none()
+                && !ctx.overlay.contains_key(&key)
+                && !self.touched.contains_key(&key)
+            {
+                let home = match ctx.rr_nodes {
+                    Some(n) => NodeId((access.page.0 % u64::from(n)) as u16),
+                    None => my_node,
+                };
+                self.touched.insert(key, home);
+                self.emit(
+                    self.clock,
+                    Ev::FirstTouch {
+                        pid,
+                        page: access.page,
+                        home,
+                    },
+                );
+            }
+            self.breakdown.add_busy(Mode::Kernel, TLB_REFILL);
+            self.clock += TLB_REFILL;
+            let rec = self.record_of(pid, &access, MissSource::Tlb);
+            self.emit(self.clock, Ev::Tlb { rec });
+        }
+
+        let hit = self.l2.access(access.page, access.line);
+        if access.kind == AccessKind::Write {
+            self.emit(
+                self.clock,
+                Ev::CohWrite {
+                    page: access.page,
+                    line: access.line,
+                },
+            );
+        } else if !hit {
+            self.emit(
+                self.clock,
+                Ev::CohFill {
+                    page: access.page,
+                    line: access.line,
+                },
+            );
+        }
+
+        if hit {
+            self.breakdown
+                .add_hit_stall(access.mode, access.class, ctx.cfg.l2_hit);
+            self.clock += ctx.cfg.l2_hit;
+            return;
+        }
+
+        let mapped = ctx
+            .pager
+            .mapping_node(pid, access.page)
+            .or_else(|| ctx.overlay.get(&(pid, access.page)).copied())
+            .or_else(|| self.touched.get(&(pid, access.page)).copied())
+            .expect("page mapped by a prior touch");
+        let tier = ctx.topo.tier(my_node, mapped);
+        let remote = tier.is_off_node();
+        let latency = ctx.topo.latency(my_node, mapped, access.kind);
+        self.breakdown
+            .add_stall_tier(access.mode, access.class, tier, latency);
+        self.clock += latency;
+        if !remote {
+            self.local_lat_sum += latency;
+            self.local_lat_n += 1;
+        }
+        let rec = self.record_of(pid, &access, MissSource::Cache);
+        self.emit(
+            self.clock,
+            Ev::Miss {
+                rec,
+                latency,
+                home: mapped,
+                remote,
+            },
+        );
+    }
+
+    fn record_of(&self, pid: Pid, access: &MemAccess, source: MissSource) -> MissRecord {
+        MissRecord {
+            time: self.clock,
+            proc: ProcId(self.cpu),
+            pid,
+            page: access.page,
+            kind: access.kind,
+            mode: access.mode,
+            class: access.class,
+            source,
+        }
+    }
+}
+
+impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
+    /// References the windowed phase must leave for the serial tail:
+    /// one window can consume at most this many, so running windows
+    /// only while `refs_left` exceeds it can never overdraw.
+    pub(super) fn window_tail_bound(&self) -> u64 {
+        let min_step = self.spec.config.compute_ns_per_ref.0.max(1);
+        self.clocks.len() as u64 * (WINDOW.0 / min_step + 2)
+    }
+
+    /// Runs one window: quantum/epoch work, parallel lanes, canonical
+    /// merge. Returns the number of references consumed.
+    pub(super) fn run_window(&mut self, shards: usize, quantum: Ns) -> Result<u64, SimError> {
+        let procs = self.clocks.len();
+        let cur = self.clocks.iter().copied().min().expect("at least one cpu");
+
+        if R::ENABLED && self.obs.epoch_due(cur) {
+            let span = self.prof.enter(Phase::Epoch);
+            let view = self.sample_view(cur);
+            self.obs.on_epoch(cur, &view);
+            self.prof.exit(Phase::Epoch, span);
+        }
+
+        // Quantum-boundary work runs once per quantum, between windows,
+        // for every CPU at once (windows never straddle a boundary).
+        let q = cur.0 / quantum.0;
+        if q != self.win_quantum {
+            let span = self.prof.enter(Phase::Sched);
+            self.win_quantum = q;
+            if F::ENABLED {
+                self.drive_storms(cur);
+            }
+            self.adaptive_tick(cur);
+            let map = self.spec.scheduler.assignment(cur);
+            for cpu in 0..procs {
+                self.cur_quantum[cpu] = q;
+                let pid = map.get(cpu).copied().flatten();
+                if pid != self.cur_pid[cpu] {
+                    self.tlb[cpu].flush();
+                    self.cur_pid[cpu] = pid;
+                    if let Some(p) = pid {
+                        self.pager.set_pid_node(p, self.node_of(cpu));
+                    }
+                    self.obs
+                        .on_context_switch(cpu, cur, pid.map(|p| p.0 as u64));
+                }
+            }
+            self.prof.exit(Phase::Sched, span);
+        }
+        let end = Ns((cur.0 + WINDOW.0).min((q + 1) * quantum.0));
+
+        // Move per-CPU state out of `Sim` into lanes.
+        let tlbs = std::mem::take(&mut self.tlb);
+        let l2s = std::mem::take(&mut self.l2);
+        let mut lanes: Vec<Lane> = tlbs
+            .into_iter()
+            .zip(l2s)
+            .enumerate()
+            .map(|(cpu, (tlb, l2))| {
+                let pid = self.cur_pid[cpu];
+                let slot = pid.map(|p| {
+                    self.proc_streams[p.index()]
+                        .take()
+                        .expect("scheduler assigned one pid to two cpus")
+                });
+                Lane {
+                    cpu: cpu as u16,
+                    clock: self.clocks[cpu],
+                    pid,
+                    tlb,
+                    l2,
+                    slot,
+                    breakdown: RunBreakdown::new(),
+                    touched: FxHashMap::default(),
+                    local_lat_sum: Ns::ZERO,
+                    local_lat_n: 0,
+                    refs: 0,
+                    seq: self.lane_seq[cpu],
+                    events: std::mem::take(&mut self.event_scratch[cpu]),
+                }
+            })
+            .collect();
+
+        let ctx = LaneCtx {
+            cfg: &self.spec.config,
+            topo: &self.topo,
+            pager: &self.pager,
+            overlay: &self.overlay,
+            rr_nodes: self.rr_nodes,
+            end,
+        };
+        let span = self.prof.enter(Phase::Memory);
+        if shards <= 1 {
+            for lane in &mut lanes {
+                lane.run_window(&ctx);
+            }
+        } else {
+            let per = lanes.len().div_ceil(shards);
+            std::thread::scope(|s| {
+                let ctx = &ctx;
+                for chunk in lanes.chunks_mut(per) {
+                    s.spawn(move || {
+                        for lane in chunk {
+                            lane.run_window(ctx);
+                        }
+                    });
+                }
+            });
+        }
+        self.prof.exit(Phase::Memory, span);
+
+        // Fold lane state back in CPU order (deterministic float sums),
+        // then replay the event pool in canonical (time, cpu, seq)
+        // order.
+        let mut pool = std::mem::take(&mut self.carry);
+        let mut consumed = 0u64;
+        let mut tlbs = Vec::with_capacity(procs);
+        let mut l2s = Vec::with_capacity(procs);
+        for mut lane in lanes {
+            let cpu = lane.cpu as usize;
+            consumed += lane.refs;
+            self.clocks[cpu] = lane.clock;
+            self.lane_seq[cpu] = lane.seq;
+            self.breakdown.merge(&lane.breakdown);
+            self.local_lat_sum += lane.local_lat_sum;
+            self.local_lat_n += lane.local_lat_n;
+            if let (Some(pid), Some(slot)) = (lane.pid, lane.slot.take()) {
+                self.proc_streams[pid.index()] = Some(slot);
+            }
+            for (k, v) in lane.touched.drain() {
+                self.overlay.entry(k).or_insert(v);
+            }
+            pool.append(&mut lane.events);
+            self.event_scratch[cpu] = lane.events;
+            tlbs.push(lane.tlb);
+            l2s.push(lane.l2);
+        }
+        self.tlb = tlbs;
+        self.l2 = l2s;
+
+        pool.sort_unstable_by_key(|e| (e.time, e.cpu, e.seq));
+        // Events timestamped at or past the window end belong to a
+        // later merge: every lane clock is >= `end` now, so next
+        // window's events can only be later — global order holds.
+        let cut = pool.partition_point(|e| e.time < end);
+        self.carry = pool.split_off(cut);
+
+        let span = self.prof.enter(Phase::Merge);
+        let mut outcome = Ok(());
+        for ev in pool {
+            outcome = self.replay(ev);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        self.prof.exit(Phase::Merge, span);
+        outcome?;
+        Ok(consumed)
+    }
+
+    /// Replays events still in the carry pool (the windowed phase is
+    /// over; the serial tail starts from fully merged state).
+    pub(super) fn flush_carried(&mut self) -> Result<(), SimError> {
+        if self.carry.is_empty() {
+            return Ok(());
+        }
+        let pool = std::mem::take(&mut self.carry);
+        let span = self.prof.enter(Phase::Merge);
+        let mut outcome = Ok(());
+        for ev in pool {
+            outcome = self.replay(ev);
+            if outcome.is_err() {
+                break;
+            }
+        }
+        self.prof.exit(Phase::Merge, span);
+        outcome
+    }
+
+    /// Applies one lane event to the canonical state. Mirrors the
+    /// corresponding arms of the serial `Sim::step`.
+    fn replay(&mut self, wev: WinEv) -> Result<(), SimError> {
+        let cpu = wev.cpu as usize;
+        match wev.ev {
+            Ev::FirstTouch { pid, page, home } => {
+                // Another event (same page, earlier in canonical order)
+                // may have mapped it already; first writer wins.
+                if self.pager.mapping_node(pid, page).is_none()
+                    && self.pager.first_touch(pid, page, home).is_none()
+                {
+                    for n in 0..self.spec.config.nodes {
+                        let freed = self.pager.reclaim_replicas_on(NodeId(n), 8);
+                        if F::ENABLED {
+                            self.fault_stats.reclaimed_frames += u64::from(freed);
+                        }
+                    }
+                    if self.pager.first_touch(pid, page, home).is_none() {
+                        return Err(SimError::OutOfMemory { page, node: home });
+                    }
+                }
+                Ok(())
+            }
+            Ev::Tlb { rec } => {
+                self.obs.on_tlb_fill(&rec, TLB_REFILL);
+                if let Some(t) = &mut self.trace {
+                    t.push(rec);
+                }
+                let my_node = self.node_of(cpu);
+                self.drive_policy(cpu, rec.pid, my_node, ProcId(wev.cpu), &rec)
+            }
+            Ev::CohWrite { page, line } => {
+                let span = self.prof.enter(Phase::Coherence);
+                self.coherence
+                    .write(ProcId(wev.cpu), page, line, &mut self.victims);
+                for victim in self.victims.iter() {
+                    self.l2[victim.index()].invalidate(page, line);
+                }
+                self.prof.exit(Phase::Coherence, span);
+                Ok(())
+            }
+            Ev::CohFill { page, line } => {
+                self.coherence.record_fill(ProcId(wev.cpu), page, line);
+                Ok(())
+            }
+            Ev::Miss {
+                rec,
+                latency,
+                home,
+                remote,
+            } => {
+                // Queue the request at the canonical directory in merge
+                // order — the single place every CPU's misses contend,
+                // exactly as in the serial loop. The lane already
+                // charged the uncontended latency; the queueing delay
+                // lands on the CPU's clock here, before its next
+                // window (a one-window deferral, the price of relaxed
+                // synchronization).
+                let wait = self.directory.request(wev.time, home, remote);
+                if wait > Ns::ZERO {
+                    let my_node = self.node_of(cpu);
+                    let tier = self.topo.tier(my_node, home);
+                    self.breakdown
+                        .add_contention_stall(rec.mode, rec.class, tier, wait);
+                    self.clocks[cpu] += wait;
+                    if !remote {
+                        self.local_lat_sum += wait;
+                    }
+                }
+                self.obs.on_miss(&rec, latency + wait, remote);
+                if let Some(t) = &mut self.trace {
+                    t.push(rec);
+                }
+                let my_node = self.node_of(cpu);
+                self.drive_policy(cpu, rec.pid, my_node, ProcId(wev.cpu), &rec)
+            }
+        }
+    }
+}

@@ -273,3 +273,71 @@ proptest! {
         }
     }
 }
+
+/// Builds a small random workload on a machine with `nodes` × `ppn`
+/// CPUs. Reference counts are sized so the run definitely enters the
+/// windowed phase (the windowed/serial split depends only on refs and
+/// the window bound, never on the shard count).
+fn random_workload(
+    nodes: u16,
+    ppn: u16,
+    shared_pages: u64,
+    private_pages: u64,
+    write_frac: f64,
+    affinity: bool,
+    seed: u64,
+) -> ccnuma_workloads::WorkloadSpec {
+    use ccnuma_workloads::{Scale, WorkloadBuilder};
+    let mut cfg = MachineConfig::cc_numa().with_nodes(nodes);
+    cfg.procs_per_node = ppn;
+    let b = WorkloadBuilder::new("prop", cfg)
+        .shared_data("heap", shared_pages, 0.6, write_frac)
+        .private_data("stack", private_pages, 0.4, 0.3)
+        .seed(seed);
+    let b = if affinity {
+        b.affinity(3, 4)
+    } else {
+        b.pinned()
+    };
+    b.build(Scale {
+        refs_per_cpu: 12_000,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded runner against the serial runner on random small
+    /// machines and workloads: the full report (breakdown, timing,
+    /// contention, every float) must render byte-identically whatever
+    /// the shard count.
+    #[test]
+    fn sharded_runner_matches_serial_on_random_machines(
+        nodes in 1u16..=4,
+        ppn in 1u16..=2,
+        shared_pages in 64u64..512,
+        private_pages in 16u64..128,
+        write_frac in 0.0f64..0.5,
+        affinity_raw in 0u8..2,
+        dynamic_raw in 0u8..2,
+        seed in 0u64..1_000_000,
+        shards in 2u32..=8,
+    ) {
+        use ccnuma_machine::{Machine, PolicyChoice, RunOptions};
+        use ccnuma_types::ShardPlan;
+        let (affinity, dynamic) = (affinity_raw == 1, dynamic_raw == 1);
+        let policy = if dynamic {
+            PolicyChoice::base_mig_rep(ccnuma_core::PolicyParams::base().with_trigger(16))
+        } else {
+            PolicyChoice::first_touch()
+        };
+        let run = |n: u32| {
+            let spec = random_workload(
+                nodes, ppn, shared_pages, private_pages, write_frac, affinity, seed,
+            );
+            let opts = RunOptions::new(policy.clone()).with_shards(ShardPlan::new(n));
+            format!("{:?}", Machine::new(spec, opts).run())
+        };
+        prop_assert_eq!(run(1), run(shards), "shards={} must match serial", shards);
+    }
+}

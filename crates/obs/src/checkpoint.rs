@@ -62,9 +62,15 @@ pub struct CheckpointRecord {
 /// What [`CheckpointJournal::load`] found.
 #[derive(Debug, Default)]
 pub struct JournalContents {
-    /// Every valid record, in file order (later duplicates of a
-    /// `(kind, cache_key)` pair are dropped — first write wins, records
-    /// are immutable facts).
+    /// Every valid record, one per `(kind, cache_key)` pair, in
+    /// first-appearance file order. A later duplicate of a pair
+    /// *replaces* the earlier record's payload in place — last write
+    /// wins. The append path retries a failed append of the same unit,
+    /// and a writer that re-journals a key is asserting the newest
+    /// payload is the authoritative one; a resume must see that, not a
+    /// possibly-stale first attempt. Keeping the first occurrence's
+    /// position makes the restored order independent of how many
+    /// rewrites happened.
     pub records: Vec<CheckpointRecord>,
     /// Lines that failed to parse or carried the wrong schema —
     /// normally 0 or 1 (a torn final append).
@@ -272,7 +278,10 @@ impl<S: Storage> CheckpointJournal<S> {
         };
         let text = String::from_utf8_lossy(&bytes);
         let mut out = JournalContents::default();
-        let mut seen = std::collections::HashSet::new();
+        // Last write wins per (kind, cache_key), at the position of the
+        // pair's first appearance — see [`JournalContents::records`].
+        let mut index: std::collections::HashMap<(String, String), usize> =
+            std::collections::HashMap::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -282,8 +291,12 @@ impl<S: Storage> CheckpointJournal<S> {
                 out.skipped += 1;
                 continue;
             };
-            if seen.insert((rec.kind.clone(), rec.cache_key.clone())) {
-                out.records.push(rec);
+            match index.entry((rec.kind.clone(), rec.cache_key.clone())) {
+                std::collections::hash_map::Entry::Occupied(e) => out.records[*e.get()] = rec,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.records.len());
+                    out.records.push(rec);
+                }
             }
         }
         Ok(out)
@@ -329,11 +342,51 @@ mod tests {
         assert_eq!(run.key, "slug-a");
         assert_eq!(
             run.payload.get("x").and_then(JsonValue::as_u64),
-            Some(1),
-            "first write wins"
+            Some(999),
+            "last write wins, at the first occurrence's position"
         );
         assert_eq!(contents.records[1].payload.as_array().unwrap().len(), 3);
         let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_record_then_rewrite_of_same_key_resumes_byte_identically() {
+        // A crash can tear an append mid-line; the writer then retries
+        // the same unit on the next run. The resume must be
+        // indistinguishable from a journal where the tear never
+        // happened: same records, same payloads, same order.
+        let damaged = tmpdir("torn-rewrite");
+        {
+            let j = CheckpointJournal::open(&damaged).unwrap();
+            j.append("run", "s1", "k1", "{\"x\":1}").unwrap();
+        }
+        // The torn first attempt at k2 (SIGKILL mid-append)...
+        let journal = damaged.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&journal).unwrap();
+        bytes.extend_from_slice(
+            b"{\"schema\":\"ccnuma-checkpoint/1\",\"kind\":\"run\",\"key\":\"s2\",\"cache_key\":\"k2\",\"payload\":{\"x\":2",
+        );
+        fs::write(&journal, &bytes).unwrap();
+        // ...followed by the rewrite of the same key on resume.
+        let j = CheckpointJournal::open(&damaged).unwrap();
+        j.append("run", "s2", "k2", "{\"x\":2}").unwrap();
+
+        // The clean journal: the same two units, no crash.
+        let clean = tmpdir("torn-rewrite-clean");
+        let c = CheckpointJournal::open(&clean).unwrap();
+        c.append("run", "s1", "k1", "{\"x\":1}").unwrap();
+        c.append("run", "s2", "k2", "{\"x\":2}").unwrap();
+
+        let a = j.load().unwrap();
+        let b = c.load().unwrap();
+        assert_eq!(a.skipped, 1, "the torn line is counted, not fatal");
+        assert_eq!(
+            format!("{:?}", a.records),
+            format!("{:?}", b.records),
+            "resume state is identical to the crash-free journal"
+        );
+        let _ = fs::remove_dir_all(&damaged);
+        let _ = fs::remove_dir_all(&clean);
     }
 
     #[test]

@@ -95,10 +95,14 @@ pub enum Phase {
     TraceDecode,
     /// One policy-simulator replay of a sweep cell.
     Replay,
+    /// One window merge in sharded execution: applying lane events
+    /// (first touches, coherence writes, policy driving) in canonical
+    /// order on the coordinating thread.
+    Merge,
 }
 
 /// Number of phases (length of [`Phase::ALL`]).
-pub const PHASES: usize = 9;
+pub const PHASES: usize = 10;
 
 impl Phase {
     /// Every phase, in the canonical artifact order.
@@ -112,6 +116,7 @@ impl Phase {
         Phase::TraceEncode,
         Phase::TraceDecode,
         Phase::Replay,
+        Phase::Merge,
     ];
 
     /// Stable artifact name.
@@ -126,6 +131,7 @@ impl Phase {
             Phase::TraceEncode => "trace_encode",
             Phase::TraceDecode => "trace_decode",
             Phase::Replay => "replay",
+            Phase::Merge => "merge",
         }
     }
 

@@ -78,6 +78,16 @@ impl RunBreakdown {
         }
     }
 
+    /// Adds directory-queueing delay to a tier's stall time *without*
+    /// counting a new miss. The windowed engine charges a miss's
+    /// uncontended latency (and counts the miss) inside its lane, then
+    /// discovers the contention wait at the canonical merge; this adds
+    /// that wait so total stall matches one [`add_stall_tier`] call with
+    /// the combined latency.
+    pub fn add_contention_stall(&mut self, mode: Mode, class: RefClass, tier: StallTier, t: Ns) {
+        self.stall[midx(mode)][cidx(class)][tier.index()] += t;
+    }
+
     /// Adds secondary-cache *hit* stall: time spent waiting on the L2
     /// that did not go to memory. Included in Table 3's stall columns but
     /// not in the figures' local/remote miss-stall segments.
@@ -377,6 +387,20 @@ mod tests {
         assert_eq!(rebuilt.local_misses(), b.local_misses());
         assert_eq!(rebuilt.remote_misses(), b.remote_misses());
         assert_eq!(rebuilt.total(), b.total());
+    }
+
+    #[test]
+    fn contention_stall_adds_time_without_counting_a_miss() {
+        let mut b = RunBreakdown::new();
+        b.add_stall_tier(Mode::User, RefClass::Data, StallTier::Remote, Ns(200));
+        b.add_contention_stall(Mode::User, RefClass::Data, StallTier::Remote, Ns(50));
+        assert_eq!(b.remote_misses(), 1, "the wait is not a second miss");
+        assert_eq!(b.remote_stall(), Ns(250));
+
+        // Equivalent to one combined charge, as the serial loop makes.
+        let mut serial = RunBreakdown::new();
+        serial.add_stall_tier(Mode::User, RefClass::Data, StallTier::Remote, Ns(250));
+        assert_eq!(b, serial);
     }
 
     fn sample() -> RunBreakdown {

@@ -425,15 +425,40 @@ impl GcReport {
 /// [`TraceStore::load`] freshens it on every successful load. Ties
 /// break by slug so the eviction order is deterministic.
 ///
+/// Concurrency-safe against loaders and other collectors: each victim
+/// is re-stat'ed immediately before unlinking, so an entry a load
+/// freshened after the scan (it just proved itself hot) is skipped, and
+/// an entry another collector already removed is accounted as gone
+/// instead of erroring.
+///
 /// # Errors
 ///
-/// Directory-listing or removal failures.
+/// Directory-listing or removal failures (a concurrently vanished
+/// entry is not a failure).
 pub fn gc<S: Storage>(store: &TraceStore<S>, max_bytes: u64) -> Result<GcReport, StoreError> {
+    gc_with_hook(store, max_bytes, |_| {})
+}
+
+/// [`gc`] with a test seam: `before_unlink` runs after a victim is
+/// chosen and before its files are unlinked — exactly the window a
+/// concurrent [`TraceStore::load`] freshen or a racing collector's
+/// unlink lands in.
+fn gc_with_hook<S: Storage>(
+    store: &TraceStore<S>,
+    max_bytes: u64,
+    mut before_unlink: impl FnMut(&str),
+) -> Result<GcReport, StoreError> {
     let mut entries = Vec::new();
     for slug in store.list()? {
         let trace_path = store.trace_path(&slug);
         let meta_path = store.meta_path(&slug);
-        let trace_md = fs::metadata(&trace_path)?;
+        // An entry may vanish between list() and here (a racing
+        // collector): it holds no bytes, so it is simply not a victim.
+        let trace_md = match fs::metadata(&trace_path) {
+            Ok(md) => md,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        };
         let bytes = trace_md.len() + fs::metadata(&meta_path).map_or(0, |m| m.len());
         let used = trace_md
             .modified()
@@ -447,20 +472,52 @@ pub fn gc<S: Storage>(store: &TraceStore<S>, max_bytes: u64) -> Result<GcReport,
     report.bytes_after = report.bytes_before;
     // Oldest first; equal timestamps fall back to slug order.
     entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-    let mut keep_from = 0;
-    while report.bytes_after > max_bytes && keep_from < entries.len() {
-        let (_, slug, bytes) = &entries[keep_from];
-        store.storage().remove_file(&store.trace_path(slug))?;
-        store.storage().remove_file(&store.meta_path(slug))?;
+    let mut vanished = 0usize;
+    let mut next = 0;
+    while report.bytes_after > max_bytes && next < entries.len() {
+        let (seen, slug, bytes) = &entries[next];
+        next += 1;
+        before_unlink(slug);
+        // Re-stat before unlinking. A fresher mtime means a load used
+        // the entry after our scan — it is hot now, so evicting it
+        // would throw away exactly the bytes most worth keeping; skip
+        // to the next-oldest victim instead.
+        match fs::metadata(store.trace_path(slug)) {
+            Ok(md) => {
+                let now = md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                if now > *seen {
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // A racing collector won: the bytes are already gone.
+                report.bytes_after -= bytes;
+                vanished += 1;
+                let _ = remove_if_present(store, &store.meta_path(slug));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        remove_if_present(store, &store.trace_path(slug))?;
+        remove_if_present(store, &store.meta_path(slug))?;
         report.bytes_after -= bytes;
         report.evicted.push(Evicted {
             slug: slug.clone(),
             bytes: *bytes,
         });
-        keep_from += 1;
     }
-    report.kept = entries.len() - keep_from;
+    report.kept = entries.len() - report.evicted.len() - vanished;
     Ok(report)
+}
+
+/// Unlinks `path`, treating an already-missing file (a racing collector
+/// got there first) as success.
+fn remove_if_present<S: Storage>(store: &TraceStore<S>, path: &Path) -> Result<(), StoreError> {
+    match store.storage().remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 #[cfg(test)]
@@ -641,6 +698,88 @@ mod tests {
         // A zero budget clears the store.
         let report = gc(&store, 0).unwrap();
         assert_eq!(report.evicted.len(), 2);
+        assert_eq!(report.bytes_after, 0);
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_skips_a_victim_freshened_mid_collection() {
+        // Regression: a load that freshens the chosen victim between
+        // gc's scan and its unlink proves the entry hot — gc must move
+        // on to the next-oldest instead of evicting it.
+        let (store, dir) = store_with("gc-race-hot", &[("old", 5000), ("mid", 5000)]);
+        let stamp = |slug: &str, secs: u64| {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .open(store.trace_path(slug))
+                .unwrap();
+            f.set_modified(
+                std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs),
+            )
+            .unwrap();
+        };
+        stamp("old", 1000);
+        stamp("mid", 2000);
+        let report = gc_with_hook(&store, 0, |slug| {
+            if slug == "old" {
+                // The concurrent load's mtime freshen.
+                let _ = store.load("old");
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            report
+                .evicted
+                .iter()
+                .map(|e| e.slug.as_str())
+                .collect::<Vec<_>>(),
+            vec!["mid"],
+            "the freshened victim survives; the next-oldest goes"
+        );
+        assert_eq!(report.kept, 1);
+        assert_eq!(store.list().unwrap(), vec!["old"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_tolerates_a_racing_collector_unlinking_first() {
+        // Regression: a second collector removing the victim between
+        // gc's scan and its unlink used to surface as a hard I/O error.
+        let (store, dir) = store_with("gc-race-gone", &[("old", 5000), ("mid", 5000)]);
+        let stamp = |slug: &str, secs: u64| {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .open(store.trace_path(slug))
+                .unwrap();
+            f.set_modified(
+                std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs),
+            )
+            .unwrap();
+        };
+        stamp("old", 1000);
+        stamp("mid", 2000);
+        let report = gc_with_hook(&store, 0, |slug| {
+            if slug == "old" {
+                // The racing collector wins the unlink.
+                fs::remove_file(store.trace_path("old")).unwrap();
+                fs::remove_file(store.meta_path("old")).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            report
+                .evicted
+                .iter()
+                .map(|e| e.slug.as_str())
+                .collect::<Vec<_>>(),
+            vec!["mid"],
+            "only the entry this gc actually unlinked is reported evicted"
+        );
+        assert_eq!(
+            report.kept, 0,
+            "the vanished entry is neither kept nor evicted"
+        );
         assert_eq!(report.bytes_after, 0);
         assert!(store.list().unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();

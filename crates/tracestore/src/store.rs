@@ -312,7 +312,10 @@ impl<S: Storage> TraceStore<S> {
     /// need a [`Trace`], e.g. figure rendering). A successful load
     /// freshens the entry's file mtime, so `trace gc`'s
     /// least-recently-used eviction order tracks actual use, not just
-    /// capture time.
+    /// capture time. The freshen is best-effort: if a concurrent
+    /// `trace gc` evicted the entry between the read and the touch, the
+    /// touch degrades to a no-op — the load already has the bytes, and
+    /// a vanished file must not turn a successful load into an error.
     ///
     /// # Errors
     ///
@@ -323,7 +326,7 @@ impl<S: Storage> TraceStore<S> {
         for rec in reader {
             b.push(rec?);
         }
-        touch(&self.trace_path(slug));
+        freshen(&self.trace_path(slug));
         Ok((b.finish(), meta))
     }
 
@@ -361,10 +364,14 @@ impl<S: Storage> TraceStore<S> {
 
 /// Best-effort LRU hint: bump a file's mtime to "now" so `trace gc`
 /// evicts genuinely cold entries first. Purely a host-side ordering
-/// aid — failures are ignored and the bytes on disk are untouched.
-fn touch(path: &Path) {
-    if let Ok(f) = fs::OpenOptions::new().append(true).open(path) {
-        let _ = f.set_modified(std::time::SystemTime::now());
+/// aid — every failure (most importantly `NotFound`, the entry evicted
+/// by a concurrent gc between our read and this touch) degrades to a
+/// no-op; the bytes on disk are never modified. Returns whether the
+/// mtime was actually bumped, so tests can pin the degraded path.
+pub(crate) fn freshen(path: &Path) -> bool {
+    match fs::OpenOptions::new().append(true).open(path) {
+        Ok(f) => f.set_modified(std::time::SystemTime::now()).is_ok(),
+        Err(_) => false,
     }
 }
 
@@ -446,6 +453,27 @@ mod tests {
         assert_eq!(t, trace());
         assert_eq!(m, meta());
         assert_eq!(store.list().unwrap(), vec![slug]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn freshen_degrades_to_noop_when_entry_was_evicted() {
+        // Regression: the post-load mtime freshen must not error (or
+        // panic) when a concurrent `trace gc` unlinked the entry
+        // between the read and the touch.
+        let dir = std::env::temp_dir().join(format!("ccnuma-store-freshen-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let slug = TraceStore::slug("raytrace [FT] +trace", "identity-f");
+        store.save(&slug, &trace(), &meta()).unwrap();
+        assert!(freshen(&store.trace_path(&slug)), "live entry is touched");
+        // Simulate the gc winning the race: the entry vanishes.
+        fs::remove_file(store.trace_path(&slug)).unwrap();
+        fs::remove_file(store.meta_path(&slug)).unwrap();
+        assert!(
+            !freshen(&store.trace_path(&slug)),
+            "evicted entry degrades to a no-op"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

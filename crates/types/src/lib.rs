@@ -28,6 +28,7 @@ mod error;
 mod fxhash;
 mod ids;
 mod procset;
+mod shard;
 mod time;
 mod topology;
 
@@ -37,5 +38,6 @@ pub use error::{ConfigError, SimError};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Frame, NodeId, Pid, ProcId, VirtPage};
 pub use procset::{ProcSet, ProcSetIter};
+pub use shard::ShardPlan;
 pub use time::Ns;
 pub use topology::{MemClass, NodeMemory, StallTier, Topology, TopologyPreset};

@@ -1,0 +1,74 @@
+//! Shard plan: how many host threads a single simulation run may use.
+//!
+//! Sharding partitions the simulated CPUs of one machine across host
+//! worker threads. The plan is purely an *execution* hint: results are
+//! byte-identical at every shard count, so the plan deliberately does
+//! not participate in run cache keys.
+
+/// How a single run is partitioned across host threads.
+///
+/// `shards` is the requested worker count; the effective count is
+/// clamped to `[1, cpus]` so a 4-CPU machine never spawns 8 workers.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_types::ShardPlan;
+///
+/// assert_eq!(ShardPlan::default().shards, 1);
+/// assert_eq!(ShardPlan::new(8).effective(4), 4);
+/// assert_eq!(ShardPlan::new(0).effective(4), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    /// Requested worker-thread count for one run.
+    pub shards: u32,
+}
+
+impl ShardPlan {
+    /// A plan requesting `shards` workers.
+    pub fn new(shards: u32) -> ShardPlan {
+        ShardPlan { shards }
+    }
+
+    /// Serial execution: one worker, no thread spawning.
+    pub fn serial() -> ShardPlan {
+        ShardPlan { shards: 1 }
+    }
+
+    /// The worker count actually used for a machine with `cpus`
+    /// processors: at least 1, at most `cpus`.
+    pub fn effective(&self, cpus: usize) -> usize {
+        (self.shards.max(1) as usize).min(cpus.max(1))
+    }
+
+    /// True if this plan runs everything on the calling thread.
+    pub fn is_serial(&self, cpus: usize) -> bool {
+        self.effective(cpus) == 1
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ShardPlan::default(), ShardPlan::serial());
+        assert!(ShardPlan::default().is_serial(64));
+    }
+
+    #[test]
+    fn effective_clamps_both_ends() {
+        assert_eq!(ShardPlan::new(0).effective(8), 1);
+        assert_eq!(ShardPlan::new(3).effective(8), 3);
+        assert_eq!(ShardPlan::new(64).effective(8), 8);
+        assert_eq!(ShardPlan::new(4).effective(0), 1);
+    }
+}
