@@ -4,27 +4,36 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale quick|standard|full] [--jobs N]
-//!                       [--topology PRESET]
+//!                       [--topology PRESET] [--window-us N]
 //!                       [--obs-dir DIR] [--profile] [--trace-dir DIR]
 //!                       [--faults SCENARIO] [--chaos-seed N]
 //!                       [--resume DIR] [--soft-deadline SECS]
 //!                       [--hard-deadline SECS]
 //!                       [-v|--verbose] [-q|--quiet]
 //! repro all [--scale ...] [--jobs N] [--resume DIR]
-//! repro bench [--scale quick|standard|full] [--out FILE]
-//!             [--baseline FILE] [--check] [--tolerance PCT]
-//!             [--history FILE]
+//! repro bench [--scale quick|standard|full] [--window-us N]
+//!             [--out FILE] [--baseline FILE] [--check]
+//!             [--tolerance PCT] [--history FILE]
 //! repro obs report DIR [--out FILE]
 //! repro trace <capture|info|verify> [WORKLOAD|SLUG]...
-//!             [--scale S] [--trace-dir DIR]
+//!             [--scale S] [--trace-dir DIR] [--json]
+//! repro trace ls [--json] [--trace-dir DIR]
 //! repro trace fsck [--repair] [--trace-dir DIR]
 //! repro trace gc --max-bytes N [--trace-dir DIR]
 //! repro sweep (--workload NAME | --trace SLUG) [--scale S]
-//!             [--trace-dir DIR] [--jobs N] [--out FILE] [--csv FILE]
+//!             [--trace-dir DIR] [--jobs N] [--window-us N]
+//!             [--out FILE] [--csv FILE]
 //!             [--profile FILE] [--resume DIR] [--soft-deadline SECS]
 //!             [--policies P,..] [--triggers N,..] [--samples N,..]
 //!             [--latencies NS,..] [--move-costs US,..]
 //!             [--topologies T,..]
+//! repro serve [--addr HOST:PORT] [--trace-dir DIR] [--results-dir DIR]
+//!             [--workers N] [--queue-depth N] [--prewarm SLUG,..]
+//!             [--trace-budget-bytes N] [--max-cells N]
+//!             [--max-body-bytes N] [--max-sweeps N] [--window-us N]
+//!             [--soft-deadline SECS] [--hard-deadline SECS]
+//! repro loadgen --url HOST:PORT [--concurrency N] [--duration SECS]
+//!               [--trace NAME] [--out FILE]
 //! repro --list | repro --list-faults
 //! ```
 //!
@@ -34,6 +43,21 @@
 //! stdout is the byte-identical golden. Non-flat presets carry their own
 //! hop-path latencies, so the simulated machine — and every table — is
 //! expected to differ.
+//!
+//! `--window-us N` overrides the simulator's 100 µs scheduling window.
+//! Unlike `--shards` it is part of the simulated machine — a different
+//! window perturbs scheduling decisions and therefore the tables — but
+//! like `--shards` it stays out of the run-cache key, so cached results
+//! are only reused within one invocation's window setting.
+//!
+//! `repro serve` runs the sweep-as-a-service daemon: stored traces stay
+//! resident in memory, one `POST /v1/eval` replays one sweep cell, and
+//! every finished cell is journaled in a content-addressed on-disk
+//! result cache so repeated queries — including across daemon restarts
+//! — are answered byte-identically without touching the simulator.
+//! `repro loadgen` is the matching load generator; see README.md
+//! ("Sweep service") for the endpoints and EXPERIMENTS.md for the
+//! `ccnuma-serve-result/1` and `ccnuma-loadgen/1` schemas.
 //!
 //! The requested experiments' run plans are merged, deduplicated, and
 //! executed on `--jobs` worker threads (default: available parallelism)
@@ -110,9 +134,10 @@ use ccnuma_bench::{experiments, traced_ft_spec, Executor, RunPlan};
 use ccnuma_faults::{FaultScenario, FaultSpec, FaultStats};
 use ccnuma_obs::checkpoint::CheckpointJournal;
 use ccnuma_obs::Verbosity;
+use ccnuma_serve::{LoadgenOptions, ServeConfig};
 use ccnuma_tracestore::{
-    fsck, gc, run_sweep, run_sweep_profiled, run_sweep_resumable, ChunkIndex, SweepPolicy,
-    SweepSpec, TraceStore,
+    fsck, gc, run_sweep, run_sweep_profiled, run_sweep_resumable, ChunkIndex, ResultCache,
+    StoreListing, SweepPolicy, SweepSpec, TraceStore,
 };
 use ccnuma_types::{ShardPlan, TopologyPreset};
 use ccnuma_workloads::{Scale, WorkloadKind};
@@ -163,6 +188,28 @@ fn parse_shards(flag: &str, it: &mut std::slice::Iter<'_, String>) -> ShardPlan 
             std::process::exit(2);
         }
     }
+}
+
+/// Parses a `--window-us N` value: a positive scheduling-window length
+/// in microseconds. Unlike `--shards`, the window is part of the
+/// simulated machine — changing it perturbs scheduling decisions and
+/// therefore the tables (the default 100 matches the paper).
+fn parse_window(flag: &str, it: &mut std::slice::Iter<'_, String>) -> u64 {
+    match it.next().and_then(|v| v.parse::<u64>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} expects a positive microsecond count");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pulls a flag's string value or exits with a usage error.
+fn next_str<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
+    it.next().map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} expects a value");
+        std::process::exit(2);
+    })
 }
 
 fn open_store(dir: &PathBuf) -> TraceStore {
@@ -239,11 +286,12 @@ fn chaos_summary(faults: FaultSpec, ok: u64, failed: u64, t: &FaultStats) -> Str
 /// into exit 1, and one `ccnuma-bench-history/1` line is appended to
 /// the `--history` trajectory either way. File writes are atomic.
 fn run_bench(args: &[String]) -> ! {
-    let usage = "usage: repro bench [--scale quick|standard|full] [--shards N] [--out FILE] \
-                 [--baseline FILE] [--check] [--tolerance PCT] [--history FILE]";
+    let usage = "usage: repro bench [--scale quick|standard|full] [--shards N] [--window-us N] \
+                 [--out FILE] [--baseline FILE] [--check] [--tolerance PCT] [--history FILE]";
     let mut scale = Scale::standard();
     let mut scale_label = "standard".to_string();
     let mut shards = ShardPlan::serial();
+    let mut window_us: Option<u64> = None;
     let mut out = PathBuf::from("BENCH_hotpath.json");
     let mut baseline: Option<PathBuf> = None;
     let mut check = false;
@@ -271,6 +319,7 @@ fn run_bench(args: &[String]) -> ! {
                 };
             }
             "--shards" => shards = parse_shards("--shards", &mut it),
+            "--window-us" => window_us = Some(parse_window("--window-us", &mut it)),
             "--out" => out = path_value("--out", &mut it),
             "--baseline" => baseline = Some(path_value("--baseline", &mut it)),
             "--check" => check = true,
@@ -296,7 +345,8 @@ fn run_bench(args: &[String]) -> ! {
         std::process::exit(2);
     }
     let start = Instant::now();
-    let report = ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL, shards);
+    let report =
+        ccnuma_bench::hotpath_bench(scale, &scale_label, &WorkloadKind::ALL, shards, window_us);
     let (refs, wall, rate) = report.totals();
     if let Err(e) = ccnuma_bench::atomic_write(&out, report.to_json().as_bytes()) {
         eprintln!("writing {}: {e}", out.display());
@@ -401,7 +451,8 @@ fn run_obs_cmd(args: &[String]) -> ! {
 /// `repro trace capture|info|verify`: manage the on-disk trace store.
 fn run_trace_cmd(args: &[String]) -> ! {
     let usage = "usage: repro trace <capture|info|verify> [WORKLOAD|SLUG]... \
-                 [--scale quick|standard|full] [--trace-dir DIR]\n\
+                 [--scale quick|standard|full] [--trace-dir DIR] [--json]\n\
+                 \u{20}      repro trace ls [--json] [--trace-dir DIR]\n\
                  \u{20}      repro trace fsck [--repair] [--trace-dir DIR]\n\
                  \u{20}      repro trace gc --max-bytes N [--trace-dir DIR]";
     let Some(action) = args.first().map(String::as_str) else {
@@ -411,12 +462,14 @@ fn run_trace_cmd(args: &[String]) -> ! {
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
     let mut repair = false;
+    let mut json = false;
     let mut max_bytes: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => scale = parse_scale(it.next().map(String::as_str)),
+            "--json" => json = true,
             "--trace-dir" => match it.next() {
                 Some(d) => dir = PathBuf::from(d),
                 None => {
@@ -441,8 +494,44 @@ fn run_trace_cmd(args: &[String]) -> ! {
             name => names.push(name.to_string()),
         }
     }
+    if json && !matches!(action, "ls" | "info") {
+        eprintln!("repro trace: --json applies to ls and info only\n{usage}");
+        std::process::exit(2);
+    }
     let store = open_store(&dir);
     match action {
+        "ls" => {
+            if !names.is_empty() {
+                eprintln!("repro trace ls takes no positional arguments\n{usage}");
+                std::process::exit(2);
+            }
+            let listing = StoreListing::scan(&store).unwrap_or_else(|e| {
+                eprintln!("listing {}: {e}", store.dir().display());
+                std::process::exit(1);
+            });
+            if json {
+                print!("{}", listing.to_json());
+            } else {
+                for e in &listing.entries {
+                    println!(
+                        "{}: label=\"{}\" records={} nodes={} chunks={} bytes={} mtime={}",
+                        e.slug, e.label, e.records, e.nodes, e.chunks, e.bytes, e.mtime_unix
+                    );
+                }
+                println!(
+                    "total: {} entr{}, {} bytes, {} records",
+                    listing.entries.len(),
+                    if listing.entries.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
+                    listing.total_bytes,
+                    listing.total_records
+                );
+            }
+            std::process::exit(0);
+        }
         "capture" => {
             let kinds: Vec<WorkloadKind> = if names.is_empty() {
                 WorkloadKind::ALL.to_vec()
@@ -498,12 +587,34 @@ fn run_trace_cmd(args: &[String]) -> ! {
             if slugs.is_empty() {
                 eprintln!("trace store {} is empty", store.dir().display());
             }
+            // `info --json` goes through the shared listing scan, so its
+            // entries are the same bytes `trace ls --json` and the serve
+            // daemon's `GET /v1/traces` would report.
+            let listing = if json {
+                Some(StoreListing::scan(&store).unwrap_or_else(|e| {
+                    eprintln!("listing {}: {e}", store.dir().display());
+                    std::process::exit(1);
+                }))
+            } else {
+                None
+            };
             let mut failed = false;
             for slug in &slugs {
-                let outcome = if action == "info" {
-                    trace_info(&store, slug)
-                } else {
-                    trace_verify(&store, slug)
+                let outcome = match &listing {
+                    Some(l) => match l.entries.iter().find(|e| &e.slug == slug) {
+                        Some(e) => {
+                            print!("{}", e.to_json());
+                            Ok(())
+                        }
+                        None => store
+                            .meta(slug)
+                            .and(Err(ccnuma_tracestore::StoreError::Corrupt {
+                                chunk: usize::MAX,
+                                what: "entry unreadable (see trace fsck)",
+                            })),
+                    },
+                    None if action == "info" => trace_info(&store, slug),
+                    None => trace_verify(&store, slug),
                 };
                 if let Err(e) = outcome {
                     println!("FAIL {slug}: {e}");
@@ -583,14 +694,15 @@ fn trace_verify(store: &TraceStore, slug: &str) -> Result<(), ccnuma_tracestore:
 fn run_sweep_cmd(args: &[String]) -> ! {
     let usage = "usage: repro sweep (--workload NAME | --trace SLUG) \
                  [--scale quick|standard|full] [--trace-dir DIR] [--jobs N] \
-                 [--shards N] [--out FILE] [--csv FILE] [--profile FILE] \
-                 [--resume DIR] [--soft-deadline SECS] [--policies P,..] \
-                 [--triggers N,..] [--samples N,..] [--latencies NS,..] \
-                 [--move-costs US,..] [--topologies T,..]";
+                 [--shards N] [--window-us N] [--out FILE] [--csv FILE] \
+                 [--profile FILE] [--resume DIR] [--soft-deadline SECS] \
+                 [--policies P,..] [--triggers N,..] [--samples N,..] \
+                 [--latencies NS,..] [--move-costs US,..] [--topologies T,..]";
     let mut scale = Scale::standard();
     let mut dir = PathBuf::from(DEFAULT_TRACE_DIR);
     let mut jobs = default_jobs();
     let mut shards = ShardPlan::serial();
+    let mut window_us: Option<u64> = None;
     let mut workload: Option<WorkloadKind> = None;
     let mut trace_slug: Option<String> = None;
     let mut out: Option<PathBuf> = None;
@@ -630,6 +742,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
                 };
             }
             "--shards" => shards = parse_shards("--shards", &mut it),
+            "--window-us" => window_us = Some(parse_window("--window-us", &mut it)),
             "--workload" => {
                 let name = next_value("--workload", &mut it);
                 workload = Some(parse_workload(name).unwrap_or_else(|| {
@@ -709,6 +822,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
             // are host-threaded via --jobs.
             let exec = Executor::serial()
                 .with_shards(shards)
+                .with_window_us(window_us)
                 .with_trace_store(store.clone());
             let run_spec = traced_ft_spec(kind, scale);
             let slug = exec.trace_slug(&run_spec);
@@ -824,6 +938,170 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro serve`: run the sweep-as-a-service daemon until SIGTERM or
+/// SIGINT (graceful: in-flight sweep cells are journaled in the result
+/// cache before exit).
+fn run_serve_cmd(args: &[String]) -> ! {
+    let usage = "usage: repro serve [--addr HOST:PORT] [--trace-dir DIR] \
+                 [--results-dir DIR] [--workers N] [--queue-depth N] \
+                 [--prewarm SLUG,..] [--trace-budget-bytes N] [--max-cells N] \
+                 [--max-body-bytes N] [--max-sweeps N] [--window-us N] \
+                 [--soft-deadline SECS] [--hard-deadline SECS]";
+    fn pos_num(flag: &str, it: &mut std::slice::Iter<'_, String>) -> u64 {
+        match it.next().and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut cfg = ServeConfig {
+        trace_dir: PathBuf::from(DEFAULT_TRACE_DIR),
+        ..ServeConfig::default()
+    };
+    let mut results_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = next_str("--addr", &mut it).to_string(),
+            "--trace-dir" => cfg.trace_dir = PathBuf::from(next_str("--trace-dir", &mut it)),
+            "--results-dir" => {
+                results_dir = Some(PathBuf::from(next_str("--results-dir", &mut it)));
+            }
+            "--workers" => cfg.workers = pos_num("--workers", &mut it) as usize,
+            "--queue-depth" => cfg.queue_depth = pos_num("--queue-depth", &mut it) as usize,
+            "--prewarm" => cfg.prewarm.extend(
+                next_str("--prewarm", &mut it)
+                    .split(',')
+                    .map(str::to_string),
+            ),
+            "--trace-budget-bytes" => {
+                cfg.trace_budget_bytes = pos_num("--trace-budget-bytes", &mut it);
+            }
+            "--max-cells" => cfg.max_cells = pos_num("--max-cells", &mut it) as usize,
+            "--max-body-bytes" => {
+                cfg.max_body_bytes = pos_num("--max-body-bytes", &mut it) as usize;
+            }
+            "--max-sweeps" => cfg.max_sweeps = pos_num("--max-sweeps", &mut it) as usize,
+            "--window-us" => {
+                // Accepted for CLI uniformity with all/bench/sweep; the
+                // daemon replays stored traces and never opens a
+                // scheduling window, so the value is validated and noted
+                // but cannot change any response.
+                let us = parse_window("--window-us", &mut it);
+                eprintln!(
+                    "serve: --window-us {us} has no effect (the daemon replays stored traces)"
+                );
+            }
+            "--soft-deadline" => {
+                cfg.soft_deadline = Some(parse_deadline(
+                    "--soft-deadline",
+                    next_str("--soft-deadline", &mut it),
+                ));
+            }
+            "--hard-deadline" => {
+                cfg.hard_deadline = Some(parse_deadline(
+                    "--hard-deadline",
+                    next_str("--hard-deadline", &mut it),
+                ));
+            }
+            other => {
+                eprintln!("repro serve: unknown argument {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.results_dir = results_dir.unwrap_or_else(|| cfg.trace_dir.join("results"));
+    match ccnuma_serve::run(cfg) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro loadgen`: hammer a running daemon with mixed traffic and
+/// print (or write) the `ccnuma-loadgen/1` report.
+fn run_loadgen_cmd(args: &[String]) -> ! {
+    let usage = "usage: repro loadgen --url HOST:PORT [--concurrency N] \
+                 [--duration SECS] [--trace NAME] [--out FILE]";
+    let mut url: Option<String> = None;
+    let mut concurrency = 4usize;
+    let mut duration = Duration::from_secs(5);
+    let mut trace: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--url" => url = Some(next_str("--url", &mut it).to_string()),
+            "--concurrency" => {
+                concurrency = match next_str("--concurrency", &mut it).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--concurrency expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--duration" => {
+                let raw = next_str("--duration", &mut it);
+                duration = parse_deadline("--duration", raw.strip_suffix('s').unwrap_or(raw));
+            }
+            "--trace" => trace = Some(next_str("--trace", &mut it).to_string()),
+            "--out" => out = Some(PathBuf::from(next_str("--out", &mut it))),
+            other => {
+                eprintln!("repro loadgen: unknown argument {other:?}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(url) = url else {
+        eprintln!("repro loadgen: --url is required\n{usage}");
+        std::process::exit(2);
+    };
+    let stripped = url
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string();
+    let addr = {
+        use std::net::ToSocketAddrs;
+        match stripped.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(addr) => addr,
+            None => {
+                eprintln!("--url: cannot resolve {url:?} (want HOST:PORT)");
+                std::process::exit(2);
+            }
+        }
+    };
+    let opts = LoadgenOptions {
+        addr,
+        concurrency,
+        duration,
+        trace,
+    };
+    match ccnuma_serve::run_loadgen(&opts) {
+        Ok(json) => {
+            match &out {
+                Some(path) => {
+                    if let Err(e) = ccnuma_bench::atomic_write(path, json.as_bytes()) {
+                        eprintln!("writing {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                    eprintln!("loadgen report -> {}", path.display());
+                }
+                None => println!("{json}"),
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("loadgen against {url}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Parses a `--soft-deadline`/`--hard-deadline` value: positive
 /// seconds, fractions allowed.
 fn parse_deadline(flag: &str, raw: &str) -> Duration {
@@ -843,6 +1121,8 @@ fn main() {
         Some("obs") => run_obs_cmd(&args[1..]),
         Some("trace") => run_trace_cmd(&args[1..]),
         Some("sweep") => run_sweep_cmd(&args[1..]),
+        Some("serve") => run_serve_cmd(&args[1..]),
+        Some("loadgen") => run_loadgen_cmd(&args[1..]),
         _ => {}
     }
     let mut scale = Scale::standard();
@@ -858,6 +1138,7 @@ fn main() {
     let mut chaos_seed: u64 = 0;
     let mut topology: Option<TopologyPreset> = None;
     let mut shards: Option<ShardPlan> = None;
+    let mut window_us: Option<u64> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -924,6 +1205,7 @@ fn main() {
                 topology = Some(parse_topology("--topology", label));
             }
             "--shards" => shards = Some(parse_shards("--shards", &mut it)),
+            "--window-us" => window_us = Some(parse_window("--window-us", &mut it)),
             "--obs-dir" => {
                 obs_dir = match it.next() {
                     Some(dir) => Some(PathBuf::from(dir)),
@@ -980,11 +1262,12 @@ fn main() {
     if names.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--scale quick|standard|full] [--jobs N] \
-             [--shards N] [--topology PRESET] [--obs-dir DIR] [--profile] \
+             [--shards N] [--window-us N] [--topology PRESET] [--obs-dir DIR] [--profile] \
              [--trace-dir DIR] [--faults SCENARIO] [--chaos-seed N] [--resume DIR] \
              [--soft-deadline SECS] [--hard-deadline SECS] [-v|-q]"
         );
         eprintln!("       repro all | repro bench | repro obs report | repro trace | repro sweep");
+        eprintln!("       repro serve | repro loadgen");
         eprintln!("       repro --list | repro --list-faults");
         std::process::exit(2);
     }
@@ -1027,6 +1310,9 @@ fn main() {
     }
     if let Some(plan) = shards {
         exec = exec.with_shards(plan);
+    }
+    if window_us.is_some() {
+        exec = exec.with_window_us(window_us);
     }
     if let Some(dir) = &obs_dir {
         exec = exec.with_obs_dir(dir.clone());
@@ -1136,13 +1422,35 @@ fn main() {
         } else {
             String::new()
         };
+        // Byte footprints ride along with the hit counts whenever a
+        // store is in play, so capacity pressure is visible from the
+        // same line operators already watch.
+        let footprints = trace_dir.as_ref().map_or(String::new(), |dir| {
+            let mut s = String::new();
+            if let Ok(listing) = StoreListing::scan(&open_store(dir)) {
+                s.push_str(&format!(
+                    ", trace store {} B in {} trace(s)",
+                    listing.total_bytes,
+                    listing.entries.len()
+                ));
+            }
+            let results = dir.join("results");
+            if results.is_dir() {
+                if let Ok(cache) = ResultCache::new(&results) {
+                    let (n, b) = cache.footprint();
+                    s.push_str(&format!(", result cache {b} B in {n} result(s)"));
+                }
+            }
+            s
+        });
         eprintln!(
-            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}{}{}, jobs={}, wall {:.2}s",
+            "{} experiment(s), {} distinct run(s) computed, {} cache hit(s){}{}{}{}, jobs={}, wall {:.2}s",
             selected.len(),
             stats.computed,
             stats.hits,
             store_hits,
             resumed,
+            footprints,
             failed,
             stats.jobs,
             wall.as_secs_f64()

@@ -251,18 +251,22 @@ pub fn tracestore_bench(scale: Scale, kind: WorkloadKind) -> TraceBench {
 /// first workload also gets a whole-run row under the
 /// four-socket-hierarchical topology — tracking what the hop-path
 /// latency model costs on the per-reference loop — and a
-/// [`tracestore_bench`] codec measurement.
+/// [`tracestore_bench`] codec measurement. A non-`None` `window_us`
+/// overrides the simulator's 100 µs scheduling window on every timed
+/// run (`--window-us`).
 pub fn hotpath_bench(
     scale: Scale,
     scale_label: &str,
     workloads: &[WorkloadKind],
     shards: ccnuma_types::ShardPlan,
+    window_us: Option<u64>,
 ) -> BenchReport {
     use ccnuma_types::{ShardPlan, TopologyPreset};
     let mut runs = Vec::new();
     for &kind in workloads {
         for mut spec in [ft_spec(kind, scale), dynamic_spec(kind, scale)] {
             spec.opts.shards = shards;
+            spec.opts.window_us = window_us;
             let run = time_spec(kind, &spec);
             eprintln!(
                 "bench: {} [{} x{}] {} refs in {:.2}s ({:.0} refs/s)",
@@ -281,7 +285,8 @@ pub fn hotpath_bench(
             // The serial half of the speedup pair: same spec, one host
             // thread. Reports are byte-identical; only the wall clock
             // (and hence refs_per_sec) may differ.
-            let spec = dynamic_spec(kind, scale);
+            let mut spec = dynamic_spec(kind, scale);
+            spec.opts.window_us = window_us;
             let run = time_spec(kind, &spec);
             eprintln!(
                 "bench: {} [{} x{} serial-compare] {} refs in {:.2}s ({:.0} refs/s)",
@@ -297,6 +302,7 @@ pub fn hotpath_bench(
         let mut spec =
             dynamic_spec(kind, scale).with_topology(TopologyPreset::FourSocketHierarchical);
         spec.opts.shards = shards;
+        spec.opts.window_us = window_us;
         let run = time_spec(kind, &spec);
         eprintln!(
             "bench: {} [{} +topo={}] {} refs in {:.2}s ({:.0} refs/s)",
@@ -336,6 +342,7 @@ mod tests {
             "quick",
             &[WorkloadKind::Raytrace],
             ccnuma_types::ShardPlan::serial(),
+            None,
         );
         assert_eq!(report.runs.len(), 3);
         assert_eq!(report.runs[0].policy, "FT");
@@ -413,6 +420,7 @@ mod tests {
             "quick",
             &[WorkloadKind::Raytrace],
             ccnuma_types::ShardPlan::new(2),
+            None,
         );
         assert_eq!(report.runs.len(), 4);
         assert_eq!(report.runs[0].shards, 2); // FT

@@ -219,6 +219,7 @@ pub struct Executor {
     default_faults: Option<FaultSpec>,
     default_topology: Option<TopologyPreset>,
     shards: ShardPlan,
+    window_us: Option<u64>,
     trace_store: Option<TraceStore>,
     profiling: bool,
     checkpoint: Option<RunJournal>,
@@ -245,6 +246,7 @@ impl Executor {
             default_faults: None,
             default_topology: None,
             shards: ShardPlan::default(),
+            window_us: None,
             trace_store: None,
             profiling: false,
             checkpoint: None,
@@ -312,6 +314,18 @@ impl Executor {
     #[must_use]
     pub fn with_shards(mut self, plan: ShardPlan) -> Executor {
         self.shards = plan;
+        self
+    }
+
+    /// Sets the shard epoch window (`--window-us`) for every run whose
+    /// spec has not set its own. Like the shard plan it is an execution
+    /// knob excluded from cache keys, so tuning it never invalidates
+    /// cached runs — but unlike shards it *can* perturb results
+    /// (contention feedback is one window late), so comparative
+    /// experiments should hold it fixed.
+    #[must_use]
+    pub fn with_window_us(mut self, us: Option<u64>) -> Executor {
+        self.window_us = us;
         self
     }
 
@@ -437,6 +451,9 @@ impl Executor {
         }
         if spec.opts.shards == ShardPlan::default() {
             spec.opts.shards = self.shards;
+        }
+        if spec.opts.window_us.is_none() {
+            spec.opts.window_us = self.window_us;
         }
         spec
     }

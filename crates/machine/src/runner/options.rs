@@ -85,12 +85,18 @@ pub struct RunOptions {
     /// Intra-run parallelism: how many host threads advance the
     /// simulated CPUs. Results are byte-identical at every shard count.
     pub shards: ShardPlan,
+    /// Shard epoch window length in simulated microseconds; `None`
+    /// uses the built-in default (100 µs). An experiment knob for
+    /// window-tuning studies: like `shards` it is excluded from the
+    /// run-cache key, so changing it never invalidates cached runs.
+    pub window_us: Option<u64>,
 }
 
-/// Hand-written so the shard plan stays out of the debug rendering:
-/// run cache keys are derived from `format!("{spec:?}")`, and sharding
-/// must never perturb them — the whole point is that results are
-/// byte-identical at every shard count.
+/// Hand-written so the shard plan and window length stay out of the
+/// debug rendering: run cache keys are derived from
+/// `format!("{spec:?}")`, and execution hints must never perturb them
+/// — the whole point is that results are byte-identical at every shard
+/// count, and the window is an experiment knob, not an identity.
 impl fmt::Debug for RunOptions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RunOptions")
@@ -120,6 +126,7 @@ impl RunOptions {
             adaptive: None,
             faults: None,
             shards: ShardPlan::default(),
+            window_us: None,
         }
     }
 
@@ -189,6 +196,22 @@ impl RunOptions {
         self.shards = shards;
         self
     }
+
+    /// Sets the shard epoch window length in simulated microseconds.
+    /// An execution hint like the shard plan: excluded from the cache
+    /// key. Note that unlike `shards`, the window size *can* perturb
+    /// results (directory-contention feedback is one window late), so
+    /// comparative experiments should hold it fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is zero.
+    #[must_use]
+    pub fn with_window_us(mut self, us: u64) -> RunOptions {
+        assert!(us > 0, "window must be non-zero");
+        self.window_us = Some(us);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +224,13 @@ mod tests {
         let b = RunOptions::new(PolicyChoice::first_touch()).with_shards(ShardPlan::new(8));
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert!(!format!("{b:?}").contains("shards"));
+    }
+
+    #[test]
+    fn window_is_invisible_to_debug_and_cache_keys() {
+        let a = RunOptions::new(PolicyChoice::first_touch());
+        let b = RunOptions::new(PolicyChoice::first_touch()).with_window_us(250);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!format!("{b:?}").contains("window"));
     }
 }

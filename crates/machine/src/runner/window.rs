@@ -47,8 +47,10 @@ use ccnuma_types::{
 use ccnuma_workloads::ProcessStream;
 use rand::rngs::SmallRng;
 
-/// Window length in simulated nanoseconds. Windows are additionally
-/// clamped so they never cross a scheduler-quantum boundary.
+/// Default window length in simulated nanoseconds, used when
+/// [`RunOptions::window_us`](super::RunOptions) is `None`. Windows are
+/// additionally clamped so they never cross a scheduler-quantum
+/// boundary.
 pub(super) const WINDOW: Ns = Ns(100_000);
 
 /// One deferred cross-CPU interaction, replayed at merge time.
@@ -282,9 +284,15 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
     /// References the windowed phase must leave for the serial tail:
     /// one window can consume at most this many, so running windows
     /// only while `refs_left` exceeds it can never overdraw.
+    /// The configured window length (the `--window-us` knob, or the
+    /// built-in default).
+    pub(super) fn window(&self) -> Ns {
+        self.opts.window_us.map_or(WINDOW, Ns::from_us)
+    }
+
     pub(super) fn window_tail_bound(&self) -> u64 {
         let min_step = self.spec.config.compute_ns_per_ref.0.max(1);
-        self.clocks.len() as u64 * (WINDOW.0 / min_step + 2)
+        self.clocks.len() as u64 * (self.window().0 / min_step + 2)
     }
 
     /// Runs one window: quantum/epoch work, parallel lanes, canonical
@@ -326,7 +334,7 @@ impl<R: Recorder, F: FaultInjector, P: Profiler> Sim<'_, R, F, P> {
             }
             self.prof.exit(Phase::Sched, span);
         }
-        let end = Ns((cur.0 + WINDOW.0).min((q + 1) * quantum.0));
+        let end = Ns((cur.0 + self.window().0).min((q + 1) * quantum.0));
 
         // Move per-CPU state out of `Sim` into lanes.
         let tlbs = std::mem::take(&mut self.tlb);

@@ -1,0 +1,148 @@
+//! A small blocking HTTP/1.1 client over `std::net`, shared by the
+//! load generator, the CI smoke script, and the integration tests.
+//! Keep-alive by default; understands fixed-length and chunked
+//! responses.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (chunked bodies are reassembled).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One keep-alive connection to the daemon.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Connects with the given timeout, also used as the read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            reader,
+            writer: stream,
+            addr,
+        })
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Issues one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: serve\r\n");
+        if let Some(b) = body {
+            req.push_str("Content-Type: application/json\r\n");
+            req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        }
+        req.push_str("\r\n");
+        if let Some(b) = body {
+            req.push_str(b);
+        }
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| io::Error::other(format!("bad chunk size {size_line:?}")))?;
+                if size == 0 {
+                    // Trailing CRLF after the last chunk.
+                    let _ = self.read_line()?;
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                self.reader.read_exact(&mut chunk)?;
+                body.extend_from_slice(&chunk);
+                let _ = self.read_line()?;
+            }
+        } else {
+            let len = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            body.resize(len, 0);
+            self.reader.read_exact(&mut body)?;
+        }
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,342 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! Only what the daemon needs: request parsing with hard size limits
+//! at every stage (request line, header block, body), keep-alive,
+//! fixed-length and chunked responses, and a typed error enum that
+//! maps every malformed input to a 4xx — never a panic, never an
+//! unbounded read, never a hung worker (socket read timeouts are the
+//! caller's job and surface here as [`HttpError::Timeout`]).
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line (method + path + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Hard cap on the total header block.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/eval`.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Everything that can go wrong reading a request, each mapped to a
+/// response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body framing → 400.
+    BadRequest(&'static str),
+    /// Request line or header block over the cap → 431.
+    HeadersTooLarge,
+    /// Declared body over the configured cap → 413.
+    PayloadTooLarge,
+    /// The socket read timed out mid-request → 408 (then close).
+    Timeout,
+    /// Transport error; no response possible.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status line this error maps to (`None` for transport
+    /// errors, where writing is pointless).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::PayloadTooLarge => Some((413, "Payload Too Large")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// Short machine-readable code for the error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(what) => what,
+            HttpError::HeadersTooLarge => "headers_too_large",
+            HttpError::PayloadTooLarge => "payload_too_large",
+            HttpError::Timeout => "timeout",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, capped at `max` bytes.
+/// Returns `None` on clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated_line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let s = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non_utf8_line"))?;
+                    return Ok(Some(s));
+                }
+                if line.len() >= max {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads and parses one request. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (the keep-alive exit path).
+///
+/// # Errors
+///
+/// Any [`HttpError`]; the caller should write the mapped status (if
+/// any) and close the connection.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(r, MAX_REQUEST_LINE)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || path.is_empty()
+        || parts.next().is_some()
+        || !matches!(version, "HTTP/1.1" | "HTTP/1.0")
+    {
+        return Err(HttpError::BadRequest("bad_request_line"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("bad_method"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest("bad_path"));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line =
+            read_line(r, MAX_HEADER_BYTES)?.ok_or(HttpError::BadRequest("eof_in_headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("bad_header"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("bad_header"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => {}
+        Some(Err(_)) => return Err(HttpError::BadRequest("bad_content_length")),
+        Some(Ok(n)) if n > max_body => return Err(HttpError::PayloadTooLarge),
+        Some(Ok(n)) => {
+            body.resize(n, 0);
+            r.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    HttpError::BadRequest("truncated_body")
+                } else {
+                    HttpError::from(e)
+                }
+            })?;
+        }
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        // We never need chunked *requests*; reject rather than
+        // misinterpret the framing.
+        return Err(HttpError::BadRequest("chunked_request"));
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Writes a fixed-length response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Starts a chunked response; follow with [`write_chunk`] and
+/// [`finish_chunks`].
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn start_chunked<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    w.write_all(b"Transfer-Encoding: chunked\r\n\r\n")?;
+    w.flush()
+}
+
+/// Writes one chunk (no-op for empty data — an empty chunk would
+/// terminate the stream).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_chunk<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn finish_chunks<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/eval HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn truncated_body_is_400_not_a_hang() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(e.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn bad_version_is_400() {
+        let e = parse(b"GET / HTTP/2\r\n\r\n").unwrap_err();
+        assert_eq!(e.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        req.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let e = parse(&req).unwrap_err();
+        assert_eq!(e.status().map(|(s, _)| s), Some(431));
+    }
+}

@@ -1,0 +1,1078 @@
+//! The daemon: accept loop, bounded work queue, worker pool, request
+//! routing, and graceful shutdown.
+//!
+//! Shedding happens at two gates. The *accept gate* is the bounded
+//! connection queue: when it is full the accept thread itself writes a
+//! typed 503 with `Retry-After` and closes — workers never see the
+//! connection, so a flood cannot wedge the pool. The *work gates* are
+//! per-request budgets: body size (413), sweep cell budget (413),
+//! concurrent-sweep cap (429), the resident-trace byte budget (503),
+//! and the PR 8 watchdog deadlines (soft = warn + count, hard = typed
+//! 503 with the result discarded, never cached).
+
+use crate::http::{
+    finish_chunks, read_request, start_chunked, write_chunk, write_response, HttpError, Request,
+};
+use crate::signal;
+use crate::state::{
+    filter_name, parse_filter, JobState, LoadError, ServeConfig, ServeState, SweepJob,
+};
+use ccnuma_obs::artifact_slug;
+use ccnuma_obs::json::{JsonValue, JsonWriter};
+use ccnuma_tracestore::{
+    cell_from_payload, cell_payload, eval_cell, CellParams, ResultCache, StoreListing, SweepCell,
+    SweepPolicy, SweepReport, SweepSpec, TraceMeta,
+};
+use ccnuma_types::TopologyPreset;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema tag of a single-cell evaluation response.
+pub const SERVE_RESULT_SCHEMA: &str = "ccnuma-serve-result/1";
+/// Schema tag of the sweep-registration response.
+pub const SERVE_SWEEP_SCHEMA: &str = "ccnuma-serve-sweep/1";
+/// Schema tag of the metrics document.
+pub const SERVE_METRICS_SCHEMA: &str = "ccnuma-serve-metrics/1";
+
+/// Idle keep-alive read timeout; also bounds how long a worker can be
+/// stuck mid-request on a stalled peer.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The bounded pending-connection queue.
+struct WorkQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+    depth: usize,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues, or hands the stream back when full (the shed path).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.0.len() >= self.depth || inner.1 {
+            return Err(stream);
+        }
+        inner.0.push_back(stream);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(s) = inner.0.pop_front() {
+                return Some(s);
+            }
+            if inner.1 {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A started daemon: its bound address plus the handles needed to
+/// stop it. Tests bind port 0 and read the ephemeral address here.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (tests inspect metrics and footprints).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Requests graceful shutdown and joins every thread: stop
+    /// accepting, drain the queue, finish in-flight requests, and wait
+    /// for sweep threads to journal their last cell.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Sweep threads are detached but check the shutdown flag
+        // between cells and advertise themselves in `running_sweeps`;
+        // give them a bounded grace period to finish the current cell.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.state.running_sweeps.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// Binds, pre-warms, and spawns the accept thread and worker pool.
+///
+/// # Errors
+///
+/// Bind/listen failures, or a store/result-cache directory that
+/// cannot be created.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let workers = cfg.workers.max(1);
+    let queue_depth = cfg.queue_depth;
+    let state =
+        Arc::new(ServeState::new(cfg).map_err(|e| io::Error::other(format!("store: {e}")))?);
+    for name in state.cfg.prewarm.clone() {
+        match state.resolve_slug(&name) {
+            Some(slug) => match state.resident(&slug) {
+                Ok(t) => eprintln!(
+                    "serve: pre-warmed {slug} ({} records, {} bytes resident)",
+                    t.meta.records, t.bytes
+                ),
+                Err(e) => eprintln!("serve: pre-warm {slug} failed: {e:?}"),
+            },
+            None => eprintln!("serve: pre-warm: no trace named {name:?} in the store"),
+        }
+    }
+
+    let listener = TcpListener::bind(&state.cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(WorkQueue::new(queue_depth));
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let queue = Arc::clone(&queue);
+        let state = Arc::clone(&state);
+        worker_handles.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                handle_conn(&state, stream);
+            }
+        }));
+    }
+
+    let accept_state = Arc::clone(&state);
+    let accept_queue = Arc::clone(&queue);
+    let accept = std::thread::spawn(move || {
+        loop {
+            if accept_state.shutting_down() || signal::shutdown_requested() {
+                accept_state.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Err(stream) = accept_queue.push(stream) {
+                        accept_state.count("shed_queue_full", 1);
+                        shed_connection(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        accept_queue.close();
+    });
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+/// Runs the daemon in the foreground until SIGTERM/SIGINT, then shuts
+/// down gracefully. The `repro serve` entry point.
+///
+/// # Errors
+///
+/// Propagates [`start`] failures.
+pub fn run(cfg: ServeConfig) -> io::Result<()> {
+    signal::install();
+    let handle = start(cfg)?;
+    eprintln!("serve: listening on {}", handle.addr());
+    while !signal::shutdown_requested() && !handle.state().shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("serve: shutting down (in-flight sweep cells are journaled in the result cache)");
+    handle.shutdown();
+    Ok(())
+}
+
+/// Writes the queue-full 503 on the accept thread and closes.
+fn shed_connection(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut w = BufWriter::new(stream);
+    let body = error_body(503, "shed_queue_full", "work queue is full; retry shortly");
+    let _ = write_response(
+        &mut w,
+        503,
+        "Service Unavailable",
+        "application/json",
+        &[
+            ("Retry-After", "1".to_string()),
+            ("Connection", "close".to_string()),
+        ],
+        body.as_bytes(),
+    );
+}
+
+/// Renders the typed error body every non-2xx response carries.
+fn error_body(status: u16, code: &str, message: &str) -> String {
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("error");
+    j.begin_obj();
+    j.key("status");
+    j.raw(&status.to_string());
+    j.key("code");
+    j.str(code);
+    j.key("message");
+    j.str(message);
+    j.end_obj();
+    j.end_obj();
+    j.finish()
+}
+
+/// One connection: keep-alive request loop with typed error mapping.
+fn handle_conn(state: &Arc<ServeState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut r = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    loop {
+        match read_request(&mut r, state.cfg.max_body_bytes) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let close = req.wants_close();
+                if dispatch(state, &req, &mut w).is_err() || close || state.shutting_down() {
+                    break;
+                }
+            }
+            Err(e) => {
+                if let Some((status, reason)) = e.status() {
+                    if !matches!(e, HttpError::Timeout) {
+                        state.count("errors_4xx", 1);
+                        let body = error_body(status, e.code(), "malformed request");
+                        let _ = write_response(
+                            &mut w,
+                            status,
+                            reason,
+                            "application/json",
+                            &[("Connection", "close".to_string())],
+                            body.as_bytes(),
+                        );
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Sends a JSON response and counts its status class.
+fn respond(
+    state: &ServeState,
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let class = match status {
+        200..=299 => "resp_2xx",
+        400..=499 => "resp_4xx",
+        _ => "resp_5xx",
+    };
+    state.count(class, 1);
+    write_response(
+        w,
+        status,
+        reason,
+        "application/json",
+        extra,
+        body.as_bytes(),
+    )
+}
+
+fn respond_error(
+    state: &ServeState,
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    code: &str,
+    message: &str,
+    extra: &[(&str, String)],
+) -> io::Result<()> {
+    respond(
+        state,
+        w,
+        status,
+        reason,
+        extra,
+        &error_body(status, code, message),
+    )
+}
+
+/// Routes one request. An `Err` means the connection is unusable.
+fn dispatch(state: &Arc<ServeState>, req: &Request, w: &mut impl Write) -> io::Result<()> {
+    let t0 = Instant::now();
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.count("req_healthz", 1);
+            respond(state, w, 200, "OK", &[], "{\"ok\":true}")
+        }
+        ("GET", "/v1/traces") => {
+            state.count("req_traces", 1);
+            match StoreListing::scan(&state.store) {
+                Ok(listing) => respond(state, w, 200, "OK", &[], &listing.to_json()),
+                Err(e) => respond_error(
+                    state,
+                    w,
+                    500,
+                    "Internal Server Error",
+                    "store_error",
+                    &format!("listing failed: {e}"),
+                    &[],
+                ),
+            }
+        }
+        ("POST", "/v1/eval") => {
+            state.count("req_eval", 1);
+            let out = handle_eval(state, req, w, t0);
+            state.observe("eval_latency_us", t0.elapsed().as_micros() as u64);
+            out
+        }
+        ("POST", "/v1/sweeps") => {
+            state.count("req_sweeps_post", 1);
+            handle_sweep_post(state, req, w)
+        }
+        ("GET", path) if path.starts_with("/v1/sweeps/") => {
+            state.count("req_sweeps_get", 1);
+            handle_sweep_stream(state, &path["/v1/sweeps/".len()..], w)
+        }
+        ("GET", "/v1/metrics") => {
+            state.count("req_metrics", 1);
+            handle_metrics(state, w)
+        }
+        (_, "/healthz" | "/v1/traces" | "/v1/eval" | "/v1/sweeps" | "/v1/metrics") => {
+            state.count("errors_4xx", 1);
+            respond_error(
+                state,
+                w,
+                405,
+                "Method Not Allowed",
+                "method_not_allowed",
+                "see README: Sweep service",
+                &[],
+            )
+        }
+        _ => {
+            state.count("errors_4xx", 1);
+            respond_error(
+                state,
+                w,
+                404,
+                "Not Found",
+                "unknown_route",
+                "no such endpoint",
+                &[],
+            )
+        }
+    };
+    state.observe("request_latency_us", t0.elapsed().as_micros() as u64);
+    result
+}
+
+/// The parsed coordinates of one eval request.
+struct EvalParams {
+    slug: String,
+    cell: CellParams,
+    filter: ccnuma_polsim::TraceFilter,
+}
+
+/// Parses the eval body; `Err` carries `(code, message)` for a 400/404.
+fn parse_eval(state: &ServeState, body: &[u8]) -> Result<EvalParams, (u16, &'static str, String)> {
+    let bad = |code: &'static str, msg: String| (400u16, code, msg);
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad("bad_json", "body is not UTF-8".into()))?;
+    let v =
+        JsonValue::parse(text).map_err(|e| bad("bad_json", format!("unparseable body: {e}")))?;
+    let trace = v
+        .get("trace")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing_trace", "field \"trace\" is required".into()))?;
+    let policy_name = v
+        .get("policy")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing_policy", "field \"policy\" is required".into()))?;
+    let policy = SweepPolicy::parse(policy_name)
+        .ok_or_else(|| bad("unknown_policy", format!("unknown policy {policy_name:?}")))?;
+    let u = |key: &str, default: u64| -> Result<u64, (u16, &'static str, String)> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(x) => x
+                .as_u64()
+                .ok_or_else(|| bad("bad_field", format!("field {key:?} must be a u64"))),
+        }
+    };
+    let trigger = u32::try_from(u("trigger", 128)?)
+        .map_err(|_| bad("bad_field", "trigger out of range".into()))?;
+    let sample = u32::try_from(u("sample_rate", 1)?)
+        .map_err(|_| bad("bad_field", "sample_rate out of range".into()))?;
+    let sample = sample.max(1);
+    let remote_ns = u("remote_latency_ns", 1200)?;
+    let move_us = u("move_cost_us", 350)?;
+    let topology = match v.get("topology") {
+        None => TopologyPreset::Flat,
+        Some(x) => {
+            let name = x
+                .as_str()
+                .ok_or_else(|| bad("bad_field", "topology must be a string".into()))?;
+            TopologyPreset::parse(name)
+                .ok_or_else(|| bad("unknown_topology", format!("unknown topology {name:?}")))?
+        }
+    };
+    let filter = match v.get("filter") {
+        None => ccnuma_polsim::TraceFilter::UserOnly,
+        Some(x) => {
+            let name = x
+                .as_str()
+                .ok_or_else(|| bad("bad_field", "filter must be a string".into()))?;
+            parse_filter(name)
+                .ok_or_else(|| bad("unknown_filter", format!("unknown filter {name:?}")))?
+        }
+    };
+    let slug = state.resolve_slug(trace).ok_or((
+        404u16,
+        "unknown_trace",
+        format!("no trace named {trace:?} in the store"),
+    ))?;
+    Ok(EvalParams {
+        slug,
+        cell: CellParams {
+            policy,
+            trigger,
+            sample,
+            remote_ns,
+            move_us,
+            topology,
+        },
+        filter,
+    })
+}
+
+/// Looks a cell up in the memo/result cache, replaying on a miss; the
+/// shared eval path for `/v1/eval` and sweep cells. Returns the
+/// payload and whether it was a cache hit.
+fn cell_result(
+    state: &ServeState,
+    slug: &str,
+    meta: &TraceMeta,
+    cell: &CellParams,
+    filter: ccnuma_polsim::TraceFilter,
+) -> Result<(Arc<String>, bool), LoadError> {
+    let key = ResultCache::key(
+        slug,
+        meta.nodes,
+        meta.other_time_ns,
+        filter,
+        &cell.memo_key(),
+    );
+    {
+        let memo = state.memo.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = memo.get(&key) {
+            return Ok((Arc::clone(p), true));
+        }
+    }
+    if let Some(text) = state.results.load(&key) {
+        // Only trust payloads that round-trip: a damaged cache entry
+        // degrades to a replay, never to a bad response.
+        let valid = JsonValue::parse(&text)
+            .ok()
+            .as_ref()
+            .and_then(cell_from_payload)
+            .is_some();
+        if valid {
+            let payload = Arc::new(text);
+            state
+                .memo
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key, Arc::clone(&payload));
+            return Ok((payload, true));
+        }
+    }
+    let resident = state.resident(slug)?;
+    let (report, records) = eval_cell(
+        cell,
+        meta.nodes,
+        ccnuma_types::Ns(meta.other_time_ns),
+        filter,
+        resident.records(),
+    );
+    let payload = Arc::new(cell_payload(&report, records));
+    if let Err(e) = state.results.store(&key, &payload) {
+        eprintln!("serve: result-cache write failed for {key}: {e}");
+    }
+    state
+        .memo
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, Arc::clone(&payload));
+    Ok((payload, false))
+}
+
+fn load_error_response(state: &ServeState, w: &mut impl Write, e: &LoadError) -> io::Result<()> {
+    match e {
+        LoadError::NotFound => {
+            state.count("errors_4xx", 1);
+            respond_error(
+                state,
+                w,
+                404,
+                "Not Found",
+                "unknown_trace",
+                "trace vanished from the store",
+                &[],
+            )
+        }
+        LoadError::OverBudget => {
+            state.count("shed_over_capacity", 1);
+            respond_error(
+                state,
+                w,
+                503,
+                "Service Unavailable",
+                "shed_over_capacity",
+                "resident-trace byte budget exceeded; retry shortly",
+                &[("Retry-After", "1".to_string())],
+            )
+        }
+        LoadError::Store(err) => respond_error(
+            state,
+            w,
+            500,
+            "Internal Server Error",
+            "store_error",
+            &format!("trace load failed: {err}"),
+            &[],
+        ),
+    }
+}
+
+fn handle_eval(
+    state: &ServeState,
+    req: &Request,
+    w: &mut impl Write,
+    t0: Instant,
+) -> io::Result<()> {
+    let params = match parse_eval(state, &req.body) {
+        Ok(p) => p,
+        Err((status, code, msg)) => {
+            state.count("errors_4xx", 1);
+            let reason = if status == 404 {
+                "Not Found"
+            } else {
+                "Bad Request"
+            };
+            return respond_error(state, w, status, reason, code, &msg, &[]);
+        }
+    };
+    let meta = match state.store.meta(&params.slug) {
+        Ok(m) => m,
+        Err(e) => {
+            return respond_error(
+                state,
+                w,
+                500,
+                "Internal Server Error",
+                "store_error",
+                &format!("sidecar read failed: {e}"),
+                &[],
+            )
+        }
+    };
+    let (payload, hit) = match cell_result(state, &params.slug, &meta, &params.cell, params.filter)
+    {
+        Ok(r) => r,
+        Err(e) => return load_error_response(state, w, &e),
+    };
+    state.count(
+        if hit {
+            "eval_cache_hits"
+        } else {
+            "eval_cache_misses"
+        },
+        1,
+    );
+
+    if let Some(soft) = state.cfg.soft_deadline {
+        if t0.elapsed() > soft {
+            state.count("watchdog_soft", 1);
+            eprintln!(
+                "serve: watchdog: eval of {} exceeded soft deadline ({:.2}s > {:.2}s)",
+                params.cell.memo_key(),
+                t0.elapsed().as_secs_f64(),
+                soft.as_secs_f64()
+            );
+        }
+    }
+    if let Some(hard) = state.cfg.hard_deadline {
+        if t0.elapsed() > hard {
+            state.count("watchdog_hard", 1);
+            return respond_error(
+                state,
+                w,
+                503,
+                "Service Unavailable",
+                "watchdog_deadline",
+                &format!(
+                    "eval exceeded hard deadline ({:.2}s > {:.2}s); result discarded",
+                    t0.elapsed().as_secs_f64(),
+                    hard.as_secs_f64()
+                ),
+                &[("Retry-After", "1".to_string())],
+            );
+        }
+    }
+
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("schema");
+    j.str(SERVE_RESULT_SCHEMA);
+    j.key("trace");
+    j.str(&params.slug);
+    j.key("trace_label");
+    j.str(&meta.label);
+    j.key("policy");
+    j.str(&params.cell.policy.to_string());
+    j.key("trigger");
+    j.raw(&params.cell.trigger.to_string());
+    j.key("sample_rate");
+    j.raw(&params.cell.sample.to_string());
+    j.key("remote_latency_ns");
+    j.raw(&params.cell.remote_ns.to_string());
+    j.key("move_cost_us");
+    j.raw(&params.cell.move_us.to_string());
+    j.key("topology");
+    j.str(params.cell.topology.label());
+    j.key("filter");
+    j.str(filter_name(params.filter));
+    j.key("memo_key");
+    j.str(&params.cell.memo_key());
+    j.key("result");
+    j.raw(&payload);
+    j.end_obj();
+    let cache = if hit { "hit" } else { "miss" };
+    respond(
+        state,
+        w,
+        200,
+        "OK",
+        &[("X-Cache", cache.to_string())],
+        &j.finish(),
+    )
+}
+
+/// Parses one sweep axis: an array of JSON values mapped through `f`,
+/// or `default` when the key is absent.
+fn axis<T, F>(
+    v: &JsonValue,
+    key: &str,
+    default: Vec<T>,
+    f: F,
+) -> Result<Vec<T>, (u16, &'static str, String)>
+where
+    F: Fn(&JsonValue) -> Option<T>,
+{
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => {
+            let items = x.as_array().ok_or((
+                400u16,
+                "bad_field",
+                format!("field {key:?} must be an array"),
+            ))?;
+            items
+                .iter()
+                .map(|i| f(i).ok_or((400u16, "bad_field", format!("bad value in {key:?}"))))
+                .collect()
+        }
+    }
+}
+
+fn parse_sweep(
+    state: &ServeState,
+    body: &[u8],
+) -> Result<(String, SweepSpec), (u16, &'static str, String)> {
+    let bad = |code: &'static str, msg: String| (400u16, code, msg);
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad("bad_json", "body is not UTF-8".into()))?;
+    let v =
+        JsonValue::parse(text).map_err(|e| bad("bad_json", format!("unparseable body: {e}")))?;
+    let trace = v
+        .get("trace")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("missing_trace", "field \"trace\" is required".into()))?;
+    let slug = state.resolve_slug(trace).ok_or((
+        404u16,
+        "unknown_trace",
+        format!("no trace named {trace:?} in the store"),
+    ))?;
+    let grid = SweepSpec::default_grid();
+    let policies = axis(&v, "policies", grid.policies, |x| {
+        x.as_str().and_then(SweepPolicy::parse)
+    })?;
+    let triggers = axis(&v, "triggers", grid.triggers, |x| {
+        x.as_u64().and_then(|n| u32::try_from(n).ok())
+    })?;
+    let sample_rates = axis(&v, "sample_rates", grid.sample_rates, |x| {
+        x.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .filter(|&n| n > 0)
+    })?;
+    let remote_latencies_ns = axis(
+        &v,
+        "remote_latencies_ns",
+        grid.remote_latencies_ns,
+        JsonValue::as_u64,
+    )?;
+    let move_costs_us = axis(&v, "move_costs_us", grid.move_costs_us, JsonValue::as_u64)?;
+    let topologies = axis(&v, "topologies", grid.topologies, |x| {
+        x.as_str().and_then(TopologyPreset::parse)
+    })?;
+    let filter = match v.get("filter") {
+        None => grid.filter,
+        Some(x) => x
+            .as_str()
+            .and_then(parse_filter)
+            .ok_or_else(|| bad("unknown_filter", "bad filter".into()))?,
+    };
+    let spec = SweepSpec {
+        policies,
+        triggers,
+        sample_rates,
+        remote_latencies_ns,
+        move_costs_us,
+        topologies,
+        filter,
+    };
+    if spec.is_empty() {
+        return Err(bad("empty_grid", "every axis must be non-empty".into()));
+    }
+    Ok((slug, spec))
+}
+
+/// Renders the sweep-registration body.
+fn sweep_ack(id: &str, cells: usize, status: &str) -> String {
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("schema");
+    j.str(SERVE_SWEEP_SCHEMA);
+    j.key("id");
+    j.str(id);
+    j.key("cells");
+    j.raw(&cells.to_string());
+    j.key("status");
+    j.str(status);
+    j.end_obj();
+    j.finish()
+}
+
+fn handle_sweep_post(state: &Arc<ServeState>, req: &Request, w: &mut impl Write) -> io::Result<()> {
+    let (slug, spec) = match parse_sweep(state, &req.body) {
+        Ok(x) => x,
+        Err((status, code, msg)) => {
+            state.count("errors_4xx", 1);
+            let reason = if status == 404 {
+                "Not Found"
+            } else {
+                "Bad Request"
+            };
+            return respond_error(state, w, status, reason, code, &msg, &[]);
+        }
+    };
+    let cells = spec.len();
+    if cells > state.cfg.max_cells {
+        state.count("errors_4xx", 1);
+        return respond_error(
+            state,
+            w,
+            413,
+            "Payload Too Large",
+            "cell_budget",
+            &format!(
+                "grid has {cells} cells; the per-sweep budget is {}",
+                state.cfg.max_cells
+            ),
+            &[],
+        );
+    }
+    let meta = match state.store.meta(&slug) {
+        Ok(m) => m,
+        Err(e) => {
+            return respond_error(
+                state,
+                w,
+                500,
+                "Internal Server Error",
+                "store_error",
+                &format!("sidecar read failed: {e}"),
+                &[],
+            )
+        }
+    };
+    // Content-addressed id: the same grid on the same trace is the
+    // same sweep, so POST is idempotent within a daemon's lifetime and
+    // cache-warm across restarts.
+    let id = artifact_slug("sweep", &format!("{slug}|{spec:?}"));
+
+    let mut sweeps = state.sweeps.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(job) = sweeps.get(&id) {
+        let status = match &*job.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        };
+        return respond(state, w, 200, "OK", &[], &sweep_ack(&id, job.total, status));
+    }
+    if state.running_sweeps.load(Ordering::SeqCst) >= state.cfg.max_sweeps {
+        drop(sweeps);
+        state.count("shed_sweeps_busy", 1);
+        return respond_error(
+            state,
+            w,
+            429,
+            "Too Many Requests",
+            "shed_sweeps_busy",
+            &format!(
+                "{} sweeps already running; retry shortly",
+                state.cfg.max_sweeps
+            ),
+            &[("Retry-After", "2".to_string())],
+        );
+    }
+    let job = Arc::new(SweepJob {
+        id: id.clone(),
+        trace_label: meta.label.clone(),
+        total: cells,
+        done: AtomicUsize::new(0),
+        state: Mutex::new(JobState::Running),
+        cv: Condvar::new(),
+    });
+    sweeps.insert(id.clone(), Arc::clone(&job));
+    state.running_sweeps.fetch_add(1, Ordering::SeqCst);
+    drop(sweeps);
+
+    let thread_state = Arc::clone(state);
+    let thread_job = Arc::clone(&job);
+    std::thread::spawn(move || run_sweep_job(&thread_state, &thread_job, &slug, &meta, &spec));
+    respond(
+        state,
+        w,
+        202,
+        "Accepted",
+        &[],
+        &sweep_ack(&id, cells, "running"),
+    )
+}
+
+/// Executes one sweep: every distinct cell through the shared
+/// memo/result-cache path (so completed cells are journaled on disk as
+/// they finish), then the final `ccnuma-sweep/2` document.
+fn run_sweep_job(
+    state: &Arc<ServeState>,
+    job: &Arc<SweepJob>,
+    slug: &str,
+    meta: &TraceMeta,
+    spec: &SweepSpec,
+) {
+    let cells = spec.cells();
+    // Distinct memo keys in first-appearance order, with multiplicity
+    // for progress accounting.
+    let mut order: Vec<(String, CellParams, usize)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for cell in &cells {
+        let key = cell.memo_key();
+        match index.get(&key) {
+            Some(&i) => order[i].2 += 1,
+            None => {
+                index.insert(key.clone(), order.len());
+                order.push((key, *cell, 1));
+            }
+        }
+    }
+    let unique_replays = order.len();
+
+    let mut results: HashMap<String, (ccnuma_polsim::PolsimReport, u64)> = HashMap::new();
+    for (key, cell, multiplicity) in order {
+        if state.shutting_down() {
+            job.finish(JobState::Failed(
+                "shutdown: sweep interrupted; completed cells are journaled in the result cache"
+                    .to_string(),
+            ));
+            state.running_sweeps.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let t0 = Instant::now();
+        let payload = match cell_result(state, slug, meta, &cell, spec.filter) {
+            Ok((payload, _)) => payload,
+            Err(e) => {
+                job.finish(JobState::Failed(format!("cell {key} failed: {e:?}")));
+                state.running_sweeps.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        if let Some(soft) = state.cfg.soft_deadline {
+            if t0.elapsed() > soft {
+                state.count("watchdog_soft", 1);
+                eprintln!(
+                    "serve: watchdog: sweep cell {key} exceeded soft deadline ({:.2}s > {:.2}s)",
+                    t0.elapsed().as_secs_f64(),
+                    soft.as_secs_f64()
+                );
+            }
+        }
+        let parsed = JsonValue::parse(&payload)
+            .ok()
+            .as_ref()
+            .and_then(cell_from_payload);
+        match parsed {
+            Some(r) => {
+                results.insert(key, r);
+            }
+            None => {
+                job.finish(JobState::Failed(format!("cell {key}: malformed payload")));
+                state.running_sweeps.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+        job.advance(multiplicity);
+    }
+
+    let report = SweepReport {
+        nodes: meta.nodes,
+        records: meta.records,
+        cells: cells
+            .iter()
+            .map(|c| SweepCell {
+                params: *c,
+                report: results[&c.memo_key()].0.clone(),
+            })
+            .collect(),
+        unique_replays,
+    };
+    job.finish(JobState::Done(report.to_json(&meta.label)));
+    state.running_sweeps.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Streams sweep progress as newline-delimited JSON chunks, ending
+/// with the full grid document (or a typed error line).
+fn handle_sweep_stream(state: &ServeState, id: &str, w: &mut impl Write) -> io::Result<()> {
+    let job = {
+        let sweeps = state.sweeps.lock().unwrap_or_else(|e| e.into_inner());
+        sweeps.get(id).cloned()
+    };
+    let Some(job) = job else {
+        state.count("errors_4xx", 1);
+        return respond_error(
+            state,
+            w,
+            404,
+            "Not Found",
+            "unknown_sweep",
+            "no such sweep id",
+            &[],
+        );
+    };
+    state.count("resp_2xx", 1);
+    start_chunked(w, 200, "OK", "application/x-ndjson")?;
+    loop {
+        let done = job.done.load(Ordering::SeqCst);
+        write_chunk(
+            w,
+            format!("{{\"done\":{done},\"total\":{}}}\n", job.total).as_bytes(),
+        )?;
+        let guard = job.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            JobState::Done(doc) => {
+                let line = format!("{doc}\n");
+                drop(guard);
+                write_chunk(w, line.as_bytes())?;
+                break;
+            }
+            JobState::Failed(msg) => {
+                let line = format!("{}\n", error_body(500, "sweep_failed", msg));
+                drop(guard);
+                write_chunk(w, line.as_bytes())?;
+                break;
+            }
+            JobState::Running => {
+                let (_guard, _) = job
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(250))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+    finish_chunks(w)
+}
+
+/// Renders the metrics document: request/shed counters, cache hit
+/// ratios, and the log2 latency histograms with percentiles.
+fn handle_metrics(state: &ServeState, w: &mut impl Write) -> io::Result<()> {
+    let (resident_traces, resident_bytes) = state.resident_footprint();
+    let (cache_entries, cache_bytes) = state.results.footprint();
+    let metrics_json = state
+        .metrics
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .to_json();
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("schema");
+    j.str(SERVE_METRICS_SCHEMA);
+    j.key("resident_traces");
+    j.raw(&resident_traces.to_string());
+    j.key("resident_bytes");
+    j.raw(&resident_bytes.to_string());
+    j.key("result_cache_entries");
+    j.raw(&cache_entries.to_string());
+    j.key("result_cache_bytes");
+    j.raw(&cache_bytes.to_string());
+    j.key("metrics");
+    j.raw(&metrics_json);
+    j.end_obj();
+    respond(state, w, 200, "OK", &[], &j.finish())
+}

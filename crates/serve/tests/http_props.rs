@@ -1,0 +1,103 @@
+//! Property tests for the HTTP layer's malformed-input contract: any
+//! byte stream — random garbage, oversized lines, truncated bodies,
+//! hostile header blocks — yields a clean parse or a typed error that
+//! maps to a 4xx status. Never a panic, never an unbounded read.
+
+use ccnuma_serve::http::{read_request, HttpError, MAX_REQUEST_LINE};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn parse(bytes: &[u8], max_body: usize) -> Result<Option<ccnuma_serve::http::Request>, HttpError> {
+    read_request(&mut BufReader::new(bytes), max_body)
+}
+
+/// Every error the parser can produce must map to a response the
+/// worker can actually write: a 4xx status (408 included) or a
+/// transport error with no status at all.
+fn status_is_typed(e: &HttpError) {
+    match e.status() {
+        Some((status, _)) => assert!(
+            (400..500).contains(&status),
+            "parser produced non-4xx status {status}"
+        ),
+        None => assert!(matches!(e, HttpError::Io(_))),
+    }
+    assert!(!e.code().is_empty());
+}
+
+proptest! {
+    /// Arbitrary bytes: parse or typed error, never a panic. In-memory
+    /// readers cannot block, so this also proves no input shape makes
+    /// the parser wait for bytes that already ended.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..2048)) {
+        match parse(&bytes, 1024) {
+            Ok(_) => {}
+            Err(e) => status_is_typed(&e),
+        }
+    }
+
+    /// Structured-looking requests with arbitrary method/path/header
+    /// tokens: same contract, closer to the hostile-client shape.
+    #[test]
+    fn fuzzed_request_lines_never_panic(
+        method in "[ -~]{0,12}",
+        path in "[ -~]{0,64}",
+        version in "[ -~]{0,12}",
+        header in "[ -~]{0,80}",
+    ) {
+        let req = format!("{method} {path} {version}\r\n{header}\r\n\r\n");
+        match parse(req.as_bytes(), 1024) {
+            Ok(_) => {}
+            Err(e) => status_is_typed(&e),
+        }
+    }
+
+    /// A declared Content-Length larger than the arriving bytes is a
+    /// 400, not a hang and not a short-read panic.
+    #[test]
+    fn truncated_bodies_are_400(sent in 0usize..512, shortfall in 1usize..512) {
+        let declared = sent + shortfall;
+        let mut req = format!("POST /v1/eval HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n")
+            .into_bytes();
+        req.extend(std::iter::repeat_n(b'x', sent));
+        let e = parse(&req, 1024).unwrap_err();
+        prop_assert_eq!(e.status().map(|(s, _)| s), Some(400));
+    }
+
+    /// A declared Content-Length over the body cap is rejected with 413
+    /// before a single body byte is read.
+    #[test]
+    fn oversized_declared_bodies_are_413(over in 1usize..4096, max_body in 0usize..1024) {
+        let declared = max_body + over;
+        let req = format!("POST /v1/eval HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let e = parse(req.as_bytes(), max_body).unwrap_err();
+        prop_assert_eq!(e.status().map(|(s, _)| s), Some(413));
+    }
+
+    /// Request lines beyond the cap are 431 regardless of content.
+    #[test]
+    fn oversized_request_lines_are_431(extra in 1usize..4096) {
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + extra));
+        req.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let e = parse(&req, 1024).unwrap_err();
+        prop_assert_eq!(e.status().map(|(s, _)| s), Some(431));
+    }
+
+    /// Well-formed requests with arbitrary bodies under the cap parse
+    /// back exactly — the positive half of the contract.
+    #[test]
+    fn wellformed_requests_roundtrip(body in proptest::collection::vec(0u8..=255, 0..512)) {
+        let mut req = format!(
+            "POST /v1/eval HTTP/1.1\r\nHost: h\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        req.extend_from_slice(&body);
+        let parsed = parse(&req, 512).unwrap().unwrap();
+        prop_assert_eq!(parsed.method.as_str(), "POST");
+        prop_assert_eq!(parsed.path.as_str(), "/v1/eval");
+        prop_assert_eq!(parsed.body, body);
+    }
+}

@@ -1,0 +1,303 @@
+//! End-to-end daemon tests against a real listener on an ephemeral
+//! port: cold/warm eval, byte-identical answers across a daemon
+//! restart (the on-disk result cache), queue-full shedding with
+//! `Retry-After`, typed 4xx for malformed requests, the metrics
+//! document, and the sweep POST/stream lifecycle.
+
+use ccnuma_serve::{start, HttpClient, ServeConfig};
+use ccnuma_trace::{MissRecord, Trace};
+use ccnuma_tracestore::{TraceMeta, TraceStore};
+use ccnuma_types::{Ns, Pid, ProcId, VirtPage};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ccnuma-serve-{name}-{}", std::process::id()))
+}
+
+fn trace(n: u64) -> Trace {
+    (0..n)
+        .map(|i| {
+            MissRecord::user_data_read(Ns(i * 300), ProcId((i % 8) as u16), Pid(1), VirtPage(i / 4))
+        })
+        .collect()
+}
+
+/// Seeds `dir` with one stored trace and returns its slug.
+fn seed_store(dir: &Path) -> String {
+    let store = TraceStore::new(dir).unwrap();
+    let label = "itest [FT]";
+    let slug = TraceStore::slug(label, "itest");
+    let meta = TraceMeta {
+        label: label.into(),
+        records: 200,
+        nodes: 8,
+        other_time_ns: 50_000,
+    };
+    store.save(&slug, &trace(200), &meta).unwrap();
+    slug
+}
+
+fn cfg(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        trace_dir: dir.to_path_buf(),
+        results_dir: dir.join("results"),
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn eval_body(slug: &str) -> String {
+    format!("{{\"trace\":\"{slug}\",\"policy\":\"FT\",\"trigger\":64}}")
+}
+
+#[test]
+fn eval_cold_warm_and_restart_are_byte_identical() {
+    let dir = test_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let slug = seed_store(&dir);
+
+    let handle = start(cfg(&dir)).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+    let cold = c
+        .request("POST", "/v1/eval", Some(&eval_body(&slug)))
+        .unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert!(cold.text().contains("\"schema\":\"ccnuma-serve-result/1\""));
+
+    let warm = c
+        .request("POST", "/v1/eval", Some(&eval_body(&slug)))
+        .unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    // The X-Cache header carries the hit/miss signal so the body can
+    // stay byte-identical between a fresh replay and a cache hit.
+    assert_eq!(cold.body, warm.body);
+    drop(c);
+    handle.shutdown();
+
+    // A fresh daemon over the same directories serves the same bytes
+    // from the on-disk result cache without replaying.
+    let handle = start(cfg(&dir)).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+    let after = c
+        .request("POST", "/v1/eval", Some(&eval_body(&slug)))
+        .unwrap();
+    assert_eq!(after.status, 200);
+    assert_eq!(after.header("x-cache"), Some("hit"));
+    assert_eq!(after.body, cold.body);
+    drop(c);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_full_is_typed_503_with_retry_after() {
+    let dir = test_dir("shed");
+    let _ = std::fs::remove_dir_all(&dir);
+    seed_store(&dir);
+    let mut config = cfg(&dir);
+    config.workers = 1;
+    config.queue_depth = 1;
+    let handle = start(config).unwrap();
+
+    // Occupy the only worker with a connection that never sends a
+    // request, then fill the one queue slot the same way.
+    let busy = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection must be shed by the accept thread itself.
+    let mut shed = TcpStream::connect(handle.addr()).unwrap();
+    shed.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut response = String::new();
+    shed.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("Retry-After: 1"), "{response}");
+    assert!(response.contains("shed_queue_full"), "{response}");
+
+    drop(busy);
+    drop(queued);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_typed_4xx_not_a_crash() {
+    let dir = test_dir("malformed");
+    let _ = std::fs::remove_dir_all(&dir);
+    seed_store(&dir);
+    let handle = start(cfg(&dir)).unwrap();
+
+    // Garbage request line → 400 with a typed error body.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_read_timeout(Some(TIMEOUT)).unwrap();
+    s.write_all(b"NOT AN HTTP LINE\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("\"error\""), "{response}");
+
+    // Declared body over the cap → 413 before any body byte is read.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_read_timeout(Some(TIMEOUT)).unwrap();
+    s.write_all(b"POST /v1/eval HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+    // The daemon is still healthy afterwards.
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+    let health = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+
+    // Unknown routes and wrong methods are typed, too.
+    let missing = c.request("GET", "/v1/nope", None).unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong = c.request("GET", "/v1/eval", None).unwrap();
+    assert_eq!(wrong.status, 405);
+    let unknown_trace = c
+        .request(
+            "POST",
+            "/v1/eval",
+            Some("{\"trace\":\"no-such-trace\",\"policy\":\"FT\"}"),
+        )
+        .unwrap();
+    assert_eq!(unknown_trace.status, 404);
+    drop(c);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traces_and_metrics_documents_parse() {
+    use ccnuma_obs::json::JsonValue;
+    let dir = test_dir("metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+    let slug = seed_store(&dir);
+    let handle = start(cfg(&dir)).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+
+    let listing = c.request("GET", "/v1/traces", None).unwrap();
+    assert_eq!(listing.status, 200);
+    let v = JsonValue::parse(&listing.text()).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(JsonValue::as_str),
+        Some("ccnuma-trace-ls/1")
+    );
+    let entries = v.get("entries").and_then(JsonValue::as_array).unwrap();
+    assert!(entries
+        .iter()
+        .any(|e| e.get("slug").and_then(JsonValue::as_str) == Some(slug.as_str())));
+
+    // One eval populates the latency histograms.
+    let eval = c
+        .request("POST", "/v1/eval", Some(&eval_body(&slug)))
+        .unwrap();
+    assert_eq!(eval.status, 200);
+
+    let metrics = c.request("GET", "/v1/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let v = JsonValue::parse(&metrics.text()).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(JsonValue::as_str),
+        Some("ccnuma-serve-metrics/1")
+    );
+    let hist = v
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("eval_latency_us"))
+        .expect("eval latency histogram present");
+    assert!(hist.get("p99").is_some(), "p99 missing: {}", metrics.text());
+    let counters = v.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert_eq!(
+        counters.get("req_eval").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    drop(c);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_post_streams_progress_then_final_document() {
+    use ccnuma_obs::json::JsonValue;
+    let dir = test_dir("sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let slug = seed_store(&dir);
+    let handle = start(cfg(&dir)).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+
+    let body = format!(
+        "{{\"trace\":\"{slug}\",\"policies\":[\"FT\",\"RR\"],\"triggers\":[64],\"sample_rates\":[1]}}"
+    );
+    let ack = c.request("POST", "/v1/sweeps", Some(&body)).unwrap();
+    assert_eq!(ack.status, 202, "{}", ack.text());
+    let v = JsonValue::parse(&ack.text()).unwrap();
+    let id = v.get("id").and_then(JsonValue::as_str).unwrap().to_string();
+    assert_eq!(v.get("cells").and_then(JsonValue::as_u64), Some(2));
+
+    // The progress stream is ndjson: progress lines, then the final
+    // ccnuma-sweep/2 document.
+    let stream = c.request("GET", &format!("/v1/sweeps/{id}"), None).unwrap();
+    assert_eq!(stream.status, 200);
+    let text = stream.text();
+    let last = text.lines().last().unwrap();
+    let doc = JsonValue::parse(last).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("ccnuma-sweep/2"),
+        "{text}"
+    );
+    assert!(text.lines().any(|l| l.contains("\"done\"")), "{text}");
+
+    // Re-POSTing the same grid is idempotent: same content-addressed
+    // id, no second execution.
+    let again = c.request("POST", "/v1/sweeps", Some(&body)).unwrap();
+    assert_eq!(again.status, 200);
+    let v = JsonValue::parse(&again.text()).unwrap();
+    assert_eq!(v.get("id").and_then(JsonValue::as_str), Some(id.as_str()));
+    drop(c);
+    handle.shutdown();
+
+    // A fresh daemon reruns the sweep purely from the result cache and
+    // produces the identical document.
+    let handle = start(cfg(&dir)).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+    let ack = c.request("POST", "/v1/sweeps", Some(&body)).unwrap();
+    assert!(ack.status == 202 || ack.status == 200, "{}", ack.text());
+    let stream = c.request("GET", &format!("/v1/sweeps/{id}"), None).unwrap();
+    let text2 = stream.text();
+    assert_eq!(text2.lines().last(), Some(last), "restarted sweep differs");
+    drop(c);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_sweep_grid_is_rejected_with_cell_budget() {
+    let dir = test_dir("budget");
+    let _ = std::fs::remove_dir_all(&dir);
+    let slug = seed_store(&dir);
+    let mut config = cfg(&dir);
+    config.max_cells = 3;
+    let handle = start(config).unwrap();
+    let mut c = HttpClient::connect(handle.addr(), TIMEOUT).unwrap();
+    let body = format!(
+        "{{\"trace\":\"{slug}\",\"policies\":[\"FT\",\"RR\"],\"triggers\":[64,128],\"sample_rates\":[1]}}"
+    );
+    let resp = c.request("POST", "/v1/sweeps", Some(&body)).unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    assert!(resp.text().contains("cell_budget"), "{}", resp.text());
+    drop(c);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,6 +46,8 @@
 
 pub mod format;
 pub mod fsck;
+pub mod listing;
+pub mod results;
 pub mod store;
 pub mod sweep;
 pub mod varint;
@@ -57,8 +59,10 @@ pub use format::{
 pub use fsck::{
     fsck, gc, EntryStatus, FsckEntry, FsckReport, GcReport, RepairAction, QUARANTINE_DIR,
 };
+pub use listing::{ListingEntry, StoreListing, LISTING_SCHEMA};
+pub use results::{ResultCache, RESULT_SALT};
 pub use store::{OpenedEntry, TraceMeta, TraceStore, META_SCHEMA};
 pub use sweep::{
-    run_sweep, run_sweep_profiled, run_sweep_resumable, CellParams, SweepCell, SweepPolicy,
-    SweepReport, SweepSpec, CELL_KIND, SWEEP_SCHEMA,
+    cell_from_payload, cell_payload, eval_cell, run_sweep, run_sweep_profiled, run_sweep_resumable,
+    CellParams, SweepCell, SweepPolicy, SweepReport, SweepSpec, CELL_KIND, SWEEP_SCHEMA,
 };

@@ -1,0 +1,129 @@
+//! Content-addressed *result* cache: the serve daemon's memo of
+//! finished sweep cells.
+//!
+//! The trace store content-addresses inputs; this directory
+//! content-addresses outputs. A cell's key is the existing sweep memo
+//! key extended with a format-version salt plus everything else the
+//! replay is a function of (trace slug, node count, other-time, record
+//! filter), and the stored bytes are exactly the
+//! [`cell_payload`](crate::sweep::cell_payload) journal encoding — so a
+//! cache hit reproduces a fresh replay byte-for-byte, across daemon
+//! restarts, by construction. Writes go through `atomic_write`, so a
+//! crash can never leave a half-written result visible.
+
+use crate::format::StoreError;
+use ccnuma_faults::io::atomic_write;
+use ccnuma_obs::artifact_slug;
+use ccnuma_polsim::TraceFilter;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Format-version salt folded into every cache key. Bump it when the
+/// payload encoding changes and the whole cache invalidates at once.
+pub const RESULT_SALT: &str = "ccnuma-cell-result/1";
+
+/// An on-disk cell-result cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new<P: AsRef<Path>>(dir: P) -> Result<ResultCache, StoreError> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(ResultCache {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The full content address of one cell result: the sweep memo key
+    /// salted with the payload format version and the replay's other
+    /// inputs.
+    pub fn key(
+        trace_slug: &str,
+        nodes: u16,
+        other_time_ns: u64,
+        filter: TraceFilter,
+        memo_key: &str,
+    ) -> String {
+        format!("{RESULT_SALT}|{trace_slug}|n={nodes}|ot={other_time_ns}|f={filter:?}|{memo_key}")
+    }
+
+    /// File path a key is stored at (readable memo-key prefix + FNV
+    /// fingerprint of the full key, like every other artifact).
+    pub fn path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.json", artifact_slug("cell", key)))
+    }
+
+    /// Loads the cached payload for `key`, or `None` on any miss or
+    /// read error (the caller replays the cell — a damaged cache entry
+    /// must never be worse than an empty one).
+    pub fn load(&self, key: &str) -> Option<String> {
+        fs::read_to_string(self.path(key)).ok()
+    }
+
+    /// Stores `payload` under `key` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a failed store leaves no visible entry.
+    pub fn store(&self, key: &str, payload: &str) -> Result<(), StoreError> {
+        Ok(atomic_write(&self.path(key), payload.as_bytes())?)
+    }
+
+    /// Entry count and byte footprint of the cache directory, for the
+    /// executor summary and capacity planning. Unreadable entries are
+    /// counted as zero bytes.
+    pub fn footprint(&self) -> (u64, u64) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        for entry in dir.flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".json") {
+                entries += 1;
+                bytes += entry.metadata().map_or(0, |m| m.len());
+            }
+        }
+        (entries, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_and_footprint() {
+        let dir = std::env::temp_dir().join(format!("ccnuma-results-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::new(&dir).unwrap();
+        let key = ResultCache::key("slug-a", 8, 42, TraceFilter::UserOnly, "FT|topo=flat");
+        assert_eq!(cache.load(&key), None);
+        cache.store(&key, "{\"x\":1}").unwrap();
+        assert_eq!(cache.load(&key).as_deref(), Some("{\"x\":1}"));
+        // A different filter is a different address.
+        let other = ResultCache::key("slug-a", 8, 42, TraceFilter::All, "FT|topo=flat");
+        assert_ne!(cache.path(&key), cache.path(&other));
+        assert_eq!(cache.load(&other), None);
+        let (n, b) = cache.footprint();
+        assert_eq!(n, 1);
+        assert_eq!(b, 7);
+        // A reopened cache (daemon restart) sees the same bytes.
+        let reopened = ResultCache::new(&dir).unwrap();
+        assert_eq!(reopened.load(&key).as_deref(), Some("{\"x\":1}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -390,8 +390,9 @@ pub const CELL_KIND: &str = "cell";
 
 /// Serializes one finished cell into a checkpoint-journal payload.
 /// Every field is a `u64` (times are `Ns` counts), so the round trip
-/// is exact by construction.
-fn cell_payload(report: &PolsimReport, records: u64) -> String {
+/// is exact by construction. The serve result cache stores these same
+/// bytes, so a cached cell is byte-identical to a fresh replay.
+pub fn cell_payload(report: &PolsimReport, records: u64) -> String {
     let mut j = JsonWriter::new();
     let u = |j: &mut JsonWriter, k: &str, v: u64| {
         j.key(k);
@@ -438,7 +439,7 @@ fn cell_payload(report: &PolsimReport, records: u64) -> String {
 
 /// Rebuilds a cell result from a journal payload. `None` if the
 /// payload is malformed — the caller replays that cell.
-fn cell_from_payload(v: &JsonValue) -> Option<(PolsimReport, u64)> {
+pub fn cell_from_payload(v: &JsonValue) -> Option<(PolsimReport, u64)> {
     fn u(v: &JsonValue, k: &str) -> Option<u64> {
         v.get(k).and_then(JsonValue::as_u64)
     }
@@ -520,6 +521,22 @@ where
         records += 1;
     }
     Ok((replay.finish(), records))
+}
+
+/// Replays one cell against an in-memory record slice — the serve
+/// daemon's eval path, where the trace is already resident. Infallible
+/// by construction: the only error source in a replay is the trace
+/// stream, and a slice cannot fail.
+pub fn eval_cell(
+    cell: &CellParams,
+    nodes: u16,
+    other_time: Ns,
+    filter: TraceFilter,
+    records: &[MissRecord],
+) -> (PolsimReport, u64) {
+    let open = || Ok(records.iter().map(|r| Ok(*r)));
+    replay_cell(cell, nodes, other_time, filter, &open)
+        .expect("in-memory replay cannot hit a store error")
 }
 
 /// Runs the sweep: every distinct cell is replayed once, on up to
